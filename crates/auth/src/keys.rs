@@ -1,0 +1,97 @@
+//! Pairwise symmetric keys — the "authenticated channels" of §4.
+//!
+//! The model requires that a process cannot impersonate another towards the
+//! reference monitor (§2.1); the paper suggests IPSec/SSL. We simulate that
+//! with pairwise HMAC keys derived deterministically from a deployment
+//! secret: node `a` and node `b` share `KDF(master, min(a,b), max(a,b))`.
+//! Byzantine nodes know only their own keys, so MACs from other identities
+//! are unforgeable (under HMAC's assumptions).
+
+use crate::hmac::{hmac_sha256, verify_mac};
+use crate::sha256::Digest;
+
+/// Logical identity on the wire (clients and replicas share a namespace;
+/// see `peats-replication` for the id-assignment convention).
+pub type NodeId = u64;
+
+/// Derives the pairwise key for `(a, b)` from a deployment master secret.
+/// Symmetric in its arguments.
+pub fn pair_key(master: &[u8], a: NodeId, b: NodeId) -> Digest {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut material = Vec::with_capacity(16);
+    material.extend_from_slice(&lo.to_be_bytes());
+    material.extend_from_slice(&hi.to_be_bytes());
+    hmac_sha256(master, &material)
+}
+
+/// One node's key table: its identity plus the deployment master from which
+/// it derives the keys it shares with peers.
+///
+/// A real deployment would provision each node only with its own pairwise
+/// keys; deriving from the master here is a simulation convenience. The
+/// Byzantine-node simulations never hand the adversary other nodes' key
+/// tables, preserving the unforgeability assumption.
+#[derive(Clone, Debug)]
+pub struct KeyTable {
+    me: NodeId,
+    master: Vec<u8>,
+}
+
+impl KeyTable {
+    /// Key table for node `me` under deployment secret `master`.
+    pub fn new(me: NodeId, master: impl Into<Vec<u8>>) -> Self {
+        KeyTable {
+            me,
+            master: master.into(),
+        }
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// MAC for a message from this node to `peer`.
+    pub fn sign_for(&self, peer: NodeId, message: &[u8]) -> Digest {
+        hmac_sha256(&pair_key(&self.master, self.me, peer), message)
+    }
+
+    /// Verifies a MAC on a message claimed to come from `peer`.
+    pub fn verify_from(&self, peer: NodeId, message: &[u8], mac: &Digest) -> bool {
+        let expected = hmac_sha256(&pair_key(&self.master, self.me, peer), message);
+        verify_mac(&expected, mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_key_is_symmetric() {
+        assert_eq!(pair_key(b"m", 1, 2), pair_key(b"m", 2, 1));
+        assert_ne!(pair_key(b"m", 1, 2), pair_key(b"m", 1, 3));
+        assert_ne!(pair_key(b"m1", 1, 2), pair_key(b"m2", 1, 2));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let alice = KeyTable::new(1, b"deployment".to_vec());
+        let bob = KeyTable::new(2, b"deployment".to_vec());
+        let mac = alice.sign_for(2, b"hello");
+        assert!(bob.verify_from(1, b"hello", &mac));
+        assert!(!bob.verify_from(1, b"hullo", &mac));
+        assert!(!bob.verify_from(3, b"hello", &mac));
+    }
+
+    #[test]
+    fn impersonation_fails() {
+        // Mallory (id 3) tries to forge a MAC from Alice (id 1) to Bob.
+        let mallory = KeyTable::new(3, b"deployment".to_vec());
+        let bob = KeyTable::new(2, b"deployment".to_vec());
+        // Mallory only holds keys involving id 3: her best effort is to sign
+        // with her own key and claim it is Alice's.
+        let forged = mallory.sign_for(2, b"transfer all funds");
+        assert!(!bob.verify_from(1, b"transfer all funds", &forged));
+    }
+}

@@ -1,0 +1,96 @@
+//! E3/E4/E5 — wall-clock cost of the consensus objects (Algorithms 1–2,
+//! §5.4) on the local linearizable PEATS, across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peats::{policies, LocalPeats, PolicyParams, Value};
+use peats_consensus::{DefaultConsensus, StrongConsensus, WeakConsensus};
+
+fn weak_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_consensus");
+    group.sample_size(30);
+    for &procs in &[2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", procs),
+            &procs,
+            |b, &procs| {
+                b.iter(|| {
+                    let space =
+                        LocalPeats::new(policies::weak_consensus(), PolicyParams::new())
+                            .unwrap();
+                    let joins: Vec<_> = (0..procs as u64)
+                        .map(|p| {
+                            let cons = WeakConsensus::new(space.handle(p));
+                            std::thread::spawn(move || cons.propose(Value::from(p)).unwrap())
+                        })
+                        .collect();
+                    for j in joins {
+                        j.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn strong_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_consensus");
+    group.sample_size(20);
+    for &t in &[1usize, 2, 3] {
+        let n = 3 * t + 1;
+        group.bench_with_input(BenchmarkId::new("n=3t+1, t", t), &t, |b, &t| {
+            b.iter(|| {
+                let space = LocalPeats::new(
+                    policies::strong_consensus(),
+                    PolicyParams::n_t(n, t),
+                )
+                .unwrap();
+                let joins: Vec<_> = (0..n as u64)
+                    .map(|p| {
+                        let cons = StrongConsensus::new(space.handle(p), n, t);
+                        std::thread::spawn(move || cons.propose((p % 2) as i64).unwrap())
+                    })
+                    .collect();
+                for j in joins {
+                    j.join().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn default_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("default_consensus");
+    group.sample_size(20);
+    for &(label, split) in &[("unanimous", false), ("full_split", true)] {
+        let (n, t) = (4usize, 1usize);
+        group.bench_function(BenchmarkId::new("n=4_t=1", label), |b| {
+            b.iter(|| {
+                let space = LocalPeats::new(
+                    policies::default_consensus(),
+                    PolicyParams::n_t(n, t),
+                )
+                .unwrap();
+                let joins: Vec<_> = (0..n as u64)
+                    .map(|p| {
+                        let cons = DefaultConsensus::new(space.handle(p), n, t);
+                        let v = if split {
+                            Value::from(format!("v{p}"))
+                        } else {
+                            Value::from("v")
+                        };
+                        std::thread::spawn(move || cons.propose(v).unwrap())
+                    })
+                    .collect();
+                for j in joins {
+                    j.join().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, weak_consensus, strong_consensus, default_consensus);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E11 — policy-enforcement overhead: ACL check vs the paper's fine-grained
+//! predicates (§7: "a policy enforcement monitor has to evaluate a
+//! predicate … the predicates are, in general, very simple and can be
+//! implemented efficiently with little (local) processing overhead").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peats::policies;
+use peats_baseline::sticky_bits_policy;
+use peats_policy::{
+    Invocation, OpCall, PolicyParams, ReferenceMonitor,
+};
+use peats_tuplespace::{template, tuple, SequentialSpace, Value};
+
+/// Populates a strong-consensus space with n proposals.
+fn proposal_state(n: u64) -> SequentialSpace {
+    let mut ts = SequentialSpace::new();
+    for p in 0..n {
+        ts.out(tuple!["PROPOSE", p, (p % 2) as i64]);
+    }
+    ts
+}
+
+fn acl_check(c: &mut Criterion) {
+    // The degenerate policy: per-bit ACL of the sticky-bit baseline.
+    let acls: Vec<Vec<u64>> = (0..3).map(|j| vec![2 * j, 2 * j + 1]).collect();
+    let monitor = ReferenceMonitor::new(sticky_bits_policy(&acls), PolicyParams::new()).unwrap();
+    let state = SequentialSpace::new();
+    let inv = Invocation::new(0, OpCall::Out(tuple!["BIT", 0, 1]));
+    c.bench_function("policy/acl_sticky_bit_set", |b| {
+        b.iter(|| {
+            assert!(monitor.decide(&inv, &state).is_allowed());
+        });
+    });
+}
+
+fn read_rule(c: &mut Criterion) {
+    let monitor =
+        ReferenceMonitor::new(policies::strong_consensus(), PolicyParams::n_t(13, 4)).unwrap();
+    let state = proposal_state(13);
+    let inv = Invocation::new(0, OpCall::Rdp(template!["PROPOSE", 5u64, ?v]));
+    c.bench_function("policy/fig4_read_rule", |b| {
+        b.iter(|| {
+            assert!(monitor.decide(&inv, &state).is_allowed());
+        });
+    });
+}
+
+fn propose_rule(c: &mut Criterion) {
+    let monitor =
+        ReferenceMonitor::new(policies::strong_consensus(), PolicyParams::n_t(13, 4)).unwrap();
+    let state = proposal_state(12); // process 12 has not proposed yet
+    let inv = Invocation::new(12, OpCall::Out(tuple!["PROPOSE", 12u64, 1]));
+    c.bench_function("policy/fig4_propose_rule", |b| {
+        b.iter(|| {
+            assert!(monitor.decide(&inv, &state).is_allowed());
+        });
+    });
+}
+
+fn cas_justification_rule(c: &mut Criterion) {
+    // The heaviest predicate in the paper: ∀q ∈ S (|S| = t+1 = 5):
+    // ⟨PROPOSE, q, v⟩ ∈ TS over a 13-tuple state.
+    let monitor =
+        ReferenceMonitor::new(policies::strong_consensus(), PolicyParams::n_t(13, 4)).unwrap();
+    let state = proposal_state(13);
+    let justification = Value::set((0..10).step_by(2).map(Value::from)); // 0,2,4,6,8 proposed 0
+    let inv = Invocation::new(
+        3,
+        OpCall::Cas(
+            template!["DECISION", ?d, _],
+            tuple!["DECISION", 0, justification],
+        ),
+    );
+    c.bench_function("policy/fig4_cas_justification_rule", |b| {
+        b.iter(|| {
+            assert!(monitor.decide(&inv, &state).is_allowed());
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    acl_check,
+    read_rule,
+    propose_rule,
+    cas_justification_rule
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E12 — latency of PEATS operations on the thread-backed BFT-replicated
+//! deployment (f = 1, 4 replica threads), the Fig. 2 configuration the
+//! DepSpace measurements correspond to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peats::{Policy, PolicyParams, TupleSpace};
+use peats_replication::ThreadedCluster;
+use peats_tuplespace::{template, tuple};
+
+fn replicated_ops(c: &mut Criterion) {
+    let mut cluster =
+        ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[100], &[])
+            .unwrap();
+    let h = cluster.handle(0);
+
+    let mut group = c.benchmark_group("replicated_peats");
+    group.sample_size(20);
+
+    let mut i = 0i64;
+    group.bench_function("out", |b| {
+        b.iter(|| {
+            i += 1;
+            h.out(tuple!["B", i]).unwrap();
+        });
+    });
+
+    h.out(tuple!["R", 1]).unwrap();
+    group.bench_function("rdp_hit", |b| {
+        b.iter(|| {
+            h.rdp(&template!["R", ?x]).unwrap();
+        });
+    });
+
+    group.bench_function("rdp_miss", |b| {
+        b.iter(|| {
+            h.rdp(&template!["MISSING", ?x]).unwrap();
+        });
+    });
+
+    let mut k = 0i64;
+    group.bench_function("cas_insert", |b| {
+        b.iter(|| {
+            k += 1;
+            h.cas(&template!["C", k, ?x], tuple!["C", k, 1]).unwrap();
+        });
+    });
+
+    group.finish();
+    drop(h);
+    cluster.shutdown();
+}
+
+criterion_group!(benches, replicated_ops);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! E8/E9 — the universal constructions (Algorithms 3–4): per-operation cost
+//! of the lock-free vs wait-free emulation, sequential and under
+//! contention, plus a FIFO-vs-seeded matching ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peats::{policies, LocalPeats, PolicyParams};
+use peats_tuplespace::Selection;
+use peats_universal::{objects::Counter, LockFreeUniversal, WaitFreeUniversal};
+
+fn lockfree_sequential(c: &mut Criterion) {
+    c.bench_function("universal/lockfree_increment_sequential", |b| {
+        let space = LocalPeats::new(policies::lockfree_universal(), PolicyParams::new()).unwrap();
+        let obj = LockFreeUniversal::new(space.handle(0), Counter);
+        b.iter(|| {
+            obj.invoke(Counter::increment()).unwrap();
+        });
+    });
+}
+
+fn waitfree_sequential(c: &mut Criterion) {
+    c.bench_function("universal/waitfree_increment_sequential", |b| {
+        let n = 4;
+        let mut params = PolicyParams::new();
+        params.set("n", n as i64);
+        let space = LocalPeats::new(policies::waitfree_universal(), params).unwrap();
+        let obj = WaitFreeUniversal::new(space.handle(0), Counter, n);
+        b.iter(|| {
+            obj.invoke(Counter::increment()).unwrap();
+        });
+    });
+}
+
+fn contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal/contended_8x10_increments");
+    group.sample_size(15);
+    group.bench_function("lockfree", |b| {
+        b.iter(|| {
+            let space =
+                LocalPeats::new(policies::lockfree_universal(), PolicyParams::new()).unwrap();
+            let joins: Vec<_> = (0..8u64)
+                .map(|p| {
+                    let obj = LockFreeUniversal::new(space.handle(p), Counter);
+                    std::thread::spawn(move || {
+                        for _ in 0..10 {
+                            obj.invoke(Counter::increment()).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
+    });
+    group.bench_function("waitfree", |b| {
+        b.iter(|| {
+            let n = 8;
+            let mut params = PolicyParams::new();
+            params.set("n", n as i64);
+            let space = LocalPeats::new(policies::waitfree_universal(), params).unwrap();
+            let joins: Vec<_> = (0..n as u64)
+                .map(|p| {
+                    let obj = WaitFreeUniversal::new(space.handle(p), Counter, n);
+                    std::thread::spawn(move || {
+                        for _ in 0..10 {
+                            obj.invoke(Counter::increment()).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn matching_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: FIFO vs seeded-random tuple selection should not
+    // change universal-construction cost materially (templates are
+    // position-exact, so at most one tuple matches).
+    let mut group = c.benchmark_group("universal/matching_ablation");
+    for (label, sel) in [("fifo", Selection::Fifo), ("seeded", Selection::Seeded(7))] {
+        group.bench_function(BenchmarkId::new("lockfree_100_ops", label), |b| {
+            b.iter(|| {
+                let space = LocalPeats::with_selection(
+                    policies::lockfree_universal(),
+                    PolicyParams::new(),
+                    sel.clone(),
+                )
+                .unwrap();
+                let obj = LockFreeUniversal::new(space.handle(0), Counter);
+                for _ in 0..100 {
+                    obj.invoke(Counter::increment()).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    lockfree_sequential,
+    waitfree_sequential,
+    contended,
+    matching_ablation
+);
+criterion_main!(benches);

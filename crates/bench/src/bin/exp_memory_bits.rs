@@ -1,0 +1,96 @@
+//! E6 — the paper's memory comparison (§5.2, footnotes 3–4).
+//!
+//! Regenerates the PEATS-vs-sticky-bits bit counts: the PEATS strong binary
+//! consensus uses `O((n+t) log n)` bits while Alon et al. [9] needs
+//! `(n+1)·C(2t+1,t)` sticky bits; Malkhi et al. [11] needs only `2t+1`
+//! sticky bits but `(t+1)(2t+1)` processes. Asserts the paper's spot values
+//! (68 bits and 1,764 sticky bits at `n = 13, t = 4`) and cross-checks the
+//! formula against *measured* space occupancy of an actual Algorithm 2 run.
+
+use peats::{policies, LocalPeats, PolicyParams};
+use peats_bench::print_table;
+use peats_consensus::memory::{
+    alon_sticky_bits, memory_table, peats_strong_bits_exact, peats_strong_bits_o_form,
+};
+use peats_consensus::StrongConsensus;
+
+fn measured_bits(n: usize, t: usize) -> u64 {
+    // Run a real strong consensus to completion and measure the space.
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let mut joins = Vec::new();
+    for p in 0..n as u64 {
+        let c = StrongConsensus::new(space.handle(p), n, t);
+        joins.push(std::thread::spawn(move || c.propose((p % 2) as i64).unwrap()));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    space.cost_bits()
+}
+
+fn main() {
+    // Paper spot checks (footnotes 3 and 4).
+    assert_eq!(
+        peats_strong_bits_o_form(13, 4),
+        68,
+        "footnote 3: 68 bits at n=13, t=4"
+    );
+    assert_eq!(
+        alon_sticky_bits(13, 4),
+        1764,
+        "footnote 4: 1,764 sticky bits at n=13, t=4"
+    );
+    println!("spot checks: footnote 3 (68 bits) ok, footnote 4 (1,764 sticky bits) ok");
+
+    let rows: Vec<Vec<String>> = memory_table(8)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.t.to_string(),
+                r.n.to_string(),
+                r.peats_bits_o_form.to_string(),
+                r.peats_bits_exact.to_string(),
+                r.alon_sticky_bits.to_string(),
+                format!("{} (n={})", r.mmrt_sticky_bits, r.mmrt_processes),
+            ]
+        })
+        .collect();
+    print_table(
+        "E6: strong binary consensus memory, n = 3t+1 (paper §5.2)",
+        &[
+            "t",
+            "n",
+            "PEATS bits (paper form)",
+            "PEATS bits (exact tuples)",
+            "Alon et al. sticky bits",
+            "MMRT sticky bits",
+        ],
+        &rows,
+    );
+
+    // Measured occupancy of an actual run (implementation cost model:
+    // 64-bit ints, 8-bit chars — see Value::cost_bits) for small systems.
+    let rows: Vec<Vec<String>> = [1usize, 2, 3]
+        .iter()
+        .map(|&t| {
+            let n = 3 * t + 1;
+            vec![
+                t.to_string(),
+                n.to_string(),
+                peats_strong_bits_exact(n as u64, t as u64).to_string(),
+                measured_bits(n, t).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E6b: formula vs measured space occupancy of a real Alg. 2 run",
+        &["t", "n", "formula bits", "measured bits (impl cost model)"],
+        &rows,
+    );
+    println!(
+        "\nNote: measured bits use the implementation cost model (64-bit ints,\n\
+         8-byte tags), so they exceed the information-theoretic formula by a\n\
+         constant factor; the *shape* (linear in n, polylog vs the baseline's\n\
+         exponential growth) is the reproduced claim."
+    );
+}

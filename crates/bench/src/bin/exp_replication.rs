@@ -1,0 +1,99 @@
+//! E2/E12 — the replicated PEATS (Fig. 2): fault-mode matrix in the
+//! deterministic simulator plus wall-clock latency/throughput on the
+//! threaded deployment (the DepSpace-style measurement of §4/§7).
+
+use peats::{Policy, PolicyParams, TupleSpace};
+use peats_bench::print_table;
+use peats_netsim::NetConfig;
+use peats_policy::OpCall;
+use peats_replication::{FaultMode, OpResult, SimCluster, ThreadedCluster};
+use peats_tuplespace::{template, tuple};
+use std::time::Instant;
+
+fn fault_matrix() -> Vec<Vec<String>> {
+    let cases: Vec<(&str, Vec<(u32, FaultMode)>)> = vec![
+        ("no faults", vec![]),
+        ("1 crashed backup", vec![(3, FaultMode::Crashed)]),
+        ("1 crashed primary", vec![(0, FaultMode::Crashed)]),
+        ("1 corrupt-replies", vec![(2, FaultMode::CorruptReplies)]),
+        ("1 mute replica", vec![(1, FaultMode::Mute)]),
+    ];
+    let mut rows = Vec::new();
+    for (label, faults) in cases {
+        let mut cluster = SimCluster::new(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            NetConfig::default(),
+        );
+        for (id, fault) in faults {
+            cluster.set_fault(id, fault);
+        }
+        let r1 = cluster.invoke(0, OpCall::Out(tuple!["A", 1]));
+        let r2 = cluster.invoke(0, OpCall::Rdp(template!["A", ?x]));
+        let ok = r1 == Some(OpResult::Done)
+            && r2 == Some(OpResult::Tuple(Some(tuple!["A", 1])));
+        rows.push(vec![
+            label.into(),
+            format!("{ok}"),
+            format!("{:?}", cluster.views()),
+        ]);
+    }
+    rows
+}
+
+fn wall_clock() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4] {
+        let pids: Vec<u64> = (0..clients as u64).map(|i| 100 + i).collect();
+        let mut cluster =
+            ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &pids, &[])
+                .unwrap();
+        let handles: Vec<_> = (0..clients).map(|i| cluster.handle(i)).collect();
+        let per_client_ops = 50;
+        let start = Instant::now();
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                std::thread::spawn(move || {
+                    for k in 0..per_client_ops {
+                        h.out(tuple!["LOAD", i as i64, k]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let elapsed = start.elapsed();
+        let total_ops = (clients * per_client_ops) as f64;
+        rows.push(vec![
+            clients.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1000.0 / total_ops),
+            format!("{:.0}", total_ops / elapsed.as_secs_f64()),
+        ]);
+        cluster.shutdown();
+    }
+    rows
+}
+
+fn main() {
+    print_table(
+        "E2: simulated replicated PEATS (f=1, 4 replicas) under replica faults",
+        &["fault case", "client ops succeed", "replica views after run"],
+        &fault_matrix(),
+    );
+    print_table(
+        "E12: threaded replicated PEATS, out() latency/throughput (f=1)",
+        &["clients", "mean latency (ms/op)", "throughput (ops/s)"],
+        &wall_clock(),
+    );
+    println!(
+        "\nAbsolute numbers depend on the host; the reproduced shape is that the\n\
+         replicated PEATS stays live and correct under every injected replica\n\
+         fault, and throughput scales with concurrent clients until the\n\
+         sequential ordering path saturates."
+    );
+}

@@ -1,0 +1,240 @@
+//! Byzantine process strategies for fault injection.
+//!
+//! The model's faulty processes "deviate arbitrarily" (§2.1). This module
+//! packages concrete deviations — the ones the paper's policies are designed
+//! to neutralise — so tests and experiments can inject them and verify that
+//! safety is preserved and every illegal action is denied.
+
+use crate::{DECISION, PROPOSE};
+use peats::{SpaceError, SpaceResult, TupleSpace};
+use peats_tuplespace::{Field, Template, Tuple, Value};
+
+/// A canned Byzantine behaviour against a consensus PEATS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Crash/fail-silent: never interacts (the adversary of Theorem 4).
+    Silent,
+    /// Proposes `first`, then tries to also propose `second` (equivocation).
+    Equivocate {
+        /// The first (legal) proposal.
+        first: i64,
+        /// The second (illegal) proposal.
+        second: i64,
+    },
+    /// Tries to write a proposal under another process's identity.
+    Impersonate {
+        /// The identity being spoofed.
+        victim: u64,
+        /// The planted value.
+        value: i64,
+    },
+    /// Tries to commit a `DECISION` with a fabricated justification set.
+    ForgeDecision {
+        /// The value the adversary wants decided.
+        value: i64,
+        /// The processes it falsely claims proposed `value`.
+        claimed: Vec<u64>,
+    },
+    /// Tries to erase the space: `inp` on every tag it knows.
+    Scrub,
+    /// Tries to decide `⊥` in a default-consensus space with a fabricated
+    /// split map (`claimed[i]` allegedly proposed value `i`).
+    ForgeBottom {
+        /// The processes falsely claimed to have proposed distinct values.
+        claimed: Vec<u64>,
+    },
+}
+
+/// Outcome counts of a strategy run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttackReport {
+    /// Operations the adversary attempted.
+    pub attempted: u32,
+    /// Attempts rejected by the reference monitor.
+    pub denied: u32,
+    /// Attempts that executed (they may still be harmless, e.g. reads).
+    pub executed: u32,
+}
+
+impl AttackReport {
+    fn denied_one(&mut self) {
+        self.attempted += 1;
+        self.denied += 1;
+    }
+
+    fn executed_one(&mut self) {
+        self.attempted += 1;
+        self.executed += 1;
+    }
+
+    fn track<T>(&mut self, r: SpaceResult<T>) -> SpaceResult<Option<T>> {
+        match r {
+            Ok(v) => {
+                self.executed_one();
+                Ok(Some(v))
+            }
+            Err(SpaceError::Denied(_)) => {
+                self.denied_one();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Runs `strategy` through the adversary's own authenticated handle.
+///
+/// # Errors
+///
+/// Only infrastructure failures ([`SpaceError::Unavailable`]) propagate;
+/// policy denials are *recorded*, not raised — being denied is the expected
+/// fate of these operations.
+pub fn run_strategy<S: TupleSpace>(space: &S, strategy: &Strategy) -> SpaceResult<AttackReport> {
+    let mut report = AttackReport::default();
+    let me = space.process_id();
+    match strategy {
+        Strategy::Silent => {}
+        Strategy::Equivocate { first, second } => {
+            report.track(space.out(Tuple::new(vec![
+                Value::from(PROPOSE),
+                Value::from(me),
+                Value::Int(*first),
+            ])))?;
+            report.track(space.out(Tuple::new(vec![
+                Value::from(PROPOSE),
+                Value::from(me),
+                Value::Int(*second),
+            ])))?;
+        }
+        Strategy::Impersonate { victim, value } => {
+            report.track(space.out(Tuple::new(vec![
+                Value::from(PROPOSE),
+                Value::from(*victim),
+                Value::Int(*value),
+            ])))?;
+        }
+        Strategy::ForgeDecision { value, claimed } => {
+            let template = Template::new(vec![
+                Field::exact(DECISION),
+                Field::formal("d"),
+                Field::any(),
+            ]);
+            let entry = Tuple::new(vec![
+                Value::from(DECISION),
+                Value::Int(*value),
+                Value::set(claimed.iter().map(|p| Value::from(*p))),
+            ]);
+            report.track(space.cas(&template, entry))?;
+        }
+        Strategy::Scrub => {
+            for tag in [PROPOSE, DECISION] {
+                for arity in [2usize, 3] {
+                    let mut fields = vec![Field::exact(tag)];
+                    fields.extend(std::iter::repeat(Field::any()).take(arity));
+                    report.track(space.inp(&Template::new(fields)))?;
+                }
+            }
+        }
+        Strategy::ForgeBottom { claimed } => {
+            let map = Value::map(claimed.iter().enumerate().map(|(i, p)| {
+                (
+                    Value::from(format!("fake{i}")),
+                    Value::set([Value::from(*p)]),
+                )
+            }));
+            let template = Template::new(vec![
+                Field::exact(DECISION),
+                Field::formal("d"),
+                Field::any(),
+            ]);
+            let entry = Tuple::new(vec![Value::from(DECISION), Value::Null, map]);
+            report.track(space.cas(&template, entry))?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::{policies, LocalPeats, PolicyParams, TupleSpace};
+    use peats_tuplespace::template;
+
+    fn strong_space(n: usize, t: usize) -> LocalPeats {
+        LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap()
+    }
+
+    #[test]
+    fn equivocation_is_limited_to_one_proposal() {
+        let space = strong_space(4, 1);
+        let h = space.handle(3);
+        let r = run_strategy(&h, &Strategy::Equivocate { first: 0, second: 1 }).unwrap();
+        assert_eq!(r.attempted, 2);
+        assert_eq!(r.executed, 1);
+        assert_eq!(r.denied, 1);
+        // Only the first proposal exists.
+        assert!(h.rdp(&template![PROPOSE, 3u64, 0]).unwrap().is_some());
+        assert!(h.rdp(&template![PROPOSE, 3u64, 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn impersonation_is_denied() {
+        let space = strong_space(4, 1);
+        let h = space.handle(3);
+        let r = run_strategy(&h, &Strategy::Impersonate { victim: 0, value: 1 }).unwrap();
+        assert_eq!(r.denied, 1);
+        assert!(h.rdp(&template![PROPOSE, 0u64, _]).unwrap().is_none());
+    }
+
+    #[test]
+    fn forged_decision_is_denied() {
+        let space = strong_space(4, 1);
+        let h = space.handle(3);
+        // Nobody proposed 1, but the adversary claims processes 0 and 1 did.
+        let r = run_strategy(
+            &h,
+            &Strategy::ForgeDecision {
+                value: 1,
+                claimed: vec![0, 1],
+            },
+        )
+        .unwrap();
+        assert_eq!(r.denied, 1);
+        assert!(h.rdp(&template![DECISION, ?d, _]).unwrap().is_none());
+    }
+
+    #[test]
+    fn scrub_cannot_remove_anything() {
+        let space = strong_space(4, 1);
+        space.handle(0).out(peats_tuplespace::tuple![PROPOSE, 0u64, 1]).unwrap();
+        let h = space.handle(3);
+        let r = run_strategy(&h, &Strategy::Scrub).unwrap();
+        assert_eq!(r.denied, r.attempted);
+        assert_eq!(space.len(), 1);
+    }
+
+    #[test]
+    fn forged_bottom_is_denied_in_default_space() {
+        let space =
+            LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(4, 1)).unwrap();
+        // Three real proposals for the same value.
+        for p in 0..3u64 {
+            space
+                .handle(p)
+                .out(peats_tuplespace::tuple![PROPOSE, p, "v"])
+                .unwrap();
+        }
+        let h = space.handle(3);
+        let r = run_strategy(&h, &Strategy::ForgeBottom { claimed: vec![0, 1, 2] }).unwrap();
+        assert_eq!(r.denied, 1);
+        assert!(h.rdp(&template![DECISION, ?d, _]).unwrap().is_none());
+    }
+
+    #[test]
+    fn silent_strategy_does_nothing() {
+        let space = strong_space(4, 1);
+        let h = space.handle(3);
+        let r = run_strategy(&h, &Strategy::Silent).unwrap();
+        assert_eq!(r, AttackReport::default());
+    }
+}

@@ -1,0 +1,234 @@
+//! §5.4 — default multivalued consensus with optimal resilience `n ≥ 3t+1`.
+//!
+//! Proposals range over an arbitrary domain. If some value gathers `t+1`
+//! proposals it may be decided; if a process instead observes `n − t`
+//! proposals with *no* value at `t+1`, it may decide the default `⊥`
+//! ([`Value::Null`]) — but only by exhibiting the full split to the access
+//! policy (Fig. 5), which prevents malicious processes from forcing `⊥`
+//! when the correct processes actually agree.
+
+use crate::scan::{scan_proposals, ProposalSets};
+use crate::DECISION;
+use crate::PROPOSE;
+use peats::{SpaceError, SpaceResult, TupleSpace};
+use peats_tuplespace::{CasOutcome, Field, Template, Tuple, Value};
+
+/// The decision of a default consensus: a real value or the default `⊥`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DefaultDecision {
+    /// A proposed value, justified by `t+1` proposers.
+    Value(Value),
+    /// The default `⊥` — no value reached `t+1` among `n−t` proposals.
+    Bottom,
+}
+
+impl DefaultDecision {
+    fn from_field(v: &Value) -> Self {
+        if *v == Value::Null {
+            DefaultDecision::Bottom
+        } else {
+            DefaultDecision::Value(v.clone())
+        }
+    }
+
+    /// The decided value, or `None` for `⊥`.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            DefaultDecision::Value(v) => Some(v),
+            DefaultDecision::Bottom => None,
+        }
+    }
+}
+
+/// A default multivalued consensus object (§5.4).
+///
+/// The backing space must use [`peats::policies::default_consensus`] with
+/// matching `(n, t)`; resilience is the optimal `n ≥ 3t+1` (Theorem 5).
+#[derive(Clone, Debug)]
+pub struct DefaultConsensus<S> {
+    space: S,
+    n: usize,
+    t: usize,
+}
+
+impl<S: TupleSpace> DefaultConsensus<S> {
+    /// Wraps a handle for `n` processes tolerating `t` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3t + 1`.
+    pub fn new(space: S, n: usize, t: usize) -> Self {
+        assert!(n >= 3 * t + 1, "default consensus requires n >= 3t+1");
+        DefaultConsensus { space, n, t }
+    }
+
+    /// `x.propose(v)` with `v ≠ ⊥`. Blocks (t-threshold) until it can commit
+    /// or adopt a decision.
+    ///
+    /// # Errors
+    ///
+    /// Proposing [`Value::Null`] is denied by the policy; space failures are
+    /// propagated.
+    pub fn propose(&self, v: Value) -> SpaceResult<DefaultDecision> {
+        let me = self.space.process_id();
+        let propose_tuple =
+            Tuple::new(vec![Value::from(PROPOSE), Value::from(me), v.clone()]);
+        match self.space.out(propose_tuple) {
+            Ok(()) => {}
+            Err(SpaceError::Denied(d)) => {
+                let already = Template::new(vec![
+                    Field::exact(PROPOSE),
+                    Field::exact(Value::from(me)),
+                    Field::any(),
+                ]);
+                if self.space.rdp(&already)?.is_none() {
+                    return Err(SpaceError::Denied(d));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+
+        let quorum = self.t + 1;
+        let mut sets = ProposalSets::new();
+        loop {
+            scan_proposals(&self.space, self.n, &mut sets)?;
+
+            if let Some((val, procs)) = sets.value_with_quorum(quorum) {
+                // Commit a justified value decision.
+                let entry = Tuple::new(vec![
+                    Value::from(DECISION),
+                    val.clone(),
+                    Value::set(procs.iter().map(|p| Value::from(*p))),
+                ]);
+                return self.commit(entry);
+            }
+
+            if sets.total_proposers() >= self.n - self.t {
+                // No value at t+1 among n−t observations: commit ⊥ with the
+                // full split as justification (rule RcasBot).
+                let map = Value::map(sets.iter().map(|(w, s)| {
+                    (
+                        w.clone(),
+                        Value::set(s.iter().map(|p| Value::from(*p))),
+                    )
+                }));
+                let entry = Tuple::new(vec![Value::from(DECISION), Value::Null, map]);
+                return self.commit(entry);
+            }
+
+            let decision = Template::new(vec![
+                Field::exact(DECISION),
+                Field::formal("d"),
+                Field::any(),
+            ]);
+            if let Some(t) = self.space.rdp(&decision)? {
+                return Ok(DefaultDecision::from_field(t.get(1).ok_or_else(
+                    || SpaceError::Unavailable(format!("malformed DECISION {t}")),
+                )?));
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn commit(&self, entry: Tuple) -> SpaceResult<DefaultDecision> {
+        let template = Template::new(vec![
+            Field::exact(DECISION),
+            Field::formal("d"),
+            Field::any(),
+        ]);
+        let own = entry
+            .get(1)
+            .cloned()
+            .ok_or_else(|| SpaceError::Unavailable("empty decision entry".into()))?;
+        match self.space.cas(&template, entry)? {
+            CasOutcome::Inserted => Ok(DefaultDecision::from_field(&own)),
+            CasOutcome::Found(t) => Ok(DefaultDecision::from_field(t.get(1).ok_or_else(
+                || SpaceError::Unavailable(format!("malformed DECISION {t}")),
+            )?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::{policies, LocalPeats, PolicyParams};
+    use std::thread;
+
+    fn default_space(n: usize, t: usize) -> LocalPeats {
+        LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(n, t)).unwrap()
+    }
+
+    #[test]
+    fn unanimous_correct_processes_decide_their_value() {
+        // Validity condition 1: all correct propose v ⇒ decide v.
+        let (n, t) = (4, 1);
+        let space = default_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = DefaultConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(Value::from("v")).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), DefaultDecision::Value(Value::from("v")));
+        }
+    }
+
+    #[test]
+    fn full_split_decides_bottom() {
+        // Everyone proposes a different value: no t+1 quorum can form, so ⊥
+        // is the only decision the policy admits.
+        let (n, t) = (4, 1);
+        let space = default_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = DefaultConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || {
+                c.propose(Value::from(format!("v{p}"))).unwrap()
+            }));
+        }
+        let ds: Vec<DefaultDecision> =
+            joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let first = ds[0].clone();
+        assert!(ds.iter().all(|d| *d == first), "{ds:?}");
+        // With a 4-way split the decision is necessarily ⊥.
+        assert_eq!(first, DefaultDecision::Bottom);
+    }
+
+    #[test]
+    fn agreement_with_partial_split() {
+        // 2 propose "a", 2 propose "b" with t = 1: "a" or "b" can reach the
+        // t+1 = 2 quorum, or a ⊥ split can be exhibited; all processes must
+        // nonetheless agree on one outcome.
+        let (n, t) = (4, 1);
+        let space = default_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = DefaultConsensus::new(space.handle(p), n, t);
+            let v = if p < 2 { "a" } else { "b" };
+            joins.push(thread::spawn(move || c.propose(Value::from(v)).unwrap()));
+        }
+        let ds: Vec<DefaultDecision> =
+            joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let first = ds[0].clone();
+        assert!(ds.iter().all(|d| *d == first), "{ds:?}");
+        if let DefaultDecision::Value(v) = &first {
+            assert!(v == &Value::from("a") || v == &Value::from("b"));
+        }
+    }
+
+    #[test]
+    fn proposing_bottom_is_denied() {
+        let (n, t) = (4, 1);
+        let space = default_space(n, t);
+        let c = DefaultConsensus::new(space.handle(0), n, t);
+        assert!(c.propose(Value::Null).unwrap_err().is_denied());
+    }
+
+    #[test]
+    #[should_panic(expected = "3t+1")]
+    fn constructor_enforces_bound() {
+        let space = default_space(4, 1);
+        let _ = DefaultConsensus::new(space.handle(0), 3, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! §5.3 — strong k-valued consensus.
+//!
+//! The same algorithm as Alg. 2, collecting proposer sets `S_v` for each of
+//! the `k` possible values. Theorem 3/4: the construction is correct and the
+//! bound is tight at `n ≥ (k+1)t + 1` — with `n = (k+1)t` an adversary can
+//! split proposals `t` ways per value and stay silent with `t` processes,
+//! leaving every value below the `t+1` quorum forever. Experiment E7
+//! demonstrates both directions.
+
+use crate::scan::{scan_proposals, ProposalSets};
+use crate::DECISION;
+use crate::PROPOSE;
+use peats::{SpaceError, SpaceResult, TupleSpace};
+use peats_tuplespace::{CasOutcome, Field, Template, Tuple, Value};
+
+/// A strong k-valued consensus object (proposal domain `{0, …, k−1}`).
+///
+/// The backing space must use [`peats::policies::kvalued_consensus`] with
+/// matching `(n, t, k)`.
+#[derive(Clone, Debug)]
+pub struct KValuedConsensus<S> {
+    space: S,
+    n: usize,
+    t: usize,
+    k: usize,
+}
+
+impl<S: TupleSpace> KValuedConsensus<S> {
+    /// Wraps a handle for `n` processes, `t` faults, `k` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < (k+1)t + 1` (Theorem 4's tight bound) or `k < 2`.
+    pub fn new(space: S, n: usize, t: usize, k: usize) -> Self {
+        assert!(k >= 2, "consensus needs at least two possible values");
+        assert!(
+            n >= (k + 1) * t + 1,
+            "k-valued strong consensus requires n >= (k+1)t+1"
+        );
+        KValuedConsensus { space, n, t, k }
+    }
+
+    /// Builds the object *without* the resilience assertion — used by the
+    /// tightness experiment (E7) to run the algorithm in under-provisioned
+    /// systems where it must not terminate.
+    pub fn new_unchecked(space: S, n: usize, t: usize, k: usize) -> Self {
+        KValuedConsensus { space, n, t, k }
+    }
+
+    /// The configured value-domain size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `x.propose(v)` with `v ∈ {0, …, k−1}`. Blocks (t-threshold) until
+    /// some value accumulates `t+1` proposals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space failures; out-of-domain proposals are denied by the
+    /// policy.
+    pub fn propose(&self, v: i64) -> SpaceResult<i64> {
+        match self.propose_bounded(v, None)? {
+            Some(d) => Ok(d),
+            None => unreachable!("unbounded propose cannot exhaust its budget"),
+        }
+    }
+
+    /// Bounded variant returning `Ok(None)` when no quorum forms within
+    /// `max_scans` passes (see [`StrongConsensus::propose_bounded`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space failures.
+    ///
+    /// [`StrongConsensus::propose_bounded`]: crate::StrongConsensus::propose_bounded
+    pub fn propose_bounded(&self, v: i64, max_scans: Option<u64>) -> SpaceResult<Option<i64>> {
+        let me = self.space.process_id();
+        let propose_tuple = Tuple::new(vec![
+            Value::from(PROPOSE),
+            Value::from(me),
+            Value::Int(v),
+        ]);
+        match self.space.out(propose_tuple) {
+            Ok(()) => {}
+            Err(SpaceError::Denied(d)) => {
+                let already = Template::new(vec![
+                    Field::exact(PROPOSE),
+                    Field::exact(Value::from(me)),
+                    Field::any(),
+                ]);
+                if self.space.rdp(&already)?.is_none() {
+                    return Err(SpaceError::Denied(d));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+
+        let quorum = self.t + 1;
+        let mut sets = ProposalSets::new();
+        let mut scans = 0u64;
+        loop {
+            scan_proposals(&self.space, self.n, &mut sets)?;
+            if let Some((val, procs)) = sets.value_with_quorum(quorum) {
+                let value = val.clone();
+                let justification = Value::set(procs.iter().map(|p| Value::from(*p)));
+                let template = Template::new(vec![
+                    Field::exact(DECISION),
+                    Field::formal("d"),
+                    Field::any(),
+                ]);
+                let entry = Tuple::new(vec![
+                    Value::from(DECISION),
+                    value.clone(),
+                    justification,
+                ]);
+                return match self.space.cas(&template, entry)? {
+                    CasOutcome::Inserted => Ok(Some(value.as_int().ok_or_else(|| {
+                        SpaceError::Unavailable("non-integer decision".into())
+                    })?)),
+                    CasOutcome::Found(t) => Ok(Some(
+                        t.get(1).and_then(Value::as_int).ok_or_else(|| {
+                            SpaceError::Unavailable(format!("malformed DECISION {t}"))
+                        })?,
+                    )),
+                };
+            }
+            let decision = Template::new(vec![
+                Field::exact(DECISION),
+                Field::formal("d"),
+                Field::any(),
+            ]);
+            if let Some(t) = self.space.rdp(&decision)? {
+                return Ok(Some(t.get(1).and_then(Value::as_int).ok_or_else(
+                    || SpaceError::Unavailable(format!("malformed DECISION {t}")),
+                )?));
+            }
+            scans += 1;
+            if let Some(limit) = max_scans {
+                if scans >= limit {
+                    return Ok(None);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::{policies, LocalPeats, PolicyParams};
+    use std::thread;
+
+    fn kvalued_space(n: usize, t: usize, k: usize) -> LocalPeats {
+        let mut params = PolicyParams::n_t(n, t);
+        params.set("k", k as i64);
+        LocalPeats::new(policies::kvalued_consensus(), params).unwrap()
+    }
+
+    #[test]
+    fn terminates_at_exact_resilience_bound() {
+        // k = 3, t = 1 → n = 5 processes suffice.
+        let (n, t, k) = (5, 1, 3);
+        let space = kvalued_space(n, t, k);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = KValuedConsensus::new(space.handle(p), n, t, k);
+            let v = (p % k as u64) as i64;
+            joins.push(thread::spawn(move || c.propose(v).unwrap()));
+        }
+        let ds: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert!(ds.windows(2).all(|w| w[0] == w[1]), "{ds:?}");
+        assert!((0..k as i64).contains(&ds[0]));
+    }
+
+    #[test]
+    fn under_provisioned_system_cannot_decide() {
+        // Theorem 4's adversarial split: n = (k+1)t = 4, k = 3, t = 1.
+        // Correct processes 0..2 propose 0, 1, 2; process 3 stays silent.
+        // No value ever reaches t+1 = 2 proposals.
+        let (n, t, k) = (4, 1, 3);
+        let space = kvalued_space(n, t, k);
+        let mut joins = Vec::new();
+        for p in 0..3u64 {
+            let c = KValuedConsensus::new_unchecked(space.handle(p), n, t, k);
+            joins.push(thread::spawn(move || {
+                c.propose_bounded(p as i64, Some(50)).unwrap()
+            }));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), None, "decided despite the split");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "(k+1)t+1")]
+    fn constructor_enforces_bound() {
+        let space = kvalued_space(4, 1, 3);
+        let _ = KValuedConsensus::new(space.handle(0), 4, 1, 3);
+    }
+
+    #[test]
+    fn out_of_domain_proposal_is_denied() {
+        let (n, t, k) = (5, 1, 3);
+        let space = kvalued_space(n, t, k);
+        let c = KValuedConsensus::new(space.handle(0), n, t, k);
+        let err = c.propose_bounded(99, Some(1)).unwrap_err();
+        assert!(err.is_denied());
+    }
+}

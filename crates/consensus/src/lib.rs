@@ -1,0 +1,61 @@
+//! # peats-consensus
+//!
+//! The consensus objects of §5 of Bessani et al., *Sharing Memory between
+//! Byzantine Processes using Policy-Enforced Tuple Spaces*, implemented over
+//! any [`peats::TupleSpace`]:
+//!
+//! * [`WeakConsensus`] — Alg. 1: uniform, multivalued, **wait-free**; one
+//!   `cas` suffices (Theorem 1);
+//! * [`StrongConsensus`] — Alg. 2: binary, t-threshold, optimal resilience
+//!   `n ≥ 3t+1` (Theorem 2, Corollary 1);
+//! * [`KValuedConsensus`] — §5.3: k-valued, tight bound `n ≥ (k+1)t+1`
+//!   (Theorems 3–4);
+//! * [`DefaultConsensus`] — §5.4: multivalued with default `⊥`, optimal
+//!   resilience `n ≥ 3t+1` (Theorem 5);
+//! * [`byzantine`] — injectable Byzantine process strategies;
+//! * [`memory`] — the paper's bit-cost formulas (footnotes 3–4).
+//!
+//! Each object expects its backing space to be guarded by the matching
+//! policy from [`peats::policies`]; the policies — not the algorithms —
+//! are what constrain Byzantine processes.
+//!
+//! ```
+//! use peats::{policies, LocalPeats, PolicyParams};
+//! use peats_consensus::StrongConsensus;
+//!
+//! let (n, t) = (4, 1);
+//! let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t))?;
+//! let handles: Vec<_> = (0..n as u64)
+//!     .map(|p| StrongConsensus::new(space.handle(p), n, t))
+//!     .collect();
+//! let joins: Vec<_> = handles
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, c)| std::thread::spawn(move || c.propose((i % 2) as i64).unwrap()))
+//!     .collect();
+//! let decisions: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+//! assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+mod default_mv;
+mod kvalued;
+pub mod memory;
+pub mod scan;
+mod strong;
+mod weak;
+
+pub use default_mv::{DefaultConsensus, DefaultDecision};
+pub use kvalued::KValuedConsensus;
+pub use strong::StrongConsensus;
+pub use weak::WeakConsensus;
+
+/// Tag of proposal tuples — re-exported from [`peats::policies`].
+pub use peats::policies::PROPOSE;
+
+/// Tag of decision tuples — re-exported from [`peats::policies`].
+pub use peats::policies::DECISION;

@@ -1,0 +1,133 @@
+//! Shared proposal-scanning loop used by the strong, k-valued and default
+//! consensus objects (the loop of Alg. 2, lines 5–11).
+
+use crate::PROPOSE;
+use peats::{SpaceResult, TupleSpace};
+use peats_tuplespace::{Field, Template, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Proposals observed so far: value → set of proposer identities.
+///
+/// The paper's `S_v` sets. Processes are scanned by identity `0..n`; a
+/// proposer appears in at most one set because the access policies allow a
+/// single `PROPOSE` tuple per process.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProposalSets {
+    sets: BTreeMap<Value, BTreeSet<u64>>,
+}
+
+impl ProposalSets {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set of proposers for `v`, if any proposal for `v` was seen.
+    pub fn proposers(&self, v: &Value) -> Option<&BTreeSet<u64>> {
+        self.sets.get(v)
+    }
+
+    /// Iterates over `(value, proposers)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &BTreeSet<u64>)> {
+        self.sets.iter()
+    }
+
+    /// `true` if process `p` was already seen proposing some value.
+    pub fn contains_process(&self, p: u64) -> bool {
+        self.sets.values().any(|s| s.contains(&p))
+    }
+
+    /// Total number of distinct proposers observed.
+    pub fn total_proposers(&self) -> usize {
+        self.sets.values().map(BTreeSet::len).sum()
+    }
+
+    /// The first value (in value order) proposed by at least `quorum`
+    /// processes, with its proposer set.
+    pub fn value_with_quorum(&self, quorum: usize) -> Option<(&Value, &BTreeSet<u64>)> {
+        self.sets.iter().find(|(_, s)| s.len() >= quorum)
+    }
+
+    fn insert(&mut self, v: Value, p: u64) {
+        self.sets.entry(v).or_default().insert(p);
+    }
+}
+
+/// One scan pass over all processes `0..n` (Alg. 2 lines 6–10): reads each
+/// not-yet-seen process's `PROPOSE` tuple, if present, into `sets`.
+///
+/// # Errors
+///
+/// Propagates space errors. Reads denied by the policy never occur under
+/// the paper's policies (reads are universally allowed).
+pub fn scan_proposals<S: TupleSpace>(
+    space: &S,
+    n: usize,
+    sets: &mut ProposalSets,
+) -> SpaceResult<()> {
+    for pj in 0..n as u64 {
+        if sets.contains_process(pj) {
+            continue;
+        }
+        let template = Template::new(vec![
+            Field::exact(PROPOSE),
+            Field::exact(Value::from(pj)),
+            Field::formal("v"),
+        ]);
+        if let Some(tuple) = space.rdp(&template)? {
+            if let Some(v) = tuple.get(2) {
+                sets.insert(v.clone(), pj);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::{LocalPeats, TupleSpace};
+    use peats_tuplespace::tuple;
+
+    #[test]
+    fn scan_collects_by_value() {
+        let space = LocalPeats::unprotected();
+        let h = space.handle(0);
+        h.out(tuple![PROPOSE, 0u64, 1]).unwrap();
+        h.out(tuple![PROPOSE, 1u64, 0]).unwrap();
+        h.out(tuple![PROPOSE, 2u64, 1]).unwrap();
+        let mut sets = ProposalSets::new();
+        scan_proposals(&h, 4, &mut sets).unwrap();
+        assert_eq!(
+            sets.proposers(&Value::Int(1)),
+            Some(&BTreeSet::from([0, 2]))
+        );
+        assert_eq!(sets.proposers(&Value::Int(0)), Some(&BTreeSet::from([1])));
+        assert_eq!(sets.total_proposers(), 3);
+    }
+
+    #[test]
+    fn quorum_detection() {
+        let mut sets = ProposalSets::new();
+        sets.insert(Value::Int(1), 0);
+        sets.insert(Value::Int(1), 2);
+        sets.insert(Value::Int(0), 1);
+        assert!(sets.value_with_quorum(3).is_none());
+        let (v, s) = sets.value_with_quorum(2).unwrap();
+        assert_eq!(v, &Value::Int(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rescan_is_incremental() {
+        let space = LocalPeats::unprotected();
+        let h = space.handle(0);
+        h.out(tuple![PROPOSE, 0u64, 1]).unwrap();
+        let mut sets = ProposalSets::new();
+        scan_proposals(&h, 3, &mut sets).unwrap();
+        assert_eq!(sets.total_proposers(), 1);
+        h.out(tuple![PROPOSE, 1u64, 1]).unwrap();
+        scan_proposals(&h, 3, &mut sets).unwrap();
+        assert_eq!(sets.total_proposers(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Algorithm 2 — t-threshold strong binary Byzantine consensus (§5.2).
+//!
+//! Each process writes one `PROPOSE` tuple, scans until some value has
+//! `t+1` proposers (so at least one correct proposer — Strong Validity),
+//! then races a `cas` to commit a justified `DECISION` tuple. The Fig. 4
+//! policy makes forged decisions impossible: the monitor re-checks the
+//! justification set against the actual `PROPOSE` tuples.
+//!
+//! Resilience is the optimal `n ≥ 3t + 1` (Theorem 2, Corollary 1).
+
+use crate::scan::{scan_proposals, ProposalSets};
+use crate::DECISION;
+use crate::PROPOSE;
+use peats::{SpaceError, SpaceResult, TupleSpace};
+use peats_tuplespace::{CasOutcome, Field, Template, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// A strong binary consensus object backed by a PEATS handle.
+///
+/// Non-uniform: the object must know `n` (process identities are `0..n`)
+/// and `t`. The backing space must use the Fig. 4 policy
+/// ([`peats::policies::strong_consensus`]) with matching parameters.
+#[derive(Clone, Debug)]
+pub struct StrongConsensus<S> {
+    space: S,
+    n: usize,
+    t: usize,
+}
+
+impl<S: TupleSpace> StrongConsensus<S> {
+    /// Wraps a handle for a system of `n` processes tolerating `t` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3t + 1` — the algorithm's resilience bound
+    /// (Corollary 1); constructing a weaker instance is always a bug.
+    pub fn new(space: S, n: usize, t: usize) -> Self {
+        assert!(n >= 3 * t + 1, "strong consensus requires n >= 3t+1");
+        StrongConsensus { space, n, t }
+    }
+
+    /// Builds the object *without* the resilience assertion — used by the
+    /// tightness experiments (E7) to demonstrate non-termination in
+    /// under-provisioned systems.
+    pub fn new_unchecked(space: S, n: usize, t: usize) -> Self {
+        StrongConsensus { space, n, t }
+    }
+
+    /// The handle this object operates through.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// `x.propose(v)` with `v ∈ {0, 1}` — Algorithm 2. Blocks until enough
+    /// processes participate (t-threshold liveness: termination is
+    /// guaranteed once `n − t` correct processes have proposed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space failures. A domain violation (`v ∉ {0,1}`) surfaces
+    /// as a policy denial from the Fig. 4 `Rout` rule.
+    pub fn propose(&self, v: i64) -> SpaceResult<i64> {
+        match self.propose_bounded(v, None)? {
+            Some(d) => Ok(d),
+            None => unreachable!("unbounded propose cannot exhaust its budget"),
+        }
+    }
+
+    /// Like [`propose`](Self::propose) but giving up after `max_scans`
+    /// passes over the proposal tuples when `Some(max_scans)` is given.
+    ///
+    /// Returns `Ok(None)` when the budget is exhausted before any value
+    /// gathers `t+1` proposals — the observable certificate of
+    /// non-termination used by the resilience-bound experiments (E7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space failures.
+    pub fn propose_bounded(&self, v: i64, max_scans: Option<u64>) -> SpaceResult<Option<i64>> {
+        // Line 2: announce the proposal. A duplicate announcement (repeated
+        // propose by the same process) is denied by the policy; that denial
+        // is benign, the earlier tuple stands.
+        let propose_tuple = Tuple::new(vec![
+            Value::from(PROPOSE),
+            Value::from(self.space.process_id()),
+            Value::Int(v),
+        ]);
+        match self.space.out(propose_tuple) {
+            Ok(()) => {}
+            Err(SpaceError::Denied(d)) => {
+                let already = Template::new(vec![
+                    Field::exact(PROPOSE),
+                    Field::exact(Value::from(self.space.process_id())),
+                    Field::any(),
+                ]);
+                if self.space.rdp(&already)?.is_none() {
+                    // Denied for a reason other than re-proposal: a correct
+                    // process's value was outside the policy domain.
+                    return Err(SpaceError::Denied(d));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+
+        // Lines 3-11: scan until some value has t+1 proposers.
+        let quorum = self.t + 1;
+        let mut sets = ProposalSets::new();
+        let mut scans = 0u64;
+        let (value, justification) = loop {
+            // A decision may already exist; joining late is fine.
+            scan_proposals(&self.space, self.n, &mut sets)?;
+            if let Some((val, procs)) = sets.value_with_quorum(quorum) {
+                break (val.clone(), procs.clone());
+            }
+            if let Some(tuple) = self.read_decision()? {
+                return Ok(Some(decided_value(&tuple)?));
+            }
+            scans += 1;
+            if let Some(limit) = max_scans {
+                if scans >= limit {
+                    return Ok(None);
+                }
+            }
+            std::thread::yield_now();
+        };
+
+        // Lines 12-15: commit phase.
+        self.commit(value, justification).map(Some)
+    }
+
+    fn read_decision(&self) -> SpaceResult<Option<Tuple>> {
+        let template = Template::new(vec![
+            Field::exact(DECISION),
+            Field::formal("d"),
+            Field::any(),
+        ]);
+        self.space.rdp(&template)
+    }
+
+    fn commit(&self, value: Value, justification: BTreeSet<u64>) -> SpaceResult<i64> {
+        let template = Template::new(vec![
+            Field::exact(DECISION),
+            Field::formal("d"),
+            Field::any(),
+        ]);
+        let entry = Tuple::new(vec![
+            Value::from(DECISION),
+            value.clone(),
+            Value::set(justification.iter().map(|p| Value::from(*p))),
+        ]);
+        match self.space.cas(&template, entry)? {
+            CasOutcome::Inserted => value
+                .as_int()
+                .ok_or_else(|| SpaceError::Unavailable("non-integer decision".into())),
+            CasOutcome::Found(t) => decided_value(&t),
+        }
+    }
+}
+
+fn decided_value(t: &Tuple) -> SpaceResult<i64> {
+    t.get(1)
+        .and_then(Value::as_int)
+        .ok_or_else(|| SpaceError::Unavailable(format!("malformed DECISION tuple {t}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::{policies, LocalPeats, PolicyParams};
+    use std::thread;
+
+    fn strong_space(n: usize, t: usize) -> LocalPeats {
+        LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3t+1")]
+    fn rejects_insufficient_resilience() {
+        let space = strong_space(3, 1);
+        let _ = StrongConsensus::new(space.handle(0), 3, 1);
+    }
+
+    #[test]
+    fn all_correct_same_value_decides_it() {
+        let (n, t) = (4, 1);
+        let space = strong_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(1).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn agreement_under_split_proposals() {
+        let (n, t) = (7, 2);
+        let space = strong_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            let v = (p % 2) as i64;
+            joins.push(thread::spawn(move || c.propose(v).unwrap()));
+        }
+        let decisions: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
+    }
+
+    #[test]
+    fn strong_validity_with_silent_byzantine_processes() {
+        // t processes stay silent; the rest propose 0. The decision must be
+        // 0 — it cannot be a value proposed by nobody correct.
+        let (n, t) = (4, 1);
+        let space = strong_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..(n - t) as u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(0).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn byzantine_minority_cannot_force_its_value() {
+        // t = 1 faulty process proposes 1; all 3 correct processes propose 0.
+        // 1 never reaches t+1 = 2 proposers, so the decision is 0.
+        let (n, t) = (4, 1);
+        let space = strong_space(n, t);
+        // Byzantine process 3 proposes 1 first (gets in early).
+        let byz = StrongConsensus::new(space.handle(3), n, t);
+        // Do not let it block: bounded run, it only plants the proposal.
+        let _ = byz.propose_bounded(1, Some(1)).unwrap();
+        let mut joins = Vec::new();
+        for p in 0..3u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(0).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn bounded_propose_reports_non_termination() {
+        // Only one process participates: no value can reach t+1 = 2.
+        let (n, t) = (4, 1);
+        let space = strong_space(n, t);
+        let c = StrongConsensus::new(space.handle(0), n, t);
+        assert_eq!(c.propose_bounded(0, Some(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn late_joiner_adopts_existing_decision() {
+        let (n, t) = (4, 1);
+        let space = strong_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..3u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(1).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 1);
+        }
+        // Process 3 arrives after the decision and proposes the other value.
+        let late = StrongConsensus::new(space.handle(3), n, t);
+        assert_eq!(late.propose(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn repeated_propose_is_idempotent() {
+        let (n, t) = (4, 1);
+        let space = strong_space(n, t);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(1).unwrap()));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let again = StrongConsensus::new(space.handle(0), n, t);
+        assert_eq!(again.propose(1).unwrap(), 1);
+        assert_eq!(again.propose(0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Algorithm 1 — wait-free weak Byzantine consensus (§5.1).
+//!
+//! A single `cas` on the shared PEATS implements the whole object: the first
+//! process to insert the `DECISION` tuple fixes the consensus value; every
+//! later `cas` fails and reads that value through the formal field `?d`.
+//!
+//! Properties proved in Theorem 1 and exercised by this module's tests:
+//! *Agreement* (everyone returns the same value), *Validity* (in failure-free
+//! runs the value was proposed), *wait-freedom* (a single wait-free `cas`),
+//! and *uniformity* (no knowledge of `n` required).
+
+use crate::DECISION;
+use peats::{SpaceError, SpaceResult, TupleSpace};
+use peats_tuplespace::{CasOutcome, Field, Template, Tuple, Value};
+
+/// A weak consensus object backed by a PEATS handle.
+///
+/// The space must be guarded by the Fig. 3 policy
+/// ([`peats::policies::weak_consensus`]) for Byzantine-tolerance; the
+/// algorithm itself is policy-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use peats::{policies, LocalPeats, PolicyParams};
+/// use peats_consensus::WeakConsensus;
+/// use peats_tuplespace::Value;
+///
+/// let space = LocalPeats::new(policies::weak_consensus(), PolicyParams::new())?;
+/// let c1 = WeakConsensus::new(space.handle(1));
+/// let c2 = WeakConsensus::new(space.handle(2));
+/// let d1 = c1.propose(Value::from("left"))?;
+/// let d2 = c2.propose(Value::from("right"))?;
+/// assert_eq!(d1, d2); // agreement
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeakConsensus<S> {
+    space: S,
+}
+
+impl<S: TupleSpace> WeakConsensus<S> {
+    /// Wraps a PEATS handle.
+    pub fn new(space: S) -> Self {
+        WeakConsensus { space }
+    }
+
+    /// The handle this object operates through.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// `x.propose(v)` — Algorithm 1.
+    ///
+    /// Returns the consensus value: `v` itself if this process's `cas`
+    /// inserted the decision tuple, or the already-decided value otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy denials (a *correct* process is never denied under
+    /// the Fig. 3 policy) and distribution failures.
+    pub fn propose(&self, v: Value) -> SpaceResult<Value> {
+        let template = Template::new(vec![Field::exact(DECISION), Field::formal("d")]);
+        let entry = Tuple::new(vec![Value::from(DECISION), v.clone()]);
+        match self.space.cas(&template, entry)? {
+            CasOutcome::Inserted => Ok(v),
+            CasOutcome::Found(t) => t
+                .get(1)
+                .cloned()
+                .ok_or_else(|| malformed_decision(&t)),
+        }
+    }
+}
+
+fn malformed_decision(t: &Tuple) -> SpaceError {
+    SpaceError::Unavailable(format!("malformed DECISION tuple {t}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::{policies, LocalPeats, PolicyParams};
+    use std::thread;
+
+    fn weak_space() -> LocalPeats {
+        LocalPeats::new(policies::weak_consensus(), PolicyParams::new()).unwrap()
+    }
+
+    #[test]
+    fn single_process_decides_own_value() {
+        let space = weak_space();
+        let c = WeakConsensus::new(space.handle(0));
+        assert_eq!(c.propose(Value::Int(42)).unwrap(), Value::Int(42));
+        // Idempotent: proposing again returns the same decision.
+        assert_eq!(c.propose(Value::Int(99)).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn agreement_across_concurrent_proposers() {
+        let space = weak_space();
+        let mut joins = Vec::new();
+        for p in 0..16u64 {
+            let c = WeakConsensus::new(space.handle(p));
+            joins.push(thread::spawn(move || c.propose(Value::from(p)).unwrap()));
+        }
+        let decisions: Vec<Value> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let first = decisions[0].clone();
+        assert!(decisions.iter().all(|d| *d == first), "agreement violated");
+        // Validity: the decision is one of the proposals.
+        let proposed: Vec<Value> = (0..16u64).map(Value::from).collect();
+        assert!(proposed.contains(&first));
+    }
+
+    #[test]
+    fn multivalued_domain_is_supported() {
+        // §5.1: weak consensus is multivalued — arbitrary value domains.
+        let space = weak_space();
+        let c = WeakConsensus::new(space.handle(0));
+        let v = Value::list([Value::from("composite"), Value::Int(7)]);
+        assert_eq!(c.propose(v.clone()).unwrap(), v);
+    }
+
+    #[test]
+    fn uniform_no_n_needed() {
+        // Processes with arbitrary, sparse identities coordinate fine.
+        let space = weak_space();
+        let a = WeakConsensus::new(space.handle(1_000_000));
+        let b = WeakConsensus::new(space.handle(42));
+        let d1 = a.propose(Value::Int(1)).unwrap();
+        let d2 = b.propose(Value::Int(2)).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn byzantine_value_can_win_weak_consensus() {
+        // Weak validity explicitly allows a faulty process's value to be
+        // decided — demonstrate the semantics.
+        let space = weak_space();
+        let byz = WeakConsensus::new(space.handle(666));
+        let honest = WeakConsensus::new(space.handle(1));
+        let d_byz = byz.propose(Value::from("evil")).unwrap();
+        let d_honest = honest.propose(Value::from("good")).unwrap();
+        assert_eq!(d_byz, d_honest);
+        assert_eq!(d_honest, Value::from("evil"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Instrumented wrapper counting shared-memory operations.
+//!
+//! Experiments E6 and E10 compare the *number of shared-memory operations*
+//! issued by the PEATS algorithms against the sticky-bit baselines.
+//! [`CountingSpace`] wraps any [`TupleSpace`] handle and counts invocations
+//! without altering semantics.
+
+use crate::error::SpaceResult;
+use crate::traits::TupleSpace;
+use peats_tuplespace::{CasOutcome, Template, Tuple};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared operation counters (cheaply clonable).
+#[derive(Clone, Debug, Default)]
+pub struct SharedStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    out: AtomicU64,
+    rdp: AtomicU64,
+    inp: AtomicU64,
+    cas: AtomicU64,
+    rd: AtomicU64,
+    take: AtomicU64,
+    denied: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `out` invocations.
+    pub out: u64,
+    /// `rdp` invocations.
+    pub rdp: u64,
+    /// `inp` invocations.
+    pub inp: u64,
+    /// `cas` invocations.
+    pub cas: u64,
+    /// blocking `rd` invocations.
+    pub rd: u64,
+    /// blocking `in` invocations.
+    pub take: u64,
+    /// invocations denied by the policy.
+    pub denied: u64,
+}
+
+impl StatsSnapshot {
+    /// Total operations invoked (denied ones included — they still cost a
+    /// round trip on a replicated deployment).
+    pub fn total(&self) -> u64 {
+        self.out + self.rdp + self.inp + self.cas + self.rd + self.take
+    }
+}
+
+impl SharedStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            out: self.inner.out.load(Ordering::Relaxed),
+            rdp: self.inner.rdp.load(Ordering::Relaxed),
+            inp: self.inner.inp.load(Ordering::Relaxed),
+            cas: self.inner.cas.load(Ordering::Relaxed),
+            rd: self.inner.rd.load(Ordering::Relaxed),
+            take: self.inner.take.load(Ordering::Relaxed),
+            denied: self.inner.denied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.inner.out,
+            &self.inner.rdp,
+            &self.inner.inp,
+            &self.inner.cas,
+            &self.inner.rd,
+            &self.inner.take,
+            &self.inner.denied,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A [`TupleSpace`] that transparently counts the operations flowing
+/// through it.
+///
+/// # Examples
+///
+/// ```
+/// use peats::{CountingSpace, LocalPeats, SharedStats, TupleSpace};
+/// use peats_tuplespace::tuple;
+///
+/// let space = LocalPeats::unprotected();
+/// let stats = SharedStats::new();
+/// let h = CountingSpace::new(space.handle(1), stats.clone());
+/// h.out(tuple!["A"])?;
+/// assert_eq!(stats.snapshot().out, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountingSpace<S> {
+    inner: S,
+    stats: SharedStats,
+}
+
+impl<S: TupleSpace> CountingSpace<S> {
+    /// Wraps `inner`, accumulating into `stats`.
+    pub fn new(inner: S, stats: SharedStats) -> Self {
+        CountingSpace { inner, stats }
+    }
+
+    /// The wrapped handle.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &SharedStats {
+        &self.stats
+    }
+
+    fn track<T>(&self, r: SpaceResult<T>) -> SpaceResult<T> {
+        if let Err(e) = &r {
+            if e.is_denied() {
+                self.stats.inner.denied.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        r
+    }
+}
+
+impl<S: TupleSpace> TupleSpace for CountingSpace<S> {
+    fn out(&self, entry: Tuple) -> SpaceResult<()> {
+        self.stats.inner.out.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.out(entry);
+        self.track(r)
+    }
+
+    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.stats.inner.rdp.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.rdp(template);
+        self.track(r)
+    }
+
+    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.stats.inner.inp.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.inp(template);
+        self.track(r)
+    }
+
+    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
+        self.stats.inner.cas.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.cas(template, entry);
+        self.track(r)
+    }
+
+    fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
+        self.stats.inner.rd.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.rd(template);
+        self.track(r)
+    }
+
+    fn take(&self, template: &Template) -> SpaceResult<Tuple> {
+        self.stats.inner.take.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.take(template);
+        self.track(r)
+    }
+
+    fn process_id(&self) -> peats_policy::ProcessId {
+        self.inner.process_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalPeats;
+    use peats_policy::PolicyParams;
+    use peats_tuplespace::{template, tuple};
+
+    #[test]
+    fn counts_each_operation_kind() {
+        let space = LocalPeats::unprotected();
+        let stats = SharedStats::new();
+        let h = CountingSpace::new(space.handle(0), stats.clone());
+        h.out(tuple!["A"]).unwrap();
+        h.rdp(&template!["A"]).unwrap();
+        h.cas(&template!["B"], tuple!["B"]).unwrap();
+        h.inp(&template!["A"]).unwrap();
+        h.rd(&template!["B"]).unwrap();
+        h.take(&template!["B"]).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(
+            (s.out, s.rdp, s.inp, s.cas, s.rd, s.take),
+            (1, 1, 1, 1, 1, 1)
+        );
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.denied, 0);
+    }
+
+    #[test]
+    fn counts_denials() {
+        let policy =
+            peats_policy::parse_policy("policy ro() { rule R: read(_) :- true; }").unwrap();
+        let space = LocalPeats::new(policy, PolicyParams::new()).unwrap();
+        let stats = SharedStats::new();
+        let h = CountingSpace::new(space.handle(0), stats.clone());
+        let _ = h.out(tuple!["A"]);
+        let _ = h.out(tuple!["B"]);
+        assert_eq!(stats.snapshot().denied, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let space = LocalPeats::unprotected();
+        let stats = SharedStats::new();
+        let h = CountingSpace::new(space.handle(0), stats.clone());
+        h.out(tuple!["A"]).unwrap();
+        stats.reset();
+        assert_eq!(stats.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let space = LocalPeats::unprotected();
+        let stats = SharedStats::new();
+        let a = CountingSpace::new(space.handle(0), stats.clone());
+        let b = CountingSpace::new(space.handle(1), stats.clone());
+        a.out(tuple!["A"]).unwrap();
+        b.out(tuple!["B"]).unwrap();
+        assert_eq!(stats.snapshot().out, 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for PEATS operations.
+
+use peats_policy::Decision;
+use std::fmt;
+
+/// Error returned by an operation on a policy-enforced tuple space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The reference monitor denied the invocation (§3: denied invocations
+    /// return `false` in the paper; here they carry the diagnostics).
+    Denied(Decision),
+    /// The space is unreachable or the underlying service failed — only
+    /// produced by distributed implementations (e.g. the BFT-replicated
+    /// PEATS when fewer than `2f+1` replicas answer).
+    Unavailable(String),
+}
+
+impl SpaceError {
+    /// `true` iff this is a policy denial.
+    pub fn is_denied(&self) -> bool {
+        matches!(self, SpaceError::Denied(_))
+    }
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::Denied(d) => write!(f, "access denied: {d}"),
+            SpaceError::Unavailable(why) => write!(f, "space unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// Result alias for tuple-space operations.
+pub type SpaceResult<T> = Result<T, SpaceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denied_is_detectable() {
+        let e = SpaceError::Denied(Decision::Denied { attempts: vec![] });
+        assert!(e.is_denied());
+        assert!(!SpaceError::Unavailable("x".into()).is_denied());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = SpaceError::Denied(Decision::Denied { attempts: vec![] });
+        assert!(!format!("{e}").is_empty());
+    }
+}

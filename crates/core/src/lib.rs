@@ -1,0 +1,62 @@
+//! # peats — Policy-Enforced Augmented Tuple Spaces
+//!
+//! Core library of the reproduction of Bessani, Correia, Fraga, Lung —
+//! *Sharing Memory between Byzantine Processes using Policy-Enforced Tuple
+//! Spaces* (ICDCS'06 / TPDS'09).
+//!
+//! A **PEATS** is an augmented tuple space (`out`, `rd`, `in`, `rdp`, `inp`,
+//! `cas`) whose every invocation is screened by a reference monitor against
+//! a fine-grained access policy (§3–4 of the paper). This crate provides:
+//!
+//! * [`TupleSpace`] — the operation interface, implemented both by the
+//!   in-process [`LocalPeats`] and by the BFT-replicated client in
+//!   `peats-replication`;
+//! * [`LocalPeats`] / [`LocalHandle`] — a linearizable shared-memory PEATS
+//!   with blocking reads and per-process authenticated handles;
+//! * [`policies`] — the exact access policies printed in the paper's
+//!   figures, parsed from the `peats-policy` DSL;
+//! * [`peo`] — general policy-enforced objects (Fig. 1's monotonic
+//!   register);
+//! * [`CountingSpace`] — instrumentation used by the paper's cost
+//!   comparisons.
+//!
+//! The consensus objects (§5) live in `peats-consensus`; the universal
+//! constructions (§6) in `peats-universal`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use peats::{policies, LocalPeats, TupleSpace};
+//! use peats_policy::PolicyParams;
+//! use peats_tuplespace::{template, tuple};
+//!
+//! // A weak-consensus PEATS (Fig. 3 policy): first cas wins.
+//! let space = LocalPeats::new(policies::weak_consensus(), PolicyParams::new())?;
+//! let alice = space.handle(1);
+//! let bob = space.handle(2);
+//!
+//! assert!(alice.cas(&template!["DECISION", ?d], tuple!["DECISION", "blue"])?.inserted());
+//! let outcome = bob.cas(&template!["DECISION", ?d], tuple!["DECISION", "red"])?;
+//! // Bob loses the race and reads Alice's decision through the formal field.
+//! assert_eq!(outcome.found().unwrap().get(1).unwrap().as_str(), Some("blue"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counting;
+mod error;
+mod local;
+pub mod peo;
+pub mod policies;
+mod traits;
+
+pub use counting::{CountingSpace, SharedStats, StatsSnapshot};
+pub use error::{SpaceError, SpaceResult};
+pub use local::{LocalHandle, LocalPeats};
+pub use traits::TupleSpace;
+
+// Re-export the building blocks users need alongside the core types.
+pub use peats_policy::{Policy, PolicyParams, ProcessId};
+pub use peats_tuplespace::{CasOutcome, Template, Tuple, Value};

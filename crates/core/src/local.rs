@@ -1,0 +1,327 @@
+//! Linearizable in-process PEATS.
+//!
+//! [`LocalPeats`] wraps a [`SequentialSpace`] in a mutex (linearizability by
+//! mutual exclusion — every operation takes effect atomically at its lock
+//! acquisition) and guards every invocation with a [`ReferenceMonitor`].
+//! Processes obtain per-identity [`LocalHandle`]s; the handle is the
+//! authenticated channel of §4 — a process cannot invoke under an identity
+//! it does not hold.
+
+use crate::error::{SpaceError, SpaceResult};
+use crate::traits::TupleSpace;
+use parking_lot::{Condvar, Mutex};
+use peats_policy::{
+    Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
+};
+use peats_tuplespace::{CasOutcome, OpStats, Selection, SequentialSpace, Template, Tuple};
+use std::sync::Arc;
+
+struct Inner {
+    state: Mutex<SequentialSpace>,
+    monitor: ReferenceMonitor,
+    tuple_added: Condvar,
+}
+
+/// A policy-enforced augmented tuple space shared by the threads of one
+/// process. Cloning is cheap (the state is shared).
+///
+/// # Examples
+///
+/// ```
+/// use peats::{LocalPeats, TupleSpace};
+/// use peats_policy::{Policy, PolicyParams};
+/// use peats_tuplespace::{template, tuple};
+///
+/// let space = LocalPeats::new(Policy::allow_all(), PolicyParams::new())?;
+/// let p1 = space.handle(1);
+/// p1.out(tuple!["JOB", 7])?;
+/// assert_eq!(p1.rdp(&template!["JOB", ?j])?, Some(tuple!["JOB", 7]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct LocalPeats {
+    inner: Arc<Inner>,
+}
+
+impl LocalPeats {
+    /// Creates a space guarded by `policy` with parameter values `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingParamError`] if the policy declares a parameter that
+    /// `params` does not set.
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, MissingParamError> {
+        Self::with_selection(policy, params, Selection::Fifo)
+    }
+
+    /// Like [`new`](Self::new) but with an explicit tuple [`Selection`]
+    /// policy (used by the adversarial-schedule experiments).
+    pub fn with_selection(
+        policy: Policy,
+        params: PolicyParams,
+        selection: Selection,
+    ) -> Result<Self, MissingParamError> {
+        let monitor = ReferenceMonitor::new(policy, params)?;
+        Ok(LocalPeats {
+            inner: Arc::new(Inner {
+                state: Mutex::new(SequentialSpace::with_selection(selection)),
+                monitor,
+                tuple_added: Condvar::new(),
+            }),
+        })
+    }
+
+    /// An unprotected space (the permissive [`Policy::allow_all`]) — the
+    /// plain augmented tuple space of §2.3.
+    pub fn unprotected() -> Self {
+        Self::new(Policy::allow_all(), PolicyParams::new())
+            .expect("allow_all declares no parameters")
+    }
+
+    /// Returns a handle authenticated as process `pid`.
+    pub fn handle(&self, pid: ProcessId) -> LocalHandle {
+        LocalHandle {
+            inner: Arc::clone(&self.inner),
+            pid,
+        }
+    }
+
+    /// Snapshot of all stored tuples, in insertion order (test/debug aid —
+    /// bypasses the policy, like an operator console on the servers).
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        self.inner.state.lock().iter().cloned().collect()
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().len()
+    }
+
+    /// `true` if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total storage cost in bits (experiment E6's measured counterpart).
+    pub fn cost_bits(&self) -> u64 {
+        self.inner.state.lock().cost_bits()
+    }
+
+    /// Cumulative operation counters across all handles.
+    pub fn stats(&self) -> OpStats {
+        self.inner.state.lock().stats()
+    }
+
+    /// Clears the operation counters.
+    pub fn reset_stats(&self) {
+        self.inner.state.lock().reset_stats();
+    }
+}
+
+impl std::fmt::Debug for LocalPeats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("LocalPeats")
+            .field("policy", &self.inner.monitor.policy().name)
+            .field("tuples", &state.len())
+            .finish()
+    }
+}
+
+/// A [`TupleSpace`] handle bound to one process identity.
+#[derive(Clone)]
+pub struct LocalHandle {
+    inner: Arc<Inner>,
+    pid: ProcessId,
+}
+
+impl LocalHandle {
+    fn guarded<R>(
+        &self,
+        call: OpCall,
+        apply: impl FnOnce(&mut SequentialSpace) -> R,
+    ) -> SpaceResult<R> {
+        let mut state = self.inner.state.lock();
+        let decision = self
+            .inner
+            .monitor
+            .decide(&Invocation::new(self.pid, call), &*state);
+        if !decision.is_allowed() {
+            return Err(SpaceError::Denied(decision));
+        }
+        Ok(apply(&mut state))
+    }
+}
+
+impl TupleSpace for LocalHandle {
+    fn out(&self, entry: Tuple) -> SpaceResult<()> {
+        self.guarded(OpCall::Out(entry.clone()), |s| s.out(entry))?;
+        self.inner.tuple_added.notify_all();
+        Ok(())
+    }
+
+    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.guarded(OpCall::Rdp(template.clone()), |s| s.rdp(template))
+    }
+
+    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.guarded(OpCall::Inp(template.clone()), |s| s.inp(template))
+    }
+
+    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
+        let outcome = self.guarded(OpCall::Cas(template.clone(), entry.clone()), |s| {
+            s.cas(template, entry)
+        })?;
+        if outcome.inserted() {
+            self.inner.tuple_added.notify_all();
+        }
+        Ok(outcome)
+    }
+
+    fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
+        let mut state = self.inner.state.lock();
+        loop {
+            let decision = self.inner.monitor.decide(
+                &Invocation::new(self.pid, OpCall::Rd(template.clone())),
+                &*state,
+            );
+            if !decision.is_allowed() {
+                return Err(SpaceError::Denied(decision));
+            }
+            if let Some(t) = state.rdp(template) {
+                return Ok(t);
+            }
+            self.inner.tuple_added.wait(&mut state);
+        }
+    }
+
+    fn take(&self, template: &Template) -> SpaceResult<Tuple> {
+        let mut state = self.inner.state.lock();
+        loop {
+            let decision = self.inner.monitor.decide(
+                &Invocation::new(self.pid, OpCall::In(template.clone())),
+                &*state,
+            );
+            if !decision.is_allowed() {
+                return Err(SpaceError::Denied(decision));
+            }
+            if let Some(t) = state.inp(template) {
+                return Ok(t);
+            }
+            self.inner.tuple_added.wait(&mut state);
+        }
+    }
+
+    fn process_id(&self) -> ProcessId {
+        self.pid
+    }
+}
+
+impl std::fmt::Debug for LocalHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalHandle").field("pid", &self.pid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::{template, tuple};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn out_rdp_inp_roundtrip() {
+        let space = LocalPeats::unprotected();
+        let h = space.handle(1);
+        h.out(tuple!["A", 1]).unwrap();
+        assert_eq!(h.rdp(&template!["A", _]).unwrap(), Some(tuple!["A", 1]));
+        assert_eq!(h.inp(&template!["A", _]).unwrap(), Some(tuple!["A", 1]));
+        assert_eq!(h.inp(&template!["A", _]).unwrap(), None);
+    }
+
+    #[test]
+    fn denial_surfaces_as_error() {
+        // Policy that only allows reads.
+        let policy = peats_policy::parse_policy(
+            "policy readonly() { rule R: read(_) :- true; }",
+        )
+        .unwrap();
+        let space = LocalPeats::new(policy, PolicyParams::new()).unwrap();
+        let h = space.handle(1);
+        let err = h.out(tuple!["A"]).unwrap_err();
+        assert!(err.is_denied());
+        assert_eq!(h.rdp(&template!["A"]).unwrap(), None);
+    }
+
+    #[test]
+    fn blocking_rd_wakes_on_out() {
+        let space = LocalPeats::unprotected();
+        let reader = space.handle(1);
+        let writer = space.handle(2);
+        let t = thread::spawn(move || reader.rd(&template!["PING", ?x]).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        writer.out(tuple!["PING", 9]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["PING", 9]);
+    }
+
+    #[test]
+    fn blocking_take_removes_exactly_once() {
+        let space = LocalPeats::unprotected();
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let h = space.handle(i);
+            joins.push(thread::spawn(move || h.take(&template!["JOB", ?x]).unwrap()));
+        }
+        let producer = space.handle(99);
+        for i in 0..4 {
+            producer.out(tuple!["JOB", i]).unwrap();
+        }
+        let mut got: Vec<i64> = joins
+            .into_iter()
+            .map(|j| j.join().unwrap().get(1).unwrap().as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(space.is_empty());
+    }
+
+    #[test]
+    fn cas_is_atomic_under_contention() {
+        // Many threads race cas on the same template; exactly one inserts.
+        let space = LocalPeats::unprotected();
+        let mut joins = Vec::new();
+        for i in 0..16 {
+            let h = space.handle(i);
+            joins.push(thread::spawn(move || {
+                h.cas(&template!["DECISION", ?d], tuple!["DECISION", i as i64])
+                    .unwrap()
+                    .inserted()
+            }));
+        }
+        let inserted = joins
+            .into_iter()
+            .filter(|_| true)
+            .map(|j| j.join().unwrap())
+            .filter(|b| *b)
+            .count();
+        assert_eq!(inserted, 1);
+        assert_eq!(space.len(), 1);
+    }
+
+    #[test]
+    fn handles_report_identity() {
+        let space = LocalPeats::unprotected();
+        assert_eq!(space.handle(7).process_id(), 7);
+    }
+
+    #[test]
+    fn stats_accumulate_across_handles() {
+        let space = LocalPeats::unprotected();
+        space.handle(0).out(tuple!["A"]).unwrap();
+        space.handle(1).rdp(&template!["A"]).unwrap();
+        let s = space.stats();
+        assert_eq!(s.out, 1);
+        assert_eq!(s.rdp, 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! General policy-enforced objects (PEOs) beyond tuple spaces.
+//!
+//! §3 defines PEOs for arbitrary shared-memory objects; Fig. 1 gives the
+//! canonical example — an atomic register in which only `p1, p2, p3` may
+//! write and only values *greater than the current value* may be written.
+//! [`MonotonicRegister`] reproduces that object (experiment E1); its policy
+//! conditions reference the register state through the policy language's
+//! `state.r` term.
+
+use crate::error::{SpaceError, SpaceResult};
+use parking_lot::Mutex;
+use peats_policy::eval::StateView;
+use peats_policy::{
+    invoker_in, ArgPattern, CmpOp, Expr, FieldPattern, Invocation, InvocationPattern,
+    MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor, Rule, Term,
+};
+use peats_tuplespace::{Template, Tuple, Value};
+use std::sync::Arc;
+
+/// State view exposing the register value as the policy state field `r`.
+struct RegisterView {
+    value: Value,
+}
+
+impl StateView for RegisterView {
+    fn exists(&self, _template: &Template) -> bool {
+        false
+    }
+
+    fn count(&self, _template: &Template) -> usize {
+        0
+    }
+
+    fn matching(&self, _template: &Template) -> Vec<Tuple> {
+        Vec::new()
+    }
+
+    fn state_field(&self, name: &str) -> Option<Value> {
+        (name == "r").then(|| self.value.clone())
+    }
+}
+
+/// Fig. 1's policy: reads by anyone; writes only by the listed writers and
+/// only with values strictly greater than the current one.
+///
+/// Register operations are mapped onto the invocation model as
+/// `read ↦ rd(⟨*⟩)` and `write(v) ↦ out(⟨v⟩)`.
+pub fn monotonic_register_policy(writers: impl IntoIterator<Item = ProcessId>) -> Policy {
+    Policy::new(
+        "monotonic_register",
+        vec![],
+        vec![
+            Rule::new("Rread", InvocationPattern::Read(ArgPattern::Any), Expr::True),
+            Rule::new(
+                "Rwrite",
+                InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Bind(
+                    "v".into(),
+                )])),
+                Expr::and(
+                    invoker_in(writers),
+                    Expr::cmp(CmpOp::Gt, Term::var("v"), Term::StateField("r".into())),
+                ),
+            ),
+        ],
+    )
+}
+
+/// The policy-enforced numeric atomic register of Fig. 1.
+///
+/// # Examples
+///
+/// ```
+/// use peats::peo::MonotonicRegister;
+///
+/// let reg = MonotonicRegister::new(0, [1, 2, 3])?;
+/// reg.write(1, 10)?;              // p1 increases the value: allowed
+/// assert!(reg.write(2, 5).is_err());   // not greater: denied
+/// assert!(reg.write(9, 99).is_err());  // p9 is not a writer: denied
+/// assert_eq!(reg.read(9), 10);         // anyone may read
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct MonotonicRegister {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    value: Mutex<i64>,
+    monitor: ReferenceMonitor,
+}
+
+impl MonotonicRegister {
+    /// Creates the register with an initial value and the writer ACL
+    /// (Fig. 1 uses `{p1, p2, p3}`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MissingParamError`] (never happens for this policy; the
+    /// signature keeps parity with other constructors).
+    pub fn new(
+        initial: i64,
+        writers: impl IntoIterator<Item = ProcessId>,
+    ) -> Result<Self, MissingParamError> {
+        let monitor =
+            ReferenceMonitor::new(monotonic_register_policy(writers), PolicyParams::new())?;
+        Ok(MonotonicRegister {
+            inner: Arc::new(Inner {
+                value: Mutex::new(initial),
+                monitor,
+            }),
+        })
+    }
+
+    /// Reads the register (allowed for every process by rule `Rread`).
+    pub fn read(&self, _pid: ProcessId) -> i64 {
+        *self.inner.value.lock()
+    }
+
+    /// Attempts to write `v` as process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::Denied`] when `pid` is not in the writer list
+    /// or `v` is not strictly greater than the current value.
+    pub fn write(&self, pid: ProcessId, v: i64) -> SpaceResult<()> {
+        let mut value = self.inner.value.lock();
+        let view = RegisterView {
+            value: Value::Int(*value),
+        };
+        let inv = Invocation::new(pid, OpCall::Out(Tuple::new(vec![Value::Int(v)])));
+        let decision = self.inner.monitor.decide(&inv, &view);
+        if !decision.is_allowed() {
+            return Err(SpaceError::Denied(decision));
+        }
+        *value = v;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MonotonicRegister {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonotonicRegister")
+            .field("value", &*self.inner.value.lock())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writers_can_only_increase() {
+        let reg = MonotonicRegister::new(0, [1, 2, 3]).unwrap();
+        reg.write(1, 5).unwrap();
+        assert_eq!(reg.read(1), 5);
+        assert!(reg.write(2, 5).unwrap_err().is_denied()); // equal: denied
+        assert!(reg.write(2, 4).unwrap_err().is_denied()); // smaller: denied
+        reg.write(3, 6).unwrap();
+        assert_eq!(reg.read(7), 6);
+    }
+
+    #[test]
+    fn non_writers_are_denied() {
+        let reg = MonotonicRegister::new(0, [1, 2, 3]).unwrap();
+        assert!(reg.write(4, 100).unwrap_err().is_denied());
+        assert_eq!(reg.read(4), 0);
+    }
+
+    #[test]
+    fn byzantine_writer_cannot_reset() {
+        // Even a *listed* writer acting maliciously cannot move the value
+        // backwards — the fine-grained condition, not the ACL, stops it.
+        let reg = MonotonicRegister::new(0, [1]).unwrap();
+        reg.write(1, 10).unwrap();
+        for bad in [9, 0, -5, 10] {
+            assert!(reg.write(1, bad).unwrap_err().is_denied());
+        }
+        assert_eq!(reg.read(2), 10);
+    }
+
+    #[test]
+    fn concurrent_writes_preserve_monotonicity() {
+        let reg = MonotonicRegister::new(0, (0..8).collect::<Vec<_>>()).unwrap();
+        let mut joins = Vec::new();
+        for p in 0..8u64 {
+            let r = reg.clone();
+            joins.push(std::thread::spawn(move || {
+                for v in 1..50 {
+                    let _ = r.write(p, v);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(reg.read(0), 49);
+    }
+}

@@ -1,0 +1,88 @@
+//! The `TupleSpace` abstraction — the seam between algorithms and
+//! implementations.
+//!
+//! All algorithms in this reproduction (consensus objects, universal
+//! constructions, baselines) are generic over [`TupleSpace`], so the same
+//! code runs against:
+//!
+//! * [`LocalPeats`](crate::LocalPeats) handles — a linearizable in-process
+//!   implementation, and
+//! * the BFT-replicated PEATS client of `peats-replication` — the Fig. 2
+//!   deployment.
+//!
+//! A handle carries the authenticated identity of one process; the model
+//! forbids impersonation (§2.1), so identity is fixed at handle creation.
+
+use crate::error::SpaceResult;
+use peats_tuplespace::{CasOutcome, Template, Tuple};
+
+/// A (possibly policy-enforced, possibly remote) augmented tuple space, as
+/// seen by *one* process.
+///
+/// The four nonblocking operations mirror §2.3; `rd`/`take` are the blocking
+/// variants (`take` is the paper's `in`, renamed because `in` is a Rust
+/// keyword). Implementations must be linearizable (§2.1) and `cas` must be
+/// atomic: *if* the read of the template fails, insert the entry.
+///
+/// # Errors
+///
+/// Every operation can fail with [`SpaceError::Denied`] when the access
+/// policy rejects the invocation, or [`SpaceError::Unavailable`] when a
+/// distributed implementation cannot reach a quorum.
+///
+/// [`SpaceError::Denied`]: crate::SpaceError::Denied
+/// [`SpaceError::Unavailable`]: crate::SpaceError::Unavailable
+pub trait TupleSpace {
+    /// `out(t)`: writes the entry into the space.
+    fn out(&self, entry: Tuple) -> SpaceResult<()>;
+
+    /// `rdp(t̄)`: nonblocking nondestructive read.
+    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>>;
+
+    /// `inp(t̄)`: nonblocking destructive read.
+    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>>;
+
+    /// `cas(t̄, t)`: atomically, if reading `t̄` fails, insert `t`.
+    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome>;
+
+    /// `rd(t̄)`: blocking nondestructive read — waits until a matching tuple
+    /// exists.
+    fn rd(&self, template: &Template) -> SpaceResult<Tuple>;
+
+    /// `in(t̄)`: blocking destructive read — waits until a matching tuple
+    /// exists and removes it.
+    fn take(&self, template: &Template) -> SpaceResult<Tuple>;
+
+    /// The identity this handle authenticates as.
+    fn process_id(&self) -> peats_policy::ProcessId;
+}
+
+impl<T: TupleSpace + ?Sized> TupleSpace for &T {
+    fn out(&self, entry: Tuple) -> SpaceResult<()> {
+        (**self).out(entry)
+    }
+
+    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        (**self).rdp(template)
+    }
+
+    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        (**self).inp(template)
+    }
+
+    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
+        (**self).cas(template, entry)
+    }
+
+    fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
+        (**self).rd(template)
+    }
+
+    fn take(&self, template: &Template) -> SpaceResult<Tuple> {
+        (**self).take(template)
+    }
+
+    fn process_id(&self) -> peats_policy::ProcessId {
+        (**self).process_id()
+    }
+}

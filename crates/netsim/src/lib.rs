@@ -1,0 +1,21 @@
+//! # peats-netsim
+//!
+//! Message-passing substrates for the replicated PEATS (§4):
+//!
+//! * [`sim`] — a deterministic discrete-event simulator (seeded delays,
+//!   drops, partitions) in which Byzantine schedules replay exactly;
+//! * [`threaded`] — a crossbeam-channel fabric between real threads for
+//!   wall-clock benchmarks.
+//!
+//! Both expose the same addressing model (dense [`NodeId`]s, opaque byte
+//! payloads), so the replication layer's sans-io state machines run on
+//! either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod threaded;
+
+pub use sim::{Actor, Context, NetConfig, NodeId, SimNet, SimTime};
+pub use threaded::{Envelope, Mailbox, ThreadNet};

@@ -1,0 +1,733 @@
+//! Evaluation of policy rules by the reference monitor.
+//!
+//! Matching an [`InvocationPattern`] against an [`Invocation`] produces an
+//! [`Env`] of bound arguments; the rule's [`Expr`] is then evaluated against
+//! that environment, the policy parameters, and a read-only [`StateView`] of
+//! the protected object.
+
+use crate::ast::{
+    ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, PolicyParams, QueryField, Term,
+    TupleQuery,
+};
+use crate::invocation::{Invocation, OpCall};
+use peats_tuplespace::{Field, SequentialSpace, Template, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What an invocation-pattern binder captured.
+///
+/// Patterns can bind fields of *entries* (always defined values) and fields
+/// of *templates* (which may be wildcards or formal fields — the things
+/// `formal(x)` and `wildcard(x)` test).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoundArg {
+    /// A defined value (an entry field, or an exact template field).
+    Value(Value),
+    /// The wildcard `*` of a template argument.
+    Wildcard,
+    /// A formal field `?name` of a template argument.
+    Formal(String),
+}
+
+/// Variable environment for one rule evaluation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    vars: BTreeMap<String, BoundArg>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name`.
+    pub fn bind(&mut self, name: impl Into<String>, arg: BoundArg) {
+        self.vars.insert(name.into(), arg);
+    }
+
+    /// Looks `name` up.
+    pub fn get(&self, name: &str) -> Option<&BoundArg> {
+        self.vars.get(name)
+    }
+}
+
+/// Read-only view of the protected object's state, as exposed to policies.
+///
+/// For a PEATS the state is the multiset of stored tuples (`exists`/`count`
+/// queries); other policy-enforced objects (e.g. the Fig. 1 register) expose
+/// named state fields instead.
+pub trait StateView {
+    /// `true` iff some stored tuple matches `template`.
+    fn exists(&self, template: &Template) -> bool;
+
+    /// Number of stored tuples matching `template`.
+    fn count(&self, template: &Template) -> usize;
+
+    /// All stored tuples matching `template` — needed by `exists` queries
+    /// with binders (the `∃y: ...` joins of Fig. 8).
+    fn matching(&self, template: &Template) -> Vec<Tuple>;
+
+    /// Resolves a named element of the object state (Fig. 1's `r`);
+    /// `None` when the object exposes no such field.
+    fn state_field(&self, name: &str) -> Option<Value> {
+        let _ = name;
+        None
+    }
+}
+
+impl StateView for SequentialSpace {
+    fn exists(&self, template: &Template) -> bool {
+        self.peek(template).is_some()
+    }
+
+    fn count(&self, template: &Template) -> usize {
+        self.count(template)
+    }
+
+    fn matching(&self, template: &Template) -> Vec<Tuple> {
+        self.iter().filter(|t| template.matches(t)).cloned().collect()
+    }
+}
+
+/// A state view with no tuples and no fields (for tests and stateless
+/// policies).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EmptyState;
+
+impl StateView for EmptyState {
+    fn exists(&self, _template: &Template) -> bool {
+        false
+    }
+
+    fn count(&self, _template: &Template) -> usize {
+        0
+    }
+
+    fn matching(&self, _template: &Template) -> Vec<Tuple> {
+        Vec::new()
+    }
+}
+
+/// Why a rule condition failed to evaluate.
+///
+/// Evaluation errors are treated as `false` (fail-safe defaults, §3) but are
+/// reported in [`Decision::Denied`](crate::Decision) diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was referenced but never bound (and is not a parameter).
+    Unbound(String),
+    /// A wildcard/formal binder was used where a defined value is required.
+    NotAValue(String),
+    /// An operand had the wrong type for the operator.
+    TypeMismatch {
+        /// What the operator needed.
+        expected: &'static str,
+        /// Rendering of what it got.
+        got: String,
+    },
+    /// Integer overflow or division by zero.
+    Arithmetic(&'static str),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::NotAValue(x) => {
+                write!(f, "variable `{x}` is a wildcard/formal field, not a value")
+            }
+            EvalError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            EvalError::Arithmetic(what) => write!(f, "arithmetic error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Matches a field pattern against an *entry* field.
+fn match_entry_field(p: &FieldPattern, v: &Value, binds: &mut Vec<(String, BoundArg)>) -> bool {
+    match p {
+        FieldPattern::Lit(expect) => expect == v,
+        FieldPattern::Bind(name) => {
+            binds.push((name.clone(), BoundArg::Value(v.clone())));
+            true
+        }
+        FieldPattern::Ignore => true,
+    }
+}
+
+/// Matches a field pattern against a *template* field.
+fn match_template_field(p: &FieldPattern, f: &Field, binds: &mut Vec<(String, BoundArg)>) -> bool {
+    match p {
+        // A literal in the pattern requires the template field to be that
+        // exact defined value (e.g. the DECISION tag in Fig. 3's cas rule).
+        FieldPattern::Lit(expect) => matches!(f, Field::Exact(v) if v == expect),
+        FieldPattern::Bind(name) => {
+            let bound = match f {
+                Field::Exact(v) => BoundArg::Value(v.clone()),
+                Field::Any => BoundArg::Wildcard,
+                Field::Formal { name: fname, .. } => BoundArg::Formal(fname.clone()),
+            };
+            binds.push((name.clone(), bound));
+            true
+        }
+        FieldPattern::Ignore => true,
+    }
+}
+
+/// Matches an argument pattern against an entry argument.
+fn match_entry(p: &ArgPattern, t: &Tuple, binds: &mut Vec<(String, BoundArg)>) -> bool {
+    match p {
+        ArgPattern::Any => true,
+        ArgPattern::Fields(fs) => {
+            fs.len() == t.len()
+                && fs
+                    .iter()
+                    .zip(t.fields())
+                    .all(|(p, v)| match_entry_field(p, v, binds))
+        }
+    }
+}
+
+/// Matches an argument pattern against a template argument.
+fn match_template(p: &ArgPattern, t: &Template, binds: &mut Vec<(String, BoundArg)>) -> bool {
+    match p {
+        ArgPattern::Any => true,
+        ArgPattern::Fields(fs) => {
+            fs.len() == t.len()
+                && fs
+                    .iter()
+                    .zip(t.fields())
+                    .all(|(p, f)| match_template_field(p, f, binds))
+        }
+    }
+}
+
+/// Matches a rule's invocation pattern against an invocation. On success,
+/// returns the environment of pattern bindings.
+pub fn match_invocation(pattern: &InvocationPattern, inv: &Invocation) -> Option<Env> {
+    let mut binds = Vec::new();
+    let ok = match (pattern, &inv.call) {
+        (InvocationPattern::Out(p), OpCall::Out(t)) => match_entry(p, t, &mut binds),
+        (InvocationPattern::Rd(p), OpCall::Rd(t)) => match_template(p, t, &mut binds),
+        (InvocationPattern::In(p), OpCall::In(t)) => match_template(p, t, &mut binds),
+        (InvocationPattern::Rdp(p), OpCall::Rdp(t)) => match_template(p, t, &mut binds),
+        (InvocationPattern::Inp(p), OpCall::Inp(t)) => match_template(p, t, &mut binds),
+        (InvocationPattern::Cas(pt, pe), OpCall::Cas(t, e)) => {
+            match_template(pt, t, &mut binds) && match_entry(pe, e, &mut binds)
+        }
+        (InvocationPattern::Read(p), OpCall::Rd(t) | OpCall::Rdp(t)) => {
+            match_template(p, t, &mut binds)
+        }
+        _ => false,
+    };
+    if !ok {
+        return None;
+    }
+    let mut env = Env::new();
+    for (name, arg) in binds {
+        // Prolog-style unification: the same variable bound twice (e.g.
+        // `pos` appearing in both cas arguments in Fig. 7) must bind equal
+        // things, otherwise the pattern does not match.
+        if let Some(prev) = env.get(&name) {
+            if prev != &arg {
+                return None;
+            }
+        }
+        env.bind(name, arg);
+    }
+    Some(env)
+}
+
+/// Evaluation context for one rule.
+pub struct EvalCtx<'a> {
+    /// The invoking process (the `invoker()` term).
+    pub invoker: i64,
+    /// Pattern and quantifier bindings.
+    pub env: &'a Env,
+    /// Policy parameters (`n`, `t`, ...).
+    pub params: &'a PolicyParams,
+    /// The protected object's state.
+    pub state: &'a dyn StateView,
+}
+
+fn int_of(v: &Value) -> Result<i64, EvalError> {
+    v.as_int().ok_or_else(|| EvalError::TypeMismatch {
+        expected: "int",
+        got: v.to_string(),
+    })
+}
+
+/// Evaluates a term to a value.
+pub fn eval_term(term: &Term, ctx: &EvalCtx<'_>, locals: &Env) -> Result<Value, EvalError> {
+    match term {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Var(x) => {
+            // Quantifier locals shadow pattern bindings; policy parameters
+            // are the fallback namespace.
+            let bound = locals.get(x).or_else(|| ctx.env.get(x));
+            match bound {
+                Some(BoundArg::Value(v)) => Ok(v.clone()),
+                Some(_) => Err(EvalError::NotAValue(x.clone())),
+                None => ctx
+                    .params
+                    .get(x)
+                    .map(Value::Int)
+                    .ok_or_else(|| EvalError::Unbound(x.clone())),
+            }
+        }
+        Term::Invoker => Ok(Value::Int(ctx.invoker)),
+        Term::StateField(name) => ctx
+            .state
+            .state_field(name)
+            .ok_or_else(|| EvalError::Unbound(format!("state.{name}"))),
+        Term::Add(a, b) => {
+            let (a, b) = (eval_term(a, ctx, locals)?, eval_term(b, ctx, locals)?);
+            int_of(&a)?
+                .checked_add(int_of(&b)?)
+                .map(Value::Int)
+                .ok_or(EvalError::Arithmetic("overflow in +"))
+        }
+        Term::Sub(a, b) => {
+            let (a, b) = (eval_term(a, ctx, locals)?, eval_term(b, ctx, locals)?);
+            int_of(&a)?
+                .checked_sub(int_of(&b)?)
+                .map(Value::Int)
+                .ok_or(EvalError::Arithmetic("overflow in -"))
+        }
+        Term::Mod(a, b) => {
+            let (a, b) = (eval_term(a, ctx, locals)?, eval_term(b, ctx, locals)?);
+            let d = int_of(&b)?;
+            if d == 0 {
+                return Err(EvalError::Arithmetic("mod by zero"));
+            }
+            Ok(Value::Int(int_of(&a)?.rem_euclid(d)))
+        }
+        Term::Card(t) => {
+            let v = eval_term(t, ctx, locals)?;
+            v.cardinality()
+                .map(|c| Value::Int(c as i64))
+                .ok_or_else(|| EvalError::TypeMismatch {
+                    expected: "collection",
+                    got: v.to_string(),
+                })
+        }
+        Term::UnionVals(t) => {
+            let v = eval_term(t, ctx, locals)?;
+            let m = v.as_map().ok_or_else(|| EvalError::TypeMismatch {
+                expected: "map",
+                got: v.to_string(),
+            })?;
+            let mut u = std::collections::BTreeSet::new();
+            for val in m.values() {
+                let s = val.as_set().ok_or_else(|| EvalError::TypeMismatch {
+                    expected: "set (map value)",
+                    got: val.to_string(),
+                })?;
+                u.extend(s.iter().cloned());
+            }
+            Ok(Value::Set(u))
+        }
+        Term::SetOf(ts) => {
+            let mut s = std::collections::BTreeSet::new();
+            for t in ts {
+                s.insert(eval_term(t, ctx, locals)?);
+            }
+            Ok(Value::Set(s))
+        }
+    }
+}
+
+/// Builds the concrete [`Template`] for an `exists(...)` state query.
+/// `Bind` fields become wildcards; their values are extracted per candidate
+/// tuple by the caller.
+fn query_template(
+    q: &TupleQuery,
+    ctx: &EvalCtx<'_>,
+    locals: &Env,
+) -> Result<Template, EvalError> {
+    let mut fields = Vec::with_capacity(q.0.len());
+    for f in &q.0 {
+        fields.push(match f {
+            QueryField::Term(t) => Field::Exact(eval_term(t, ctx, locals)?),
+            QueryField::Any | QueryField::Bind(_) => Field::Any,
+        });
+    }
+    Ok(Template::new(fields))
+}
+
+/// Evaluates a rule condition.
+pub fn eval_expr(expr: &Expr, ctx: &EvalCtx<'_>, locals: &Env) -> Result<bool, EvalError> {
+    match expr {
+        Expr::True => Ok(true),
+        Expr::False => Ok(false),
+        Expr::And(a, b) => Ok(eval_expr(a, ctx, locals)? && eval_expr(b, ctx, locals)?),
+        Expr::Or(a, b) => Ok(eval_expr(a, ctx, locals)? || eval_expr(b, ctx, locals)?),
+        Expr::Not(e) => Ok(!eval_expr(e, ctx, locals)?),
+        Expr::Cmp(op, a, b) => {
+            let (va, vb) = (eval_term(a, ctx, locals)?, eval_term(b, ctx, locals)?);
+            match op {
+                CmpOp::Eq => Ok(va == vb),
+                CmpOp::Ne => Ok(va != vb),
+                CmpOp::Lt => Ok(int_of(&va)? < int_of(&vb)?),
+                CmpOp::Le => Ok(int_of(&va)? <= int_of(&vb)?),
+                CmpOp::Gt => Ok(int_of(&va)? > int_of(&vb)?),
+                CmpOp::Ge => Ok(int_of(&va)? >= int_of(&vb)?),
+            }
+        }
+        Expr::IsFormal(x) => match locals.get(x).or_else(|| ctx.env.get(x)) {
+            Some(BoundArg::Formal(_)) => Ok(true),
+            Some(_) => Ok(false),
+            None => Err(EvalError::Unbound(x.clone())),
+        },
+        Expr::IsWildcard(x) => match locals.get(x).or_else(|| ctx.env.get(x)) {
+            Some(BoundArg::Wildcard) => Ok(true),
+            Some(_) => Ok(false),
+            None => Err(EvalError::Unbound(x.clone())),
+        },
+        Expr::Contains { item, collection } => {
+            let item = eval_term(item, ctx, locals)?;
+            let coll = eval_term(collection, ctx, locals)?;
+            match &coll {
+                Value::Set(s) => Ok(s.contains(&item)),
+                Value::List(l) => Ok(l.contains(&item)),
+                Value::Map(m) => Ok(m.contains_key(&item)),
+                other => Err(EvalError::TypeMismatch {
+                    expected: "collection",
+                    got: other.to_string(),
+                }),
+            }
+        }
+        Expr::Exists {
+            query,
+            where_clause,
+        } => {
+            let template = query_template(query, ctx, locals)?;
+            let has_binders = query.0.iter().any(|f| matches!(f, QueryField::Bind(_)));
+            if !has_binders && **where_clause == Expr::True {
+                return Ok(ctx.state.exists(&template));
+            }
+            for tuple in ctx.state.matching(&template) {
+                let mut inner = locals.clone();
+                for (qf, v) in query.0.iter().zip(tuple.fields()) {
+                    if let QueryField::Bind(name) = qf {
+                        inner.bind(name.clone(), BoundArg::Value(v.clone()));
+                    }
+                }
+                if eval_expr(where_clause, ctx, &inner)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Expr::ForAll { var, over, body } => {
+            let coll = eval_term(over, ctx, locals)?;
+            let items: Vec<Value> = match &coll {
+                Value::Set(s) => s.iter().cloned().collect(),
+                Value::List(l) => l.clone(),
+                other => {
+                    return Err(EvalError::TypeMismatch {
+                        expected: "set or list",
+                        got: other.to_string(),
+                    })
+                }
+            };
+            for item in items {
+                let mut inner = locals.clone();
+                inner.bind(var.clone(), BoundArg::Value(item));
+                if !eval_expr(body, ctx, &inner)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Expr::ForAllPairs {
+            key,
+            val,
+            over,
+            body,
+        } => {
+            let coll = eval_term(over, ctx, locals)?;
+            let m = coll.as_map().ok_or_else(|| EvalError::TypeMismatch {
+                expected: "map",
+                got: coll.to_string(),
+            })?;
+            for (k, v) in m {
+                let mut inner = locals.clone();
+                inner.bind(key.clone(), BoundArg::Value(k.clone()));
+                inner.bind(val.clone(), BoundArg::Value(v.clone()));
+                if !eval_expr(body, ctx, &inner)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::Invocation;
+    use peats_tuplespace::{template, tuple};
+
+    fn ctx<'a>(env: &'a Env, params: &'a PolicyParams, state: &'a dyn StateView) -> EvalCtx<'a> {
+        EvalCtx {
+            invoker: 1,
+            env,
+            params,
+            state,
+        }
+    }
+
+    #[test]
+    fn pattern_binds_entry_values() {
+        let pat = InvocationPattern::Out(ArgPattern::fields(vec![
+            FieldPattern::Lit(Value::from("PROPOSE")),
+            FieldPattern::Bind("q".into()),
+            FieldPattern::Bind("v".into()),
+        ]));
+        let inv = Invocation::new(2, OpCall::Out(tuple!["PROPOSE", 2, 1]));
+        let env = match_invocation(&pat, &inv).expect("matches");
+        assert_eq!(env.get("q"), Some(&BoundArg::Value(Value::Int(2))));
+        assert_eq!(env.get("v"), Some(&BoundArg::Value(Value::Int(1))));
+    }
+
+    #[test]
+    fn pattern_binds_template_formals() {
+        let pat = InvocationPattern::Cas(
+            ArgPattern::fields(vec![
+                FieldPattern::Lit(Value::from("DECISION")),
+                FieldPattern::Bind("x".into()),
+            ]),
+            ArgPattern::Any,
+        );
+        let inv = Invocation::new(
+            0,
+            OpCall::Cas(template!["DECISION", ?d], tuple!["DECISION", 1]),
+        );
+        let env = match_invocation(&pat, &inv).expect("matches");
+        assert_eq!(env.get("x"), Some(&BoundArg::Formal("d".into())));
+    }
+
+    #[test]
+    fn pattern_rejects_wrong_tag() {
+        let pat = InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Lit(
+            Value::from("PROPOSE"),
+        )]));
+        let inv = Invocation::new(0, OpCall::Out(tuple!["DECISION"]));
+        assert!(match_invocation(&pat, &inv).is_none());
+    }
+
+    #[test]
+    fn read_pattern_covers_rd_and_rdp() {
+        let pat = InvocationPattern::Read(ArgPattern::Any);
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::Rd(template![_]))).is_some());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::Rdp(template![_]))).is_some());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::Inp(template![_]))).is_none());
+    }
+
+    #[test]
+    fn literal_pattern_field_rejects_formal_template_field() {
+        // A pattern expecting the literal tag must not match a template
+        // whose tag position is a formal field (else a malicious reader
+        // could smuggle queries past tag-specific rules).
+        let pat = InvocationPattern::Rdp(ArgPattern::fields(vec![FieldPattern::Lit(
+            Value::from("SEQ"),
+        )]));
+        let inv = Invocation::new(0, OpCall::Rdp(Template::new(vec![Field::formal("x")])));
+        assert!(match_invocation(&pat, &inv).is_none());
+    }
+
+    #[test]
+    fn duplicate_binders_unify() {
+        // Fig. 7 writes cas(<SEQ, pos, x>, <SEQ, pos, inv>): the same `pos`
+        // in both arguments means they must be equal.
+        let pat = InvocationPattern::Cas(
+            ArgPattern::fields(vec![
+                FieldPattern::Lit(Value::from("SEQ")),
+                FieldPattern::Bind("pos".into()),
+                FieldPattern::Bind("x".into()),
+            ]),
+            ArgPattern::fields(vec![
+                FieldPattern::Lit(Value::from("SEQ")),
+                FieldPattern::Bind("pos".into()),
+                FieldPattern::Bind("inv".into()),
+            ]),
+        );
+        let same = Invocation::new(
+            0,
+            OpCall::Cas(template!["SEQ", 4, ?e], tuple!["SEQ", 4, "op"]),
+        );
+        assert!(match_invocation(&pat, &same).is_some());
+        let differ = Invocation::new(
+            0,
+            OpCall::Cas(template!["SEQ", 4, ?e], tuple!["SEQ", 5, "op"]),
+        );
+        assert!(match_invocation(&pat, &differ).is_none());
+    }
+
+    #[test]
+    fn term_arithmetic_and_params() {
+        let env = Env::new();
+        let params = PolicyParams::n_t(7, 2);
+        let state = EmptyState;
+        let c = ctx(&env, &params, &state);
+        // t + 1 = 3
+        let t = Term::add(Term::var("t"), Term::val(1));
+        assert_eq!(eval_term(&t, &c, &Env::new()).unwrap(), Value::Int(3));
+        // 10 mod n = 3
+        let m = Term::modulo(Term::val(10), Term::var("n"));
+        assert_eq!(eval_term(&m, &c, &Env::new()).unwrap(), Value::Int(3));
+        // mod by zero is an error
+        let z = Term::modulo(Term::val(10), Term::val(0));
+        assert!(eval_term(&z, &c, &Env::new()).is_err());
+    }
+
+    #[test]
+    fn card_and_union_vals() {
+        let env = Env::new();
+        let params = PolicyParams::new();
+        let state = EmptyState;
+        let c = ctx(&env, &params, &state);
+        let s = Term::val(Value::set([Value::Int(1), Value::Int(2)]));
+        assert_eq!(
+            eval_term(&Term::card(s), &c, &Env::new()).unwrap(),
+            Value::Int(2)
+        );
+        let m = Term::val(Value::map([
+            (Value::Int(0), Value::set([Value::Int(1), Value::Int(2)])),
+            (Value::Int(1), Value::set([Value::Int(2), Value::Int(3)])),
+        ]));
+        assert_eq!(
+            eval_term(&Term::UnionVals(Box::new(m)), &c, &Env::new()).unwrap(),
+            Value::set([Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn exists_consults_state() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["PROPOSE", 3, 1]);
+        let env = Env::new();
+        let params = PolicyParams::new();
+        let c = ctx(&env, &params, &ts);
+        let q = Expr::exists(TupleQuery(vec![
+            QueryField::Term(Term::val("PROPOSE")),
+            QueryField::Term(Term::val(3)),
+            QueryField::Any,
+        ]));
+        assert!(eval_expr(&q, &c, &Env::new()).unwrap());
+        let q2 = Expr::exists(TupleQuery(vec![
+            QueryField::Term(Term::val("PROPOSE")),
+            QueryField::Term(Term::val(4)),
+            QueryField::Any,
+        ]));
+        assert!(!eval_expr(&q2, &c, &Env::new()).unwrap());
+    }
+
+    #[test]
+    fn forall_over_set_with_exists_body() {
+        // The heart of Fig. 4's Rcas: ∀q ∈ S: ⟨PROPOSE, q, v⟩ ∈ TS.
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["PROPOSE", 1, 0]);
+        ts.out(tuple!["PROPOSE", 2, 0]);
+        let mut env = Env::new();
+        env.bind("S", BoundArg::Value(Value::set([Value::Int(1), Value::Int(2)])));
+        env.bind("v", BoundArg::Value(Value::Int(0)));
+        let params = PolicyParams::n_t(4, 1);
+        let c = ctx(&env, &params, &ts);
+        let cond = Expr::ForAll {
+            var: "q".into(),
+            over: Term::var("S"),
+            body: Box::new(Expr::exists(TupleQuery(vec![
+                QueryField::Term(Term::val("PROPOSE")),
+                QueryField::Term(Term::var("q")),
+                QueryField::Term(Term::var("v")),
+            ]))),
+        };
+        assert!(eval_expr(&cond, &c, &Env::new()).unwrap());
+
+        // Now claim process 3 proposed too — it did not.
+        let mut env2 = Env::new();
+        env2.bind(
+            "S",
+            BoundArg::Value(Value::set([Value::Int(1), Value::Int(3)])),
+        );
+        env2.bind("v", BoundArg::Value(Value::Int(0)));
+        let c2 = ctx(&env2, &params, &ts);
+        assert!(!eval_expr(&cond, &c2, &Env::new()).unwrap());
+    }
+
+    #[test]
+    fn formal_and_wildcard_predicates() {
+        let mut env = Env::new();
+        env.bind("x", BoundArg::Formal("d".into()));
+        env.bind("w", BoundArg::Wildcard);
+        env.bind("v", BoundArg::Value(Value::Int(1)));
+        let params = PolicyParams::new();
+        let state = EmptyState;
+        let c = ctx(&env, &params, &state);
+        let e = Env::new();
+        assert!(eval_expr(&Expr::IsFormal("x".into()), &c, &e).unwrap());
+        assert!(!eval_expr(&Expr::IsFormal("v".into()), &c, &e).unwrap());
+        assert!(eval_expr(&Expr::IsWildcard("w".into()), &c, &e).unwrap());
+        assert!(!eval_expr(&Expr::IsWildcard("x".into()), &c, &e).unwrap());
+        assert!(eval_expr(&Expr::IsFormal("missing".into()), &c, &e).is_err());
+    }
+
+    #[test]
+    fn using_formal_as_value_is_an_error() {
+        let mut env = Env::new();
+        env.bind("x", BoundArg::Formal("d".into()));
+        let params = PolicyParams::new();
+        let state = EmptyState;
+        let c = ctx(&env, &params, &state);
+        let e = Expr::Cmp(CmpOp::Eq, Term::var("x"), Term::val(1));
+        assert_eq!(
+            eval_expr(&e, &c, &Env::new()),
+            Err(EvalError::NotAValue("x".into()))
+        );
+    }
+
+    #[test]
+    fn vacuous_forall_is_true() {
+        let env = Env::new();
+        let params = PolicyParams::new();
+        let state = EmptyState;
+        let c = ctx(&env, &params, &state);
+        let e = Expr::ForAll {
+            var: "q".into(),
+            over: Term::val(Value::set([])),
+            body: Box::new(Expr::False),
+        };
+        assert!(eval_expr(&e, &c, &Env::new()).unwrap());
+    }
+
+    #[test]
+    fn contains_on_sets_lists_maps() {
+        let env = Env::new();
+        let params = PolicyParams::new();
+        let state = EmptyState;
+        let c = ctx(&env, &params, &state);
+        let e = Env::new();
+        let in_set = Expr::Contains {
+            item: Term::val(1),
+            collection: Term::val(Value::set([Value::Int(0), Value::Int(1)])),
+        };
+        assert!(eval_expr(&in_set, &c, &e).unwrap());
+        let in_list = Expr::Contains {
+            item: Term::val(2),
+            collection: Term::val(Value::list([Value::Int(1)])),
+        };
+        assert!(!eval_expr(&in_list, &c, &e).unwrap());
+        let in_map = Expr::Contains {
+            item: Term::val(0),
+            collection: Term::val(Value::map([(Value::Int(0), Value::Null)])),
+        };
+        assert!(eval_expr(&in_map, &c, &e).unwrap());
+    }
+}

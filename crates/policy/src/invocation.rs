@@ -1,0 +1,149 @@
+//! Operation invocations — what the reference monitor inspects.
+//!
+//! §3: the monitor evaluates `invoke(p, op)`, with access to the invoker `p`,
+//! the operation and its arguments, and the current state of the object.
+
+use peats_tuplespace::{Template, Tuple};
+use std::fmt;
+
+/// Identifier of a process invoking operations on a shared object.
+///
+/// The model assumes a malicious process cannot impersonate a correct one
+/// (§2.1); transports are responsible for authenticating this identity.
+pub type ProcessId = u64;
+
+/// The kind of a tuple-space operation (without its arguments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// `out(t)` — write an entry.
+    Out,
+    /// `rd(t̄)` — blocking nondestructive read.
+    Rd,
+    /// `in(t̄)` — blocking destructive read.
+    In,
+    /// `rdp(t̄)` — nonblocking nondestructive read.
+    Rdp,
+    /// `inp(t̄)` — nonblocking destructive read.
+    Inp,
+    /// `cas(t̄, t)` — conditional atomic swap (§2.3).
+    Cas,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Out => "out",
+            OpKind::Rd => "rd",
+            OpKind::In => "in",
+            OpKind::Rdp => "rdp",
+            OpKind::Inp => "inp",
+            OpKind::Cas => "cas",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tuple-space operation call with its arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpCall {
+    /// `out(t)`.
+    Out(Tuple),
+    /// `rd(t̄)`.
+    Rd(Template),
+    /// `in(t̄)`.
+    In(Template),
+    /// `rdp(t̄)`.
+    Rdp(Template),
+    /// `inp(t̄)`.
+    Inp(Template),
+    /// `cas(t̄, t)`.
+    Cas(Template, Tuple),
+}
+
+impl OpCall {
+    /// The operation kind of this call.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            OpCall::Out(_) => OpKind::Out,
+            OpCall::Rd(_) => OpKind::Rd,
+            OpCall::In(_) => OpKind::In,
+            OpCall::Rdp(_) => OpKind::Rdp,
+            OpCall::Inp(_) => OpKind::Inp,
+            OpCall::Cas(_, _) => OpKind::Cas,
+        }
+    }
+
+    /// `true` for the read operations `rd`/`rdp` (the paper's `Rread`-style
+    /// rules group these).
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpCall::Rd(_) | OpCall::Rdp(_))
+    }
+}
+
+impl fmt::Display for OpCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpCall::Out(t) => write!(f, "out({t})"),
+            OpCall::Rd(t) => write!(f, "rd({t})"),
+            OpCall::In(t) => write!(f, "in({t})"),
+            OpCall::Rdp(t) => write!(f, "rdp({t})"),
+            OpCall::Inp(t) => write!(f, "inp({t})"),
+            OpCall::Cas(t, e) => write!(f, "cas({t}, {e})"),
+        }
+    }
+}
+
+/// An invocation `invoke(p, op)`: who calls what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation {
+    /// The authenticated identity of the calling process.
+    pub invoker: ProcessId,
+    /// The operation and its arguments.
+    pub call: OpCall,
+}
+
+impl Invocation {
+    /// Creates an invocation.
+    pub fn new(invoker: ProcessId, call: OpCall) -> Self {
+        Invocation { invoker, call }
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invoke(p{}, {})", self.invoker, self.call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::{template, tuple};
+
+    #[test]
+    fn kind_reports_variant() {
+        assert_eq!(OpCall::Out(tuple!["A"]).kind(), OpKind::Out);
+        assert_eq!(OpCall::Rdp(template!["A"]).kind(), OpKind::Rdp);
+        assert_eq!(
+            OpCall::Cas(template!["A"], tuple!["A"]).kind(),
+            OpKind::Cas
+        );
+    }
+
+    #[test]
+    fn read_grouping() {
+        assert!(OpCall::Rd(template![_]).is_read());
+        assert!(OpCall::Rdp(template![_]).is_read());
+        assert!(!OpCall::Inp(template![_]).is_read());
+        assert!(!OpCall::Out(tuple![1]).is_read());
+    }
+
+    #[test]
+    fn display_shows_invoker_and_op() {
+        let inv = Invocation::new(3, OpCall::Out(tuple!["PROPOSE", 3, 1]));
+        let s = format!("{inv}");
+        assert!(s.contains("p3"));
+        assert!(s.contains("out"));
+        assert!(s.contains("PROPOSE"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # peats-policy
+//!
+//! The fine-grained access-policy engine of the PEATS reproduction —
+//! §3 ("Policy-Enforced Objects") of Bessani et al., *Sharing Memory between
+//! Byzantine Processes using Policy-Enforced Tuple Spaces*.
+//!
+//! A *policy-enforced object* (PEO) is a shared-memory object guarded by a
+//! [`ReferenceMonitor`]. Every operation invocation is checked against an
+//! access [`Policy`]: a list of [`Rule`]s, each pairing an
+//! [`InvocationPattern`] (who calls what, with which argument shapes) with a
+//! logical [`Expr`] over the invoker, the arguments, and the current object
+//! state. Invocations that satisfy no rule are denied — fail-safe defaults.
+//!
+//! Policies can be built programmatically (see [`ast`]) or parsed from a
+//! textual DSL ([`parse_policy`]) whose syntax closely follows the paper's
+//! figures:
+//!
+//! ```
+//! use peats_policy::{parse_policy, PolicyParams, ReferenceMonitor};
+//! use peats_policy::{Invocation, OpCall};
+//! use peats_tuplespace::{template, tuple, SequentialSpace};
+//!
+//! // Fig. 3: the access policy of the weak consensus object (Alg. 1).
+//! let policy = parse_policy(r#"
+//!     policy weak_consensus() {
+//!       rule Rcas: cas(<"DECISION", ?x>, <"DECISION", _>) :- formal(x);
+//!     }
+//! "#)?;
+//! let monitor = ReferenceMonitor::new(policy, PolicyParams::new())?;
+//!
+//! let space = SequentialSpace::new();
+//! // cas with a formal second template field: allowed.
+//! let ok = Invocation::new(1, OpCall::Cas(template!["DECISION", ?d], tuple!["DECISION", 42]));
+//! assert!(monitor.decide(&ok, &space).is_allowed());
+//! // out is not covered by any rule: denied (fail-safe default).
+//! let bad = Invocation::new(1, OpCall::Out(tuple!["DECISION", 0]));
+//! assert!(!monitor.decide(&bad, &space).is_allowed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+mod invocation;
+mod monitor;
+mod parser;
+
+pub use ast::{
+    invoker_in, ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Policy, PolicyParams,
+    QueryField, Rule, Term, TupleQuery,
+};
+pub use eval::{BoundArg, Env, EvalError, StateView};
+pub use invocation::{Invocation, OpCall, OpKind, ProcessId};
+pub use monitor::{Decision, MissingParamError, ReferenceMonitor};
+pub use parser::{parse_expr, parse_policy, ParseError};

@@ -1,0 +1,262 @@
+//! The reference monitor (§3, [19] in the paper).
+//!
+//! Given a [`Policy`], its [`PolicyParams`], an [`Invocation`] and a
+//! [`StateView`], the monitor decides whether the invocation may execute:
+//! it is allowed iff *some* rule's pattern matches it and that rule's
+//! condition is satisfied. Anything else is denied (fail-safe defaults).
+
+use crate::ast::{Policy, PolicyParams};
+use crate::eval::{eval_expr, match_invocation, Env, EvalCtx, StateView};
+use crate::invocation::Invocation;
+use std::fmt;
+
+/// The monitor's verdict on one invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The invocation may execute; `rule` names the rule that granted it.
+    Allowed {
+        /// Name of the granting rule.
+        rule: String,
+    },
+    /// The invocation is denied.
+    Denied {
+        /// Per-rule diagnostics: `(rule name, why it did not grant)`.
+        /// Empty when no rule's pattern matched the invocation at all.
+        attempts: Vec<(String, String)>,
+    },
+}
+
+impl Decision {
+    /// `true` iff the invocation was allowed.
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, Decision::Allowed { .. })
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Allowed { rule } => write!(f, "allowed by rule {rule}"),
+            Decision::Denied { attempts } if attempts.is_empty() => {
+                write!(f, "denied: no rule matched the invocation")
+            }
+            Decision::Denied { attempts } => {
+                write!(f, "denied:")?;
+                for (rule, why) in attempts {
+                    write!(f, " [{rule}: {why}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Error raised when a policy and its parameters are inconsistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissingParamError {
+    /// The declared-but-unset parameter.
+    pub param: String,
+    /// The policy declaring it.
+    pub policy: String,
+}
+
+impl fmt::Display for MissingParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "policy `{}` declares parameter `{}` but no value was supplied",
+            self.policy, self.param
+        )
+    }
+}
+
+impl std::error::Error for MissingParamError {}
+
+/// A reference monitor bound to one policy and one parameter valuation.
+///
+/// # Examples
+///
+/// ```
+/// use peats_policy::{Invocation, OpCall, Policy, PolicyParams, ReferenceMonitor};
+/// use peats_policy::eval::EmptyState;
+/// use peats_tuplespace::tuple;
+///
+/// let monitor = ReferenceMonitor::new(Policy::allow_all(), PolicyParams::new())?;
+/// let inv = Invocation::new(1, OpCall::Out(tuple!["A"]));
+/// assert!(monitor.decide(&inv, &EmptyState).is_allowed());
+/// # Ok::<(), peats_policy::MissingParamError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReferenceMonitor {
+    policy: Policy,
+    params: PolicyParams,
+}
+
+impl ReferenceMonitor {
+    /// Binds `policy` to `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingParamError`] if the policy declares a parameter with
+    /// no value in `params`.
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, MissingParamError> {
+        for p in &policy.params {
+            if params.get(p).is_none() {
+                return Err(MissingParamError {
+                    param: p.clone(),
+                    policy: policy.name.clone(),
+                });
+            }
+        }
+        Ok(ReferenceMonitor { policy, params })
+    }
+
+    /// The guarded policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The bound parameters.
+    pub fn params(&self) -> &PolicyParams {
+        &self.params
+    }
+
+    /// Decides whether `inv` may execute against `state`.
+    ///
+    /// Evaluation errors inside a rule condition (type errors, unbound
+    /// variables) are treated as a failed condition — never as a grant —
+    /// and reported in the denial diagnostics.
+    pub fn decide(&self, inv: &Invocation, state: &dyn StateView) -> Decision {
+        let mut attempts = Vec::new();
+        for rule in &self.policy.rules {
+            let Some(env) = match_invocation(&rule.pattern, inv) else {
+                continue;
+            };
+            let ctx = EvalCtx {
+                invoker: inv.invoker as i64,
+                env: &env,
+                params: &self.params,
+                state,
+            };
+            match eval_expr(&rule.condition, &ctx, &Env::new()) {
+                Ok(true) => {
+                    return Decision::Allowed {
+                        rule: rule.name.clone(),
+                    }
+                }
+                Ok(false) => attempts.push((rule.name.clone(), "condition is false".to_owned())),
+                Err(e) => attempts.push((rule.name.clone(), e.to_string())),
+            }
+        }
+        Decision::Denied { attempts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Rule, Term};
+    use crate::eval::EmptyState;
+    use crate::invocation::OpCall;
+    use peats_tuplespace::{template, tuple, Value};
+
+    fn one_rule_policy(rule: Rule) -> Policy {
+        Policy::new("test", vec![], vec![rule])
+    }
+
+    #[test]
+    fn no_matching_rule_is_denied() {
+        let p = one_rule_policy(Rule::new(
+            "Rout",
+            InvocationPattern::Out(ArgPattern::Any),
+            Expr::True,
+        ));
+        let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
+        let inv = Invocation::new(0, OpCall::Inp(template![_]));
+        let d = m.decide(&inv, &EmptyState);
+        assert!(!d.is_allowed());
+        assert_eq!(d, Decision::Denied { attempts: vec![] });
+    }
+
+    #[test]
+    fn failing_condition_is_denied_with_diagnostics() {
+        let p = one_rule_policy(Rule::new(
+            "Rout",
+            InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Bind("v".into())])),
+            Expr::cmp(CmpOp::Gt, Term::var("v"), Term::val(10)),
+        ));
+        let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
+        let d = m.decide(&Invocation::new(0, OpCall::Out(tuple![5])), &EmptyState);
+        match d {
+            Decision::Denied { attempts } => {
+                assert_eq!(attempts.len(), 1);
+                assert_eq!(attempts[0].0, "Rout");
+            }
+            other => panic!("expected denial, got {other:?}"),
+        }
+        let d2 = m.decide(&Invocation::new(0, OpCall::Out(tuple![11])), &EmptyState);
+        assert_eq!(d2, Decision::Allowed { rule: "Rout".into() });
+    }
+
+    #[test]
+    fn later_rule_can_grant_after_earlier_fails() {
+        let p = Policy::new(
+            "test",
+            vec![],
+            vec![
+                Rule::new("R1", InvocationPattern::Out(ArgPattern::Any), Expr::False),
+                Rule::new("R2", InvocationPattern::Out(ArgPattern::Any), Expr::True),
+            ],
+        );
+        let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
+        let d = m.decide(&Invocation::new(0, OpCall::Out(tuple![1])), &EmptyState);
+        assert_eq!(d, Decision::Allowed { rule: "R2".into() });
+    }
+
+    #[test]
+    fn eval_error_is_fail_safe() {
+        // Condition compares a string to an int with `<` — a type error.
+        let p = one_rule_policy(Rule::new(
+            "Rbad",
+            InvocationPattern::Out(ArgPattern::Any),
+            Expr::cmp(CmpOp::Lt, Term::val("x"), Term::val(1)),
+        ));
+        let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
+        let d = m.decide(&Invocation::new(0, OpCall::Out(tuple![1])), &EmptyState);
+        assert!(!d.is_allowed());
+        let text = format!("{d}");
+        assert!(text.contains("type mismatch"), "diagnostic missing: {text}");
+    }
+
+    #[test]
+    fn missing_param_is_rejected_at_construction() {
+        let p = Policy::new(
+            "needs_t",
+            vec!["t".into()],
+            vec![Rule::new(
+                "R",
+                InvocationPattern::Out(ArgPattern::Any),
+                Expr::True,
+            )],
+        );
+        let err = ReferenceMonitor::new(p, PolicyParams::new()).unwrap_err();
+        assert_eq!(err.param, "t");
+    }
+
+    #[test]
+    fn invoker_gating_acts_as_acl() {
+        // ACLs are the degenerate case of fine-grained policies (§3).
+        let p = one_rule_policy(Rule::new(
+            "Rwrite",
+            InvocationPattern::Out(ArgPattern::Any),
+            crate::ast::invoker_in([1, 2, 3]),
+        ));
+        let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
+        assert!(m
+            .decide(&Invocation::new(2, OpCall::Out(tuple![Value::Int(9)])), &EmptyState)
+            .is_allowed());
+        assert!(!m
+            .decide(&Invocation::new(4, OpCall::Out(tuple![Value::Int(9)])), &EmptyState)
+            .is_allowed());
+    }
+}

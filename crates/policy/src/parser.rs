@@ -1,0 +1,1147 @@
+//! Parser for the textual policy language.
+//!
+//! The concrete syntax mirrors the paper's PROLOG-inspired notation (`:-`,
+//! tuples in angle brackets, `?x` formal fields, `*`/`_` wildcards). The
+//! strong-consensus policy of Fig. 4 reads:
+//!
+//! ```text
+//! policy strong_consensus(n, t) {
+//!   rule Rrd: read(_) :- true;
+//!   rule Rout: out(<"PROPOSE", ?q, ?v>) :-
+//!     q == invoker() && v in {0, 1} && !exists(<"PROPOSE", invoker(), _>);
+//!   rule Rcas: cas(<"DECISION", ?x, _>, <"DECISION", ?v, ?S>) :-
+//!     formal(x) && card(S) >= t + 1
+//!     && forall q in S { exists(<"PROPOSE", q, v>) };
+//! }
+//! ```
+//!
+//! Grammar sketch (see the `parse_*` functions for the authoritative form):
+//!
+//! ```text
+//! policy   := "policy" IDENT "(" [IDENT ("," IDENT)*] ")" "{" rule* "}"
+//! rule     := "rule" IDENT ":" head ":-" expr ";"
+//! head     := OP "(" argpat ["," argpat] ")"
+//! argpat   := "_" | "<" fieldpat ("," fieldpat)* ">"
+//! fieldpat := "_" | "*" | "?" IDENT | literal
+//! expr     := or-expr with "&&", "||", "!", comparisons, "in",
+//!             formal(x), wildcard(x), exists(<...>),
+//!             forall x in S { e }, forall (k -> v) in M { e }
+//! term     := arithmetic over literals, variables, invoker(), state.f,
+//!             card(t), union_vals(t), set literals "{ ... }"
+//! ```
+
+use crate::ast::{
+    ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Policy, QueryField, Rule, Term,
+    TupleQuery,
+};
+use peats_tuplespace::Value;
+use std::fmt;
+
+/// A syntax error with 1-based line/column information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Comma,
+    Semi,
+    Colon,
+    ColonDash,
+    Question,
+    Underscore,
+    Star,
+    AndAnd,
+    OrOr,
+    Bang,
+    Plus,
+    Minus,
+    Percent,
+    Arrow,
+    Dot,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::ColonDash => write!(f, "`:-`"),
+            Tok::Question => write!(f, "`?`"),
+            Tok::Underscore => write!(f, "`_`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned { tok: $tok, line, col });
+            col += $len;
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                // comment to end of line
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(ParseError {
+                        message: "unexpected `/` (use `//` or `#` for comments)".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen, 1);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace, 1);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma, 1);
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi, 1);
+            }
+            '?' => {
+                chars.next();
+                push!(Tok::Question, 1);
+            }
+            '*' => {
+                chars.next();
+                push!(Tok::Star, 1);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus, 1);
+            }
+            '%' => {
+                chars.next();
+                push!(Tok::Percent, 1);
+            }
+            '.' => {
+                chars.next();
+                push!(Tok::Dot, 1);
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    push!(Tok::Arrow, 2);
+                } else {
+                    push!(Tok::Minus, 1);
+                }
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    push!(Tok::ColonDash, 2);
+                } else {
+                    push!(Tok::Colon, 1);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Le, 2);
+                } else {
+                    push!(Tok::Lt, 1);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ge, 2);
+                } else {
+                    push!(Tok::Gt, 1);
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::EqEq, 2);
+                } else {
+                    return Err(ParseError {
+                        message: "unexpected `=` (did you mean `==`?)".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ne, 2);
+                } else {
+                    push!(Tok::Bang, 1);
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    push!(Tok::AndAnd, 2);
+                } else {
+                    return Err(ParseError {
+                        message: "unexpected `&` (did you mean `&&`?)".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    push!(Tok::OrOr, 2);
+                } else {
+                    return Err(ParseError {
+                        message: "unexpected `|` (did you mean `||`?)".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let start_col = col;
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            col += 1;
+                            match chars.next() {
+                                Some('n') => {
+                                    s.push('\n');
+                                    col += 1;
+                                }
+                                Some('"') => {
+                                    s.push('"');
+                                    col += 1;
+                                }
+                                Some('\\') => {
+                                    s.push('\\');
+                                    col += 1;
+                                }
+                                other => {
+                                    return Err(ParseError {
+                                        message: format!("bad escape {other:?} in string"),
+                                        line,
+                                        col,
+                                    })
+                                }
+                            }
+                        }
+                        Some('\n') | None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                line,
+                                col: start_col,
+                            })
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            col += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                    col: start_col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start_col = col;
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(i64::from(digit)))
+                            .ok_or_else(|| ParseError {
+                                message: "integer literal overflows i64".into(),
+                                line,
+                                col: start_col,
+                            })?;
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line,
+                    col: start_col,
+                });
+            }
+            c if c == '_' || c.is_ascii_alphabetic() => {
+                let start_col = col;
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d == '_' || d.is_ascii_alphanumeric() {
+                        s.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if s == "_" { Tok::Underscore } else { Tok::Ident(s) };
+                out.push(Spanned {
+                    tok,
+                    line,
+                    col: start_col,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.toks[self.pos];
+        (s.line, s.col)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    // ---- policy / rule structure ------------------------------------
+
+    fn parse_policy(&mut self) -> Result<Policy, ParseError> {
+        self.expect_keyword("policy")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        let mut rules = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            rules.push(self.parse_rule()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Policy::new(name, params, rules))
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        self.expect_keyword("rule")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::Colon)?;
+        let pattern = self.parse_head()?;
+        self.expect(&Tok::ColonDash)?;
+        let condition = self.parse_expr()?;
+        self.expect(&Tok::Semi)?;
+        Ok(Rule::new(name, pattern, condition))
+    }
+
+    fn parse_head(&mut self) -> Result<InvocationPattern, ParseError> {
+        let op = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let first = self.parse_argpat()?;
+        let pattern = match op.as_str() {
+            "cas" => {
+                self.expect(&Tok::Comma)?;
+                let second = self.parse_argpat()?;
+                InvocationPattern::Cas(first, second)
+            }
+            "out" => InvocationPattern::Out(first),
+            "rd" => InvocationPattern::Rd(first),
+            "in" => InvocationPattern::In(first),
+            "rdp" => InvocationPattern::Rdp(first),
+            "inp" => InvocationPattern::Inp(first),
+            "read" => InvocationPattern::Read(first),
+            other => {
+                return Err(self.err(format!(
+                    "unknown operation `{other}` (expected out/rd/in/rdp/inp/cas/read)"
+                )))
+            }
+        };
+        self.expect(&Tok::RParen)?;
+        Ok(pattern)
+    }
+
+    fn parse_argpat(&mut self) -> Result<ArgPattern, ParseError> {
+        match self.peek() {
+            Tok::Underscore => {
+                self.bump();
+                Ok(ArgPattern::Any)
+            }
+            Tok::Lt => {
+                self.bump();
+                let mut fields = Vec::new();
+                loop {
+                    fields.push(self.parse_fieldpat()?);
+                    match self.bump() {
+                        Tok::Comma => continue,
+                        Tok::Gt => break,
+                        other => {
+                            return Err(self.err(format!(
+                                "expected `,` or `>` in tuple pattern, found {other}"
+                            )))
+                        }
+                    }
+                }
+                Ok(ArgPattern::Fields(fields))
+            }
+            other => Err(self.err(format!("expected `_` or `<` tuple pattern, found {other}"))),
+        }
+    }
+
+    fn parse_fieldpat(&mut self) -> Result<FieldPattern, ParseError> {
+        match self.peek().clone() {
+            Tok::Underscore | Tok::Star => {
+                self.bump();
+                Ok(FieldPattern::Ignore)
+            }
+            Tok::Question => {
+                self.bump();
+                Ok(FieldPattern::Bind(self.expect_ident()?))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                Ok(FieldPattern::Lit(Value::Int(i)))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(i) => Ok(FieldPattern::Lit(Value::Int(-i))),
+                    other => Err(self.err(format!("expected integer after `-`, found {other}"))),
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(FieldPattern::Lit(Value::Str(s)))
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(FieldPattern::Lit(Value::Bool(true)))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(FieldPattern::Lit(Value::Bool(false)))
+            }
+            Tok::Ident(s) if s == "bottom" || s == "null" => {
+                self.bump();
+                Ok(FieldPattern::Lit(Value::Null))
+            }
+            other => Err(self.err(format!(
+                "expected `_`, `*`, `?name` or a literal in tuple pattern, found {other}"
+            ))),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &Tok::Bang {
+            self.bump();
+            return Ok(Expr::not(self.parse_unary()?));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "true" && !self.looks_like_cmp_after_term() => {
+                self.bump();
+                Ok(Expr::True)
+            }
+            Tok::Ident(s) if s == "false" && !self.looks_like_cmp_after_term() => {
+                self.bump();
+                Ok(Expr::False)
+            }
+            Tok::Ident(s) if s == "exists" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&Tok::RParen)?;
+                let where_clause = if self.peek() == &Tok::LBrace {
+                    self.bump();
+                    let body = self.parse_expr()?;
+                    self.expect(&Tok::RBrace)?;
+                    body
+                } else {
+                    Expr::True
+                };
+                Ok(Expr::Exists {
+                    query: q,
+                    where_clause: Box::new(where_clause),
+                })
+            }
+            Tok::Ident(s) if s == "formal" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let x = self.expect_ident()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::IsFormal(x))
+            }
+            Tok::Ident(s) if s == "wildcard" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let x = self.expect_ident()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::IsWildcard(x))
+            }
+            Tok::Ident(s) if s == "forall" => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    // forall (k -> v) in M { body }
+                    self.bump();
+                    let key = self.expect_ident()?;
+                    self.expect(&Tok::Arrow)?;
+                    let val = self.expect_ident()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect_keyword("in")?;
+                    let over = self.parse_term()?;
+                    self.expect(&Tok::LBrace)?;
+                    let body = self.parse_expr()?;
+                    self.expect(&Tok::RBrace)?;
+                    Ok(Expr::ForAllPairs {
+                        key,
+                        val,
+                        over,
+                        body: Box::new(body),
+                    })
+                } else {
+                    let var = self.expect_ident()?;
+                    self.expect_keyword("in")?;
+                    let over = self.parse_term()?;
+                    self.expect(&Tok::LBrace)?;
+                    let body = self.parse_expr()?;
+                    self.expect(&Tok::RBrace)?;
+                    Ok(Expr::ForAll {
+                        var,
+                        over,
+                        body: Box::new(body),
+                    })
+                }
+            }
+            Tok::LParen => {
+                // Ambiguity: `(x + 1) > 2` (term) vs `(a && b)` (expr).
+                // Try the comparison reading first, backtrack on failure.
+                let save = self.pos;
+                match self.parse_comparison() {
+                    Ok(e) => Ok(e),
+                    Err(_) => {
+                        self.pos = save;
+                        self.bump(); // (
+                        let inner = self.parse_expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(inner)
+                    }
+                }
+            }
+            _ => self.parse_comparison(),
+        }
+    }
+
+    /// `true`/`false` are normally boolean atoms, but may also appear as
+    /// value literals in comparisons (`v == true`). Peek one token ahead.
+    fn looks_like_cmp_after_term(&self) -> bool {
+        matches!(
+            self.peek2(),
+            Tok::EqEq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge
+        )
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_term()?;
+        let op = match self.peek() {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::Ident(s) if s == "in" => {
+                self.bump();
+                let collection = self.parse_term()?;
+                return Ok(Expr::Contains {
+                    item: lhs,
+                    collection,
+                });
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a comparison operator or `in`, found {other}"
+                )))
+            }
+        };
+        self.bump();
+        let rhs = self.parse_term()?;
+        Ok(Expr::Cmp(op, lhs, rhs))
+    }
+
+    fn parse_query(&mut self) -> Result<TupleQuery, ParseError> {
+        self.expect(&Tok::Lt)?;
+        let mut fields = Vec::new();
+        loop {
+            if matches!(self.peek(), Tok::Underscore | Tok::Star) {
+                self.bump();
+                fields.push(QueryField::Any);
+            } else if self.peek() == &Tok::Question {
+                self.bump();
+                fields.push(QueryField::Bind(self.expect_ident()?));
+            } else {
+                fields.push(QueryField::Term(self.parse_term()?));
+            }
+            match self.bump() {
+                Tok::Comma => continue,
+                Tok::Gt => break,
+                other => {
+                    return Err(
+                        self.err(format!("expected `,` or `>` in exists query, found {other}"))
+                    )
+                }
+            }
+        }
+        Ok(TupleQuery(fields))
+    }
+
+    // term := multerm (("+"|"-") multerm)*
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_modterm()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    lhs = Term::add(lhs, self.parse_modterm()?);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    lhs = Term::sub(lhs, self.parse_modterm()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    // modterm := factor ("%" factor)*
+    fn parse_modterm(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        while self.peek() == &Tok::Percent {
+            self.bump();
+            lhs = Term::modulo(lhs, self.parse_factor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Term, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Term::Const(Value::Int(i)))
+            }
+            Tok::Minus => {
+                self.bump();
+                let inner = self.parse_factor()?;
+                Ok(Term::sub(Term::val(0), inner))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Term::Const(Value::Str(s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.parse_term()?;
+                self.expect(&Tok::RParen)?;
+                Ok(t)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBrace {
+                    loop {
+                        items.push(self.parse_term()?);
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Term::SetOf(items))
+            }
+            Tok::Ident(s) => match s.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Term::Const(Value::Bool(true)))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Term::Const(Value::Bool(false)))
+                }
+                "bottom" | "null" => {
+                    self.bump();
+                    Ok(Term::Const(Value::Null))
+                }
+                "invoker" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Term::Invoker)
+                }
+                "card" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let t = self.parse_term()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Term::Card(Box::new(t)))
+                }
+                "union_vals" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let t = self.parse_term()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Term::UnionVals(Box::new(t)))
+                }
+                "state" => {
+                    self.bump();
+                    self.expect(&Tok::Dot)?;
+                    Ok(Term::StateField(self.expect_ident()?))
+                }
+                _ => {
+                    self.bump();
+                    Ok(Term::Var(s))
+                }
+            },
+            other => Err(self.err(format!("expected a term, found {other}"))),
+        }
+    }
+}
+
+/// Parses a complete `policy name(params) { rules }` declaration.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column information on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///   policy weak_consensus() {
+///     rule Rcas: cas(<"DECISION", ?x>, <"DECISION", _>) :- formal(x);
+///   }
+/// "#;
+/// let policy = peats_policy::parse_policy(src)?;
+/// assert_eq!(policy.name, "weak_consensus");
+/// assert_eq!(policy.rules.len(), 1);
+/// # Ok::<(), peats_policy::ParseError>(())
+/// ```
+pub fn parse_policy(src: &str) -> Result<Policy, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let policy = p.parse_policy()?;
+    if p.peek() != &Tok::Eof {
+        return Err(p.err(format!("trailing input after policy: {}", p.peek())));
+    }
+    Ok(policy)
+}
+
+/// Parses a single expression (rule right-hand side) — exposed for tests and
+/// interactive tooling.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.parse_expr()?;
+    if p.peek() != &Tok::Eof {
+        return Err(p.err(format!("trailing input after expression: {}", p.peek())));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArgPattern, FieldPattern, InvocationPattern};
+
+    #[test]
+    fn parses_weak_consensus_policy_fig3() {
+        let src = r#"
+            policy weak_consensus() {
+              rule Rcas: cas(<"DECISION", ?x>, <"DECISION", _>) :- formal(x);
+            }
+        "#;
+        let p = parse_policy(src).unwrap();
+        assert_eq!(p.name, "weak_consensus");
+        assert_eq!(p.rules.len(), 1);
+        let r = &p.rules[0];
+        assert_eq!(r.name, "Rcas");
+        match &r.pattern {
+            InvocationPattern::Cas(ArgPattern::Fields(t), ArgPattern::Fields(e)) => {
+                assert_eq!(t.len(), 2);
+                assert_eq!(e.len(), 2);
+                assert_eq!(t[1], FieldPattern::Bind("x".into()));
+                assert_eq!(e[1], FieldPattern::Ignore);
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        }
+        assert_eq!(r.condition, Expr::IsFormal("x".into()));
+    }
+
+    #[test]
+    fn parses_strong_consensus_policy_fig4() {
+        let src = r#"
+            policy strong_consensus(n, t) {
+              rule Rrd: read(_) :- true;
+              rule Rout: out(<"PROPOSE", ?q, ?v>) :-
+                q == invoker() && v in {0, 1}
+                && !exists(<"PROPOSE", invoker(), _>);
+              rule Rcas: cas(<"DECISION", ?x, _>, <"DECISION", ?v, ?S>) :-
+                formal(x) && card(S) >= t + 1
+                && forall q in S { exists(<"PROPOSE", q, v>) };
+            }
+        "#;
+        let p = parse_policy(src).unwrap();
+        assert_eq!(p.params, vec!["n".to_owned(), "t".to_owned()]);
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rules[0].condition, Expr::True);
+        // spot-check the forall structure
+        let cond = format!("{}", p.rules[2].condition);
+        assert!(cond.contains("forall q in S"), "got {cond}");
+        assert!(cond.contains("card(S) >= (t + 1)"), "got {cond}");
+    }
+
+    #[test]
+    fn parses_lockfree_universal_policy_fig7() {
+        let src = r#"
+            policy lockfree_universal() {
+              rule Rrd: read(_) :- true;
+              rule Rcas: cas(<"SEQ", ?pos, ?x>, <"SEQ", ?pos2, ?inv>) :-
+                formal(x) && pos == pos2
+                && (pos == 1 || exists(<"SEQ", pos - 1, _>));
+            }
+        "#;
+        let p = parse_policy(src).unwrap();
+        let cond = format!("{}", p.rules[1].condition);
+        assert!(cond.contains("(pos - 1)"), "got {cond}");
+        assert!(cond.contains("pos == 1"), "got {cond}");
+    }
+
+    #[test]
+    fn parses_modulo_and_parenthesised_terms() {
+        let e = parse_expr("(pos + 1) % n == invoker()").unwrap();
+        match e {
+            Expr::Cmp(CmpOp::Eq, Term::Mod(_, _), Term::Invoker) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesised_boolean_groups() {
+        let e = parse_expr("(a == 1 || b == 2) && c == 3").unwrap();
+        match e {
+            Expr::And(lhs, _) => match *lhs {
+                Expr::Or(_, _) => {}
+                other => panic!("expected Or, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_forall_pairs() {
+        let e = parse_expr(
+            "forall (w -> s) in M { card(s) <= t && forall q in s { exists(<\"PROPOSE\", q, w>) } }",
+        )
+        .unwrap();
+        match e {
+            Expr::ForAllPairs { key, val, .. } => {
+                assert_eq!(key, "w");
+                assert_eq!(val, "s");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_vals_and_bottom() {
+        let e = parse_expr("v == bottom && card(union_vals(M)) >= n - t").unwrap();
+        let s = format!("{e}");
+        assert!(s.contains('\u{22a5}'), "got {s}");
+        assert!(s.contains("union_vals(M)"), "got {s}");
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let src = r#"
+            # hash comment
+            policy p() { // line comment
+              rule R: out(_) :- true; # trailing
+            }
+        "#;
+        assert!(parse_policy(src).is_ok());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_policy("policy p() { rule R out(_) :- true; }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected `:`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_operation() {
+        let err = parse_policy("policy p() { rule R: swap(_) :- true; }").unwrap_err();
+        assert!(err.message.contains("unknown operation"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_policy("policy p() { } extra").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn negative_literals_in_patterns_and_terms() {
+        let p = parse_policy("policy p() { rule R: out(<-3>) :- -1 < 0; }").unwrap();
+        match &p.rules[0].pattern {
+            InvocationPattern::Out(ArgPattern::Fields(fs)) => {
+                assert_eq!(fs[0], FieldPattern::Lit(Value::Int(-3)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn true_as_comparison_operand() {
+        let e = parse_expr("v == true").unwrap();
+        assert_eq!(
+            e,
+            Expr::Cmp(CmpOp::Eq, Term::var("v"), Term::val(true))
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_policy("policy p() { rule R: out(<\"x>) :- true; }").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Sans-io client session: broadcast a request, vote on `f+1` matching
+//! replies (§4: "basic voting protocols can be executed by the processes to
+//! determine the operation results").
+
+use crate::messages::{Message, OpResult, ReplicaId, Request};
+use peats_policy::OpCall;
+use std::collections::BTreeMap;
+
+/// One in-flight request from one client.
+#[derive(Debug)]
+pub struct ClientSession {
+    request: Request,
+    f: usize,
+    replies: BTreeMap<ReplicaId, OpResult>,
+    decided: Option<OpResult>,
+}
+
+impl ClientSession {
+    /// Starts a session for `op` as logical process `client` with request
+    /// number `req_id`, tolerating `f` faulty replicas.
+    pub fn new(client: u64, req_id: u64, op: OpCall, f: usize) -> Self {
+        ClientSession {
+            request: Request {
+                client,
+                req_id,
+                op,
+            },
+            f,
+            replies: BTreeMap::new(),
+            decided: None,
+        }
+    }
+
+    /// The request to broadcast to all replicas (and rebroadcast on
+    /// timeout).
+    pub fn request_message(&self) -> Message {
+        Message::Request(self.request.clone())
+    }
+
+    /// Feeds a `Reply`; returns the accepted result once `f+1` replicas
+    /// sent identical results for this request.
+    pub fn on_reply(&mut self, replica: ReplicaId, req_id: u64, result: OpResult) -> Option<OpResult> {
+        if self.decided.is_some() || req_id != self.request.req_id {
+            return self.decided.clone();
+        }
+        self.replies.insert(replica, result);
+        // Count matching results (OpResult is not Ord; linear grouping is
+        // fine for n ≤ a few dozen replicas).
+        let mut groups: Vec<(&OpResult, usize)> = Vec::new();
+        for r in self.replies.values() {
+            match groups.iter_mut().find(|(g, _)| *g == r) {
+                Some((_, c)) => *c += 1,
+                None => groups.push((r, 1)),
+            }
+        }
+        if let Some((result, _)) = groups.iter().find(|(_, c)| *c >= self.f + 1) {
+            self.decided = Some((*result).clone());
+        }
+        self.decided.clone()
+    }
+
+    /// The accepted result, if already decided.
+    pub fn decided(&self) -> Option<&OpResult> {
+        self.decided.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::tuple;
+
+    fn mk_session() -> ClientSession {
+        ClientSession::new(9, 1, OpCall::Out(tuple!["A"]), 1)
+    }
+
+    #[test]
+    fn accepts_after_f_plus_one_matching() {
+        let mut s = mk_session();
+        assert_eq!(s.on_reply(0, 1, OpResult::Done), None);
+        assert_eq!(s.on_reply(1, 1, OpResult::Done), Some(OpResult::Done));
+    }
+
+    #[test]
+    fn lone_divergent_reply_is_outvoted() {
+        let mut s = mk_session();
+        assert_eq!(s.on_reply(0, 1, OpResult::Denied("lie".into())), None);
+        assert_eq!(s.on_reply(1, 1, OpResult::Done), None);
+        assert_eq!(s.on_reply(2, 1, OpResult::Done), Some(OpResult::Done));
+    }
+
+    #[test]
+    fn duplicate_replica_replies_do_not_double_count() {
+        let mut s = mk_session();
+        assert_eq!(s.on_reply(0, 1, OpResult::Done), None);
+        assert_eq!(s.on_reply(0, 1, OpResult::Done), None);
+    }
+
+    #[test]
+    fn mismatched_req_id_is_ignored() {
+        let mut s = mk_session();
+        assert_eq!(s.on_reply(0, 99, OpResult::Done), None);
+        assert_eq!(s.on_reply(1, 99, OpResult::Done), None);
+        assert_eq!(s.decided(), None);
+    }
+}

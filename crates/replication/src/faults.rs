@@ -1,0 +1,20 @@
+//! Byzantine replica fault modes for the Fig. 2 experiments.
+
+/// How a replica misbehaves.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Fail-stop: processes nothing, sends nothing.
+    Crashed,
+    /// Receives and updates state but never sends (a silent Byzantine
+    /// replica — clients must still assemble `f+1` matching replies).
+    Mute,
+    /// Executes correctly but lies to clients in every `Reply` — client
+    /// voting must mask it.
+    CorruptReplies,
+    /// As primary, sends conflicting `PrePrepare`s to different backups —
+    /// the prepare quorum must refuse to certify both.
+    EquivocatingPrimary,
+}

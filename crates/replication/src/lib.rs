@@ -1,0 +1,43 @@
+//! # peats-replication
+//!
+//! The Byzantine fault-tolerant replicated PEATS — the Fig. 2 / DepSpace
+//! architecture of §4 of Bessani et al.:
+//!
+//! * [`service`] — the deterministic PEATS service with its per-replica
+//!   reference monitor (the "interceptor");
+//! * [`messages`] — the wire protocol with MAC-sealed envelopes
+//!   (authenticated channels);
+//! * [`replica`] — a sans-io PBFT-style replica state machine
+//!   (pre-prepare / prepare / commit, simplified view change);
+//! * [`client`] — client-side `f+1` reply voting;
+//! * [`faults`] — injectable replica fault modes;
+//! * [`sim_harness`] — a deterministic simulated deployment
+//!   ([`SimCluster`]) for fault experiments;
+//! * [`threaded`] — a thread-backed deployment ([`ThreadedCluster`]) whose
+//!   client handle [`ReplicatedPeats`] implements [`peats::TupleSpace`], so
+//!   every consensus object and universal construction runs on the real
+//!   replicated service unchanged.
+//!
+//! Safety requires `n = 3f+1` replicas; this is the *replica* fault bound
+//! `f`, independent of the *process* fault bound `t` of the algorithms
+//! running on top (the paper's two-level model: a fixed set of "controlled"
+//! servers serving an open set of untrusted processes, §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod faults;
+pub mod messages;
+pub mod replica;
+pub mod service;
+pub mod sim_harness;
+pub mod threaded;
+
+pub use client::ClientSession;
+pub use faults::FaultMode;
+pub use messages::{Message, OpResult, ReplicaId, Request, Sealed, Seq, View};
+pub use replica::{Dest, Replica, ReplicaConfig};
+pub use service::PeatsService;
+pub use sim_harness::SimCluster;
+pub use threaded::{ReplicatedPeats, ThreadedCluster};

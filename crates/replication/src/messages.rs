@@ -1,0 +1,490 @@
+//! Protocol messages of the BFT replication layer, with wire codecs and
+//! MAC envelopes.
+//!
+//! The protocol is a PBFT-style three-phase commit (pre-prepare / prepare /
+//! commit) with a simplified view change — the "replica coordination
+//! protocol … usually through an atomic multicast" of §4 / Fig. 2. Clients
+//! broadcast requests; the primary of the current view orders them; replicas
+//! execute in order and reply directly to the client, which accepts a result
+//! vouched for by `f+1` distinct replicas.
+
+use peats_auth::{sha256, Digest, KeyTable};
+use peats_codec::{Decode, DecodeError, Encode, Reader};
+use peats_policy::OpCall;
+use peats_tuplespace::Tuple;
+
+/// Replica index (`0..n_replicas`).
+pub type ReplicaId = u32;
+/// View number; the primary of view `v` is replica `v mod n`.
+pub type View = u64;
+/// Sequence number assigned by the primary.
+pub type Seq = u64;
+/// Logical process identity of a client (what the reference monitor sees).
+pub type ClientPid = u64;
+
+/// Result of executing one PEATS operation on the replicated service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// `out` succeeded.
+    Done,
+    /// `rdp`/`inp` result (present or absent).
+    Tuple(Option<Tuple>),
+    /// `cas` result: `inserted`, plus the matched tuple when not inserted.
+    Cas {
+        /// `true` iff the entry was inserted.
+        inserted: bool,
+        /// The matched tuple when `inserted` is false.
+        found: Option<Tuple>,
+    },
+    /// The reference monitor denied the invocation.
+    Denied(String),
+}
+
+impl Encode for OpResult {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            OpResult::Done => buf.push(0),
+            OpResult::Tuple(t) => {
+                buf.push(1);
+                t.encode(buf);
+            }
+            OpResult::Cas { inserted, found } => {
+                buf.push(2);
+                inserted.encode(buf);
+                found.encode(buf);
+            }
+            OpResult::Denied(why) => {
+                buf.push(3);
+                why.clone().encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for OpResult {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => OpResult::Done,
+            1 => OpResult::Tuple(Option::decode(r)?),
+            2 => OpResult::Cas {
+                inserted: bool::decode(r)?,
+                found: Option::decode(r)?,
+            },
+            3 => OpResult::Denied(String::decode(r)?),
+            tag => return Err(DecodeError::BadTag { tag, ty: "OpResult" }),
+        })
+    }
+}
+
+/// A client request: one PEATS operation invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// The invoking process, as seen by the reference monitor.
+    pub client: ClientPid,
+    /// Client-local request number (dedup + reply matching).
+    pub req_id: u64,
+    /// The operation.
+    pub op: OpCall,
+}
+
+impl Request {
+    /// Digest binding all request fields (used by prepare/commit votes).
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.client.encode(buf);
+        self.req_id.encode(buf);
+        self.op.encode(buf);
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Request {
+            client: u64::decode(r)?,
+            req_id: u64::decode(r)?,
+            op: OpCall::decode(r)?,
+        })
+    }
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Client → replicas.
+    Request(Request),
+    /// Primary → backups: assigns `seq` to `request` in `view`.
+    PrePrepare {
+        /// View in which the assignment is made.
+        view: View,
+        /// Assigned sequence number.
+        seq: Seq,
+        /// The ordered request.
+        request: Request,
+    },
+    /// Replica → replicas: vote that `digest` is assigned `seq` in `view`.
+    Prepare {
+        /// View of the vote.
+        view: View,
+        /// Sequence number voted on.
+        seq: Seq,
+        /// Digest of the request.
+        digest: Digest,
+        /// The voting replica.
+        replica: ReplicaId,
+    },
+    /// Replica → replicas: commit vote.
+    Commit {
+        /// View of the vote.
+        view: View,
+        /// Sequence number voted on.
+        seq: Seq,
+        /// Digest of the request.
+        digest: Digest,
+        /// The voting replica.
+        replica: ReplicaId,
+    },
+    /// Replica → client: execution result.
+    Reply {
+        /// View in which the request executed.
+        view: View,
+        /// Echoed client request number.
+        req_id: u64,
+        /// The replying replica.
+        replica: ReplicaId,
+        /// Execution result.
+        result: OpResult,
+    },
+    /// Replica → replicas: vote to move to `new_view` (simplified — carries
+    /// the replica's prepared-but-unexecuted requests for re-ordering; see
+    /// DESIGN.md §3 on the certificate simplification).
+    ViewChange {
+        /// The proposed view.
+        new_view: View,
+        /// Sender's last executed sequence number.
+        last_exec: Seq,
+        /// Prepared requests the new primary must re-order.
+        prepared: Vec<(Seq, Request)>,
+        /// The voting replica.
+        replica: ReplicaId,
+    },
+    /// New primary → replicas: installs `view` and re-orders requests.
+    NewView {
+        /// The installed view.
+        view: View,
+        /// Re-issued assignments.
+        assignments: Vec<(Seq, Request)>,
+    },
+}
+
+impl Encode for Message {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Message::Request(req) => {
+                buf.push(0);
+                req.encode(buf);
+            }
+            Message::PrePrepare { view, seq, request } => {
+                buf.push(1);
+                view.encode(buf);
+                seq.encode(buf);
+                request.encode(buf);
+            }
+            Message::Prepare {
+                view,
+                seq,
+                digest,
+                replica,
+            } => {
+                buf.push(2);
+                view.encode(buf);
+                seq.encode(buf);
+                buf.extend_from_slice(digest);
+                replica.encode(buf);
+            }
+            Message::Commit {
+                view,
+                seq,
+                digest,
+                replica,
+            } => {
+                buf.push(3);
+                view.encode(buf);
+                seq.encode(buf);
+                buf.extend_from_slice(digest);
+                replica.encode(buf);
+            }
+            Message::Reply {
+                view,
+                req_id,
+                replica,
+                result,
+            } => {
+                buf.push(4);
+                view.encode(buf);
+                req_id.encode(buf);
+                replica.encode(buf);
+                result.encode(buf);
+            }
+            Message::ViewChange {
+                new_view,
+                last_exec,
+                prepared,
+                replica,
+            } => {
+                buf.push(5);
+                new_view.encode(buf);
+                last_exec.encode(buf);
+                (prepared.len() as u32).encode(buf);
+                for (s, r) in prepared {
+                    s.encode(buf);
+                    r.encode(buf);
+                }
+                replica.encode(buf);
+            }
+            Message::NewView { view, assignments } => {
+                buf.push(6);
+                view.encode(buf);
+                (assignments.len() as u32).encode(buf);
+                for (s, r) in assignments {
+                    s.encode(buf);
+                    r.encode(buf);
+                }
+            }
+        }
+    }
+}
+
+fn decode_digest(r: &mut Reader<'_>) -> Result<Digest, DecodeError> {
+    let mut d = [0u8; 32];
+    for byte in &mut d {
+        *byte = u8::decode(r)?;
+    }
+    Ok(d)
+}
+
+fn decode_assignments(r: &mut Reader<'_>) -> Result<Vec<(Seq, Request)>, DecodeError> {
+    let n = u32::decode(r)? as usize;
+    if n > r.remaining() + 1 {
+        return Err(DecodeError::LengthOverflow);
+    }
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push((u64::decode(r)?, Request::decode(r)?));
+    }
+    Ok(out)
+}
+
+impl Decode for Message {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => Message::Request(Request::decode(r)?),
+            1 => Message::PrePrepare {
+                view: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                request: Request::decode(r)?,
+            },
+            2 => Message::Prepare {
+                view: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                digest: decode_digest(r)?,
+                replica: u32::decode(r)?,
+            },
+            3 => Message::Commit {
+                view: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                digest: decode_digest(r)?,
+                replica: u32::decode(r)?,
+            },
+            4 => Message::Reply {
+                view: u64::decode(r)?,
+                req_id: u64::decode(r)?,
+                replica: u32::decode(r)?,
+                result: OpResult::decode(r)?,
+            },
+            5 => {
+                let new_view = u64::decode(r)?;
+                let last_exec = u64::decode(r)?;
+                let prepared = decode_assignments(r)?;
+                let replica = u32::decode(r)?;
+                Message::ViewChange {
+                    new_view,
+                    last_exec,
+                    prepared,
+                    replica,
+                }
+            }
+            6 => Message::NewView {
+                view: u64::decode(r)?,
+                assignments: decode_assignments(r)?,
+            },
+            tag => return Err(DecodeError::BadTag { tag, ty: "Message" }),
+        })
+    }
+}
+
+/// MAC envelope: `(sender, mac, body)` — the authenticated channel of §4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sealed {
+    /// Sending node (transport identity).
+    pub from: u64,
+    /// `HMAC(pair_key(from, to), body)`.
+    pub mac: Digest,
+    /// Encoded [`Message`].
+    pub body: Vec<u8>,
+}
+
+impl Sealed {
+    /// Seals `msg` from `keys.id()` to `to`.
+    pub fn seal(keys: &KeyTable, to: u64, msg: &Message) -> Sealed {
+        let body = msg.to_bytes();
+        Sealed {
+            from: keys.id(),
+            mac: keys.sign_for(to, &body),
+            body,
+        }
+    }
+
+    /// Verifies and decodes, returning the authenticated sender and the
+    /// message. `None` on any MAC/codec failure (Byzantine input).
+    pub fn open(&self, keys: &KeyTable) -> Option<(u64, Message)> {
+        if !keys.verify_from(self.from, &self.body, &self.mac) {
+            return None;
+        }
+        Message::from_bytes(&self.body).ok().map(|m| (self.from, m))
+    }
+}
+
+impl Encode for Sealed {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.from.encode(buf);
+        buf.extend_from_slice(&self.mac);
+        (self.body.len() as u32).encode(buf);
+        buf.extend_from_slice(&self.body);
+    }
+}
+
+impl Decode for Sealed {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let from = u64::decode(r)?;
+        let mac = decode_digest(r)?;
+        let n = u32::decode(r)? as usize;
+        if n > r.remaining() {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut body = Vec::with_capacity(n);
+        for _ in 0..n {
+            body.push(u8::decode(r)?);
+        }
+        Ok(Sealed { from, mac, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::{template, tuple};
+
+    fn sample_request() -> Request {
+        Request {
+            client: 9,
+            req_id: 3,
+            op: OpCall::Cas(template!["D", ?x], tuple!["D", 1]),
+        }
+    }
+
+    #[test]
+    fn message_roundtrips() {
+        let msgs = vec![
+            Message::Request(sample_request()),
+            Message::PrePrepare {
+                view: 1,
+                seq: 7,
+                request: sample_request(),
+            },
+            Message::Prepare {
+                view: 1,
+                seq: 7,
+                digest: sample_request().digest(),
+                replica: 2,
+            },
+            Message::Commit {
+                view: 1,
+                seq: 7,
+                digest: sample_request().digest(),
+                replica: 3,
+            },
+            Message::Reply {
+                view: 1,
+                req_id: 3,
+                replica: 0,
+                result: OpResult::Cas {
+                    inserted: false,
+                    found: Some(tuple!["D", 1]),
+                },
+            },
+            Message::ViewChange {
+                new_view: 2,
+                last_exec: 5,
+                prepared: vec![(6, sample_request())],
+                replica: 1,
+            },
+            Message::NewView {
+                view: 2,
+                assignments: vec![(6, sample_request())],
+            },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(Message::from_bytes(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = sample_request();
+        let mut b = sample_request();
+        b.req_id += 1;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn seal_and_open() {
+        let alice = KeyTable::new(1, b"master".to_vec());
+        let bob = KeyTable::new(2, b"master".to_vec());
+        let msg = Message::Request(sample_request());
+        let sealed = Sealed::seal(&alice, 2, &msg);
+        let (from, opened) = sealed.open(&bob).expect("valid");
+        assert_eq!(from, 1);
+        assert_eq!(opened, msg);
+    }
+
+    #[test]
+    fn tampered_seal_is_rejected() {
+        let alice = KeyTable::new(1, b"master".to_vec());
+        let bob = KeyTable::new(2, b"master".to_vec());
+        let mut sealed = Sealed::seal(&alice, 2, &Message::Request(sample_request()));
+        sealed.body[0] ^= 1;
+        assert!(sealed.open(&bob).is_none());
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let alice = KeyTable::new(1, b"master".to_vec());
+        let carol = KeyTable::new(3, b"master".to_vec());
+        let sealed = Sealed::seal(&alice, 2, &Message::Request(sample_request()));
+        assert!(sealed.open(&carol).is_none());
+    }
+
+    #[test]
+    fn sealed_roundtrips_on_wire() {
+        let alice = KeyTable::new(1, b"master".to_vec());
+        let sealed = Sealed::seal(&alice, 2, &Message::Request(sample_request()));
+        let bytes = sealed.to_bytes();
+        assert_eq!(Sealed::from_bytes(&bytes).unwrap(), sealed);
+    }
+}

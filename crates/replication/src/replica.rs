@@ -1,0 +1,651 @@
+//! The sans-io BFT replica state machine.
+//!
+//! A PBFT-style three-phase protocol: the view-`v` primary (`v mod n`)
+//! assigns sequence numbers in `PrePrepare`s; replicas exchange `Prepare`
+//! and `Commit` votes; a request executes once its slot is committed and all
+//! earlier slots are executed. Safety needs `n ≥ 3f+1` replicas: a prepared
+//! certificate is `2f` prepares + the pre-prepare, a committed certificate
+//! is `2f+1` commits.
+//!
+//! The state machine is *sans-io*: inputs are `(sender, Message)` pairs and
+//! timeout ticks; outputs are `(destination, Message)` pairs. The netsim
+//! driver (tests, fault experiments) and the threaded driver (benchmarks)
+//! both wrap it, so the protocol logic is exercised identically in both.
+//!
+//! Simplifications versus full PBFT (documented in DESIGN.md §3):
+//! checkpoint/garbage-collection is digest-only (logs are unbounded within a
+//! run) and view-change messages carry prepared requests without
+//! per-message signature certificates — sufficient for the fault modes the
+//! experiments inject (crash, mute, equivocating primary, corrupt replies).
+
+use crate::faults::FaultMode;
+use crate::messages::{Message, OpResult, ReplicaId, Request, Seq, View};
+use crate::service::PeatsService;
+use peats_auth::Digest;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Destination of an output message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// Another replica.
+    Replica(ReplicaId),
+    /// All other replicas.
+    AllReplicas,
+    /// The transport node of a client.
+    Client(u64),
+}
+
+/// Static replica configuration.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// This replica's index.
+    pub id: ReplicaId,
+    /// Total replicas (`n ≥ 3f+1`).
+    pub n: usize,
+    /// Tolerated replica faults.
+    pub f: usize,
+}
+
+impl ReplicaConfig {
+    /// The primary of `view`.
+    pub fn primary_of(&self, view: View) -> ReplicaId {
+        (view % self.n as u64) as ReplicaId
+    }
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    request: Option<Request>,
+    digest: Option<Digest>,
+    prepares: BTreeSet<ReplicaId>,
+    commits: BTreeSet<ReplicaId>,
+    committed: bool,
+    executed: bool,
+}
+
+/// The replica state machine.
+pub struct Replica {
+    cfg: ReplicaConfig,
+    view: View,
+    service: PeatsService,
+    slots: BTreeMap<Seq, Slot>,
+    next_seq: Seq,
+    last_exec: Seq,
+    /// Client transport-node bindings: authenticated transport node →
+    /// logical process id (the certificate→principal map of §4).
+    client_registry: BTreeMap<u64, u64>,
+    /// Last reply per client pid (dedup + re-reply on retransmission).
+    replies: BTreeMap<u64, (u64, OpResult)>,
+    /// Pending-but-unordered requests (used when this replica becomes
+    /// primary after a view change).
+    pending: Vec<Request>,
+    view_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<(Seq, Request)>>>,
+    fault: FaultMode,
+}
+
+impl Replica {
+    /// Creates a replica around its service copy.
+    pub fn new(
+        cfg: ReplicaConfig,
+        service: PeatsService,
+        client_registry: BTreeMap<u64, u64>,
+    ) -> Self {
+        Replica {
+            cfg,
+            view: 0,
+            service,
+            slots: BTreeMap::new(),
+            next_seq: 0,
+            last_exec: 0,
+            client_registry,
+            replies: BTreeMap::new(),
+            pending: Vec::new(),
+            view_votes: BTreeMap::new(),
+            fault: FaultMode::Correct,
+        }
+    }
+
+    /// Injects a fault mode (experiments only).
+    pub fn set_fault(&mut self, fault: FaultMode) {
+        self.fault = fault;
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Last executed sequence number.
+    pub fn last_exec(&self) -> Seq {
+        self.last_exec
+    }
+
+    /// `true` if this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.cfg.primary_of(self.view) == self.cfg.id
+    }
+
+    /// State digest of the hosted service (divergence checks).
+    pub fn state_digest(&self) -> Digest {
+        self.service.state_digest()
+    }
+
+    fn quorum_prepare(&self) -> usize {
+        2 * self.cfg.f
+    }
+
+    fn quorum_commit(&self) -> usize {
+        2 * self.cfg.f + 1
+    }
+
+    /// Handles an authenticated message from transport node `from`
+    /// (replicas are nodes `0..n`; clients are higher node ids).
+    /// Returns the messages to send.
+    pub fn on_message(&mut self, from: u64, msg: Message) -> Vec<(Dest, Message)> {
+        if matches!(self.fault, FaultMode::Crashed) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match msg {
+            Message::Request(req) => self.on_request(from, req, &mut out),
+            Message::PrePrepare { view, seq, request } => {
+                self.on_pre_prepare(from, view, seq, request, &mut out)
+            }
+            Message::Prepare {
+                view: _,
+                seq,
+                digest,
+                replica,
+            } => {
+                // Votes are view-agnostic: the digest pins the request, so a
+                // prepare from a sender that has already moved views still
+                // certifies the same assignment (simplification vs PBFT,
+                // safe because conflicting digests never share a slot).
+                if replica as u64 == from {
+                    self.on_prepare(seq, digest, replica, &mut out);
+                }
+            }
+            Message::Commit {
+                view: _,
+                seq,
+                digest,
+                replica,
+            } => {
+                if replica as u64 == from {
+                    self.on_commit(seq, digest, replica, &mut out);
+                }
+            }
+            Message::ViewChange {
+                new_view,
+                last_exec: _,
+                prepared,
+                replica,
+            } => {
+                if replica as u64 == from {
+                    self.on_view_change(new_view, prepared, replica, &mut out);
+                }
+            }
+            Message::NewView { view, assignments } => {
+                self.on_new_view(from, view, assignments, &mut out);
+            }
+            Message::Reply { .. } => {} // replicas ignore replies
+        }
+        if matches!(self.fault, FaultMode::Mute) {
+            return Vec::new();
+        }
+        self.apply_output_faults(out)
+    }
+
+    fn on_request(&mut self, from: u64, req: Request, out: &mut Vec<(Dest, Message)>) {
+        // Authenticate the principal binding: the claimed pid must be the
+        // one registered for the sending transport node.
+        match self.client_registry.get(&from) {
+            Some(pid) if *pid == req.client => {}
+            _ => return, // impersonation attempt or unknown client: drop
+        }
+        // Retransmission of an executed request: re-reply.
+        if let Some((req_id, result)) = self.replies.get(&req.client) {
+            if *req_id == req.req_id {
+                out.push((
+                    Dest::Client(from),
+                    Message::Reply {
+                        view: self.view,
+                        req_id: req.req_id,
+                        replica: self.cfg.id,
+                        result: result.clone(),
+                    },
+                ));
+                return;
+            }
+            if *req_id > req.req_id {
+                return; // stale
+            }
+        }
+        if self.is_primary() {
+            // Already ordered? (client broadcast + retransmissions)
+            let dup = self
+                .slots
+                .values()
+                .any(|s| s.request.as_ref() == Some(&req));
+            if dup {
+                return;
+            }
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            let digest = req.digest();
+            let slot = self.slots.entry(seq).or_default();
+            slot.request = Some(req.clone());
+            slot.digest = Some(digest);
+            slot.prepares.insert(self.cfg.id);
+            out.push((
+                Dest::AllReplicas,
+                Message::PrePrepare {
+                    view: self.view,
+                    seq,
+                    request: req,
+                },
+            ));
+        } else {
+            // Backups hold the request for potential re-ordering after a
+            // view change; the primary got its own copy via the client's
+            // broadcast.
+            if !self.pending.iter().any(|r| *r == req) {
+                self.pending.push(req);
+            }
+        }
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        from: u64,
+        view: View,
+        seq: Seq,
+        request: Request,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if view != self.view || from != u64::from(self.cfg.primary_of(view)) {
+            return;
+        }
+        let digest = request.digest();
+        let slot = self.slots.entry(seq).or_default();
+        match &slot.digest {
+            Some(d) if *d != digest => return, // equivocation: refuse
+            _ => {}
+        }
+        if slot.request.is_none() {
+            slot.request = Some(request);
+            slot.digest = Some(digest);
+        }
+        // The pre-prepare is the primary's prepare vote.
+        slot.prepares.insert(self.cfg.primary_of(view));
+        slot.prepares.insert(self.cfg.id);
+        out.push((
+            Dest::AllReplicas,
+            Message::Prepare {
+                view,
+                seq,
+                digest,
+                replica: self.cfg.id,
+            },
+        ));
+        // A 2-replica quorum may already be satisfied (f small).
+        self.maybe_commit_phase(seq, out);
+    }
+
+    fn on_prepare(
+        &mut self,
+        seq: Seq,
+        digest: Digest,
+        replica: ReplicaId,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        let slot = self.slots.entry(seq).or_default();
+        if slot.digest.is_some() && slot.digest != Some(digest) {
+            return;
+        }
+        slot.prepares.insert(replica);
+        self.maybe_commit_phase(seq, out);
+    }
+
+    fn maybe_commit_phase(&mut self, seq: Seq, out: &mut Vec<(Dest, Message)>) {
+        let quorum = self.quorum_prepare();
+        let me = self.cfg.id;
+        let view = self.view;
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
+        let (Some(digest), Some(_)) = (slot.digest, slot.request.as_ref()) else {
+            return;
+        };
+        // Prepared: pre-prepare (counted via own id) + 2f prepares total.
+        if slot.prepares.len() > quorum && slot.commits.insert(me) {
+            out.push((
+                Dest::AllReplicas,
+                Message::Commit {
+                    view,
+                    seq,
+                    digest,
+                    replica: me,
+                },
+            ));
+            self.maybe_execute(seq, out);
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        seq: Seq,
+        digest: Digest,
+        replica: ReplicaId,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        let slot = self.slots.entry(seq).or_default();
+        if slot.digest.is_some() && slot.digest != Some(digest) {
+            return;
+        }
+        slot.commits.insert(replica);
+        self.maybe_execute(seq, out);
+    }
+
+    fn maybe_execute(&mut self, seq: Seq, out: &mut Vec<(Dest, Message)>) {
+        {
+            let quorum = self.quorum_commit();
+            let Some(slot) = self.slots.get_mut(&seq) else {
+                return;
+            };
+            if slot.commits.len() >= quorum && slot.request.is_some() {
+                slot.committed = true;
+            }
+        }
+        // Execute in order while possible.
+        loop {
+            let next = self.last_exec + 1;
+            let ready = self
+                .slots
+                .get(&next)
+                .is_some_and(|s| s.committed && !s.executed && s.request.is_some());
+            if !ready {
+                break;
+            }
+            let slot = self.slots.get_mut(&next).expect("checked above");
+            slot.executed = true;
+            let req = slot.request.clone().expect("checked above");
+            self.last_exec = next;
+            let result = self.service.execute(req.client, &req.op);
+            self.replies
+                .insert(req.client, (req.req_id, result.clone()));
+            self.pending.retain(|r| *r != req);
+            // Find the client's transport node from the registry binding.
+            let client_node = self
+                .client_registry
+                .iter()
+                .find(|(_, pid)| **pid == req.client)
+                .map(|(node, _)| *node);
+            if let Some(node) = client_node {
+                out.push((
+                    Dest::Client(node),
+                    Message::Reply {
+                        view: self.view,
+                        req_id: req.req_id,
+                        replica: self.cfg.id,
+                        result,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Local progress timeout: the driver calls this when requests are
+    /// pending but execution has not advanced — the PBFT view-change
+    /// trigger. Returns the messages to send.
+    pub fn on_progress_timeout(&mut self) -> Vec<(Dest, Message)> {
+        if matches!(self.fault, FaultMode::Crashed | FaultMode::Mute) {
+            return Vec::new();
+        }
+        if self.pending.is_empty() && self.slots.values().all(|s| s.executed || s.request.is_none())
+        {
+            return Vec::new();
+        }
+        let new_view = self.view + 1;
+        let prepared: Vec<(Seq, Request)> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| !s.executed)
+            .filter_map(|(seq, s)| s.request.clone().map(|r| (*seq, r)))
+            .collect();
+        let mut msgs = vec![(
+            Dest::AllReplicas,
+            Message::ViewChange {
+                new_view,
+                last_exec: self.last_exec,
+                prepared: prepared.clone(),
+                replica: self.cfg.id,
+            },
+        )];
+        // Vote for the view change ourselves.
+        self.view_votes
+            .entry(new_view)
+            .or_default()
+            .insert(self.cfg.id, prepared);
+        msgs = self.apply_output_faults(msgs);
+        msgs
+    }
+
+    fn on_view_change(
+        &mut self,
+        new_view: View,
+        prepared: Vec<(Seq, Request)>,
+        replica: ReplicaId,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if new_view <= self.view {
+            return;
+        }
+        let votes = self.view_votes.entry(new_view).or_default();
+        votes.insert(replica, prepared);
+        let votes_len = votes.len();
+        if votes_len >= 2 * self.cfg.f + 1 && self.cfg.primary_of(new_view) == self.cfg.id {
+            // Become primary of the new view: re-order everything reported
+            // prepared plus our own pending requests.
+            let mut assignments: BTreeMap<Seq, Request> = BTreeMap::new();
+            let votes = self.view_votes.remove(&new_view).unwrap_or_default();
+            let mut to_order: Vec<Request> = Vec::new();
+            for (_, prepared) in votes {
+                for (_, req) in prepared {
+                    if !to_order.contains(&req) {
+                        to_order.push(req);
+                    }
+                }
+            }
+            for req in self.pending.clone() {
+                if !to_order.contains(&req) {
+                    to_order.push(req);
+                }
+            }
+            // Drop requests already executed here.
+            to_order.retain(|req| {
+                self.replies
+                    .get(&req.client)
+                    .map_or(true, |(id, _)| *id < req.req_id)
+            });
+            // Keep already-known (possibly prepared elsewhere) slots where
+            // they are; new assignments go after every sequence number any
+            // replica may have seen.
+            let mut seq = self
+                .slots
+                .keys()
+                .max()
+                .copied()
+                .unwrap_or(0)
+                .max(self.last_exec)
+                .max(self.next_seq);
+            let known: Vec<Request> = self
+                .slots
+                .values()
+                .filter_map(|s| s.request.clone())
+                .collect();
+            for req in to_order {
+                if known.contains(&req) {
+                    continue;
+                }
+                seq += 1;
+                assignments.insert(seq, req);
+            }
+            // Re-issue existing unexecuted slots under the new view too, so
+            // backups that missed the original pre-prepare catch up.
+            for (s, slot) in &self.slots {
+                if !slot.executed {
+                    if let Some(req) = &slot.request {
+                        assignments.entry(*s).or_insert_with(|| req.clone());
+                    }
+                }
+            }
+            self.next_seq = seq;
+            self.install_view(new_view, &assignments);
+            let assignments: Vec<(Seq, Request)> = assignments.into_iter().collect();
+            out.push((
+                Dest::AllReplicas,
+                Message::NewView {
+                    view: new_view,
+                    assignments: assignments.clone(),
+                },
+            ));
+            // Locally treat each assignment as pre-prepared; broadcast
+            // prepares.
+            for (seq, req) in assignments {
+                let digest = req.digest();
+                {
+                    let slot = self.slots.entry(seq).or_default();
+                    slot.prepares.insert(self.cfg.id);
+                }
+                out.push((
+                    Dest::AllReplicas,
+                    Message::Prepare {
+                        view: new_view,
+                        seq,
+                        digest,
+                        replica: self.cfg.id,
+                    },
+                ));
+                self.maybe_commit_phase(seq, out);
+            }
+        }
+    }
+
+    fn on_new_view(
+        &mut self,
+        from: u64,
+        view: View,
+        assignments: Vec<(Seq, Request)>,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if view <= self.view || from != u64::from(self.cfg.primary_of(view)) {
+            return;
+        }
+        let map: BTreeMap<Seq, Request> = assignments.into_iter().collect();
+        self.install_view(view, &map);
+        for (seq, req) in map {
+            let digest = req.digest();
+            let slot = self.slots.entry(seq).or_default();
+            if slot.executed {
+                continue;
+            }
+            slot.request = Some(req);
+            slot.digest = Some(digest);
+            slot.prepares.insert(self.cfg.id);
+            out.push((
+                Dest::AllReplicas,
+                Message::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    replica: self.cfg.id,
+                },
+            ));
+            self.maybe_commit_phase(seq, out);
+        }
+    }
+
+    fn install_view(&mut self, view: View, assignments: &BTreeMap<Seq, Request>) {
+        self.view = view;
+        // Keep existing slots — prepare/commit votes are view-agnostic and
+        // must survive the transition; only fill empty assignments.
+        for (seq, req) in assignments {
+            let slot = self.slots.entry(*seq).or_default();
+            if slot.request.is_none() {
+                slot.request = Some(req.clone());
+                slot.digest = Some(req.digest());
+            }
+        }
+        self.view_votes.retain(|v, _| *v > view);
+    }
+
+    fn apply_output_faults(&self, out: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+        match &self.fault {
+            FaultMode::Correct => out,
+            FaultMode::Crashed | FaultMode::Mute => Vec::new(),
+            FaultMode::CorruptReplies => out
+                .into_iter()
+                .map(|(dest, msg)| match msg {
+                    Message::Reply {
+                        view,
+                        req_id,
+                        replica,
+                        ..
+                    } => (
+                        dest,
+                        Message::Reply {
+                            view,
+                            req_id,
+                            replica,
+                            result: OpResult::Denied("corrupted".into()),
+                        },
+                    ),
+                    other => (dest, other),
+                })
+                .collect(),
+            FaultMode::EquivocatingPrimary => out
+                .into_iter()
+                .flat_map(|(dest, msg)| match (dest, &msg) {
+                    (Dest::AllReplicas, Message::PrePrepare { view, seq, request }) => {
+                        // Send conflicting assignments to odd/even replicas.
+                        let mut forged = request.clone();
+                        forged.req_id = forged.req_id.wrapping_add(1_000_000);
+                        let mut msgs = Vec::new();
+                        for r in 0..self.cfg.n as ReplicaId {
+                            if r == self.cfg.id {
+                                continue;
+                            }
+                            let m = if r % 2 == 0 {
+                                Message::PrePrepare {
+                                    view: *view,
+                                    seq: *seq,
+                                    request: request.clone(),
+                                }
+                            } else {
+                                Message::PrePrepare {
+                                    view: *view,
+                                    seq: *seq,
+                                    request: forged.clone(),
+                                }
+                            };
+                            msgs.push((Dest::Replica(r), m));
+                        }
+                        msgs
+                    }
+                    _ => vec![(dest, msg)],
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.cfg.id)
+            .field("view", &self.view)
+            .field("last_exec", &self.last_exec)
+            .finish()
+    }
+}

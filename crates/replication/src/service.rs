@@ -1,0 +1,157 @@
+//! The replicated service: a deterministic PEATS with its per-replica
+//! reference monitor (the "interceptor" of Fig. 2).
+//!
+//! Determinism is what makes state-machine replication work (§4): the
+//! service's output depends only on its state and the executed operation,
+//! so replicas that execute the same request sequence return identical
+//! results and the client can vote on `f+1` matching replies.
+
+use crate::messages::OpResult;
+use peats_auth::{sha256, Digest};
+use peats_codec::Encode;
+use peats_policy::{
+    Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
+};
+use peats_tuplespace::{CasOutcome, SequentialSpace};
+
+/// One replica's copy of the PEATS: space + reference monitor.
+#[derive(Clone)]
+pub struct PeatsService {
+    space: SequentialSpace,
+    monitor: ReferenceMonitor,
+}
+
+impl PeatsService {
+    /// Creates the service from the deployment's policy and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingParamError`] when the policy declares unset
+    /// parameters.
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, MissingParamError> {
+        Ok(PeatsService {
+            space: SequentialSpace::new(),
+            monitor: ReferenceMonitor::new(policy, params)?,
+        })
+    }
+
+    /// Executes one operation on behalf of authenticated client `client`.
+    ///
+    /// Blocking operations (`rd`/`in`) are *not* executed server-side — the
+    /// replicated client polls their nonblocking variants — so they are
+    /// mapped to their nonblocking equivalents here for robustness against
+    /// Byzantine clients submitting them directly.
+    pub fn execute(&mut self, client: ProcessId, op: &OpCall) -> OpResult {
+        let op = match op {
+            OpCall::Rd(t) => OpCall::Rdp(t.clone()),
+            OpCall::In(t) => OpCall::Inp(t.clone()),
+            other => other.clone(),
+        };
+        let decision = self
+            .monitor
+            .decide(&Invocation::new(client, op.clone()), &self.space);
+        if !decision.is_allowed() {
+            return OpResult::Denied(decision.to_string());
+        }
+        match op {
+            OpCall::Out(entry) => {
+                self.space.out(entry);
+                OpResult::Done
+            }
+            OpCall::Rdp(template) => OpResult::Tuple(self.space.rdp(&template)),
+            OpCall::Inp(template) => OpResult::Tuple(self.space.inp(&template)),
+            OpCall::Cas(template, entry) => match self.space.cas(&template, entry) {
+                CasOutcome::Inserted => OpResult::Cas {
+                    inserted: true,
+                    found: None,
+                },
+                CasOutcome::Found(t) => OpResult::Cas {
+                    inserted: false,
+                    found: Some(t),
+                },
+            },
+            OpCall::Rd(_) | OpCall::In(_) => unreachable!("mapped above"),
+        }
+    }
+
+    /// Digest of the full service state (checkpointing / divergence
+    /// detection).
+    pub fn state_digest(&self) -> Digest {
+        let mut buf = Vec::new();
+        for t in self.space.iter() {
+            t.encode(&mut buf);
+        }
+        sha256(&buf)
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// `true` when the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+}
+
+impl std::fmt::Debug for PeatsService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeatsService")
+            .field("tuples", &self.space.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats::policies;
+    use peats_tuplespace::{template, tuple};
+
+    #[test]
+    fn identical_sequences_produce_identical_state() {
+        let mk = || {
+            PeatsService::new(policies::strong_consensus(), PolicyParams::n_t(4, 1)).unwrap()
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let ops = [
+            (0u64, OpCall::Out(tuple!["PROPOSE", 0u64, 1])),
+            (1, OpCall::Out(tuple!["PROPOSE", 1u64, 1])),
+            (2, OpCall::Rdp(template!["PROPOSE", _, ?v])),
+        ];
+        for (c, op) in &ops {
+            assert_eq!(a.execute(*c, op), b.execute(*c, op));
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn policy_denials_are_results_not_errors() {
+        let mut svc =
+            PeatsService::new(policies::strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
+        // Impersonation: client 2 writes a proposal for client 3.
+        let r = svc.execute(2, &OpCall::Out(tuple!["PROPOSE", 3u64, 1]));
+        assert!(matches!(r, OpResult::Denied(_)));
+        assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn blocking_ops_map_to_nonblocking() {
+        let mut svc = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        svc.execute(0, &OpCall::Out(tuple!["A"]));
+        let r = svc.execute(0, &OpCall::Rd(template!["A"]));
+        assert_eq!(r, OpResult::Tuple(Some(tuple!["A"])));
+        let r = svc.execute(0, &OpCall::In(template!["A"]));
+        assert_eq!(r, OpResult::Tuple(Some(tuple!["A"])));
+        assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn state_digest_tracks_content() {
+        let mut a = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let d0 = a.state_digest();
+        a.execute(0, &OpCall::Out(tuple!["A"]));
+        assert_ne!(a.state_digest(), d0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Deterministic simulation harness: a full Fig. 2 deployment (replicas +
+//! clients + authenticated links) inside `peats-netsim`.
+//!
+//! Node numbering: replicas occupy nodes `0..n`; client `i` occupies node
+//! `n + i`. Every message on the wire is a MAC-sealed [`Sealed`] envelope;
+//! replicas drop anything that fails authentication, which is what stops a
+//! Byzantine client from impersonating a correct process (§2.1).
+
+use crate::client::ClientSession;
+use crate::faults::FaultMode;
+use crate::messages::{Message, OpResult, ReplicaId, Sealed};
+use crate::replica::{Dest, Replica, ReplicaConfig};
+use crate::service::PeatsService;
+use peats_auth::KeyTable;
+use peats_codec::{Decode, Encode};
+use peats_netsim::{Actor, Context, NetConfig, NodeId, SimNet};
+use peats_policy::{OpCall, Policy, PolicyParams};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Timer token used by replica actors for the progress/view-change check.
+const PROGRESS_TIMER: u64 = 1;
+/// Simulated time between progress checks.
+const PROGRESS_PERIOD: u64 = 4_000;
+
+struct ReplicaActor {
+    replica: Rc<RefCell<Replica>>,
+    keys: KeyTable,
+    n_replicas: usize,
+    last_seen_exec: u64,
+}
+
+impl ReplicaActor {
+    fn ship(&self, ctx: &mut Context<'_>, outputs: Vec<(Dest, Message)>) {
+        for (dest, msg) in outputs {
+            match dest {
+                Dest::Replica(r) => {
+                    let sealed = Sealed::seal(&self.keys, u64::from(r), &msg);
+                    ctx.send(r, sealed.to_bytes());
+                }
+                Dest::AllReplicas => {
+                    for r in 0..self.n_replicas as NodeId {
+                        if u64::from(r) == self.keys.id() {
+                            continue;
+                        }
+                        let sealed = Sealed::seal(&self.keys, u64::from(r), &msg);
+                        ctx.send(r, sealed.to_bytes());
+                    }
+                }
+                Dest::Client(node) => {
+                    let sealed = Sealed::seal(&self.keys, node, &msg);
+                    ctx.send(node as NodeId, sealed.to_bytes());
+                }
+            }
+        }
+    }
+}
+
+impl Actor for ReplicaActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(PROGRESS_PERIOD, PROGRESS_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: &[u8]) {
+        let Ok(sealed) = Sealed::from_bytes(payload) else {
+            return; // garbage: drop
+        };
+        let Some((sender, msg)) = sealed.open(&self.keys) else {
+            return; // bad MAC: drop
+        };
+        let outputs = self.replica.borrow_mut().on_message(sender, msg);
+        self.ship(ctx, outputs);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token != PROGRESS_TIMER {
+            return;
+        }
+        let (last_exec, outputs) = {
+            let mut replica = self.replica.borrow_mut();
+            let last = replica.last_exec();
+            let outputs = if last == self.last_seen_exec {
+                replica.on_progress_timeout()
+            } else {
+                Vec::new()
+            };
+            (last, outputs)
+        };
+        self.last_seen_exec = last_exec;
+        self.ship(ctx, outputs);
+        ctx.set_timer(PROGRESS_PERIOD, PROGRESS_TIMER);
+    }
+}
+
+type ReplyLog = Rc<RefCell<Vec<(ReplicaId, u64, OpResult)>>>;
+
+struct ClientActor {
+    keys: KeyTable,
+    replies: ReplyLog,
+}
+
+impl Actor for ClientActor {
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, payload: &[u8]) {
+        let Ok(sealed) = Sealed::from_bytes(payload) else {
+            return;
+        };
+        let Some((_, Message::Reply { req_id, replica, result, .. })) = sealed.open(&self.keys)
+        else {
+            return;
+        };
+        self.replies.borrow_mut().push((replica, req_id, result));
+    }
+}
+
+struct ClientSlot {
+    node: NodeId,
+    pid: u64,
+    keys: KeyTable,
+    replies: ReplyLog,
+    next_req_id: u64,
+}
+
+/// A simulated replicated-PEATS deployment.
+///
+/// # Examples
+///
+/// ```
+/// use peats_replication::sim_harness::SimCluster;
+/// use peats_policy::{OpCall, Policy, PolicyParams};
+/// use peats_netsim::NetConfig;
+/// use peats_tuplespace::tuple;
+///
+/// let mut cluster = SimCluster::new(
+///     Policy::allow_all(), PolicyParams::new(), 1, &[100], NetConfig::default());
+/// let result = cluster.invoke(0, OpCall::Out(tuple!["hello"])).expect("replied");
+/// # let _ = result;
+/// ```
+pub struct SimCluster {
+    net: SimNet,
+    replicas: Vec<Rc<RefCell<Replica>>>,
+    clients: Vec<ClientSlot>,
+    f: usize,
+    step_budget: u64,
+}
+
+impl SimCluster {
+    /// Builds `3f+1` replicas hosting a PEATS with `policy`/`params`, plus
+    /// one client per entry of `client_pids` (the logical process ids the
+    /// reference monitor will see).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy parameters are inconsistent (a deployment-time
+    /// configuration error).
+    pub fn new(
+        policy: Policy,
+        params: PolicyParams,
+        f: usize,
+        client_pids: &[u64],
+        config: NetConfig,
+    ) -> Self {
+        let n_replicas = 3 * f + 1;
+        let master = b"peats-deployment-master".to_vec();
+        let mut net = SimNet::new(config);
+
+        let registry: BTreeMap<u64, u64> = client_pids
+            .iter()
+            .enumerate()
+            .map(|(i, pid)| ((n_replicas + i) as u64, *pid))
+            .collect();
+
+        let mut replicas = Vec::new();
+        for id in 0..n_replicas {
+            let service = PeatsService::new(policy.clone(), params.clone())
+                .expect("policy parameters are consistent");
+            let replica = Rc::new(RefCell::new(Replica::new(
+                ReplicaConfig {
+                    id: id as ReplicaId,
+                    n: n_replicas,
+                    f,
+                },
+                service,
+                registry.clone(),
+            )));
+            replicas.push(Rc::clone(&replica));
+            net.add_node(Box::new(ReplicaActor {
+                replica,
+                keys: KeyTable::new(id as u64, master.clone()),
+                n_replicas,
+                last_seen_exec: 0,
+            }));
+        }
+
+        let mut clients = Vec::new();
+        for (i, pid) in client_pids.iter().enumerate() {
+            let node_id = (n_replicas + i) as u64;
+            let replies: ReplyLog = Rc::new(RefCell::new(Vec::new()));
+            let keys = KeyTable::new(node_id, master.clone());
+            let node = net.add_node(Box::new(ClientActor {
+                keys: keys.clone(),
+                replies: Rc::clone(&replies),
+            }));
+            clients.push(ClientSlot {
+                node,
+                pid: *pid,
+                keys,
+                replies,
+                next_req_id: 0,
+            });
+        }
+
+        SimCluster {
+            net,
+            replicas,
+            clients,
+            f,
+            step_budget: 200_000,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Injects a fault mode into replica `id`.
+    pub fn set_fault(&mut self, id: ReplicaId, fault: FaultMode) {
+        self.replicas[id as usize].borrow_mut().set_fault(fault);
+    }
+
+    /// The view each replica currently sits in.
+    pub fn views(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.borrow().view()).collect()
+    }
+
+    /// State digests of all replicas (divergence check).
+    pub fn state_digests(&self) -> Vec<peats_auth::Digest> {
+        self.replicas
+            .iter()
+            .map(|r| r.borrow().state_digest())
+            .collect()
+    }
+
+    /// Invokes `op` from client `client_idx`; runs the simulation until the
+    /// client accepts a result (`f+1` matching replies) or the step budget
+    /// runs out (`None` — e.g. when too many replicas are faulty).
+    pub fn invoke(&mut self, client_idx: usize, op: OpCall) -> Option<OpResult> {
+        let n_replicas = self.replicas.len();
+        let (node, pid, req_id) = {
+            let c = &mut self.clients[client_idx];
+            c.next_req_id += 1;
+            c.replies.borrow_mut().clear();
+            (c.node, c.pid, c.next_req_id)
+        };
+        let mut session = ClientSession::new(pid, req_id, op, self.f);
+
+        let broadcast = |cluster: &mut SimCluster, session: &ClientSession| {
+            let c = &cluster.clients[client_idx];
+            for r in 0..n_replicas as NodeId {
+                let sealed = Sealed::seal(&c.keys, u64::from(r), &session.request_message());
+                cluster.net.inject(node, r, sealed.to_bytes());
+            }
+        };
+        broadcast(self, &session);
+
+        let mut steps = 0u64;
+        let mut next_retransmit = 20_000u64;
+        while steps < self.step_budget {
+            if !self.net.step() {
+                // Queue drained: retransmit (messages may have been dropped).
+                broadcast(self, &session);
+            }
+            steps += 1;
+            if steps == next_retransmit {
+                broadcast(self, &session);
+                next_retransmit += 20_000;
+            }
+            let pending: Vec<(ReplicaId, u64, OpResult)> =
+                self.clients[client_idx].replies.borrow_mut().drain(..).collect();
+            for (replica, rid, result) in pending {
+                if let Some(result) = session.on_reply(replica, rid, result) {
+                    return Some(result);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("replicas", &self.replicas.len())
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::{template, tuple};
+
+    fn cluster(f: usize, clients: &[u64]) -> SimCluster {
+        SimCluster::new(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            f,
+            clients,
+            NetConfig::default(),
+        )
+    }
+
+    #[test]
+    fn out_then_rdp_roundtrip() {
+        let mut c = cluster(1, &[100]);
+        assert_eq!(
+            c.invoke(0, OpCall::Out(tuple!["A", 1])),
+            Some(OpResult::Done)
+        );
+        assert_eq!(
+            c.invoke(0, OpCall::Rdp(template!["A", ?x])),
+            Some(OpResult::Tuple(Some(tuple!["A", 1])))
+        );
+        // All replicas converged to the same state.
+        let digests = c.state_digests();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn cas_is_exclusive_across_clients() {
+        let mut c = cluster(1, &[100, 101]);
+        let op = |v: i64| OpCall::Cas(template!["D", ?x], tuple!["D", v]);
+        let r1 = c.invoke(0, op(1)).unwrap();
+        let r2 = c.invoke(1, op(2)).unwrap();
+        assert_eq!(
+            r1,
+            OpResult::Cas {
+                inserted: true,
+                found: None
+            }
+        );
+        assert_eq!(
+            r2,
+            OpResult::Cas {
+                inserted: false,
+                found: Some(tuple!["D", 1])
+            }
+        );
+    }
+
+    #[test]
+    fn crashed_replica_does_not_block_progress() {
+        let mut c = cluster(1, &[100]);
+        c.set_fault(3, FaultMode::Crashed);
+        assert_eq!(
+            c.invoke(0, OpCall::Out(tuple!["A"])),
+            Some(OpResult::Done)
+        );
+    }
+
+    #[test]
+    fn corrupt_replies_are_outvoted() {
+        let mut c = cluster(1, &[100]);
+        c.set_fault(2, FaultMode::CorruptReplies);
+        assert_eq!(
+            c.invoke(0, OpCall::Out(tuple!["A"])),
+            Some(OpResult::Done)
+        );
+    }
+
+    #[test]
+    fn crashed_primary_triggers_view_change() {
+        let mut c = cluster(1, &[100]);
+        c.set_fault(0, FaultMode::Crashed); // primary of view 0
+        assert_eq!(
+            c.invoke(0, OpCall::Out(tuple!["A"])),
+            Some(OpResult::Done)
+        );
+        // Some correct replica moved past view 0.
+        assert!(c.views().iter().any(|v| *v > 0), "views: {:?}", c.views());
+    }
+
+    #[test]
+    fn lossy_network_still_completes() {
+        let mut c = SimCluster::new(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            NetConfig {
+                drop_probability: 0.05,
+                ..NetConfig::default()
+            },
+        );
+        assert_eq!(
+            c.invoke(0, OpCall::Out(tuple!["A"])),
+            Some(OpResult::Done)
+        );
+    }
+
+    #[test]
+    fn policy_is_enforced_at_every_replica() {
+        let mut c = SimCluster::new(
+            peats::policies::strong_consensus(),
+            PolicyParams::n_t(2, 1),
+            1,
+            &[0, 1],
+            NetConfig::default(),
+        );
+        // Client with pid 0 proposes as itself: allowed.
+        let r = c.invoke(0, OpCall::Out(tuple!["PROPOSE", 0u64, 1]));
+        assert_eq!(r, Some(OpResult::Done));
+        // Client with pid 1 tries to impersonate pid 0: denied by every
+        // correct replica's reference monitor.
+        let r = c.invoke(1, OpCall::Out(tuple!["PROPOSE", 0u64, 0]));
+        assert!(matches!(r, Some(OpResult::Denied(_))), "{r:?}");
+    }
+}

@@ -1,0 +1,460 @@
+//! Thread-backed deployment: the replicated PEATS as a real concurrent
+//! service, with a client handle implementing [`peats::TupleSpace`].
+//!
+//! This is the deployment the performance experiments (E12) measure: every
+//! operation is a MAC-sealed request broadcast to `3f+1` replica threads,
+//! ordered by the BFT protocol, executed against each replica's
+//! policy-enforced space, and voted on client-side (`f+1` matching
+//! replies). Because the handle implements [`peats::TupleSpace`], every
+//! algorithm in `peats-consensus` and `peats-universal` runs unmodified on
+//! top of it — the paper's Fig. 2 picture, end to end.
+
+use crate::client::ClientSession;
+use crate::faults::FaultMode;
+use crate::messages::{Message, OpResult, Sealed};
+use crate::replica::{Dest, Replica, ReplicaConfig};
+use crate::service::PeatsService;
+use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
+use peats_auth::KeyTable;
+use peats_codec::{Decode, Encode};
+use peats_netsim::{Mailbox, NodeId, ThreadNet};
+use peats_policy::{MissingParamError, OpCall, Policy, PolicyParams, ProcessId};
+use peats_tuplespace::{Template, Tuple};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const PROGRESS_PERIOD: Duration = Duration::from_millis(300);
+const REPLY_WAIT: Duration = Duration::from_millis(25);
+const INVOKE_TIMEOUT: Duration = Duration::from_secs(10);
+const BLOCKING_POLL: Duration = Duration::from_millis(2);
+
+fn ship(net: &ThreadNet, keys: &KeyTable, me: NodeId, n: usize, outputs: Vec<(Dest, Message)>) {
+    for (dest, msg) in outputs {
+        match dest {
+            Dest::Replica(r) => {
+                let sealed = Sealed::seal(keys, u64::from(r), &msg);
+                net.send(me, r, sealed.to_bytes());
+            }
+            Dest::AllReplicas => {
+                for r in 0..n as NodeId {
+                    if r == me {
+                        continue;
+                    }
+                    let sealed = Sealed::seal(keys, u64::from(r), &msg);
+                    net.send(me, r, sealed.to_bytes());
+                }
+            }
+            Dest::Client(node) => {
+                let sealed = Sealed::seal(keys, node, &msg);
+                net.send(me, node as NodeId, sealed.to_bytes());
+            }
+        }
+    }
+}
+
+fn replica_main(
+    mut replica: Replica,
+    keys: KeyTable,
+    mailbox: Mailbox,
+    net: ThreadNet,
+    n: usize,
+    stop: Arc<AtomicBool>,
+) {
+    let me = mailbox.id();
+    let mut last_seen_exec = 0;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match mailbox.recv_timeout(PROGRESS_PERIOD) {
+            Ok(Some((_, payload))) => {
+                let Ok(sealed) = Sealed::from_bytes(&payload) else {
+                    continue;
+                };
+                let Some((sender, msg)) = sealed.open(&keys) else {
+                    continue;
+                };
+                let outputs = replica.on_message(sender, msg);
+                ship(&net, &keys, me, n, outputs);
+            }
+            Ok(None) => {
+                // No traffic for a full period: progress check.
+                let last = replica.last_exec();
+                if last == last_seen_exec {
+                    let outputs = replica.on_progress_timeout();
+                    ship(&net, &keys, me, n, outputs);
+                }
+                last_seen_exec = last;
+            }
+            Err(()) => return, // fabric gone
+        }
+    }
+}
+
+/// A running thread-backed replicated PEATS.
+pub struct ThreadedCluster {
+    net: ThreadNet,
+    n_replicas: usize,
+    f: usize,
+    master: Vec<u8>,
+    client_slots: Vec<Option<(Mailbox, u64)>>,
+    stop: Arc<AtomicBool>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedCluster {
+    /// Spawns `3f+1` replica threads hosting a PEATS with
+    /// `policy`/`params`; provisions one client slot per entry of
+    /// `client_pids`. `faults[i]` (when provided) injects a fault into
+    /// replica `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingParamError`] when the policy declares unset
+    /// parameters.
+    pub fn start(
+        policy: Policy,
+        params: PolicyParams,
+        f: usize,
+        client_pids: &[u64],
+        faults: &[FaultMode],
+    ) -> Result<Self, MissingParamError> {
+        let n_replicas = 3 * f + 1;
+        let master = b"peats-threaded-master".to_vec();
+        let (net, mut mailboxes) = ThreadNet::new(n_replicas + client_pids.len());
+        let registry: BTreeMap<u64, u64> = client_pids
+            .iter()
+            .enumerate()
+            .map(|(i, pid)| ((n_replicas + i) as u64, *pid))
+            .collect();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut joins = Vec::new();
+        // Spawn replicas (mailboxes 0..n).
+        let client_boxes = mailboxes.split_off(n_replicas);
+        for (id, mailbox) in mailboxes.into_iter().enumerate() {
+            let service = PeatsService::new(policy.clone(), params.clone())?;
+            let mut replica = Replica::new(
+                ReplicaConfig {
+                    id: id as u32,
+                    n: n_replicas,
+                    f,
+                },
+                service,
+                registry.clone(),
+            );
+            if let Some(fault) = faults.get(id) {
+                replica.set_fault(fault.clone());
+            }
+            let keys = KeyTable::new(id as u64, master.clone());
+            let net = net.clone();
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                replica_main(replica, keys, mailbox, net, n_replicas, stop);
+            }));
+        }
+
+        let client_slots = client_boxes
+            .into_iter()
+            .zip(client_pids)
+            .map(|(mb, pid)| Some((mb, *pid)))
+            .collect();
+
+        Ok(ThreadedCluster {
+            net,
+            n_replicas,
+            f,
+            master,
+            client_slots,
+            stop,
+            joins,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// Takes the [`TupleSpace`] handle for client slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already taken.
+    pub fn handle(&mut self, idx: usize) -> ReplicatedPeats {
+        let (mailbox, pid) = self.client_slots[idx]
+            .take()
+            .expect("client slot already taken");
+        let node = mailbox.id();
+        ReplicatedPeats {
+            net: self.net.clone(),
+            mailbox: Arc::new(parking_lot::Mutex::new(mailbox)),
+            keys: KeyTable::new(u64::from(node), self.master.clone()),
+            node,
+            pid,
+            f: self.f,
+            n_replicas: self.n_replicas,
+            next_req: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Stops all replica threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadedCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedCluster")
+            .field("replicas", &self.n_replicas)
+            .finish()
+    }
+}
+
+/// Client handle onto a [`ThreadedCluster`]; implements
+/// [`peats::TupleSpace`], so all algorithms run on it unchanged.
+#[derive(Clone)]
+pub struct ReplicatedPeats {
+    net: ThreadNet,
+    mailbox: Arc<parking_lot::Mutex<Mailbox>>,
+    keys: KeyTable,
+    node: NodeId,
+    pid: u64,
+    f: usize,
+    n_replicas: usize,
+    next_req: Arc<AtomicU64>,
+}
+
+impl ReplicatedPeats {
+    fn invoke(&self, op: OpCall) -> SpaceResult<OpResult> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut session = ClientSession::new(self.pid, req_id, op, self.f);
+        let mailbox = self.mailbox.lock();
+        let broadcast = |session: &ClientSession| {
+            for r in 0..self.n_replicas as NodeId {
+                let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
+                self.net.send(self.node, r, sealed.to_bytes());
+            }
+        };
+        broadcast(&session);
+        let deadline = std::time::Instant::now() + INVOKE_TIMEOUT;
+        let mut next_retry = std::time::Instant::now() + Duration::from_millis(500);
+        loop {
+            if std::time::Instant::now() > deadline {
+                return Err(SpaceError::Unavailable(
+                    "no f+1 matching replies before timeout".into(),
+                ));
+            }
+            if std::time::Instant::now() > next_retry {
+                broadcast(&session);
+                next_retry += Duration::from_millis(500);
+            }
+            match mailbox.recv_timeout(REPLY_WAIT) {
+                Ok(Some((_, payload))) => {
+                    let Ok(sealed) = Sealed::from_bytes(&payload) else {
+                        continue;
+                    };
+                    let Some((
+                        _,
+                        Message::Reply {
+                            req_id: rid,
+                            replica,
+                            result,
+                            ..
+                        },
+                    )) = sealed.open(&self.keys)
+                    else {
+                        continue;
+                    };
+                    if let Some(result) = session.on_reply(replica, rid, result) {
+                        return Ok(result);
+                    }
+                }
+                Ok(None) => {}
+                Err(()) => {
+                    return Err(SpaceError::Unavailable("cluster shut down".into()));
+                }
+            }
+        }
+    }
+
+    fn expect_tuple(&self, r: OpResult) -> SpaceResult<Option<Tuple>> {
+        match r {
+            OpResult::Tuple(t) => Ok(t),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+}
+
+fn denied(detail: String) -> SpaceError {
+    SpaceError::Denied(peats_policy::Decision::Denied {
+        attempts: vec![("replicated".into(), detail)],
+    })
+}
+
+impl TupleSpace for ReplicatedPeats {
+    fn out(&self, entry: Tuple) -> SpaceResult<()> {
+        match self.invoke(OpCall::Out(entry))? {
+            OpResult::Done => Ok(()),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+
+    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        let r = self.invoke(OpCall::Rdp(template.clone()))?;
+        self.expect_tuple(r)
+    }
+
+    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        let r = self.invoke(OpCall::Inp(template.clone()))?;
+        self.expect_tuple(r)
+    }
+
+    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
+        match self.invoke(OpCall::Cas(template.clone(), entry))? {
+            OpResult::Cas {
+                inserted: true, ..
+            } => Ok(CasOutcome::Inserted),
+            OpResult::Cas {
+                inserted: false,
+                found: Some(t),
+            } => Ok(CasOutcome::Found(t)),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+
+    fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
+        // Client-side polling preserves blocking-read semantics (§4 note in
+        // the service module).
+        loop {
+            if let Some(t) = self.rdp(template)? {
+                return Ok(t);
+            }
+            std::thread::sleep(BLOCKING_POLL);
+        }
+    }
+
+    fn take(&self, template: &Template) -> SpaceResult<Tuple> {
+        loop {
+            if let Some(t) = self.inp(template)? {
+                return Ok(t);
+            }
+            std::thread::sleep(BLOCKING_POLL);
+        }
+    }
+
+    fn process_id(&self) -> ProcessId {
+        self.pid
+    }
+}
+
+impl std::fmt::Debug for ReplicatedPeats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedPeats")
+            .field("pid", &self.pid)
+            .field("replicas", &self.n_replicas)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::{template, tuple};
+
+    #[test]
+    fn end_to_end_out_rdp_cas() {
+        let mut cluster = ThreadedCluster::start(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100, 101],
+            &[],
+        )
+        .unwrap();
+        let a = cluster.handle(0);
+        let b = cluster.handle(1);
+        a.out(tuple!["JOB", 1]).unwrap();
+        assert_eq!(b.rdp(&template!["JOB", ?x]).unwrap(), Some(tuple!["JOB", 1]));
+        assert!(a.cas(&template!["D", ?x], tuple!["D", 7]).unwrap().inserted());
+        let out = b.cas(&template!["D", ?x], tuple!["D", 9]).unwrap();
+        assert_eq!(out.found(), Some(&tuple!["D", 7]));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn survives_crashed_replica_and_corrupt_replies() {
+        let mut cluster = ThreadedCluster::start(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[FaultMode::Correct, FaultMode::CorruptReplies, FaultMode::Correct, FaultMode::Crashed],
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        h.out(tuple!["A"]).unwrap();
+        assert_eq!(h.rdp(&template!["A"]).unwrap(), Some(tuple!["A"]));
+        cluster.shutdown();
+    }
+
+    /// Algorithm 1 inlined (the full object lives in `peats-consensus`,
+    /// which cannot be a dev-dependency here without a cycle).
+    fn weak_propose(space: &ReplicatedPeats, v: peats::Value) -> peats::Value {
+        let t = Template::new(vec![
+            peats_tuplespace::Field::exact("DECISION"),
+            peats_tuplespace::Field::formal("d"),
+        ]);
+        let e = Tuple::new(vec![peats::Value::from("DECISION"), v.clone()]);
+        match space.cas(&t, e).unwrap() {
+            CasOutcome::Inserted => v,
+            CasOutcome::Found(t) => t.get(1).cloned().unwrap_or(peats::Value::Null),
+        }
+    }
+
+    #[test]
+    fn weak_consensus_runs_on_replicated_space() {
+        // Algorithm 1 over the real replicated PEATS (Fig. 2 end-to-end),
+        // with the Fig. 3 policy enforced at every replica.
+        let mut cluster = ThreadedCluster::start(
+            peats::policies::weak_consensus(),
+            PolicyParams::new(),
+            1,
+            &[1, 2],
+            &[],
+        )
+        .unwrap();
+        let c1 = cluster.handle(0);
+        let c2 = cluster.handle(1);
+        let j1 = std::thread::spawn(move || weak_propose(&c1, peats::Value::from("x")));
+        let j2 = std::thread::spawn(move || weak_propose(&c2, peats::Value::from("y")));
+        let (d1, d2) = (j1.join().unwrap(), j2.join().unwrap());
+        assert_eq!(d1, d2);
+        cluster.shutdown();
+    }
+}

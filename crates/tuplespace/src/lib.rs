@@ -1,0 +1,49 @@
+//! # peats-tuplespace
+//!
+//! The tuple-space substrate of the PEATS reproduction (Bessani, Correia,
+//! Fraga, Lung — *Sharing Memory between Byzantine Processes using
+//! Policy-Enforced Tuple Spaces*, ICDCS'06 / TPDS'09).
+//!
+//! This crate implements §2.3 of the paper:
+//!
+//! * [`Value`] / [`TypeTag`] — typed tuple fields;
+//! * [`Tuple`] — *entries* (all fields defined);
+//! * [`Template`] / [`Field`] — patterns with wildcards (`*`) and formal
+//!   fields (`?v`), plus the matching predicate `m(t, t̄)` and value
+//!   [`Bindings`];
+//! * [`SequentialSpace`] — the *augmented tuple space* with `out`, `rdp`,
+//!   `inp` and the conditional atomic swap `cas(t̄, t)` (insert `t` iff
+//!   reading `t̄` fails), which gives the object consensus number `n`.
+//!
+//! Blocking reads (`rd`/`in`), linearizable concurrent access, and policy
+//! enforcement live in the `peats` core crate; Byzantine fault-tolerant
+//! replication lives in `peats-replication`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use peats_tuplespace::{tuple, template, SequentialSpace};
+//!
+//! let mut ts = SequentialSpace::new();
+//! ts.out(tuple!["PROPOSE", 1, 0]);
+//! ts.out(tuple!["PROPOSE", 2, 1]);
+//!
+//! // Read any proposal by process 2, binding its value to `v`.
+//! let t̄ = template!["PROPOSE", 2, ?v];
+//! let entry = ts.rdp(&t̄).expect("present");
+//! let b = t̄.bindings(&entry).expect("matches");
+//! assert_eq!(b.get("v").unwrap().as_int(), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod space;
+mod template;
+mod tuple;
+mod value;
+
+pub use space::{CasOutcome, OpStats, Selection, SequentialSpace};
+pub use template::{Bindings, Field, Template};
+pub use tuple::Tuple;
+pub use value::{TypeTag, Value};

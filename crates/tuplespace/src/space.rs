@@ -1,0 +1,388 @@
+//! The sequential augmented tuple space.
+//!
+//! [`SequentialSpace`] implements the object of §2.3 without any concurrency
+//! control: `out`, `rdp`, `inp` and the *conditional atomic swap* `cas(t̄, t)`
+//! that makes the space universal (consensus number `n`). Linearizable
+//! concurrent access and policy enforcement are layered on top by the
+//! `peats` core crate; BFT replication by `peats-replication`.
+
+use crate::template::Template;
+use crate::tuple::Tuple;
+use std::cell::Cell;
+use std::fmt;
+
+/// Result of the augmented tuple space's `cas(t̄, t)` operation:
+/// atomically, *if* `rdp(t̄)` fails, insert `t`.
+///
+/// The paper's `cas` returns `true` when the entry was inserted. We keep the
+/// matched tuple in the failure case because the algorithms read the decision
+/// through the formal fields of `t̄` (e.g. `?d` in Alg. 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// No tuple matched the template; the entry was inserted
+    /// (`cas` "succeeded" / returned `true` in the paper).
+    Inserted,
+    /// A matching tuple was found; nothing was inserted. The matched tuple is
+    /// returned so formal fields can be bound.
+    Found(Tuple),
+}
+
+impl CasOutcome {
+    /// `true` iff the entry was inserted — the boolean the paper's `cas`
+    /// returns.
+    pub fn inserted(&self) -> bool {
+        matches!(self, CasOutcome::Inserted)
+    }
+
+    /// The matched tuple, when the swap did not insert.
+    pub fn found(&self) -> Option<&Tuple> {
+        match self {
+            CasOutcome::Inserted => None,
+            CasOutcome::Found(t) => Some(t),
+        }
+    }
+}
+
+/// How a matching tuple is selected when several match a template.
+///
+/// LINDA leaves the choice nondeterministic. The default here is
+/// first-in-first-out, which makes runs reproducible; `Seeded` provides a
+/// deterministic pseudo-random choice for adversarial schedules (ablation
+/// experiment E8).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// Oldest matching tuple wins (deterministic, default).
+    Fifo,
+    /// Pseudo-random matching tuple, from a seeded xorshift generator.
+    Seeded(u64),
+}
+
+impl Default for Selection {
+    fn default() -> Self {
+        Selection::Fifo
+    }
+}
+
+/// Per-operation invocation counters, used by experiments E6/E10 to compare
+/// operation counts against the sticky-bit baselines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of `out` invocations.
+    pub out: u64,
+    /// Number of `rdp` invocations.
+    pub rdp: u64,
+    /// Number of `inp` invocations.
+    pub inp: u64,
+    /// Number of `cas` invocations.
+    pub cas: u64,
+}
+
+impl OpStats {
+    /// Total invocations across all operations.
+    pub fn total(&self) -> u64 {
+        self.out + self.rdp + self.inp + self.cas
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out={} rdp={} inp={} cas={} (total {})",
+            self.out,
+            self.rdp,
+            self.inp,
+            self.cas,
+            self.total()
+        )
+    }
+}
+
+/// A sequential (single-threaded) augmented tuple space.
+///
+/// Stores a multiset of entries in insertion order. All operations are
+/// constant-time in the number of *matching* probes, linear in the number of
+/// stored tuples; this reproduction favours clarity and determinism over
+/// indexing (the paper's spaces hold `O(n)` tuples).
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::{tuple, template, SequentialSpace, CasOutcome};
+///
+/// let mut ts = SequentialSpace::new();
+/// assert!(ts.cas(&template!["DECISION", ?d], tuple!["DECISION", 7]).inserted());
+/// // Second cas finds the decision instead of inserting:
+/// match ts.cas(&template!["DECISION", ?d], tuple!["DECISION", 9]) {
+///     CasOutcome::Found(t) => assert_eq!(t.get(1).unwrap().as_int(), Some(7)),
+///     CasOutcome::Inserted => unreachable!(),
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SequentialSpace {
+    entries: Vec<(u64, Tuple)>,
+    next_seq: u64,
+    selection: Selection,
+    rng_state: Cell<u64>,
+    stats: OpStats,
+}
+
+impl SequentialSpace {
+    /// Creates an empty space with FIFO selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty space with the given selection policy.
+    pub fn with_selection(selection: Selection) -> Self {
+        let rng_state = Cell::new(match &selection {
+            Selection::Fifo => 0,
+            // splitmix64 of the seed: distinct seeds give distinct (and
+            // nonzero) xorshift states.
+            Selection::Seeded(s) => {
+                let mut z = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) | 1
+            }
+        });
+        SequentialSpace {
+            entries: Vec::new(),
+            next_seq: 0,
+            selection,
+            rng_state,
+            stats: OpStats::default(),
+        }
+    }
+
+    fn next_random(&self) -> u64 {
+        // xorshift64: deterministic given the seed; interior mutability so
+        // the read-only `rdp` can still advance the stream.
+        let mut x = self.rng_state.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state.set(x);
+        x
+    }
+
+    fn pick_match(&self, template: &Template) -> Option<usize> {
+        let matches: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, t))| template.matches(t))
+            .map(|(i, _)| i)
+            .collect();
+        if matches.is_empty() {
+            return None;
+        }
+        match self.selection {
+            Selection::Fifo => Some(matches[0]),
+            Selection::Seeded(_) => {
+                let r = self.next_random() as usize % matches.len();
+                Some(matches[r])
+            }
+        }
+    }
+
+    /// `out(t)`: writes the entry into the space.
+    pub fn out(&mut self, entry: Tuple) {
+        self.stats.out += 1;
+        self.entries.push((self.next_seq, entry));
+        self.next_seq += 1;
+    }
+
+    /// `rdp(t̄)`: nondestructive nonblocking read. Returns a matching tuple
+    /// or `None`.
+    pub fn rdp(&mut self, template: &Template) -> Option<Tuple> {
+        self.stats.rdp += 1;
+        self.pick_match(template)
+            .map(|i| self.entries[i].1.clone())
+    }
+
+    /// Like [`rdp`](Self::rdp) but without touching the operation counters —
+    /// used internally by the policy engine's state queries, which the paper
+    /// does not count as shared-memory operations.
+    pub fn peek(&self, template: &Template) -> Option<&Tuple> {
+        self.pick_match(template).map(|i| &self.entries[i].1)
+    }
+
+    /// `inp(t̄)`: destructive nonblocking read. Removes and returns a
+    /// matching tuple or returns `None`.
+    pub fn inp(&mut self, template: &Template) -> Option<Tuple> {
+        self.stats.inp += 1;
+        self.pick_match(template)
+            .map(|i| self.entries.remove(i).1)
+    }
+
+    /// `cas(t̄, t)`: atomically, *if* the read of `t̄` fails, insert `t`
+    /// (§2.3). Returns [`CasOutcome::Inserted`] on insertion and
+    /// [`CasOutcome::Found`] with the matching tuple otherwise.
+    pub fn cas(&mut self, template: &Template, entry: Tuple) -> CasOutcome {
+        self.stats.cas += 1;
+        match self.pick_match(template) {
+            Some(i) => CasOutcome::Found(self.entries[i].1.clone()),
+            None => {
+                self.entries.push((self.next_seq, entry));
+                self.next_seq += 1;
+                CasOutcome::Inserted
+            }
+        }
+    }
+
+    /// Number of stored tuples matching `template` (a policy-engine query,
+    /// not a paper operation).
+    pub fn count(&self, template: &Template) -> usize {
+        self.entries
+            .iter()
+            .filter(|(_, t)| template.matches(t))
+            .count()
+    }
+
+    /// Iterates over all stored tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.entries.iter().map(|(_, t)| t)
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total storage cost of all stored tuples, in bits, under the
+    /// [`cost model`](crate::Value::cost_bits).
+    pub fn cost_bits(&self) -> u64 {
+        self.entries.iter().map(|(_, t)| t.cost_bits()).sum()
+    }
+
+    /// Operation counters accumulated since creation (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    /// Clears the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = OpStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{template, tuple};
+
+    #[test]
+    fn out_then_rdp_reads_without_removing() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A", 1]);
+        assert_eq!(ts.rdp(&template!["A", _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn inp_removes() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A", 1]);
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 1]));
+        assert!(ts.is_empty());
+        assert_eq!(ts.inp(&template!["A", _]), None);
+    }
+
+    #[test]
+    fn cas_inserts_only_when_no_match() {
+        let mut ts = SequentialSpace::new();
+        let t̄ = template!["DECISION", ?d];
+        assert!(ts.cas(&t̄, tuple!["DECISION", 1]).inserted());
+        let out = ts.cas(&t̄, tuple!["DECISION", 0]);
+        assert!(!out.inserted());
+        assert_eq!(out.found(), Some(&tuple!["DECISION", 1]));
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn cas_semantics_is_opposite_of_register_cas() {
+        // Footnote 2 of the paper: tuple-space cas inserts when the read
+        // FAILS, unlike register compare&swap.
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["X"]);
+        assert!(!ts.cas(&template!["X"], tuple!["X"]).inserted());
+        assert!(ts.cas(&template!["Y"], tuple!["Y"]).inserted());
+    }
+
+    #[test]
+    fn fifo_selection_returns_oldest() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A", 1]);
+        ts.out(tuple!["A", 2]);
+        assert_eq!(ts.rdp(&template!["A", _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 2]));
+    }
+
+    #[test]
+    fn seeded_selection_is_deterministic() {
+        let run = |seed| {
+            let mut ts = SequentialSpace::with_selection(Selection::Seeded(seed));
+            for i in 0..10 {
+                ts.out(tuple!["A", i]);
+            }
+            let mut picks = Vec::new();
+            for _ in 0..5 {
+                picks.push(ts.inp(&template!["A", _]).unwrap());
+            }
+            picks
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds produce a different draw order for this workload.
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn multiset_semantics_allows_duplicates() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A"]);
+        ts.out(tuple!["A"]);
+        assert_eq!(ts.count(&template!["A"]), 2);
+        ts.inp(&template!["A"]);
+        assert_eq!(ts.count(&template!["A"]), 1);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A"]);
+        ts.rdp(&template!["A"]);
+        ts.rdp(&template!["B"]);
+        ts.inp(&template!["A"]);
+        ts.cas(&template!["A"], tuple!["A"]);
+        let s = ts.stats();
+        assert_eq!((s.out, s.rdp, s.inp, s.cas), (1, 2, 1, 1));
+        assert_eq!(s.total(), 5);
+        ts.reset_stats();
+        assert_eq!(ts.stats().total(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A"]);
+        let before = ts.stats();
+        assert!(ts.peek(&template!["A"]).is_some());
+        assert_eq!(ts.stats().rdp, before.rdp);
+    }
+
+    #[test]
+    fn cost_bits_accumulates() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple![1i64]); // 64 bits
+        ts.out(tuple![true]); // 1 bit
+        assert_eq!(ts.cost_bits(), 65);
+    }
+}

@@ -1,0 +1,364 @@
+//! Templates — the patterns used to read and remove tuples.
+//!
+//! A template (`t̄` in the paper) is a tuple in which some fields may be
+//! undefined: either the wildcard `*` ("any value") or a *formal field* `?v`
+//! that binds the matched value to the variable `v` (§2.3).
+
+use crate::tuple::Tuple;
+use crate::value::{TypeTag, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One field of a [`Template`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Field {
+    /// A defined value; matches only an equal entry field of the same type.
+    Exact(Value),
+    /// The wildcard `*`: matches any entry field.
+    Any,
+    /// A formal field `?name`: matches any entry field (of type `ty`, when
+    /// given) and binds it to `name`.
+    Formal {
+        /// Variable name the matched value binds to.
+        name: String,
+        /// Optional type constraint; `None` matches any type.
+        ty: Option<TypeTag>,
+    },
+}
+
+impl Field {
+    /// Exact-value field.
+    pub fn exact(v: impl Into<Value>) -> Self {
+        Field::Exact(v.into())
+    }
+
+    /// Wildcard field (`*`).
+    pub fn any() -> Self {
+        Field::Any
+    }
+
+    /// Untyped formal field (`?name`).
+    pub fn formal(name: impl Into<String>) -> Self {
+        Field::Formal {
+            name: name.into(),
+            ty: None,
+        }
+    }
+
+    /// Typed formal field (`?name: ty`).
+    pub fn typed_formal(name: impl Into<String>, ty: TypeTag) -> Self {
+        Field::Formal {
+            name: name.into(),
+            ty: Some(ty),
+        }
+    }
+
+    /// `true` if this field is a formal field (the policy predicate
+    /// `formal(x)` of Figs. 3–5).
+    pub fn is_formal(&self) -> bool {
+        matches!(self, Field::Formal { .. })
+    }
+
+    /// `true` if this field is the wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, Field::Any)
+    }
+
+    /// `true` if this template field matches the entry field `v`.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Field::Exact(e) => e == v,
+            Field::Any => true,
+            Field::Formal { ty, .. } => ty.map_or(true, |t| t == v.type_tag()),
+        }
+    }
+}
+
+impl From<Value> for Field {
+    fn from(v: Value) -> Self {
+        Field::Exact(v)
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Exact(v) => write!(f, "{v}"),
+            Field::Any => write!(f, "*"),
+            Field::Formal { name, ty: None } => write!(f, "?{name}"),
+            Field::Formal { name, ty: Some(t) } => write!(f, "?{name}: {t}"),
+        }
+    }
+}
+
+/// Variable bindings produced by matching a template against an entry.
+///
+/// Formal fields bind the corresponding entry values; Alg. 1 reads the
+/// decision through the binding of `?d`, for example.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings(BTreeMap<String, Value>);
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the value bound to `name`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.0.get(name)
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        self.0.insert(name.into(), value);
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Bindings(iter.into_iter().collect())
+    }
+}
+
+/// A tuple pattern: matches entries of the same arity whose defined fields
+/// are equal (§2.3's `m(t, t̄)` predicate).
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::{tuple, Field, Template};
+///
+/// let t̄ = Template::new(vec![
+///     Field::exact("PROPOSE"),
+///     Field::any(),
+///     Field::formal("v"),
+/// ]);
+/// let entry = tuple!["PROPOSE", 2, 1];
+/// let b = t̄.bindings(&entry).expect("matches");
+/// assert_eq!(b.get("v").unwrap().as_int(), Some(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Template(Vec<Field>);
+
+impl Template {
+    /// Creates a template from its fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Template(fields)
+    }
+
+    /// A template matching exactly the given entry (all fields exact).
+    pub fn exact(entry: &Tuple) -> Self {
+        Template(entry.fields().iter().cloned().map(Field::Exact).collect())
+    }
+
+    /// A template of `arity` wildcards — matches every entry of that arity.
+    pub fn wildcard(arity: usize) -> Self {
+        Template(vec![Field::Any; arity])
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the template has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the `i`-th field, if present.
+    pub fn get(&self, i: usize) -> Option<&Field> {
+        self.0.get(i)
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.0
+    }
+
+    /// `m(t, t̄)`: `true` iff `entry` has the same arity and every defined
+    /// template field equals the corresponding entry field.
+    pub fn matches(&self, entry: &Tuple) -> bool {
+        self.0.len() == entry.len()
+            && self
+                .0
+                .iter()
+                .zip(entry.fields())
+                .all(|(f, v)| f.matches(v))
+    }
+
+    /// Matches and, on success, returns the [`Bindings`] of all formal
+    /// fields. Returns `None` when the entry does not match.
+    pub fn bindings(&self, entry: &Tuple) -> Option<Bindings> {
+        if !self.matches(entry) {
+            return None;
+        }
+        let mut b = Bindings::new();
+        for (f, v) in self.0.iter().zip(entry.fields()) {
+            if let Field::Formal { name, .. } = f {
+                b.bind(name.clone(), v.clone());
+            }
+        }
+        Some(b)
+    }
+
+    /// Names of all formal fields, in field order.
+    pub fn formal_names(&self) -> Vec<&str> {
+        self.0
+            .iter()
+            .filter_map(|f| match f {
+                Field::Formal { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, field) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<Field> for Template {
+    fn from_iter<I: IntoIterator<Item = Field>>(iter: I) -> Self {
+        Template(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Field>> for Template {
+    fn from(fields: Vec<Field>) -> Self {
+        Template(fields)
+    }
+}
+
+/// Builds a [`Template`] from a comma-separated list of field expressions.
+///
+/// Each item is either `_` (wildcard), `?name` (formal field), or an
+/// expression convertible into [`Value`] (exact field).
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::{template, tuple};
+///
+/// let t̄ = template!["DECISION", ?d];
+/// assert!(t̄.matches(&tuple!["DECISION", 1]));
+/// let any = template!["SEQ", _, _];
+/// assert!(any.matches(&tuple!["SEQ", 1, 2]));
+/// ```
+#[macro_export]
+macro_rules! template {
+    (@field _) => { $crate::Field::Any };
+    (@field ?$name:ident) => { $crate::Field::formal(stringify!($name)) };
+    (@field $value:expr) => { $crate::Field::Exact($crate::Value::from($value)) };
+    ($($(? $formal:ident)? $(_ $(@$wild:tt)?)? $($value:expr)?),+ $(,)?) => {
+        $crate::Template::new(vec![$(
+            $crate::template!(@field $(? $formal)? $(_ $(@$wild)?)? $($value)?)
+        ),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn exact_fields_must_be_equal() {
+        let t̄ = template!["PROPOSE", 1];
+        assert!(t̄.matches(&tuple!["PROPOSE", 1]));
+        assert!(!t̄.matches(&tuple!["PROPOSE", 2]));
+        assert!(!t̄.matches(&tuple!["DECISION", 1]));
+    }
+
+    #[test]
+    fn arity_mismatch_never_matches() {
+        let t̄ = template!["A", _];
+        assert!(!t̄.matches(&tuple!["A"]));
+        assert!(!t̄.matches(&tuple!["A", 1, 2]));
+    }
+
+    #[test]
+    fn wildcard_matches_any_type() {
+        let t̄ = template!["A", _];
+        assert!(t̄.matches(&tuple!["A", 1]));
+        assert!(t̄.matches(&tuple!["A", "s"]));
+        assert!(t̄.matches(&tuple!["A", true]));
+    }
+
+    #[test]
+    fn formal_binds_value() {
+        let t̄ = template!["PROPOSE", ?p, ?v];
+        let b = t̄.bindings(&tuple!["PROPOSE", 3, 0]).unwrap();
+        assert_eq!(b.get("p").unwrap().as_int(), Some(3));
+        assert_eq!(b.get("v").unwrap().as_int(), Some(0));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn typed_formal_enforces_type() {
+        let t̄ = Template::new(vec![
+            Field::exact("A"),
+            Field::typed_formal("x", TypeTag::Int),
+        ]);
+        assert!(t̄.matches(&tuple!["A", 5]));
+        assert!(!t̄.matches(&tuple!["A", "five"]));
+    }
+
+    #[test]
+    fn no_bindings_on_mismatch() {
+        let t̄ = template!["A", ?x];
+        assert!(t̄.bindings(&tuple!["B", 1]).is_none());
+    }
+
+    #[test]
+    fn exact_template_matches_only_its_entry() {
+        let e = tuple!["SEQ", 4, "op"];
+        let t̄ = Template::exact(&e);
+        assert!(t̄.matches(&e));
+        assert!(!t̄.matches(&tuple!["SEQ", 4, "other"]));
+    }
+
+    #[test]
+    fn wildcard_template_matches_by_arity() {
+        let t̄ = Template::wildcard(2);
+        assert!(t̄.matches(&tuple![1, 2]));
+        assert!(!t̄.matches(&tuple![1]));
+    }
+
+    #[test]
+    fn formal_names_in_order() {
+        let t̄ = template![?a, _, ?b];
+        assert_eq!(t̄.formal_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_shows_paper_syntax() {
+        let t̄ = template!["DECISION", ?d, _];
+        assert_eq!(format!("{t̄}"), "<\"DECISION\", ?d, *>");
+    }
+}

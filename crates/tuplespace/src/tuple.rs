@@ -1,0 +1,173 @@
+//! Tuples — the entries stored in a tuple space.
+
+use crate::value::{TypeTag, Value};
+use std::fmt;
+
+/// An *entry*: a tuple in which every field has a defined value (§2.3).
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::{tuple, Tuple, Value};
+///
+/// let t: Tuple = tuple!["PROPOSE", 3, 1];
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.get(0).unwrap().as_str(), Some("PROPOSE"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Creates a tuple from a vector of field values.
+    pub fn new(fields: Vec<Value>) -> Self {
+        Tuple(fields)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the `i`-th field, if present.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the tuple, returning its fields.
+    pub fn into_fields(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// The *type* of the tuple: the sequence of its field types (§2.3).
+    pub fn type_signature(&self) -> Vec<TypeTag> {
+        self.0.iter().map(Value::type_tag).collect()
+    }
+
+    /// Iterates over the fields.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Storage cost in bits under the cost model of [`Value::cost_bits`].
+    pub fn cost_bits(&self) -> u64 {
+        self.0.iter().map(Value::cost_bits).sum()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Value> for Tuple {
+    fn extend<I: IntoIterator<Item = Value>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(fields: Vec<Value>) -> Self {
+        Tuple(fields)
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Builds a [`Tuple`] from a comma-separated list of expressions convertible
+/// into [`Value`] via [`From`].
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::{tuple, Value};
+///
+/// let t = tuple!["DECISION", 1];
+/// assert_eq!(t.get(1), Some(&Value::Int(1)));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    () => { $crate::Tuple::new(Vec::new()) };
+    ($($field:expr),+ $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($field)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_tuples() {
+        let t = tuple!["PROPOSE", 7, true];
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(1), Some(&Value::Int(7)));
+        assert_eq!(t.get(2), Some(&Value::Bool(true)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = tuple!();
+        assert!(t.is_empty());
+        assert_eq!(t.type_signature(), vec![]);
+    }
+
+    #[test]
+    fn type_signature_tracks_fields() {
+        let t = tuple!["x", 1];
+        assert_eq!(t.type_signature(), vec![TypeTag::Str, TypeTag::Int]);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let t = tuple!["DECISION", 0];
+        assert_eq!(format!("{t}"), "<\"DECISION\", 0>");
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let t: Tuple = (0..3).map(Value::Int).collect();
+        let back: Vec<i64> = t.iter().filter_map(Value::as_int).collect();
+        assert_eq!(back, vec![0, 1, 2]);
+    }
+}

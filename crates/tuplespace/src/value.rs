@@ -1,0 +1,399 @@
+//! Typed field values stored in tuples.
+//!
+//! The paper's tuples are "sequences of typed fields" (§2.3). [`Value`] is the
+//! closed set of field types supported by this reproduction. All values are
+//! totally ordered ([`Ord`]) so they can be stored in sets and maps, which the
+//! strong/default consensus policies need (the `S_v` justification sets of
+//! Figs. 4 and 5).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A single typed field value.
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::Value;
+///
+/// let v = Value::from(42);
+/// assert_eq!(v.type_tag(), peats_tuplespace::TypeTag::Int);
+/// assert_eq!(v.as_int(), Some(42));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The distinguished "no value" constant, used for the default-consensus
+    /// bottom value `⊥` of §5.4 (a value outside every proposal domain `V`).
+    Null,
+    /// Signed 64-bit integer. Process identifiers, sequence numbers and
+    /// binary consensus proposals (0/1) are all represented as `Int`.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string. Tuple tags such as `"PROPOSE"` or `"DECISION"` are
+    /// strings.
+    Str(String),
+    /// Opaque byte string (e.g. an encoded invocation in the universal
+    /// constructions of §6).
+    Bytes(Vec<u8>),
+    /// Ordered heterogeneous list.
+    List(Vec<Value>),
+    /// Set of values (e.g. the justification set `S_v` of Fig. 4).
+    Set(BTreeSet<Value>),
+    /// Map from value to value (e.g. the `v -> S_v` collection carried by a
+    /// default-consensus `DECISION` tuple, Fig. 5).
+    Map(BTreeMap<Value, Value>),
+}
+
+/// The type of a [`Value`]; the "type of a tuple" in §2.3 is the sequence of
+/// the `TypeTag`s of its fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TypeTag {
+    /// Tag of [`Value::Null`].
+    Null,
+    /// Tag of [`Value::Int`].
+    Int,
+    /// Tag of [`Value::Bool`].
+    Bool,
+    /// Tag of [`Value::Str`].
+    Str,
+    /// Tag of [`Value::Bytes`].
+    Bytes,
+    /// Tag of [`Value::List`].
+    List,
+    /// Tag of [`Value::Set`].
+    Set,
+    /// Tag of [`Value::Map`].
+    Map,
+}
+
+impl Value {
+    /// Returns the [`TypeTag`] of this value.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Null => TypeTag::Null,
+            Value::Int(_) => TypeTag::Int,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Str(_) => TypeTag::Str,
+            Value::Bytes(_) => TypeTag::Bytes,
+            Value::List(_) => TypeTag::List,
+            Value::Set(_) => TypeTag::Set,
+            Value::Map(_) => TypeTag::Map,
+        }
+    }
+
+    /// Returns the integer if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte slice if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the set if this is a [`Value::Set`].
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the map if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&BTreeMap<Value, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Builds a [`Value::Set`] from an iterator of values.
+    pub fn set<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// Builds a [`Value::List`] from an iterator of values.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Builds a [`Value::Map`] from `(key, value)` pairs.
+    pub fn map<I: IntoIterator<Item = (Value, Value)>>(items: I) -> Value {
+        Value::Map(items.into_iter().collect())
+    }
+
+    /// Number of elements for collection values (`List`/`Set`/`Map`), the
+    /// byte length for `Bytes`/`Str`, and `None` for scalars.
+    ///
+    /// This is the semantics of the policy language's `card(x)` term
+    /// (`|S|` in Figs. 4 and 5).
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Value::Str(s) => Some(s.chars().count()),
+            Value::Bytes(b) => Some(b.len()),
+            Value::List(l) => Some(l.len()),
+            Value::Set(s) => Some(s.len()),
+            Value::Map(m) => Some(m.len()),
+            _ => None,
+        }
+    }
+
+    /// Storage cost of this value in bits under the reproduction's cost
+    /// model.
+    ///
+    /// The model charges 64 bits per integer, 1 per bool, 8 per byte of a
+    /// string or byte string, and the sum of element costs (plus nothing for
+    /// structure) for collections. Experiment E6 uses the paper's
+    /// information-theoretic formulas directly; this method supports sanity
+    /// cross-checks of measured space occupancy.
+    pub fn cost_bits(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 64,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 8 * s.len() as u64,
+            Value::Bytes(b) => 8 * b.len() as u64,
+            Value::List(l) => l.iter().map(Value::cost_bits).sum(),
+            Value::Set(s) => s.iter().map(Value::cost_bits).sum(),
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| k.cost_bits() + v.cost_bits())
+                .sum(),
+        }
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeTag::Null => "null",
+            TypeTag::Int => "int",
+            TypeTag::Bool => "bool",
+            TypeTag::Str => "str",
+            TypeTag::Bytes => "bytes",
+            TypeTag::List => "list",
+            TypeTag::Set => "set",
+            TypeTag::Map => "map",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "\u{22a5}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} -> {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u64> for Value {
+    /// Converts a process identifier into an `Int` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds `i64::MAX` (process identifiers in this
+    /// reproduction are small).
+    fn from(i: u64) -> Self {
+        Value::Int(i64::try_from(i).expect("value exceeds i64::MAX"))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+impl From<BTreeSet<Value>> for Value {
+    fn from(s: BTreeSet<Value>) -> Self {
+        Value::Set(s)
+    }
+}
+
+impl From<BTreeMap<Value, Value>> for Value {
+    fn from(m: BTreeMap<Value, Value>) -> Self {
+        Value::Map(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags_match_variants() {
+        assert_eq!(Value::Int(1).type_tag(), TypeTag::Int);
+        assert_eq!(Value::Bool(true).type_tag(), TypeTag::Bool);
+        assert_eq!(Value::from("x").type_tag(), TypeTag::Str);
+        assert_eq!(Value::Bytes(vec![1]).type_tag(), TypeTag::Bytes);
+        assert_eq!(Value::list([Value::Int(1)]).type_tag(), TypeTag::List);
+        assert_eq!(Value::set([Value::Int(1)]).type_tag(), TypeTag::Set);
+        assert_eq!(Value::map([]).type_tag(), TypeTag::Map);
+    }
+
+    #[test]
+    fn accessors_return_none_on_wrong_variant() {
+        let v = Value::from("hello");
+        assert_eq!(v.as_int(), None);
+        assert_eq!(v.as_str(), Some("hello"));
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_set(), None);
+    }
+
+    #[test]
+    fn cardinality_of_collections() {
+        assert_eq!(Value::set([Value::Int(1), Value::Int(2)]).cardinality(), Some(2));
+        assert_eq!(Value::set([Value::Int(1), Value::Int(1)]).cardinality(), Some(1));
+        assert_eq!(Value::Int(7).cardinality(), None);
+        assert_eq!(Value::from("abc").cardinality(), Some(3));
+    }
+
+    #[test]
+    fn values_are_totally_ordered() {
+        let mut vs = vec![Value::Int(3), Value::Int(1), Value::Bool(true)];
+        vs.sort();
+        // Ordering is stable and deterministic (variant order, then payload).
+        assert_eq!(vs[0], Value::Int(1));
+        assert_eq!(vs[1], Value::Int(3));
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Int(0),
+            Value::Bool(false),
+            Value::from(""),
+            Value::Bytes(vec![]),
+            Value::list([]),
+            Value::set([]),
+            Value::map([]),
+        ] {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_bits_model() {
+        assert_eq!(Value::Int(5).cost_bits(), 64);
+        assert_eq!(Value::Bool(true).cost_bits(), 1);
+        assert_eq!(Value::from("ab").cost_bits(), 16);
+        assert_eq!(
+            Value::set([Value::Int(1), Value::Int(2)]).cost_bits(),
+            128
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the tuple-space substrate.
+
+use proptest::prelude::*;
+use peats_tuplespace::{
+    CasOutcome, Field, Selection, SequentialSpace, Template, Tuple, Value,
+};
+
+/// Strategy for scalar values.
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,6}".prop_map(Value::from),
+        proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::Bytes),
+    ]
+}
+
+/// Strategy for (possibly nested) values.
+fn value() -> impl Strategy<Value = Value> {
+    scalar().prop_recursive(2, 8, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::btree_set(inner, 0..4).prop_map(Value::Set),
+        ]
+    })
+}
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value(), 0..5).prop_map(Tuple::new)
+}
+
+proptest! {
+    /// The exact template of an entry always matches that entry.
+    #[test]
+    fn exact_template_matches_self(t in small_tuple()) {
+        prop_assert!(Template::exact(&t).matches(&t));
+    }
+
+    /// A wildcard template matches iff the arity agrees.
+    #[test]
+    fn wildcard_matches_iff_same_arity(t in small_tuple(), arity in 0usize..6) {
+        let tmpl = Template::wildcard(arity);
+        prop_assert_eq!(tmpl.matches(&t), arity == t.len());
+    }
+
+    /// Formal fields bind exactly the matched entry values.
+    #[test]
+    fn formal_bindings_echo_entry(t in small_tuple()) {
+        let tmpl: Template = t
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Field::formal(format!("x{i}")))
+            .collect();
+        let b = tmpl.bindings(&t).expect("formal template must match");
+        for (i, v) in t.fields().iter().enumerate() {
+            prop_assert_eq!(b.get(&format!("x{i}")), Some(v));
+        }
+    }
+
+    /// `out` then `inp` with the exact template returns the entry (multiset
+    /// membership), and space size is preserved by the round trip.
+    #[test]
+    fn out_inp_roundtrip(ts_init in proptest::collection::vec(small_tuple(), 0..8),
+                         t in small_tuple()) {
+        let mut ts = SequentialSpace::new();
+        for e in &ts_init {
+            ts.out(e.clone());
+        }
+        let before = ts.len();
+        ts.out(t.clone());
+        let got = ts.inp(&Template::exact(&t));
+        prop_assert_eq!(got, Some(t));
+        prop_assert_eq!(ts.len(), before);
+    }
+
+    /// cas is exclusive: after a successful cas on template T̄ that the
+    /// inserted entry itself matches, every further cas with T̄ fails.
+    /// This is the persistence property that makes Alg. 1 a consensus object.
+    #[test]
+    fn cas_at_most_one_insertion(vals in proptest::collection::vec(any::<i64>(), 1..20)) {
+        let mut ts = SequentialSpace::new();
+        let tmpl = Template::new(vec![Field::exact("DECISION"), Field::formal("d")]);
+        let mut insertions = 0;
+        let mut decided = None;
+        for v in vals {
+            let entry = Tuple::new(vec![Value::from("DECISION"), Value::Int(v)]);
+            match ts.cas(&tmpl, entry) {
+                CasOutcome::Inserted => {
+                    insertions += 1;
+                    decided = Some(v);
+                }
+                CasOutcome::Found(t) => {
+                    prop_assert_eq!(t.get(1).and_then(Value::as_int), decided);
+                }
+            }
+        }
+        prop_assert_eq!(insertions, 1);
+    }
+
+    /// Whatever the selection policy, operations only return stored,
+    /// matching tuples, and `inp` removes exactly one.
+    #[test]
+    fn selection_policies_agree_on_membership(
+        entries in proptest::collection::vec(any::<i64>(), 1..12),
+        seed in any::<u64>(),
+    ) {
+        for sel in [Selection::Fifo, Selection::Seeded(seed)] {
+            let mut ts = SequentialSpace::with_selection(sel);
+            for v in &entries {
+                ts.out(Tuple::new(vec![Value::from("E"), Value::Int(*v)]));
+            }
+            let tmpl = Template::new(vec![Field::exact("E"), Field::any()]);
+            let got = ts.rdp(&tmpl).expect("nonempty");
+            prop_assert!(entries.contains(&got.get(1).unwrap().as_int().unwrap()));
+            let removed = ts.inp(&tmpl).expect("nonempty");
+            prop_assert!(entries.contains(&removed.get(1).unwrap().as_int().unwrap()));
+            prop_assert_eq!(ts.len(), entries.len() - 1);
+        }
+    }
+
+    /// Matching is stable under clone (pure function of template and entry).
+    #[test]
+    fn matching_is_pure(t in small_tuple()) {
+        let tmpl = Template::exact(&t);
+        prop_assert_eq!(tmpl.matches(&t), tmpl.clone().matches(&t.clone()));
+    }
+}

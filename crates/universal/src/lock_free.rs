@@ -1,0 +1,258 @@
+//! Algorithm 3 — the uniform lock-free universal construction (§6.1).
+//!
+//! Operations are *threaded* onto a list of `⟨SEQ, pos, inv⟩` tuples; the
+//! Fig. 7 policy guarantees the list is gap-free with one tuple per position
+//! (Lemma 1), which totally orders the operations. Every process replays the
+//! list against its local replica with `apply_T`, so all correct processes
+//! traverse the same state sequence (Theorem 6). The construction is
+//! lock-free — a failed `cas` means someone else threaded an operation — but
+//! not wait-free: a fast process can starve a slow one indefinitely.
+
+use crate::object::ObjectType;
+use crate::SEQ;
+use parking_lot::Mutex;
+use peats::{SpaceResult, TupleSpace};
+use peats_tuplespace::{CasOutcome, Field, Template, Tuple, Value};
+
+/// One process's view of an emulated object (lock-free construction).
+///
+/// Uniform: needs no knowledge of how many processes share the object.
+///
+/// # Examples
+///
+/// ```
+/// use peats::{policies, LocalPeats, PolicyParams};
+/// use peats_universal::{objects::Counter, LockFreeUniversal};
+/// use peats_tuplespace::Value;
+///
+/// let space = LocalPeats::new(policies::lockfree_universal(), PolicyParams::new())?;
+/// let c = LockFreeUniversal::new(space.handle(0), Counter);
+/// assert_eq!(c.invoke(Counter::increment())?, Value::Int(1));
+/// assert_eq!(c.invoke(Counter::get())?, Value::Int(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct LockFreeUniversal<S, T: ObjectType> {
+    space: S,
+    ty: T,
+    local: Mutex<Replica<T::State>>,
+}
+
+struct Replica<St> {
+    state: St,
+    /// Position of the last operation applied to `state` (list tail seen so
+    /// far; positions start at 1).
+    pos: i64,
+}
+
+impl<S: TupleSpace, T: ObjectType> LockFreeUniversal<S, T> {
+    /// Creates this process's replica of the emulated object of type `ty`.
+    ///
+    /// The backing space must carry the Fig. 7 policy
+    /// ([`peats::policies::lockfree_universal`]).
+    pub fn new(space: S, ty: T) -> Self {
+        let state = ty.initial();
+        LockFreeUniversal {
+            space,
+            ty,
+            local: Mutex::new(Replica { state, pos: 0 }),
+        }
+    }
+
+    /// The handle this replica operates through.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// Invokes `inv` on the emulated object (Alg. 3) and returns its reply.
+    ///
+    /// Lock-free: may iterate while other processes thread their
+    /// operations, but some process always completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space failures; the Fig. 7 policy never denies this
+    /// algorithm's own operations.
+    pub fn invoke(&self, inv: Value) -> SpaceResult<Value> {
+        let mut replica = self.local.lock();
+        loop {
+            let pos = replica.pos + 1;
+            let template = Template::new(vec![
+                Field::exact(SEQ),
+                Field::exact(Value::Int(pos)),
+                Field::formal("einv"),
+            ]);
+            let entry = Tuple::new(vec![
+                Value::from(SEQ),
+                Value::Int(pos),
+                inv.clone(),
+            ]);
+            match self.space.cas(&template, entry)? {
+                CasOutcome::Inserted => {
+                    // Threaded our own invocation: apply and reply.
+                    let (state, reply) = self.ty.apply(&replica.state, &inv);
+                    replica.state = state;
+                    replica.pos = pos;
+                    return Ok(reply);
+                }
+                CasOutcome::Found(t) => {
+                    // Someone else's operation occupies pos: apply it and
+                    // keep chasing the tail.
+                    let einv = t.get(2).cloned().unwrap_or(Value::Null);
+                    let (state, _reply) = self.ty.apply(&replica.state, &einv);
+                    replica.state = state;
+                    replica.pos = pos;
+                }
+            }
+        }
+    }
+
+    /// Read-only convenience: catches the replica up with the shared list
+    /// and returns a copy of the current state. (Not part of Alg. 3; the
+    /// same effect is had by invoking a read operation of `T`.)
+    pub fn refresh(&self) -> SpaceResult<T::State> {
+        let mut replica = self.local.lock();
+        loop {
+            let pos = replica.pos + 1;
+            let template = Template::new(vec![
+                Field::exact(SEQ),
+                Field::exact(Value::Int(pos)),
+                Field::formal("einv"),
+            ]);
+            match self.space.rdp(&template)? {
+                Some(t) => {
+                    let einv = t.get(2).cloned().unwrap_or(Value::Null);
+                    let (state, _) = self.ty.apply(&replica.state, &einv);
+                    replica.state = state;
+                    replica.pos = pos;
+                }
+                None => return Ok(replica.state.clone()),
+            }
+        }
+    }
+}
+
+impl<S, T: ObjectType> std::fmt::Debug for LockFreeUniversal<S, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockFreeUniversal")
+            .field("pos", &self.local.lock().pos)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{Counter, Queue, Register};
+    use peats::{policies, LocalPeats, PolicyParams};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn lockfree_space() -> LocalPeats {
+        LocalPeats::new(policies::lockfree_universal(), PolicyParams::new()).unwrap()
+    }
+
+    #[test]
+    fn single_process_sequential_semantics() {
+        let space = lockfree_space();
+        let c = LockFreeUniversal::new(space.handle(0), Counter);
+        assert_eq!(c.invoke(Counter::increment()).unwrap(), Value::Int(1));
+        assert_eq!(c.invoke(Counter::increment()).unwrap(), Value::Int(2));
+        assert_eq!(c.invoke(Counter::get()).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn concurrent_increments_all_count() {
+        let space = lockfree_space();
+        let mut joins = Vec::new();
+        for p in 0..8u64 {
+            let obj = LockFreeUniversal::new(space.handle(p), Counter);
+            joins.push(thread::spawn(move || {
+                for _ in 0..10 {
+                    obj.invoke(Counter::increment()).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let reader = LockFreeUniversal::new(space.handle(99), Counter);
+        assert_eq!(reader.invoke(Counter::get()).unwrap(), Value::Int(80));
+    }
+
+    #[test]
+    fn replicas_converge_to_the_same_state() {
+        let space = lockfree_space();
+        let a = LockFreeUniversal::new(space.handle(0), Register);
+        let b = LockFreeUniversal::new(space.handle(1), Register);
+        a.invoke(Register::write("from-a")).unwrap();
+        b.invoke(Register::write("from-b")).unwrap();
+        // Both replicas observe the same final register content.
+        assert_eq!(a.refresh().unwrap(), b.refresh().unwrap());
+    }
+
+    #[test]
+    fn queue_operations_are_totally_ordered() {
+        let space = lockfree_space();
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| Arc::new(LockFreeUniversal::new(space.handle(p), Queue)))
+            .collect();
+        let mut joins = Vec::new();
+        for (i, obj) in producers.into_iter().enumerate() {
+            joins.push(thread::spawn(move || {
+                for k in 0..5 {
+                    obj.invoke(Queue::enqueue((i * 10 + k) as i64)).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Dequeue everything: each producer's items come out in its order.
+        let consumer = LockFreeUniversal::new(space.handle(9), Queue);
+        let mut per_producer: Vec<Vec<i64>> = vec![Vec::new(); 4];
+        for _ in 0..20 {
+            let v = consumer.invoke(Queue::dequeue()).unwrap();
+            let v = v.as_int().unwrap();
+            per_producer[(v / 10) as usize].push(v % 10);
+        }
+        for seq in per_producer {
+            assert_eq!(seq, vec![0, 1, 2, 3, 4], "per-producer FIFO violated");
+        }
+    }
+
+    #[test]
+    fn uniformity_unknown_process_set() {
+        // Identities are arbitrary and never pre-declared.
+        let space = lockfree_space();
+        let a = LockFreeUniversal::new(space.handle(123456), Counter);
+        let b = LockFreeUniversal::new(space.handle(99), Counter);
+        a.invoke(Counter::increment()).unwrap();
+        b.invoke(Counter::increment()).unwrap();
+        assert_eq!(a.invoke(Counter::get()).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn seq_list_has_no_gaps_or_duplicates() {
+        let space = lockfree_space();
+        let mut joins = Vec::new();
+        for p in 0..6u64 {
+            let obj = LockFreeUniversal::new(space.handle(p), Counter);
+            joins.push(thread::spawn(move || {
+                for _ in 0..5 {
+                    obj.invoke(Counter::increment()).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Lemma 1: exactly one tuple per position 1..=30.
+        let tuples = space.snapshot();
+        let mut positions: Vec<i64> = tuples
+            .iter()
+            .filter_map(|t| t.get(1).and_then(Value::as_int))
+            .collect();
+        positions.sort_unstable();
+        assert_eq!(positions, (1..=30).collect::<Vec<i64>>());
+    }
+}

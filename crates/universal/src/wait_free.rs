@@ -1,0 +1,339 @@
+//! Algorithm 4 — the wait-free universal construction (§6.2).
+//!
+//! Adds a *helping* mechanism to the lock-free construction: a process
+//! announces its invocation in an `⟨ANN, i, inv⟩` tuple; every position
+//! `pos` of the operation list has a preferred process `pos mod n`, and the
+//! Fig. 8 policy refuses to thread anything else at `pos` while the
+//! preferred process has an announced-but-unthreaded invocation. Either
+//! somebody helps the announcer, or the announcer eventually reaches a
+//! position it is preferred for (Lemma 4), so every correct process's
+//! invocation completes regardless of the other `n−1` processes
+//! (wait-freedom, Lemma 5 / Theorem 7).
+//!
+//! As in the paper, invocations are made unique by stamping them with the
+//! invoker's identity and a local sequence number.
+
+use crate::object::ObjectType;
+use crate::{ANN, SEQ};
+use parking_lot::Mutex;
+use peats::{SpaceResult, TupleSpace};
+use peats_tuplespace::{CasOutcome, Field, Template, Tuple, Value};
+
+/// One process's view of an emulated object (wait-free construction).
+///
+/// Non-uniform: every process must know `n` and hold an identity in
+/// `0..n` so the preferred-process rotation works.
+pub struct WaitFreeUniversal<S, T: ObjectType> {
+    space: S,
+    ty: T,
+    n: u64,
+    local: Mutex<Replica<T::State>>,
+}
+
+struct Replica<St> {
+    state: St,
+    pos: i64,
+    stamp: i64,
+}
+
+/// Wraps an invocation into the unique form `[payload, invoker, stamp]`
+/// threaded through the list (Alg. 4 footnote on unique invocations).
+fn stamped(payload: &Value, invoker: u64, stamp: i64) -> Value {
+    Value::List(vec![payload.clone(), Value::from(invoker), Value::Int(stamp)])
+}
+
+/// Extracts the payload from a stamped invocation; tolerates Byzantine
+/// garbage by treating non-conforming values as opaque payloads.
+fn payload_of(stamped: &Value) -> Value {
+    match stamped.as_list() {
+        Some([payload, _, _]) => payload.clone(),
+        _ => stamped.clone(),
+    }
+}
+
+impl<S: TupleSpace, T: ObjectType> WaitFreeUniversal<S, T> {
+    /// Creates this process's replica for a system of `n` processes.
+    ///
+    /// The backing space must carry the Fig. 8 policy
+    /// ([`peats::policies::waitfree_universal`]) with the same `n`, and the
+    /// handle's identity must lie in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's identity is outside `0..n`.
+    pub fn new(space: S, ty: T, n: usize) -> Self {
+        assert!(
+            space.process_id() < n as u64,
+            "wait-free construction requires identities in 0..n"
+        );
+        let state = ty.initial();
+        WaitFreeUniversal {
+            space,
+            ty,
+            n: n as u64,
+            local: Mutex::new(Replica {
+                state,
+                pos: 0,
+                stamp: 0,
+            }),
+        }
+    }
+
+    /// The handle this replica operates through.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// Invokes `inv` on the emulated object (Alg. 4) and returns its reply.
+    /// Wait-free: completes after at most `O(n)` positions beyond the
+    /// current tail, no matter what other processes do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space failures. Policy denials of the final `cas` are
+    /// handled internally (they mean another process won the position and
+    /// the loop continues).
+    pub fn invoke(&self, inv: Value) -> SpaceResult<Value> {
+        let me = self.space.process_id();
+        let mut replica = self.local.lock();
+        replica.stamp += 1;
+        let uinv = stamped(&inv, me, replica.stamp);
+
+        // Line 4: announce.
+        self.space.out(Tuple::new(vec![
+            Value::from(ANN),
+            Value::from(me),
+            uinv.clone(),
+        ]))?;
+
+        let reply;
+        // Lines 5-21.
+        loop {
+            let pos = replica.pos + 1;
+            let preferred = pos as u64 % self.n;
+            let seq_template = Template::new(vec![
+                Field::exact(SEQ),
+                Field::exact(Value::Int(pos)),
+                Field::formal("einv"),
+            ]);
+
+            // Line 8: is the position already occupied?
+            let occupant = self.space.rdp(&seq_template)?;
+            let einv = match occupant {
+                Some(t) => t.get(2).cloned().unwrap_or(Value::Null),
+                None => {
+                    // Lines 9-15: pick the invocation to thread.
+                    let mut tinv = uinv.clone();
+                    if me != preferred {
+                        let ann_template = Template::new(vec![
+                            Field::exact(ANN),
+                            Field::exact(Value::from(preferred)),
+                            Field::formal("tinv"),
+                        ]);
+                        if let Some(ann) = self.space.rdp(&ann_template)? {
+                            let announced = ann.get(2).cloned().unwrap_or(Value::Null);
+                            let threaded_template = Template::new(vec![
+                                Field::exact(SEQ),
+                                Field::any(),
+                                Field::exact(announced.clone()),
+                            ]);
+                            if self.space.rdp(&threaded_template)?.is_none() {
+                                // Announced but not threaded: help.
+                                tinv = announced;
+                            }
+                        }
+                    }
+                    // Lines 16-18: thread tinv. The cas both races other
+                    // helpers and faces the policy; on Found the occupant
+                    // binds ?einv.
+                    let entry = Tuple::new(vec![
+                        Value::from(SEQ),
+                        Value::Int(pos),
+                        tinv.clone(),
+                    ]);
+                    match self.space.cas(&seq_template, entry) {
+                        Ok(CasOutcome::Inserted) => tinv,
+                        Ok(CasOutcome::Found(t)) => {
+                            t.get(2).cloned().unwrap_or(Value::Null)
+                        }
+                        Err(e) if e.is_denied() => {
+                            // The helping rule rejected us (the preferred
+                            // process announced between our read and the
+                            // cas). Retry the same position.
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+
+            // Line 20: execute.
+            let (state, r) = self.ty.apply(&replica.state, &payload_of(&einv));
+            replica.state = state;
+            replica.pos = pos;
+            if einv == uinv {
+                reply = r;
+                break;
+            }
+        }
+
+        // Line 22: withdraw the announcement.
+        let ann_template = Template::new(vec![
+            Field::exact(ANN),
+            Field::exact(Value::from(me)),
+            Field::exact(uinv),
+        ]);
+        self.space.inp(&ann_template)?;
+        Ok(reply)
+    }
+}
+
+impl<S, T: ObjectType> std::fmt::Debug for WaitFreeUniversal<S, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = self.local.lock();
+        f.debug_struct("WaitFreeUniversal")
+            .field("n", &self.n)
+            .field("pos", &r.pos)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{Counter, Register};
+    use peats::{policies, LocalPeats, PolicyParams};
+    use peats_tuplespace::template;
+    use std::thread;
+
+    fn waitfree_space(n: usize) -> LocalPeats {
+        let mut params = PolicyParams::new();
+        params.set("n", n as i64);
+        LocalPeats::new(policies::waitfree_universal(), params).unwrap()
+    }
+
+    #[test]
+    fn single_process_sequential_semantics() {
+        let n = 3;
+        let space = waitfree_space(n);
+        let c = WaitFreeUniversal::new(space.handle(0), Counter, n);
+        assert_eq!(c.invoke(Counter::increment()).unwrap(), Value::Int(1));
+        assert_eq!(c.invoke(Counter::increment()).unwrap(), Value::Int(2));
+        assert_eq!(c.invoke(Counter::get()).unwrap(), Value::Int(2));
+        // Announcements are withdrawn after completion.
+        assert!(space
+            .handle(0)
+            .rdp(&template![ANN, _, _])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn concurrent_increments_all_count() {
+        let n = 6;
+        let space = waitfree_space(n);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let obj = WaitFreeUniversal::new(space.handle(p), Counter, n);
+            joins.push(thread::spawn(move || {
+                for _ in 0..8 {
+                    obj.invoke(Counter::increment()).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let reader = WaitFreeUniversal::new(space.handle(0), Counter, n);
+        assert_eq!(
+            reader.invoke(Counter::get()).unwrap(),
+            Value::Int((n * 8) as i64)
+        );
+    }
+
+    #[test]
+    fn helping_threads_a_stalled_announcement() {
+        // Process 1 announces but "crashes" before threading (we simulate by
+        // writing its ANN tuple directly). Process 0 keeps invoking; the
+        // policy forces 0 (or anyone) to thread 1's invocation at the
+        // position preferred for 1 — so 1's op lands even though 1 is gone.
+        let n = 2;
+        let space = waitfree_space(n);
+        let crashed_inv = stamped(&Counter::increment(), 1, 1);
+        space
+            .handle(1)
+            .out(peats_tuplespace::tuple![ANN, 1u64, crashed_inv.clone()])
+            .unwrap();
+
+        let worker = WaitFreeUniversal::new(space.handle(0), Counter, n);
+        // Two invocations are enough to cross a position where 1 is
+        // preferred (positions alternate 1,0,1,0.. mod 2).
+        worker.invoke(Counter::increment()).unwrap();
+        worker.invoke(Counter::increment()).unwrap();
+
+        // The stalled invocation was threaded by the helper.
+        let threaded = space
+            .handle(0)
+            .rdp(&Template::new(vec![
+                Field::exact(SEQ),
+                Field::any(),
+                Field::exact(crashed_inv),
+            ]))
+            .unwrap();
+        assert!(threaded.is_some(), "announcement was never helped");
+        // And the counter reflects all three increments.
+        assert_eq!(
+            worker.invoke(Counter::get()).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn identical_payloads_are_disambiguated() {
+        // Two processes invoke the *same* operation concurrently; stamping
+        // must keep their threads distinct so each gets exactly one slot.
+        let n = 2;
+        let space = waitfree_space(n);
+        let a = WaitFreeUniversal::new(space.handle(0), Counter, n);
+        let b = WaitFreeUniversal::new(space.handle(1), Counter, n);
+        let ja = thread::spawn(move || a.invoke(Counter::increment()).unwrap());
+        let jb = thread::spawn(move || b.invoke(Counter::increment()).unwrap());
+        let (ra, rb) = (ja.join().unwrap(), jb.join().unwrap());
+        // Replies are 1 and 2 in some order — not 1 and 1.
+        let mut rs = vec![ra, rb];
+        rs.sort();
+        assert_eq!(rs, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn replicas_agree_on_final_register_value() {
+        let n = 4;
+        let space = waitfree_space(n);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let obj = WaitFreeUniversal::new(space.handle(p), Register, n);
+            joins.push(thread::spawn(move || {
+                obj.invoke(Register::write(p as i64)).unwrap();
+                obj.invoke(Register::read()).unwrap()
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // All replicas converge: read from two fresh replicas agree.
+        let r1 = WaitFreeUniversal::new(space.handle(0), Register, n);
+        let r2 = WaitFreeUniversal::new(space.handle(1), Register, n);
+        assert_eq!(
+            r1.invoke(Register::read()).unwrap(),
+            r2.invoke(Register::read()).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identities in 0..n")]
+    fn rejects_out_of_range_identity() {
+        let n = 2;
+        let space = waitfree_space(n);
+        let _ = WaitFreeUniversal::new(space.handle(5), Counter, n);
+    }
+}

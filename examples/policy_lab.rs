@@ -1,0 +1,85 @@
+//! Policy lab — every access policy printed in the paper, exercised (E1).
+//!
+//! Walks through Fig. 1 (the monotonic register PEO), Fig. 4 (strong
+//! consensus) and Fig. 8 (wait-free helping), showing for each exactly
+//! which invocations the reference monitor grants and denies, with the
+//! monitor's own diagnostics.
+//!
+//! Run with: `cargo run --example policy_lab`
+
+use peats::peo::MonotonicRegister;
+use peats::{policies, LocalPeats, PolicyParams, TupleSpace, Value};
+use peats_tuplespace::{template, tuple};
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Fig. 1: the policy-enforced numeric register --------------------
+    banner("Fig. 1 — monotonic register PEO (writers {1,2,3}, only increases)");
+    let reg = MonotonicRegister::new(0, [1, 2, 3])?;
+    reg.write(1, 10)?;
+    println!("p1 write(10)      -> ok, value = {}", reg.read(9));
+    println!("p2 write(5)       -> {}", reg.write(2, 5).unwrap_err());
+    println!("p9 write(99)      -> {}", reg.write(9, 99).unwrap_err());
+    reg.write(3, 11)?;
+    println!("p3 write(11)      -> ok, value = {}", reg.read(9));
+
+    // ---- Fig. 4: strong consensus policy ---------------------------------
+    banner("Fig. 4 — strong binary consensus policy (n=4, t=1)");
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(4, 1))?;
+    let p2 = space.handle(2);
+    println!("p2 out(PROPOSE,2,0)        -> {:?}", p2.out(tuple!["PROPOSE", 2u64, 0]).is_ok());
+    println!(
+        "p2 out(PROPOSE,3,0) spoof  -> {}",
+        p2.out(tuple!["PROPOSE", 3u64, 0]).unwrap_err()
+    );
+    println!(
+        "p2 out(PROPOSE,2,7) domain -> {}",
+        p2.out(tuple!["PROPOSE", 2u64, 7]).unwrap_err()
+    );
+    space.handle(0).out(tuple!["PROPOSE", 0u64, 0])?;
+    // A justified decision: processes 0 and 2 really proposed 0.
+    let s = Value::set([Value::Int(0), Value::Int(2)]);
+    let cas = p2.cas(&template!["DECISION", ?d, _], tuple!["DECISION", 0, s])?;
+    println!("p2 cas(DECISION justified) -> inserted = {}", cas.inserted());
+    // A forged one: claims process 1 proposed 1 (it proposed nothing).
+    let forged = Value::set([Value::Int(1), Value::Int(3)]);
+    println!(
+        "p3 cas(DECISION forged)    -> {}",
+        space
+            .handle(3)
+            .cas(&template!["DECISION2", ?d, _], tuple!["DECISION2", 1, forged])
+            .unwrap_err()
+    );
+
+    // ---- Fig. 8: wait-free helping policy ---------------------------------
+    banner("Fig. 8 — wait-free universal construction policy (n=3)");
+    let mut params = PolicyParams::new();
+    params.set("n", 3);
+    let space = LocalPeats::new(policies::waitfree_universal(), params)?;
+    space.handle(1).out(tuple!["ANN", 1u64, "op-from-p1"])?;
+    println!("p1 announced op-from-p1 (preferred process for position 1 is 1 mod 3 = 1)");
+    println!(
+        "p2 threads its own op at 1 -> {}",
+        space
+            .handle(2)
+            .cas(&template!["SEQ", 1, ?x], tuple!["SEQ", 1, "op-from-p2"])
+            .unwrap_err()
+    );
+    let helped = space
+        .handle(2)
+        .cas(&template!["SEQ", 1, ?x], tuple!["SEQ", 1, "op-from-p1"])?;
+    println!("p2 helps p1's op at 1      -> inserted = {}", helped.inserted());
+    println!(
+        "p2 threads its own op at 2 -> inserted = {}",
+        space
+            .handle(2)
+            .cas(&template!["SEQ", 2, ?x], tuple!["SEQ", 2, "op-from-p2"])?
+            .inserted()
+    );
+
+    println!("\nEvery denial above was produced by the policy engine, not by the algorithms.");
+    Ok(())
+}

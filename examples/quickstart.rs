@@ -1,0 +1,52 @@
+//! Quickstart: a policy-enforced augmented tuple space in 60 lines.
+//!
+//! Builds a PEATS guarded by a policy written in the paper's notation, shows
+//! the reference monitor allowing/denying operations, and runs the paper's
+//! simplest algorithm — wait-free weak consensus (Alg. 1) — among eight
+//! concurrent processes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use peats::{LocalPeats, PolicyParams, TupleSpace, Value};
+use peats_consensus::WeakConsensus;
+use peats_policy::parse_policy;
+use peats_tuplespace::{template, tuple};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A policy in the paper's PROLOG-ish notation (Fig. 3): only `cas`
+    //    with a formal decision field is ever allowed.
+    let policy = parse_policy(
+        r#"
+        policy weak_consensus() {
+          rule Rcas: cas(<"DECISION", ?x>, <"DECISION", _>) :- formal(x);
+        }
+        "#,
+    )?;
+    let space = LocalPeats::new(policy, PolicyParams::new())?;
+
+    // 2. The reference monitor at work: a process cannot write or erase
+    //    decisions directly…
+    let intruder = space.handle(666);
+    let denied = intruder.out(tuple!["DECISION", "mine!"]).unwrap_err();
+    println!("intruder out(DECISION)  -> {denied}");
+    let denied = intruder.inp(&template!["DECISION", _]).unwrap_err();
+    println!("intruder inp(DECISION)  -> {denied}");
+
+    // 3. …but anyone may race the single legal cas. First insert wins;
+    //    losers read the winner's value through the formal field ?x.
+    let mut joins = Vec::new();
+    for p in 0..8u64 {
+        let consensus = WeakConsensus::new(space.handle(p));
+        joins.push(std::thread::spawn(move || {
+            let decision = consensus.propose(Value::from(format!("proposal-{p}")))?;
+            Ok::<_, peats::SpaceError>((p, decision))
+        }));
+    }
+    for j in joins {
+        let (p, decision) = j.join().expect("thread")?;
+        println!("process {p} decided {decision}");
+    }
+
+    println!("\nfinal space contents: {:?}", space.snapshot());
+    Ok(())
+}

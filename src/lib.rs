@@ -1,0 +1,19 @@
+//! # peats-repro
+//!
+//! Umbrella crate of the PEATS reproduction. It re-exports every workspace
+//! crate so the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`) have a single dependency surface.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use peats;
+pub use peats_auth as auth;
+pub use peats_baseline as baseline;
+pub use peats_codec as codec;
+pub use peats_consensus as consensus;
+pub use peats_netsim as netsim;
+pub use peats_policy as policy;
+pub use peats_replication as replication;
+pub use peats_tuplespace as tuplespace;
+pub use peats_universal as universal;

@@ -1,0 +1,140 @@
+//! Cross-crate Byzantine matrix: every consensus object against every
+//! applicable adversary strategy, checking the paper's safety properties.
+
+use peats::{policies, LocalPeats, PolicyParams, Value};
+use peats_consensus::byzantine::{run_strategy, Strategy};
+use peats_consensus::{DefaultConsensus, DefaultDecision, StrongConsensus, WeakConsensus};
+use std::thread;
+
+fn strategies_for_strong() -> Vec<Strategy> {
+    vec![
+        Strategy::Silent,
+        Strategy::Equivocate { first: 1, second: 0 },
+        Strategy::Impersonate { victim: 0, value: 1 },
+        Strategy::ForgeDecision {
+            value: 1,
+            claimed: vec![0, 1],
+        },
+        Strategy::Scrub,
+    ]
+}
+
+#[test]
+fn strong_consensus_safety_against_each_strategy() {
+    for strategy in strategies_for_strong() {
+        let (n, t) = (4usize, 1usize);
+        let space =
+            LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+        // The adversary (process 3) acts first.
+        run_strategy(&space.handle(3), &strategy).unwrap();
+        // All correct processes propose 0.
+        let mut joins = Vec::new();
+        for p in 0..3u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(thread::spawn(move || c.propose(0).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(
+                j.join().unwrap(),
+                0,
+                "strong validity violated under {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_consensus_with_interleaved_adversary() {
+    // The adversary runs concurrently with the correct processes, spamming
+    // every strategy in a loop.
+    let (n, t) = (4usize, 1usize);
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let adversary = space.handle(3);
+    let adv = thread::spawn(move || {
+        for _ in 0..50 {
+            for s in strategies_for_strong() {
+                let _ = run_strategy(&adversary, &s);
+            }
+        }
+    });
+    let mut joins = Vec::new();
+    for p in 0..3u64 {
+        let c = StrongConsensus::new(space.handle(p), n, t);
+        joins.push(thread::spawn(move || c.propose(0).unwrap()));
+    }
+    for j in joins {
+        assert_eq!(j.join().unwrap(), 0);
+    }
+    adv.join().unwrap();
+}
+
+#[test]
+fn weak_consensus_agreement_under_scrubbing() {
+    let space = LocalPeats::new(policies::weak_consensus(), PolicyParams::new()).unwrap();
+    let adversary = space.handle(666);
+    let adv = thread::spawn(move || {
+        for _ in 0..100 {
+            let _ = run_strategy(&adversary, &Strategy::Scrub);
+        }
+    });
+    let mut joins = Vec::new();
+    for p in 0..6u64 {
+        let c = WeakConsensus::new(space.handle(p));
+        joins.push(thread::spawn(move || c.propose(Value::from(p)).unwrap()));
+    }
+    let ds: Vec<Value> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert!(ds.windows(2).all(|w| w[0] == w[1]), "{ds:?}");
+    adv.join().unwrap();
+}
+
+#[test]
+fn default_consensus_byzantine_cannot_force_bottom() {
+    // Validity condition 1 under attack: all correct processes agree on v,
+    // the adversary forges split maps the whole time — ⊥ must not win.
+    let (n, t) = (4usize, 1usize);
+    let space = LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let adversary = space.handle(3);
+    let adv = thread::spawn(move || {
+        for _ in 0..100 {
+            let _ = run_strategy(
+                &adversary,
+                &Strategy::ForgeBottom {
+                    claimed: vec![0, 1, 2],
+                },
+            );
+        }
+    });
+    let mut joins = Vec::new();
+    for p in 0..3u64 {
+        let c = DefaultConsensus::new(space.handle(p), n, t);
+        joins.push(thread::spawn(move || c.propose(Value::from("v")).unwrap()));
+    }
+    for j in joins {
+        assert_eq!(
+            j.join().unwrap(),
+            DefaultDecision::Value(Value::from("v")),
+            "adversary forced a non-unanimous outcome"
+        );
+    }
+    adv.join().unwrap();
+}
+
+#[test]
+fn attack_reports_show_denials() {
+    let (n, t) = (4usize, 1usize);
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let h = space.handle(3);
+    let total: u32 = [
+        Strategy::Impersonate { victim: 0, value: 1 },
+        Strategy::ForgeDecision {
+            value: 1,
+            claimed: vec![0, 1],
+        },
+        Strategy::Scrub,
+    ]
+    .iter()
+    .map(|s| run_strategy(&h, s).unwrap().denied)
+    .sum();
+    // Impersonation (1) + forge (1) + scrub (4 template shapes) all denied.
+    assert_eq!(total, 6);
+}

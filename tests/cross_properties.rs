@@ -1,0 +1,105 @@
+//! Cross-crate property tests: codec totality, policy round-trips, and
+//! consensus safety under randomized adversarial interleavings.
+
+use proptest::prelude::*;
+use peats::{policies, LocalPeats, PolicyParams};
+use peats_consensus::byzantine::{run_strategy, Strategy as Attack};
+use peats_consensus::StrongConsensus;
+use peats_repro::codec::{Decode, Encode};
+use peats_repro::tuplespace::{Template, Tuple, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let scalar = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::from),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ];
+    scalar.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::btree_set(inner.clone(), 0..4).prop_map(Value::Set),
+            proptest::collection::btree_map(inner.clone(), inner, 0..4).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    /// The wire codec round-trips every representable value.
+    #[test]
+    fn codec_roundtrips_arbitrary_values(v in value_strategy()) {
+        let bytes = v.to_bytes();
+        prop_assert_eq!(Value::from_bytes(&bytes).unwrap(), v);
+    }
+
+    /// The codec never panics on arbitrary byte soup (Byzantine input).
+    #[test]
+    fn codec_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Value::from_bytes(&bytes);
+        let _ = Tuple::from_bytes(&bytes);
+        let _ = Template::from_bytes(&bytes);
+    }
+
+    /// Policy display output is stable (parse → display → contains every
+    /// rule name); a smoke-level round-trip of the DSL.
+    #[test]
+    fn paper_policies_display_rules(idx in 0usize..6) {
+        let p = match idx {
+            0 => policies::weak_consensus(),
+            1 => policies::strong_consensus(),
+            2 => policies::kvalued_consensus(),
+            3 => policies::default_consensus(),
+            4 => policies::lockfree_universal(),
+            _ => policies::waitfree_universal(),
+        };
+        let text = format!("{p}");
+        for rule in &p.rules {
+            prop_assert!(text.contains(&rule.name));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins up threads; keep the count small
+        .. ProptestConfig::default()
+    })]
+
+    /// Strong consensus safety holds under randomized Byzantine schedules:
+    /// random strategy sequence, random correct-process inputs with a
+    /// guaranteed quorum value.
+    #[test]
+    fn strong_consensus_randomized_adversary(
+        seed_ops in proptest::collection::vec(0usize..4, 1..6),
+        byz_value in 0i64..2,
+    ) {
+        let (n, t) = (4usize, 1usize);
+        let space = LocalPeats::new(
+            policies::strong_consensus(),
+            PolicyParams::n_t(n, t),
+        ).unwrap();
+        // Adversary acts according to the random script.
+        let adversary = space.handle(3);
+        for op in &seed_ops {
+            let strategy = match op {
+                0 => Attack::Equivocate { first: byz_value, second: 1 - byz_value },
+                1 => Attack::Impersonate { victim: 0, value: byz_value },
+                2 => Attack::ForgeDecision { value: byz_value, claimed: vec![0, 1] },
+                _ => Attack::Scrub,
+            };
+            let _ = run_strategy(&adversary, &strategy);
+        }
+        // All correct processes propose the same value v — strong validity
+        // demands v is decided no matter what the adversary did.
+        let v = 1 - byz_value;
+        let mut joins = Vec::new();
+        for p in 0..3u64 {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            joins.push(std::thread::spawn(move || c.propose(v).unwrap()));
+        }
+        for j in joins {
+            prop_assert_eq!(j.join().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! E7 as tests: the resilience bounds of §5 are tight in both directions.
+
+use peats::{policies, LocalPeats, PolicyParams};
+use peats_consensus::{KValuedConsensus, StrongConsensus};
+use std::thread;
+
+fn kvalued_space(n: usize, t: usize, k: usize) -> LocalPeats {
+    let mut params = PolicyParams::n_t(n, t);
+    params.set("k", k as i64);
+    LocalPeats::new(policies::kvalued_consensus(), params).unwrap()
+}
+
+#[test]
+fn kvalued_terminates_at_the_bound() {
+    for (k, t) in [(2usize, 1usize), (3, 1), (2, 2)] {
+        let n = (k + 1) * t + 1;
+        let space = kvalued_space(n, t, k);
+        let mut joins = Vec::new();
+        for p in 0..n as u64 {
+            let c = KValuedConsensus::new(space.handle(p), n, t, k);
+            let v = (p % k as u64) as i64;
+            joins.push(thread::spawn(move || c.propose(v).unwrap()));
+        }
+        let ds: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert!(
+            ds.windows(2).all(|w| w[0] == w[1]),
+            "k={k}, t={t}: {ds:?}"
+        );
+    }
+}
+
+#[test]
+fn kvalued_stuck_below_the_bound() {
+    // Theorem 4's execution: n = (k+1)t, t silent, each value proposed by
+    // exactly t processes — no quorum can form.
+    for (k, t) in [(2usize, 1usize), (3, 1)] {
+        let n = (k + 1) * t;
+        let space = kvalued_space(n, t, k);
+        let mut joins = Vec::new();
+        for p in 0..(n - t) as u64 {
+            let c = KValuedConsensus::new_unchecked(space.handle(p), n, t, k);
+            let v = (p % k as u64) as i64;
+            joins.push(thread::spawn(move || {
+                c.propose_bounded(v, Some(100)).unwrap()
+            }));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), None, "k={k}, t={t}: decided below bound");
+        }
+    }
+}
+
+#[test]
+fn binary_strong_is_the_k2_case() {
+    // Corollary 1: binary = 2-valued, optimal resilience t = ⌊(n−1)/3⌋.
+    let (n, t) = (7usize, 2usize);
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let mut joins = Vec::new();
+    for p in 0..(n - t) as u64 {
+        let c = StrongConsensus::new(space.handle(p), n, t);
+        joins.push(thread::spawn(move || c.propose((p % 2) as i64).unwrap()));
+    }
+    let ds: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert!(ds.windows(2).all(|w| w[0] == w[1]), "{ds:?}");
+}
+
+#[test]
+fn binary_strong_stuck_at_3t() {
+    // n = 3t processes cannot solve strong binary consensus: with the split
+    // 0 proposed by t, 1 proposed by t, t silent, no value reaches t+1.
+    let (n, t) = (6usize, 2usize);
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let mut joins = Vec::new();
+    for p in 0..(n - t) as u64 {
+        let space = space.handle(p);
+        joins.push(thread::spawn(move || {
+            // Bypass the constructor's assertion (it would reject n = 3t).
+            let c = StrongConsensus::new_unchecked(space, n, t);
+            c.propose_bounded((p % 2) as i64, Some(100)).unwrap()
+        }));
+    }
+    for j in joins {
+        assert_eq!(j.join().unwrap(), None);
+    }
+}
