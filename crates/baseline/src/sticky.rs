@@ -101,11 +101,7 @@ impl<S: TupleSpace> StickyBitArray<S> {
     ///
     /// Propagates infrastructure failures only.
     pub fn set(&self, j: usize, b: i64) -> SpaceResult<bool> {
-        let entry = Tuple::new(vec![
-            Value::from(BIT),
-            Value::Int(j as i64),
-            Value::Int(b),
-        ]);
+        let entry = Tuple::new(vec![Value::from(BIT), Value::Int(j as i64), Value::Int(b)]);
         match self.space.out(entry) {
             Ok(()) => Ok(true),
             Err(e) if e.is_denied() => Ok(false),
@@ -190,7 +186,9 @@ mod tests {
     #[test]
     fn everyone_can_read() {
         let (space, bits) = array(&[vec![1]]);
-        StickyBitArray::new(space.handle(1), bits).set(0, 1).unwrap();
+        StickyBitArray::new(space.handle(1), bits)
+            .set(0, 1)
+            .unwrap();
         let stranger = StickyBitArray::new(space.handle(777), bits);
         assert_eq!(stranger.read(0).unwrap(), Some(1));
     }

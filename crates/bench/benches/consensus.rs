@@ -9,26 +9,21 @@ fn weak_consensus(c: &mut Criterion) {
     let mut group = c.benchmark_group("weak_consensus");
     group.sample_size(30);
     for &procs in &[2usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", procs),
-            &procs,
-            |b, &procs| {
-                b.iter(|| {
-                    let space =
-                        LocalPeats::new(policies::weak_consensus(), PolicyParams::new())
-                            .unwrap();
-                    let joins: Vec<_> = (0..procs as u64)
-                        .map(|p| {
-                            let cons = WeakConsensus::new(space.handle(p));
-                            std::thread::spawn(move || cons.propose(Value::from(p)).unwrap())
-                        })
-                        .collect();
-                    for j in joins {
-                        j.join().unwrap();
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threads", procs), &procs, |b, &procs| {
+            b.iter(|| {
+                let space =
+                    LocalPeats::new(policies::weak_consensus(), PolicyParams::new()).unwrap();
+                let joins: Vec<_> = (0..procs as u64)
+                    .map(|p| {
+                        let cons = WeakConsensus::new(space.handle(p));
+                        std::thread::spawn(move || cons.propose(Value::from(p)).unwrap())
+                    })
+                    .collect();
+                for j in joins {
+                    j.join().unwrap();
+                }
+            });
+        });
     }
     group.finish();
 }
@@ -40,11 +35,8 @@ fn strong_consensus(c: &mut Criterion) {
         let n = 3 * t + 1;
         group.bench_with_input(BenchmarkId::new("n=3t+1, t", t), &t, |b, &t| {
             b.iter(|| {
-                let space = LocalPeats::new(
-                    policies::strong_consensus(),
-                    PolicyParams::n_t(n, t),
-                )
-                .unwrap();
+                let space =
+                    LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
                 let joins: Vec<_> = (0..n as u64)
                     .map(|p| {
                         let cons = StrongConsensus::new(space.handle(p), n, t);
@@ -67,11 +59,8 @@ fn default_consensus(c: &mut Criterion) {
         let (n, t) = (4usize, 1usize);
         group.bench_function(BenchmarkId::new("n=4_t=1", label), |b| {
             b.iter(|| {
-                let space = LocalPeats::new(
-                    policies::default_consensus(),
-                    PolicyParams::n_t(n, t),
-                )
-                .unwrap();
+                let space = LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(n, t))
+                    .unwrap();
                 let joins: Vec<_> = (0..n as u64)
                     .map(|p| {
                         let cons = DefaultConsensus::new(space.handle(p), n, t);

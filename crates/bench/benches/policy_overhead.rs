@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use peats::policies;
 use peats_baseline::sticky_bits_policy;
-use peats_policy::{
-    Invocation, OpCall, PolicyParams, ReferenceMonitor,
-};
+use peats_policy::{Invocation, OpCall, PolicyParams, ReferenceMonitor};
 use peats_tuplespace::{template, tuple, SequentialSpace, Value};
 
 /// Populates a strong-consensus space with n proposals.

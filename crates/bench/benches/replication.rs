@@ -9,8 +9,7 @@ use peats_tuplespace::{template, tuple};
 
 fn replicated_ops(c: &mut Criterion) {
     let mut cluster =
-        ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[100], &[])
-            .unwrap();
+        ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[100], &[]).unwrap();
     let h = cluster.handle(0);
 
     let mut group = c.benchmark_group("replicated_peats");

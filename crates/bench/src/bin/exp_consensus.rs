@@ -17,7 +17,9 @@ fn weak_row() -> Vec<String> {
     let mut joins = Vec::new();
     for p in 0..8u64 {
         let c = WeakConsensus::new(space.handle(p));
-        joins.push(std::thread::spawn(move || c.propose(Value::from(p)).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            c.propose(Value::from(p)).unwrap()
+        }));
     }
     let ds: Vec<Value> = joins.into_iter().map(|j| j.join().unwrap()).collect();
     let agreed = ds.windows(2).all(|w| w[0] == w[1]);
@@ -39,8 +41,20 @@ fn strong_row() -> Vec<String> {
     let mut denied = 0;
     let mut attempted = 0;
     for (pid, strat) in [
-        (5u64, Strategy::Equivocate { first: 1, second: 0 }),
-        (6u64, Strategy::ForgeDecision { value: 1, claimed: vec![0, 1, 5] }),
+        (
+            5u64,
+            Strategy::Equivocate {
+                first: 1,
+                second: 0,
+            },
+        ),
+        (
+            6u64,
+            Strategy::ForgeDecision {
+                value: 1,
+                claimed: vec![0, 1, 5],
+            },
+        ),
     ] {
         let r = run_strategy(&space.handle(pid), &strat).unwrap();
         denied += r.denied;
@@ -68,13 +82,17 @@ fn default_row() -> Vec<String> {
     // Byzantine process tries to force ⊥ with a fabricated split.
     let r = run_strategy(
         &space.handle(3),
-        &Strategy::ForgeBottom { claimed: vec![0, 1, 2] },
+        &Strategy::ForgeBottom {
+            claimed: vec![0, 1, 2],
+        },
     )
     .unwrap();
     let mut joins = Vec::new();
     for p in 0..(n - t) as u64 {
         let c = DefaultConsensus::new(space.handle(p), n, t);
-        joins.push(std::thread::spawn(move || c.propose(Value::from("v")).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            c.propose(Value::from("v")).unwrap()
+        }));
     }
     let ds: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
     let agreed = ds.windows(2).all(|w| w[0] == w[1]);
@@ -91,7 +109,12 @@ fn main() {
     let rows = vec![weak_row(), strong_row(), default_row()];
     print_table(
         "E3/E4/E5: consensus objects under Byzantine strategies (Figs. 3-5)",
-        &["object", "configuration", "safety outcome", "policy denials"],
+        &[
+            "object",
+            "configuration",
+            "safety outcome",
+            "policy denials",
+        ],
         &rows,
     );
     println!("\nEvery adversarial operation that could violate safety was denied by the policy.");

@@ -20,7 +20,9 @@ fn measured_bits(n: usize, t: usize) -> u64 {
     let mut joins = Vec::new();
     for p in 0..n as u64 {
         let c = StrongConsensus::new(space.handle(p), n, t);
-        joins.push(std::thread::spawn(move || c.propose((p % 2) as i64).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            c.propose((p % 2) as i64).unwrap()
+        }));
     }
     for j in joins {
         j.join().unwrap();

@@ -19,7 +19,9 @@ fn peats_ops(t: usize) -> (usize, u64) {
     let mut joins = Vec::new();
     for p in 0..n as u64 {
         let c = StrongConsensus::new(space.handle(p), n, t);
-        joins.push(std::thread::spawn(move || c.propose((p % 2) as i64).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            c.propose((p % 2) as i64).unwrap()
+        }));
     }
     for j in joins {
         j.join().unwrap();
@@ -33,7 +35,9 @@ fn mmrt_ops(t: usize) -> (usize, u64) {
     let mut joins = Vec::new();
     for p in 0..params.n as u64 {
         let c = MmrtConsensus::new(space.handle(p), params);
-        joins.push(std::thread::spawn(move || c.propose((p % 2) as i64).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            c.propose((p % 2) as i64).unwrap()
+        }));
     }
     for j in joins {
         j.join().unwrap();

@@ -32,8 +32,7 @@ fn fault_matrix() -> Vec<Vec<String>> {
         }
         let r1 = cluster.invoke(0, OpCall::Out(tuple!["A", 1]));
         let r2 = cluster.invoke(0, OpCall::Rdp(template!["A", ?x]));
-        let ok = r1 == Some(OpResult::Done)
-            && r2 == Some(OpResult::Tuple(Some(tuple!["A", 1])));
+        let ok = r1 == Some(OpResult::Done) && r2 == Some(OpResult::Tuple(Some(tuple!["A", 1])));
         rows.push(vec![
             label.into(),
             format!("{ok}"),
@@ -82,7 +81,11 @@ fn wall_clock() -> Vec<Vec<String>> {
 fn main() {
     print_table(
         "E2: simulated replicated PEATS (f=1, 4 replicas) under replica faults",
-        &["fault case", "client ops succeed", "replica views after run"],
+        &[
+            "fault case",
+            "client ops succeed",
+            "replica views after run",
+        ],
         &fault_matrix(),
     );
     print_table(

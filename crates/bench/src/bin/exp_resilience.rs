@@ -50,8 +50,14 @@ fn main() {
             rows.push(vec![
                 k.to_string(),
                 t.to_string(),
-                format!("n={n_ok}: {}", decided_ok.map_or("STUCK".into(), |d| format!("decided {d}"))),
-                format!("n={n_bad}: {}", decided_bad.map_or("stuck (as proved)".into(), |d| format!("DECIDED {d}?!"))),
+                format!(
+                    "n={n_ok}: {}",
+                    decided_ok.map_or("STUCK".into(), |d| format!("decided {d}"))
+                ),
+                format!(
+                    "n={n_bad}: {}",
+                    decided_bad.map_or("stuck (as proved)".into(), |d| format!("DECIDED {d}?!"))
+                ),
             ]);
             assert!(
                 decided_ok.is_some(),

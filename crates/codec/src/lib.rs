@@ -393,7 +393,12 @@ impl Decode for Field {
                 let ty = match r.byte()? {
                     0 => None,
                     1 => Some(type_tag_from(r.byte()?)?),
-                    tag => return Err(DecodeError::BadTag { tag, ty: "Field.ty" }),
+                    tag => {
+                        return Err(DecodeError::BadTag {
+                            tag,
+                            ty: "Field.ty",
+                        })
+                    }
                 };
                 Field::Formal { name, ty }
             }
@@ -514,7 +519,11 @@ mod tests {
 
     #[test]
     fn tuple_and_template_roundtrips() {
-        roundtrip(tuple!["DECISION", 1, Value::set([Value::Int(0), Value::Int(2)])]);
+        roundtrip(tuple![
+            "DECISION",
+            1,
+            Value::set([Value::Int(0), Value::Int(2)])
+        ]);
         roundtrip(template!["DECISION", ?d, _]);
         roundtrip(Template::new(vec![Field::typed_formal("x", TypeTag::Int)]));
     }
@@ -538,7 +547,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = Value::Int(1).to_bytes();
         bytes.push(0);
-        assert_eq!(Value::from_bytes(&bytes), Err(DecodeError::TrailingBytes(1)));
+        assert_eq!(
+            Value::from_bytes(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
     }
 
     #[test]

@@ -168,7 +168,14 @@ mod tests {
     fn equivocation_is_limited_to_one_proposal() {
         let space = strong_space(4, 1);
         let h = space.handle(3);
-        let r = run_strategy(&h, &Strategy::Equivocate { first: 0, second: 1 }).unwrap();
+        let r = run_strategy(
+            &h,
+            &Strategy::Equivocate {
+                first: 0,
+                second: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(r.attempted, 2);
         assert_eq!(r.executed, 1);
         assert_eq!(r.denied, 1);
@@ -181,7 +188,14 @@ mod tests {
     fn impersonation_is_denied() {
         let space = strong_space(4, 1);
         let h = space.handle(3);
-        let r = run_strategy(&h, &Strategy::Impersonate { victim: 0, value: 1 }).unwrap();
+        let r = run_strategy(
+            &h,
+            &Strategy::Impersonate {
+                victim: 0,
+                value: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(r.denied, 1);
         assert!(h.rdp(&template![PROPOSE, 0u64, _]).unwrap().is_none());
     }
@@ -206,7 +220,10 @@ mod tests {
     #[test]
     fn scrub_cannot_remove_anything() {
         let space = strong_space(4, 1);
-        space.handle(0).out(peats_tuplespace::tuple![PROPOSE, 0u64, 1]).unwrap();
+        space
+            .handle(0)
+            .out(peats_tuplespace::tuple![PROPOSE, 0u64, 1])
+            .unwrap();
         let h = space.handle(3);
         let r = run_strategy(&h, &Strategy::Scrub).unwrap();
         assert_eq!(r.denied, r.attempted);
@@ -225,7 +242,13 @@ mod tests {
                 .unwrap();
         }
         let h = space.handle(3);
-        let r = run_strategy(&h, &Strategy::ForgeBottom { claimed: vec![0, 1, 2] }).unwrap();
+        let r = run_strategy(
+            &h,
+            &Strategy::ForgeBottom {
+                claimed: vec![0, 1, 2],
+            },
+        )
+        .unwrap();
         assert_eq!(r.denied, 1);
         assert!(h.rdp(&template![DECISION, ?d, _]).unwrap().is_none());
     }

@@ -71,8 +71,7 @@ impl<S: TupleSpace> DefaultConsensus<S> {
     /// propagated.
     pub fn propose(&self, v: Value) -> SpaceResult<DefaultDecision> {
         let me = self.space.process_id();
-        let propose_tuple =
-            Tuple::new(vec![Value::from(PROPOSE), Value::from(me), v.clone()]);
+        let propose_tuple = Tuple::new(vec![Value::from(PROPOSE), Value::from(me), v.clone()]);
         match self.space.out(propose_tuple) {
             Ok(()) => {}
             Err(SpaceError::Denied(d)) => {
@@ -106,12 +105,10 @@ impl<S: TupleSpace> DefaultConsensus<S> {
             if sets.total_proposers() >= self.n - self.t {
                 // No value at t+1 among n−t observations: commit ⊥ with the
                 // full split as justification (rule RcasBot).
-                let map = Value::map(sets.iter().map(|(w, s)| {
-                    (
-                        w.clone(),
-                        Value::set(s.iter().map(|p| Value::from(*p))),
-                    )
-                }));
+                let map = Value::map(
+                    sets.iter()
+                        .map(|(w, s)| (w.clone(), Value::set(s.iter().map(|p| Value::from(*p))))),
+                );
                 let entry = Tuple::new(vec![Value::from(DECISION), Value::Null, map]);
                 return self.commit(entry);
             }
@@ -122,9 +119,9 @@ impl<S: TupleSpace> DefaultConsensus<S> {
                 Field::any(),
             ]);
             if let Some(t) = self.space.rdp(&decision)? {
-                return Ok(DefaultDecision::from_field(t.get(1).ok_or_else(
-                    || SpaceError::Unavailable(format!("malformed DECISION {t}")),
-                )?));
+                return Ok(DefaultDecision::from_field(t.get(1).ok_or_else(|| {
+                    SpaceError::Unavailable(format!("malformed DECISION {t}"))
+                })?));
             }
             std::thread::yield_now();
         }
@@ -142,9 +139,11 @@ impl<S: TupleSpace> DefaultConsensus<S> {
             .ok_or_else(|| SpaceError::Unavailable("empty decision entry".into()))?;
         match self.space.cas(&template, entry)? {
             CasOutcome::Inserted => Ok(DefaultDecision::from_field(&own)),
-            CasOutcome::Found(t) => Ok(DefaultDecision::from_field(t.get(1).ok_or_else(
-                || SpaceError::Unavailable(format!("malformed DECISION {t}")),
-            )?)),
+            CasOutcome::Found(t) => {
+                Ok(DefaultDecision::from_field(t.get(1).ok_or_else(|| {
+                    SpaceError::Unavailable(format!("malformed DECISION {t}"))
+                })?))
+            }
         }
     }
 }
@@ -187,8 +186,7 @@ mod tests {
                 c.propose(Value::from(format!("v{p}"))).unwrap()
             }));
         }
-        let ds: Vec<DefaultDecision> =
-            joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let ds: Vec<DefaultDecision> = joins.into_iter().map(|j| j.join().unwrap()).collect();
         let first = ds[0].clone();
         assert!(ds.iter().all(|d| *d == first), "{ds:?}");
         // With a 4-way split the decision is necessarily ⊥.
@@ -208,8 +206,7 @@ mod tests {
             let v = if p < 2 { "a" } else { "b" };
             joins.push(thread::spawn(move || c.propose(Value::from(v)).unwrap()));
         }
-        let ds: Vec<DefaultDecision> =
-            joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let ds: Vec<DefaultDecision> = joins.into_iter().map(|j| j.join().unwrap()).collect();
         let first = ds[0].clone();
         assert!(ds.iter().all(|d| *d == first), "{ds:?}");
         if let DefaultDecision::Value(v) = &first {

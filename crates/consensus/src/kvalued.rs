@@ -76,11 +76,7 @@ impl<S: TupleSpace> KValuedConsensus<S> {
     /// [`StrongConsensus::propose_bounded`]: crate::StrongConsensus::propose_bounded
     pub fn propose_bounded(&self, v: i64, max_scans: Option<u64>) -> SpaceResult<Option<i64>> {
         let me = self.space.process_id();
-        let propose_tuple = Tuple::new(vec![
-            Value::from(PROPOSE),
-            Value::from(me),
-            Value::Int(v),
-        ]);
+        let propose_tuple = Tuple::new(vec![Value::from(PROPOSE), Value::from(me), Value::Int(v)]);
         match self.space.out(propose_tuple) {
             Ok(()) => {}
             Err(SpaceError::Denied(d)) => {
@@ -109,20 +105,18 @@ impl<S: TupleSpace> KValuedConsensus<S> {
                     Field::formal("d"),
                     Field::any(),
                 ]);
-                let entry = Tuple::new(vec![
-                    Value::from(DECISION),
-                    value.clone(),
-                    justification,
-                ]);
+                let entry = Tuple::new(vec![Value::from(DECISION), value.clone(), justification]);
                 return match self.space.cas(&template, entry)? {
-                    CasOutcome::Inserted => Ok(Some(value.as_int().ok_or_else(|| {
-                        SpaceError::Unavailable("non-integer decision".into())
-                    })?)),
-                    CasOutcome::Found(t) => Ok(Some(
-                        t.get(1).and_then(Value::as_int).ok_or_else(|| {
+                    CasOutcome::Inserted => {
+                        Ok(Some(value.as_int().ok_or_else(|| {
+                            SpaceError::Unavailable("non-integer decision".into())
+                        })?))
+                    }
+                    CasOutcome::Found(t) => {
+                        Ok(Some(t.get(1).and_then(Value::as_int).ok_or_else(|| {
                             SpaceError::Unavailable(format!("malformed DECISION {t}"))
-                        })?,
-                    )),
+                        })?))
+                    }
                 };
             }
             let decision = Template::new(vec![
@@ -131,9 +125,9 @@ impl<S: TupleSpace> KValuedConsensus<S> {
                 Field::any(),
             ]);
             if let Some(t) = self.space.rdp(&decision)? {
-                return Ok(Some(t.get(1).and_then(Value::as_int).ok_or_else(
-                    || SpaceError::Unavailable(format!("malformed DECISION {t}")),
-                )?));
+                return Ok(Some(t.get(1).and_then(Value::as_int).ok_or_else(|| {
+                    SpaceError::Unavailable(format!("malformed DECISION {t}"))
+                })?));
             }
             scans += 1;
             if let Some(limit) = max_scans {

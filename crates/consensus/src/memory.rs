@@ -14,7 +14,7 @@
 /// Panics if `n == 0`.
 pub fn ceil_log2(n: u64) -> u32 {
     assert!(n > 0, "log of zero");
-    64 - (n - 1).leading_zeros().max(0)
+    64 - (n - 1).leading_zeros()
 }
 
 /// Exact bit count of the PEATS strong binary consensus (§5.2):
@@ -154,8 +154,10 @@ mod tests {
             let n = 3 * t + 1;
             let exact = peats_strong_bits_exact(n, t);
             let alon = alon_sticky_bits(n, t);
-            assert!(u128::from(exact) < alon || t < 2,
-                "PEATS ({exact}) should beat sticky bits ({alon}) at t={t}");
+            assert!(
+                u128::from(exact) < alon || t < 2,
+                "PEATS ({exact}) should beat sticky bits ({alon}) at t={t}"
+            );
         }
     }
 

@@ -64,10 +64,7 @@ impl<S: TupleSpace> WeakConsensus<S> {
         let entry = Tuple::new(vec![Value::from(DECISION), v.clone()]);
         match self.space.cas(&template, entry)? {
             CasOutcome::Inserted => Ok(v),
-            CasOutcome::Found(t) => t
-                .get(1)
-                .cloned()
-                .ok_or_else(|| malformed_decision(&t)),
+            CasOutcome::Found(t) => t.get(1).cloned().ok_or_else(|| malformed_decision(&t)),
         }
     }
 }

@@ -219,7 +219,9 @@ impl TupleSpace for LocalHandle {
 
 impl std::fmt::Debug for LocalHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LocalHandle").field("pid", &self.pid).finish()
+        f.debug_struct("LocalHandle")
+            .field("pid", &self.pid)
+            .finish()
     }
 }
 
@@ -243,10 +245,8 @@ mod tests {
     #[test]
     fn denial_surfaces_as_error() {
         // Policy that only allows reads.
-        let policy = peats_policy::parse_policy(
-            "policy readonly() { rule R: read(_) :- true; }",
-        )
-        .unwrap();
+        let policy =
+            peats_policy::parse_policy("policy readonly() { rule R: read(_) :- true; }").unwrap();
         let space = LocalPeats::new(policy, PolicyParams::new()).unwrap();
         let h = space.handle(1);
         let err = h.out(tuple!["A"]).unwrap_err();
@@ -271,7 +271,9 @@ mod tests {
         let mut joins = Vec::new();
         for i in 0..4 {
             let h = space.handle(i);
-            joins.push(thread::spawn(move || h.take(&template!["JOB", ?x]).unwrap()));
+            joins.push(thread::spawn(move || {
+                h.take(&template!["JOB", ?x]).unwrap()
+            }));
         }
         let producer = space.handle(99);
         for i in 0..4 {

@@ -50,12 +50,14 @@ pub fn monotonic_register_policy(writers: impl IntoIterator<Item = ProcessId>) -
         "monotonic_register",
         vec![],
         vec![
-            Rule::new("Rread", InvocationPattern::Read(ArgPattern::Any), Expr::True),
+            Rule::new(
+                "Rread",
+                InvocationPattern::Read(ArgPattern::Any),
+                Expr::True,
+            ),
             Rule::new(
                 "Rwrite",
-                InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Bind(
-                    "v".into(),
-                )])),
+                InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Bind("v".into())])),
                 Expr::and(
                     invoker_in(writers),
                     Expr::cmp(CmpOp::Gt, Term::var("v"), Term::StateField("r".into())),

@@ -221,8 +221,7 @@ mod tests {
 
     #[test]
     fn strong_policy_requires_own_identity_and_binary_value() {
-        let space =
-            LocalPeats::new(strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
+        let space = LocalPeats::new(strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         let h = space.handle(2);
         // Spoofing another process's proposal is denied.
         assert!(h.out(tuple!["PROPOSE", 3, 0]).unwrap_err().is_denied());
@@ -235,8 +234,7 @@ mod tests {
 
     #[test]
     fn strong_policy_cas_requires_justification() {
-        let space =
-            LocalPeats::new(strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
+        let space = LocalPeats::new(strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         for p in 0..2u64 {
             space.handle(p).out(tuple!["PROPOSE", p, 0]).unwrap();
         }
@@ -244,10 +242,7 @@ mod tests {
         // S = {0} has only t = 1 member: denied (needs t+1 = 2).
         let s1 = Value::set([Value::Int(0)]);
         assert!(h
-            .cas(
-                &template!["DECISION", ?d, _],
-                tuple!["DECISION", 0, s1]
-            )
+            .cas(&template!["DECISION", ?d, _], tuple!["DECISION", 0, s1])
             .unwrap_err()
             .is_denied());
         // S = {0, 1} matches two real PROPOSE(·, 0) tuples: allowed.
@@ -260,10 +255,7 @@ mod tests {
             .unwrap()
             .inserted());
         // A forged justification for value 1 is denied — no PROPOSE(·, 1).
-        let again = h.cas(
-            &template!["DECISION", ?d, _],
-            tuple!["DECISION", 1, s2],
-        );
+        let again = h.cas(&template!["DECISION", ?d, _], tuple!["DECISION", 1, s2]);
         // The first matching rule fails on justification, but the cas also
         // simply finds the existing decision: either way, nothing inserted.
         match again {
@@ -275,8 +267,7 @@ mod tests {
 
     #[test]
     fn default_policy_rejects_bottom_proposals_and_forged_bottom_decisions() {
-        let space =
-            LocalPeats::new(default_consensus(), PolicyParams::n_t(4, 1)).unwrap();
+        let space = LocalPeats::new(default_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         let h = space.handle(0);
         assert!(h
             .out(tuple!["PROPOSE", 0, Value::Null])
@@ -322,16 +313,12 @@ mod tests {
     fn default_policy_rejects_oversized_justification_sets() {
         // With t = 1, a set S_w of 2 processes proves a correct proposer for
         // w, so it must NOT appear in a ⊥ justification.
-        let space =
-            LocalPeats::new(default_consensus(), PolicyParams::n_t(4, 1)).unwrap();
+        let space = LocalPeats::new(default_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         space.handle(0).out(tuple!["PROPOSE", 0, "a"]).unwrap();
         space.handle(1).out(tuple!["PROPOSE", 1, "a"]).unwrap();
         space.handle(2).out(tuple!["PROPOSE", 2, "b"]).unwrap();
         let cheat = Value::map([
-            (
-                Value::from("a"),
-                Value::set([Value::Int(0), Value::Int(1)]),
-            ),
+            (Value::from("a"), Value::set([Value::Int(0), Value::Int(1)])),
             (Value::from("b"), Value::set([Value::Int(2)])),
         ]);
         assert!(space
@@ -346,8 +333,7 @@ mod tests {
 
     #[test]
     fn lockfree_policy_enforces_gap_freedom() {
-        let space =
-            LocalPeats::new(lockfree_universal(), PolicyParams::new()).unwrap();
+        let space = LocalPeats::new(lockfree_universal(), PolicyParams::new()).unwrap();
         let h = space.handle(0);
         // Threading at position 2 before 1 exists is denied.
         assert!(h

@@ -18,4 +18,4 @@ pub mod sim;
 pub mod threaded;
 
 pub use sim::{Actor, Context, NetConfig, NodeId, SimNet, SimTime};
-pub use threaded::{Envelope, Mailbox, ThreadNet};
+pub use threaded::{Disconnected, Envelope, Mailbox, ThreadNet};

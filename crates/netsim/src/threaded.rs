@@ -13,6 +13,18 @@ use std::time::Duration;
 /// A message in flight: `(sender, payload)`.
 pub type Envelope = (NodeId, Vec<u8>);
 
+/// Error returned by [`Mailbox::recv_timeout`] when every sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("fabric disconnected: all senders dropped")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
 /// Shared fabric connecting a fixed set of nodes.
 #[derive(Clone)]
 pub struct ThreadNet {
@@ -95,13 +107,13 @@ impl Mailbox {
         self.rx.recv().ok()
     }
 
-    /// Blocks up to `timeout`; `Ok(None)` on timeout, `Err` when the fabric
-    /// is gone.
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, ()> {
+    /// Blocks up to `timeout`; `Ok(None)` on timeout, `Err(Disconnected)`
+    /// when the fabric is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, Disconnected> {
         match self.rx.recv_timeout(timeout) {
             Ok(env) => Ok(Some(env)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(()),
+            Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
         }
     }
 

@@ -82,11 +82,15 @@ impl Term {
     }
 
     /// `lhs + rhs`.
+    // AST constructor, not arithmetic on `Term` itself — the DSL's terms are
+    // built by a parser, so `Term::add(a, b)` reads better than `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Term, rhs: Term) -> Term {
         Term::Add(Box::new(lhs), Box::new(rhs))
     }
 
     /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Term, rhs: Term) -> Term {
         Term::Sub(Box::new(lhs), Box::new(rhs))
     }
@@ -235,6 +239,7 @@ impl Expr {
     }
 
     /// `!e`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         Expr::Not(Box::new(e))
     }
@@ -254,10 +259,7 @@ impl Expr {
 
     /// Conjunction of all expressions (`True` when empty).
     pub fn all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
-        exprs
-            .into_iter()
-            .reduce(Expr::and)
-            .unwrap_or(Expr::True)
+        exprs.into_iter().reduce(Expr::and).unwrap_or(Expr::True)
     }
 
     /// Disjunction of all expressions (`False` when empty).
@@ -407,11 +409,7 @@ pub struct Rule {
 
 impl Rule {
     /// Creates a rule.
-    pub fn new(
-        name: impl Into<String>,
-        pattern: InvocationPattern,
-        condition: Expr,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, pattern: InvocationPattern, condition: Expr) -> Self {
         Rule {
             name: name.into(),
             pattern,
@@ -444,11 +442,7 @@ pub struct Policy {
 
 impl Policy {
     /// Creates a policy.
-    pub fn new(
-        name: impl Into<String>,
-        params: Vec<String>,
-        rules: Vec<Rule>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, params: Vec<String>, rules: Vec<Rule>) -> Self {
         Policy {
             name: name.into(),
             params,
@@ -464,7 +458,11 @@ impl Policy {
             vec![],
             vec![
                 Rule::new("Rout", InvocationPattern::Out(ArgPattern::Any), Expr::True),
-                Rule::new("Rread", InvocationPattern::Read(ArgPattern::Any), Expr::True),
+                Rule::new(
+                    "Rread",
+                    InvocationPattern::Read(ArgPattern::Any),
+                    Expr::True,
+                ),
                 Rule::new("Rin", InvocationPattern::In(ArgPattern::Any), Expr::True),
                 Rule::new("Rinp", InvocationPattern::Inp(ArgPattern::Any), Expr::True),
                 Rule::new(

@@ -86,7 +86,10 @@ impl StateView for SequentialSpace {
     }
 
     fn matching(&self, template: &Template) -> Vec<Tuple> {
-        self.iter().filter(|t| template.matches(t)).cloned().collect()
+        self.iter()
+            .filter(|t| template.matches(t))
+            .cloned()
+            .collect()
     }
 }
 
@@ -344,11 +347,7 @@ pub fn eval_term(term: &Term, ctx: &EvalCtx<'_>, locals: &Env) -> Result<Value, 
 /// Builds the concrete [`Template`] for an `exists(...)` state query.
 /// `Bind` fields become wildcards; their values are extracted per candidate
 /// tuple by the caller.
-fn query_template(
-    q: &TupleQuery,
-    ctx: &EvalCtx<'_>,
-    locals: &Env,
-) -> Result<Template, EvalError> {
+fn query_template(q: &TupleQuery, ctx: &EvalCtx<'_>, locals: &Env) -> Result<Template, EvalError> {
     let mut fields = Vec::with_capacity(q.0.len());
     for f in &q.0 {
         fields.push(match f {
@@ -515,9 +514,9 @@ mod tests {
 
     #[test]
     fn pattern_rejects_wrong_tag() {
-        let pat = InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Lit(
-            Value::from("PROPOSE"),
-        )]));
+        let pat = InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Lit(Value::from(
+            "PROPOSE",
+        ))]));
         let inv = Invocation::new(0, OpCall::Out(tuple!["DECISION"]));
         assert!(match_invocation(&pat, &inv).is_none());
     }
@@ -535,9 +534,9 @@ mod tests {
         // A pattern expecting the literal tag must not match a template
         // whose tag position is a formal field (else a malicious reader
         // could smuggle queries past tag-specific rules).
-        let pat = InvocationPattern::Rdp(ArgPattern::fields(vec![FieldPattern::Lit(
-            Value::from("SEQ"),
-        )]));
+        let pat = InvocationPattern::Rdp(ArgPattern::fields(vec![FieldPattern::Lit(Value::from(
+            "SEQ",
+        ))]));
         let inv = Invocation::new(0, OpCall::Rdp(Template::new(vec![Field::formal("x")])));
         assert!(match_invocation(&pat, &inv).is_none());
     }
@@ -636,7 +635,10 @@ mod tests {
         ts.out(tuple!["PROPOSE", 1, 0]);
         ts.out(tuple!["PROPOSE", 2, 0]);
         let mut env = Env::new();
-        env.bind("S", BoundArg::Value(Value::set([Value::Int(1), Value::Int(2)])));
+        env.bind(
+            "S",
+            BoundArg::Value(Value::set([Value::Int(1), Value::Int(2)])),
+        );
         env.bind("v", BoundArg::Value(Value::Int(0)));
         let params = PolicyParams::n_t(4, 1);
         let c = ctx(&env, &params, &ts);

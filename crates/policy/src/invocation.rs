@@ -124,10 +124,7 @@ mod tests {
     fn kind_reports_variant() {
         assert_eq!(OpCall::Out(tuple!["A"]).kind(), OpKind::Out);
         assert_eq!(OpCall::Rdp(template!["A"]).kind(), OpKind::Rdp);
-        assert_eq!(
-            OpCall::Cas(template!["A"], tuple!["A"]).kind(),
-            OpKind::Cas
-        );
+        assert_eq!(OpCall::Cas(template!["A"], tuple!["A"]).kind(), OpKind::Cas);
     }
 
     #[test]

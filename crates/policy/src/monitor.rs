@@ -195,7 +195,12 @@ mod tests {
             other => panic!("expected denial, got {other:?}"),
         }
         let d2 = m.decide(&Invocation::new(0, OpCall::Out(tuple![11])), &EmptyState);
-        assert_eq!(d2, Decision::Allowed { rule: "Rout".into() });
+        assert_eq!(
+            d2,
+            Decision::Allowed {
+                rule: "Rout".into()
+            }
+        );
     }
 
     #[test]
@@ -253,10 +258,16 @@ mod tests {
         ));
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
         assert!(m
-            .decide(&Invocation::new(2, OpCall::Out(tuple![Value::Int(9)])), &EmptyState)
+            .decide(
+                &Invocation::new(2, OpCall::Out(tuple![Value::Int(9)])),
+                &EmptyState
+            )
             .is_allowed());
         assert!(!m
-            .decide(&Invocation::new(4, OpCall::Out(tuple![Value::Int(9)])), &EmptyState)
+            .decide(
+                &Invocation::new(4, OpCall::Out(tuple![Value::Int(9)])),
+                &EmptyState
+            )
             .is_allowed());
     }
 }

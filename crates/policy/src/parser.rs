@@ -50,7 +50,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -141,7 +145,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
 
     macro_rules! push {
         ($tok:expr, $len:expr) => {{
-            out.push(Spanned { tok: $tok, line, col });
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col,
+            });
             col += $len;
         }};
     }
@@ -402,7 +410,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                 }
-                let tok = if s == "_" { Tok::Underscore } else { Tok::Ident(s) };
+                let tok = if s == "_" {
+                    Tok::Underscore
+                } else {
+                    Tok::Ident(s)
+                };
                 out.push(Spanned {
                     tok,
                     line,
@@ -811,9 +823,9 @@ impl Parser {
                 Tok::Comma => continue,
                 Tok::Gt => break,
                 other => {
-                    return Err(
-                        self.err(format!("expected `,` or `>` in exists query, found {other}"))
-                    )
+                    return Err(self.err(format!(
+                        "expected `,` or `>` in exists query, found {other}"
+                    )))
                 }
             }
         }
@@ -1134,10 +1146,7 @@ mod tests {
     #[test]
     fn true_as_comparison_operand() {
         let e = parse_expr("v == true").unwrap();
-        assert_eq!(
-            e,
-            Expr::Cmp(CmpOp::Eq, Term::var("v"), Term::val(true))
-        );
+        assert_eq!(e, Expr::Cmp(CmpOp::Eq, Term::var("v"), Term::val(true)));
     }
 
     #[test]

@@ -20,11 +20,7 @@ impl ClientSession {
     /// number `req_id`, tolerating `f` faulty replicas.
     pub fn new(client: u64, req_id: u64, op: OpCall, f: usize) -> Self {
         ClientSession {
-            request: Request {
-                client,
-                req_id,
-                op,
-            },
+            request: Request { client, req_id, op },
             f,
             replies: BTreeMap::new(),
             decided: None,
@@ -39,7 +35,12 @@ impl ClientSession {
 
     /// Feeds a `Reply`; returns the accepted result once `f+1` replicas
     /// sent identical results for this request.
-    pub fn on_reply(&mut self, replica: ReplicaId, req_id: u64, result: OpResult) -> Option<OpResult> {
+    pub fn on_reply(
+        &mut self,
+        replica: ReplicaId,
+        req_id: u64,
+        result: OpResult,
+    ) -> Option<OpResult> {
         if self.decided.is_some() || req_id != self.request.req_id {
             return self.decided.clone();
         }

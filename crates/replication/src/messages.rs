@@ -71,7 +71,12 @@ impl Decode for OpResult {
                 found: Option::decode(r)?,
             },
             3 => OpResult::Denied(String::decode(r)?),
-            tag => return Err(DecodeError::BadTag { tag, ty: "OpResult" }),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag,
+                    ty: "OpResult",
+                })
+            }
         })
     }
 }

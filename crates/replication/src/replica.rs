@@ -177,12 +177,12 @@ impl Replica {
             }
             Message::ViewChange {
                 new_view,
-                last_exec: _,
+                last_exec,
                 prepared,
                 replica,
             } => {
                 if replica as u64 == from {
-                    self.on_view_change(new_view, prepared, replica, &mut out);
+                    self.on_view_change(new_view, last_exec, prepared, replica, &mut out);
                 }
             }
             Message::NewView { view, assignments } => {
@@ -222,12 +222,25 @@ impl Replica {
             }
         }
         if self.is_primary() {
-            // Already ordered? (client broadcast + retransmissions)
-            let dup = self
+            // Already ordered? (client broadcast + retransmissions). If the
+            // slot has not executed yet, the original pre-prepare may have
+            // been lost: re-broadcast it instead of staying silent, or the
+            // slot can stall forever on a lossy network.
+            if let Some((seq, slot)) = self
                 .slots
-                .values()
-                .any(|s| s.request.as_ref() == Some(&req));
-            if dup {
+                .iter()
+                .find(|(_, s)| s.request.as_ref() == Some(&req))
+            {
+                if !slot.executed {
+                    out.push((
+                        Dest::AllReplicas,
+                        Message::PrePrepare {
+                            view: self.view,
+                            seq: *seq,
+                            request: req,
+                        },
+                    ));
+                }
                 return;
             }
             self.next_seq += 1;
@@ -249,7 +262,7 @@ impl Replica {
             // Backups hold the request for potential re-ordering after a
             // view change; the primary got its own copy via the client's
             // broadcast.
-            if !self.pending.iter().any(|r| *r == req) {
+            if !self.pending.contains(&req) {
                 self.pending.push(req);
             }
         }
@@ -299,11 +312,40 @@ impl Replica {
         replica: ReplicaId,
         out: &mut Vec<(Dest, Message)>,
     ) {
+        let me = self.cfg.id;
+        let view = self.view;
         let slot = self.slots.entry(seq).or_default();
         if slot.digest.is_some() && slot.digest != Some(digest) {
             return;
         }
-        slot.prepares.insert(replica);
+        let newly_seen = slot.prepares.insert(replica);
+        if slot.executed {
+            // A prepare for a slot we executed long ago comes from a replica
+            // replaying history after rejoining (our original votes predate
+            // its recovery). Re-send our votes directly; the `newly_seen`
+            // guard stops two executed replicas from ping-ponging.
+            if newly_seen {
+                out.push((
+                    Dest::Replica(replica),
+                    Message::Prepare {
+                        view,
+                        seq,
+                        digest,
+                        replica: me,
+                    },
+                ));
+                out.push((
+                    Dest::Replica(replica),
+                    Message::Commit {
+                        view,
+                        seq,
+                        digest,
+                        replica: me,
+                    },
+                ));
+            }
+            return;
+        }
         self.maybe_commit_phase(seq, out);
     }
 
@@ -402,15 +444,21 @@ impl Replica {
         if matches!(self.fault, FaultMode::Crashed | FaultMode::Mute) {
             return Vec::new();
         }
-        if self.pending.is_empty() && self.slots.values().all(|s| s.executed || s.request.is_none())
+        if self.pending.is_empty()
+            && self
+                .slots
+                .values()
+                .all(|s| s.executed || s.request.is_none())
         {
             return Vec::new();
         }
         let new_view = self.view + 1;
+        // Report every slot we know a request for, executed ones included:
+        // a new primary that never received some pre-prepare can only learn
+        // the request (and its sequence number) from these reports.
         let prepared: Vec<(Seq, Request)> = self
             .slots
             .iter()
-            .filter(|(_, s)| !s.executed)
             .filter_map(|(seq, s)| s.request.clone().map(|r| (*seq, r)))
             .collect();
         let mut msgs = vec![(
@@ -434,71 +482,87 @@ impl Replica {
     fn on_view_change(
         &mut self,
         new_view: View,
+        sender_last_exec: Seq,
         prepared: Vec<(Seq, Request)>,
         replica: ReplicaId,
         out: &mut Vec<(Dest, Message)>,
     ) {
         if new_view <= self.view {
+            // A replica stranded in an older view keeps asking for a view
+            // change the rest of the cluster already completed. If we are
+            // the current primary, send it our assignments above its own
+            // last executed slot so it can rejoin; it then recovers the
+            // missed history by re-voting (there is no checkpoint transfer
+            // in this reproduction).
+            if self.is_primary() && replica != self.cfg.id {
+                let assignments: Vec<(Seq, Request)> = self
+                    .slots
+                    .range(sender_last_exec + 1..)
+                    .filter_map(|(seq, s)| s.request.clone().map(|r| (*seq, r)))
+                    .collect();
+                out.push((
+                    Dest::Replica(replica),
+                    Message::NewView {
+                        view: self.view,
+                        assignments,
+                    },
+                ));
+            }
             return;
         }
         let votes = self.view_votes.entry(new_view).or_default();
         votes.insert(replica, prepared);
         let votes_len = votes.len();
         if votes_len >= 2 * self.cfg.f + 1 && self.cfg.primary_of(new_view) == self.cfg.id {
-            // Become primary of the new view: re-order everything reported
-            // prepared plus our own pending requests.
-            let mut assignments: BTreeMap<Seq, Request> = BTreeMap::new();
+            // Become primary of the new view. Reported slots keep their
+            // reported sequence numbers — a request that committed (or even
+            // executed) at some replica must stay at its slot or replica
+            // states diverge. Only requests no replica reports ordered get
+            // fresh sequence numbers, placed after every number any replica
+            // may have seen.
             let votes = self.view_votes.remove(&new_view).unwrap_or_default();
-            let mut to_order: Vec<Request> = Vec::new();
-            for (_, prepared) in votes {
-                for (_, req) in prepared {
-                    if !to_order.contains(&req) {
-                        to_order.push(req);
-                    }
-                }
-            }
-            for req in self.pending.clone() {
-                if !to_order.contains(&req) {
-                    to_order.push(req);
-                }
-            }
-            // Drop requests already executed here.
-            to_order.retain(|req| {
-                self.replies
-                    .get(&req.client)
-                    .map_or(true, |(id, _)| *id < req.req_id)
-            });
-            // Keep already-known (possibly prepared elsewhere) slots where
-            // they are; new assignments go after every sequence number any
-            // replica may have seen.
-            let mut seq = self
-                .slots
-                .keys()
-                .max()
-                .copied()
-                .unwrap_or(0)
-                .max(self.last_exec)
-                .max(self.next_seq);
-            let known: Vec<Request> = self
+            let mut assignments: BTreeMap<Seq, Request> = BTreeMap::new();
+            let mut placed: Vec<Request> = self
                 .slots
                 .values()
                 .filter_map(|s| s.request.clone())
                 .collect();
-            for req in to_order {
-                if known.contains(&req) {
+            let mut reported_max: Seq = 0;
+            for prepared in votes.values() {
+                for (seq, req) in prepared {
+                    reported_max = reported_max.max(*seq);
+                    let seq_taken = assignments.contains_key(seq)
+                        || self.slots.get(seq).is_some_and(|s| s.request.is_some());
+                    if seq_taken || placed.contains(req) {
+                        continue; // first placement wins, ours preferred
+                    }
+                    assignments.insert(*seq, req.clone());
+                    placed.push(req.clone());
+                }
+            }
+            // Re-issue our own slots' assignments so the NewView is the
+            // complete history backups may need to catch up.
+            for (s, slot) in &self.slots {
+                if let Some(req) = &slot.request {
+                    assignments.entry(*s).or_insert_with(|| req.clone());
+                }
+            }
+            // Fresh sequence numbers for pending requests nobody ordered.
+            let mut seq = reported_max
+                .max(self.slots.keys().max().copied().unwrap_or(0))
+                .max(self.last_exec)
+                .max(self.next_seq);
+            for req in self.pending.clone() {
+                let already_executed = self
+                    .replies
+                    .get(&req.client)
+                    .is_some_and(|(id, _)| *id >= req.req_id);
+                if already_executed || placed.contains(&req) {
                     continue;
                 }
                 seq += 1;
-                assignments.insert(seq, req);
-            }
-            // Re-issue existing unexecuted slots under the new view too, so
-            // backups that missed the original pre-prepare catch up.
-            for (s, slot) in &self.slots {
-                if !slot.executed {
-                    if let Some(req) = &slot.request {
-                        assignments.entry(*s).or_insert_with(|| req.clone());
-                    }
-                }
+                assignments.insert(seq, req.clone());
+                placed.push(req);
             }
             self.next_seq = seq;
             self.install_view(new_view, &assignments);
@@ -510,12 +574,15 @@ impl Replica {
                     assignments: assignments.clone(),
                 },
             ));
-            // Locally treat each assignment as pre-prepared; broadcast
-            // prepares.
+            // Locally treat each unexecuted assignment as pre-prepared;
+            // broadcast prepares.
             for (seq, req) in assignments {
                 let digest = req.digest();
                 {
                     let slot = self.slots.entry(seq).or_default();
+                    if slot.executed {
+                        continue;
+                    }
                     slot.prepares.insert(self.cfg.id);
                 }
                 out.push((
@@ -546,20 +613,46 @@ impl Replica {
         self.install_view(view, &map);
         for (seq, req) in map {
             let digest = req.digest();
+            let me = self.cfg.id;
             let slot = self.slots.entry(seq).or_default();
-            if slot.executed {
+            if slot.executed || slot.committed {
+                // Re-cast our votes for slots we already decided: the new
+                // primary may have missed them and cannot fill its execution
+                // gap otherwise. Directly to the primary — the only replica
+                // known to need them — not broadcast.
+                if slot.digest == Some(digest) {
+                    let primary = Dest::Replica(self.cfg.primary_of(view));
+                    out.push((
+                        primary,
+                        Message::Prepare {
+                            view,
+                            seq,
+                            digest,
+                            replica: me,
+                        },
+                    ));
+                    out.push((
+                        primary,
+                        Message::Commit {
+                            view,
+                            seq,
+                            digest,
+                            replica: me,
+                        },
+                    ));
+                }
                 continue;
             }
             slot.request = Some(req);
             slot.digest = Some(digest);
-            slot.prepares.insert(self.cfg.id);
+            slot.prepares.insert(me);
             out.push((
                 Dest::AllReplicas,
                 Message::Prepare {
                     view,
                     seq,
                     digest,
-                    replica: self.cfg.id,
+                    replica: me,
                 },
             ));
             self.maybe_commit_phase(seq, out);
@@ -568,13 +661,42 @@ impl Replica {
 
     fn install_view(&mut self, view: View, assignments: &BTreeMap<Seq, Request>) {
         self.view = view;
-        // Keep existing slots — prepare/commit votes are view-agnostic and
-        // must survive the transition; only fill empty assignments.
+        // Executed/committed slots survive (votes are view-agnostic), but
+        // our own uncommitted orderings from older views are void: the new
+        // primary's assignments are authoritative. A stale divergent slot
+        // kept here would reject the new assignment's votes forever.
+        // Orphaned requests go back to `pending` so they are re-ordered
+        // rather than lost.
+        let mut orphaned: Vec<Request> = Vec::new();
+        self.slots.retain(|seq, slot| {
+            let keep = slot.executed || slot.committed || assignments.contains_key(seq);
+            if !keep {
+                if let Some(req) = slot.request.take() {
+                    orphaned.push(req);
+                }
+            }
+            keep
+        });
+        for req in orphaned {
+            let already_executed = self
+                .replies
+                .get(&req.client)
+                .is_some_and(|(id, _)| *id >= req.req_id);
+            if !already_executed && !self.pending.contains(&req) {
+                self.pending.push(req);
+            }
+        }
         for (seq, req) in assignments {
             let slot = self.slots.entry(*seq).or_default();
-            if slot.request.is_none() {
+            if slot.executed || slot.committed {
+                continue;
+            }
+            let digest = req.digest();
+            if slot.digest != Some(digest) {
                 slot.request = Some(req.clone());
-                slot.digest = Some(req.digest());
+                slot.digest = Some(digest);
+                slot.prepares.clear();
+                slot.commits.clear();
             }
         }
         self.view_votes.retain(|v, _| *v > view);

@@ -111,9 +111,8 @@ mod tests {
 
     #[test]
     fn identical_sequences_produce_identical_state() {
-        let mk = || {
-            PeatsService::new(policies::strong_consensus(), PolicyParams::n_t(4, 1)).unwrap()
-        };
+        let mk =
+            || PeatsService::new(policies::strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         let (mut a, mut b) = (mk(), mk());
         let ops = [
             (0u64, OpCall::Out(tuple!["PROPOSE", 0u64, 1])),

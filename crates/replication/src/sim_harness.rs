@@ -105,7 +105,15 @@ impl Actor for ClientActor {
         let Ok(sealed) = Sealed::from_bytes(payload) else {
             return;
         };
-        let Some((_, Message::Reply { req_id, replica, result, .. })) = sealed.open(&self.keys)
+        let Some((
+            _,
+            Message::Reply {
+                req_id,
+                replica,
+                result,
+                ..
+            },
+        )) = sealed.open(&self.keys)
         else {
             return;
         };
@@ -276,8 +284,11 @@ impl SimCluster {
                 broadcast(self, &session);
                 next_retransmit += 20_000;
             }
-            let pending: Vec<(ReplicaId, u64, OpResult)> =
-                self.clients[client_idx].replies.borrow_mut().drain(..).collect();
+            let pending: Vec<(ReplicaId, u64, OpResult)> = self.clients[client_idx]
+                .replies
+                .borrow_mut()
+                .drain(..)
+                .collect();
             for (replica, rid, result) in pending {
                 if let Some(result) = session.on_reply(replica, rid, result) {
                     return Some(result);
@@ -354,30 +365,21 @@ mod tests {
     fn crashed_replica_does_not_block_progress() {
         let mut c = cluster(1, &[100]);
         c.set_fault(3, FaultMode::Crashed);
-        assert_eq!(
-            c.invoke(0, OpCall::Out(tuple!["A"])),
-            Some(OpResult::Done)
-        );
+        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
     }
 
     #[test]
     fn corrupt_replies_are_outvoted() {
         let mut c = cluster(1, &[100]);
         c.set_fault(2, FaultMode::CorruptReplies);
-        assert_eq!(
-            c.invoke(0, OpCall::Out(tuple!["A"])),
-            Some(OpResult::Done)
-        );
+        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
     }
 
     #[test]
     fn crashed_primary_triggers_view_change() {
         let mut c = cluster(1, &[100]);
         c.set_fault(0, FaultMode::Crashed); // primary of view 0
-        assert_eq!(
-            c.invoke(0, OpCall::Out(tuple!["A"])),
-            Some(OpResult::Done)
-        );
+        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
         // Some correct replica moved past view 0.
         assert!(c.views().iter().any(|v| *v > 0), "views: {:?}", c.views());
     }
@@ -394,10 +396,7 @@ mod tests {
                 ..NetConfig::default()
             },
         );
-        assert_eq!(
-            c.invoke(0, OpCall::Out(tuple!["A"])),
-            Some(OpResult::Done)
-        );
+        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
     }
 
     #[test]

@@ -89,7 +89,7 @@ fn replica_main(
                 }
                 last_seen_exec = last;
             }
-            Err(()) => return, // fabric gone
+            Err(_) => return, // fabric gone
         }
     }
 }
@@ -287,7 +287,7 @@ impl ReplicatedPeats {
                     }
                 }
                 Ok(None) => {}
-                Err(()) => {
+                Err(_) => {
                     return Err(SpaceError::Unavailable("cluster shut down".into()));
                 }
             }
@@ -334,9 +334,7 @@ impl TupleSpace for ReplicatedPeats {
 
     fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
         match self.invoke(OpCall::Cas(template.clone(), entry))? {
-            OpResult::Cas {
-                inserted: true, ..
-            } => Ok(CasOutcome::Inserted),
+            OpResult::Cas { inserted: true, .. } => Ok(CasOutcome::Inserted),
             OpResult::Cas {
                 inserted: false,
                 found: Some(t),
@@ -400,8 +398,14 @@ mod tests {
         let a = cluster.handle(0);
         let b = cluster.handle(1);
         a.out(tuple!["JOB", 1]).unwrap();
-        assert_eq!(b.rdp(&template!["JOB", ?x]).unwrap(), Some(tuple!["JOB", 1]));
-        assert!(a.cas(&template!["D", ?x], tuple!["D", 7]).unwrap().inserted());
+        assert_eq!(
+            b.rdp(&template!["JOB", ?x]).unwrap(),
+            Some(tuple!["JOB", 1])
+        );
+        assert!(a
+            .cas(&template!["D", ?x], tuple!["D", 7])
+            .unwrap()
+            .inserted());
         let out = b.cas(&template!["D", ?x], tuple!["D", 9]).unwrap();
         assert_eq!(out.found(), Some(&tuple!["D", 7]));
         cluster.shutdown();
@@ -414,7 +418,12 @@ mod tests {
             PolicyParams::new(),
             1,
             &[100],
-            &[FaultMode::Correct, FaultMode::CorruptReplies, FaultMode::Correct, FaultMode::Crashed],
+            &[
+                FaultMode::Correct,
+                FaultMode::CorruptReplies,
+                FaultMode::Correct,
+                FaultMode::Crashed,
+            ],
         )
         .unwrap();
         let h = cluster.handle(0);

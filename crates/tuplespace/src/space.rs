@@ -49,18 +49,13 @@ impl CasOutcome {
 /// first-in-first-out, which makes runs reproducible; `Seeded` provides a
 /// deterministic pseudo-random choice for adversarial schedules (ablation
 /// experiment E8).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum Selection {
     /// Oldest matching tuple wins (deterministic, default).
+    #[default]
     Fifo,
     /// Pseudo-random matching tuple, from a seeded xorshift generator.
     Seeded(u64),
-}
-
-impl Default for Selection {
-    fn default() -> Self {
-        Selection::Fifo
-    }
 }
 
 /// Per-operation invocation counters, used by experiments E6/E10 to compare
@@ -197,8 +192,7 @@ impl SequentialSpace {
     /// or `None`.
     pub fn rdp(&mut self, template: &Template) -> Option<Tuple> {
         self.stats.rdp += 1;
-        self.pick_match(template)
-            .map(|i| self.entries[i].1.clone())
+        self.pick_match(template).map(|i| self.entries[i].1.clone())
     }
 
     /// Like [`rdp`](Self::rdp) but without touching the operation counters —
@@ -212,8 +206,7 @@ impl SequentialSpace {
     /// matching tuple or returns `None`.
     pub fn inp(&mut self, template: &Template) -> Option<Tuple> {
         self.stats.inp += 1;
-        self.pick_match(template)
-            .map(|i| self.entries.remove(i).1)
+        self.pick_match(template).map(|i| self.entries.remove(i).1)
     }
 
     /// `cas(t̄, t)`: atomically, *if* the read of `t̄` fails, insert `t`

@@ -195,12 +195,7 @@ impl Template {
     /// `m(t, t̄)`: `true` iff `entry` has the same arity and every defined
     /// template field equals the corresponding entry field.
     pub fn matches(&self, entry: &Tuple) -> bool {
-        self.0.len() == entry.len()
-            && self
-                .0
-                .iter()
-                .zip(entry.fields())
-                .all(|(f, v)| f.matches(v))
+        self.0.len() == entry.len() && self.0.iter().zip(entry.fields()).all(|(f, v)| f.matches(v))
     }
 
     /// Matches and, on success, returns the [`Bindings`] of all formal

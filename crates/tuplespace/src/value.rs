@@ -186,10 +186,7 @@ impl Value {
             Value::Bytes(b) => 8 * b.len() as u64,
             Value::List(l) => l.iter().map(Value::cost_bits).sum(),
             Value::Set(s) => s.iter().map(Value::cost_bits).sum(),
-            Value::Map(m) => m
-                .iter()
-                .map(|(k, v)| k.cost_bits() + v.cost_bits())
-                .sum(),
+            Value::Map(m) => m.iter().map(|(k, v)| k.cost_bits() + v.cost_bits()).sum(),
         }
     }
 }
@@ -356,15 +353,21 @@ mod tests {
 
     #[test]
     fn cardinality_of_collections() {
-        assert_eq!(Value::set([Value::Int(1), Value::Int(2)]).cardinality(), Some(2));
-        assert_eq!(Value::set([Value::Int(1), Value::Int(1)]).cardinality(), Some(1));
+        assert_eq!(
+            Value::set([Value::Int(1), Value::Int(2)]).cardinality(),
+            Some(2)
+        );
+        assert_eq!(
+            Value::set([Value::Int(1), Value::Int(1)]).cardinality(),
+            Some(1)
+        );
         assert_eq!(Value::Int(7).cardinality(), None);
         assert_eq!(Value::from("abc").cardinality(), Some(3));
     }
 
     #[test]
     fn values_are_totally_ordered() {
-        let mut vs = vec![Value::Int(3), Value::Int(1), Value::Bool(true)];
+        let mut vs = [Value::Int(3), Value::Int(1), Value::Bool(true)];
         vs.sort();
         // Ordering is stable and deterministic (variant order, then payload).
         assert_eq!(vs[0], Value::Int(1));
@@ -391,9 +394,6 @@ mod tests {
         assert_eq!(Value::Int(5).cost_bits(), 64);
         assert_eq!(Value::Bool(true).cost_bits(), 1);
         assert_eq!(Value::from("ab").cost_bits(), 16);
-        assert_eq!(
-            Value::set([Value::Int(1), Value::Int(2)]).cost_bits(),
-            128
-        );
+        assert_eq!(Value::set([Value::Int(1), Value::Int(2)]).cost_bits(), 128);
     }
 }

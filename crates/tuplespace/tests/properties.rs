@@ -1,9 +1,7 @@
 //! Property-based tests for the tuple-space substrate.
 
+use peats_tuplespace::{CasOutcome, Field, Selection, SequentialSpace, Template, Tuple, Value};
 use proptest::prelude::*;
-use peats_tuplespace::{
-    CasOutcome, Field, Selection, SequentialSpace, Template, Tuple, Value,
-};
 
 /// Strategy for scalar values.
 fn scalar() -> impl Strategy<Value = Value> {

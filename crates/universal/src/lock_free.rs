@@ -81,11 +81,7 @@ impl<S: TupleSpace, T: ObjectType> LockFreeUniversal<S, T> {
                 Field::exact(Value::Int(pos)),
                 Field::formal("einv"),
             ]);
-            let entry = Tuple::new(vec![
-                Value::from(SEQ),
-                Value::Int(pos),
-                inv.clone(),
-            ]);
+            let entry = Tuple::new(vec![Value::from(SEQ), Value::Int(pos), inv.clone()]);
             match self.space.cas(&template, entry)? {
                 CasOutcome::Inserted => {
                     // Threaded our own invocation: apply and reply.

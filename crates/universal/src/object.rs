@@ -51,11 +51,7 @@ mod tests {
     #[test]
     fn replay_applies_in_order() {
         let ty = Counter;
-        let invs = vec![
-            Counter::increment(),
-            Counter::increment(),
-            Counter::get(),
-        ];
+        let invs = vec![Counter::increment(), Counter::increment(), Counter::get()];
         let (state, replies) = replay(&ty, &invs);
         assert_eq!(state, 2);
         assert_eq!(replies[2], Value::Int(2));

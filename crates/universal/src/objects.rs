@@ -17,7 +17,7 @@ fn op(name: &str, args: impl IntoIterator<Item = Value>) -> Value {
     Value::List(l)
 }
 
-fn decode<'v>(invocation: &'v Value) -> Option<(&'v str, &'v [Value])> {
+fn decode(invocation: &Value) -> Option<(&str, &[Value])> {
     let l = invocation.as_list()?;
     let name = l.first()?.as_str()?;
     Some((name, &l[1..]))
@@ -231,10 +231,7 @@ impl ObjectType for StickyBit {
                 (None, Some(b)) if b == 0 || b == 1 => (Some(b), Value::Bool(true)),
                 _ => (*state, Value::Bool(false)),
             },
-            Some(("read", [])) => (
-                *state,
-                state.map_or(Value::Null, Value::Int),
-            ),
+            Some(("read", [])) => (*state, state.map_or(Value::Null, Value::Int)),
             _ => (*state, Value::Null),
         }
     }
@@ -366,10 +363,7 @@ impl ObjectType for KvStore {
                 let prev = s.insert(k.clone(), v.clone()).unwrap_or(Value::Null);
                 (s, prev)
             }
-            Some(("get", [k])) => (
-                state.clone(),
-                state.get(k).cloned().unwrap_or(Value::Null),
-            ),
+            Some(("get", [k])) => (state.clone(), state.get(k).cloned().unwrap_or(Value::Null)),
             Some(("del", [k])) => {
                 let mut s = state.clone();
                 let prev = s.remove(k).unwrap_or(Value::Null);
@@ -399,7 +393,11 @@ mod tests {
     fn counter_inc_dec() {
         let (state, replies) = replay(
             &Counter,
-            &[Counter::increment(), Counter::increment(), Counter::decrement()],
+            &[
+                Counter::increment(),
+                Counter::increment(),
+                Counter::decrement(),
+            ],
         );
         assert_eq!(state, 1);
         assert_eq!(replies.last(), Some(&Value::Int(1)));
@@ -409,7 +407,11 @@ mod tests {
     fn fetch_add_returns_previous() {
         let (_, replies) = replay(
             &FetchAdd,
-            &[FetchAdd::fetch_add(3), FetchAdd::fetch_add(4), FetchAdd::get()],
+            &[
+                FetchAdd::fetch_add(3),
+                FetchAdd::fetch_add(4),
+                FetchAdd::get(),
+            ],
         );
         assert_eq!(replies, vec![Value::Int(0), Value::Int(3), Value::Int(7)]);
     }

@@ -39,7 +39,11 @@ struct Replica<St> {
 /// Wraps an invocation into the unique form `[payload, invoker, stamp]`
 /// threaded through the list (Alg. 4 footnote on unique invocations).
 fn stamped(payload: &Value, invoker: u64, stamp: i64) -> Value {
-    Value::List(vec![payload.clone(), Value::from(invoker), Value::Int(stamp)])
+    Value::List(vec![
+        payload.clone(),
+        Value::from(invoker),
+        Value::Int(stamp),
+    ])
 }
 
 /// Extracts the payload from a stamped invocation; tolerates Byzantine
@@ -146,16 +150,10 @@ impl<S: TupleSpace, T: ObjectType> WaitFreeUniversal<S, T> {
                     // Lines 16-18: thread tinv. The cas both races other
                     // helpers and faces the policy; on Found the occupant
                     // binds ?einv.
-                    let entry = Tuple::new(vec![
-                        Value::from(SEQ),
-                        Value::Int(pos),
-                        tinv.clone(),
-                    ]);
+                    let entry = Tuple::new(vec![Value::from(SEQ), Value::Int(pos), tinv.clone()]);
                     match self.space.cas(&seq_template, entry) {
                         Ok(CasOutcome::Inserted) => tinv,
-                        Ok(CasOutcome::Found(t)) => {
-                            t.get(2).cloned().unwrap_or(Value::Null)
-                        }
+                        Ok(CasOutcome::Found(t)) => t.get(2).cloned().unwrap_or(Value::Null),
                         Err(e) if e.is_denied() => {
                             // The helping rule rejected us (the preferred
                             // process announced between our read and the
@@ -282,10 +280,7 @@ mod tests {
             .unwrap();
         assert!(threaded.is_some(), "announcement was never helped");
         // And the counter reflects all three increments.
-        assert_eq!(
-            worker.invoke(Counter::get()).unwrap(),
-            Value::Int(3)
-        );
+        assert_eq!(worker.invoke(Counter::get()).unwrap(), Value::Int(3));
     }
 
     #[test]

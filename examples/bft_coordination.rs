@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, t) = (4usize, 1usize); // process-level fault model (Alg. 2)
     let f = 1usize; // replica-level fault model (PBFT)
 
-    println!("starting {} replica threads (f = {f}), one with corrupt replies…", 3 * f + 1);
+    println!(
+        "starting {} replica threads (f = {f}), one with corrupt replies…",
+        3 * f + 1
+    );
     let mut cluster = ThreadedCluster::start(
         policies::strong_consensus(),
         PolicyParams::n_t(n, t),
@@ -39,7 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Byzantine client (process 3) attacks first: impersonation and a
     // forged decision. Every correct replica denies both.
     let byz = &handles[3];
-    let report = run_strategy(byz, &Strategy::Impersonate { victim: 0, value: 1 })?;
+    let report = run_strategy(
+        byz,
+        &Strategy::Impersonate {
+            victim: 0,
+            value: 1,
+        },
+    )?;
     println!(
         "byzantine client impersonation: {} denied / {} attempted",
         report.denied, report.attempted

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Fig. 4 — strong binary consensus policy (n=4, t=1)");
     let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(4, 1))?;
     let p2 = space.handle(2);
-    println!("p2 out(PROPOSE,2,0)        -> {:?}", p2.out(tuple!["PROPOSE", 2u64, 0]).is_ok());
+    println!(
+        "p2 out(PROPOSE,2,0)        -> {:?}",
+        p2.out(tuple!["PROPOSE", 2u64, 0]).is_ok()
+    );
     println!(
         "p2 out(PROPOSE,3,0) spoof  -> {}",
         p2.out(tuple!["PROPOSE", 3u64, 0]).unwrap_err()
@@ -43,14 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A justified decision: processes 0 and 2 really proposed 0.
     let s = Value::set([Value::Int(0), Value::Int(2)]);
     let cas = p2.cas(&template!["DECISION", ?d, _], tuple!["DECISION", 0, s])?;
-    println!("p2 cas(DECISION justified) -> inserted = {}", cas.inserted());
+    println!(
+        "p2 cas(DECISION justified) -> inserted = {}",
+        cas.inserted()
+    );
     // A forged one: claims process 1 proposed 1 (it proposed nothing).
     let forged = Value::set([Value::Int(1), Value::Int(3)]);
     println!(
         "p3 cas(DECISION forged)    -> {}",
         space
             .handle(3)
-            .cas(&template!["DECISION2", ?d, _], tuple!["DECISION2", 1, forged])
+            .cas(
+                &template!["DECISION2", ?d, _],
+                tuple!["DECISION2", 1, forged]
+            )
             .unwrap_err()
     );
 
@@ -71,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let helped = space
         .handle(2)
         .cas(&template!["SEQ", 1, ?x], tuple!["SEQ", 1, "op-from-p1"])?;
-    println!("p2 helps p1's op at 1      -> inserted = {}", helped.inserted());
+    println!(
+        "p2 helps p1's op at 1      -> inserted = {}",
+        helped.inserted()
+    );
     println!(
         "p2 threads its own op at 2 -> inserted = {}",
         space

@@ -1,0 +1,45 @@
+//! Offline shim for the subset of `crossbeam` used by this workspace.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver,
+//! RecvTimeoutError}` is needed, and `std::sync::mpsc` provides the same
+//! semantics for that subset (std's `Sender` has been `Sync` since 1.72),
+//! so the shim re-exports std types under the crossbeam paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! MPMC-flavoured channels (here: std MPSC, sufficient for the
+    //! one-receiver-per-mailbox topology this workspace uses).
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

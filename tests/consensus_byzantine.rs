@@ -9,8 +9,14 @@ use std::thread;
 fn strategies_for_strong() -> Vec<Strategy> {
     vec![
         Strategy::Silent,
-        Strategy::Equivocate { first: 1, second: 0 },
-        Strategy::Impersonate { victim: 0, value: 1 },
+        Strategy::Equivocate {
+            first: 1,
+            second: 0,
+        },
+        Strategy::Impersonate {
+            victim: 0,
+            value: 1,
+        },
         Strategy::ForgeDecision {
             value: 1,
             claimed: vec![0, 1],
@@ -23,8 +29,7 @@ fn strategies_for_strong() -> Vec<Strategy> {
 fn strong_consensus_safety_against_each_strategy() {
     for strategy in strategies_for_strong() {
         let (n, t) = (4usize, 1usize);
-        let space =
-            LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+        let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
         // The adversary (process 3) acts first.
         run_strategy(&space.handle(3), &strategy).unwrap();
         // All correct processes propose 0.
@@ -125,7 +130,10 @@ fn attack_reports_show_denials() {
     let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
     let h = space.handle(3);
     let total: u32 = [
-        Strategy::Impersonate { victim: 0, value: 1 },
+        Strategy::Impersonate {
+            victim: 0,
+            value: 1,
+        },
         Strategy::ForgeDecision {
             value: 1,
             claimed: vec![0, 1],

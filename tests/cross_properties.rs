@@ -1,12 +1,12 @@
 //! Cross-crate property tests: codec totality, policy round-trips, and
 //! consensus safety under randomized adversarial interleavings.
 
-use proptest::prelude::*;
 use peats::{policies, LocalPeats, PolicyParams};
 use peats_consensus::byzantine::{run_strategy, Strategy as Attack};
 use peats_consensus::StrongConsensus;
 use peats_repro::codec::{Decode, Encode};
 use peats_repro::tuplespace::{Template, Tuple, Value};
+use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     let scalar = prop_oneof![

@@ -3,7 +3,7 @@
 //! the two properties that make every Byzantine experiment in this
 //! repository replayable.
 
-use peats::{PolicyParams, Policy};
+use peats::{Policy, PolicyParams};
 use peats_netsim::NetConfig;
 use peats_policy::{parse_policy, Invocation, OpCall, ReferenceMonitor};
 use peats_replication::{FaultMode, OpResult, SimCluster};

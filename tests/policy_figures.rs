@@ -10,18 +10,14 @@ fn fig1_monotonic_register_matrix() {
     let reg = MonotonicRegister::new(0, [1, 2, 3]).unwrap();
     // (pid, value, allowed)
     let cases = [
-        (1, 1, true),   // writer, increasing
-        (1, 1, false),  // not strictly greater
-        (2, 5, true),   // another writer
-        (3, 4, false),  // decrease
+        (1, 1, true),    // writer, increasing
+        (1, 1, false),   // not strictly greater
+        (2, 5, true),    // another writer
+        (3, 4, false),   // decrease
         (4, 100, false), // not a writer
     ];
     for (pid, v, allowed) in cases {
-        assert_eq!(
-            reg.write(pid, v).is_ok(),
-            allowed,
-            "write({v}) by p{pid}"
-        );
+        assert_eq!(reg.write(pid, v).is_ok(), allowed, "write({v}) by p{pid}");
     }
     assert_eq!(reg.read(99), 5);
 }
@@ -41,9 +37,7 @@ fn fig3_weak_consensus_only_formal_cas() {
     assert!(h
         .cas(&template!["DECISION", 5], tuple!["DECISION", 9])
         .is_err()); // non-formal template
-    assert!(h
-        .cas(&template!["OTHER", ?d], tuple!["OTHER", 9])
-        .is_err()); // wrong tag
+    assert!(h.cas(&template!["OTHER", ?d], tuple!["OTHER", 9]).is_err()); // wrong tag
 }
 
 #[test]
@@ -75,8 +69,7 @@ fn fig4_strong_consensus_matrix() {
 #[test]
 fn fig5_default_consensus_bottom_rules() {
     let (n, t) = (4usize, 1usize);
-    let space =
-        LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let space = LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(n, t)).unwrap();
     // ⊥ cannot be proposed.
     assert!(space
         .handle(0)
@@ -116,11 +109,8 @@ fn fig7_lockfree_gap_freedom() {
     let h = space.handle(0);
     for pos in [3i64, 2] {
         assert!(
-            h.cas(
-                &template!["SEQ", pos, ?x],
-                tuple!["SEQ", pos, "early"]
-            )
-            .is_err(),
+            h.cas(&template!["SEQ", pos, ?x], tuple!["SEQ", pos, "early"])
+                .is_err(),
             "position {pos} before 1"
         );
     }

@@ -22,10 +22,7 @@ fn kvalued_terminates_at_the_bound() {
             joins.push(thread::spawn(move || c.propose(v).unwrap()));
         }
         let ds: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
-        assert!(
-            ds.windows(2).all(|w| w[0] == w[1]),
-            "k={k}, t={t}: {ds:?}"
-        );
+        assert!(ds.windows(2).all(|w| w[0] == w[1]), "k={k}, t={t}: {ds:?}");
     }
 }
 

@@ -61,10 +61,7 @@ fn waitfree_counter_histories_replay() {
                     let reply = obj.invoke(Counter::increment()).unwrap();
                     // Keyed by reply value: increments return the post-value,
                     // which is unique across the whole run.
-                    observations
-                        .lock()
-                        .unwrap()
-                        .insert(reply.clone(), reply);
+                    observations.lock().unwrap().insert(reply.clone(), reply);
                 }
             });
         }
@@ -144,7 +141,11 @@ fn emulated_sticky_bit_is_persistent_across_processes() {
             });
         }
     });
-    assert_eq!(winners.into_inner().unwrap().len(), 1, "sticky bit set twice");
+    assert_eq!(
+        winners.into_inner().unwrap().len(),
+        1,
+        "sticky bit set twice"
+    );
 }
 
 #[test]
@@ -168,5 +169,8 @@ fn register_last_write_wins_in_replay_order() {
     let v2 = r2.invoke(Register::read()).unwrap();
     assert_eq!(v1, v2);
     let violations = check_replay(&Register, &space.snapshot(), &BTreeMap::new(), Clone::clone);
-    assert!(matches!(violations.as_slice(), [] | [ReplayViolation::MissingInvocation { .. }]));
+    assert!(matches!(
+        violations.as_slice(),
+        [] | [ReplayViolation::MissingInvocation { .. }]
+    ));
 }

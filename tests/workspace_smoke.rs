@@ -1,0 +1,59 @@
+//! Workspace smoke test: one end-to-end path through the umbrella crate
+//! (`out` → policy check → replicated `rdp` → consensus decide), importing
+//! exclusively via `peats_repro` re-exports. Guards against manifest and
+//! re-export regressions: if a workspace crate drops out of the umbrella or
+//! a path dependency breaks, this file stops compiling.
+
+use peats_repro::consensus::StrongConsensus;
+use peats_repro::netsim::NetConfig;
+use peats_repro::peats::{self, policies, LocalPeats, PolicyParams, TupleSpace};
+use peats_repro::policy::{OpCall, Policy};
+use peats_repro::replication::{OpResult, SimCluster};
+use peats_repro::tuplespace::{template, tuple};
+
+#[test]
+fn out_policy_replicated_rdp_consensus_decide() {
+    // 1. `out` through the reference monitor of a policy-guarded local
+    //    space: the strong-consensus policy admits a well-formed proposal…
+    let (n, t) = (4usize, 1usize);
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    space
+        .handle(0)
+        .out(tuple!["PROPOSE", 0u64, 1])
+        .expect("own proposal is allowed");
+    // …and denies an impersonated one (the fail-safe default of §3).
+    let denied = space.handle(1).out(tuple!["PROPOSE", 0u64, 0]);
+    assert!(denied.is_err(), "impersonation must be denied");
+
+    // 2. Replicated `out` + `rdp` on the BFT-replicated deployment of §4.
+    let mut cluster = SimCluster::new(
+        Policy::allow_all(),
+        PolicyParams::new(),
+        1,
+        &[100],
+        NetConfig::default(),
+    );
+    assert_eq!(
+        cluster.invoke(0, OpCall::Out(tuple!["SMOKE", 7])),
+        Some(OpResult::Done)
+    );
+    assert_eq!(
+        cluster.invoke(0, OpCall::Rdp(template!["SMOKE", ?x])),
+        Some(OpResult::Tuple(Some(tuple!["SMOKE", 7])))
+    );
+
+    // 3. Consensus decide (Alg. 2 of §5) over the policy-guarded space from
+    //    step 1, with the proposals already placed there.
+    let joins: Vec<_> = (0..(n as u64) - 1)
+        .map(|p| {
+            let c = StrongConsensus::new(space.handle(p), n, t);
+            std::thread::spawn(move || c.propose(1).unwrap())
+        })
+        .collect();
+    for j in joins {
+        assert_eq!(j.join().unwrap(), 1, "all correct processes decide 1");
+    }
+
+    // The umbrella also re-exports the `peats` core under its own name.
+    let _unprotected: peats::LocalPeats = peats::LocalPeats::unprotected();
+}
