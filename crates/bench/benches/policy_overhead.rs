@@ -23,7 +23,7 @@ fn acl_check(c: &mut Criterion) {
     let acls: Vec<Vec<u64>> = (0..3).map(|j| vec![2 * j, 2 * j + 1]).collect();
     let monitor = ReferenceMonitor::new(sticky_bits_policy(&acls), PolicyParams::new()).unwrap();
     let state = SequentialSpace::new();
-    let inv = Invocation::new(0, OpCall::Out(tuple!["BIT", 0, 1]));
+    let inv = Invocation::new(0, OpCall::out(tuple!["BIT", 0, 1]));
     c.bench_function("policy/acl_sticky_bit_set", |b| {
         b.iter(|| {
             assert!(monitor.decide(&inv, &state).is_allowed());
@@ -35,7 +35,7 @@ fn read_rule(c: &mut Criterion) {
     let monitor =
         ReferenceMonitor::new(policies::strong_consensus(), PolicyParams::n_t(13, 4)).unwrap();
     let state = proposal_state(13);
-    let inv = Invocation::new(0, OpCall::Rdp(template!["PROPOSE", 5u64, ?v]));
+    let inv = Invocation::new(0, OpCall::rdp(template!["PROPOSE", 5u64, ?v]));
     c.bench_function("policy/fig4_read_rule", |b| {
         b.iter(|| {
             assert!(monitor.decide(&inv, &state).is_allowed());
@@ -47,7 +47,7 @@ fn propose_rule(c: &mut Criterion) {
     let monitor =
         ReferenceMonitor::new(policies::strong_consensus(), PolicyParams::n_t(13, 4)).unwrap();
     let state = proposal_state(12); // process 12 has not proposed yet
-    let inv = Invocation::new(12, OpCall::Out(tuple!["PROPOSE", 12u64, 1]));
+    let inv = Invocation::new(12, OpCall::out(tuple!["PROPOSE", 12u64, 1]));
     c.bench_function("policy/fig4_propose_rule", |b| {
         b.iter(|| {
             assert!(monitor.decide(&inv, &state).is_allowed());
@@ -64,7 +64,7 @@ fn cas_justification_rule(c: &mut Criterion) {
     let justification = Value::set((0..10).step_by(2).map(Value::from)); // 0,2,4,6,8 proposed 0
     let inv = Invocation::new(
         3,
-        OpCall::Cas(
+        OpCall::cas(
             template!["DECISION", ?d, _],
             tuple!["DECISION", 0, justification],
         ),

@@ -1,0 +1,75 @@
+//! `space_ops` — indexed vs full-scan tuple-space storage.
+//!
+//! Measures `rdp`/`inp`/`cas`/`count` against a 10,000-tuple space spread
+//! over 64 channels (the shared [`space_workload`]), comparing the indexed
+//! `SequentialSpace` with the `ScanSpace` reference oracle the index
+//! replaced. `inp` re-inserts the removed tuple so the space size stays
+//! constant across iterations. The machine-readable counterpart of this
+//! bench (sweeping sizes 10²–10⁵) is the `bench_space` binary, which emits
+//! `BENCH_space.json`.
+//!
+//! [`space_workload`]: peats_bench::space_workload
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peats_bench::space_workload::{chan_template, entry, indexed_space, scan_space};
+
+const SIZE: usize = 10_000;
+
+fn bench_rdp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space_ops/rdp_10k");
+    let t̄ = chan_template(17);
+    let mut idx = indexed_space(SIZE);
+    group.bench_function("indexed", |b| b.iter(|| idx.rdp(&t̄).unwrap()));
+    let mut scan = scan_space(SIZE);
+    group.bench_function("scan", |b| b.iter(|| scan.rdp(&t̄).unwrap()));
+    group.finish();
+}
+
+fn bench_inp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space_ops/inp_out_10k");
+    let t̄ = chan_template(17);
+    let mut idx = indexed_space(SIZE);
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let t = idx.inp(&t̄).unwrap();
+            idx.out(t);
+        })
+    });
+    let mut scan = scan_space(SIZE);
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            let t = scan.inp(&t̄).unwrap();
+            scan.out(t);
+        })
+    });
+    group.finish();
+}
+
+fn bench_cas(c: &mut Criterion) {
+    // Found-case cas: the decision pattern of Alg. 1 once a decision exists.
+    let mut group = c.benchmark_group("space_ops/cas_found_10k");
+    let t̄ = chan_template(17);
+    let probe = entry(17);
+    let mut idx = indexed_space(SIZE);
+    group.bench_function("indexed", |b| {
+        b.iter(|| assert!(!idx.cas(&t̄, probe.clone()).inserted()))
+    });
+    let mut scan = scan_space(SIZE);
+    group.bench_function("scan", |b| {
+        b.iter(|| assert!(!scan.cas(&t̄, probe.clone()).inserted()))
+    });
+    group.finish();
+}
+
+fn bench_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space_ops/count_10k");
+    let t̄ = chan_template(17);
+    let idx = indexed_space(SIZE);
+    group.bench_function("indexed", |b| b.iter(|| idx.count(&t̄)));
+    let scan = scan_space(SIZE);
+    group.bench_function("scan", |b| b.iter(|| scan.count(&t̄)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rdp, bench_inp, bench_cas, bench_count);
+criterion_main!(benches);

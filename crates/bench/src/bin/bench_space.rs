@@ -1,0 +1,156 @@
+//! `bench_space` — machine-readable baseline for the tuple-space storage
+//! engines: the indexed `SequentialSpace` vs the full-scan `ScanSpace`
+//! oracle, swept over space sizes 10²–10⁵ on the shared
+//! [`space_workload`](peats_bench::space_workload).
+//!
+//! Emits `BENCH_space.json` (override with `--out PATH`), the first point of
+//! the repo's performance trajectory: later PRs re-run this binary and diff
+//! the JSON. `--smoke` restricts the sweep to the two smallest sizes with a
+//! reduced measurement budget, for CI.
+//!
+//! ```text
+//! cargo run --release -p peats-bench --bin bench_space -- --out BENCH_space.json
+//! ```
+
+use peats_bench::print_table;
+use peats_bench::space_workload::{chan_template, entry, indexed_space, scan_space, CHANNELS};
+use std::time::{Duration, Instant};
+
+/// Mean ns/op: repeat `op` until `budget` is spent. The clock is read once
+/// per 64-iteration batch so the timer cost is amortized to well under a
+/// nanosecond per op and does not skew the ~100ns indexed measurements.
+fn measure(budget: Duration, mut op: impl FnMut()) -> f64 {
+    // Warm-up iteration, outside the measurement.
+    op();
+    const BATCH: u64 = 64;
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        for _ in 0..BATCH {
+            op();
+        }
+        iters += BATCH;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// ns/op for the four measured operations of one engine at one size.
+struct EngineRow {
+    rdp: f64,
+    inp_out: f64,
+    cas_found: f64,
+    count: f64,
+}
+
+fn bench_indexed(size: usize, budget: Duration) -> EngineRow {
+    let mut ts = indexed_space(size);
+    let t̄ = chan_template(17);
+    let probe = entry(17);
+    EngineRow {
+        rdp: measure(budget, || {
+            ts.rdp(&t̄).unwrap();
+        }),
+        inp_out: measure(budget, || {
+            let t = ts.inp(&t̄).unwrap();
+            ts.out(t);
+        }),
+        cas_found: measure(budget, || {
+            assert!(!ts.cas(&t̄, probe.clone()).inserted());
+        }),
+        count: measure(budget, || {
+            std::hint::black_box(ts.count(&t̄));
+        }),
+    }
+}
+
+fn bench_scan(size: usize, budget: Duration) -> EngineRow {
+    let mut ts = scan_space(size);
+    let t̄ = chan_template(17);
+    let probe = entry(17);
+    EngineRow {
+        rdp: measure(budget, || {
+            ts.rdp(&t̄).unwrap();
+        }),
+        inp_out: measure(budget, || {
+            let t = ts.inp(&t̄).unwrap();
+            ts.out(t);
+        }),
+        cas_found: measure(budget, || {
+            assert!(!ts.cas(&t̄, probe.clone()).inserted());
+        }),
+        count: measure(budget, || {
+            std::hint::black_box(ts.count(&t̄));
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_space.json".to_owned());
+
+    let sizes: &[usize] = if smoke {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+    let budget = Duration::from_millis(if smoke { 5 } else { 25 });
+
+    let ops = ["rdp", "inp_out", "cas_found", "count"];
+    let mut json_rows = Vec::new();
+    let mut table_rows = Vec::new();
+    for &size in sizes {
+        let scan = bench_scan(size, budget);
+        let indexed = bench_indexed(size, budget);
+        let pairs = [
+            ("rdp", scan.rdp, indexed.rdp),
+            ("inp_out", scan.inp_out, indexed.inp_out),
+            ("cas_found", scan.cas_found, indexed.cas_found),
+            ("count", scan.count, indexed.count),
+        ];
+        for (op, scan_ns, indexed_ns) in pairs {
+            let speedup = scan_ns / indexed_ns;
+            json_rows.push(format!(
+                "    {{\"op\": \"{op}\", \"size\": {size}, \"scan_ns\": {scan_ns:.1}, \
+                 \"indexed_ns\": {indexed_ns:.1}, \"speedup\": {speedup:.2}}}"
+            ));
+            table_rows.push(vec![
+                size.to_string(),
+                op.to_owned(),
+                format!("{scan_ns:.0}"),
+                format!("{indexed_ns:.0}"),
+                format!("{speedup:.1}x"),
+            ]);
+        }
+    }
+
+    print_table(
+        "space storage: scan vs indexed (ns/op)",
+        &["size", "op", "scan", "indexed", "speedup"],
+        &table_rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"space_ops\",\n  \"unit\": \"ns_per_op\",\n  \
+         \"workload\": {{\"channels\": {CHANNELS}, \"arity\": 3, \
+         \"template\": \"leading exact tag + wildcards\"}},\n  \
+         \"engines\": {{\"scan\": \"ScanSpace (linear scan reference)\", \
+         \"indexed\": \"SequentialSpace (arity+channel index)\"}},\n  \
+         \"ops\": [{}],\n  \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ops.iter()
+            .map(|o| format!("\"{o}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

@@ -30,8 +30,8 @@ fn fault_matrix() -> Vec<Vec<String>> {
         for (id, fault) in faults {
             cluster.set_fault(id, fault);
         }
-        let r1 = cluster.invoke(0, OpCall::Out(tuple!["A", 1]));
-        let r2 = cluster.invoke(0, OpCall::Rdp(template!["A", ?x]));
+        let r1 = cluster.invoke(0, OpCall::out(tuple!["A", 1]));
+        let r2 = cluster.invoke(0, OpCall::rdp(template!["A", ?x]));
         let ok = r1 == Some(OpResult::Done) && r2 == Some(OpResult::Tuple(Some(tuple!["A", 1])));
         rows.push(vec![
             label.into(),

@@ -430,7 +430,7 @@ impl Decode for Template {
     }
 }
 
-impl Encode for OpCall {
+impl Encode for OpCall<'_> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             OpCall::Out(t) => {
@@ -462,15 +462,15 @@ impl Encode for OpCall {
     }
 }
 
-impl Decode for OpCall {
+impl Decode for OpCall<'static> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(match r.byte()? {
-            0 => OpCall::Out(Tuple::decode(r)?),
-            1 => OpCall::Rd(Template::decode(r)?),
-            2 => OpCall::In(Template::decode(r)?),
-            3 => OpCall::Rdp(Template::decode(r)?),
-            4 => OpCall::Inp(Template::decode(r)?),
-            5 => OpCall::Cas(Template::decode(r)?, Tuple::decode(r)?),
+            0 => OpCall::out(Tuple::decode(r)?),
+            1 => OpCall::rd(Template::decode(r)?),
+            2 => OpCall::take(Template::decode(r)?),
+            3 => OpCall::rdp(Template::decode(r)?),
+            4 => OpCall::inp(Template::decode(r)?),
+            5 => OpCall::cas(Template::decode(r)?, Tuple::decode(r)?),
             tag => return Err(DecodeError::BadTag { tag, ty: "OpCall" }),
         })
     }
@@ -530,9 +530,9 @@ mod tests {
 
     #[test]
     fn opcall_roundtrips() {
-        roundtrip(OpCall::Out(tuple!["A", 1]));
-        roundtrip(OpCall::Rdp(template!["A", ?x]));
-        roundtrip(OpCall::Cas(template!["D", ?x], tuple!["D", 9]));
+        roundtrip(OpCall::out(tuple!["A", 1]));
+        roundtrip(OpCall::rdp(template!["A", ?x]));
+        roundtrip(OpCall::cas(template!["D", ?x], tuple!["D", 9]));
     }
 
     #[test]

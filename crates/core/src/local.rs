@@ -9,7 +9,7 @@
 
 use crate::error::{SpaceError, SpaceResult};
 use crate::traits::TupleSpace;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use peats_policy::{
     Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
 };
@@ -136,42 +136,45 @@ pub struct LocalHandle {
 }
 
 impl LocalHandle {
-    fn guarded<R>(
-        &self,
-        call: OpCall,
-        apply: impl FnOnce(&mut SequentialSpace) -> R,
-    ) -> SpaceResult<R> {
-        let mut state = self.inner.state.lock();
-        let decision = self
-            .inner
+    /// Takes the state lock and asks the monitor whether `call` may execute.
+    /// On a grant, returns the (still held) guard so the caller can apply
+    /// the operation atomically with the decision.
+    ///
+    /// `call` borrows the caller's template/entry ([`OpCall`] holds `Cow`s),
+    /// so the allow path performs no allocation for the invocation itself.
+    fn check(&self, call: OpCall<'_>) -> SpaceResult<MutexGuard<'_, SequentialSpace>> {
+        let state = self.inner.state.lock();
+        self.inner
             .monitor
-            .decide(&Invocation::new(self.pid, call), &*state);
-        if !decision.is_allowed() {
-            return Err(SpaceError::Denied(decision));
-        }
-        Ok(apply(&mut state))
+            .permits(&Invocation::new(self.pid, call), &*state)
+            .map_err(SpaceError::Denied)?;
+        Ok(state)
     }
 }
 
 impl TupleSpace for LocalHandle {
     fn out(&self, entry: Tuple) -> SpaceResult<()> {
-        self.guarded(OpCall::Out(entry.clone()), |s| s.out(entry))?;
+        let mut state = self.check(OpCall::out(&entry))?;
+        state.out(entry);
+        drop(state);
         self.inner.tuple_added.notify_all();
         Ok(())
     }
 
     fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        self.guarded(OpCall::Rdp(template.clone()), |s| s.rdp(template))
+        let mut state = self.check(OpCall::rdp(template))?;
+        Ok(state.rdp(template))
     }
 
     fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        self.guarded(OpCall::Inp(template.clone()), |s| s.inp(template))
+        let mut state = self.check(OpCall::inp(template))?;
+        Ok(state.inp(template))
     }
 
     fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
-        let outcome = self.guarded(OpCall::Cas(template.clone(), entry.clone()), |s| {
-            s.cas(template, entry)
-        })?;
+        let mut state = self.check(OpCall::cas(template, &entry))?;
+        let outcome = state.cas(template, entry);
+        drop(state);
         if outcome.inserted() {
             self.inner.tuple_added.notify_all();
         }
@@ -181,13 +184,10 @@ impl TupleSpace for LocalHandle {
     fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
         let mut state = self.inner.state.lock();
         loop {
-            let decision = self.inner.monitor.decide(
-                &Invocation::new(self.pid, OpCall::Rd(template.clone())),
-                &*state,
-            );
-            if !decision.is_allowed() {
-                return Err(SpaceError::Denied(decision));
-            }
+            self.inner
+                .monitor
+                .permits(&Invocation::new(self.pid, OpCall::rd(template)), &*state)
+                .map_err(SpaceError::Denied)?;
             if let Some(t) = state.rdp(template) {
                 return Ok(t);
             }
@@ -198,13 +198,10 @@ impl TupleSpace for LocalHandle {
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
         let mut state = self.inner.state.lock();
         loop {
-            let decision = self.inner.monitor.decide(
-                &Invocation::new(self.pid, OpCall::In(template.clone())),
-                &*state,
-            );
-            if !decision.is_allowed() {
-                return Err(SpaceError::Denied(decision));
-            }
+            self.inner
+                .monitor
+                .permits(&Invocation::new(self.pid, OpCall::take(template)), &*state)
+                .map_err(SpaceError::Denied)?;
             if let Some(t) = state.inp(template) {
                 return Ok(t);
             }

@@ -129,7 +129,7 @@ impl MonotonicRegister {
         let view = RegisterView {
             value: Value::Int(*value),
         };
-        let inv = Invocation::new(pid, OpCall::Out(Tuple::new(vec![Value::Int(v)])));
+        let inv = Invocation::new(pid, OpCall::out(Tuple::new(vec![Value::Int(v)])));
         let decision = self.inner.monitor.decide(&inv, &view);
         if !decision.is_allowed() {
             return Err(SpaceError::Denied(decision));

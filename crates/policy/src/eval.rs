@@ -211,19 +211,19 @@ fn match_template(p: &ArgPattern, t: &Template, binds: &mut Vec<(String, BoundAr
 
 /// Matches a rule's invocation pattern against an invocation. On success,
 /// returns the environment of pattern bindings.
-pub fn match_invocation(pattern: &InvocationPattern, inv: &Invocation) -> Option<Env> {
+pub fn match_invocation(pattern: &InvocationPattern, inv: &Invocation<'_>) -> Option<Env> {
     let mut binds = Vec::new();
     let ok = match (pattern, &inv.call) {
-        (InvocationPattern::Out(p), OpCall::Out(t)) => match_entry(p, t, &mut binds),
-        (InvocationPattern::Rd(p), OpCall::Rd(t)) => match_template(p, t, &mut binds),
-        (InvocationPattern::In(p), OpCall::In(t)) => match_template(p, t, &mut binds),
-        (InvocationPattern::Rdp(p), OpCall::Rdp(t)) => match_template(p, t, &mut binds),
-        (InvocationPattern::Inp(p), OpCall::Inp(t)) => match_template(p, t, &mut binds),
+        (InvocationPattern::Out(p), OpCall::Out(t)) => match_entry(p, t.as_ref(), &mut binds),
+        (InvocationPattern::Rd(p), OpCall::Rd(t)) => match_template(p, t.as_ref(), &mut binds),
+        (InvocationPattern::In(p), OpCall::In(t)) => match_template(p, t.as_ref(), &mut binds),
+        (InvocationPattern::Rdp(p), OpCall::Rdp(t)) => match_template(p, t.as_ref(), &mut binds),
+        (InvocationPattern::Inp(p), OpCall::Inp(t)) => match_template(p, t.as_ref(), &mut binds),
         (InvocationPattern::Cas(pt, pe), OpCall::Cas(t, e)) => {
-            match_template(pt, t, &mut binds) && match_entry(pe, e, &mut binds)
+            match_template(pt, t.as_ref(), &mut binds) && match_entry(pe, e.as_ref(), &mut binds)
         }
         (InvocationPattern::Read(p), OpCall::Rd(t) | OpCall::Rdp(t)) => {
-            match_template(p, t, &mut binds)
+            match_template(p, t.as_ref(), &mut binds)
         }
         _ => false,
     };
@@ -489,7 +489,7 @@ mod tests {
             FieldPattern::Bind("q".into()),
             FieldPattern::Bind("v".into()),
         ]));
-        let inv = Invocation::new(2, OpCall::Out(tuple!["PROPOSE", 2, 1]));
+        let inv = Invocation::new(2, OpCall::out(tuple!["PROPOSE", 2, 1]));
         let env = match_invocation(&pat, &inv).expect("matches");
         assert_eq!(env.get("q"), Some(&BoundArg::Value(Value::Int(2))));
         assert_eq!(env.get("v"), Some(&BoundArg::Value(Value::Int(1))));
@@ -506,7 +506,7 @@ mod tests {
         );
         let inv = Invocation::new(
             0,
-            OpCall::Cas(template!["DECISION", ?d], tuple!["DECISION", 1]),
+            OpCall::cas(template!["DECISION", ?d], tuple!["DECISION", 1]),
         );
         let env = match_invocation(&pat, &inv).expect("matches");
         assert_eq!(env.get("x"), Some(&BoundArg::Formal("d".into())));
@@ -517,16 +517,16 @@ mod tests {
         let pat = InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Lit(Value::from(
             "PROPOSE",
         ))]));
-        let inv = Invocation::new(0, OpCall::Out(tuple!["DECISION"]));
+        let inv = Invocation::new(0, OpCall::out(tuple!["DECISION"]));
         assert!(match_invocation(&pat, &inv).is_none());
     }
 
     #[test]
     fn read_pattern_covers_rd_and_rdp() {
         let pat = InvocationPattern::Read(ArgPattern::Any);
-        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::Rd(template![_]))).is_some());
-        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::Rdp(template![_]))).is_some());
-        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::Inp(template![_]))).is_none());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::rd(template![_]))).is_some());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::rdp(template![_]))).is_some());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::inp(template![_]))).is_none());
     }
 
     #[test]
@@ -537,7 +537,7 @@ mod tests {
         let pat = InvocationPattern::Rdp(ArgPattern::fields(vec![FieldPattern::Lit(Value::from(
             "SEQ",
         ))]));
-        let inv = Invocation::new(0, OpCall::Rdp(Template::new(vec![Field::formal("x")])));
+        let inv = Invocation::new(0, OpCall::rdp(Template::new(vec![Field::formal("x")])));
         assert!(match_invocation(&pat, &inv).is_none());
     }
 
@@ -559,12 +559,12 @@ mod tests {
         );
         let same = Invocation::new(
             0,
-            OpCall::Cas(template!["SEQ", 4, ?e], tuple!["SEQ", 4, "op"]),
+            OpCall::cas(template!["SEQ", 4, ?e], tuple!["SEQ", 4, "op"]),
         );
         assert!(match_invocation(&pat, &same).is_some());
         let differ = Invocation::new(
             0,
-            OpCall::Cas(template!["SEQ", 4, ?e], tuple!["SEQ", 5, "op"]),
+            OpCall::cas(template!["SEQ", 4, ?e], tuple!["SEQ", 5, "op"]),
         );
         assert!(match_invocation(&pat, &differ).is_none());
     }

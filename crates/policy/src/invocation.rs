@@ -2,8 +2,15 @@
 //!
 //! §3: the monitor evaluates `invoke(p, op)`, with access to the invoker `p`,
 //! the operation and its arguments, and the current state of the object.
+//!
+//! [`OpCall`] carries its template/entry arguments as [`Cow`]s, so the
+//! enforcement hot path can borrow the caller's arguments (`OpCall::rdp(&t̄)`
+//! allocates nothing) while message types that must own their payload use
+//! `OpCall<'static>` with owned arguments — e.g. what [`OpCall::into_owned`]
+//! and the codec's decoder produce.
 
 use peats_tuplespace::{Template, Tuple};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Identifier of a process invoking operations on a shared object.
@@ -43,24 +50,55 @@ impl fmt::Display for OpKind {
     }
 }
 
-/// A tuple-space operation call with its arguments.
+/// A tuple-space operation call with its arguments, borrowed or owned.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum OpCall {
+pub enum OpCall<'a> {
     /// `out(t)`.
-    Out(Tuple),
+    Out(Cow<'a, Tuple>),
     /// `rd(t̄)`.
-    Rd(Template),
+    Rd(Cow<'a, Template>),
     /// `in(t̄)`.
-    In(Template),
+    In(Cow<'a, Template>),
     /// `rdp(t̄)`.
-    Rdp(Template),
+    Rdp(Cow<'a, Template>),
     /// `inp(t̄)`.
-    Inp(Template),
+    Inp(Cow<'a, Template>),
     /// `cas(t̄, t)`.
-    Cas(Template, Tuple),
+    Cas(Cow<'a, Template>, Cow<'a, Tuple>),
 }
 
-impl OpCall {
+impl<'a> OpCall<'a> {
+    /// `out(t)`. Accepts the entry by value or by reference.
+    pub fn out(entry: impl Into<Cow<'a, Tuple>>) -> Self {
+        OpCall::Out(entry.into())
+    }
+
+    /// `rd(t̄)`.
+    pub fn rd(template: impl Into<Cow<'a, Template>>) -> Self {
+        OpCall::Rd(template.into())
+    }
+
+    /// `in(t̄)` — named `take` because `in` is a Rust keyword (matching the
+    /// `TupleSpace` trait).
+    pub fn take(template: impl Into<Cow<'a, Template>>) -> Self {
+        OpCall::In(template.into())
+    }
+
+    /// `rdp(t̄)`.
+    pub fn rdp(template: impl Into<Cow<'a, Template>>) -> Self {
+        OpCall::Rdp(template.into())
+    }
+
+    /// `inp(t̄)`.
+    pub fn inp(template: impl Into<Cow<'a, Template>>) -> Self {
+        OpCall::Inp(template.into())
+    }
+
+    /// `cas(t̄, t)`.
+    pub fn cas(template: impl Into<Cow<'a, Template>>, entry: impl Into<Cow<'a, Tuple>>) -> Self {
+        OpCall::Cas(template.into(), entry.into())
+    }
+
     /// The operation kind of this call.
     pub fn kind(&self) -> OpKind {
         match self {
@@ -78,38 +116,66 @@ impl OpCall {
     pub fn is_read(&self) -> bool {
         matches!(self, OpCall::Rd(_) | OpCall::Rdp(_))
     }
+
+    /// A call borrowing this call's arguments — `Clone` without copying the
+    /// payload, for handing the same call to the monitor and the executor.
+    pub fn as_borrowed(&self) -> OpCall<'_> {
+        match self {
+            OpCall::Out(t) => OpCall::Out(Cow::Borrowed(t.as_ref())),
+            OpCall::Rd(t) => OpCall::Rd(Cow::Borrowed(t.as_ref())),
+            OpCall::In(t) => OpCall::In(Cow::Borrowed(t.as_ref())),
+            OpCall::Rdp(t) => OpCall::Rdp(Cow::Borrowed(t.as_ref())),
+            OpCall::Inp(t) => OpCall::Inp(Cow::Borrowed(t.as_ref())),
+            OpCall::Cas(t, e) => OpCall::Cas(Cow::Borrowed(t.as_ref()), Cow::Borrowed(e.as_ref())),
+        }
+    }
+
+    /// Detaches the call from any borrowed arguments, cloning them if
+    /// necessary — what message types that outlive the caller need.
+    pub fn into_owned(self) -> OpCall<'static> {
+        match self {
+            OpCall::Out(t) => OpCall::Out(Cow::Owned(t.into_owned())),
+            OpCall::Rd(t) => OpCall::Rd(Cow::Owned(t.into_owned())),
+            OpCall::In(t) => OpCall::In(Cow::Owned(t.into_owned())),
+            OpCall::Rdp(t) => OpCall::Rdp(Cow::Owned(t.into_owned())),
+            OpCall::Inp(t) => OpCall::Inp(Cow::Owned(t.into_owned())),
+            OpCall::Cas(t, e) => {
+                OpCall::Cas(Cow::Owned(t.into_owned()), Cow::Owned(e.into_owned()))
+            }
+        }
+    }
 }
 
-impl fmt::Display for OpCall {
+impl fmt::Display for OpCall<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OpCall::Out(t) => write!(f, "out({t})"),
-            OpCall::Rd(t) => write!(f, "rd({t})"),
-            OpCall::In(t) => write!(f, "in({t})"),
-            OpCall::Rdp(t) => write!(f, "rdp({t})"),
-            OpCall::Inp(t) => write!(f, "inp({t})"),
-            OpCall::Cas(t, e) => write!(f, "cas({t}, {e})"),
+            OpCall::Out(t) => write!(f, "out({})", t.as_ref()),
+            OpCall::Rd(t) => write!(f, "rd({})", t.as_ref()),
+            OpCall::In(t) => write!(f, "in({})", t.as_ref()),
+            OpCall::Rdp(t) => write!(f, "rdp({})", t.as_ref()),
+            OpCall::Inp(t) => write!(f, "inp({})", t.as_ref()),
+            OpCall::Cas(t, e) => write!(f, "cas({}, {})", t.as_ref(), e.as_ref()),
         }
     }
 }
 
 /// An invocation `invoke(p, op)`: who calls what.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Invocation {
+pub struct Invocation<'a> {
     /// The authenticated identity of the calling process.
     pub invoker: ProcessId,
     /// The operation and its arguments.
-    pub call: OpCall,
+    pub call: OpCall<'a>,
 }
 
-impl Invocation {
+impl<'a> Invocation<'a> {
     /// Creates an invocation.
-    pub fn new(invoker: ProcessId, call: OpCall) -> Self {
+    pub fn new(invoker: ProcessId, call: OpCall<'a>) -> Self {
         Invocation { invoker, call }
     }
 }
 
-impl fmt::Display for Invocation {
+impl fmt::Display for Invocation<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invoke(p{}, {})", self.invoker, self.call)
     }
@@ -122,22 +188,40 @@ mod tests {
 
     #[test]
     fn kind_reports_variant() {
-        assert_eq!(OpCall::Out(tuple!["A"]).kind(), OpKind::Out);
-        assert_eq!(OpCall::Rdp(template!["A"]).kind(), OpKind::Rdp);
-        assert_eq!(OpCall::Cas(template!["A"], tuple!["A"]).kind(), OpKind::Cas);
+        assert_eq!(OpCall::out(tuple!["A"]).kind(), OpKind::Out);
+        assert_eq!(OpCall::rdp(template!["A"]).kind(), OpKind::Rdp);
+        assert_eq!(OpCall::cas(template!["A"], tuple!["A"]).kind(), OpKind::Cas);
     }
 
     #[test]
     fn read_grouping() {
-        assert!(OpCall::Rd(template![_]).is_read());
-        assert!(OpCall::Rdp(template![_]).is_read());
-        assert!(!OpCall::Inp(template![_]).is_read());
-        assert!(!OpCall::Out(tuple![1]).is_read());
+        assert!(OpCall::rd(template![_]).is_read());
+        assert!(OpCall::rdp(template![_]).is_read());
+        assert!(!OpCall::inp(template![_]).is_read());
+        assert!(!OpCall::out(tuple![1]).is_read());
+    }
+
+    #[test]
+    fn borrowed_and_owned_calls_compare_equal() {
+        let t̄ = template!["A", ?x];
+        let borrowed = OpCall::rdp(&t̄);
+        let owned = borrowed.as_borrowed().into_owned();
+        assert_eq!(borrowed, owned);
+        assert!(matches!(owned, OpCall::Rdp(Cow::Owned(_))));
+    }
+
+    #[test]
+    fn borrowing_constructors_do_not_clone() {
+        let entry = tuple!["A", 1];
+        match OpCall::out(&entry) {
+            OpCall::Out(Cow::Borrowed(t)) => assert!(std::ptr::eq(t, &entry)),
+            other => panic!("expected a borrowed entry, got {other:?}"),
+        }
     }
 
     #[test]
     fn display_shows_invoker_and_op() {
-        let inv = Invocation::new(3, OpCall::Out(tuple!["PROPOSE", 3, 1]));
+        let inv = Invocation::new(3, OpCall::out(tuple!["PROPOSE", 3, 1]));
         let s = format!("{inv}");
         assert!(s.contains("p3"));
         assert!(s.contains("out"));

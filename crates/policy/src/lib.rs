@@ -30,10 +30,10 @@
 //!
 //! let space = SequentialSpace::new();
 //! // cas with a formal second template field: allowed.
-//! let ok = Invocation::new(1, OpCall::Cas(template!["DECISION", ?d], tuple!["DECISION", 42]));
+//! let ok = Invocation::new(1, OpCall::cas(template!["DECISION", ?d], tuple!["DECISION", 42]));
 //! assert!(monitor.decide(&ok, &space).is_allowed());
 //! // out is not covered by any rule: denied (fail-safe default).
-//! let bad = Invocation::new(1, OpCall::Out(tuple!["DECISION", 0]));
+//! let bad = Invocation::new(1, OpCall::out(tuple!["DECISION", 0]));
 //! assert!(!monitor.decide(&bad, &space).is_allowed());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -82,7 +82,7 @@ impl std::error::Error for MissingParamError {}
 /// use peats_tuplespace::tuple;
 ///
 /// let monitor = ReferenceMonitor::new(Policy::allow_all(), PolicyParams::new())?;
-/// let inv = Invocation::new(1, OpCall::Out(tuple!["A"]));
+/// let inv = Invocation::new(1, OpCall::out(tuple!["A"]));
 /// assert!(monitor.decide(&inv, &EmptyState).is_allowed());
 /// # Ok::<(), peats_policy::MissingParamError>(())
 /// ```
@@ -126,7 +126,31 @@ impl ReferenceMonitor {
     /// Evaluation errors inside a rule condition (type errors, unbound
     /// variables) are treated as a failed condition — never as a grant —
     /// and reported in the denial diagnostics.
-    pub fn decide(&self, inv: &Invocation, state: &dyn StateView) -> Decision {
+    pub fn decide(&self, inv: &Invocation<'_>, state: &dyn StateView) -> Decision {
+        match self.first_granting_rule(inv, state) {
+            Ok(rule) => Decision::Allowed {
+                rule: rule.to_owned(),
+            },
+            Err(attempts) => Decision::Denied { attempts },
+        }
+    }
+
+    /// Like [`decide`](Self::decide), but the grant carries no diagnostics:
+    /// `Ok(())` is returned without cloning the granting rule's name, so the
+    /// allow path — the common case on every guarded operation — does not
+    /// allocate. Denials still carry the full per-rule diagnostics.
+    pub fn permits(&self, inv: &Invocation<'_>, state: &dyn StateView) -> Result<(), Decision> {
+        self.first_granting_rule(inv, state)
+            .map(|_| ())
+            .map_err(|attempts| Decision::Denied { attempts })
+    }
+
+    /// Name of the first rule granting `inv`, or the denial diagnostics.
+    fn first_granting_rule(
+        &self,
+        inv: &Invocation<'_>,
+        state: &dyn StateView,
+    ) -> Result<&str, Vec<(String, String)>> {
         let mut attempts = Vec::new();
         for rule in &self.policy.rules {
             let Some(env) = match_invocation(&rule.pattern, inv) else {
@@ -139,16 +163,12 @@ impl ReferenceMonitor {
                 state,
             };
             match eval_expr(&rule.condition, &ctx, &Env::new()) {
-                Ok(true) => {
-                    return Decision::Allowed {
-                        rule: rule.name.clone(),
-                    }
-                }
+                Ok(true) => return Ok(&rule.name),
                 Ok(false) => attempts.push((rule.name.clone(), "condition is false".to_owned())),
                 Err(e) => attempts.push((rule.name.clone(), e.to_string())),
             }
         }
-        Decision::Denied { attempts }
+        Err(attempts)
     }
 }
 
@@ -172,7 +192,7 @@ mod tests {
             Expr::True,
         ));
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
-        let inv = Invocation::new(0, OpCall::Inp(template![_]));
+        let inv = Invocation::new(0, OpCall::inp(template![_]));
         let d = m.decide(&inv, &EmptyState);
         assert!(!d.is_allowed());
         assert_eq!(d, Decision::Denied { attempts: vec![] });
@@ -186,7 +206,7 @@ mod tests {
             Expr::cmp(CmpOp::Gt, Term::var("v"), Term::val(10)),
         ));
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
-        let d = m.decide(&Invocation::new(0, OpCall::Out(tuple![5])), &EmptyState);
+        let d = m.decide(&Invocation::new(0, OpCall::out(tuple![5])), &EmptyState);
         match d {
             Decision::Denied { attempts } => {
                 assert_eq!(attempts.len(), 1);
@@ -194,7 +214,7 @@ mod tests {
             }
             other => panic!("expected denial, got {other:?}"),
         }
-        let d2 = m.decide(&Invocation::new(0, OpCall::Out(tuple![11])), &EmptyState);
+        let d2 = m.decide(&Invocation::new(0, OpCall::out(tuple![11])), &EmptyState);
         assert_eq!(
             d2,
             Decision::Allowed {
@@ -214,7 +234,7 @@ mod tests {
             ],
         );
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
-        let d = m.decide(&Invocation::new(0, OpCall::Out(tuple![1])), &EmptyState);
+        let d = m.decide(&Invocation::new(0, OpCall::out(tuple![1])), &EmptyState);
         assert_eq!(d, Decision::Allowed { rule: "R2".into() });
     }
 
@@ -227,7 +247,7 @@ mod tests {
             Expr::cmp(CmpOp::Lt, Term::val("x"), Term::val(1)),
         ));
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
-        let d = m.decide(&Invocation::new(0, OpCall::Out(tuple![1])), &EmptyState);
+        let d = m.decide(&Invocation::new(0, OpCall::out(tuple![1])), &EmptyState);
         assert!(!d.is_allowed());
         let text = format!("{d}");
         assert!(text.contains("type mismatch"), "diagnostic missing: {text}");
@@ -259,13 +279,13 @@ mod tests {
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
         assert!(m
             .decide(
-                &Invocation::new(2, OpCall::Out(tuple![Value::Int(9)])),
+                &Invocation::new(2, OpCall::out(tuple![Value::Int(9)])),
                 &EmptyState
             )
             .is_allowed());
         assert!(!m
             .decide(
-                &Invocation::new(4, OpCall::Out(tuple![Value::Int(9)])),
+                &Invocation::new(4, OpCall::out(tuple![Value::Int(9)])),
                 &EmptyState
             )
             .is_allowed());

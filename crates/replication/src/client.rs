@@ -18,7 +18,7 @@ pub struct ClientSession {
 impl ClientSession {
     /// Starts a session for `op` as logical process `client` with request
     /// number `req_id`, tolerating `f` faulty replicas.
-    pub fn new(client: u64, req_id: u64, op: OpCall, f: usize) -> Self {
+    pub fn new(client: u64, req_id: u64, op: OpCall<'static>, f: usize) -> Self {
         ClientSession {
             request: Request { client, req_id, op },
             f,
@@ -72,7 +72,7 @@ mod tests {
     use peats_tuplespace::tuple;
 
     fn mk_session() -> ClientSession {
-        ClientSession::new(9, 1, OpCall::Out(tuple!["A"]), 1)
+        ClientSession::new(9, 1, OpCall::out(tuple!["A"]), 1)
     }
 
     #[test]

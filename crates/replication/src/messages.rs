@@ -88,8 +88,8 @@ pub struct Request {
     pub client: ClientPid,
     /// Client-local request number (dedup + reply matching).
     pub req_id: u64,
-    /// The operation.
-    pub op: OpCall,
+    /// The operation (owned: messages outlive their sender's borrows).
+    pub op: OpCall<'static>,
 }
 
 impl Request {
@@ -398,7 +398,7 @@ mod tests {
         Request {
             client: 9,
             req_id: 3,
-            op: OpCall::Cas(template!["D", ?x], tuple!["D", 1]),
+            op: OpCall::cas(template!["D", ?x], tuple!["D", 1]),
         }
     }
 

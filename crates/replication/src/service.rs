@@ -41,26 +41,28 @@ impl PeatsService {
     /// replicated client polls their nonblocking variants — so they are
     /// mapped to their nonblocking equivalents here for robustness against
     /// Byzantine clients submitting them directly.
-    pub fn execute(&mut self, client: ProcessId, op: &OpCall) -> OpResult {
+    pub fn execute(&mut self, client: ProcessId, op: &OpCall<'_>) -> OpResult {
+        // Remap blocking ops and hand the monitor a borrowed view of the
+        // arguments: the allow path clones no template or entry.
         let op = match op {
-            OpCall::Rd(t) => OpCall::Rdp(t.clone()),
-            OpCall::In(t) => OpCall::Inp(t.clone()),
-            other => other.clone(),
+            OpCall::Rd(t) => OpCall::rdp(t.as_ref()),
+            OpCall::In(t) => OpCall::inp(t.as_ref()),
+            other => other.as_borrowed(),
         };
-        let decision = self
+        if let Err(decision) = self
             .monitor
-            .decide(&Invocation::new(client, op.clone()), &self.space);
-        if !decision.is_allowed() {
+            .permits(&Invocation::new(client, op.as_borrowed()), &self.space)
+        {
             return OpResult::Denied(decision.to_string());
         }
         match op {
             OpCall::Out(entry) => {
-                self.space.out(entry);
+                self.space.out(entry.into_owned());
                 OpResult::Done
             }
             OpCall::Rdp(template) => OpResult::Tuple(self.space.rdp(&template)),
             OpCall::Inp(template) => OpResult::Tuple(self.space.inp(&template)),
-            OpCall::Cas(template, entry) => match self.space.cas(&template, entry) {
+            OpCall::Cas(template, entry) => match self.space.cas(&template, entry.into_owned()) {
                 CasOutcome::Inserted => OpResult::Cas {
                     inserted: true,
                     found: None,
@@ -115,9 +117,9 @@ mod tests {
             || PeatsService::new(policies::strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         let (mut a, mut b) = (mk(), mk());
         let ops = [
-            (0u64, OpCall::Out(tuple!["PROPOSE", 0u64, 1])),
-            (1, OpCall::Out(tuple!["PROPOSE", 1u64, 1])),
-            (2, OpCall::Rdp(template!["PROPOSE", _, ?v])),
+            (0u64, OpCall::out(tuple!["PROPOSE", 0u64, 1])),
+            (1, OpCall::out(tuple!["PROPOSE", 1u64, 1])),
+            (2, OpCall::rdp(template!["PROPOSE", _, ?v])),
         ];
         for (c, op) in &ops {
             assert_eq!(a.execute(*c, op), b.execute(*c, op));
@@ -130,7 +132,7 @@ mod tests {
         let mut svc =
             PeatsService::new(policies::strong_consensus(), PolicyParams::n_t(4, 1)).unwrap();
         // Impersonation: client 2 writes a proposal for client 3.
-        let r = svc.execute(2, &OpCall::Out(tuple!["PROPOSE", 3u64, 1]));
+        let r = svc.execute(2, &OpCall::out(tuple!["PROPOSE", 3u64, 1]));
         assert!(matches!(r, OpResult::Denied(_)));
         assert!(svc.is_empty());
     }
@@ -138,10 +140,10 @@ mod tests {
     #[test]
     fn blocking_ops_map_to_nonblocking() {
         let mut svc = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
-        svc.execute(0, &OpCall::Out(tuple!["A"]));
-        let r = svc.execute(0, &OpCall::Rd(template!["A"]));
+        svc.execute(0, &OpCall::out(tuple!["A"]));
+        let r = svc.execute(0, &OpCall::rd(template!["A"]));
         assert_eq!(r, OpResult::Tuple(Some(tuple!["A"])));
-        let r = svc.execute(0, &OpCall::In(template!["A"]));
+        let r = svc.execute(0, &OpCall::take(template!["A"]));
         assert_eq!(r, OpResult::Tuple(Some(tuple!["A"])));
         assert!(svc.is_empty());
     }
@@ -150,7 +152,7 @@ mod tests {
     fn state_digest_tracks_content() {
         let mut a = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
         let d0 = a.state_digest();
-        a.execute(0, &OpCall::Out(tuple!["A"]));
+        a.execute(0, &OpCall::out(tuple!["A"]));
         assert_ne!(a.state_digest(), d0);
     }
 }

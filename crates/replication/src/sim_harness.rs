@@ -141,7 +141,7 @@ struct ClientSlot {
 ///
 /// let mut cluster = SimCluster::new(
 ///     Policy::allow_all(), PolicyParams::new(), 1, &[100], NetConfig::default());
-/// let result = cluster.invoke(0, OpCall::Out(tuple!["hello"])).expect("replied");
+/// let result = cluster.invoke(0, OpCall::out(tuple!["hello"])).expect("replied");
 /// # let _ = result;
 /// ```
 pub struct SimCluster {
@@ -253,7 +253,7 @@ impl SimCluster {
     /// Invokes `op` from client `client_idx`; runs the simulation until the
     /// client accepts a result (`f+1` matching replies) or the step budget
     /// runs out (`None` — e.g. when too many replicas are faulty).
-    pub fn invoke(&mut self, client_idx: usize, op: OpCall) -> Option<OpResult> {
+    pub fn invoke(&mut self, client_idx: usize, op: OpCall<'static>) -> Option<OpResult> {
         let n_replicas = self.replicas.len();
         let (node, pid, req_id) = {
             let c = &mut self.clients[client_idx];
@@ -327,11 +327,11 @@ mod tests {
     fn out_then_rdp_roundtrip() {
         let mut c = cluster(1, &[100]);
         assert_eq!(
-            c.invoke(0, OpCall::Out(tuple!["A", 1])),
+            c.invoke(0, OpCall::out(tuple!["A", 1])),
             Some(OpResult::Done)
         );
         assert_eq!(
-            c.invoke(0, OpCall::Rdp(template!["A", ?x])),
+            c.invoke(0, OpCall::rdp(template!["A", ?x])),
             Some(OpResult::Tuple(Some(tuple!["A", 1])))
         );
         // All replicas converged to the same state.
@@ -342,7 +342,7 @@ mod tests {
     #[test]
     fn cas_is_exclusive_across_clients() {
         let mut c = cluster(1, &[100, 101]);
-        let op = |v: i64| OpCall::Cas(template!["D", ?x], tuple!["D", v]);
+        let op = |v: i64| OpCall::cas(template!["D", ?x], tuple!["D", v]);
         let r1 = c.invoke(0, op(1)).unwrap();
         let r2 = c.invoke(1, op(2)).unwrap();
         assert_eq!(
@@ -365,21 +365,21 @@ mod tests {
     fn crashed_replica_does_not_block_progress() {
         let mut c = cluster(1, &[100]);
         c.set_fault(3, FaultMode::Crashed);
-        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
+        assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
     }
 
     #[test]
     fn corrupt_replies_are_outvoted() {
         let mut c = cluster(1, &[100]);
         c.set_fault(2, FaultMode::CorruptReplies);
-        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
+        assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
     }
 
     #[test]
     fn crashed_primary_triggers_view_change() {
         let mut c = cluster(1, &[100]);
         c.set_fault(0, FaultMode::Crashed); // primary of view 0
-        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
+        assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
         // Some correct replica moved past view 0.
         assert!(c.views().iter().any(|v| *v > 0), "views: {:?}", c.views());
     }
@@ -396,7 +396,7 @@ mod tests {
                 ..NetConfig::default()
             },
         );
-        assert_eq!(c.invoke(0, OpCall::Out(tuple!["A"])), Some(OpResult::Done));
+        assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
     }
 
     #[test]
@@ -409,11 +409,11 @@ mod tests {
             NetConfig::default(),
         );
         // Client with pid 0 proposes as itself: allowed.
-        let r = c.invoke(0, OpCall::Out(tuple!["PROPOSE", 0u64, 1]));
+        let r = c.invoke(0, OpCall::out(tuple!["PROPOSE", 0u64, 1]));
         assert_eq!(r, Some(OpResult::Done));
         // Client with pid 1 tries to impersonate pid 0: denied by every
         // correct replica's reference monitor.
-        let r = c.invoke(1, OpCall::Out(tuple!["PROPOSE", 0u64, 0]));
+        let r = c.invoke(1, OpCall::out(tuple!["PROPOSE", 0u64, 0]));
         assert!(matches!(r, Some(OpResult::Denied(_))), "{r:?}");
     }
 }

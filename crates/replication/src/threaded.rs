@@ -242,7 +242,7 @@ pub struct ReplicatedPeats {
 }
 
 impl ReplicatedPeats {
-    fn invoke(&self, op: OpCall) -> SpaceResult<OpResult> {
+    fn invoke(&self, op: OpCall<'static>) -> SpaceResult<OpResult> {
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
         let mut session = ClientSession::new(self.pid, req_id, op, self.f);
         let mailbox = self.mailbox.lock();
@@ -313,7 +313,7 @@ fn denied(detail: String) -> SpaceError {
 
 impl TupleSpace for ReplicatedPeats {
     fn out(&self, entry: Tuple) -> SpaceResult<()> {
-        match self.invoke(OpCall::Out(entry))? {
+        match self.invoke(OpCall::out(entry))? {
             OpResult::Done => Ok(()),
             OpResult::Denied(d) => Err(denied(d)),
             other => Err(SpaceError::Unavailable(format!(
@@ -323,17 +323,17 @@ impl TupleSpace for ReplicatedPeats {
     }
 
     fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let r = self.invoke(OpCall::Rdp(template.clone()))?;
+        let r = self.invoke(OpCall::rdp(template.clone()))?;
         self.expect_tuple(r)
     }
 
     fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let r = self.invoke(OpCall::Inp(template.clone()))?;
+        let r = self.invoke(OpCall::inp(template.clone()))?;
         self.expect_tuple(r)
     }
 
     fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
-        match self.invoke(OpCall::Cas(template.clone(), entry))? {
+        match self.invoke(OpCall::cas(template.clone(), entry))? {
             OpResult::Cas { inserted: true, .. } => Ok(CasOutcome::Inserted),
             OpResult::Cas {
                 inserted: false,

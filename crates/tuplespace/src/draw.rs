@@ -1,0 +1,90 @@
+//! Deterministic pseudo-random selection, shared by [`SequentialSpace`] and
+//! the [`ScanSpace`] reference oracle so both resolve `Selection::Seeded` to
+//! identical draws.
+//!
+//! [`SequentialSpace`]: crate::SequentialSpace
+//! [`ScanSpace`]: crate::ScanSpace
+
+use std::cell::Cell;
+
+/// SplitMix64 of the user's seed: distinct seeds give distinct (and nonzero)
+/// xorshift states.
+pub(crate) fn seed_state(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+/// xorshift64: deterministic given the seed; interior mutability so the
+/// read-only `peek` can still advance the stream.
+pub(crate) fn next_random(state: &Cell<u64>) -> u64 {
+    let mut x = state.get();
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state.set(x);
+    x
+}
+
+/// Uniform draw from `[0, n)` by rejection sampling: words falling in the
+/// incomplete final copy of the range (at most `2^64 mod n` of them) are
+/// discarded and redrawn, so the result carries no modulo bias. `n` must be
+/// nonzero.
+pub(crate) fn draw_below(state: &Cell<u64>, n: usize) -> usize {
+    debug_assert!(n > 0, "draw_below(0)");
+    let n = n as u64;
+    // 2^64 mod n, computed without 128-bit arithmetic.
+    let rem = (u64::MAX % n + 1) % n;
+    loop {
+        let r = next_random(state);
+        if rem == 0 || r <= u64::MAX - rem {
+            return (r % n) as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_state_is_nonzero_and_seed_sensitive() {
+        assert_ne!(seed_state(0), 0);
+        assert_ne!(seed_state(1), seed_state(2));
+    }
+
+    #[test]
+    fn draw_below_is_in_range_and_deterministic() {
+        let a = Cell::new(seed_state(42));
+        let b = Cell::new(seed_state(42));
+        for n in 1..20usize {
+            let da = draw_below(&a, n);
+            assert!(da < n);
+            assert_eq!(da, draw_below(&b, n));
+        }
+    }
+
+    #[test]
+    fn draw_below_covers_the_range() {
+        // Over many draws from [0, 3), every residue must appear — a smoke
+        // test that rejection sampling does not collapse the distribution.
+        let state = Cell::new(seed_state(7));
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            seen[draw_below(&state, 3)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn power_of_two_bound_never_rejects() {
+        // rem == 0 for powers of two: the first draw is always accepted, so
+        // one call consumes exactly one xorshift step.
+        let a = Cell::new(seed_state(9));
+        let b = Cell::new(seed_state(9));
+        draw_below(&a, 8);
+        next_random(&b);
+        assert_eq!(a.get(), b.get());
+    }
+}

@@ -1,0 +1,168 @@
+//! The two-level match index of [`SequentialSpace`].
+//!
+//! Entries are bucketed first by **arity** and then by **channel** — the
+//! value of the leading field (tuple tags such as `"PROPOSE"` in the paper's
+//! algorithms always sit in position 0, so the leading value is by far the
+//! most selective defined field a template carries). Each bucket holds the
+//! ordered set of entry sequence numbers, so FIFO selection is "smallest seq
+//! in the applicable bucket" and a destructive read is an `O(log n)` set
+//! removal instead of a linear shift.
+//!
+//! A [`Template::fingerprint`](crate::Template::fingerprint) names the bucket
+//! a lookup should consult without allocating:
+//!
+//! * leading field is [`Field::Exact`](crate::Field::Exact) — only tuples in
+//!   that `(arity, channel)` bucket can possibly match;
+//! * leading field is a wildcard or formal (or the template is empty) — every
+//!   tuple of that arity is a candidate, so the arity's `all` set is used.
+//!
+//! Non-leading fields are *not* indexed; [`Template::matches`] still runs on
+//! every candidate, the index only shrinks the candidate set. Correctness
+//! therefore never depends on the index picking precisely — the differential
+//! suite in `tests/differential.rs` checks the composed behaviour against the
+//! scan-based [`ScanSpace`](crate::ScanSpace) oracle.
+//!
+//! [`SequentialSpace`]: crate::SequentialSpace
+//! [`Template::matches`]: crate::Template::matches
+
+use crate::template::Fingerprint;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-arity bucket: all seqs of this arity, plus the channel refinement.
+#[derive(Clone, Debug, Default)]
+struct ArityBucket {
+    /// Every stored seq of this arity, in insertion (seq) order.
+    all: BTreeSet<u64>,
+    /// Seqs grouped by the value of their leading field. Empty tuples have
+    /// no leading field and live only in `all`.
+    channels: BTreeMap<Value, BTreeSet<u64>>,
+}
+
+impl ArityBucket {
+    fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+}
+
+/// The index structure: arity → ([`ArityBucket`]) → channel → ordered seqs.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SpaceIndex {
+    arities: BTreeMap<usize, ArityBucket>,
+}
+
+impl SpaceIndex {
+    /// Registers `entry` under sequence number `seq`.
+    pub(crate) fn insert(&mut self, seq: u64, entry: &Tuple) {
+        let bucket = self.arities.entry(entry.len()).or_default();
+        bucket.all.insert(seq);
+        if let Some(channel) = entry.get(0) {
+            // Lookup before entry(): the bucket for a channel almost always
+            // exists already, and the key is only cloned when it does not.
+            if let Some(chan) = bucket.channels.get_mut(channel) {
+                chan.insert(seq);
+            } else {
+                bucket
+                    .channels
+                    .entry(channel.clone())
+                    .or_default()
+                    .insert(seq);
+            }
+        }
+    }
+
+    /// Unregisters `entry` (previously inserted under `seq`). Empty buckets
+    /// are pruned so a long-lived space does not accumulate tombstones.
+    pub(crate) fn remove(&mut self, seq: u64, entry: &Tuple) {
+        let Some(bucket) = self.arities.get_mut(&entry.len()) else {
+            return;
+        };
+        bucket.all.remove(&seq);
+        if let Some(channel) = entry.get(0) {
+            if let Some(chan) = bucket.channels.get_mut(channel) {
+                chan.remove(&seq);
+                if chan.is_empty() {
+                    bucket.channels.remove(channel);
+                }
+            }
+        }
+        if bucket.is_empty() {
+            self.arities.remove(&entry.len());
+        }
+    }
+
+    /// The ordered candidate seqs for a template with this fingerprint, or
+    /// `None` when no stored tuple can possibly match. The lookup performs
+    /// no allocation: the fingerprint borrows the template's leading value
+    /// and the returned set is a reference into the index.
+    pub(crate) fn candidates(&self, fp: Fingerprint<'_>) -> Option<&BTreeSet<u64>> {
+        let bucket = self.arities.get(&fp.arity)?;
+        match fp.channel {
+            Some(value) => bucket.channels.get(value),
+            None => Some(&bucket.all),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{template, tuple};
+
+    #[test]
+    fn channel_lookup_narrows_to_leading_value() {
+        let mut idx = SpaceIndex::default();
+        idx.insert(0, &tuple!["A", 1]);
+        idx.insert(1, &tuple!["B", 1]);
+        idx.insert(2, &tuple!["A", 2]);
+        let a = idx.candidates(template!["A", _].fingerprint()).unwrap();
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![0, 2]);
+        let b = idx.candidates(template!["B", _].fingerprint()).unwrap();
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn wildcard_leading_field_falls_back_to_arity_bucket() {
+        let mut idx = SpaceIndex::default();
+        idx.insert(0, &tuple!["A", 1]);
+        idx.insert(1, &tuple!["B", 1]);
+        idx.insert(2, &tuple!["C"]);
+        let all2 = idx.candidates(template![_, _].fingerprint()).unwrap();
+        assert_eq!(all2.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        let all1 = idx.candidates(template![?x].fingerprint()).unwrap();
+        assert_eq!(all1.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn missing_buckets_mean_no_candidates() {
+        let mut idx = SpaceIndex::default();
+        idx.insert(0, &tuple!["A", 1]);
+        assert!(idx.candidates(template!["Z", _].fingerprint()).is_none());
+        assert!(idx.candidates(template![_, _, _].fingerprint()).is_none());
+    }
+
+    #[test]
+    fn remove_prunes_empty_buckets() {
+        let mut idx = SpaceIndex::default();
+        let t = tuple!["A", 1];
+        idx.insert(0, &t);
+        idx.remove(0, &t);
+        assert!(idx.arities.is_empty());
+    }
+
+    #[test]
+    fn empty_tuples_are_indexed_by_arity_alone() {
+        let mut idx = SpaceIndex::default();
+        idx.insert(0, &tuple!());
+        let zero = crate::Template::exact(&Tuple::new(Vec::new()));
+        assert_eq!(
+            idx.candidates(zero.fingerprint())
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+}

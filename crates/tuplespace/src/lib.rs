@@ -14,6 +14,11 @@
 //! * [`SequentialSpace`] — the *augmented tuple space* with `out`, `rdp`,
 //!   `inp` and the conditional atomic swap `cas(t̄, t)` (insert `t` iff
 //!   reading `t̄` fails), which gives the object consensus number `n`.
+//!   Storage is indexed (arity → leading-value buckets keyed by the
+//!   template [`Fingerprint`]), so matching probes a bucket instead of
+//!   scanning the space;
+//! * [`ScanSpace`] — the pre-index full-scan engine, kept as the reference
+//!   oracle for differential tests and the `space_ops` benchmarks.
 //!
 //! Blocking reads (`rd`/`in`), linearizable concurrent access, and policy
 //! enforcement live in the `peats` core crate; Byzantine fault-tolerant
@@ -38,12 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod draw;
+mod index;
+mod reference;
 mod space;
 mod template;
 mod tuple;
 mod value;
 
+pub use reference::ScanSpace;
 pub use space::{CasOutcome, OpStats, Selection, SequentialSpace};
-pub use template::{Bindings, Field, Template};
+pub use template::{Bindings, Field, Fingerprint, Template};
 pub use tuple::Tuple;
 pub use value::{TypeTag, Value};

@@ -6,9 +6,12 @@
 //! concurrent access and policy enforcement are layered on top by the
 //! `peats` core crate; BFT replication by `peats-replication`.
 
+use crate::draw;
+use crate::index::SpaceIndex;
 use crate::template::Template;
 use crate::tuple::Tuple;
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Result of the augmented tuple space's `cas(t̄, t)` operation:
@@ -54,8 +57,21 @@ pub enum Selection {
     /// Oldest matching tuple wins (deterministic, default).
     #[default]
     Fifo,
-    /// Pseudo-random matching tuple, from a seeded xorshift generator.
+    /// Pseudo-random matching tuple, from a seeded xorshift generator. The
+    /// draw is rejection-sampled (no modulo bias) over the matching tuples
+    /// in insertion order, so it is deterministic given the seed and the
+    /// operation history.
     Seeded(u64),
+}
+
+impl Selection {
+    /// Initial xorshift state for this selection policy.
+    pub(crate) fn initial_rng_state(&self) -> u64 {
+        match self {
+            Selection::Fifo => 0,
+            Selection::Seeded(s) => draw::seed_state(*s),
+        }
+    }
 }
 
 /// Per-operation invocation counters, used by experiments E6/E10 to compare
@@ -93,12 +109,27 @@ impl fmt::Display for OpStats {
     }
 }
 
-/// A sequential (single-threaded) augmented tuple space.
+/// A sequential (single-threaded) augmented tuple space with indexed
+/// storage.
 ///
-/// Stores a multiset of entries in insertion order. All operations are
-/// constant-time in the number of *matching* probes, linear in the number of
-/// stored tuples; this reproduction favours clarity and determinism over
-/// indexing (the paper's spaces hold `O(n)` tuples).
+/// Stores a multiset of entries keyed by a monotone sequence number (so
+/// iteration is insertion order) and maintains a two-level match index —
+/// arity bucket → leading-exact-value ("channel") bucket, each an ordered
+/// set of sequence numbers (`index` module). Matching consults only
+/// the bucket named by the template's [`fingerprint`](Template::fingerprint):
+///
+/// * `rdp`/`inp`/`cas`/`count` probe `O(log n + k)` entries, where `k` is
+///   the bucket size — for the paper's tag-led templates usually the number
+///   of *actual* matches, not the space size;
+/// * `inp` removal is an `O(log n)` map/set erase instead of a linear shift;
+/// * FIFO selection is "smallest seq in the applicable bucket", preserving
+///   the exact order the old full-scan implementation produced;
+/// * the total storage cost is kept as a running sum, so
+///   [`cost_bits`](Self::cost_bits) is `O(1)`.
+///
+/// The pre-index full-scan implementation survives as
+/// [`ScanSpace`](crate::ScanSpace), the reference oracle the differential
+/// property suite and the `space_ops` benchmarks compare against.
 ///
 /// # Examples
 ///
@@ -115,11 +146,15 @@ impl fmt::Display for OpStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SequentialSpace {
-    entries: Vec<(u64, Tuple)>,
+    /// Seq-keyed slab of live entries; BTreeMap iteration order == seq order
+    /// == insertion order.
+    entries: BTreeMap<u64, Tuple>,
+    index: SpaceIndex,
     next_seq: u64,
     selection: Selection,
     rng_state: Cell<u64>,
     stats: OpStats,
+    total_cost_bits: u64,
 }
 
 impl SequentialSpace {
@@ -130,83 +165,95 @@ impl SequentialSpace {
 
     /// Creates an empty space with the given selection policy.
     pub fn with_selection(selection: Selection) -> Self {
-        let rng_state = Cell::new(match &selection {
-            Selection::Fifo => 0,
-            // splitmix64 of the seed: distinct seeds give distinct (and
-            // nonzero) xorshift states.
-            Selection::Seeded(s) => {
-                let mut z = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                (z ^ (z >> 31)) | 1
-            }
-        });
         SequentialSpace {
-            entries: Vec::new(),
-            next_seq: 0,
+            rng_state: Cell::new(selection.initial_rng_state()),
             selection,
-            rng_state,
-            stats: OpStats::default(),
+            ..Self::default()
         }
     }
 
-    fn next_random(&self) -> u64 {
-        // xorshift64: deterministic given the seed; interior mutability so
-        // the read-only `rdp` can still advance the stream.
-        let mut x = self.rng_state.get();
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng_state.set(x);
-        x
-    }
-
-    fn pick_match(&self, template: &Template) -> Option<usize> {
-        let matches: Vec<usize> = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, t))| template.matches(t))
-            .map(|(i, _)| i)
-            .collect();
-        if matches.is_empty() {
-            return None;
+    /// Resolves FIFO/seeded selection over the matching entries, returning
+    /// the winning sequence number.
+    fn pick_match(&self, template: &Template) -> Option<u64> {
+        let fp = template.fingerprint();
+        let candidates = self.index.candidates(fp)?;
+        debug_assert!(!candidates.is_empty(), "index prunes empty buckets");
+        if fp.coarse {
+            // Bucket membership already implies a match: select straight
+            // from the ordered seq set, no per-tuple tests at all. The
+            // seeded draw is over the same count a full match scan would
+            // produce, so the xorshift stream stays aligned with the
+            // ScanSpace oracle.
+            return match self.selection {
+                Selection::Fifo => candidates.iter().next().copied(),
+                Selection::Seeded(_) => {
+                    let k = draw::draw_below(&self.rng_state, candidates.len());
+                    candidates.iter().nth(k).copied()
+                }
+            };
         }
+        let matching = || {
+            candidates
+                .iter()
+                .copied()
+                .filter(|seq| template.matches(&self.entries[seq]))
+        };
         match self.selection {
-            Selection::Fifo => Some(matches[0]),
+            Selection::Fifo => matching().next(),
             Selection::Seeded(_) => {
-                let r = self.next_random() as usize % matches.len();
-                Some(matches[r])
+                // Two passes over the candidate bucket instead of collecting
+                // the matches: count, then bounded draw, then re-walk to the
+                // drawn match. Keeps the hot path allocation-free.
+                let n = matching().count();
+                if n == 0 {
+                    return None;
+                }
+                matching().nth(draw::draw_below(&self.rng_state, n))
             }
         }
+    }
+
+    fn insert(&mut self, entry: Tuple) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.index.insert(seq, &entry);
+        self.total_cost_bits += entry.cost_bits();
+        self.entries.insert(seq, entry);
+    }
+
+    fn remove(&mut self, seq: u64) -> Tuple {
+        let entry = self.entries.remove(&seq).expect("picked seq is stored");
+        self.index.remove(seq, &entry);
+        self.total_cost_bits -= entry.cost_bits();
+        entry
     }
 
     /// `out(t)`: writes the entry into the space.
     pub fn out(&mut self, entry: Tuple) {
         self.stats.out += 1;
-        self.entries.push((self.next_seq, entry));
-        self.next_seq += 1;
+        self.insert(entry);
     }
 
     /// `rdp(t̄)`: nondestructive nonblocking read. Returns a matching tuple
     /// or `None`.
     pub fn rdp(&mut self, template: &Template) -> Option<Tuple> {
         self.stats.rdp += 1;
-        self.pick_match(template).map(|i| self.entries[i].1.clone())
+        self.pick_match(template)
+            .map(|seq| self.entries[&seq].clone())
     }
 
     /// Like [`rdp`](Self::rdp) but without touching the operation counters —
     /// used internally by the policy engine's state queries, which the paper
     /// does not count as shared-memory operations.
     pub fn peek(&self, template: &Template) -> Option<&Tuple> {
-        self.pick_match(template).map(|i| &self.entries[i].1)
+        self.pick_match(template).map(|seq| &self.entries[&seq])
     }
 
     /// `inp(t̄)`: destructive nonblocking read. Removes and returns a
     /// matching tuple or returns `None`.
     pub fn inp(&mut self, template: &Template) -> Option<Tuple> {
         self.stats.inp += 1;
-        self.pick_match(template).map(|i| self.entries.remove(i).1)
+        self.pick_match(template).map(|seq| self.remove(seq))
     }
 
     /// `cas(t̄, t)`: atomically, *if* the read of `t̄` fails, insert `t`
@@ -215,10 +262,9 @@ impl SequentialSpace {
     pub fn cas(&mut self, template: &Template, entry: Tuple) -> CasOutcome {
         self.stats.cas += 1;
         match self.pick_match(template) {
-            Some(i) => CasOutcome::Found(self.entries[i].1.clone()),
+            Some(seq) => CasOutcome::Found(self.entries[&seq].clone()),
             None => {
-                self.entries.push((self.next_seq, entry));
-                self.next_seq += 1;
+                self.insert(entry);
                 CasOutcome::Inserted
             }
         }
@@ -227,15 +273,22 @@ impl SequentialSpace {
     /// Number of stored tuples matching `template` (a policy-engine query,
     /// not a paper operation).
     pub fn count(&self, template: &Template) -> usize {
-        self.entries
-            .iter()
-            .filter(|(_, t)| template.matches(t))
-            .count()
+        let fp = template.fingerprint();
+        self.index.candidates(fp).map_or(0, |candidates| {
+            if fp.coarse {
+                candidates.len()
+            } else {
+                candidates
+                    .iter()
+                    .filter(|seq| template.matches(&self.entries[*seq]))
+                    .count()
+            }
+        })
     }
 
     /// Iterates over all stored tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.entries.iter().map(|(_, t)| t)
+        self.entries.values()
     }
 
     /// Number of stored tuples.
@@ -249,9 +302,10 @@ impl SequentialSpace {
     }
 
     /// Total storage cost of all stored tuples, in bits, under the
-    /// [`cost model`](crate::Value::cost_bits).
+    /// [`cost model`](crate::Value::cost_bits). Maintained incrementally, so
+    /// this is `O(1)`.
     pub fn cost_bits(&self) -> u64 {
-        self.entries.iter().map(|(_, t)| t.cost_bits()).sum()
+        self.total_cost_bits
     }
 
     /// Operation counters accumulated since creation (or the last
@@ -320,6 +374,34 @@ mod tests {
     }
 
     #[test]
+    fn fifo_order_survives_interleaved_removals() {
+        // Removing from the middle of a channel must not disturb the
+        // relative order of the remaining entries.
+        let mut ts = SequentialSpace::new();
+        for i in 0..5 {
+            ts.out(tuple!["A", i]);
+        }
+        assert_eq!(ts.inp(&template!["A", 2]), Some(tuple!["A", 2]));
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 0]));
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 3]));
+        assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", 4]));
+    }
+
+    #[test]
+    fn channel_blind_templates_see_all_arity_peers() {
+        // A leading formal/wildcard bypasses the channel refinement but must
+        // still observe every tuple of the right arity, across channels.
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A", 1]);
+        ts.out(tuple!["B", 2]);
+        ts.out(tuple!["C", 3, 3]);
+        assert_eq!(ts.count(&template![?tag, _]), 2);
+        assert_eq!(ts.rdp(&template![_, _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.inp(&template![?tag, 2]), Some(tuple!["B", 2]));
+    }
+
+    #[test]
     fn seeded_selection_is_deterministic() {
         let run = |seed| {
             let mut ts = SequentialSpace::with_selection(Selection::Seeded(seed));
@@ -377,5 +459,18 @@ mod tests {
         ts.out(tuple![1i64]); // 64 bits
         ts.out(tuple![true]); // 1 bit
         assert_eq!(ts.cost_bits(), 65);
+        ts.inp(&template![true]);
+        assert_eq!(ts.cost_bits(), 64);
+    }
+
+    #[test]
+    fn iteration_is_insertion_order_after_removals() {
+        let mut ts = SequentialSpace::new();
+        ts.out(tuple!["A", 0]);
+        ts.out(tuple!["B", 1]);
+        ts.out(tuple!["A", 2]);
+        ts.inp(&template!["B", _]);
+        let seen: Vec<_> = ts.iter().cloned().collect();
+        assert_eq!(seen, vec![tuple!["A", 0], tuple!["A", 2]]);
     }
 }

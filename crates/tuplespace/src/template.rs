@@ -6,6 +6,7 @@
 
 use crate::tuple::Tuple;
 use crate::value::{TypeTag, Value};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -62,6 +63,12 @@ impl Field {
     /// `true` if this field is the wildcard.
     pub fn is_wildcard(&self) -> bool {
         matches!(self, Field::Any)
+    }
+
+    /// `true` if this field matches *every* entry field: the wildcard, or an
+    /// untyped formal (a typed formal constrains the field's type).
+    pub fn is_unconstrained(&self) -> bool {
+        matches!(self, Field::Any | Field::Formal { ty: None, .. })
     }
 
     /// `true` if this template field matches the entry field `v`.
@@ -213,6 +220,33 @@ impl Template {
         Some(b)
     }
 
+    /// The template's index [`Fingerprint`]: its arity plus its leading
+    /// exact value, when it has one.
+    ///
+    /// The fingerprint is derived in `O(1)` from the fields fixed at
+    /// construction and borrows the leading value, so computing it — and the
+    /// index lookup it keys — allocates nothing.
+    pub fn fingerprint(&self) -> Fingerprint<'_> {
+        let channel = match self.0.first() {
+            Some(Field::Exact(v)) => Some(v),
+            _ => None,
+        };
+        // Coarse: the index bucket named by (arity, channel) already decides
+        // the match — the leading field is the channel (or unconstrained)
+        // and every later field is unconstrained, so each bucket candidate
+        // matches and selection/counting can skip the per-tuple tests.
+        let coarse = self
+            .0
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.is_unconstrained() || (i == 0 && channel.is_some()));
+        Fingerprint {
+            arity: self.0.len(),
+            channel,
+            coarse,
+        }
+    }
+
     /// Names of all formal fields, in field order.
     pub fn formal_names(&self) -> Vec<&str> {
         self.0
@@ -222,6 +256,36 @@ impl Template {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// How a [`Template`] keys into the two-level match index of
+/// [`SequentialSpace`](crate::SequentialSpace): the arity names the first
+/// bucket level and the borrowed leading exact value (the *channel* — a tag
+/// like `"PROPOSE"`) names the second. Templates whose leading field is a
+/// wildcard or formal have no channel and fall back to the whole arity
+/// bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint<'a> {
+    /// Number of template fields; only tuples of the same arity can match.
+    pub arity: usize,
+    /// Leading exact value, if the first field is [`Field::Exact`].
+    pub channel: Option<&'a Value>,
+    /// `true` when bucket membership already implies a match: every
+    /// non-channel field is unconstrained (wildcard or untyped formal), so
+    /// the space can select and count without testing candidates.
+    pub coarse: bool,
+}
+
+impl From<Template> for Cow<'_, Template> {
+    fn from(t: Template) -> Self {
+        Cow::Owned(t)
+    }
+}
+
+impl<'a> From<&'a Template> for Cow<'a, Template> {
+    fn from(t: &'a Template) -> Self {
+        Cow::Borrowed(t)
     }
 }
 
@@ -349,6 +413,38 @@ mod tests {
     fn formal_names_in_order() {
         let t̄ = template![?a, _, ?b];
         assert_eq!(t̄.formal_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fingerprint_extracts_arity_and_channel() {
+        let t̄ = template!["PROPOSE", ?p, _];
+        let fp = t̄.fingerprint();
+        assert_eq!(fp.arity, 3);
+        assert_eq!(fp.channel, Some(&Value::from("PROPOSE")));
+
+        let blind = template![?tag, 1];
+        assert_eq!(blind.fingerprint().channel, None);
+        assert_eq!(Template::wildcard(2).fingerprint().channel, None);
+        assert_eq!(Template::new(vec![]).fingerprint().arity, 0);
+    }
+
+    #[test]
+    fn fingerprint_coarseness() {
+        // Channel + unconstrained tail: bucket membership decides the match.
+        assert!(template!["PROPOSE", _, ?v].fingerprint().coarse);
+        assert!(Template::wildcard(3).fingerprint().coarse);
+        assert!(Template::new(vec![]).fingerprint().coarse);
+        // Constrained non-leading fields require per-candidate tests.
+        assert!(!template!["PROPOSE", 3, _].fingerprint().coarse);
+        assert!(!template![_, 1].fingerprint().coarse);
+        let typed = Template::new(vec![
+            Field::exact("A"),
+            Field::typed_formal("x", TypeTag::Int),
+        ]);
+        assert!(!typed.fingerprint().coarse);
+        // A typed formal in the lead is both channel-less and constrained.
+        let lead_typed = Template::new(vec![Field::typed_formal("x", TypeTag::Int)]);
+        assert!(!lead_typed.fingerprint().coarse);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Tuples — the entries stored in a tuple space.
 
 use crate::value::{TypeTag, Value};
+use std::borrow::Cow;
 use std::fmt;
 
 /// An *entry*: a tuple in which every field has a defined value (§2.3).
@@ -92,6 +93,18 @@ impl Extend<Value> for Tuple {
 impl From<Vec<Value>> for Tuple {
     fn from(fields: Vec<Value>) -> Self {
         Tuple(fields)
+    }
+}
+
+impl From<Tuple> for Cow<'_, Tuple> {
+    fn from(t: Tuple) -> Self {
+        Cow::Owned(t)
+    }
+}
+
+impl<'a> From<&'a Tuple> for Cow<'a, Tuple> {
+    fn from(t: &'a Tuple) -> Self {
+        Cow::Borrowed(t)
     }
 }
 

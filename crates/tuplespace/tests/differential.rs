@@ -1,0 +1,166 @@
+//! Differential property suite: the indexed [`SequentialSpace`] must be
+//! observably equivalent to the linear-scan [`ScanSpace`] reference oracle.
+//!
+//! Random operation sequences are replayed against both engines and every
+//! observable — operation results, `count`, `len`, `cost_bits`, and the full
+//! insertion-order iteration — must agree, under both `Fifo` and `Seeded`
+//! selection. The value domain is deliberately tiny so sequences are dense
+//! with duplicate tuples, colliding channels, mixed arities, and templates
+//! whose leading field is a wildcard/formal (bypassing the channel index).
+
+use peats_tuplespace::{
+    CasOutcome, Field, ScanSpace, Selection, SequentialSpace, Template, Tuple, Value,
+};
+use proptest::prelude::*;
+
+/// Scalars drawn from a tiny domain to force collisions.
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..3).prop_map(Value::Int),
+        Just(Value::from("A")),
+        Just(Value::from("B")),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Tuples of arity 0..4 over the small domain.
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(small_value(), 0..4).prop_map(Tuple::new)
+}
+
+/// Derives a template from `t` using two bits of `mask` per field:
+/// `0`/`1` → the exact value, `2` → wildcard, `3` → formal. Mask `0xAA`
+/// yields an all-wildcard template; any non-exact leading field exercises
+/// the arity-bucket fallback of the channel index.
+fn template_from(t: &Tuple, mask: u8) -> Template {
+    t.fields()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| match (mask >> (2 * i)) & 3 {
+            2 => Field::any(),
+            3 => Field::formal(format!("x{i}")),
+            _ => Field::exact(v.clone()),
+        })
+        .collect()
+}
+
+/// One randomly generated operation, applied to both engines.
+fn apply_op(
+    indexed: &mut SequentialSpace,
+    scan: &mut ScanSpace,
+    kind: u8,
+    tuple: &Tuple,
+    mask: u8,
+) {
+    let template = template_from(tuple, mask);
+    match kind % 5 {
+        0 => {
+            indexed.out(tuple.clone());
+            scan.out(tuple.clone());
+        }
+        1 => assert_eq!(
+            indexed.rdp(&template),
+            scan.rdp(&template),
+            "rdp({template})"
+        ),
+        2 => assert_eq!(
+            indexed.inp(&template),
+            scan.inp(&template),
+            "inp({template})"
+        ),
+        3 => {
+            let (a, b) = (
+                indexed.cas(&template, tuple.clone()),
+                scan.cas(&template, tuple.clone()),
+            );
+            assert_eq!(a, b, "cas({template}, {tuple})");
+            // The oracle really exercises both outcomes.
+            let _ = matches!(a, CasOutcome::Inserted);
+        }
+        _ => assert_eq!(
+            indexed.count(&template),
+            scan.count(&template),
+            "count({template})"
+        ),
+    }
+    assert_eq!(indexed.len(), scan.len());
+    assert_eq!(indexed.cost_bits(), scan.cost_bits());
+}
+
+/// Replays one generated workload under the given selection policy.
+fn run_workload(selection: Selection, kinds: &[u8], tuples: &[Tuple], masks: &[u8]) {
+    let mut indexed = SequentialSpace::with_selection(selection.clone());
+    let mut scan = ScanSpace::with_selection(selection);
+    let n = kinds.len().min(tuples.len()).min(masks.len());
+    for i in 0..n {
+        apply_op(&mut indexed, &mut scan, kinds[i], &tuples[i], masks[i]);
+    }
+    // Final states are identical tuple for tuple, in insertion order.
+    let a: Vec<&Tuple> = indexed.iter().collect();
+    let b: Vec<&Tuple> = scan.iter().collect();
+    assert_eq!(a, b);
+}
+
+proptest! {
+    /// Indexed ≡ scan under FIFO selection.
+    #[test]
+    fn indexed_equals_scan_fifo(
+        kinds in proptest::collection::vec(any::<u8>(), 0..48),
+        tuples in proptest::collection::vec(small_tuple(), 0..48),
+        masks in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        run_workload(Selection::Fifo, &kinds, &tuples, &masks);
+    }
+
+    /// Indexed ≡ scan under seeded pseudo-random selection: both engines
+    /// must consume the xorshift stream identically, draw for draw.
+    #[test]
+    fn indexed_equals_scan_seeded(
+        seed in any::<u64>(),
+        kinds in proptest::collection::vec(any::<u8>(), 0..48),
+        tuples in proptest::collection::vec(small_tuple(), 0..48),
+        masks in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        run_workload(Selection::Seeded(seed), &kinds, &tuples, &masks);
+    }
+
+    /// Wildcard-only templates (no channel, index falls back to the arity
+    /// bucket) agree on reads, removals, and counts.
+    #[test]
+    fn wildcard_only_templates_agree(
+        entries in proptest::collection::vec(small_tuple(), 0..24),
+        arity in 0usize..4,
+    ) {
+        let mut indexed = SequentialSpace::new();
+        let mut scan = ScanSpace::new();
+        for e in &entries {
+            indexed.out(e.clone());
+            scan.out(e.clone());
+        }
+        let t̄ = Template::wildcard(arity);
+        prop_assert_eq!(indexed.count(&t̄), scan.count(&t̄));
+        prop_assert_eq!(indexed.rdp(&t̄), scan.rdp(&t̄));
+        prop_assert_eq!(indexed.inp(&t̄), scan.inp(&t̄));
+        prop_assert_eq!(indexed.len(), scan.len());
+    }
+
+    /// Duplicate tuples: removing one copy at a time drains both engines in
+    /// exactly the same order.
+    #[test]
+    fn duplicates_drain_identically(copies in 1usize..8, seed in any::<u64>()) {
+        for sel in [Selection::Fifo, Selection::Seeded(seed)] {
+            let mut indexed = SequentialSpace::with_selection(sel.clone());
+            let mut scan = ScanSpace::with_selection(sel);
+            for _ in 0..copies {
+                indexed.out(Tuple::new(vec![Value::from("D"), Value::Int(1)]));
+                scan.out(Tuple::new(vec![Value::from("D"), Value::Int(1)]));
+            }
+            let t̄ = Template::new(vec![Field::exact("D"), Field::any()]);
+            for remaining in (0..copies).rev() {
+                prop_assert_eq!(indexed.inp(&t̄), scan.inp(&t̄));
+                prop_assert_eq!(indexed.count(&t̄), remaining);
+                prop_assert_eq!(scan.count(&t̄), remaining);
+            }
+        }
+    }
+}

@@ -24,9 +24,9 @@ fn run_cluster(seed: u64) -> (Vec<Option<OpResult>>, Vec<peats_auth::Digest>) {
     cluster.set_fault(2, FaultMode::CorruptReplies);
     let mut results = Vec::new();
     for i in 0..6i64 {
-        results.push(cluster.invoke((i % 2) as usize, OpCall::Out(tuple!["T", i])));
+        results.push(cluster.invoke((i % 2) as usize, OpCall::out(tuple!["T", i])));
     }
-    results.push(cluster.invoke(0, OpCall::Rdp(template!["T", ?x])));
+    results.push(cluster.invoke(0, OpCall::rdp(template!["T", ?x])));
     (results, cluster.state_digests())
 }
 
@@ -62,9 +62,9 @@ fn policy_evaluation_is_pure() {
     let monitor = ReferenceMonitor::new(policy, params).unwrap();
     let mut state = SequentialSpace::new();
     state.out(tuple!["X", 9]);
-    let allowed = Invocation::new(0, OpCall::Out(tuple!["X", 5]));
-    let denied_dup = Invocation::new(0, OpCall::Out(tuple!["X", 9]));
-    let denied_small = Invocation::new(0, OpCall::Out(tuple!["X", 1]));
+    let allowed = Invocation::new(0, OpCall::out(tuple!["X", 5]));
+    let denied_dup = Invocation::new(0, OpCall::out(tuple!["X", 9]));
+    let denied_small = Invocation::new(0, OpCall::out(tuple!["X", 1]));
     for _ in 0..100 {
         assert!(monitor.decide(&allowed, &state).is_allowed());
         assert!(!monitor.decide(&denied_dup, &state).is_allowed());

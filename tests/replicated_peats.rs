@@ -20,7 +20,7 @@ fn sim_replicas_never_diverge_lossless() {
     for i in 0..10i64 {
         let client = (i % 2) as usize;
         assert_eq!(
-            cluster.invoke(client, OpCall::Out(tuple!["N", i])),
+            cluster.invoke(client, OpCall::out(tuple!["N", i])),
             Some(OpResult::Done)
         );
     }
@@ -50,7 +50,7 @@ fn sim_quorum_stays_consistent_under_message_loss() {
     for i in 0..10i64 {
         let client = (i % 2) as usize;
         assert_eq!(
-            cluster.invoke(client, OpCall::Out(tuple!["N", i])),
+            cluster.invoke(client, OpCall::out(tuple!["N", i])),
             Some(OpResult::Done)
         );
     }
@@ -76,10 +76,10 @@ fn sim_consensus_policy_enforced_under_replica_fault() {
     );
     cluster.set_fault(1, FaultMode::CorruptReplies);
     assert_eq!(
-        cluster.invoke(0, OpCall::Out(tuple!["PROPOSE", 0u64, 1])),
+        cluster.invoke(0, OpCall::out(tuple!["PROPOSE", 0u64, 1])),
         Some(OpResult::Done)
     );
-    let r = cluster.invoke(1, OpCall::Out(tuple!["PROPOSE", 0u64, 0]));
+    let r = cluster.invoke(1, OpCall::out(tuple!["PROPOSE", 0u64, 0]));
     assert!(matches!(r, Some(OpResult::Denied(_))), "{r:?}");
 }
 

@@ -34,11 +34,11 @@ fn out_policy_replicated_rdp_consensus_decide() {
         NetConfig::default(),
     );
     assert_eq!(
-        cluster.invoke(0, OpCall::Out(tuple!["SMOKE", 7])),
+        cluster.invoke(0, OpCall::out(tuple!["SMOKE", 7])),
         Some(OpResult::Done)
     );
     assert_eq!(
-        cluster.invoke(0, OpCall::Rdp(template!["SMOKE", ?x])),
+        cluster.invoke(0, OpCall::rdp(template!["SMOKE", ?x])),
         Some(OpResult::Tuple(Some(tuple!["SMOKE", 7])))
     );
 
