@@ -1,0 +1,358 @@
+//! `bench_concurrent` — machine-readable contention baseline for the
+//! concurrency layer: the channel-sharded `LocalPeats` vs the pre-sharding
+//! single-global-lock design, swept over thread counts.
+//!
+//! Three workloads on disjoint channels placed on distinct shards, plus a
+//! shared-channel control:
+//!
+//! * **cycle** — every worker runs a nonblocking `out → rdp → inp` loop on
+//!   its channel: pure lock-contention cost.
+//! * **pingpong** — workers are paired into clients and servers doing a
+//!   blocking request/reply over two channels per pair (`out` request,
+//!   `take` reply): blocking-path correctness under constant wakeups.
+//! * **busy_waiters** — a quarter of the workers (min 1) run the
+//!   nonblocking cycle while the rest sit *blocked* in `take` on quiet
+//!   channels. The old
+//!   design's single condvar wakes every blocked waiter on every insert —
+//!   the thundering herd this PR removes — so its busy throughput collapses
+//!   as waiters are added; the sharded space never touches their shards.
+//!
+//! Emits `BENCH_concurrent.json` (override with `--out PATH`) in the same
+//! shape as `BENCH_space.json`; `--smoke` shrinks the sweep for CI.
+//!
+//! ```text
+//! cargo run --release -p peats-bench --bin bench_concurrent -- --out BENCH_concurrent.json
+//! ```
+
+use peats::{LocalPeats, TupleSpace};
+use peats_bench::contention::{disjoint_channels, SingleLockPeats};
+use peats_bench::print_table;
+use peats_policy::{Policy, PolicyParams};
+use peats_tuplespace::{Field, Template, Tuple, Value};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn entry(channel: &str, v: i64) -> Tuple {
+    Tuple::new(vec![Value::from(channel.to_owned()), Value::Int(v)])
+}
+
+fn chan_template(channel: &str) -> Template {
+    Template::new(vec![Field::exact(channel.to_owned()), Field::any()])
+}
+
+/// Joins barrier-released workers that each timed their own loop; returns
+/// ops/second with the slowest worker's elapsed as the denominator (the
+/// coordinator cannot time the run itself: on a single-CPU box a worker can
+/// finish its whole loop before the coordinator is rescheduled).
+fn timed(total_ops: u64, workers: Vec<(Arc<Barrier>, JoinHandle<Duration>)>) -> f64 {
+    let barrier = Arc::clone(&workers[0].0);
+    barrier.wait();
+    let slowest = workers
+        .into_iter()
+        .map(|(_, j)| j.join().unwrap())
+        .max()
+        .expect("at least one worker");
+    total_ops as f64 / slowest.as_secs_f64()
+}
+
+/// Spawns one worker parked on `barrier`; the worker times its own loop.
+fn worker(
+    barrier: &Arc<Barrier>,
+    f: impl FnOnce() + Send + 'static,
+) -> (Arc<Barrier>, JoinHandle<Duration>) {
+    let b = Arc::clone(barrier);
+    let j = std::thread::spawn(move || {
+        b.wait();
+        let start = Instant::now();
+        f();
+        start.elapsed()
+    });
+    (Arc::clone(barrier), j)
+}
+
+/// Nonblocking cycle workload: 3 ops per iteration per worker.
+fn cycle_ops(threads: usize, cycles: u64) -> u64 {
+    threads as u64 * cycles * 3
+}
+
+fn cycle_sharded(threads: usize, cycles: u64, channels: &[String]) -> f64 {
+    let space = LocalPeats::unprotected();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers = (0..threads)
+        .map(|w| {
+            let h = space.handle(w as u64);
+            let channel = channels[w % channels.len()].clone();
+            worker(&barrier, move || {
+                let t̄ = chan_template(&channel);
+                for v in 0..cycles {
+                    h.out(entry(&channel, v as i64)).unwrap();
+                    std::hint::black_box(h.rdp(&t̄).unwrap());
+                    std::hint::black_box(h.inp(&t̄).unwrap());
+                }
+            })
+        })
+        .collect();
+    timed(cycle_ops(threads, cycles), workers)
+}
+
+fn cycle_single(threads: usize, cycles: u64, channels: &[String]) -> f64 {
+    let space = SingleLockPeats::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers = (0..threads)
+        .map(|w| {
+            let space = Arc::clone(&space);
+            let channel = channels[w % channels.len()].clone();
+            worker(&barrier, move || {
+                let t̄ = chan_template(&channel);
+                let pid = w as u64;
+                for v in 0..cycles {
+                    space.out(pid, entry(&channel, v as i64));
+                    std::hint::black_box(space.rdp(pid, &t̄));
+                    std::hint::black_box(space.inp(pid, &t̄));
+                }
+            })
+        })
+        .collect();
+    timed(cycle_ops(threads, cycles), workers)
+}
+
+/// Blocking ping-pong workload: `threads/2` client/server pairs, two
+/// channels per pair, 4 ops per round (2 out + 2 blocking take).
+fn pingpong_ops(pairs: usize, rounds: u64) -> u64 {
+    pairs as u64 * rounds * 4
+}
+
+fn pingpong_sharded(pairs: usize, rounds: u64, channels: &[String]) -> f64 {
+    let space = LocalPeats::unprotected();
+    let barrier = Arc::new(Barrier::new(2 * pairs + 1));
+    let mut workers = Vec::new();
+    for p in 0..pairs {
+        let (req, rep) = (channels[2 * p].clone(), channels[2 * p + 1].clone());
+        let client = space.handle(p as u64);
+        let (req_c, rep_c) = (req.clone(), rep.clone());
+        workers.push(worker(&barrier, move || {
+            let rep_t = chan_template(&rep_c);
+            for v in 0..rounds {
+                client.out(entry(&req_c, v as i64)).unwrap();
+                std::hint::black_box(client.take(&rep_t).unwrap());
+            }
+        }));
+        let server = space.handle(1000 + p as u64);
+        workers.push(worker(&barrier, move || {
+            let req_t = chan_template(&req);
+            for v in 0..rounds {
+                std::hint::black_box(server.take(&req_t).unwrap());
+                server.out(entry(&rep, v as i64)).unwrap();
+            }
+        }));
+    }
+    timed(pingpong_ops(pairs, rounds), workers)
+}
+
+fn pingpong_single(pairs: usize, rounds: u64, channels: &[String]) -> f64 {
+    let space = SingleLockPeats::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+    let barrier = Arc::new(Barrier::new(2 * pairs + 1));
+    let mut workers = Vec::new();
+    for p in 0..pairs {
+        let (req, rep) = (channels[2 * p].clone(), channels[2 * p + 1].clone());
+        let client = Arc::clone(&space);
+        let (req_c, rep_c) = (req.clone(), rep.clone());
+        workers.push(worker(&barrier, move || {
+            let rep_t = chan_template(&rep_c);
+            for v in 0..rounds {
+                client.out(p as u64, entry(&req_c, v as i64));
+                std::hint::black_box(client.take(p as u64, &rep_t));
+            }
+        }));
+        let server = Arc::clone(&space);
+        workers.push(worker(&barrier, move || {
+            let req_t = chan_template(&req);
+            for v in 0..rounds {
+                std::hint::black_box(server.take(1000 + p as u64, &req_t));
+                server.out(1000 + p as u64, entry(&rep, v as i64));
+            }
+        }));
+    }
+    timed(pingpong_ops(pairs, rounds), workers)
+}
+
+/// Busy-plus-parked-waiters workload: `threads/4` (min 1) busy cycle
+/// workers, the rest takers blocked on quiet channels — the service-fleet
+/// shape where most processes wait for work on their own tags while a few
+/// channels carry traffic. Returns busy ops/second (the takers are load,
+/// not work). Busy workers use `channels[0..busy]`, parked takers
+/// `channels[busy..threads]`.
+fn busy_waiters(
+    threads: usize,
+    cycles: u64,
+    channels: &[String],
+    out: impl Fn(u64, Tuple) + Send + Sync + 'static,
+    rdp: impl Fn(u64, &Template) -> Option<Tuple> + Send + Sync + 'static,
+    inp: impl Fn(u64, &Template) -> Option<Tuple> + Send + Sync + 'static,
+    take: impl Fn(u64, &Template) -> Tuple + Send + Sync + 'static,
+) -> f64 {
+    let busy = (threads / 4).max(1);
+    let parked = threads - busy;
+    let ops = Arc::new((out, rdp, inp, take));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut busy_joins = Vec::new();
+    let mut parked_joins = Vec::new();
+    for w in 0..parked {
+        let ops = Arc::clone(&ops);
+        let channel = channels[busy + w].clone();
+        let b = Arc::clone(&barrier);
+        parked_joins.push(std::thread::spawn(move || {
+            let t̄ = chan_template(&channel);
+            b.wait();
+            std::hint::black_box(ops.3(500 + w as u64, &t̄));
+        }));
+    }
+    for (w, channel) in channels.iter().take(busy).enumerate() {
+        let ops = Arc::clone(&ops);
+        let channel = channel.clone();
+        let b = Arc::clone(&barrier);
+        busy_joins.push(std::thread::spawn(move || {
+            let t̄ = chan_template(&channel);
+            b.wait();
+            let start = Instant::now();
+            for v in 0..cycles {
+                ops.0(w as u64, entry(&channel, v as i64));
+                std::hint::black_box(ops.1(w as u64, &t̄));
+                std::hint::black_box(ops.2(w as u64, &t̄));
+            }
+            start.elapsed()
+        }));
+    }
+    barrier.wait();
+    let slowest = busy_joins
+        .into_iter()
+        .map(|j| j.join().unwrap())
+        .max()
+        .expect("at least one busy worker");
+    // Unpark the takers: one sentinel per quiet channel.
+    for w in 0..parked {
+        ops.0(999, entry(&channels[busy + w], -1));
+    }
+    for j in parked_joins {
+        j.join().unwrap();
+    }
+    cycle_ops(busy, cycles) as f64 / slowest.as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_concurrent.json".to_owned());
+
+    let thread_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8, 16] };
+    let cycles: u64 = if smoke { 5_000 } else { 40_000 };
+    let rounds: u64 = if smoke { 2_000 } else { 10_000 };
+    let max_threads = *thread_counts.iter().max().expect("non-empty sweep");
+    // Ping-pong needs two disjoint channels per pair = one per thread.
+    let disjoint = disjoint_channels(max_threads);
+    let shared = vec!["HOT".to_owned()];
+
+    let mut json_rows = Vec::new();
+    let mut table_rows = Vec::new();
+    let mut record = |workload: &str, threads: usize, single: f64, sharded: f64| {
+        let speedup = sharded / single;
+        json_rows.push(format!(
+            "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \
+             \"single_ops_per_sec\": {single:.0}, \
+             \"sharded_ops_per_sec\": {sharded:.0}, \"speedup\": {speedup:.2}}}"
+        ));
+        table_rows.push(vec![
+            workload.to_owned(),
+            threads.to_string(),
+            format!("{:.2}", single / 1e6),
+            format!("{:.2}", sharded / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+    };
+
+    for &threads in thread_counts {
+        record(
+            "disjoint_cycle",
+            threads,
+            cycle_single(threads, cycles, &disjoint),
+            cycle_sharded(threads, cycles, &disjoint),
+        );
+    }
+    for &threads in thread_counts {
+        record(
+            "shared_cycle",
+            threads,
+            cycle_single(threads, cycles, &shared),
+            cycle_sharded(threads, cycles, &shared),
+        );
+    }
+    for &threads in thread_counts {
+        let pairs = threads / 2;
+        record(
+            "disjoint_pingpong",
+            threads,
+            pingpong_single(pairs, rounds, &disjoint),
+            pingpong_sharded(pairs, rounds, &disjoint),
+        );
+    }
+    for &threads in thread_counts {
+        let single = {
+            let s = SingleLockPeats::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+            let (o, r, i, t) = (Arc::clone(&s), Arc::clone(&s), Arc::clone(&s), s);
+            busy_waiters(
+                threads,
+                cycles,
+                &disjoint,
+                move |pid, e| o.out(pid, e),
+                move |pid, t̄| r.rdp(pid, t̄),
+                move |pid, t̄| i.inp(pid, t̄),
+                move |pid, t̄| t.take(pid, t̄),
+            )
+        };
+        let sharded = {
+            let space = LocalPeats::unprotected();
+            let (o, r, i, t) = (
+                space.handle(0),
+                space.handle(1),
+                space.handle(2),
+                space.handle(3),
+            );
+            busy_waiters(
+                threads,
+                cycles,
+                &disjoint,
+                move |_, e| o.out(e).unwrap(),
+                move |_, t̄| r.rdp(t̄).unwrap(),
+                move |_, t̄| i.inp(t̄).unwrap(),
+                move |_, t̄| t.take(t̄).unwrap(),
+            )
+        };
+        record("disjoint_busy_waiters", threads, single, sharded);
+    }
+
+    print_table(
+        "concurrent space: single lock vs channel-sharded (Mops/s)",
+        &["workload", "threads", "single", "sharded", "speedup"],
+        &table_rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"concurrent_space\",\n  \"unit\": \"ops_per_sec\",\n  \
+         \"workloads\": {{\"disjoint_cycle\": \"nonblocking out+rdp+inp, one channel per thread on its own shard\", \
+         \"shared_cycle\": \"nonblocking out+rdp+inp, all threads on one channel\", \
+         \"disjoint_pingpong\": \"blocking request/reply pairs, two channels per pair on distinct shards\", \
+         \"disjoint_busy_waiters\": \"threads/4 (min 1) nonblocking cycle workers, remaining takers blocked on quiet channels; busy ops/sec\"}},\n  \
+         \"engines\": {{\"single\": \"global Mutex<SequentialSpace> + one condvar (pre-sharding LocalPeats)\", \
+         \"sharded\": \"channel-sharded LocalPeats (per-shard lock + condvar)\"}},\n  \
+         \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

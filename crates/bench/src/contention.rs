@@ -1,0 +1,136 @@
+//! Shared workload and single-lock baseline for the contention benchmark
+//! (`bench_concurrent` binary, `BENCH_concurrent.json`).
+//!
+//! [`SingleLockPeats`] reproduces the pre-sharding `LocalPeats` design — one
+//! global `Mutex<SequentialSpace>` plus a reference-monitor check per
+//! operation and a single condvar notified on every insert — so the
+//! benchmark measures exactly what the channel-sharded rewrite bought.
+
+use parking_lot::{Condvar, Mutex};
+use peats_policy::{
+    Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
+};
+use peats_tuplespace::{SequentialSpace, ShardedSpace, Template, Tuple, Value};
+use std::sync::Arc;
+
+/// The pre-sharding concurrency design: linearizability by one global
+/// mutex. Kept here (not in `peats`) purely as the benchmark baseline.
+pub struct SingleLockPeats {
+    state: Mutex<SequentialSpace>,
+    monitor: ReferenceMonitor,
+    tuple_added: Condvar,
+}
+
+impl SingleLockPeats {
+    /// Creates the baseline space guarded by `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingParamError`] when the policy declares unset
+    /// parameters.
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Arc<Self>, MissingParamError> {
+        Ok(Arc::new(SingleLockPeats {
+            state: Mutex::new(SequentialSpace::new()),
+            monitor: ReferenceMonitor::new(policy, params)?,
+            tuple_added: Condvar::new(),
+        }))
+    }
+
+    /// `out` under the global lock, notifying all blocked readers (the old
+    /// design's thundering herd).
+    pub fn out(&self, pid: ProcessId, entry: Tuple) {
+        let mut state = self.state.lock();
+        self.monitor
+            .permits(&Invocation::new(pid, OpCall::out(&entry)), &*state)
+            .expect("benchmark policy allows all");
+        state.out(entry);
+        drop(state);
+        self.tuple_added.notify_all();
+    }
+
+    /// `rdp` under the global lock.
+    pub fn rdp(&self, pid: ProcessId, template: &Template) -> Option<Tuple> {
+        let mut state = self.state.lock();
+        self.monitor
+            .permits(&Invocation::new(pid, OpCall::rdp(template)), &*state)
+            .expect("benchmark policy allows all");
+        state.rdp(template)
+    }
+
+    /// `inp` under the global lock.
+    pub fn inp(&self, pid: ProcessId, template: &Template) -> Option<Tuple> {
+        let mut state = self.state.lock();
+        self.monitor
+            .permits(&Invocation::new(pid, OpCall::inp(template)), &*state)
+            .expect("benchmark policy allows all");
+        state.inp(template)
+    }
+
+    /// Blocking `take` exactly as the old design ran it: every insert
+    /// anywhere wakes every waiter, which re-runs `inp` under the global
+    /// lock on each (mostly spurious) wakeup.
+    pub fn take(&self, pid: ProcessId, template: &Template) -> Tuple {
+        let mut state = self.state.lock();
+        loop {
+            self.monitor
+                .permits(&Invocation::new(pid, OpCall::take(template)), &*state)
+                .expect("benchmark policy allows all");
+            if let Some(t) = state.inp(template) {
+                return t;
+            }
+            self.tuple_added.wait(&mut state);
+        }
+    }
+}
+
+/// Picks `n` channel names that a default [`ShardedSpace`] places on `n`
+/// *distinct* shards, so the disjoint workload really is lock-disjoint.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the default shard count.
+pub fn disjoint_channels(n: usize) -> Vec<String> {
+    let probe = ShardedSpace::new();
+    assert!(
+        n <= probe.shard_count(),
+        "cannot place {n} disjoint channels"
+    );
+    let mut used = std::collections::BTreeSet::new();
+    let mut names = Vec::new();
+    for i in 0.. {
+        let name = format!("chan{i}");
+        if used.insert(probe.shard_of(Some(&Value::from(name.clone())))) {
+            names.push(name);
+            if names.len() == n {
+                break;
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peats_tuplespace::{template, tuple};
+
+    #[test]
+    fn baseline_roundtrip() {
+        let ts = SingleLockPeats::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        ts.out(1, tuple!["A", 1]);
+        assert_eq!(ts.rdp(2, &template!["A", _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.inp(2, &template!["A", _]), Some(tuple!["A", 1]));
+        assert_eq!(ts.inp(2, &template!["A", _]), None);
+    }
+
+    #[test]
+    fn disjoint_channels_land_on_distinct_shards() {
+        let names = disjoint_channels(8);
+        let probe = ShardedSpace::new();
+        let shards: std::collections::BTreeSet<usize> = names
+            .iter()
+            .map(|n| probe.shard_of(Some(&Value::from(n.clone()))))
+            .collect();
+        assert_eq!(shards.len(), 8);
+    }
+}

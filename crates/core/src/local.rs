@@ -1,25 +1,74 @@
 //! Linearizable in-process PEATS.
 //!
-//! [`LocalPeats`] wraps a [`SequentialSpace`] in a mutex (linearizability by
-//! mutual exclusion — every operation takes effect atomically at its lock
-//! acquisition) and guards every invocation with a [`ReferenceMonitor`].
+//! [`LocalPeats`] layers a [`ReferenceMonitor`] over the channel-sharded
+//! concurrent space ([`ShardedSpace`]): operations on different channels run
+//! under different shard locks, so readers and writers of disjoint tuple
+//! tags never contend. Every invocation's admission check runs under the
+//! same lock(s) as the operation itself, so the decision and its effect are
+//! one atomic (linearizable) step — the guarantee the old single-mutex
+//! design bought with global serialization.
+//!
+//! Lock scopes are derived from the policy once, at construction, per
+//! operation kind
+//! ([`Policy::reads_state_for`](peats_policy::Policy::reads_state_for)): an
+//! operation whose applicable rules never query the space is checked
+//! against its own shard; one guarded by `exists`-style conditions locks
+//! all shards in fixed order so the monitor sees a consistent whole-space
+//! view.
+//!
 //! Processes obtain per-identity [`LocalHandle`]s; the handle is the
 //! authenticated channel of §4 — a process cannot invoke under an identity
 //! it does not hold.
 
 use crate::error::{SpaceError, SpaceResult};
 use crate::traits::TupleSpace;
-use parking_lot::{Condvar, Mutex, MutexGuard};
 use peats_policy::{
-    Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
+    Invocation, MissingParamError, OpCall, OpKind, Policy, PolicyParams, ProcessId,
+    ReferenceMonitor,
 };
-use peats_tuplespace::{CasOutcome, OpStats, Selection, SequentialSpace, Template, Tuple};
+use peats_tuplespace::{
+    CasOutcome, LockScope, OpStats, Selection, ShardedSpace, SpaceView, Template, Tuple,
+};
 use std::sync::Arc;
 
+/// Per-operation-kind lock scopes, derived from the policy once at
+/// construction: an operation kind is checked against the whole space only
+/// if some rule that can match it queries the state. A mixed policy (a
+/// state-guarded `out` next to an unconditional `read`) therefore keeps its
+/// reads on the single-shard fast path.
+struct Scopes {
+    out: LockScope,
+    rd: LockScope,
+    take: LockScope,
+    rdp: LockScope,
+    inp: LockScope,
+    cas: LockScope,
+}
+
+impl Scopes {
+    fn for_policy(policy: &Policy) -> Self {
+        let scope = |kind| {
+            if policy.reads_state_for(kind) {
+                LockScope::Full
+            } else {
+                LockScope::Shard
+            }
+        };
+        Scopes {
+            out: scope(OpKind::Out),
+            rd: scope(OpKind::Rd),
+            take: scope(OpKind::In),
+            rdp: scope(OpKind::Rdp),
+            inp: scope(OpKind::Inp),
+            cas: scope(OpKind::Cas),
+        }
+    }
+}
+
 struct Inner {
-    state: Mutex<SequentialSpace>,
+    space: ShardedSpace,
     monitor: ReferenceMonitor,
-    tuple_added: Condvar,
+    scopes: Scopes,
 }
 
 /// A policy-enforced augmented tuple space shared by the threads of one
@@ -61,12 +110,13 @@ impl LocalPeats {
         params: PolicyParams,
         selection: Selection,
     ) -> Result<Self, MissingParamError> {
+        let scopes = Scopes::for_policy(&policy);
         let monitor = ReferenceMonitor::new(policy, params)?;
         Ok(LocalPeats {
             inner: Arc::new(Inner {
-                state: Mutex::new(SequentialSpace::with_selection(selection)),
+                space: ShardedSpace::with_selection(selection),
                 monitor,
-                tuple_added: Condvar::new(),
+                scopes,
             }),
         })
     }
@@ -89,12 +139,12 @@ impl LocalPeats {
     /// Snapshot of all stored tuples, in insertion order (test/debug aid —
     /// bypasses the policy, like an operator console on the servers).
     pub fn snapshot(&self) -> Vec<Tuple> {
-        self.inner.state.lock().iter().cloned().collect()
+        self.inner.space.snapshot()
     }
 
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
-        self.inner.state.lock().len()
+        self.inner.space.len()
     }
 
     /// `true` if no tuples are stored.
@@ -104,26 +154,27 @@ impl LocalPeats {
 
     /// Total storage cost in bits (experiment E6's measured counterpart).
     pub fn cost_bits(&self) -> u64 {
-        self.inner.state.lock().cost_bits()
+        self.inner.space.cost_bits()
     }
 
-    /// Cumulative operation counters across all handles.
+    /// Cumulative operation counters across all handles. Each operation —
+    /// including a blocking `rd`/`take`, however long it waited — counts
+    /// exactly once, at its linearization point.
     pub fn stats(&self) -> OpStats {
-        self.inner.state.lock().stats()
+        self.inner.space.stats()
     }
 
     /// Clears the operation counters.
     pub fn reset_stats(&self) {
-        self.inner.state.lock().reset_stats();
+        self.inner.space.reset_stats();
     }
 }
 
 impl std::fmt::Debug for LocalPeats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.inner.state.lock();
         f.debug_struct("LocalPeats")
             .field("policy", &self.inner.monitor.policy().name)
-            .field("tuples", &state.len())
+            .field("tuples", &self.inner.space.len())
             .finish()
     }
 }
@@ -136,77 +187,71 @@ pub struct LocalHandle {
 }
 
 impl LocalHandle {
-    /// Takes the state lock and asks the monitor whether `call` may execute.
-    /// On a grant, returns the (still held) guard so the caller can apply
-    /// the operation atomically with the decision.
+    /// Asks the monitor whether `call` may execute against the locked state
+    /// in `view`. Runs inside the space's `*_with` operations, i.e. under
+    /// the operation's own lock(s), so the decision is atomic with the
+    /// effect.
     ///
     /// `call` borrows the caller's template/entry ([`OpCall`] holds `Cow`s),
     /// so the allow path performs no allocation for the invocation itself.
-    fn check(&self, call: OpCall<'_>) -> SpaceResult<MutexGuard<'_, SequentialSpace>> {
-        let state = self.inner.state.lock();
+    fn permit(&self, call: OpCall<'_>, view: &SpaceView<'_, '_>) -> Result<(), SpaceError> {
         self.inner
             .monitor
-            .permits(&Invocation::new(self.pid, call), &*state)
-            .map_err(SpaceError::Denied)?;
-        Ok(state)
+            .permits(&Invocation::new(self.pid, call), view)
+            .map_err(SpaceError::Denied)
     }
 }
 
 impl TupleSpace for LocalHandle {
     fn out(&self, entry: Tuple) -> SpaceResult<()> {
-        let mut state = self.check(OpCall::out(&entry))?;
-        state.out(entry);
-        drop(state);
-        self.inner.tuple_added.notify_all();
-        Ok(())
+        self.inner
+            .space
+            .out_with(entry, self.inner.scopes.out, |view, entry| {
+                self.permit(OpCall::out(entry), view)
+            })
     }
 
     fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let mut state = self.check(OpCall::rdp(template))?;
-        Ok(state.rdp(template))
+        self.inner
+            .space
+            .rdp_with(template, self.inner.scopes.rdp, |view| {
+                self.permit(OpCall::rdp(template), view)
+            })
     }
 
     fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let mut state = self.check(OpCall::inp(template))?;
-        Ok(state.inp(template))
+        self.inner
+            .space
+            .inp_with(template, self.inner.scopes.inp, |view| {
+                self.permit(OpCall::inp(template), view)
+            })
     }
 
     fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
-        let mut state = self.check(OpCall::cas(template, &entry))?;
-        let outcome = state.cas(template, entry);
-        drop(state);
-        if outcome.inserted() {
-            self.inner.tuple_added.notify_all();
-        }
-        Ok(outcome)
+        self.inner
+            .space
+            .cas_with(template, entry, self.inner.scopes.cas, |view, entry| {
+                self.permit(OpCall::cas(template, entry), view)
+            })
     }
 
     fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
-        let mut state = self.inner.state.lock();
-        loop {
-            self.inner
-                .monitor
-                .permits(&Invocation::new(self.pid, OpCall::rd(template)), &*state)
-                .map_err(SpaceError::Denied)?;
-            if let Some(t) = state.rdp(template) {
-                return Ok(t);
-            }
-            self.inner.tuple_added.wait(&mut state);
-        }
+        // The admission check re-runs before every probe (a state-dependent
+        // policy may revoke the read while it waits), but the operation
+        // counts once, at the successful probe.
+        self.inner
+            .space
+            .rd_with(template, self.inner.scopes.rd, |view| {
+                self.permit(OpCall::rd(template), view)
+            })
     }
 
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
-        let mut state = self.inner.state.lock();
-        loop {
-            self.inner
-                .monitor
-                .permits(&Invocation::new(self.pid, OpCall::take(template)), &*state)
-                .map_err(SpaceError::Denied)?;
-            if let Some(t) = state.inp(template) {
-                return Ok(t);
-            }
-            self.inner.tuple_added.wait(&mut state);
-        }
+        self.inner
+            .space
+            .take_with(template, self.inner.scopes.take, |view| {
+                self.permit(OpCall::take(template), view)
+            })
     }
 
     fn process_id(&self) -> ProcessId {
@@ -252,6 +297,35 @@ mod tests {
     }
 
     #[test]
+    fn denied_blocking_take_errors_instead_of_hanging() {
+        let policy =
+            peats_policy::parse_policy("policy readonly() { rule R: read(_) :- true; }").unwrap();
+        let space = LocalPeats::new(policy, PolicyParams::new()).unwrap();
+        let err = space.handle(1).take(&template!["A"]).unwrap_err();
+        assert!(err.is_denied());
+    }
+
+    #[test]
+    fn state_reading_policy_sees_whole_space_across_channels() {
+        // `out` is forbidden once a <"LIMIT"> tuple exists anywhere; the
+        // LIMIT channel is different from the channels written to, so the
+        // monitor's exists() query must cross shards.
+        let policy = peats_policy::parse_policy(
+            "policy capped() { rule Rout: out(_) :- !exists(<\"LIMIT\">); \
+             rule Rread: read(_) :- true; }",
+        )
+        .unwrap();
+        assert!(policy.reads_state());
+        let space = LocalPeats::new(policy, PolicyParams::new()).unwrap();
+        let h = space.handle(1);
+        h.out(tuple!["A", 1]).unwrap();
+        h.out(tuple!["LIMIT"]).unwrap();
+        let err = h.out(tuple!["B", 2]).unwrap_err();
+        assert!(err.is_denied());
+        assert_eq!(space.len(), 2);
+    }
+
+    #[test]
     fn blocking_rd_wakes_on_out() {
         let space = LocalPeats::unprotected();
         let reader = space.handle(1);
@@ -260,6 +334,55 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         writer.out(tuple!["PING", 9]).unwrap();
         assert_eq!(t.join().unwrap(), tuple!["PING", 9]);
+    }
+
+    #[test]
+    fn blocking_rd_with_channel_blind_template_wakes_on_out() {
+        // A leading formal bypasses the per-shard condvars and exercises the
+        // global fallback wait path.
+        let space = LocalPeats::unprotected();
+        let reader = space.handle(1);
+        let writer = space.handle(2);
+        let t = thread::spawn(move || reader.rd(&template![?tag, 7]).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        writer.out(tuple!["ZED", 6]).unwrap(); // wakes, does not match
+        writer.out(tuple!["ZED", 7]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["ZED", 7]);
+    }
+
+    #[test]
+    fn blocking_rd_counts_one_rdp() {
+        // Regression: a blocked rd used to re-run state.rdp on every
+        // wakeup, inflating OpStats by one rdp per poll. The operation must
+        // count once, at its linearization point.
+        let space = LocalPeats::unprotected();
+        let reader = space.handle(1);
+        let writer = space.handle(2);
+        let t = thread::spawn(move || reader.rd(&template!["PING", 1]).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        writer.out(tuple!["PING", 0]).unwrap(); // same channel: wakes, no match
+        thread::sleep(Duration::from_millis(20));
+        writer.out(tuple!["PING", 1]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["PING", 1]);
+        let s = space.stats();
+        assert_eq!(s.rdp, 1, "one blocking rd must count exactly one rdp");
+        assert_eq!(s.out, 2);
+    }
+
+    #[test]
+    fn blocking_take_counts_one_inp() {
+        let space = LocalPeats::unprotected();
+        let taker = space.handle(1);
+        let writer = space.handle(2);
+        let t = thread::spawn(move || taker.take(&template!["JOB", 1]).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        writer.out(tuple!["JOB", 0]).unwrap(); // spurious wakeup for the taker
+        thread::sleep(Duration::from_millis(20));
+        writer.out(tuple!["JOB", 1]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["JOB", 1]);
+        let s = space.stats();
+        assert_eq!(s.inp, 1, "one blocking take must count exactly one inp");
+        assert_eq!(s.rdp, 0);
     }
 
     #[test]
@@ -300,7 +423,6 @@ mod tests {
         }
         let inserted = joins
             .into_iter()
-            .filter(|_| true)
             .map(|j| j.join().unwrap())
             .filter(|b| *b)
             .count();

@@ -5,7 +5,7 @@
 //! pattern matches it and that rule's expression evaluates to true —
 //! otherwise it is denied (fail-safe defaults, [21] in the paper).
 
-use crate::invocation::ProcessId;
+use crate::invocation::{OpKind, ProcessId};
 use peats_tuplespace::Value;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -103,6 +103,20 @@ impl Term {
     /// `card(t)`.
     pub fn card(t: Term) -> Term {
         Term::Card(Box::new(t))
+    }
+
+    /// `true` if evaluating this term reads the protected object's state
+    /// (a [`Term::StateField`] anywhere inside it).
+    pub fn reads_state(&self) -> bool {
+        match self {
+            Term::StateField(_) => true,
+            Term::Const(_) | Term::Var(_) | Term::Invoker => false,
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mod(a, b) => {
+                a.reads_state() || b.reads_state()
+            }
+            Term::Card(t) | Term::UnionVals(t) => t.reads_state(),
+            Term::SetOf(ts) => ts.iter().any(Term::reads_state),
+        }
     }
 }
 
@@ -266,6 +280,24 @@ impl Expr {
     pub fn any(exprs: impl IntoIterator<Item = Expr>) -> Expr {
         exprs.into_iter().reduce(Expr::or).unwrap_or(Expr::False)
     }
+
+    /// `true` if evaluating this expression can query the protected
+    /// object's state: an `exists(...)` tuple query, or a state field
+    /// reference in any term. Conservative by construction — the query
+    /// terms inside an `exists` are not inspected, the query itself is the
+    /// state read.
+    pub fn reads_state(&self) -> bool {
+        match self {
+            Expr::Exists { .. } => true,
+            Expr::True | Expr::False | Expr::IsFormal(_) | Expr::IsWildcard(_) => false,
+            Expr::And(a, b) | Expr::Or(a, b) => a.reads_state() || b.reads_state(),
+            Expr::Not(e) => e.reads_state(),
+            Expr::Cmp(_, a, b) => a.reads_state() || b.reads_state(),
+            Expr::Contains { item, collection } => item.reads_state() || collection.reads_state(),
+            Expr::ForAll { over, body, .. } => over.reads_state() || body.reads_state(),
+            Expr::ForAllPairs { over, body, .. } => over.reads_state() || body.reads_state(),
+        }
+    }
 }
 
 impl fmt::Display for Expr {
@@ -382,6 +414,24 @@ pub enum InvocationPattern {
     Read(ArgPattern),
 }
 
+impl InvocationPattern {
+    /// `true` if this pattern can match invocations of operation `kind`
+    /// (regardless of the argument shapes): the variant correspondence the
+    /// evaluator's `match_invocation` starts from, with `Read` covering
+    /// both `rd` and `rdp`.
+    pub fn covers(&self, kind: OpKind) -> bool {
+        match self {
+            InvocationPattern::Out(_) => kind == OpKind::Out,
+            InvocationPattern::Rd(_) => kind == OpKind::Rd,
+            InvocationPattern::In(_) => kind == OpKind::In,
+            InvocationPattern::Rdp(_) => kind == OpKind::Rdp,
+            InvocationPattern::Inp(_) => kind == OpKind::Inp,
+            InvocationPattern::Cas(_, _) => kind == OpKind::Cas,
+            InvocationPattern::Read(_) => matches!(kind, OpKind::Rd | OpKind::Rdp),
+        }
+    }
+}
+
 impl fmt::Display for InvocationPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -448,6 +498,28 @@ impl Policy {
             params,
             rules,
         }
+    }
+
+    /// `true` if any rule's condition queries the protected object's state
+    /// (`exists`/state-field reads). The concurrency layer uses this to
+    /// decide how much of a sharded space an admission check must lock:
+    /// state-free policies are checked on the operation's own shard, the
+    /// fast path.
+    pub fn reads_state(&self) -> bool {
+        self.rules.iter().any(|r| r.condition.reads_state())
+    }
+
+    /// Like [`reads_state`](Self::reads_state), but restricted to the rules
+    /// whose pattern can match operations of `kind`. Deciding an invocation
+    /// only ever evaluates the conditions of pattern-matching rules, so an
+    /// operation kind none of whose rules query the state can be checked
+    /// without a whole-space view — mixed policies (a state-guarded `out`
+    /// next to an unconditional `read`) keep their reads on the sharded
+    /// fast path.
+    pub fn reads_state_for(&self, kind: OpKind) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.pattern.covers(kind) && r.condition.reads_state())
     }
 
     /// The completely permissive policy (every invocation allowed) — useful
@@ -602,5 +674,89 @@ mod tests {
     fn allow_all_has_rule_per_op_family() {
         let p = Policy::allow_all();
         assert_eq!(p.rules.len(), 5);
+    }
+
+    #[test]
+    fn allow_all_is_state_free() {
+        assert!(!Policy::allow_all().reads_state());
+    }
+
+    #[test]
+    fn exists_condition_reads_state() {
+        let p = Policy::new(
+            "guarded",
+            vec![],
+            vec![Rule::new(
+                "Rout",
+                InvocationPattern::Out(ArgPattern::Any),
+                Expr::not(Expr::exists(TupleQuery(vec![QueryField::Any]))),
+            )],
+        );
+        assert!(p.reads_state());
+    }
+
+    #[test]
+    fn reads_state_for_is_per_operation_kind() {
+        // A state-guarded out next to an unconditional read: only out (and
+        // nothing else) needs the whole-space view.
+        let p = Policy::new(
+            "mixed",
+            vec![],
+            vec![
+                Rule::new(
+                    "Rout",
+                    InvocationPattern::Out(ArgPattern::Any),
+                    Expr::not(Expr::exists(TupleQuery(vec![QueryField::Any]))),
+                ),
+                Rule::new(
+                    "Rread",
+                    InvocationPattern::Read(ArgPattern::Any),
+                    Expr::True,
+                ),
+            ],
+        );
+        assert!(p.reads_state());
+        assert!(p.reads_state_for(OpKind::Out));
+        for kind in [
+            OpKind::Rd,
+            OpKind::Rdp,
+            OpKind::In,
+            OpKind::Inp,
+            OpKind::Cas,
+        ] {
+            assert!(
+                !p.reads_state_for(kind),
+                "{kind:?} has no state-reading rule"
+            );
+        }
+        // `read(_)` patterns cover both blocking and nonblocking reads.
+        let guarded_read = Policy::new(
+            "gr",
+            vec![],
+            vec![Rule::new(
+                "Rread",
+                InvocationPattern::Read(ArgPattern::Any),
+                Expr::exists(TupleQuery(vec![QueryField::Any])),
+            )],
+        );
+        assert!(guarded_read.reads_state_for(OpKind::Rd));
+        assert!(guarded_read.reads_state_for(OpKind::Rdp));
+        assert!(!guarded_read.reads_state_for(OpKind::Out));
+    }
+
+    #[test]
+    fn state_field_term_reads_state_through_nesting() {
+        let cond = Expr::cmp(
+            CmpOp::Lt,
+            Term::add(Term::StateField("r".into()), Term::val(1)),
+            Term::var("v"),
+        );
+        assert!(cond.reads_state());
+        // Purely invocation-local conditions do not.
+        let local = Expr::and(
+            Expr::IsFormal("x".into()),
+            Expr::cmp(CmpOp::Ge, Term::var("v"), Term::val(0)),
+        );
+        assert!(!local.reads_state());
     }
 }

@@ -10,7 +10,7 @@ use crate::ast::{
     TupleQuery,
 };
 use crate::invocation::{Invocation, OpCall};
-use peats_tuplespace::{Field, SequentialSpace, Template, Tuple, Value};
+use peats_tuplespace::{Field, SequentialSpace, SpaceView, Template, Tuple, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -90,6 +90,25 @@ impl StateView for SequentialSpace {
             .filter(|t| template.matches(t))
             .cloned()
             .collect()
+    }
+}
+
+/// The view of a (partially or fully) locked `ShardedSpace`, as handed to
+/// admission checks by its `*_with` operations. With a full-scope lock the
+/// view is the whole space observed atomically; the monitor can therefore
+/// evaluate `exists`/`count` conditions with the same consistency the
+/// single-mutex design provided.
+impl StateView for SpaceView<'_, '_> {
+    fn exists(&self, template: &Template) -> bool {
+        SpaceView::exists(self, template)
+    }
+
+    fn count(&self, template: &Template) -> usize {
+        SpaceView::count(self, template)
+    }
+
+    fn matching(&self, template: &Template) -> Vec<Tuple> {
+        SpaceView::matching(self, template)
     }
 }
 

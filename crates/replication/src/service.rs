@@ -78,11 +78,20 @@ impl PeatsService {
 
     /// Digest of the full service state (checkpointing / divergence
     /// detection).
+    ///
+    /// Covers the live tuples *and* the history-sensitive engine state:
+    /// `next_seq` (which orders future FIFO selections) and the
+    /// seeded-selection rng word (which decides future draws). Two replicas
+    /// whose spaces hold identical tuples after divergent histories would
+    /// otherwise digest equal and slip past checkpoint comparison, then
+    /// diverge again on the next multi-match read.
     pub fn state_digest(&self) -> Digest {
         let mut buf = Vec::new();
         for t in self.space.iter() {
             t.encode(&mut buf);
         }
+        self.space.next_seq().encode(&mut buf);
+        self.space.rng_state().encode(&mut buf);
         sha256(&buf)
     }
 
@@ -154,5 +163,29 @@ mod tests {
         let d0 = a.state_digest();
         a.execute(0, &OpCall::out(tuple!["A"]));
         assert_ne!(a.state_digest(), d0);
+    }
+
+    #[test]
+    fn state_digest_detects_divergent_history_behind_equal_tuples() {
+        // Replica `a` executed an out+inp pair a Byzantine primary never
+        // ordered at `b`: both spaces are empty, but their next_seq (and so
+        // all future FIFO orders) differ — the digests must too.
+        let mk = || PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let (mut a, b) = (mk(), mk());
+        a.execute(0, &OpCall::out(tuple!["X"]));
+        a.execute(0, &OpCall::take(template!["X"]));
+        assert!(a.is_empty() && b.is_empty());
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn state_digest_replays_equal_after_identical_histories() {
+        let mk = || PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let (mut a, mut b) = (mk(), mk());
+        for svc in [&mut a, &mut b] {
+            svc.execute(0, &OpCall::out(tuple!["X"]));
+            svc.execute(0, &OpCall::take(template!["X"]));
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 }

@@ -29,7 +29,12 @@ use std::time::Duration;
 const PROGRESS_PERIOD: Duration = Duration::from_millis(300);
 const REPLY_WAIT: Duration = Duration::from_millis(25);
 const INVOKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Initial delay between the polling rounds of a blocked `rd`/`take`.
 const BLOCKING_POLL: Duration = Duration::from_millis(2);
+/// Ceiling for the poll delay. Every poll is a full consensus round across
+/// the cluster, so a blocked read backs off exponentially up to this cap
+/// instead of hammering the replicas at a fixed tick.
+const BLOCKING_POLL_CAP: Duration = Duration::from_millis(128);
 
 fn ship(net: &ThreadNet, keys: &KeyTable, me: NodeId, n: usize, outputs: Vec<(Dest, Message)>) {
     for (dest, msg) in outputs {
@@ -294,6 +299,21 @@ impl ReplicatedPeats {
         }
     }
 
+    /// Repeats the nonblocking `probe` until it yields a tuple, sleeping
+    /// with capped exponential backoff between rounds. Bounds the consensus
+    /// work a blocked read generates: a read blocked for `T` issues
+    /// `O(log(cap) + T/cap)` rounds instead of `T/tick`.
+    fn poll_blocking(mut probe: impl FnMut() -> SpaceResult<Option<Tuple>>) -> SpaceResult<Tuple> {
+        let mut delay = BLOCKING_POLL;
+        loop {
+            if let Some(t) = probe()? {
+                return Ok(t);
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(BLOCKING_POLL_CAP);
+        }
+    }
+
     fn expect_tuple(&self, r: OpResult) -> SpaceResult<Option<Tuple>> {
         match r {
             OpResult::Tuple(t) => Ok(t),
@@ -348,22 +368,13 @@ impl TupleSpace for ReplicatedPeats {
 
     fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
         // Client-side polling preserves blocking-read semantics (§4 note in
-        // the service module).
-        loop {
-            if let Some(t) = self.rdp(template)? {
-                return Ok(t);
-            }
-            std::thread::sleep(BLOCKING_POLL);
-        }
+        // the service module). Each poll costs a consensus round, hence the
+        // capped exponential backoff.
+        Self::poll_blocking(|| self.rdp(template))
     }
 
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
-        loop {
-            if let Some(t) = self.inp(template)? {
-                return Ok(t);
-            }
-            std::thread::sleep(BLOCKING_POLL);
-        }
+        Self::poll_blocking(|| self.inp(template))
     }
 
     fn process_id(&self) -> ProcessId {
@@ -429,6 +440,33 @@ mod tests {
         let h = cluster.handle(0);
         h.out(tuple!["A"]).unwrap();
         assert_eq!(h.rdp(&template!["A"]).unwrap(), Some(tuple!["A"]));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn blocked_rd_backs_off_instead_of_polling_every_tick() {
+        let mut cluster =
+            ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[50, 51], &[])
+                .unwrap();
+        let reader = cluster.handle(0);
+        let writer = cluster.handle(1);
+        // `next_req` is shared between clones, so the probe observes how
+        // many requests — each a full consensus round — the blocked rd
+        // issued.
+        let probe = reader.clone();
+        let t = std::thread::spawn(move || reader.rd(&template!["SLOW", ?x]).unwrap());
+        std::thread::sleep(Duration::from_millis(300));
+        writer.out(tuple!["SLOW", 1]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["SLOW", 1]);
+        let rounds = probe.next_req.load(Ordering::Relaxed);
+        assert!(rounds >= 2, "the read must actually have polled");
+        // At the fixed 2ms tick this blocked rd would have issued ~150+
+        // rounds; exponential backoff (2,4,...,128ms cap) keeps it in the
+        // low teens even with generous scheduling slack.
+        assert!(
+            rounds <= 25,
+            "a blocked rd must back off between consensus rounds, issued {rounds}"
+        );
         cluster.shutdown();
     }
 

@@ -27,6 +27,19 @@ pub(crate) fn next_random(state: &Cell<u64>) -> u64 {
     x
 }
 
+/// [`draw_below`] against a mutex-shared state word (the stream a
+/// [`ShardedSpace`](crate::ShardedSpace)'s shards consume): lock, draw,
+/// persist the advanced state. The single helper keeps every shared-stream
+/// consumer advancing the word identically — the sharded ≡ sequential
+/// equivalence depends on it.
+pub(crate) fn draw_below_shared(state: &parking_lot::Mutex<u64>, n: usize) -> usize {
+    let mut word = state.lock();
+    let cell = Cell::new(*word);
+    let k = draw_below(&cell, n);
+    *word = cell.get();
+    k
+}
+
 /// Uniform draw from `[0, n)` by rejection sampling: words falling in the
 /// incomplete final copy of the range (at most `2^64 mod n` of them) are
 /// discarded and redrawn, so the result carries no modulo bias. `n` must be

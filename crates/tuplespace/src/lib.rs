@@ -18,11 +18,17 @@
 //!   template [`Fingerprint`]), so matching probes a bucket instead of
 //!   scanning the space;
 //! * [`ScanSpace`] — the pre-index full-scan engine, kept as the reference
-//!   oracle for differential tests and the `space_ops` benchmarks.
+//!   oracle for differential tests and the `space_ops` benchmarks;
+//! * [`ShardedSpace`] — the concurrent engine: entries sharded by *channel*
+//!   (leading exact value) with one lock + condvar per shard, a fixed-order
+//!   full-lock slow path for channel-blind templates and whole-space
+//!   queries, blocking `rd`/`take` with shard-targeted wakeups, and
+//!   [`SpaceView`]s for admission checks that must run atomically with an
+//!   operation ([`LockScope`]).
 //!
-//! Blocking reads (`rd`/`in`), linearizable concurrent access, and policy
-//! enforcement live in the `peats` core crate; Byzantine fault-tolerant
-//! replication lives in `peats-replication`.
+//! Policy enforcement lives in the `peats` core crate (layered on
+//! [`ShardedSpace`]); Byzantine fault-tolerant replication lives in
+//! `peats-replication`.
 //!
 //! # Quick example
 //!
@@ -46,12 +52,14 @@
 mod draw;
 mod index;
 mod reference;
+mod sharded;
 mod space;
 mod template;
 mod tuple;
 mod value;
 
 pub use reference::ScanSpace;
+pub use sharded::{LockScope, ShardedSpace, SpaceView};
 pub use space::{CasOutcome, OpStats, Selection, SequentialSpace};
 pub use template::{Bindings, Field, Fingerprint, Template};
 pub use tuple::Tuple;

@@ -1,0 +1,741 @@
+//! The channel-sharded concurrent tuple space.
+//!
+//! [`ShardedSpace`] distributes entries over independently locked shards
+//! keyed by the tuple's leading exact value — the *channel* the two-level
+//! [`SpaceIndex`](crate::index) already buckets on. The paper's tag-led
+//! workloads (`<"PROPOSE", …>`, `<"JOB", …>`) therefore take one short
+//! per-shard critical section per operation, and readers and writers on
+//! different channels never contend.
+//!
+//! # Sharding scheme
+//!
+//! * Every entry lives in the shard named by hashing its leading value
+//!   (empty tuples pin to shard 0). Each shard owns a
+//!   `Mutex<SequentialSpace>` plus a condition variable for blocked
+//!   `rd`/`take` waiters.
+//! * Sequence numbers come from one shared atomic counter and the seeded
+//!   selection rng from one shared word, so the multiset union of the
+//!   shards behaves — observably, draw for draw — like a single
+//!   [`SequentialSpace`]. The differential suite in `tests/sharded.rs`
+//!   checks exactly that.
+//! * A template whose leading field is exact touches only its channel's
+//!   shard (every tuple it can match lives there). Templates with a
+//!   wildcard/formal leading field, and whole-space queries
+//!   (`len`/`snapshot`/`cost_bits`, cross-shard policy views), take the
+//!   **slow path**: all shard locks acquired in fixed (index) order and
+//!   held together, so the operation is still a single atomic step.
+//!
+//! # Linearizability argument
+//!
+//! Fast-path operations linearize at their shard-lock acquisition; slow-path
+//! operations at the point where they hold *every* shard lock. Because the
+//! slow path acquires locks in one global order and holds them all while it
+//! reads or writes, it cannot observe half of one operation and half of
+//! another; and because fast-path operations on the same channel share a
+//! lock, per-channel real-time order is preserved. Cross-channel operations
+//! that never share a lock are concurrent and may order either way — which
+//! is exactly what linearizability permits.
+//!
+//! # Wakeups without thundering herds
+//!
+//! Blocking reads with a channel template wait on their shard's condvar, so
+//! `out(<"JOB", …>)` wakes only waiters blocked on `JOB` templates — not
+//! every blocked reader in the space (the old single-condvar design woke all
+//! of them on every insert). Channel-blind waiters register in a global
+//! fallback queue guarded by a version counter; inserts bump the version
+//! only when such waiters exist, so the common path never touches it. Both
+//! wait loops count the operation exactly once, at the successful
+//! (linearized) probe — a spurious wakeup costs no [`OpStats`] increment.
+
+use crate::draw;
+use crate::space::{CasOutcome, OpStats, Selection, SequentialSpace};
+use crate::template::Template;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::hash_map::DefaultHasher;
+use std::convert::Infallible;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How much of a [`ShardedSpace`] a guarded operation locks before its
+/// admission check runs.
+///
+/// The policy layer picks the scope once per space: a policy whose rules
+/// never query the object state (`peats_policy::Policy::reads_state` is
+/// false) is checked against the operation's own shard (`Shard`, the fast
+/// path); a policy with `exists`/`count` conditions needs a consistent view
+/// of the whole space and must use `Full`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockScope {
+    /// Lock only the shards the operation itself touches. The view handed
+    /// to the admission check covers just those shards — correct only for
+    /// checks that never query the state.
+    Shard,
+    /// Lock every shard (in fixed order) so the admission check sees the
+    /// whole space atomically with the operation.
+    Full,
+}
+
+/// Default shard count; a modest power of two keeps the hash spread even
+/// while the slow path still only walks a handful of locks.
+const DEFAULT_SHARDS: usize = 16;
+
+struct Shard {
+    space: Mutex<SequentialSpace>,
+    /// Signalled when an entry lands in this shard.
+    added: Condvar,
+    /// Blocked `rd`/`take` waiters on this shard's condvar. Incremented and
+    /// decremented with the shard lock held, so a writer that holds (or has
+    /// just released) the lock reads an exact count and can skip the notify
+    /// syscall when nobody waits.
+    waiters: AtomicUsize,
+}
+
+/// Wait state for channel-blind blocking templates, which no single shard
+/// condvar covers.
+struct FallbackWait {
+    /// Bumped (under the mutex) by every insert that might concern a
+    /// fallback waiter; a waiter that re-reads a changed version knows it
+    /// missed a notification between probing and sleeping.
+    version: Mutex<u64>,
+    added: Condvar,
+    /// Registered fallback waiters. `SeqCst`, so an inserter's load is
+    /// ordered against a waiter's increment through the shard-lock
+    /// happens-before chain (see `notify_fallback`).
+    waiters: AtomicUsize,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    out: AtomicU64,
+    rdp: AtomicU64,
+    inp: AtomicU64,
+    cas: AtomicU64,
+}
+
+/// A concurrent augmented tuple space, sharded by channel.
+///
+/// Implements the same operations as [`SequentialSpace`] plus the blocking
+/// reads `rd`/`take`, safe to share across threads (`&self` everywhere).
+/// Operation counters are kept at this level and incremented exactly once
+/// per linearized operation — blocked reads do not inflate them while they
+/// poll.
+///
+/// # Examples
+///
+/// ```
+/// use peats_tuplespace::{template, tuple, ShardedSpace};
+///
+/// let ts = ShardedSpace::new();
+/// ts.out(tuple!["JOB", 7]);
+/// assert_eq!(ts.rdp(&template!["JOB", ?x]), Some(tuple!["JOB", 7]));
+/// assert_eq!(ts.take(&template!["JOB", ?x]), tuple!["JOB", 7]);
+/// assert!(ts.is_empty());
+/// ```
+pub struct ShardedSpace {
+    shards: Box<[Shard]>,
+    selection: Selection,
+    /// Shared seeded-selection stream (see [`SequentialSpace::rng_state`]).
+    /// The shared seq counter lives only in the shard spaces themselves.
+    rng: Arc<Mutex<u64>>,
+    stats: AtomicStats,
+    fallback: FallbackWait,
+}
+
+impl ShardedSpace {
+    /// Creates a space with FIFO selection and the default shard count.
+    pub fn new() -> Self {
+        Self::with_selection(Selection::Fifo)
+    }
+
+    /// Creates a space with the given selection policy.
+    pub fn with_selection(selection: Selection) -> Self {
+        Self::with_selection_and_shards(selection, DEFAULT_SHARDS)
+    }
+
+    /// Creates a space with an explicit shard count (tests use small counts
+    /// to force channel collisions; benchmarks large ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_selection_and_shards(selection: Selection, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded space needs at least one shard");
+        let seq = Arc::new(AtomicU64::new(0));
+        let rng = Arc::new(Mutex::new(selection.initial_rng_state()));
+        let shards = (0..shards)
+            .map(|_| Shard {
+                space: Mutex::new(SequentialSpace::shard_piece(
+                    selection.clone(),
+                    Arc::clone(&seq),
+                    Arc::clone(&rng),
+                )),
+                added: Condvar::new(),
+                waiters: AtomicUsize::new(0),
+            })
+            .collect();
+        ShardedSpace {
+            shards,
+            selection,
+            rng,
+            stats: AtomicStats::default(),
+            fallback: FallbackWait {
+                version: Mutex::new(0),
+                added: Condvar::new(),
+                waiters: AtomicUsize::new(0),
+            },
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a tuple with this leading value lives in (benchmarks use
+    /// this to place workloads on provably disjoint shards).
+    pub fn shard_of(&self, leading: Option<&Value>) -> usize {
+        match leading {
+            None => 0,
+            Some(value) => {
+                // DefaultHasher::new() uses fixed keys, so placement is
+                // deterministic across runs and processes.
+                let mut hasher = DefaultHasher::new();
+                value.hash(&mut hasher);
+                (hasher.finish() % self.shards.len() as u64) as usize
+            }
+        }
+    }
+
+    /// Locks every shard in index order — the one global lock order that
+    /// keeps slow-path operations deadlock-free and atomic.
+    fn lock_all(&self) -> Vec<MutexGuard<'_, SequentialSpace>> {
+        self.shards.iter().map(|s| s.space.lock()).collect()
+    }
+
+    /// One bounded draw from the shared selection stream — the same helper
+    /// the shard spaces' own picks go through, so every consumer advances
+    /// the word identically.
+    fn draw_below(&self, n: usize) -> usize {
+        draw::draw_below_shared(&self.rng, n)
+    }
+
+    /// Resolves selection across all (locked) shards: the winning
+    /// `(shard, seq)`, consuming the rng stream exactly as one sequential
+    /// space holding the union of the shards would.
+    fn pick_across(
+        &self,
+        guards: &[MutexGuard<'_, SequentialSpace>],
+        template: &Template,
+    ) -> Option<(usize, u64)> {
+        match self.selection {
+            Selection::Fifo => guards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, g)| g.first_match_seq(template).map(|seq| (i, seq)))
+                .min_by_key(|&(_, seq)| seq),
+            Selection::Seeded(_) => {
+                let n: usize = guards.iter().map(|g| g.count(template)).sum();
+                if n == 0 {
+                    return None;
+                }
+                let k = self.draw_below(n);
+                let mut all: Vec<(u64, usize)> = guards
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, g)| g.match_seqs(template).into_iter().map(move |s| (s, i)))
+                    .collect();
+                all.sort_unstable();
+                let (seq, shard) = all[k];
+                Some((shard, seq))
+            }
+        }
+    }
+
+    /// Wakes shard-local waiters after an insert into `idx`. Cheap when
+    /// nobody waits: waiter counts only change with the shard lock held, so
+    /// any waiter whose probe missed the insert was already counted when the
+    /// inserter held the lock.
+    fn notify_shard(&self, idx: usize) {
+        if self.shards[idx].waiters.load(Ordering::SeqCst) > 0 {
+            self.shards[idx].added.notify_all();
+        }
+    }
+
+    /// Wakes channel-blind waiters after any insert. A fallback waiter
+    /// registers (`waiters += 1`, `SeqCst`), reads the version, probes all
+    /// shards, and sleeps only if the version is unchanged. An inserter that
+    /// ran after the waiter's probe is ordered after the registration via
+    /// the shard lock, so its `SeqCst` load sees the waiter and it bumps the
+    /// version — the waiter either observes the bump before sleeping or is
+    /// woken by the notify. Inserts with no registered waiters skip all of
+    /// it.
+    fn notify_fallback(&self) {
+        if self.fallback.waiters.load(Ordering::SeqCst) > 0 {
+            let mut version = self.fallback.version.lock();
+            *version = version.wrapping_add(1);
+            drop(version);
+            self.fallback.added.notify_all();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guarded operations: an admission check runs under the same lock(s)
+    // as the operation, so a policy decision and its effect are one atomic
+    // step. The unguarded methods below pass a vacuous check.
+    // ------------------------------------------------------------------
+
+    /// `out(t)` with an admission check run atomically with the insert.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced; the entry is not inserted.
+    pub fn out_with<E>(
+        &self,
+        entry: Tuple,
+        scope: LockScope,
+        check: impl FnOnce(&SpaceView<'_, '_>, &Tuple) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let idx = self.shard_of(entry.get(0));
+        match scope {
+            LockScope::Shard => {
+                let mut guard = self.shards[idx].space.lock();
+                check(&SpaceView::single(&guard), &entry)?;
+                self.stats.out.fetch_add(1, Ordering::Relaxed);
+                guard.insert(entry);
+            }
+            LockScope::Full => {
+                let mut guards = self.lock_all();
+                check(&SpaceView::full(self, &guards), &entry)?;
+                self.stats.out.fetch_add(1, Ordering::Relaxed);
+                guards[idx].insert(entry);
+            }
+        }
+        self.notify_shard(idx);
+        self.notify_fallback();
+        Ok(())
+    }
+
+    /// `rdp(t̄)` with an admission check run atomically with the read.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced.
+    pub fn rdp_with<E>(
+        &self,
+        template: &Template,
+        scope: LockScope,
+        check: impl FnOnce(&SpaceView<'_, '_>) -> Result<(), E>,
+    ) -> Result<Option<Tuple>, E> {
+        if let Some(idx) = self.fast_shard(template, scope) {
+            let guard = self.shards[idx].space.lock();
+            check(&SpaceView::single(&guard))?;
+            self.stats.rdp.fetch_add(1, Ordering::Relaxed);
+            Ok(guard.peek(template).cloned())
+        } else {
+            let guards = self.lock_all();
+            check(&SpaceView::full(self, &guards))?;
+            self.stats.rdp.fetch_add(1, Ordering::Relaxed);
+            Ok(self
+                .pick_across(&guards, template)
+                .map(|(s, seq)| guards[s].get_seq(seq).clone()))
+        }
+    }
+
+    /// `inp(t̄)` with an admission check run atomically with the removal.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced; nothing is removed.
+    pub fn inp_with<E>(
+        &self,
+        template: &Template,
+        scope: LockScope,
+        check: impl FnOnce(&SpaceView<'_, '_>) -> Result<(), E>,
+    ) -> Result<Option<Tuple>, E> {
+        if let Some(idx) = self.fast_shard(template, scope) {
+            let mut guard = self.shards[idx].space.lock();
+            check(&SpaceView::single(&guard))?;
+            self.stats.inp.fetch_add(1, Ordering::Relaxed);
+            Ok(guard.remove_match(template))
+        } else {
+            let mut guards = self.lock_all();
+            check(&SpaceView::full(self, &guards))?;
+            self.stats.inp.fetch_add(1, Ordering::Relaxed);
+            Ok(self
+                .pick_across(&guards, template)
+                .map(|(s, seq)| guards[s].remove(seq)))
+        }
+    }
+
+    /// `cas(t̄, t)` with an admission check run atomically with the swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced; nothing is read or inserted.
+    pub fn cas_with<E>(
+        &self,
+        template: &Template,
+        entry: Tuple,
+        scope: LockScope,
+        check: impl FnOnce(&SpaceView<'_, '_>, &Tuple) -> Result<(), E>,
+    ) -> Result<CasOutcome, E> {
+        let entry_idx = self.shard_of(entry.get(0));
+        // Fast only when the read and the insert land on one shard.
+        let fast = self.fast_shard(template, scope) == Some(entry_idx);
+        if fast {
+            let mut guard = self.shards[entry_idx].space.lock();
+            check(&SpaceView::single(&guard), &entry)?;
+            self.stats.cas.fetch_add(1, Ordering::Relaxed);
+            if let Some(found) = guard.peek(template) {
+                return Ok(CasOutcome::Found(found.clone()));
+            }
+            guard.insert(entry);
+        } else {
+            let mut guards = self.lock_all();
+            check(&SpaceView::full(self, &guards), &entry)?;
+            self.stats.cas.fetch_add(1, Ordering::Relaxed);
+            if let Some((s, seq)) = self.pick_across(&guards, template) {
+                return Ok(CasOutcome::Found(guards[s].get_seq(seq).clone()));
+            }
+            guards[entry_idx].insert(entry);
+        }
+        self.notify_shard(entry_idx);
+        self.notify_fallback();
+        Ok(CasOutcome::Inserted)
+    }
+
+    /// Blocking `rd(t̄)`: waits until a matching tuple exists, re-running
+    /// `check` before every probe (a policy may revoke the operation while
+    /// it waits). Counts one `rdp` at the successful probe — never while
+    /// polling.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced at any probe.
+    pub fn rd_with<E>(
+        &self,
+        template: &Template,
+        scope: LockScope,
+        check: impl FnMut(&SpaceView<'_, '_>) -> Result<(), E>,
+    ) -> Result<Tuple, E> {
+        self.blocking_with(
+            template,
+            scope,
+            &self.stats.rdp,
+            check,
+            |space| space.peek(template).cloned(),
+            |space, seq| space.get_seq(seq).clone(),
+        )
+    }
+
+    /// Blocking `take(t̄)` (the paper's `in`): waits until a matching tuple
+    /// exists and removes it. Counts one `inp` at the successful probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced at any probe.
+    pub fn take_with<E>(
+        &self,
+        template: &Template,
+        scope: LockScope,
+        check: impl FnMut(&SpaceView<'_, '_>) -> Result<(), E>,
+    ) -> Result<Tuple, E> {
+        self.blocking_with(
+            template,
+            scope,
+            &self.stats.inp,
+            check,
+            |space| space.remove_match(template),
+            |space, seq| space.remove(seq),
+        )
+    }
+
+    /// The one blocking-wait protocol behind `rd_with` and `take_with`,
+    /// parameterized by the probe (`peek` vs `remove_match`), the slow-path
+    /// resolution of a picked `(shard, seq)`, and the counter bumped at the
+    /// linearized (successful) probe.
+    fn blocking_with<E>(
+        &self,
+        template: &Template,
+        scope: LockScope,
+        counter: &AtomicU64,
+        mut check: impl FnMut(&SpaceView<'_, '_>) -> Result<(), E>,
+        mut fast_probe: impl FnMut(&mut SequentialSpace) -> Option<Tuple>,
+        mut slow_resolve: impl FnMut(&mut SequentialSpace, u64) -> Tuple,
+    ) -> Result<Tuple, E> {
+        if let Some(idx) = self.fast_shard(template, scope) {
+            let shard = &self.shards[idx];
+            let mut guard = shard.space.lock();
+            loop {
+                check(&SpaceView::single(&guard))?;
+                if let Some(found) = fast_probe(&mut guard) {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Ok(found);
+                }
+                shard.waiters.fetch_add(1, Ordering::SeqCst);
+                shard.added.wait(&mut guard);
+                shard.waiters.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.wait_fallback(|guards| {
+            check(&SpaceView::full(self, guards))?;
+            if let Some((s, seq)) = self.pick_across(guards, template) {
+                counter.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(slow_resolve(&mut guards[s], seq)));
+            }
+            Ok(None)
+        })
+    }
+
+    /// The single shard a template can be served from under `scope`, if any.
+    fn fast_shard(&self, template: &Template, scope: LockScope) -> Option<usize> {
+        match scope {
+            LockScope::Full => None,
+            LockScope::Shard => {
+                let channel = template.fingerprint().channel?;
+                Some(self.shard_of(Some(channel)))
+            }
+        }
+    }
+
+    /// The fallback wait loop for channel-blind blocking templates: probe
+    /// with all shards locked, sleep on the global condvar only if the
+    /// version did not move between the probe and the sleep.
+    fn wait_fallback<T, E>(
+        &self,
+        mut probe: impl FnMut(&mut Vec<MutexGuard<'_, SequentialSpace>>) -> Result<Option<T>, E>,
+    ) -> Result<T, E> {
+        self.fallback.waiters.fetch_add(1, Ordering::SeqCst);
+        let result = loop {
+            let seen = *self.fallback.version.lock();
+            let mut guards = self.lock_all();
+            match probe(&mut guards) {
+                Err(e) => break Err(e),
+                Ok(Some(hit)) => break Ok(hit),
+                Ok(None) => {}
+            }
+            drop(guards);
+            let mut version = self.fallback.version.lock();
+            if *version == seen {
+                self.fallback.added.wait(&mut version);
+            }
+        };
+        self.fallback.waiters.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Unguarded convenience operations.
+    // ------------------------------------------------------------------
+
+    /// `out(t)`: writes the entry into the space.
+    pub fn out(&self, entry: Tuple) {
+        never(self.out_with::<Infallible>(entry, LockScope::Shard, |_, _| Ok(())));
+    }
+
+    /// `rdp(t̄)`: nondestructive nonblocking read.
+    pub fn rdp(&self, template: &Template) -> Option<Tuple> {
+        never(self.rdp_with::<Infallible>(template, LockScope::Shard, |_| Ok(())))
+    }
+
+    /// `inp(t̄)`: destructive nonblocking read.
+    pub fn inp(&self, template: &Template) -> Option<Tuple> {
+        never(self.inp_with::<Infallible>(template, LockScope::Shard, |_| Ok(())))
+    }
+
+    /// `cas(t̄, t)`: atomically, *if* the read of `t̄` fails, insert `t`.
+    pub fn cas(&self, template: &Template, entry: Tuple) -> CasOutcome {
+        never(self.cas_with::<Infallible>(template, entry, LockScope::Shard, |_, _| Ok(())))
+    }
+
+    /// Blocking `rd(t̄)`.
+    pub fn rd(&self, template: &Template) -> Tuple {
+        never(self.rd_with::<Infallible>(template, LockScope::Shard, |_| Ok(())))
+    }
+
+    /// Blocking `take(t̄)`.
+    pub fn take(&self, template: &Template) -> Tuple {
+        never(self.take_with::<Infallible>(template, LockScope::Shard, |_| Ok(())))
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-space queries.
+    // ------------------------------------------------------------------
+
+    /// Number of stored tuples matching `template`.
+    pub fn count(&self, template: &Template) -> usize {
+        match template.fingerprint().channel {
+            Some(channel) => {
+                let idx = self.shard_of(Some(channel));
+                self.shards[idx].space.lock().count(template)
+            }
+            None => self.lock_all().iter().map(|g| g.count(template)).sum(),
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.lock_all().iter().map(|g| g.len()).sum()
+    }
+
+    /// `true` if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total storage cost in bits of all stored tuples.
+    pub fn cost_bits(&self) -> u64 {
+        self.lock_all().iter().map(|g| g.cost_bits()).sum()
+    }
+
+    /// All stored tuples, in insertion (sequence) order — the atomic
+    /// whole-space snapshot the sequential engine's `iter` provides.
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        merge_by_seq(&self.lock_all(), |_| true)
+    }
+
+    /// Operation counters, one increment per linearized operation.
+    pub fn stats(&self) -> OpStats {
+        OpStats {
+            out: self.stats.out.load(Ordering::Relaxed),
+            rdp: self.stats.rdp.load(Ordering::Relaxed),
+            inp: self.stats.inp.load(Ordering::Relaxed),
+            cas: self.stats.cas.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears the operation counters.
+    pub fn reset_stats(&self) {
+        self.stats.out.store(0, Ordering::Relaxed);
+        self.stats.rdp.store(0, Ordering::Relaxed);
+        self.stats.inp.store(0, Ordering::Relaxed);
+        self.stats.cas.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for ShardedSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ShardedSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSpace")
+            .field("shards", &self.shards.len())
+            .field("selection", &self.selection)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// `match e {}` for the uninhabited error of unguarded operations.
+fn never<T>(result: Result<T, Infallible>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => match e {},
+    }
+}
+
+/// A read-only view of the locked portion of a [`ShardedSpace`], handed to
+/// admission checks (the policy engine's `exists`/`count` queries run
+/// against it).
+///
+/// With [`LockScope::Shard`] the view covers only the operation's shard —
+/// sound only for checks that never query it. With [`LockScope::Full`] it
+/// covers the whole space, observed atomically because every shard lock is
+/// held.
+pub struct SpaceView<'g, 'a> {
+    inner: ViewInner<'g, 'a>,
+}
+
+enum ViewInner<'g, 'a> {
+    Single(&'a SequentialSpace),
+    Full {
+        space: &'a ShardedSpace,
+        guards: &'a [MutexGuard<'g, SequentialSpace>],
+    },
+}
+
+impl<'g, 'a> SpaceView<'g, 'a> {
+    fn single(space: &'a SequentialSpace) -> Self {
+        SpaceView {
+            inner: ViewInner::Single(space),
+        }
+    }
+
+    fn full(space: &'a ShardedSpace, guards: &'a [MutexGuard<'g, SequentialSpace>]) -> Self {
+        SpaceView {
+            inner: ViewInner::Full { space, guards },
+        }
+    }
+
+    /// `true` iff some stored (visible) tuple matches `template`.
+    pub fn exists(&self, template: &Template) -> bool {
+        match &self.inner {
+            ViewInner::Single(space) => space.peek(template).is_some(),
+            ViewInner::Full { space, guards } => {
+                let n: usize = guards.iter().map(|g| g.count(template)).sum();
+                if n > 0 && matches!(space.selection, Selection::Seeded(_)) {
+                    // The sequential engine resolves `exists` through a
+                    // selection probe, consuming one draw when matches
+                    // exist; mirror it so the shared stream stays aligned
+                    // with the single-shard path.
+                    space.draw_below(n);
+                }
+                n > 0
+            }
+        }
+    }
+
+    /// Number of visible tuples matching `template`.
+    pub fn count(&self, template: &Template) -> usize {
+        match &self.inner {
+            ViewInner::Single(space) => space.count(template),
+            ViewInner::Full { guards, .. } => guards.iter().map(|g| g.count(template)).sum(),
+        }
+    }
+
+    /// All visible tuples matching `template`, in insertion order.
+    pub fn matching(&self, template: &Template) -> Vec<Tuple> {
+        match &self.inner {
+            ViewInner::Single(space) => space
+                .iter()
+                .filter(|t| template.matches(t))
+                .cloned()
+                .collect(),
+            ViewInner::Full { guards, .. } => merge_by_seq(guards, |t| template.matches(t)),
+        }
+    }
+}
+
+/// Merges the live tuples of all locked shards into one insertion-order
+/// (global seq order) list, keeping those satisfying `keep` — the one
+/// cross-shard merge used by snapshots and policy `matching` views alike.
+fn merge_by_seq(
+    guards: &[MutexGuard<'_, SequentialSpace>],
+    keep: impl Fn(&Tuple) -> bool,
+) -> Vec<Tuple> {
+    let mut all: Vec<(u64, Tuple)> = guards
+        .iter()
+        .flat_map(|g| g.iter_seq())
+        .filter(|(_, t)| keep(t))
+        .map(|(seq, t)| (seq, t.clone()))
+        .collect();
+    all.sort_unstable_by_key(|&(seq, _)| seq);
+    all.into_iter().map(|(_, t)| t).collect()
+}
+
+impl fmt::Debug for SpaceView<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.inner {
+            ViewInner::Single(_) => "single-shard",
+            ViewInner::Full { .. } => "full",
+        };
+        f.debug_struct("SpaceView").field("scope", &kind).finish()
+    }
+}

@@ -10,9 +10,12 @@ use crate::draw;
 use crate::index::SpaceIndex;
 use crate::template::Template;
 use crate::tuple::Tuple;
+use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Result of the augmented tuple space's `cas(t̄, t)` operation:
 /// atomically, *if* `rdp(t̄)` fails, insert `t`.
@@ -150,11 +153,87 @@ pub struct SequentialSpace {
     /// == insertion order.
     entries: BTreeMap<u64, Tuple>,
     index: SpaceIndex,
-    next_seq: u64,
+    seq: SeqAlloc,
     selection: Selection,
-    rng_state: Cell<u64>,
+    rng: RngSlot,
     stats: OpStats,
     total_cost_bits: u64,
+}
+
+/// Where a space draws its entry sequence numbers from.
+///
+/// A standalone space owns a plain counter; the per-shard spaces inside
+/// [`ShardedSpace`](crate::ShardedSpace) share one atomic counter, so seq
+/// order is a single total insertion order across all shards (FIFO selection
+/// and cross-shard merges depend on that).
+#[derive(Clone, Debug)]
+enum SeqAlloc {
+    Local(u64),
+    Shared(Arc<AtomicU64>),
+}
+
+impl SeqAlloc {
+    fn next(&mut self) -> u64 {
+        match self {
+            SeqAlloc::Local(n) => {
+                let seq = *n;
+                *n += 1;
+                seq
+            }
+            SeqAlloc::Shared(counter) => counter.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn current(&self) -> u64 {
+        match self {
+            SeqAlloc::Local(n) => *n,
+            SeqAlloc::Shared(counter) => counter.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for SeqAlloc {
+    fn default() -> Self {
+        SeqAlloc::Local(0)
+    }
+}
+
+/// Where the seeded-selection xorshift state lives.
+///
+/// Standalone spaces keep it in a `Cell` (interior mutability so the
+/// read-only `peek` can advance the stream); shard spaces share one mutexed
+/// word so the whole sharded space consumes a single stream, draw for draw,
+/// exactly like the sequential engine.
+#[derive(Clone, Debug)]
+enum RngSlot {
+    Local(Cell<u64>),
+    Shared(Arc<Mutex<u64>>),
+}
+
+impl RngSlot {
+    /// One bounded draw from the rng word, persisting the advancement. The
+    /// shared slot is locked only for the duration of the draw; callers
+    /// already hold their shard lock, so the order is always
+    /// shard lock → rng lock.
+    fn draw_below(&self, n: usize) -> usize {
+        match self {
+            RngSlot::Local(cell) => draw::draw_below(cell, n),
+            RngSlot::Shared(word) => draw::draw_below_shared(word, n),
+        }
+    }
+
+    fn get(&self) -> u64 {
+        match self {
+            RngSlot::Local(cell) => cell.get(),
+            RngSlot::Shared(word) => *word.lock(),
+        }
+    }
+}
+
+impl Default for RngSlot {
+    fn default() -> Self {
+        RngSlot::Local(Cell::new(0))
+    }
 }
 
 impl SequentialSpace {
@@ -166,7 +245,24 @@ impl SequentialSpace {
     /// Creates an empty space with the given selection policy.
     pub fn with_selection(selection: Selection) -> Self {
         SequentialSpace {
-            rng_state: Cell::new(selection.initial_rng_state()),
+            rng: RngSlot::Local(Cell::new(selection.initial_rng_state())),
+            selection,
+            ..Self::default()
+        }
+    }
+
+    /// One shard of a [`ShardedSpace`](crate::ShardedSpace): sequence
+    /// numbers and the seeded-selection stream are shared across all shards
+    /// so the composed space stays observably equivalent to a single
+    /// sequential one.
+    pub(crate) fn shard_piece(
+        selection: Selection,
+        seq: Arc<AtomicU64>,
+        rng: Arc<Mutex<u64>>,
+    ) -> Self {
+        SequentialSpace {
+            seq: SeqAlloc::Shared(seq),
+            rng: RngSlot::Shared(rng),
             selection,
             ..Self::default()
         }
@@ -187,7 +283,7 @@ impl SequentialSpace {
             return match self.selection {
                 Selection::Fifo => candidates.iter().next().copied(),
                 Selection::Seeded(_) => {
-                    let k = draw::draw_below(&self.rng_state, candidates.len());
+                    let k = self.rng.draw_below(candidates.len());
                     candidates.iter().nth(k).copied()
                 }
             };
@@ -208,20 +304,19 @@ impl SequentialSpace {
                 if n == 0 {
                     return None;
                 }
-                matching().nth(draw::draw_below(&self.rng_state, n))
+                matching().nth(self.rng.draw_below(n))
             }
         }
     }
 
-    fn insert(&mut self, entry: Tuple) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    pub(crate) fn insert(&mut self, entry: Tuple) {
+        let seq = self.seq.next();
         self.index.insert(seq, &entry);
         self.total_cost_bits += entry.cost_bits();
         self.entries.insert(seq, entry);
     }
 
-    fn remove(&mut self, seq: u64) -> Tuple {
+    pub(crate) fn remove(&mut self, seq: u64) -> Tuple {
         let entry = self.entries.remove(&seq).expect("picked seq is stored");
         self.index.remove(seq, &entry);
         self.total_cost_bits -= entry.cost_bits();
@@ -317,6 +412,59 @@ impl SequentialSpace {
     /// Clears the operation counters.
     pub fn reset_stats(&mut self) {
         self.stats = OpStats::default();
+    }
+
+    /// The sequence number the next inserted entry will receive — a count of
+    /// all insertions ever performed. Two spaces with identical live tuples
+    /// but different pasts differ here, which is why replica state digests
+    /// fold it in.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.current()
+    }
+
+    /// Current xorshift word of the selection rng (`0` under FIFO, which
+    /// never draws). Like [`next_seq`](Self::next_seq), this is
+    /// history-sensitive state a divergence-detection digest must cover.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.get()
+    }
+
+    /// Like [`inp`](Self::inp) but without touching the operation counters —
+    /// the sharded space counts operations itself, once per linearized
+    /// operation rather than once per engine probe.
+    pub(crate) fn remove_match(&mut self, template: &Template) -> Option<Tuple> {
+        self.pick_match(template).map(|seq| self.remove(seq))
+    }
+
+    /// Smallest matching seq (FIFO winner within this space), no rng use.
+    pub(crate) fn first_match_seq(&self, template: &Template) -> Option<u64> {
+        self.match_seqs_iter(template).next()
+    }
+
+    /// All matching seqs in insertion order, no rng use.
+    pub(crate) fn match_seqs(&self, template: &Template) -> Vec<u64> {
+        self.match_seqs_iter(template).collect()
+    }
+
+    fn match_seqs_iter<'a>(&'a self, template: &'a Template) -> impl Iterator<Item = u64> + 'a {
+        let fp = template.fingerprint();
+        self.index
+            .candidates(fp)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |seq| fp.coarse || template.matches(&self.entries[seq]))
+    }
+
+    /// The entry stored under `seq` (which must be live).
+    pub(crate) fn get_seq(&self, seq: u64) -> &Tuple {
+        &self.entries[&seq]
+    }
+
+    /// Iterates `(seq, entry)` pairs in insertion order, for cross-shard
+    /// merges.
+    pub(crate) fn iter_seq(&self) -> impl Iterator<Item = (u64, &Tuple)> {
+        self.entries.iter().map(|(seq, entry)| (*seq, entry))
     }
 }
 

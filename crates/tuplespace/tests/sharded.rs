@@ -1,0 +1,374 @@
+//! Differential + stress suite for the channel-sharded concurrent space.
+//!
+//! **Differential:** under single-threaded workloads [`ShardedSpace`] must
+//! be observably equivalent to [`SequentialSpace`] — operation results,
+//! `count`, `len`, `cost_bits`, `stats`, and the insertion-order snapshot,
+//! under both `Fifo` and `Seeded` selection, including channel-wildcard
+//! templates that cross shards. The shard count is kept tiny so channels
+//! collide and the cross-shard merge paths really run.
+//!
+//! **Stress:** concurrent producers and blocking takers (on disjoint,
+//! overlapping, and channel-blind templates) must observe exactly-once
+//! removal, no lost wakeups, and no stats inflation.
+
+use peats_tuplespace::{
+    CasOutcome, Field, Selection, SequentialSpace, ShardedSpace, Template, Tuple, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+/// Scalars drawn from a tiny domain to force channel collisions.
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..3).prop_map(Value::Int),
+        Just(Value::from("A")),
+        Just(Value::from("B")),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Tuples of arity 0..4 over the small domain.
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(small_value(), 0..4).prop_map(Tuple::new)
+}
+
+/// Derives a template from `t` using two bits of `mask` per field:
+/// `0`/`1` → the exact value, `2` → wildcard, `3` → formal. Any non-exact
+/// leading field makes the template channel-blind, forcing the sharded
+/// engine onto its all-shards slow path.
+fn template_from(t: &Tuple, mask: u8) -> Template {
+    t.fields()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| match (mask >> (2 * i)) & 3 {
+            2 => Field::any(),
+            3 => Field::formal(format!("x{i}")),
+            _ => Field::exact(v.clone()),
+        })
+        .collect()
+}
+
+/// One randomly generated operation, applied to both engines.
+fn apply_op(sharded: &ShardedSpace, seq: &mut SequentialSpace, kind: u8, tuple: &Tuple, mask: u8) {
+    let template = template_from(tuple, mask);
+    match kind % 5 {
+        0 => {
+            sharded.out(tuple.clone());
+            seq.out(tuple.clone());
+        }
+        1 => assert_eq!(
+            sharded.rdp(&template),
+            seq.rdp(&template),
+            "rdp({template})"
+        ),
+        2 => assert_eq!(
+            sharded.inp(&template),
+            seq.inp(&template),
+            "inp({template})"
+        ),
+        3 => {
+            let (a, b) = (
+                sharded.cas(&template, tuple.clone()),
+                seq.cas(&template, tuple.clone()),
+            );
+            assert_eq!(a, b, "cas({template}, {tuple})");
+            let _ = matches!(a, CasOutcome::Inserted);
+        }
+        _ => assert_eq!(
+            sharded.count(&template),
+            seq.count(&template),
+            "count({template})"
+        ),
+    }
+    assert_eq!(sharded.len(), seq.len());
+    assert_eq!(sharded.cost_bits(), seq.cost_bits());
+    assert_eq!(sharded.stats(), seq.stats(), "per-op counters must agree");
+}
+
+/// Replays one generated workload against both engines with `shards`
+/// shards.
+fn run_workload(selection: Selection, shards: usize, kinds: &[u8], tuples: &[Tuple], masks: &[u8]) {
+    let sharded = ShardedSpace::with_selection_and_shards(selection.clone(), shards);
+    let mut seq = SequentialSpace::with_selection(selection);
+    let n = kinds.len().min(tuples.len()).min(masks.len());
+    for i in 0..n {
+        apply_op(&sharded, &mut seq, kinds[i], &tuples[i], masks[i]);
+    }
+    // Final states are identical tuple for tuple, in insertion order.
+    let a = sharded.snapshot();
+    let b: Vec<Tuple> = seq.iter().cloned().collect();
+    assert_eq!(a, b);
+}
+
+proptest! {
+    /// Sharded ≡ sequential under FIFO selection, multiple shards.
+    #[test]
+    fn sharded_equals_sequential_fifo(
+        kinds in proptest::collection::vec(any::<u8>(), 0..48),
+        tuples in proptest::collection::vec(small_tuple(), 0..48),
+        masks in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        run_workload(Selection::Fifo, 3, &kinds, &tuples, &masks);
+    }
+
+    /// Sharded ≡ sequential under seeded selection: the shared xorshift
+    /// stream must be consumed identically, draw for draw, even when picks
+    /// merge candidates across shards.
+    #[test]
+    fn sharded_equals_sequential_seeded(
+        seed in any::<u64>(),
+        kinds in proptest::collection::vec(any::<u8>(), 0..48),
+        tuples in proptest::collection::vec(small_tuple(), 0..48),
+        masks in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        run_workload(Selection::Seeded(seed), 3, &kinds, &tuples, &masks);
+    }
+
+    /// The degenerate single-shard space is also equivalent (every template
+    /// takes the fast path).
+    #[test]
+    fn single_shard_space_is_equivalent(
+        seed in any::<u64>(),
+        kinds in proptest::collection::vec(any::<u8>(), 0..32),
+        tuples in proptest::collection::vec(small_tuple(), 0..32),
+        masks in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        run_workload(Selection::Seeded(seed), 1, &kinds, &tuples, &masks);
+    }
+
+    /// Wildcard-only templates (cross-shard slow path) agree on reads,
+    /// removals, and counts as the space drains.
+    #[test]
+    fn wildcard_templates_drain_identically(
+        entries in proptest::collection::vec(small_tuple(), 0..24),
+        arity in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sharded = ShardedSpace::with_selection_and_shards(Selection::Seeded(seed), 4);
+        let mut seq = SequentialSpace::with_selection(Selection::Seeded(seed));
+        for e in &entries {
+            sharded.out(e.clone());
+            seq.out(e.clone());
+        }
+        let t̄ = Template::wildcard(arity);
+        loop {
+            prop_assert_eq!(sharded.count(&t̄), seq.count(&t̄));
+            let (a, b) = (sharded.inp(&t̄), seq.inp(&t̄));
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(sharded.len(), seq.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent stress. Modest sizes: these run on CI boxes with few cores,
+// and the properties (exactly-once, no lost wakeups, no stats inflation)
+// do not need millions of ops to break a wrong implementation.
+// ---------------------------------------------------------------------
+
+const CHANNELS: usize = 4;
+const PER_CHANNEL: i64 = 200;
+
+fn chan_name(c: usize) -> String {
+    format!("chan{c}")
+}
+
+fn chan_template(c: usize) -> Template {
+    Template::new(vec![Field::exact(chan_name(c)), Field::formal("v")])
+}
+
+/// N producers and N blocking takers on disjoint channels: every produced
+/// tuple is taken exactly once, the space drains, and the counters show one
+/// `inp` per take — never one per wakeup.
+#[test]
+fn stress_disjoint_channels_exactly_once() {
+    let ts = Arc::new(ShardedSpace::new());
+    let mut takers = Vec::new();
+    for c in 0..CHANNELS {
+        let ts = Arc::clone(&ts);
+        takers.push(thread::spawn(move || {
+            let t̄ = chan_template(c);
+            let mut got: Vec<i64> = (0..PER_CHANNEL)
+                .map(|_| ts.take(&t̄).get(1).unwrap().as_int().unwrap())
+                .collect();
+            got.sort_unstable();
+            got
+        }));
+    }
+    let mut producers = Vec::new();
+    for c in 0..CHANNELS {
+        let ts = Arc::clone(&ts);
+        producers.push(thread::spawn(move || {
+            for v in 0..PER_CHANNEL {
+                ts.out(Tuple::new(vec![Value::from(chan_name(c)), Value::Int(v)]));
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    for (c, t) in takers.into_iter().enumerate() {
+        let got = t.join().unwrap();
+        let want: Vec<i64> = (0..PER_CHANNEL).collect();
+        assert_eq!(got, want, "channel {c} lost or duplicated a tuple");
+    }
+    assert!(ts.is_empty(), "every produced tuple must be taken");
+    let s = ts.stats();
+    assert_eq!(s.out, (CHANNELS as u64) * PER_CHANNEL as u64);
+    assert_eq!(
+        s.inp,
+        (CHANNELS as u64) * PER_CHANNEL as u64,
+        "a blocking take must count once, not once per wakeup"
+    );
+}
+
+/// Several takers race on ONE channel while several producers feed it:
+/// exactly-once across the contended shard.
+#[test]
+fn stress_overlapping_channel_exactly_once() {
+    let ts = Arc::new(ShardedSpace::new());
+    let workers = 4;
+    let per_worker: i64 = 150;
+    let t̄ = Template::new(vec![Field::exact("JOB"), Field::formal("v")]);
+    let mut takers = Vec::new();
+    for _ in 0..workers {
+        let ts = Arc::clone(&ts);
+        let t̄ = t̄.clone();
+        takers.push(thread::spawn(move || {
+            (0..per_worker)
+                .map(|_| ts.take(&t̄).get(1).unwrap().as_int().unwrap())
+                .collect::<Vec<i64>>()
+        }));
+    }
+    let mut producers = Vec::new();
+    for w in 0..workers {
+        let ts = Arc::clone(&ts);
+        producers.push(thread::spawn(move || {
+            for v in 0..per_worker {
+                ts.out(Tuple::new(vec![
+                    Value::from("JOB"),
+                    Value::Int(w as i64 * per_worker + v),
+                ]));
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    let mut all: Vec<i64> = takers.into_iter().flat_map(|t| t.join().unwrap()).collect();
+    all.sort_unstable();
+    let want: Vec<i64> = (0..workers as i64 * per_worker).collect();
+    assert_eq!(all, want, "overlapping takers lost or duplicated a tuple");
+    assert!(ts.is_empty());
+}
+
+/// Channel-blind takers (leading formal — the global fallback wait path)
+/// drain tuples produced across many different channels: no lost wakeups
+/// even though no shard condvar covers the waiters.
+#[test]
+fn stress_channel_blind_takers_see_all_shards() {
+    let ts = Arc::new(ShardedSpace::new());
+    let total: i64 = 300;
+    let t̄ = Template::new(vec![Field::formal("tag"), Field::formal("v")]);
+    let mut takers = Vec::new();
+    for _ in 0..3 {
+        let ts = Arc::clone(&ts);
+        let t̄ = t̄.clone();
+        takers.push(thread::spawn(move || {
+            (0..total / 3)
+                .map(|_| ts.take(&t̄).get(1).unwrap().as_int().unwrap())
+                .collect::<Vec<i64>>()
+        }));
+    }
+    let producer = thread::spawn({
+        let ts = Arc::clone(&ts);
+        move || {
+            for v in 0..total {
+                // Spread across many channels (and so shards).
+                let chan = format!("c{}", v % 7);
+                ts.out(Tuple::new(vec![Value::from(chan), Value::Int(v)]));
+            }
+        }
+    });
+    producer.join().unwrap();
+    let mut all: Vec<i64> = takers.into_iter().flat_map(|t| t.join().unwrap()).collect();
+    all.sort_unstable();
+    let want: Vec<i64> = (0..total).collect();
+    assert_eq!(all, want, "fallback waiters lost or duplicated a tuple");
+    assert!(ts.is_empty());
+}
+
+/// Mixed waiters: shard-condvar waiters and fallback waiters blocked at
+/// once, woken by the same producer stream.
+#[test]
+fn stress_mixed_shard_and_fallback_waiters() {
+    let ts = Arc::new(ShardedSpace::new());
+    let per_kind: i64 = 100;
+    let shard_taker = thread::spawn({
+        let ts = Arc::clone(&ts);
+        move || {
+            let t̄ = Template::new(vec![Field::exact("S"), Field::formal("v")]);
+            (0..per_kind).filter(|_| ts.take(&t̄).len() == 2).count()
+        }
+    });
+    let blind_taker = thread::spawn({
+        let ts = Arc::clone(&ts);
+        move || {
+            // Only matches the <"W", v, v> arity-3 tuples.
+            let t̄ = Template::new(vec![
+                Field::formal("tag"),
+                Field::formal("a"),
+                Field::formal("b"),
+            ]);
+            (0..per_kind).filter(|_| ts.take(&t̄).len() == 3).count()
+        }
+    });
+    let producer = thread::spawn({
+        let ts = Arc::clone(&ts);
+        move || {
+            for v in 0..per_kind {
+                ts.out(Tuple::new(vec![Value::from("S"), Value::Int(v)]));
+                ts.out(Tuple::new(vec![
+                    Value::from("W"),
+                    Value::Int(v),
+                    Value::Int(v),
+                ]));
+            }
+        }
+    });
+    producer.join().unwrap();
+    assert_eq!(shard_taker.join().unwrap(), per_kind as usize);
+    assert_eq!(blind_taker.join().unwrap(), per_kind as usize);
+    assert!(ts.is_empty());
+}
+
+/// Blocking `rd` does not consume: many concurrent readers all see the one
+/// published tuple, and the space keeps it.
+#[test]
+fn stress_blocking_rd_is_nondestructive() {
+    let ts = Arc::new(ShardedSpace::new());
+    let readers: Vec<_> = (0..6)
+        .map(|_| {
+            let ts = Arc::clone(&ts);
+            thread::spawn(move || {
+                let t̄ = Template::new(vec![Field::exact("CFG"), Field::formal("v")]);
+                ts.rd(&t̄)
+            })
+        })
+        .collect();
+    thread::sleep(std::time::Duration::from_millis(10));
+    ts.out(Tuple::new(vec![Value::from("CFG"), Value::Int(42)]));
+    for r in readers {
+        assert_eq!(
+            r.join().unwrap(),
+            Tuple::new(vec![Value::from("CFG"), Value::Int(42)])
+        );
+    }
+    assert_eq!(ts.len(), 1);
+    // 6 rd operations linearized → exactly 6 rdp counts, no poll inflation.
+    assert_eq!(ts.stats().rdp, 6);
+}

@@ -1,0 +1,171 @@
+//! Multi-threaded stress over the policy-enforced [`LocalPeats`]: the
+//! sharded concurrency layer must deliver exactly-once blocking takes, no
+//! lost wakeups, and linearization-point operation counts — with the
+//! reference monitor in the loop on every call.
+
+use peats::{LocalPeats, TupleSpace};
+use peats_policy::PolicyParams;
+use peats_tuplespace::{template, tuple, Field, Template, Tuple};
+use std::thread;
+
+const CHANNELS: u64 = 4;
+const PER_CHANNEL: i64 = 150;
+
+/// `<chanC, v>` built without the macro (the channel name is computed).
+fn chan_tuple(c: u64, v: i64) -> Tuple {
+    Tuple::new(vec![format!("chan{c}").into(), v.into()])
+}
+
+/// N producers / N blocking takers on disjoint channels, through
+/// policy-guarded handles: exactly-once takes, empty final space, and
+/// counters that reflect operations — not wakeups.
+#[test]
+fn disjoint_producers_and_takers_exactly_once() {
+    let space = LocalPeats::unprotected();
+    let mut takers = Vec::new();
+    for c in 0..CHANNELS {
+        let h = space.handle(c);
+        takers.push(thread::spawn(move || {
+            let t̄ = Template::new(vec![Field::exact(format!("chan{c}")), Field::formal("v")]);
+            let mut got: Vec<i64> = (0..PER_CHANNEL)
+                .map(|_| h.take(&t̄).unwrap().get(1).unwrap().as_int().unwrap())
+                .collect();
+            got.sort_unstable();
+            got
+        }));
+    }
+    let mut producers = Vec::new();
+    for c in 0..CHANNELS {
+        let h = space.handle(100 + c);
+        producers.push(thread::spawn(move || {
+            for v in 0..PER_CHANNEL {
+                h.out(chan_tuple(c, v)).unwrap();
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    for (c, t) in takers.into_iter().enumerate() {
+        assert_eq!(
+            t.join().unwrap(),
+            (0..PER_CHANNEL).collect::<Vec<i64>>(),
+            "channel {c} lost or duplicated a tuple"
+        );
+    }
+    assert!(space.is_empty());
+    let s = space.stats();
+    assert_eq!(s.out, CHANNELS * PER_CHANNEL as u64);
+    assert_eq!(
+        s.inp,
+        CHANNELS * PER_CHANNEL as u64,
+        "blocking takes must count once each, not once per wakeup"
+    );
+}
+
+/// All workers share one channel: the contended-shard path still takes each
+/// tuple exactly once.
+#[test]
+fn overlapping_channel_takers_exactly_once() {
+    let space = LocalPeats::unprotected();
+    let workers: i64 = 4;
+    let per_worker: i64 = 100;
+    let mut takers = Vec::new();
+    for w in 0..workers {
+        let h = space.handle(w as u64);
+        takers.push(thread::spawn(move || {
+            (0..per_worker)
+                .map(|_| {
+                    h.take(&template!["JOB", ?v])
+                        .unwrap()
+                        .get(1)
+                        .unwrap()
+                        .as_int()
+                        .unwrap()
+                })
+                .collect::<Vec<i64>>()
+        }));
+    }
+    let mut producers = Vec::new();
+    for w in 0..workers {
+        let h = space.handle(100 + w as u64);
+        producers.push(thread::spawn(move || {
+            for v in 0..per_worker {
+                h.out(tuple!["JOB", w * per_worker + v]).unwrap();
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    let mut all: Vec<i64> = takers.into_iter().flat_map(|t| t.join().unwrap()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..workers * per_worker).collect::<Vec<i64>>());
+    assert!(space.is_empty());
+}
+
+/// Channel-blind blocking takers (leading formal) drain production spread
+/// over many channels — the cross-shard fallback wait path under the
+/// policy layer.
+#[test]
+fn channel_blind_takers_drain_all_channels() {
+    let space = LocalPeats::unprotected();
+    let total: i64 = 240;
+    let mut takers = Vec::new();
+    for w in 0..3u64 {
+        let h = space.handle(w);
+        takers.push(thread::spawn(move || {
+            (0..total / 3)
+                .map(|_| {
+                    h.take(&template![?tag, ?v])
+                        .unwrap()
+                        .get(1)
+                        .unwrap()
+                        .as_int()
+                        .unwrap()
+                })
+                .collect::<Vec<i64>>()
+        }));
+    }
+    let producer = space.handle(99);
+    let p = thread::spawn(move || {
+        for v in 0..total {
+            let chan = format!("c{}", v % 5);
+            producer
+                .out(Tuple::new(vec![chan.into(), v.into()]))
+                .unwrap();
+        }
+    });
+    p.join().unwrap();
+    let mut all: Vec<i64> = takers.into_iter().flat_map(|t| t.join().unwrap()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..total).collect::<Vec<i64>>());
+    assert!(space.is_empty());
+}
+
+/// A state-reading policy (full lock scope) stays atomic under concurrent
+/// writers: `out(<"T", v>)` is allowed only while no `<"T", …>` tuple
+/// exists, so of 160 racing writes exactly one may ever be admitted —
+/// check-then-insert must be one step.
+#[test]
+fn state_reading_policy_admits_exactly_one_under_contention() {
+    let policy = peats_policy::parse_policy(
+        "policy once() { rule Rout: out(<\"T\", ?v>) :- !exists(<\"T\", _>); \
+         rule Rread: read(_) :- true; }",
+    )
+    .unwrap();
+    assert!(policy.reads_state());
+    let space = LocalPeats::new(policy, PolicyParams::new()).unwrap();
+    let mut joins = Vec::new();
+    for w in 0..8u64 {
+        let h = space.handle(w);
+        joins.push(thread::spawn(move || {
+            (0..20i64)
+                .filter(|v| h.out(tuple!["T", *v]).is_ok())
+                .count()
+        }));
+    }
+    let admitted: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert_eq!(admitted, 1, "the exists-guard must admit exactly one write");
+    assert_eq!(space.len(), 1);
+}
