@@ -1,0 +1,148 @@
+//! `bench_replication` — machine-readable throughput baseline for the BFT
+//! ordering path: batched + pipelined request ordering vs the
+//! one-slot-per-request baseline, swept over batch caps and concurrent
+//! clients.
+//!
+//! Each cell starts a fresh `ThreadedCluster` (f = 1, 4 replica threads),
+//! hands every client its own slot (own pid, own reply router), and times
+//! `clients × ops` MAC-sealed `out` operations issued concurrently. The
+//! baseline configuration assigns one PrePrepare/Prepare/Commit round per
+//! request; the batched configurations drain the request backlog into one
+//! slot per round, sweeping the batch cap and the in-flight window —
+//! amortizing the three-phase round over the whole backlog.
+//!
+//! Emits `BENCH_replication.json` (override with `--out PATH`) in the same
+//! shape as `BENCH_space.json`; `--smoke` shrinks the sweep for CI.
+//!
+//! ```text
+//! cargo run --release -p peats-bench --bin bench_replication -- --out BENCH_replication.json
+//! ```
+
+use peats::{Policy, PolicyParams, TupleSpace};
+use peats_bench::print_table;
+use peats_replication::{ClusterConfig, ThreadedCluster};
+use peats_tuplespace::tuple;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One timed cell: `clients` threads (one slot each) issue `ops` `out`
+/// operations each; returns aggregate ops/second with the slowest client's
+/// elapsed as the denominator (the coordinator cannot time the run: on a
+/// single-CPU box a client can finish before the coordinator reschedules).
+fn run_cell(clients: usize, ops: u64, config: ClusterConfig) -> f64 {
+    let pids: Vec<u64> = (0..clients as u64).map(|i| 100 + i).collect();
+    let mut cluster = ThreadedCluster::start_with(
+        Policy::allow_all(),
+        PolicyParams::new(),
+        1,
+        &pids,
+        &[],
+        config,
+    )
+    .expect("allow-all policy has no parameters");
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let joins: Vec<_> = (0..clients)
+        .map(|c| {
+            let h = cluster.handle(c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                for v in 0..ops {
+                    h.out(tuple!["LOAD", c as i64, v as i64]).unwrap();
+                }
+                start.elapsed()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let slowest: Duration = joins
+        .into_iter()
+        .map(|j| j.join().unwrap())
+        .max()
+        .expect("at least one client");
+    let throughput = (clients as u64 * ops) as f64 / slowest.as_secs_f64();
+    cluster.shutdown();
+    throughput
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_replication.json".to_owned());
+
+    let client_counts: &[usize] = if smoke { &[2, 4] } else { &[1, 2, 4, 8, 16] };
+    let batch_caps: &[usize] = if smoke { &[16] } else { &[4, 16, 64] };
+    let windows: &[usize] = if smoke { &[1] } else { &[1, 2] };
+    let ops: u64 = if smoke { 60 } else { 250 };
+
+    let mut json_rows = Vec::new();
+    let mut table_rows = Vec::new();
+    for &clients in client_counts {
+        let baseline = run_cell(clients, ops, ClusterConfig::one_slot_per_request());
+        let mut record = |label: &str, batch_cap: usize, window: &str, tput: f64| {
+            let speedup = tput / baseline;
+            json_rows.push(format!(
+                "    {{\"clients\": {clients}, \"ordering\": \"{label}\", \
+                 \"batch_cap\": {batch_cap}, \"window\": \"{window}\", \
+                 \"ops_per_sec\": {tput:.0}, \"speedup_vs_baseline\": {speedup:.2}}}"
+            ));
+            table_rows.push(vec![
+                clients.to_string(),
+                label.to_owned(),
+                batch_cap.to_string(),
+                window.to_owned(),
+                format!("{tput:.0}"),
+                format!("{speedup:.2}x"),
+            ]);
+        };
+        record("one_slot_per_request", 1, "unbounded", baseline);
+        for &window in windows {
+            for &cap in batch_caps {
+                let config = ClusterConfig {
+                    batch_cap: cap,
+                    max_in_flight: window,
+                    ..ClusterConfig::default()
+                };
+                record(
+                    "batched_pipelined",
+                    cap,
+                    &window.to_string(),
+                    run_cell(clients, ops, config),
+                );
+            }
+        }
+    }
+
+    print_table(
+        "replicated ordering: one slot per request vs batched+pipelined (ops/s)",
+        &[
+            "clients",
+            "ordering",
+            "batch_cap",
+            "window",
+            "ops/s",
+            "speedup",
+        ],
+        &table_rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"replication_ordering\",\n  \"unit\": \"ops_per_sec\",\n  \
+         \"workload\": \"clients concurrent client threads (one slot, pid, and reply router each) \
+         issuing MAC-sealed out() ops through the f=1 (4 replica threads) BFT cluster\",\n  \
+         \"engines\": {{\"one_slot_per_request\": \"baseline: batch_cap=1, unbounded in-flight window \
+         (one PrePrepare/Prepare/Commit round per request)\", \
+         \"batched_pipelined\": \"primary drains its backlog into one slot per round (up to batch_cap \
+         requests), bounded in-flight window\"}},\n  \
+         \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

@@ -17,4 +17,10 @@ pub enum FaultMode {
     /// As primary, sends conflicting `PrePrepare`s to different backups —
     /// the prepare quorum must refuse to certify both.
     EquivocatingPrimary,
+    /// Follows the protocol but also broadcasts a junk `Prepare` to every
+    /// replica for each message it processes. Two flooders sustain a
+    /// permanent traffic loop (each one's junk triggers the other), so the
+    /// cluster's mailboxes are never quiet — the starvation scenario for a
+    /// progress check that only fires after a fully idle period.
+    Flooder,
 }

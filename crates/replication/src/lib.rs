@@ -36,8 +36,8 @@ pub mod threaded;
 
 pub use client::ClientSession;
 pub use faults::FaultMode;
-pub use messages::{Message, OpResult, ReplicaId, Request, Sealed, Seq, View};
+pub use messages::{batch_digest, Message, OpResult, ReplicaId, Request, Sealed, Seq, View};
 pub use replica::{Dest, Replica, ReplicaConfig};
 pub use service::PeatsService;
 pub use sim_harness::SimCluster;
-pub use threaded::{ReplicatedPeats, ThreadedCluster};
+pub use threaded::{ClientConfig, ClusterConfig, ReplicatedPeats, ThreadedCluster};

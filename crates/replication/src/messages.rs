@@ -99,6 +99,17 @@ impl Request {
     }
 }
 
+/// Digest binding an ordered batch of requests — what prepare/commit votes
+/// certify: the *sequence* of requests assigned to one slot, not any single
+/// request. Hashes exactly the wire encoding ([`encode_batch`]), so batches
+/// with the same requests in a different order (or different boundaries)
+/// digest differently.
+pub fn batch_digest(batch: &[Request]) -> Digest {
+    let mut buf = Vec::new();
+    encode_batch(batch, &mut buf);
+    sha256(&buf)
+}
+
 impl Encode for Request {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.client.encode(buf);
@@ -122,14 +133,16 @@ impl Decode for Request {
 pub enum Message {
     /// Client → replicas.
     Request(Request),
-    /// Primary → backups: assigns `seq` to `request` in `view`.
+    /// Primary → backups: assigns `seq` to an ordered batch of requests in
+    /// `view`. One three-phase round orders the whole batch; replicas
+    /// execute its requests in batch order and reply to each client.
     PrePrepare {
         /// View in which the assignment is made.
         view: View,
         /// Assigned sequence number.
         seq: Seq,
-        /// The ordered request.
-        request: Request,
+        /// The ordered request batch (never empty).
+        requests: Vec<Request>,
     },
     /// Replica → replicas: vote that `digest` is assigned `seq` in `view`.
     Prepare {
@@ -172,17 +185,17 @@ pub enum Message {
         new_view: View,
         /// Sender's last executed sequence number.
         last_exec: Seq,
-        /// Prepared requests the new primary must re-order.
-        prepared: Vec<(Seq, Request)>,
+        /// Prepared batches the new primary must re-order.
+        prepared: Vec<(Seq, Vec<Request>)>,
         /// The voting replica.
         replica: ReplicaId,
     },
-    /// New primary → replicas: installs `view` and re-orders requests.
+    /// New primary → replicas: installs `view` and re-orders batches.
     NewView {
         /// The installed view.
         view: View,
-        /// Re-issued assignments.
-        assignments: Vec<(Seq, Request)>,
+        /// Re-issued batch assignments.
+        assignments: Vec<(Seq, Vec<Request>)>,
     },
 }
 
@@ -193,11 +206,15 @@ impl Encode for Message {
                 buf.push(0);
                 req.encode(buf);
             }
-            Message::PrePrepare { view, seq, request } => {
+            Message::PrePrepare {
+                view,
+                seq,
+                requests,
+            } => {
                 buf.push(1);
                 view.encode(buf);
                 seq.encode(buf);
-                request.encode(buf);
+                encode_batch(requests, buf);
             }
             Message::Prepare {
                 view,
@@ -245,9 +262,9 @@ impl Encode for Message {
                 new_view.encode(buf);
                 last_exec.encode(buf);
                 (prepared.len() as u32).encode(buf);
-                for (s, r) in prepared {
+                for (s, b) in prepared {
                     s.encode(buf);
-                    r.encode(buf);
+                    encode_batch(b, buf);
                 }
                 replica.encode(buf);
             }
@@ -255,9 +272,9 @@ impl Encode for Message {
                 buf.push(6);
                 view.encode(buf);
                 (assignments.len() as u32).encode(buf);
-                for (s, r) in assignments {
+                for (s, b) in assignments {
                     s.encode(buf);
-                    r.encode(buf);
+                    encode_batch(b, buf);
                 }
             }
         }
@@ -272,14 +289,33 @@ fn decode_digest(r: &mut Reader<'_>) -> Result<Digest, DecodeError> {
     Ok(d)
 }
 
-fn decode_assignments(r: &mut Reader<'_>) -> Result<Vec<(Seq, Request)>, DecodeError> {
+fn encode_batch(batch: &[Request], buf: &mut Vec<u8>) {
+    (batch.len() as u32).encode(buf);
+    for req in batch {
+        req.encode(buf);
+    }
+}
+
+fn decode_batch(r: &mut Reader<'_>) -> Result<Vec<Request>, DecodeError> {
     let n = u32::decode(r)? as usize;
     if n > r.remaining() + 1 {
         return Err(DecodeError::LengthOverflow);
     }
     let mut out = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
-        out.push((u64::decode(r)?, Request::decode(r)?));
+        out.push(Request::decode(r)?);
+    }
+    Ok(out)
+}
+
+fn decode_assignments(r: &mut Reader<'_>) -> Result<Vec<(Seq, Vec<Request>)>, DecodeError> {
+    let n = u32::decode(r)? as usize;
+    if n > r.remaining() + 1 {
+        return Err(DecodeError::LengthOverflow);
+    }
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push((u64::decode(r)?, decode_batch(r)?));
     }
     Ok(out)
 }
@@ -291,7 +327,7 @@ impl Decode for Message {
             1 => Message::PrePrepare {
                 view: u64::decode(r)?,
                 seq: u64::decode(r)?,
-                request: Request::decode(r)?,
+                requests: decode_batch(r)?,
             },
             2 => Message::Prepare {
                 view: u64::decode(r)?,
@@ -402,6 +438,14 @@ mod tests {
         }
     }
 
+    fn second_request() -> Request {
+        Request {
+            client: 9,
+            req_id: 4,
+            op: OpCall::out(tuple!["E", 2]),
+        }
+    }
+
     #[test]
     fn message_roundtrips() {
         let msgs = vec![
@@ -409,18 +453,18 @@ mod tests {
             Message::PrePrepare {
                 view: 1,
                 seq: 7,
-                request: sample_request(),
+                requests: vec![sample_request(), second_request()],
             },
             Message::Prepare {
                 view: 1,
                 seq: 7,
-                digest: sample_request().digest(),
+                digest: batch_digest(&[sample_request()]),
                 replica: 2,
             },
             Message::Commit {
                 view: 1,
                 seq: 7,
-                digest: sample_request().digest(),
+                digest: batch_digest(&[sample_request()]),
                 replica: 3,
             },
             Message::Reply {
@@ -435,12 +479,12 @@ mod tests {
             Message::ViewChange {
                 new_view: 2,
                 last_exec: 5,
-                prepared: vec![(6, sample_request())],
+                prepared: vec![(6, vec![sample_request(), second_request()]), (7, vec![])],
                 replica: 1,
             },
             Message::NewView {
                 view: 2,
-                assignments: vec![(6, sample_request())],
+                assignments: vec![(6, vec![sample_request()])],
             },
         ];
         for m in msgs {
@@ -455,6 +499,20 @@ mod tests {
         let mut b = sample_request();
         b.req_id += 1;
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn batch_digest_is_order_and_boundary_sensitive() {
+        let (a, b) = (sample_request(), second_request());
+        let ab = batch_digest(&[a.clone(), b.clone()]);
+        let ba = batch_digest(&[b.clone(), a.clone()]);
+        assert_ne!(ab, ba, "batch order must be certified");
+        assert_ne!(
+            batch_digest(std::slice::from_ref(&a)),
+            ab,
+            "a prefix must not collide with the full batch"
+        );
+        assert_eq!(ab, batch_digest(&[a, b]));
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! The sans-io BFT replica state machine.
 //!
 //! A PBFT-style three-phase protocol: the view-`v` primary (`v mod n`)
-//! assigns sequence numbers in `PrePrepare`s; replicas exchange `Prepare`
-//! and `Commit` votes; a request executes once its slot is committed and all
-//! earlier slots are executed. Safety needs `n ≥ 3f+1` replicas: a prepared
-//! certificate is `2f` prepares + the pre-prepare, a committed certificate
-//! is `2f+1` commits.
+//! assigns sequence numbers to request *batches* in `PrePrepare`s; replicas
+//! exchange `Prepare` and `Commit` votes over the batch digest; a batch
+//! executes once its slot is committed and all earlier slots are executed.
+//! Safety needs `n ≥ 3f+1` replicas: a prepared certificate is `2f`
+//! prepares + the pre-prepare, a committed certificate is `2f+1` commits.
+//!
+//! Throughput comes from **batching by backpressure**: the primary keeps at
+//! most [`ReplicaConfig::max_in_flight`] assigned-but-unexecuted slots
+//! open; requests arriving while the window is full wait in `pending` and
+//! are drained as one batch (≤ [`ReplicaConfig::batch_cap`] requests) when
+//! a slot executes — light load keeps single-request latency, heavy load
+//! amortizes the three-phase round over the whole backlog.
 //!
 //! The state machine is *sans-io*: inputs are `(sender, Message)` pairs and
 //! timeout ticks; outputs are `(destination, Message)` pairs. The netsim
@@ -14,15 +21,19 @@
 //!
 //! Simplifications versus full PBFT (documented in DESIGN.md §3):
 //! checkpoint/garbage-collection is digest-only (logs are unbounded within a
-//! run) and view-change messages carry prepared requests without
+//! run) and view-change messages carry prepared batches without
 //! per-message signature certificates — sufficient for the fault modes the
-//! experiments inject (crash, mute, equivocating primary, corrupt replies).
+//! experiments inject (crash, mute, equivocating primary, corrupt replies,
+//! flooding).
 
 use crate::faults::FaultMode;
-use crate::messages::{Message, OpResult, ReplicaId, Request, Seq, View};
+use crate::messages::{batch_digest, Message, OpResult, ReplicaId, Request, Seq, View};
 use crate::service::PeatsService;
 use peats_auth::Digest;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// A replica's view-change report: the batches it knows an ordering for.
+type PreparedReport = Vec<(Seq, Vec<Request>)>;
 
 /// Destination of an output message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +46,24 @@ pub enum Dest {
     Client(u64),
 }
 
+/// Default cap on requests per `PrePrepare` batch.
+pub const DEFAULT_BATCH_CAP: usize = 64;
+/// Default cap on assigned-but-unexecuted slots the primary keeps open.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 2;
+/// Floor on executed results retained per client for retransmission
+/// re-replies (the effective retention scales with the configured
+/// in-flight volume, see [`Replica::reply_retention`]).
+const REPLY_RETENTION_FLOOR: usize = 64;
+/// Ceiling on per-client reply retention (memory bound).
+const REPLY_RETENTION_CEIL: usize = 4096;
+/// Acceptance window for sequence numbers above `last_exec` — PBFT's
+/// high-water mark. Votes, pre-prepares, and view-change reports naming a
+/// sequence number beyond it are dropped: a single Byzantine replica
+/// reporting seq `u64::MAX` would otherwise poison the new primary's
+/// sequence allocation (overflowing `next_seq += 1`) and permanently
+/// occupy an in-flight window slot execution can never reach.
+const SEQ_WINDOW: Seq = 1 << 20;
+
 /// Static replica configuration.
 #[derive(Clone, Debug)]
 pub struct ReplicaConfig {
@@ -44,9 +73,39 @@ pub struct ReplicaConfig {
     pub n: usize,
     /// Tolerated replica faults.
     pub f: usize,
+    /// Maximum requests the primary packs into one `PrePrepare` batch.
+    pub batch_cap: usize,
+    /// Maximum assigned-but-unexecuted slots the primary keeps in flight.
+    /// Requests arriving while the window is full wait in `pending` and are
+    /// drained as one batch when a slot executes — batching by
+    /// backpressure: light load keeps single-request latency, heavy load
+    /// amortizes the three-phase round over the whole backlog.
+    pub max_in_flight: usize,
 }
 
 impl ReplicaConfig {
+    /// Configuration with the default batching/pipelining window.
+    pub fn new(id: ReplicaId, n: usize, f: usize) -> Self {
+        ReplicaConfig {
+            id,
+            n,
+            f,
+            batch_cap: DEFAULT_BATCH_CAP,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+        }
+    }
+
+    /// The pre-batching behavior — every request gets its own slot the
+    /// moment it arrives (batch of one, unbounded window). The benchmark
+    /// baseline.
+    pub fn one_slot_per_request(id: ReplicaId, n: usize, f: usize) -> Self {
+        ReplicaConfig {
+            batch_cap: 1,
+            max_in_flight: usize::MAX,
+            ..ReplicaConfig::new(id, n, f)
+        }
+    }
+
     /// The primary of `view`.
     pub fn primary_of(&self, view: View) -> ReplicaId {
         (view % self.n as u64) as ReplicaId
@@ -55,7 +114,7 @@ impl ReplicaConfig {
 
 #[derive(Debug, Default)]
 struct Slot {
-    request: Option<Request>,
+    batch: Option<Vec<Request>>,
     digest: Option<Digest>,
     prepares: BTreeSet<ReplicaId>,
     commits: BTreeSet<ReplicaId>,
@@ -74,12 +133,22 @@ pub struct Replica {
     /// Client transport-node bindings: authenticated transport node →
     /// logical process id (the certificate→principal map of §4).
     client_registry: BTreeMap<u64, u64>,
-    /// Last reply per client pid (dedup + re-reply on retransmission).
-    replies: BTreeMap<u64, (u64, OpResult)>,
-    /// Pending-but-unordered requests (used when this replica becomes
-    /// primary after a view change).
+    /// Executed results per `(client pid, req_id)` — dedup + re-reply on
+    /// retransmission. Keyed per request (not "last request per client")
+    /// because cloned client handles keep several req_ids of one pid in
+    /// flight at once; pruned to the newest [`Replica::reply_retention`]
+    /// per client.
+    replies: BTreeMap<u64, BTreeMap<u64, OpResult>>,
+    /// Pending-but-unordered requests: the primary's batching backlog, and
+    /// every backup's reserve for re-ordering after a view change.
     pending: Vec<Request>,
-    view_votes: BTreeMap<View, BTreeMap<ReplicaId, Vec<(Seq, Request)>>>,
+    /// `(client, req_id)` → slot hint for the retransmission fast path —
+    /// without it every fresh request scans all historical slots, a
+    /// quadratic term over a run. A hit is verified against the slot
+    /// (view changes may have voided it); entries are never removed, like
+    /// the slots themselves (checkpoint GC is out of scope, DESIGN.md §3).
+    ordered: BTreeMap<(u64, u64), Seq>,
+    view_votes: BTreeMap<View, BTreeMap<ReplicaId, PreparedReport>>,
     fault: FaultMode,
 }
 
@@ -100,6 +169,7 @@ impl Replica {
             client_registry,
             replies: BTreeMap::new(),
             pending: Vec::new(),
+            ordered: BTreeMap::new(),
             view_votes: BTreeMap::new(),
             fault: FaultMode::Correct,
         }
@@ -148,16 +218,18 @@ impl Replica {
         let mut out = Vec::new();
         match msg {
             Message::Request(req) => self.on_request(from, req, &mut out),
-            Message::PrePrepare { view, seq, request } => {
-                self.on_pre_prepare(from, view, seq, request, &mut out)
-            }
+            Message::PrePrepare {
+                view,
+                seq,
+                requests,
+            } => self.on_pre_prepare(from, view, seq, requests, &mut out),
             Message::Prepare {
                 view: _,
                 seq,
                 digest,
                 replica,
             } => {
-                // Votes are view-agnostic: the digest pins the request, so a
+                // Votes are view-agnostic: the digest pins the batch, so a
                 // prepare from a sender that has already moved views still
                 // certifies the same assignment (simplification vs PBFT,
                 // safe because conflicting digests never share a slot).
@@ -196,6 +268,96 @@ impl Replica {
         self.apply_output_faults(out)
     }
 
+    /// Per-client reply retention: must exceed the number of requests one
+    /// client pid can have in flight at once (a full pipeline of full
+    /// batches, or any number of concurrent clones of one handle), or a
+    /// pruned entry makes a retransmission look fresh and the request
+    /// re-executes.
+    fn reply_retention(&self) -> usize {
+        self.cfg
+            .batch_cap
+            .saturating_mul(self.cfg.max_in_flight)
+            .clamp(REPLY_RETENTION_FLOOR, REPLY_RETENTION_CEIL)
+    }
+
+    /// `true` for sequence numbers inside the acceptance window — the only
+    /// ones votes and assignments may name.
+    fn seq_in_window(&self, seq: Seq) -> bool {
+        seq <= self.last_exec.saturating_add(SEQ_WINDOW)
+    }
+
+    /// `true` when `req` already executed here (its reply is retained).
+    fn executed_already(&self, req: &Request) -> bool {
+        self.replies
+            .get(&req.client)
+            .is_some_and(|per| per.contains_key(&req.req_id))
+    }
+
+    /// Records an executed result, pruning each client's retained replies
+    /// to the newest [`Replica::reply_retention`].
+    fn record_reply(&mut self, client: u64, req_id: u64, result: OpResult) {
+        let retention = self.reply_retention();
+        let per = self.replies.entry(client).or_default();
+        per.insert(req_id, result);
+        while per.len() > retention {
+            per.pop_first();
+        }
+    }
+
+    /// Assigned-but-unexecuted slots (execution is contiguous, so these are
+    /// exactly the batch-bearing slots above `last_exec`).
+    fn slots_in_flight(&self) -> usize {
+        self.slots
+            .range(self.last_exec + 1..)
+            .filter(|(_, s)| s.batch.is_some() && !s.executed)
+            .count()
+    }
+
+    /// Records where each request of a just-installed batch was ordered.
+    fn index_batch(&mut self, seq: Seq, batch: &[Request]) {
+        for req in batch {
+            self.ordered.insert((req.client, req.req_id), seq);
+        }
+    }
+
+    /// Primary only: drains `pending` into new slots while the in-flight
+    /// window has room, one batch (≤ `batch_cap` requests) per slot.
+    fn try_assign(&mut self, out: &mut Vec<(Dest, Message)>) {
+        if !self.is_primary() {
+            return;
+        }
+        while !self.pending.is_empty() && self.slots_in_flight() < self.cfg.max_in_flight {
+            let take = self.pending.len().min(self.cfg.batch_cap.max(1));
+            let batch: Vec<Request> = self.pending.drain(..take).collect();
+            // Skip sequence numbers another view already used.
+            loop {
+                self.next_seq += 1;
+                if !self
+                    .slots
+                    .get(&self.next_seq)
+                    .is_some_and(|s| s.batch.is_some())
+                {
+                    break;
+                }
+            }
+            let seq = self.next_seq;
+            let digest = batch_digest(&batch);
+            let slot = self.slots.entry(seq).or_default();
+            slot.batch = Some(batch.clone());
+            slot.digest = Some(digest);
+            slot.prepares.insert(self.cfg.id);
+            self.index_batch(seq, &batch);
+            out.push((
+                Dest::AllReplicas,
+                Message::PrePrepare {
+                    view: self.view,
+                    seq,
+                    requests: batch,
+                },
+            ));
+        }
+    }
+
     fn on_request(&mut self, from: u64, req: Request, out: &mut Vec<(Dest, Message)>) {
         // Authenticate the principal binding: the claimed pid must be the
         // one registered for the sending transport node.
@@ -203,9 +365,11 @@ impl Replica {
             Some(pid) if *pid == req.client => {}
             _ => return, // impersonation attempt or unknown client: drop
         }
-        // Retransmission of an executed request: re-reply.
-        if let Some((req_id, result)) = self.replies.get(&req.client) {
-            if *req_id == req.req_id {
+        // Retransmission of an executed request: re-reply. Executed req_ids
+        // older than the retained window are dropped outright — re-ordering
+        // them would double-execute.
+        if let Some(per) = self.replies.get(&req.client) {
+            if let Some(result) = per.get(&req.req_id) {
                 out.push((
                     Dest::Client(from),
                     Message::Reply {
@@ -217,47 +381,42 @@ impl Replica {
                 ));
                 return;
             }
-            if *req_id > req.req_id {
-                return; // stale
+            if per.len() >= self.reply_retention()
+                && per
+                    .first_key_value()
+                    .is_some_and(|(id, _)| req.req_id < *id)
+            {
+                return; // below the retained window: ancient retransmission
             }
         }
         if self.is_primary() {
             // Already ordered? (client broadcast + retransmissions). If the
             // slot has not executed yet, the original pre-prepare may have
             // been lost: re-broadcast it instead of staying silent, or the
-            // slot can stall forever on a lossy network.
-            if let Some((seq, slot)) = self
-                .slots
-                .iter()
-                .find(|(_, s)| s.request.as_ref() == Some(&req))
-            {
-                if !slot.executed {
-                    out.push((
-                        Dest::AllReplicas,
-                        Message::PrePrepare {
-                            view: self.view,
-                            seq: *seq,
-                            request: req,
-                        },
-                    ));
+            // slot can stall forever on a lossy network. The hint is
+            // verified against the live slot — a view change may have
+            // voided the ordering, in which case the request pends again.
+            if let Some(seq) = self.ordered.get(&(req.client, req.req_id)).copied() {
+                if let Some(slot) = self.slots.get(&seq) {
+                    if slot.batch.as_ref().is_some_and(|b| b.contains(&req)) {
+                        if !slot.executed {
+                            out.push((
+                                Dest::AllReplicas,
+                                Message::PrePrepare {
+                                    view: self.view,
+                                    seq,
+                                    requests: slot.batch.clone().expect("verified above"),
+                                },
+                            ));
+                        }
+                        return;
+                    }
                 }
-                return;
             }
-            self.next_seq += 1;
-            let seq = self.next_seq;
-            let digest = req.digest();
-            let slot = self.slots.entry(seq).or_default();
-            slot.request = Some(req.clone());
-            slot.digest = Some(digest);
-            slot.prepares.insert(self.cfg.id);
-            out.push((
-                Dest::AllReplicas,
-                Message::PrePrepare {
-                    view: self.view,
-                    seq,
-                    request: req,
-                },
-            ));
+            if !self.pending.contains(&req) {
+                self.pending.push(req);
+            }
+            self.try_assign(out);
         } else {
             // Backups hold the request for potential re-ordering after a
             // view change; the primary got its own copy via the client's
@@ -273,21 +432,29 @@ impl Replica {
         from: u64,
         view: View,
         seq: Seq,
-        request: Request,
+        requests: Vec<Request>,
         out: &mut Vec<(Dest, Message)>,
     ) {
-        if view != self.view || from != u64::from(self.cfg.primary_of(view)) {
+        if view != self.view
+            || from != u64::from(self.cfg.primary_of(view))
+            || requests.is_empty()
+            || !self.seq_in_window(seq)
+        {
             return;
         }
-        let digest = request.digest();
+        let digest = batch_digest(&requests);
+        let keys: Vec<(u64, u64)> = requests.iter().map(|r| (r.client, r.req_id)).collect();
         let slot = self.slots.entry(seq).or_default();
         match &slot.digest {
             Some(d) if *d != digest => return, // equivocation: refuse
             _ => {}
         }
-        if slot.request.is_none() {
-            slot.request = Some(request);
+        if slot.batch.is_none() {
+            slot.batch = Some(requests);
             slot.digest = Some(digest);
+            for key in keys {
+                self.ordered.insert(key, seq);
+            }
         }
         // The pre-prepare is the primary's prepare vote.
         slot.prepares.insert(self.cfg.primary_of(view));
@@ -312,6 +479,9 @@ impl Replica {
         replica: ReplicaId,
         out: &mut Vec<(Dest, Message)>,
     ) {
+        if !self.seq_in_window(seq) {
+            return; // junk vote: don't even materialize a slot for it
+        }
         let me = self.cfg.id;
         let view = self.view;
         let slot = self.slots.entry(seq).or_default();
@@ -356,7 +526,7 @@ impl Replica {
         let Some(slot) = self.slots.get_mut(&seq) else {
             return;
         };
-        let (Some(digest), Some(_)) = (slot.digest, slot.request.as_ref()) else {
+        let (Some(digest), Some(_)) = (slot.digest, slot.batch.as_ref()) else {
             return;
         };
         // Prepared: pre-prepare (counted via own id) + 2f prepares total.
@@ -381,6 +551,9 @@ impl Replica {
         replica: ReplicaId,
         out: &mut Vec<(Dest, Message)>,
     ) {
+        if !self.seq_in_window(seq) {
+            return;
+        }
         let slot = self.slots.entry(seq).or_default();
         if slot.digest.is_some() && slot.digest != Some(digest) {
             return;
@@ -395,7 +568,7 @@ impl Replica {
             let Some(slot) = self.slots.get_mut(&seq) else {
                 return;
             };
-            if slot.commits.len() >= quorum && slot.request.is_some() {
+            if slot.commits.len() >= quorum && slot.batch.is_some() {
                 slot.committed = true;
             }
         }
@@ -405,36 +578,48 @@ impl Replica {
             let ready = self
                 .slots
                 .get(&next)
-                .is_some_and(|s| s.committed && !s.executed && s.request.is_some());
+                .is_some_and(|s| s.committed && !s.executed && s.batch.is_some());
             if !ready {
                 break;
             }
             let slot = self.slots.get_mut(&next).expect("checked above");
             slot.executed = true;
-            let req = slot.request.clone().expect("checked above");
+            let batch = slot.batch.clone().expect("checked above");
             self.last_exec = next;
-            let result = self.service.execute(req.client, &req.op);
-            self.replies
-                .insert(req.client, (req.req_id, result.clone()));
-            self.pending.retain(|r| *r != req);
-            // Find the client's transport node from the registry binding.
-            let client_node = self
-                .client_registry
-                .iter()
-                .find(|(_, pid)| **pid == req.client)
-                .map(|(node, _)| *node);
-            if let Some(node) = client_node {
-                out.push((
-                    Dest::Client(node),
-                    Message::Reply {
-                        view: self.view,
-                        req_id: req.req_id,
-                        replica: self.cfg.id,
-                        result,
-                    },
-                ));
+            for req in batch {
+                // A request double-ordered across batches (Byzantine
+                // primary, or a view change re-placing a reported batch
+                // whose requests partially overlap another) executes only
+                // once — the first placement's result stands.
+                if self.executed_already(&req) {
+                    continue;
+                }
+                let result = self.service.execute(req.client, &req.op);
+                self.record_reply(req.client, req.req_id, result.clone());
+                self.pending.retain(|r| *r != req);
+                // Find the client's transport node from the registry
+                // binding.
+                let client_node = self
+                    .client_registry
+                    .iter()
+                    .find(|(_, pid)| **pid == req.client)
+                    .map(|(node, _)| *node);
+                if let Some(node) = client_node {
+                    out.push((
+                        Dest::Client(node),
+                        Message::Reply {
+                            view: self.view,
+                            req_id: req.req_id,
+                            replica: self.cfg.id,
+                            result,
+                        },
+                    ));
+                }
             }
         }
+        // Executed slots free the in-flight window: the primary drains any
+        // backlog that accumulated while the window was full.
+        self.try_assign(out);
     }
 
     /// Local progress timeout: the driver calls this when requests are
@@ -444,22 +629,17 @@ impl Replica {
         if matches!(self.fault, FaultMode::Crashed | FaultMode::Mute) {
             return Vec::new();
         }
-        if self.pending.is_empty()
-            && self
-                .slots
-                .values()
-                .all(|s| s.executed || s.request.is_none())
-        {
+        if self.pending.is_empty() && self.slots.values().all(|s| s.executed || s.batch.is_none()) {
             return Vec::new();
         }
         let new_view = self.view + 1;
-        // Report every slot we know a request for, executed ones included:
-        // a new primary that never received some pre-prepare can only learn
-        // the request (and its sequence number) from these reports.
-        let prepared: Vec<(Seq, Request)> = self
+        // Report every slot we know a batch for, executed ones included: a
+        // new primary that never received some pre-prepare can only learn
+        // the batch (and its sequence number) from these reports.
+        let prepared: PreparedReport = self
             .slots
             .iter()
-            .filter_map(|(seq, s)| s.request.clone().map(|r| (*seq, r)))
+            .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
             .collect();
         let mut msgs = vec![(
             Dest::AllReplicas,
@@ -483,7 +663,7 @@ impl Replica {
         &mut self,
         new_view: View,
         sender_last_exec: Seq,
-        prepared: Vec<(Seq, Request)>,
+        prepared: PreparedReport,
         replica: ReplicaId,
         out: &mut Vec<(Dest, Message)>,
     ) {
@@ -495,10 +675,10 @@ impl Replica {
             // missed history by re-voting (there is no checkpoint transfer
             // in this reproduction).
             if self.is_primary() && replica != self.cfg.id {
-                let assignments: Vec<(Seq, Request)> = self
+                let assignments: PreparedReport = self
                     .slots
                     .range(sender_last_exec + 1..)
-                    .filter_map(|(seq, s)| s.request.clone().map(|r| (*seq, r)))
+                    .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
                     .collect();
                 out.push((
                     Dest::Replica(replica),
@@ -515,58 +695,83 @@ impl Replica {
         let votes_len = votes.len();
         if votes_len >= 2 * self.cfg.f + 1 && self.cfg.primary_of(new_view) == self.cfg.id {
             // Become primary of the new view. Reported slots keep their
-            // reported sequence numbers — a request that committed (or even
-            // executed) at some replica must stay at its slot or replica
-            // states diverge. Only requests no replica reports ordered get
-            // fresh sequence numbers, placed after every number any replica
-            // may have seen.
+            // reported sequence numbers and their exact batches — a batch
+            // that committed (or even executed) at some replica must stay
+            // at its slot unaltered or replica states diverge. Only
+            // requests no replica reports ordered get fresh slots, placed
+            // after every number any replica may have seen.
             let votes = self.view_votes.remove(&new_view).unwrap_or_default();
-            let mut assignments: BTreeMap<Seq, Request> = BTreeMap::new();
-            let mut placed: Vec<Request> = self
+            let mut assignments: BTreeMap<Seq, Vec<Request>> = BTreeMap::new();
+            // Placement tracking by (client, req_id) key: deep Request
+            // comparisons over the whole history would make a view change
+            // quadratic in everything ever executed.
+            let mut placed: BTreeSet<(u64, u64)> = self
                 .slots
                 .values()
-                .filter_map(|s| s.request.clone())
+                .filter_map(|s| s.batch.as_ref())
+                .flatten()
+                .map(|r| (r.client, r.req_id))
                 .collect();
             let mut reported_max: Seq = 0;
             for prepared in votes.values() {
-                for (seq, req) in prepared {
+                for (seq, batch) in prepared {
+                    if !self.seq_in_window(*seq) {
+                        // A Byzantine report naming an absurd sequence
+                        // number must not poison `next_seq` or occupy an
+                        // in-flight slot execution can never reach.
+                        continue;
+                    }
                     reported_max = reported_max.max(*seq);
                     let seq_taken = assignments.contains_key(seq)
-                        || self.slots.get(seq).is_some_and(|s| s.request.is_some());
-                    if seq_taken || placed.contains(req) {
+                        || self.slots.get(seq).is_some_and(|s| s.batch.is_some());
+                    // A reported batch is kept whole (its digest covers the
+                    // exact request sequence); requests it shares with an
+                    // already-placed batch are defused by execution-time
+                    // dedup. Skip it only when it adds nothing new.
+                    if seq_taken || batch.iter().all(|r| placed.contains(&(r.client, r.req_id))) {
                         continue; // first placement wins, ours preferred
                     }
-                    assignments.insert(*seq, req.clone());
-                    placed.push(req.clone());
+                    assignments.insert(*seq, batch.clone());
+                    placed.extend(batch.iter().map(|r| (r.client, r.req_id)));
                 }
             }
             // Re-issue our own slots' assignments so the NewView is the
             // complete history backups may need to catch up.
             for (s, slot) in &self.slots {
-                if let Some(req) = &slot.request {
-                    assignments.entry(*s).or_insert_with(|| req.clone());
+                if let Some(batch) = &slot.batch {
+                    assignments.entry(*s).or_insert_with(|| batch.clone());
                 }
             }
-            // Fresh sequence numbers for pending requests nobody ordered.
+            // Fresh sequence numbers for pending requests nobody ordered,
+            // batched under the same cap as the steady-state path. (The
+            // max over our own slots ignores batchless entries — stray
+            // votes for junk sequence numbers must not exhaust the space.)
             let mut seq = reported_max
-                .max(self.slots.keys().max().copied().unwrap_or(0))
+                .max(
+                    self.slots
+                        .iter()
+                        .filter(|(_, s)| s.batch.is_some())
+                        .map(|(k, _)| *k)
+                        .max()
+                        .unwrap_or(0),
+                )
                 .max(self.last_exec)
                 .max(self.next_seq);
-            for req in self.pending.clone() {
-                let already_executed = self
-                    .replies
-                    .get(&req.client)
-                    .is_some_and(|(id, _)| *id >= req.req_id);
-                if already_executed || placed.contains(&req) {
-                    continue;
-                }
+            let fresh: Vec<Request> = self
+                .pending
+                .clone()
+                .into_iter()
+                .filter(|req| {
+                    !self.executed_already(req) && !placed.contains(&(req.client, req.req_id))
+                })
+                .collect();
+            for chunk in fresh.chunks(self.cfg.batch_cap.max(1)) {
                 seq += 1;
-                assignments.insert(seq, req.clone());
-                placed.push(req);
+                assignments.insert(seq, chunk.to_vec());
             }
             self.next_seq = seq;
             self.install_view(new_view, &assignments);
-            let assignments: Vec<(Seq, Request)> = assignments.into_iter().collect();
+            let assignments: PreparedReport = assignments.into_iter().collect();
             out.push((
                 Dest::AllReplicas,
                 Message::NewView {
@@ -576,8 +781,8 @@ impl Replica {
             ));
             // Locally treat each unexecuted assignment as pre-prepared;
             // broadcast prepares.
-            for (seq, req) in assignments {
-                let digest = req.digest();
+            for (seq, batch) in assignments {
+                let digest = batch_digest(&batch);
                 {
                     let slot = self.slots.entry(seq).or_default();
                     if slot.executed {
@@ -603,16 +808,22 @@ impl Replica {
         &mut self,
         from: u64,
         view: View,
-        assignments: Vec<(Seq, Request)>,
+        assignments: PreparedReport,
         out: &mut Vec<(Dest, Message)>,
     ) {
         if view <= self.view || from != u64::from(self.cfg.primary_of(view)) {
             return;
         }
-        let map: BTreeMap<Seq, Request> = assignments.into_iter().collect();
+        // Drop assignments beyond the sequence window: a Byzantine new
+        // primary naming absurd sequence numbers must not create slots
+        // execution can never reach.
+        let map: BTreeMap<Seq, Vec<Request>> = assignments
+            .into_iter()
+            .filter(|(seq, _)| self.seq_in_window(*seq))
+            .collect();
         self.install_view(view, &map);
-        for (seq, req) in map {
-            let digest = req.digest();
+        for (seq, batch) in map {
+            let digest = batch_digest(&batch);
             let me = self.cfg.id;
             let slot = self.slots.entry(seq).or_default();
             if slot.executed || slot.committed {
@@ -643,7 +854,7 @@ impl Replica {
                 }
                 continue;
             }
-            slot.request = Some(req);
+            slot.batch = Some(batch);
             slot.digest = Some(digest);
             slot.prepares.insert(me);
             out.push((
@@ -659,7 +870,7 @@ impl Replica {
         }
     }
 
-    fn install_view(&mut self, view: View, assignments: &BTreeMap<Seq, Request>) {
+    fn install_view(&mut self, view: View, assignments: &BTreeMap<Seq, Vec<Request>>) {
         self.view = view;
         // Executed/committed slots survive (votes are view-agnostic), but
         // our own uncommitted orderings from older views are void: the new
@@ -671,34 +882,45 @@ impl Replica {
         self.slots.retain(|seq, slot| {
             let keep = slot.executed || slot.committed || assignments.contains_key(seq);
             if !keep {
-                if let Some(req) = slot.request.take() {
-                    orphaned.push(req);
+                if let Some(batch) = slot.batch.take() {
+                    orphaned.extend(batch);
                 }
             }
             keep
         });
         for req in orphaned {
-            let already_executed = self
-                .replies
-                .get(&req.client)
-                .is_some_and(|(id, _)| *id >= req.req_id);
-            if !already_executed && !self.pending.contains(&req) {
+            if !self.executed_already(&req) && !self.pending.contains(&req) {
                 self.pending.push(req);
             }
         }
-        for (seq, req) in assignments {
+        for (seq, batch) in assignments {
             let slot = self.slots.entry(*seq).or_default();
             if slot.executed || slot.committed {
                 continue;
             }
-            let digest = req.digest();
+            let digest = batch_digest(batch);
             if slot.digest != Some(digest) {
-                slot.request = Some(req.clone());
+                slot.batch = Some(batch.clone());
                 slot.digest = Some(digest);
                 slot.prepares.clear();
                 slot.commits.clear();
             }
+            for req in batch {
+                self.ordered.insert((req.client, req.req_id), *seq);
+            }
         }
+        // Every request the assignments placed is ordered now — it must
+        // leave `pending`, or the next `try_assign` (first post-view-change
+        // execution) would drain it into a second slot and double-order it.
+        // (Keyed set: a linear `batch.contains` per pending entry would be
+        // quadratic in the assignment history.)
+        let assigned: BTreeSet<(u64, u64)> = assignments
+            .values()
+            .flatten()
+            .map(|r| (r.client, r.req_id))
+            .collect();
+        self.pending
+            .retain(|req| !assigned.contains(&(req.client, req.req_id)));
         self.view_votes.retain(|v, _| *v > view);
     }
 
@@ -729,10 +951,19 @@ impl Replica {
             FaultMode::EquivocatingPrimary => out
                 .into_iter()
                 .flat_map(|(dest, msg)| match (dest, &msg) {
-                    (Dest::AllReplicas, Message::PrePrepare { view, seq, request }) => {
+                    (
+                        Dest::AllReplicas,
+                        Message::PrePrepare {
+                            view,
+                            seq,
+                            requests,
+                        },
+                    ) => {
                         // Send conflicting assignments to odd/even replicas.
-                        let mut forged = request.clone();
-                        forged.req_id = forged.req_id.wrapping_add(1_000_000);
+                        let mut forged = requests.clone();
+                        if let Some(first) = forged.first_mut() {
+                            first.req_id = first.req_id.wrapping_add(1_000_000);
+                        }
                         let mut msgs = Vec::new();
                         for r in 0..self.cfg.n as ReplicaId {
                             if r == self.cfg.id {
@@ -742,13 +973,13 @@ impl Replica {
                                 Message::PrePrepare {
                                     view: *view,
                                     seq: *seq,
-                                    request: request.clone(),
+                                    requests: requests.clone(),
                                 }
                             } else {
                                 Message::PrePrepare {
                                     view: *view,
                                     seq: *seq,
-                                    request: forged.clone(),
+                                    requests: forged.clone(),
                                 }
                             };
                             msgs.push((Dest::Replica(r), m));
@@ -758,6 +989,24 @@ impl Replica {
                     _ => vec![(dest, msg)],
                 })
                 .collect(),
+            FaultMode::Flooder => {
+                // Correct outputs plus one junk prepare vote broadcast per
+                // processed input: a self-sustaining noise loop once two
+                // flooders feed each other. The vote lands in a batchless
+                // slot at a sequence number no real assignment reaches, so
+                // it can never certify anything.
+                let mut out = out;
+                out.push((
+                    Dest::AllReplicas,
+                    Message::Prepare {
+                        view: self.view,
+                        seq: u64::MAX,
+                        digest: [0u8; 32],
+                        replica: self.cfg.id,
+                    },
+                ));
+                out
+            }
         }
     }
 }
@@ -769,5 +1018,345 @@ impl std::fmt::Debug for Replica {
             .field("view", &self.view)
             .field("last_exec", &self.last_exec)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::PeatsService;
+    use peats_policy::{OpCall, Policy, PolicyParams};
+    use peats_tuplespace::tuple;
+
+    const CLIENT_NODE: u64 = 4;
+    const CLIENT_PID: u64 = 100;
+
+    fn mk_replica(id: ReplicaId, batch_cap: usize, max_in_flight: usize) -> Replica {
+        let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+        Replica::new(
+            ReplicaConfig {
+                batch_cap,
+                max_in_flight,
+                ..ReplicaConfig::new(id, 4, 1)
+            },
+            service,
+            registry,
+        )
+    }
+
+    fn mk_primary(batch_cap: usize, max_in_flight: usize) -> Replica {
+        mk_replica(0, batch_cap, max_in_flight)
+    }
+
+    fn req(i: u64) -> Request {
+        Request {
+            client: CLIENT_PID,
+            req_id: i,
+            op: OpCall::out(tuple!["T", i as i64]),
+        }
+    }
+
+    fn pre_prepares(out: &[(Dest, Message)]) -> Vec<(Seq, Vec<Request>)> {
+        out.iter()
+            .filter_map(|(_, m)| match m {
+                Message::PrePrepare { seq, requests, .. } => Some((*seq, requests.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn reply_ids(out: &[(Dest, Message)]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|(_, m)| match m {
+                Message::Reply { req_id, .. } => Some(*req_id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drives slot `seq` (digest of `batch`) through prepare+commit votes
+    /// from `voters`; returns the outputs of the last commit (where
+    /// execution happens).
+    fn commit_slot_with(
+        p: &mut Replica,
+        seq: Seq,
+        batch: &[Request],
+        voters: [u32; 2],
+    ) -> Vec<(Dest, Message)> {
+        let digest = batch_digest(batch);
+        for r in voters {
+            p.on_message(
+                u64::from(r),
+                Message::Prepare {
+                    view: p.view(),
+                    seq,
+                    digest,
+                    replica: r,
+                },
+            );
+        }
+        let mut out = Vec::new();
+        for r in voters {
+            out = p.on_message(
+                u64::from(r),
+                Message::Commit {
+                    view: p.view(),
+                    seq,
+                    digest,
+                    replica: r,
+                },
+            );
+        }
+        out
+    }
+
+    fn commit_slot(p: &mut Replica, seq: Seq, batch: &[Request]) -> Vec<(Dest, Message)> {
+        commit_slot_with(p, seq, batch, [1, 2])
+    }
+
+    #[test]
+    fn primary_batches_backlog_when_window_is_full() {
+        let mut p = mk_primary(8, 1);
+        let out1 = p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        assert_eq!(pre_prepares(&out1), vec![(1, vec![req(1)])]);
+        // Window (1 slot) full: the next two requests accumulate.
+        assert!(pre_prepares(&p.on_message(CLIENT_NODE, Message::Request(req(2)))).is_empty());
+        assert!(pre_prepares(&p.on_message(CLIENT_NODE, Message::Request(req(3)))).is_empty());
+        let out = commit_slot(&mut p, 1, &[req(1)]);
+        // Execution freed the window: the backlog ships as one batch.
+        assert_eq!(reply_ids(&out), vec![1]);
+        assert_eq!(pre_prepares(&out), vec![(2, vec![req(2), req(3)])]);
+        assert_eq!(p.last_exec(), 1);
+    }
+
+    #[test]
+    fn batch_cap_splits_the_backlog() {
+        let mut p = mk_primary(2, 1);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        for i in 2..=6 {
+            p.on_message(CLIENT_NODE, Message::Request(req(i)));
+        }
+        let out = commit_slot(&mut p, 1, &[req(1)]);
+        // Window of one slot, cap of two requests: exactly [2, 3] ships.
+        assert_eq!(pre_prepares(&out), vec![(2, vec![req(2), req(3)])]);
+    }
+
+    #[test]
+    fn unbatched_config_assigns_one_slot_per_request() {
+        let mut p = {
+            let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+            let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+            Replica::new(
+                ReplicaConfig::one_slot_per_request(0, 4, 1),
+                service,
+                registry,
+            )
+        };
+        for i in 1..=3 {
+            let out = p.on_message(CLIENT_NODE, Message::Request(req(i)));
+            assert_eq!(pre_prepares(&out), vec![(i, vec![req(i)])]);
+        }
+    }
+
+    #[test]
+    fn whole_batch_executes_with_a_reply_per_request() {
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        for i in 2..=4 {
+            p.on_message(CLIENT_NODE, Message::Request(req(i)));
+        }
+        commit_slot(&mut p, 1, &[req(1)]);
+        let out = commit_slot(&mut p, 2, &[req(2), req(3), req(4)]);
+        assert_eq!(reply_ids(&out), vec![2, 3, 4]);
+        assert_eq!(p.last_exec(), 2);
+    }
+
+    #[test]
+    fn interleaved_req_ids_from_cloned_handles_all_execute() {
+        // Cloned client handles share a pid but interleave req_ids: here
+        // req 2 executes before req 1 even arrives. A last-req_id-per-client
+        // dedup would drop req 1 as "stale"; the per-request reply map must
+        // order it.
+        let mut p = mk_primary(8, 4);
+        p.on_message(CLIENT_NODE, Message::Request(req(2)));
+        commit_slot(&mut p, 1, &[req(2)]);
+        let out = p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        assert_eq!(pre_prepares(&out), vec![(2, vec![req(1)])]);
+        let out = commit_slot(&mut p, 2, &[req(1)]);
+        assert_eq!(reply_ids(&out), vec![1]);
+    }
+
+    #[test]
+    fn executed_retransmission_re_replies_without_re_execution() {
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        commit_slot(&mut p, 1, &[req(1)]);
+        let out = p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        assert_eq!(reply_ids(&out), vec![1]);
+        assert!(pre_prepares(&out).is_empty());
+        assert_eq!(p.last_exec(), 1, "no re-execution");
+    }
+
+    #[test]
+    fn duplicate_request_across_batches_executes_once() {
+        // A Byzantine primary double-orders req 1 (slots 1 and 2). At a
+        // backup, the second execution must be a no-op or replica states
+        // diverge from replicas that deduped.
+        let mut b = mk_replica(1, 8, 4);
+        for (seq, batch) in [(1u64, vec![req(1)]), (2, vec![req(2), req(1)])] {
+            b.on_message(
+                0,
+                Message::PrePrepare {
+                    view: 0,
+                    seq,
+                    requests: batch.clone(),
+                },
+            );
+            let digest = batch_digest(&batch);
+            b.on_message(
+                2,
+                Message::Prepare {
+                    view: 0,
+                    seq,
+                    digest,
+                    replica: 2,
+                },
+            );
+            let mut out = Vec::new();
+            for r in [0u32, 2] {
+                out = b.on_message(
+                    u64::from(r),
+                    Message::Commit {
+                        view: 0,
+                        seq,
+                        digest,
+                        replica: r,
+                    },
+                );
+            }
+            if seq == 1 {
+                assert_eq!(reply_ids(&out), vec![1]);
+            } else {
+                assert_eq!(reply_ids(&out), vec![2], "req 1 must not re-execute");
+            }
+        }
+        assert_eq!(b.last_exec(), 2);
+    }
+
+    #[test]
+    fn view_change_does_not_double_order_pending_requests() {
+        // A backup holding a pending backlog becomes primary: the NewView
+        // assignments place that backlog into slots. Once the first slot
+        // executes and `try_assign` runs again, the requests placed in the
+        // *later* slot must not be drained out of `pending` into a third
+        // slot — that would certify them at two sequence numbers.
+        let mut p = mk_replica(1, 2, 2);
+        // Backup of view 0: the requests pend.
+        for i in 1..=4 {
+            p.on_message(CLIENT_NODE, Message::Request(req(i)));
+        }
+        // View change to view 1 (this replica is its primary): own vote
+        // via the progress timeout, then two peer votes.
+        p.on_progress_timeout();
+        let mut nv = Vec::new();
+        for r in [2u32, 3] {
+            nv = p.on_message(
+                u64::from(r),
+                Message::ViewChange {
+                    new_view: 1,
+                    last_exec: 0,
+                    prepared: vec![],
+                    replica: r,
+                },
+            );
+        }
+        // The backlog was placed as two capped batches.
+        assert_eq!(
+            pre_prepares(&nv),
+            Vec::<(Seq, Vec<Request>)>::new(),
+            "NewView carries assignments, not PrePrepares"
+        );
+        assert_eq!(p.view(), 1);
+        // Commit slot 1 with votes from replicas 2 and 3.
+        let out = commit_slot_with(&mut p, 1, &[req(1), req(2)], [2, 3]);
+        assert_eq!(reply_ids(&out), vec![1, 2], "slot 1 executed");
+        assert_eq!(
+            pre_prepares(&out),
+            Vec::<(Seq, Vec<Request>)>::new(),
+            "requests already assigned to slot 2 must not be re-ordered"
+        );
+    }
+
+    #[test]
+    fn byzantine_view_change_report_with_huge_seq_is_bounded() {
+        // One faulty replica's ViewChange reports an assignment at seq
+        // u64::MAX. The new primary must drop it: sequence allocation must
+        // not overflow (debug panic) or jump to the top of the space, and
+        // fresh requests still get ordinary low sequence numbers.
+        let mut p = mk_replica(1, 8, 2);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        p.on_progress_timeout();
+        p.on_message(
+            2,
+            Message::ViewChange {
+                new_view: 1,
+                last_exec: 0,
+                prepared: vec![(u64::MAX, vec![req(9)])],
+                replica: 2,
+            },
+        );
+        let nv = p.on_message(
+            3,
+            Message::ViewChange {
+                new_view: 1,
+                last_exec: 0,
+                prepared: vec![],
+                replica: 3,
+            },
+        );
+        let assignments = nv
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::NewView { assignments, .. } => Some(assignments.clone()),
+                _ => None,
+            })
+            .expect("new primary must install the view");
+        assert!(
+            assignments.iter().all(|(s, _)| *s <= SEQ_WINDOW),
+            "no assignment may keep the poisoned sequence number: {assignments:?}"
+        );
+        assert!(
+            assignments
+                .iter()
+                .any(|(s, b)| *s == 1 && b.contains(&req(1))),
+            "the pending request must land at an ordinary low slot"
+        );
+    }
+
+    #[test]
+    fn junk_prepares_never_certify_or_trigger_view_change() {
+        // The Flooder fault's junk vote: a prepare for a batchless slot at
+        // seq u64::MAX. It must not certify, not trip the progress check,
+        // and not poison fresh sequence-number allocation.
+        let mut p = mk_primary(8, 2);
+        for r in [1u32, 2, 3] {
+            let out = p.on_message(
+                u64::from(r),
+                Message::Prepare {
+                    view: 0,
+                    seq: u64::MAX,
+                    digest: [0u8; 32],
+                    replica: r,
+                },
+            );
+            assert!(out
+                .iter()
+                .all(|(_, m)| !matches!(m, Message::Commit { .. })));
+        }
+        assert!(p.on_progress_timeout().is_empty());
+        // A real request still gets an ordinary low sequence number.
+        let out = p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        assert_eq!(pre_prepares(&out), vec![(1, vec![req(1)])]);
     }
 }

@@ -183,11 +183,7 @@ impl SimCluster {
             let service = PeatsService::new(policy.clone(), params.clone())
                 .expect("policy parameters are consistent");
             let replica = Rc::new(RefCell::new(Replica::new(
-                ReplicaConfig {
-                    id: id as ReplicaId,
-                    n: n_replicas,
-                    f,
-                },
+                ReplicaConfig::new(id as ReplicaId, n_replicas, f),
                 service,
                 registry.clone(),
             )));
@@ -254,48 +250,76 @@ impl SimCluster {
     /// client accepts a result (`f+1` matching replies) or the step budget
     /// runs out (`None` — e.g. when too many replicas are faulty).
     pub fn invoke(&mut self, client_idx: usize, op: OpCall<'static>) -> Option<OpResult> {
+        self.invoke_many(vec![(client_idx, op)]).pop().flatten()
+    }
+
+    /// Injects every request up-front — all concurrently in flight, so the
+    /// primary orders them through its batching/pipelining window — and
+    /// runs the simulation until every client accepted a result or the
+    /// step budget runs out. Returns one result per input, in input order.
+    pub fn invoke_many(&mut self, ops: Vec<(usize, OpCall<'static>)>) -> Vec<Option<OpResult>> {
         let n_replicas = self.replicas.len();
-        let (node, pid, req_id) = {
+        let mut sessions: Vec<(usize, ClientSession, Option<OpResult>)> = Vec::new();
+        for (client_idx, op) in ops {
             let c = &mut self.clients[client_idx];
             c.next_req_id += 1;
             c.replies.borrow_mut().clear();
-            (c.node, c.pid, c.next_req_id)
-        };
-        let mut session = ClientSession::new(pid, req_id, op, self.f);
+            let session = ClientSession::new(c.pid, c.next_req_id, op, self.f);
+            sessions.push((client_idx, session, None));
+        }
 
-        let broadcast = |cluster: &mut SimCluster, session: &ClientSession| {
-            let c = &cluster.clients[client_idx];
-            for r in 0..n_replicas as NodeId {
-                let sealed = Sealed::seal(&c.keys, u64::from(r), &session.request_message());
-                cluster.net.inject(node, r, sealed.to_bytes());
-            }
-        };
-        broadcast(self, &session);
+        let broadcast =
+            |cluster: &mut SimCluster, sessions: &[(usize, ClientSession, Option<OpResult>)]| {
+                for (client_idx, session, decided) in sessions {
+                    if decided.is_some() {
+                        continue;
+                    }
+                    let c = &cluster.clients[*client_idx];
+                    let node = c.node;
+                    for r in 0..n_replicas as NodeId {
+                        let sealed =
+                            Sealed::seal(&c.keys, u64::from(r), &session.request_message());
+                        cluster.net.inject(node, r, sealed.to_bytes());
+                    }
+                }
+            };
+        broadcast(self, &sessions);
 
         let mut steps = 0u64;
         let mut next_retransmit = 20_000u64;
-        while steps < self.step_budget {
+        while steps < self.step_budget && sessions.iter().any(|(_, _, d)| d.is_none()) {
             if !self.net.step() {
-                // Queue drained: retransmit (messages may have been dropped).
-                broadcast(self, &session);
+                // Queue drained: retransmit (messages may have been
+                // dropped).
+                broadcast(self, &sessions);
             }
             steps += 1;
             if steps == next_retransmit {
-                broadcast(self, &session);
+                broadcast(self, &sessions);
                 next_retransmit += 20_000;
             }
-            let pending: Vec<(ReplicaId, u64, OpResult)> = self.clients[client_idx]
-                .replies
-                .borrow_mut()
-                .drain(..)
-                .collect();
-            for (replica, rid, result) in pending {
-                if let Some(result) = session.on_reply(replica, rid, result) {
-                    return Some(result);
+            let client_ids: Vec<usize> = sessions.iter().map(|(c, _, _)| *c).collect();
+            for client_idx in client_ids {
+                let pending: Vec<(ReplicaId, u64, OpResult)> = self.clients[client_idx]
+                    .replies
+                    .borrow_mut()
+                    .drain(..)
+                    .collect();
+                for (replica, rid, result) in pending {
+                    // `on_reply` ignores foreign req_ids, so feeding every
+                    // session of this client is safe.
+                    for (idx, session, decided) in sessions.iter_mut() {
+                        if *idx != client_idx || decided.is_some() {
+                            continue;
+                        }
+                        if let Some(result) = session.on_reply(replica, rid, result.clone()) {
+                            *decided = Some(result);
+                        }
+                    }
                 }
             }
         }
-        None
+        sessions.into_iter().map(|(_, _, d)| d).collect()
     }
 }
 
@@ -373,6 +397,57 @@ mod tests {
         let mut c = cluster(1, &[100]);
         c.set_fault(2, FaultMode::CorruptReplies);
         assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
+    }
+
+    #[test]
+    fn pipelined_requests_batch_and_all_complete() {
+        // Six requests in flight at once from two clients: the primary's
+        // window forces batching, every request must still decide, and the
+        // replicas must converge.
+        let mut c = cluster(1, &[100, 101]);
+        let ops: Vec<(usize, OpCall<'static>)> = (0..6i64)
+            .map(|i| ((i % 2) as usize, OpCall::out(tuple!["B", i])))
+            .collect();
+        let results = c.invoke_many(ops);
+        assert_eq!(results, vec![Some(OpResult::Done); 6]);
+        let digests = c.state_digests();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+        // All six tuples are actually in the space.
+        for i in 0..6i64 {
+            assert_eq!(
+                c.invoke(0, OpCall::rdp(template!["B", i])),
+                Some(OpResult::Tuple(Some(tuple!["B", i])))
+            );
+        }
+    }
+
+    #[test]
+    fn batched_requests_survive_view_change() {
+        // Crashed primary with a backlog of concurrent requests: the view
+        // change must re-order the pending batches under the new primary
+        // without losing or double-executing any request.
+        let mut c = cluster(1, &[100, 101]);
+        c.set_fault(0, FaultMode::Crashed); // primary of view 0
+        let ops: Vec<(usize, OpCall<'static>)> = (0..6i64)
+            .map(|i| ((i % 2) as usize, OpCall::out(tuple!["V", i])))
+            .collect();
+        let results = c.invoke_many(ops);
+        assert_eq!(results, vec![Some(OpResult::Done); 6]);
+        assert!(c.views().iter().any(|v| *v > 0), "views: {:?}", c.views());
+        // A 2f+1 quorum of correct replicas share the post-recovery state.
+        let digests = c.state_digests();
+        let max_agree = digests
+            .iter()
+            .map(|d| digests.iter().filter(|e| *e == d).count())
+            .max()
+            .unwrap();
+        assert!(max_agree >= 3, "no 2f+1 quorum shares a state digest");
+        for i in 0..6i64 {
+            assert_eq!(
+                c.invoke(1, OpCall::rdp(template!["V", i])),
+                Some(OpResult::Tuple(Some(tuple!["V", i])))
+            );
+        }
     }
 
     #[test]

@@ -3,16 +3,23 @@
 //!
 //! This is the deployment the performance experiments (E12) measure: every
 //! operation is a MAC-sealed request broadcast to `3f+1` replica threads,
-//! ordered by the BFT protocol, executed against each replica's
-//! policy-enforced space, and voted on client-side (`f+1` matching
-//! replies). Because the handle implements [`peats::TupleSpace`], every
-//! algorithm in `peats-consensus` and `peats-universal` runs unmodified on
-//! top of it — the paper's Fig. 2 picture, end to end.
+//! ordered by the BFT protocol (batched and pipelined — see
+//! [`ReplicaConfig`](crate::replica::ReplicaConfig)), executed against each
+//! replica's policy-enforced space, and voted on client-side (`f+1`
+//! matching replies). Because the handle implements [`peats::TupleSpace`],
+//! every algorithm in `peats-consensus` and `peats-universal` runs
+//! unmodified on top of it — the paper's Fig. 2 picture, end to end.
+//!
+//! Cloned [`ReplicatedPeats`] handles invoke **concurrently**: a dedicated
+//! router thread owns the client slot's mailbox and demultiplexes each
+//! `Reply` to the in-flight invocation it answers by `req_id`, so no
+//! invocation ever holds the mailbox (or eats another invocation's
+//! replies) while it waits.
 
 use crate::client::ClientSession;
 use crate::faults::FaultMode;
-use crate::messages::{Message, OpResult, Sealed};
-use crate::replica::{Dest, Replica, ReplicaConfig};
+use crate::messages::{Message, OpResult, ReplicaId, Sealed};
+use crate::replica::{Dest, Replica, ReplicaConfig, DEFAULT_BATCH_CAP, DEFAULT_MAX_IN_FLIGHT};
 use crate::service::PeatsService;
 use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
 use peats_auth::KeyTable;
@@ -22,19 +29,82 @@ use peats_policy::{MissingParamError, OpCall, Policy, PolicyParams, ProcessId};
 use peats_tuplespace::{Template, Tuple};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-const PROGRESS_PERIOD: Duration = Duration::from_millis(300);
+/// Granularity at which a waiting invocation re-checks its retry/overall
+/// deadlines.
 const REPLY_WAIT: Duration = Duration::from_millis(25);
-const INVOKE_TIMEOUT: Duration = Duration::from_secs(10);
-/// Initial delay between the polling rounds of a blocked `rd`/`take`.
-const BLOCKING_POLL: Duration = Duration::from_millis(2);
-/// Ceiling for the poll delay. Every poll is a full consensus round across
-/// the cluster, so a blocked read backs off exponentially up to this cap
-/// instead of hammering the replicas at a fixed tick.
-const BLOCKING_POLL_CAP: Duration = Duration::from_millis(128);
+
+/// Client-side timing knobs, shared by every clone of one handle.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Re-broadcast an undecided request after this long without a
+    /// decision. Each retry resets the timer from *now*, so a stall never
+    /// banks a burst of back-to-back rebroadcasts.
+    pub retry_interval: Duration,
+    /// Give up on an invocation (`SpaceError::Unavailable`) after this
+    /// long.
+    pub invoke_timeout: Duration,
+    /// Initial delay between the polling rounds of a blocked `rd`/`take`.
+    pub blocking_poll: Duration,
+    /// Ceiling for the poll delay. Every poll is a full consensus round
+    /// across the cluster, so a blocked read backs off exponentially up to
+    /// this cap instead of hammering the replicas at a fixed tick.
+    pub blocking_poll_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            retry_interval: Duration::from_millis(500),
+            invoke_timeout: Duration::from_secs(10),
+            blocking_poll: Duration::from_millis(2),
+            blocking_poll_cap: Duration::from_millis(128),
+        }
+    }
+}
+
+/// Deployment-wide configuration for a [`ThreadedCluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Maximum requests per `PrePrepare` batch (see
+    /// [`ReplicaConfig::batch_cap`]).
+    pub batch_cap: usize,
+    /// Maximum assigned-but-unexecuted slots in flight (see
+    /// [`ReplicaConfig::max_in_flight`]).
+    pub max_in_flight: usize,
+    /// Interval of the replicas' progress check (the view-change trigger).
+    /// The check runs on a deadline — it fires even under continuous
+    /// message traffic, so a flooding peer cannot starve it.
+    pub progress_period: Duration,
+    /// Timing knobs handed to every client handle.
+    pub client: ClientConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            batch_cap: DEFAULT_BATCH_CAP,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            progress_period: Duration::from_millis(300),
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The pre-batching behavior — one slot per request the moment it
+    /// arrives. The benchmark baseline.
+    pub fn one_slot_per_request() -> Self {
+        ClusterConfig {
+            batch_cap: 1,
+            max_in_flight: usize::MAX,
+            ..ClusterConfig::default()
+        }
+    }
+}
 
 fn ship(net: &ThreadNet, keys: &KeyTable, me: NodeId, n: usize, outputs: Vec<(Dest, Message)>) {
     for (dest, msg) in outputs {
@@ -67,14 +137,32 @@ fn replica_main(
     net: ThreadNet,
     n: usize,
     stop: Arc<AtomicBool>,
+    progress_period: Duration,
 ) {
     let me = mailbox.id();
     let mut last_seen_exec = 0;
+    // Deadline-based progress check: the next check time only moves when a
+    // check actually runs, never because a message arrived. A quiet-period
+    // timer (reset on every receipt) is starved forever by steady traffic —
+    // a flooding Byzantine peer or staggered client retransmits could
+    // suppress view changes indefinitely.
+    let mut next_check = Instant::now() + progress_period;
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        match mailbox.recv_timeout(PROGRESS_PERIOD) {
+        let now = Instant::now();
+        if now >= next_check {
+            let last = replica.last_exec();
+            if last == last_seen_exec {
+                let outputs = replica.on_progress_timeout();
+                ship(&net, &keys, me, n, outputs);
+            }
+            last_seen_exec = last;
+            next_check = Instant::now() + progress_period;
+        }
+        let wait = next_check.saturating_duration_since(Instant::now());
+        match mailbox.recv_timeout(wait) {
             Ok(Some((_, payload))) => {
                 let Ok(sealed) = Sealed::from_bytes(&payload) else {
                     continue;
@@ -85,18 +173,95 @@ fn replica_main(
                 let outputs = replica.on_message(sender, msg);
                 ship(&net, &keys, me, n, outputs);
             }
-            Ok(None) => {
-                // No traffic for a full period: progress check.
-                let last = replica.last_exec();
-                if last == last_seen_exec {
-                    let outputs = replica.on_progress_timeout();
-                    ship(&net, &keys, me, n, outputs);
-                }
-                last_seen_exec = last;
-            }
+            Ok(None) => {}    // deadline reached; handled at the top of the loop
             Err(_) => return, // fabric gone
         }
     }
+}
+
+/// A reply routed to an in-flight invocation: `(replica, req_id, result)`.
+type ReplyEnvelope = (ReplicaId, u64, OpResult);
+
+/// Routes each incoming `Reply` to the in-flight invocation (by `req_id`)
+/// it answers. Shared by all clones of one client handle; the router
+/// thread owns the slot's mailbox, so an invocation never holds it — and
+/// never discards replies addressed to other in-flight requests.
+#[derive(Default)]
+struct ReplyDemux {
+    sessions: parking_lot::Mutex<BTreeMap<u64, mpsc::Sender<ReplyEnvelope>>>,
+    closed: AtomicBool,
+}
+
+impl ReplyDemux {
+    fn register(&self, req_id: u64) -> mpsc::Receiver<ReplyEnvelope> {
+        let (tx, rx) = mpsc::channel();
+        // The closed check must happen under the sessions lock: checked
+        // outside, a concurrent `close` could clear the map between the
+        // check and the insert, leaving a sender that never disconnects
+        // (the invocation would burn its whole timeout instead of failing
+        // fast).
+        let mut sessions = self.sessions.lock();
+        if !self.closed.load(Ordering::Acquire) {
+            sessions.insert(req_id, tx);
+        }
+        // When closed, the sender is dropped here and the receiver reports
+        // Disconnected immediately.
+        rx
+    }
+
+    fn deregister(&self, req_id: u64) {
+        self.sessions.lock().remove(&req_id);
+    }
+
+    fn route(&self, env: ReplyEnvelope) {
+        if let Some(tx) = self.sessions.lock().get(&env.1) {
+            let _ = tx.send(env);
+        }
+        // No session with that req_id: a late reply for a completed (or
+        // abandoned) invocation — drop it.
+    }
+
+    fn close(&self) {
+        let mut sessions = self.sessions.lock();
+        self.closed.store(true, Ordering::Release);
+        // Dropping the senders disconnects every waiting invocation.
+        sessions.clear();
+    }
+}
+
+/// Deregisters an invocation's demux session on every exit path.
+struct SessionGuard<'a> {
+    demux: &'a ReplyDemux,
+    req_id: u64,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.demux.deregister(self.req_id);
+    }
+}
+
+fn client_router(mailbox: Mailbox, keys: KeyTable, demux: Arc<ReplyDemux>) {
+    while let Some((_, payload)) = mailbox.recv() {
+        let Ok(sealed) = Sealed::from_bytes(&payload) else {
+            continue;
+        };
+        let Some((
+            _,
+            Message::Reply {
+                req_id,
+                replica,
+                result,
+                ..
+            },
+        )) = sealed.open(&keys)
+        else {
+            continue;
+        };
+        demux.route((replica, req_id, result));
+    }
+    // Mailbox disconnected: the fabric is gone. Wake every waiter.
+    demux.close();
 }
 
 /// A running thread-backed replicated PEATS.
@@ -106,15 +271,16 @@ pub struct ThreadedCluster {
     f: usize,
     master: Vec<u8>,
     client_slots: Vec<Option<(Mailbox, u64)>>,
+    client_cfg: ClientConfig,
     stop: Arc<AtomicBool>,
     joins: Vec<JoinHandle<()>>,
 }
 
 impl ThreadedCluster {
     /// Spawns `3f+1` replica threads hosting a PEATS with
-    /// `policy`/`params`; provisions one client slot per entry of
-    /// `client_pids`. `faults[i]` (when provided) injects a fault into
-    /// replica `i`.
+    /// `policy`/`params` under the default [`ClusterConfig`]; provisions
+    /// one client slot per entry of `client_pids`. `faults[i]` (when
+    /// provided) injects a fault into replica `i`.
     ///
     /// # Errors
     ///
@@ -126,6 +292,31 @@ impl ThreadedCluster {
         f: usize,
         client_pids: &[u64],
         faults: &[FaultMode],
+    ) -> Result<Self, MissingParamError> {
+        Self::start_with(
+            policy,
+            params,
+            f,
+            client_pids,
+            faults,
+            ClusterConfig::default(),
+        )
+    }
+
+    /// [`ThreadedCluster::start`] with explicit batching/pipelining and
+    /// timing configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingParamError`] when the policy declares unset
+    /// parameters.
+    pub fn start_with(
+        policy: Policy,
+        params: PolicyParams,
+        f: usize,
+        client_pids: &[u64],
+        faults: &[FaultMode],
+        config: ClusterConfig,
     ) -> Result<Self, MissingParamError> {
         let n_replicas = 3 * f + 1;
         let master = b"peats-threaded-master".to_vec();
@@ -144,9 +335,9 @@ impl ThreadedCluster {
             let service = PeatsService::new(policy.clone(), params.clone())?;
             let mut replica = Replica::new(
                 ReplicaConfig {
-                    id: id as u32,
-                    n: n_replicas,
-                    f,
+                    batch_cap: config.batch_cap,
+                    max_in_flight: config.max_in_flight,
+                    ..ReplicaConfig::new(id as u32, n_replicas, f)
                 },
                 service,
                 registry.clone(),
@@ -157,8 +348,17 @@ impl ThreadedCluster {
             let keys = KeyTable::new(id as u64, master.clone());
             let net = net.clone();
             let stop = Arc::clone(&stop);
+            let progress_period = config.progress_period;
             joins.push(std::thread::spawn(move || {
-                replica_main(replica, keys, mailbox, net, n_replicas, stop);
+                replica_main(
+                    replica,
+                    keys,
+                    mailbox,
+                    net,
+                    n_replicas,
+                    stop,
+                    progress_period,
+                );
             }));
         }
 
@@ -174,6 +374,7 @@ impl ThreadedCluster {
             f,
             master,
             client_slots,
+            client_cfg: config.client,
             stop,
             joins,
         })
@@ -184,7 +385,9 @@ impl ThreadedCluster {
         self.n_replicas
     }
 
-    /// Takes the [`TupleSpace`] handle for client slot `idx`.
+    /// Takes the [`TupleSpace`] handle for client slot `idx`, spawning its
+    /// reply-router thread. Clones of the handle share the router and
+    /// invoke concurrently.
     ///
     /// # Panics
     ///
@@ -194,15 +397,26 @@ impl ThreadedCluster {
             .take()
             .expect("client slot already taken");
         let node = mailbox.id();
+        let keys = KeyTable::new(u64::from(node), self.master.clone());
+        let demux = Arc::new(ReplyDemux::default());
+        {
+            let keys = keys.clone();
+            let demux = Arc::clone(&demux);
+            // The router exits (and closes the demux) when the mailbox
+            // disconnects — i.e. when the cluster and all handles are gone.
+            std::thread::spawn(move || client_router(mailbox, keys, demux));
+        }
         ReplicatedPeats {
             net: self.net.clone(),
-            mailbox: Arc::new(parking_lot::Mutex::new(mailbox)),
-            keys: KeyTable::new(u64::from(node), self.master.clone()),
+            demux,
+            keys,
             node,
             pid,
             f: self.f,
             n_replicas: self.n_replicas,
             next_req: Arc::new(AtomicU64::new(0)),
+            cfg: self.client_cfg.clone(),
+            stats: Arc::new(ClientStats::default()),
         }
     }
 
@@ -232,25 +446,41 @@ impl std::fmt::Debug for ThreadedCluster {
     }
 }
 
+/// Observability counters shared by all clones of one handle.
+#[derive(Debug, Default)]
+struct ClientStats {
+    rebroadcasts: AtomicU64,
+    in_flight: AtomicU64,
+    max_in_flight: AtomicU64,
+}
+
 /// Client handle onto a [`ThreadedCluster`]; implements
-/// [`peats::TupleSpace`], so all algorithms run on it unchanged.
+/// [`peats::TupleSpace`], so all algorithms run on it unchanged. Clones
+/// share the slot's identity, request counter, and reply router — and
+/// invoke **concurrently**.
 #[derive(Clone)]
 pub struct ReplicatedPeats {
     net: ThreadNet,
-    mailbox: Arc<parking_lot::Mutex<Mailbox>>,
+    demux: Arc<ReplyDemux>,
     keys: KeyTable,
     node: NodeId,
     pid: u64,
     f: usize,
     n_replicas: usize,
     next_req: Arc<AtomicU64>,
+    cfg: ClientConfig,
+    stats: Arc<ClientStats>,
 }
 
 impl ReplicatedPeats {
     fn invoke(&self, op: OpCall<'static>) -> SpaceResult<OpResult> {
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let rx = self.demux.register(req_id);
+        let _session_guard = SessionGuard {
+            demux: &self.demux,
+            req_id,
+        };
         let mut session = ClientSession::new(self.pid, req_id, op, self.f);
-        let mailbox = self.mailbox.lock();
         let broadcast = |session: &ClientSession| {
             for r in 0..self.n_replicas as NodeId {
                 let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
@@ -258,59 +488,59 @@ impl ReplicatedPeats {
             }
         };
         broadcast(&session);
-        let deadline = std::time::Instant::now() + INVOKE_TIMEOUT;
-        let mut next_retry = std::time::Instant::now() + Duration::from_millis(500);
-        loop {
-            if std::time::Instant::now() > deadline {
-                return Err(SpaceError::Unavailable(
-                    "no f+1 matching replies before timeout".into(),
-                ));
-            }
-            if std::time::Instant::now() > next_retry {
-                broadcast(&session);
-                next_retry += Duration::from_millis(500);
-            }
-            match mailbox.recv_timeout(REPLY_WAIT) {
-                Ok(Some((_, payload))) => {
-                    let Ok(sealed) = Sealed::from_bytes(&payload) else {
-                        continue;
-                    };
-                    let Some((
-                        _,
-                        Message::Reply {
-                            req_id: rid,
-                            replica,
-                            result,
-                            ..
-                        },
-                    )) = sealed.open(&self.keys)
-                    else {
-                        continue;
-                    };
-                    if let Some(result) = session.on_reply(replica, rid, result) {
-                        return Ok(result);
+        // Track in-flight depth (tests assert clones genuinely overlap).
+        let depth = self.stats.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.max_in_flight.fetch_max(depth, Ordering::Relaxed);
+        let result = (|| {
+            let deadline = Instant::now() + self.cfg.invoke_timeout;
+            let mut next_retry = Instant::now() + self.cfg.retry_interval;
+            loop {
+                let now = Instant::now();
+                if now > deadline {
+                    return Err(SpaceError::Unavailable(
+                        "no f+1 matching replies before timeout".into(),
+                    ));
+                }
+                if now > next_retry {
+                    broadcast(&session);
+                    self.stats.rebroadcasts.fetch_add(1, Ordering::Relaxed);
+                    // Reset from *now*, not the missed tick: after a long
+                    // stall (`+= interval` drifting behind the clock) every
+                    // banked tick would fire a rebroadcast back-to-back.
+                    next_retry = Instant::now() + self.cfg.retry_interval;
+                }
+                match rx.recv_timeout(REPLY_WAIT) {
+                    Ok((replica, rid, result)) => {
+                        if let Some(result) = session.on_reply(replica, rid, result) {
+                            return Ok(result);
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(SpaceError::Unavailable("cluster shut down".into()));
                     }
                 }
-                Ok(None) => {}
-                Err(_) => {
-                    return Err(SpaceError::Unavailable("cluster shut down".into()));
-                }
             }
-        }
+        })();
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        result
     }
 
     /// Repeats the nonblocking `probe` until it yields a tuple, sleeping
     /// with capped exponential backoff between rounds. Bounds the consensus
     /// work a blocked read generates: a read blocked for `T` issues
     /// `O(log(cap) + T/cap)` rounds instead of `T/tick`.
-    fn poll_blocking(mut probe: impl FnMut() -> SpaceResult<Option<Tuple>>) -> SpaceResult<Tuple> {
-        let mut delay = BLOCKING_POLL;
+    fn poll_blocking(
+        &self,
+        mut probe: impl FnMut() -> SpaceResult<Option<Tuple>>,
+    ) -> SpaceResult<Tuple> {
+        let mut delay = self.cfg.blocking_poll;
         loop {
             if let Some(t) = probe()? {
                 return Ok(t);
             }
             std::thread::sleep(delay);
-            delay = (delay * 2).min(BLOCKING_POLL_CAP);
+            delay = (delay * 2).min(self.cfg.blocking_poll_cap);
         }
     }
 
@@ -322,6 +552,25 @@ impl ReplicatedPeats {
                 "unexpected result {other:?}"
             ))),
         }
+    }
+
+    /// Total requests issued through this handle and its clones (each is
+    /// one consensus round).
+    pub fn issued_requests(&self) -> u64 {
+        self.next_req.load(Ordering::Relaxed)
+    }
+
+    /// Total retry re-broadcasts issued by this handle and its clones. A
+    /// healthy cluster decides well inside the retry interval, so this
+    /// staying at zero is how tests prove no reply was lost or eaten.
+    pub fn rebroadcasts(&self) -> u64 {
+        self.stats.rebroadcasts.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently in-flight invocations across all
+    /// clones of this handle.
+    pub fn max_concurrent_invokes(&self) -> u64 {
+        self.stats.max_in_flight.load(Ordering::Relaxed)
     }
 }
 
@@ -370,11 +619,11 @@ impl TupleSpace for ReplicatedPeats {
         // Client-side polling preserves blocking-read semantics (§4 note in
         // the service module). Each poll costs a consensus round, hence the
         // capped exponential backoff.
-        Self::poll_blocking(|| self.rdp(template))
+        self.poll_blocking(|| self.rdp(template))
     }
 
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
-        Self::poll_blocking(|| self.inp(template))
+        self.poll_blocking(|| self.inp(template))
     }
 
     fn process_id(&self) -> ProcessId {
@@ -458,7 +707,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(300));
         writer.out(tuple!["SLOW", 1]).unwrap();
         assert_eq!(t.join().unwrap(), tuple!["SLOW", 1]);
-        let rounds = probe.next_req.load(Ordering::Relaxed);
+        let rounds = probe.issued_requests();
         assert!(rounds >= 2, "the read must actually have polled");
         // At the fixed 2ms tick this blocked rd would have issued ~150+
         // rounds; exponential backoff (2,4,...,128ms cap) keeps it in the
@@ -466,6 +715,135 @@ mod tests {
         assert!(
             rounds <= 25,
             "a blocked rd must back off between consensus rounds, issued {rounds}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clones_demux_replies_without_serializing() {
+        // Regression: a clone used to hold the shared mailbox lock for its
+        // whole `invoke`, serializing concurrent clients and eating replies
+        // addressed to other in-flight requests (forcing them onto the
+        // rebroadcast path). With the reply demux, invocations from clones
+        // genuinely overlap (max in-flight ≥ 2 — impossible under the old
+        // lock, which held broadcast-to-decision as one critical section)
+        // and none of them needs a single retry round. The retry interval
+        // is generous so a scheduler stall on a loaded CI box cannot
+        // legitimately trigger a rebroadcast — only a lost/eaten reply can.
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[],
+            ClusterConfig {
+                client: ClientConfig {
+                    retry_interval: Duration::from_secs(5),
+                    ..ClientConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        let clones = 4;
+        let ops = 16;
+        let barrier = Arc::new(std::sync::Barrier::new(clones));
+        let joins: Vec<_> = (0..clones)
+            .map(|c| {
+                let h = h.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..ops {
+                        h.out(tuple!["C", c as i64, i]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(
+            h.max_concurrent_invokes() >= 2,
+            "cloned handles must overlap in flight, saw {}",
+            h.max_concurrent_invokes()
+        );
+        assert_eq!(
+            h.rebroadcasts(),
+            0,
+            "no reply may be eaten: every invoke must decide on its first broadcast"
+        );
+        assert_eq!(h.issued_requests(), (clones * ops) as u64);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn view_change_fires_under_flooding_traffic() {
+        // Regression: the progress check used to require a fully quiet
+        // progress period; two flooding peers keep every mailbox busy
+        // forever, so a crashed primary was never voted out and the client
+        // timed out. The deadline-based check fires under continuous
+        // traffic: the op below completes via a view change.
+        let mut cluster = ThreadedCluster::start(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[
+                FaultMode::Crashed, // primary of view 0
+                FaultMode::Flooder,
+                FaultMode::Flooder,
+                FaultMode::Correct,
+            ],
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        let start = Instant::now();
+        h.out(tuple!["F", 1]).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "progress check must fire on its deadline despite the flood"
+        );
+        assert_eq!(h.rdp(&template!["F", ?x]).unwrap(), Some(tuple!["F", 1]));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn retry_timer_resets_from_now_after_a_stall() {
+        // A cluster that stays unresponsive longer than several retry
+        // intervals (crashed primary + slow progress period) must produce
+        // at most one rebroadcast per interval of wall time — the old
+        // `next_retry += interval` arithmetic banked the missed ticks and
+        // fired them back-to-back once the invoke thread was rescheduled.
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[FaultMode::Crashed],
+            ClusterConfig {
+                // Recovery takes ≥ 600ms, guaranteeing several 100ms retry
+                // windows pass while the cluster is unresponsive.
+                progress_period: Duration::from_millis(600),
+                client: ClientConfig {
+                    retry_interval: Duration::from_millis(100),
+                    ..ClientConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        let start = Instant::now();
+        h.out(tuple!["R", 1]).unwrap();
+        let elapsed = start.elapsed();
+        let intervals = (elapsed.as_millis() / 100) as u64;
+        assert!(
+            h.rebroadcasts() <= intervals + 1,
+            "rebroadcasts must be paced ({} in {} intervals)",
+            h.rebroadcasts(),
+            intervals
         );
         cluster.shutdown();
     }

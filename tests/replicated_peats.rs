@@ -5,7 +5,9 @@ use peats::{policies, PolicyParams, TupleSpace, Value};
 use peats_consensus::{StrongConsensus, WeakConsensus};
 use peats_netsim::NetConfig;
 use peats_policy::{OpCall, Policy};
-use peats_replication::{FaultMode, OpResult, SimCluster, ThreadedCluster};
+use peats_replication::{
+    ClientConfig, ClusterConfig, FaultMode, OpResult, SimCluster, ThreadedCluster,
+};
 use peats_tuplespace::{template, tuple};
 
 #[test]
@@ -149,6 +151,79 @@ fn threaded_blocking_read_works_across_clients() {
     std::thread::sleep(std::time::Duration::from_millis(50));
     writer.out(tuple!["EVENT", 42]).unwrap();
     assert_eq!(j.join().unwrap(), tuple!["EVENT", 42]);
+    cluster.shutdown();
+}
+
+#[test]
+fn threaded_multi_client_contention_exactly_once() {
+    // N taker threads × M takes each over a mix of cloned and independent
+    // handles, racing on a pre-filled job pool: every job is consumed
+    // exactly once, and no handle silently spirals into a retry storm
+    // (bounded request counts, no rebroadcast rounds needed). The retry
+    // interval is generous so only a lost reply — not a scheduler stall on
+    // a loaded CI box — can trip the zero-rebroadcast assertion.
+    let mut cluster = ThreadedCluster::start_with(
+        Policy::allow_all(),
+        PolicyParams::new(),
+        1,
+        &[100, 101, 102],
+        &[],
+        ClusterConfig {
+            client: ClientConfig {
+                retry_interval: std::time::Duration::from_secs(5),
+                ..ClientConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap();
+    let producer = cluster.handle(0);
+    let shared = cluster.handle(1); // two taker threads clone this handle
+    let solo = cluster.handle(2);
+    const TAKERS: usize = 4;
+    const M: i64 = 5;
+    let jobs = TAKERS as i64 * M;
+    for v in 0..jobs {
+        producer.out(tuple!["JOB", v]).unwrap();
+    }
+    let handles = [shared.clone(), shared.clone(), solo.clone(), solo.clone()];
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            std::thread::spawn(move || {
+                (0..M)
+                    .map(|_| {
+                        h.take(&template!["JOB", ?x])
+                            .unwrap()
+                            .get(1)
+                            .unwrap()
+                            .as_int()
+                            .unwrap()
+                    })
+                    .collect::<Vec<i64>>()
+            })
+        })
+        .collect();
+    let mut got: Vec<i64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+    got.sort_unstable();
+    assert_eq!(got, (0..jobs).collect::<Vec<i64>>(), "exactly-once takes");
+    // Every job was present before the takers started, so each take is one
+    // `inp` round (no blocking-poll retries); allow generous slack for the
+    // rare race where two takers hit the tail simultaneously.
+    for (h, threads) in [(&shared, 2u64), (&solo, 2u64)] {
+        let ops = threads * M as u64;
+        assert!(
+            h.issued_requests() <= 3 * ops,
+            "request count {} not bounded for {} takes — retry storm",
+            h.issued_requests(),
+            ops
+        );
+        assert_eq!(h.rebroadcasts(), 0, "no rebroadcast rounds expected");
+    }
+    assert!(
+        shared.max_concurrent_invokes() >= 2,
+        "cloned takers must overlap in flight"
+    );
     cluster.shutdown();
 }
 
