@@ -3,8 +3,7 @@
 //!
 //! The paper states the construction's parameters — `2t+1` sticky bits,
 //! `n ≥ (t+1)(2t+1)` processes — without reproducing its pseudo-code. This
-//! module is a faithful reconstruction from those parameters, documented in
-//! DESIGN.md §3:
+//! module is a faithful reconstruction from those parameters:
 //!
 //! * the `n = (t+1)(2t+1)` processes are partitioned into `2t+1` disjoint
 //!   *committees* of `t+1`; committee `j` is the write-ACL of sticky bit `j`;

@@ -77,7 +77,7 @@ fn contended(c: &mut Criterion) {
 }
 
 fn matching_ablation(c: &mut Criterion) {
-    // DESIGN.md ablation: FIFO vs seeded-random tuple selection should not
+    // E8 ablation: FIFO vs seeded-random tuple selection should not
     // change universal-construction cost materially (templates are
     // position-exact, so at most one tuple matches).
     let mut group = c.benchmark_group("universal/matching_ablation");

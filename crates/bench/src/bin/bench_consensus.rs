@@ -1,0 +1,152 @@
+//! `bench_consensus` — machine-readable throughput baseline for the
+//! consensus layer: the paper's three consensus objects (Algorithms 1–2,
+//! §5.4) running over the policy-enforced `LocalPeats`, swept over system
+//! sizes.
+//!
+//! Each cell repeatedly runs one complete consensus instance — a fresh
+//! space, `procs` proposer threads, every proposal driven through the
+//! object's real operation sequence under its Fig. 3/4/5 policy — and
+//! reports proposals/second with agreement verified on every round (a
+//! safety violation fails the benchmark instead of producing a number).
+//!
+//! Emits `BENCH_consensus.json` (override with `--out PATH`) in the same
+//! shape as the other `BENCH_*.json` emitters; `--smoke` shrinks the sweep
+//! for CI.
+//!
+//! ```text
+//! cargo run --release -p peats-bench --bin bench_consensus -- --out BENCH_consensus.json
+//! ```
+
+use peats::{policies, LocalPeats, PolicyParams, Value};
+use peats_bench::print_table;
+use peats_consensus::{DefaultConsensus, StrongConsensus, WeakConsensus};
+use std::time::Instant;
+
+/// One measured cell: `rounds` fresh consensus instances of `procs`
+/// proposers each; returns proposals/second over the whole cell.
+fn run_rounds(procs: usize, rounds: u64, mut one_round: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..rounds {
+        one_round();
+    }
+    (procs as u64 * rounds) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn weak_round(procs: usize) {
+    let space = LocalPeats::new(policies::weak_consensus(), PolicyParams::new()).unwrap();
+    let joins: Vec<_> = (0..procs as u64)
+        .map(|p| {
+            let cons = WeakConsensus::new(space.handle(p));
+            std::thread::spawn(move || cons.propose(Value::from(p)).unwrap())
+        })
+        .collect();
+    let ds: Vec<Value> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert!(
+        ds.windows(2).all(|w| w[0] == w[1]),
+        "weak agreement violated"
+    );
+}
+
+fn strong_round(n: usize, t: usize) {
+    let space = LocalPeats::new(policies::strong_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let joins: Vec<_> = (0..n as u64)
+        .map(|p| {
+            let cons = StrongConsensus::new(space.handle(p), n, t);
+            std::thread::spawn(move || cons.propose((p % 2) as i64).unwrap())
+        })
+        .collect();
+    let ds: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert!(
+        ds.windows(2).all(|w| w[0] == w[1]),
+        "strong agreement violated"
+    );
+}
+
+fn default_round(n: usize, t: usize, split: bool) {
+    let space = LocalPeats::new(policies::default_consensus(), PolicyParams::n_t(n, t)).unwrap();
+    let joins: Vec<_> = (0..n as u64)
+        .map(|p| {
+            let cons = DefaultConsensus::new(space.handle(p), n, t);
+            let v = if split {
+                Value::from(format!("v{p}"))
+            } else {
+                Value::from("v")
+            };
+            std::thread::spawn(move || cons.propose(v).unwrap())
+        })
+        .collect();
+    let ds: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert!(
+        ds.windows(2).all(|w| w[0] == w[1]),
+        "default agreement violated"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_consensus.json".to_owned());
+
+    let rounds: u64 = if smoke { 3 } else { 30 };
+    let weak_procs: &[usize] = if smoke { &[2, 4] } else { &[2, 8, 32] };
+    let strong_ts: &[usize] = if smoke { &[1] } else { &[1, 2, 3] };
+    let default_variants: &[(&str, bool)] = if smoke {
+        &[("unanimous", false)]
+    } else {
+        &[("unanimous", false), ("full_split", true)]
+    };
+
+    let mut json_rows = Vec::new();
+    let mut table_rows = Vec::new();
+    let mut record =
+        |object: &str, config: String, procs: usize, variant: &str, proposals_per_sec: f64| {
+            json_rows.push(format!(
+                "    {{\"object\": \"{object}\", \"config\": \"{config}\", \"procs\": {procs}, \
+                 \"variant\": \"{variant}\", \"rounds\": {rounds}, \
+                 \"proposals_per_sec\": {proposals_per_sec:.0}}}"
+            ));
+            table_rows.push(vec![
+                object.to_owned(),
+                config,
+                variant.to_owned(),
+                format!("{proposals_per_sec:.0}"),
+            ]);
+        };
+
+    for &procs in weak_procs {
+        let tput = run_rounds(procs, rounds, || weak_round(procs));
+        record("weak", format!("procs={procs}"), procs, "-", tput);
+    }
+    for &t in strong_ts {
+        let n = 3 * t + 1;
+        let tput = run_rounds(n, rounds, || strong_round(n, t));
+        record("strong", format!("n={n} t={t}"), n, "-", tput);
+    }
+    for &(variant, split) in default_variants {
+        let (n, t) = (4, 1);
+        let tput = run_rounds(n, rounds, || default_round(n, t, split));
+        record("default", format!("n={n} t={t}"), n, variant, tput);
+    }
+
+    print_table(
+        "consensus objects over the policy-enforced space (proposals/s)",
+        &["object", "config", "variant", "proposals/s"],
+        &table_rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"consensus_objects\",\n  \"unit\": \"proposals_per_sec\",\n  \
+         \"workload\": \"complete consensus instances (fresh policy-enforced LocalPeats per round, \
+         one OS thread per proposer, agreement asserted every round) for the paper's weak (Alg. 1), \
+         strong binary (Alg. 2), and default multivalued (section 5.4) objects\",\n  \
+         \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

@@ -11,6 +11,11 @@
 //! slot per round, sweeping the batch cap and the in-flight window —
 //! amortizing the three-phase round over the whole backlog.
 //!
+//! A second section compares checkpointing-on vs -off over a longer run:
+//! same batched configuration, with and without PBFT checkpoints/GC, timing
+//! the ordering path and reporting the slot-log high-water mark each mode
+//! retains at the end — the bounded-memory claim as a measured number.
+//!
 //! Emits `BENCH_replication.json` (override with `--out PATH`) in the same
 //! shape as `BENCH_space.json`; `--smoke` shrinks the sweep for CI.
 //!
@@ -30,6 +35,13 @@ use std::time::{Duration, Instant};
 /// elapsed as the denominator (the coordinator cannot time the run: on a
 /// single-CPU box a client can finish before the coordinator reschedules).
 fn run_cell(clients: usize, ops: u64, config: ClusterConfig) -> f64 {
+    run_cell_with_slots(clients, ops, config).0
+}
+
+/// Like [`run_cell`] but also reports the largest slot log any replica
+/// retains once the run settles — the memory the checkpoint comparison
+/// makes visible.
+fn run_cell_with_slots(clients: usize, ops: u64, config: ClusterConfig) -> (f64, usize) {
     let pids: Vec<u64> = (0..clients as u64).map(|i| 100 + i).collect();
     let mut cluster = ThreadedCluster::start_with(
         Policy::allow_all(),
@@ -62,8 +74,14 @@ fn run_cell(clients: usize, ops: u64, config: ClusterConfig) -> f64 {
         .max()
         .expect("at least one client");
     let throughput = (clients as u64 * ops) as f64 / slowest.as_secs_f64();
+    // Let the trailing checkpoint exchange settle before reading the logs.
+    std::thread::sleep(Duration::from_millis(200));
+    let max_slots = (0..cluster.n_replicas())
+        .map(|id| cluster.replica_footprint(id).slots)
+        .max()
+        .unwrap_or(0);
     cluster.shutdown();
-    throughput
+    (throughput, max_slots)
 }
 
 fn main() {
@@ -132,6 +150,38 @@ fn main() {
         &table_rows,
     );
 
+    // Checkpointing on vs off over a longer run: the throughput cost of
+    // bounded logs, and the retained slot-log size that buys it.
+    let ckpt_clients = if smoke { 2 } else { 4 };
+    let ckpt_ops: u64 = if smoke { 80 } else { 400 };
+    let mut ckpt_json = Vec::new();
+    let mut ckpt_table = Vec::new();
+    for (label, interval) in [("off", 0u64), ("on", 32u64)] {
+        let config = ClusterConfig {
+            batch_cap: 16,
+            max_in_flight: 2,
+            checkpoint_interval: interval,
+            ..ClusterConfig::default()
+        };
+        let (tput, max_slots) = run_cell_with_slots(ckpt_clients, ckpt_ops, config);
+        ckpt_json.push(format!(
+            "    {{\"checkpointing\": \"{label}\", \"checkpoint_interval\": {interval}, \
+             \"clients\": {ckpt_clients}, \"ops_per_client\": {ckpt_ops}, \
+             \"ops_per_sec\": {tput:.0}, \"max_slots_retained\": {max_slots}}}"
+        ));
+        ckpt_table.push(vec![
+            label.to_owned(),
+            interval.to_string(),
+            format!("{tput:.0}"),
+            max_slots.to_string(),
+        ]);
+    }
+    print_table(
+        "checkpointing on vs off (long run): throughput and retained slot log",
+        &["checkpointing", "interval", "ops/s", "max slots retained"],
+        &ckpt_table,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_ordering\",\n  \"unit\": \"ops_per_sec\",\n  \
          \"workload\": \"clients concurrent client threads (one slot, pid, and reply router each) \
@@ -140,8 +190,10 @@ fn main() {
          (one PrePrepare/Prepare/Commit round per request)\", \
          \"batched_pipelined\": \"primary drains its backlog into one slot per round (up to batch_cap \
          requests), bounded in-flight window\"}},\n  \
-         \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+         \"smoke\": {smoke},\n  \"results\": [\n{}\n  ],\n  \
+         \"checkpointing_long_run\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+        ckpt_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");

@@ -1,9 +1,8 @@
 //! # peats-bench
 //!
 //! Shared helpers for the experiment binaries (`exp_*`) and criterion
-//! benches that regenerate the paper's quantitative claims. The experiment
-//! index (E1–E12) lives in `DESIGN.md`; measured-vs-paper numbers are
-//! recorded in `EXPERIMENTS.md`.
+//! benches that regenerate the paper's quantitative claims (the E1–E12
+//! experiment series referenced throughout the workspace).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

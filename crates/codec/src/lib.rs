@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 
 use peats_policy::OpCall;
-use peats_tuplespace::{Field, Template, Tuple, TypeTag, Value};
+use peats_tuplespace::{Field, SpaceSnapshot, Template, Tuple, TypeTag, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -476,6 +476,36 @@ impl Decode for OpCall<'static> {
     }
 }
 
+impl Encode for SpaceSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.entries.len() as u32).encode(buf);
+        for (seq, entry) in &self.entries {
+            seq.encode(buf);
+            entry.encode(buf);
+        }
+        self.next_seq.encode(buf);
+        self.rng_state.encode(buf);
+    }
+}
+
+impl Decode for SpaceSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = u32::decode(r)? as usize;
+        if n > r.remaining() + 1 {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            entries.push((u64::decode(r)?, Tuple::decode(r)?));
+        }
+        Ok(SpaceSnapshot {
+            entries,
+            next_seq: u64::decode(r)?,
+            rng_state: u64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +563,16 @@ mod tests {
         roundtrip(OpCall::out(tuple!["A", 1]));
         roundtrip(OpCall::rdp(template!["A", ?x]));
         roundtrip(OpCall::cas(template!["D", ?x], tuple!["D", 9]));
+    }
+
+    #[test]
+    fn space_snapshot_roundtrips() {
+        roundtrip(SpaceSnapshot::default());
+        roundtrip(SpaceSnapshot {
+            entries: vec![(0, tuple!["A", 1]), (3, tuple!["B"])],
+            next_seq: 7,
+            rng_state: 0xDEAD_BEEF,
+        });
     }
 
     #[test]

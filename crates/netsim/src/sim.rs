@@ -5,7 +5,7 @@
 //! message delays, drops and partitions are a pure function of the
 //! configuration, so every fault-injection test replays identically —
 //! something a real async runtime cannot promise (and the reason this
-//! reproduction does not use one; see DESIGN.md §2).
+//! reproduction does not use one).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -36,8 +36,10 @@ pub mod threaded;
 
 pub use client::ClientSession;
 pub use faults::FaultMode;
-pub use messages::{batch_digest, Message, OpResult, ReplicaId, Request, Sealed, Seq, View};
-pub use replica::{Dest, Replica, ReplicaConfig};
+pub use messages::{
+    batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, Request, Sealed, Seq, View,
+};
+pub use replica::{Dest, Replica, ReplicaConfig, ReplicaFootprint};
 pub use service::PeatsService;
 pub use sim_harness::SimCluster;
 pub use threaded::{ClientConfig, ClusterConfig, ReplicatedPeats, ThreadedCluster};

@@ -11,7 +11,7 @@
 use peats_auth::{sha256, Digest, KeyTable};
 use peats_codec::{Decode, DecodeError, Encode, Reader};
 use peats_policy::OpCall;
-use peats_tuplespace::Tuple;
+use peats_tuplespace::{SpaceSnapshot, Tuple};
 
 /// Replica index (`0..n_replicas`).
 pub type ReplicaId = u32;
@@ -128,6 +128,80 @@ impl Decode for Request {
     }
 }
 
+/// A codec-encodable copy of everything a replica needs to adopt a peer's
+/// checkpoint instead of replaying history: the full service state plus the
+/// protocol-level per-client data. Shipped inside
+/// [`Message::StateSnapshot`]; its integrity is pinned by the checkpoint
+/// digest (which covers all three fields), recomputed by the receiver after
+/// restoration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// The tuple-space state (entries + seq counter + selection rng).
+    pub space: SpaceSnapshot,
+    /// Client transport-node → logical pid bindings.
+    pub client_registry: Vec<(u64, u64)>,
+    /// Retained execution results per client: `(pid, [(req_id, result)])` —
+    /// without them a restored replica would re-execute retransmissions of
+    /// already-answered requests.
+    pub replies: Vec<(u64, Vec<(u64, OpResult)>)>,
+}
+
+impl Encode for ReplicaSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.space.encode(buf);
+        (self.client_registry.len() as u32).encode(buf);
+        for (node, pid) in &self.client_registry {
+            node.encode(buf);
+            pid.encode(buf);
+        }
+        (self.replies.len() as u32).encode(buf);
+        for (client, per) in &self.replies {
+            client.encode(buf);
+            (per.len() as u32).encode(buf);
+            for (req_id, result) in per {
+                req_id.encode(buf);
+                result.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ReplicaSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let space = SpaceSnapshot::decode(r)?;
+        let n = u32::decode(r)? as usize;
+        if n > r.remaining() + 1 {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut client_registry = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            client_registry.push((u64::decode(r)?, u64::decode(r)?));
+        }
+        let n = u32::decode(r)? as usize;
+        if n > r.remaining() + 1 {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut replies = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let client = u64::decode(r)?;
+            let k = u32::decode(r)? as usize;
+            if k > r.remaining() + 1 {
+                return Err(DecodeError::LengthOverflow);
+            }
+            let mut per = Vec::with_capacity(k.min(1024));
+            for _ in 0..k {
+                per.push((u64::decode(r)?, OpResult::decode(r)?));
+            }
+            replies.push((client, per));
+        }
+        Ok(ReplicaSnapshot {
+            space,
+            client_registry,
+            replies,
+        })
+    }
+}
+
 /// Protocol messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
@@ -178,13 +252,24 @@ pub enum Message {
         result: OpResult,
     },
     /// Replica → replicas: vote to move to `new_view` (simplified — carries
-    /// the replica's prepared-but-unexecuted requests for re-ordering; see
-    /// DESIGN.md §3 on the certificate simplification).
+    /// the replica's prepared-but-unexecuted requests for re-ordering,
+    /// without per-message signature certificates; see the module docs of
+    /// [`crate::replica`] on the simplifications). The report covers only
+    /// slots above the sender's stable checkpoint — checkpoint GC has
+    /// pruned everything below, so the message size is bounded by the log
+    /// window, not the executed history.
     ViewChange {
         /// The proposed view.
         new_view: View,
         /// Sender's last executed sequence number.
         last_exec: Seq,
+        /// Sender's stable checkpoint (`0` when none yet): the low
+        /// watermark its report starts above, so a new primary can anchor
+        /// sequence allocation and spot replicas needing state transfer.
+        stable_seq: Seq,
+        /// Digest of the stable checkpoint (all zero when `stable_seq` is
+        /// `0`) — the simplified stable-checkpoint proof.
+        stable_digest: Digest,
         /// Prepared batches the new primary must re-order.
         prepared: Vec<(Seq, Vec<Request>)>,
         /// The voting replica.
@@ -196,6 +281,45 @@ pub enum Message {
         view: View,
         /// Re-issued batch assignments.
         assignments: Vec<(Seq, Vec<Request>)>,
+    },
+    /// Replica → replicas: "I executed through `seq` and my checkpoint
+    /// digest there is `digest`" — broadcast every
+    /// [`checkpoint_interval`](crate::replica::ReplicaConfig::checkpoint_interval)
+    /// executed slots. `2f+1` matching digests form a *stable checkpoint*:
+    /// the sender set can garbage-collect everything at or below `seq`.
+    Checkpoint {
+        /// The executed sequence number the digest was taken at.
+        seq: Seq,
+        /// The sender's checkpoint digest at `seq` (service state +
+        /// client registry + retained replies).
+        digest: Digest,
+        /// The voting replica.
+        replica: ReplicaId,
+    },
+    /// Replica → replicas: "my `last_exec` fell below a stable checkpoint —
+    /// send me a snapshot." Any replica holding a stable checkpoint above
+    /// `last_exec` answers with [`Message::StateSnapshot`].
+    FetchState {
+        /// The requester's last executed sequence number.
+        last_exec: Seq,
+        /// The requesting replica.
+        replica: ReplicaId,
+    },
+    /// Replica → replica: a stable-checkpoint snapshot for state transfer.
+    /// The receiver installs it only once `f+1` distinct replicas attest
+    /// `(seq, digest)` (via `Checkpoint` or `StateSnapshot` messages) *and*
+    /// the snapshot's recomputed checkpoint digest equals `digest` — a
+    /// Byzantine sender can neither forge the attestation quorum nor slip a
+    /// payload that does not hash to the attested digest.
+    StateSnapshot {
+        /// The stable checkpoint's sequence number.
+        seq: Seq,
+        /// The stable checkpoint's digest.
+        digest: Digest,
+        /// The full replica state at `seq`.
+        snapshot: ReplicaSnapshot,
+        /// The sending replica.
+        replica: ReplicaId,
     },
 }
 
@@ -255,12 +379,16 @@ impl Encode for Message {
             Message::ViewChange {
                 new_view,
                 last_exec,
+                stable_seq,
+                stable_digest,
                 prepared,
                 replica,
             } => {
                 buf.push(5);
                 new_view.encode(buf);
                 last_exec.encode(buf);
+                stable_seq.encode(buf);
+                buf.extend_from_slice(stable_digest);
                 (prepared.len() as u32).encode(buf);
                 for (s, b) in prepared {
                     s.encode(buf);
@@ -276,6 +404,33 @@ impl Encode for Message {
                     s.encode(buf);
                     encode_batch(b, buf);
                 }
+            }
+            Message::Checkpoint {
+                seq,
+                digest,
+                replica,
+            } => {
+                buf.push(7);
+                seq.encode(buf);
+                buf.extend_from_slice(digest);
+                replica.encode(buf);
+            }
+            Message::FetchState { last_exec, replica } => {
+                buf.push(8);
+                last_exec.encode(buf);
+                replica.encode(buf);
+            }
+            Message::StateSnapshot {
+                seq,
+                digest,
+                snapshot,
+                replica,
+            } => {
+                buf.push(9);
+                seq.encode(buf);
+                buf.extend_from_slice(digest);
+                snapshot.encode(buf);
+                replica.encode(buf);
             }
         }
     }
@@ -350,11 +505,15 @@ impl Decode for Message {
             5 => {
                 let new_view = u64::decode(r)?;
                 let last_exec = u64::decode(r)?;
+                let stable_seq = u64::decode(r)?;
+                let stable_digest = decode_digest(r)?;
                 let prepared = decode_assignments(r)?;
                 let replica = u32::decode(r)?;
                 Message::ViewChange {
                     new_view,
                     last_exec,
+                    stable_seq,
+                    stable_digest,
                     prepared,
                     replica,
                 }
@@ -362,6 +521,21 @@ impl Decode for Message {
             6 => Message::NewView {
                 view: u64::decode(r)?,
                 assignments: decode_assignments(r)?,
+            },
+            7 => Message::Checkpoint {
+                seq: u64::decode(r)?,
+                digest: decode_digest(r)?,
+                replica: u32::decode(r)?,
+            },
+            8 => Message::FetchState {
+                last_exec: u64::decode(r)?,
+                replica: u32::decode(r)?,
+            },
+            9 => Message::StateSnapshot {
+                seq: u64::decode(r)?,
+                digest: decode_digest(r)?,
+                snapshot: ReplicaSnapshot::decode(r)?,
+                replica: u32::decode(r)?,
             },
             tag => return Err(DecodeError::BadTag { tag, ty: "Message" }),
         })
@@ -479,12 +653,37 @@ mod tests {
             Message::ViewChange {
                 new_view: 2,
                 last_exec: 5,
+                stable_seq: 4,
+                stable_digest: sha256(b"stable"),
                 prepared: vec![(6, vec![sample_request(), second_request()]), (7, vec![])],
                 replica: 1,
             },
             Message::NewView {
                 view: 2,
                 assignments: vec![(6, vec![sample_request()])],
+            },
+            Message::Checkpoint {
+                seq: 8,
+                digest: sha256(b"ckpt"),
+                replica: 2,
+            },
+            Message::FetchState {
+                last_exec: 3,
+                replica: 1,
+            },
+            Message::StateSnapshot {
+                seq: 8,
+                digest: sha256(b"ckpt"),
+                snapshot: ReplicaSnapshot {
+                    space: peats_tuplespace::SpaceSnapshot {
+                        entries: vec![(0, tuple!["A", 1]), (4, tuple!["B", 2])],
+                        next_seq: 5,
+                        rng_state: 0,
+                    },
+                    client_registry: vec![(4, 100), (5, 101)],
+                    replies: vec![(100, vec![(1, OpResult::Done), (2, OpResult::Tuple(None))])],
+                },
+                replica: 3,
             },
         ];
         for m in msgs {

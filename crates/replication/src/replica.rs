@@ -19,21 +19,77 @@
 //! driver (tests, fault experiments) and the threaded driver (benchmarks)
 //! both wrap it, so the protocol logic is exercised identically in both.
 //!
-//! Simplifications versus full PBFT (documented in DESIGN.md §3):
-//! checkpoint/garbage-collection is digest-only (logs are unbounded within a
-//! run) and view-change messages carry prepared batches without
-//! per-message signature certificates — sufficient for the fault modes the
-//! experiments inject (crash, mute, equivocating primary, corrupt replies,
-//! flooding).
+//! **Checkpoints and garbage collection.** Every
+//! [`ReplicaConfig::checkpoint_interval`] executed slots a replica
+//! broadcasts a `Checkpoint { seq, digest }` over its full state (service +
+//! client registry + retained replies). `2f+1` matching digests form a
+//! *stable checkpoint* at `h`: slots, ordering hints, checkpoint votes, and
+//! view-change reports at or below `h` are pruned, and the vote acceptance
+//! window becomes `(h, max(h, last_exec) + L]` — so a replica's memory is
+//! bounded by the checkpoint interval plus the in-flight window, not by the
+//! executed history. A replica whose `last_exec` falls below a stable
+//! checkpoint (crash, flood, partition) cannot replay pruned history;
+//! instead it fetches a [`Message::StateSnapshot`] and rejoins in O(state):
+//! snapshots install only when `f+1` distinct replicas attest the
+//! `(seq, digest)` pair *and* the restored state re-hashes to the attested
+//! digest.
+//!
+//! Remaining simplifications versus full PBFT (also noted in the module
+//! docs of [`crate::messages`]): view-change and checkpoint messages carry
+//! no per-message signature certificates — the MAC-authenticated channels
+//! plus quorum counting stand in for them — which is sufficient for the
+//! fault modes the experiments inject (crash, mute, equivocating primary,
+//! corrupt replies, flooding).
 
 use crate::faults::FaultMode;
-use crate::messages::{batch_digest, Message, OpResult, ReplicaId, Request, Seq, View};
+use crate::messages::{
+    batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, Request, Seq, View,
+};
 use crate::service::PeatsService;
-use peats_auth::Digest;
+use peats_auth::{sha256, Digest};
+use peats_codec::Encode;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A replica's view-change report: the batches it knows an ordering for.
 type PreparedReport = Vec<(Seq, Vec<Request>)>;
+
+/// One stored view-change vote: what the sender reported about its state.
+#[derive(Debug)]
+struct VcVote {
+    last_exec: Seq,
+    stable_seq: Seq,
+    prepared: PreparedReport,
+}
+
+/// The largest value at least `f + 1` of the given claims reach — i.e. a
+/// value some *correct* replica genuinely claims, no matter which `f` of
+/// the claimants are Byzantine. The PBFT way to act on self-reported
+/// sequence numbers without letting one liar poison them.
+fn quorum_backed_max(values: impl Iterator<Item = Seq>, f: usize) -> Seq {
+    let mut sorted: Vec<Seq> = values.collect();
+    sorted.sort_unstable_by_key(|v| std::cmp::Reverse(*v));
+    sorted.get(f).copied().unwrap_or(0)
+}
+
+/// Sizes of a replica's growable in-memory structures, for bounded-memory
+/// assertions (see [`Replica::footprint`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaFootprint {
+    /// Live protocol slots (assigned or voted-on sequence numbers).
+    pub slots: usize,
+    /// `(client, req_id)` → slot retransmission hints.
+    pub ordered: usize,
+    /// Pending-but-unordered requests.
+    pub pending: usize,
+    /// Stored view-change votes across all tracked views.
+    pub view_votes: usize,
+    /// Stored checkpoint votes (at most one per replica).
+    pub checkpoint_votes: usize,
+    /// Buffered state-transfer snapshot payloads.
+    pub pending_snapshots: usize,
+    /// Largest per-client retained-reply map.
+    pub max_replies_per_client: usize,
+}
 
 /// Destination of an output message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,18 +106,33 @@ pub enum Dest {
 pub const DEFAULT_BATCH_CAP: usize = 64;
 /// Default cap on assigned-but-unexecuted slots the primary keeps open.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 2;
+/// Default checkpoint interval: every this many executed slots a replica
+/// broadcasts a `Checkpoint`, and a `2f+1` digest match garbage-collects
+/// everything at or below it.
+pub const DEFAULT_CHECKPOINT_INTERVAL: Seq = 128;
+/// Cap on `StateSnapshot` answers per requester per stable checkpoint: an
+/// explicit `FetchState` may be retried (the answer can be lost), but a
+/// Byzantine replica looping cheap fetches must not draw an unbounded
+/// stream of O(state) payloads from every correct peer.
+const MAX_SNAPSHOT_RESENDS: u32 = 3;
+/// Cap on concurrently tracked view-change view buckets. Escalation walks
+/// views one at a time, so live votes cluster near the current view; the
+/// highest (furthest-future, i.e. junk) buckets are evicted first.
+const MAX_TRACKED_VIEWS: usize = 16;
 /// Floor on executed results retained per client for retransmission
 /// re-replies (the effective retention scales with the configured
 /// in-flight volume, see [`Replica::reply_retention`]).
 const REPLY_RETENTION_FLOOR: usize = 64;
 /// Ceiling on per-client reply retention (memory bound).
 const REPLY_RETENTION_CEIL: usize = 4096;
-/// Acceptance window for sequence numbers above `last_exec` — PBFT's
-/// high-water mark. Votes, pre-prepares, and view-change reports naming a
-/// sequence number beyond it are dropped: a single Byzantine replica
-/// reporting seq `u64::MAX` would otherwise poison the new primary's
-/// sequence allocation (overflowing `next_seq += 1`) and permanently
-/// occupy an in-flight window slot execution can never reach.
+/// The log window `L`: sequence numbers are accepted only inside
+/// `(h, max(h, last_exec) + L]`, PBFT's low/high water marks. Votes,
+/// pre-prepares, and view-change reports naming a sequence number beyond
+/// the high mark are dropped (a single Byzantine replica reporting seq
+/// `u64::MAX` would otherwise poison the new primary's sequence allocation
+/// and permanently occupy an in-flight window slot); anything at or below
+/// the low mark `h` (the stable checkpoint) is garbage-collected history
+/// and must not re-materialize a slot.
 const SEQ_WINDOW: Seq = 1 << 20;
 
 /// Static replica configuration.
@@ -81,6 +152,11 @@ pub struct ReplicaConfig {
     /// backpressure: light load keeps single-request latency, heavy load
     /// amortizes the three-phase round over the whole backlog.
     pub max_in_flight: usize,
+    /// Broadcast a `Checkpoint` every this many executed slots; `0`
+    /// disables checkpointing (and with it garbage collection and snapshot
+    /// state transfer — logs then grow with the run, the pre-checkpoint
+    /// behavior kept for benchmark comparison).
+    pub checkpoint_interval: Seq,
 }
 
 impl ReplicaConfig {
@@ -92,6 +168,7 @@ impl ReplicaConfig {
             f,
             batch_cap: DEFAULT_BATCH_CAP,
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
         }
     }
 
@@ -145,10 +222,44 @@ pub struct Replica {
     /// `(client, req_id)` → slot hint for the retransmission fast path —
     /// without it every fresh request scans all historical slots, a
     /// quadratic term over a run. A hit is verified against the slot
-    /// (view changes may have voided it); entries are never removed, like
-    /// the slots themselves (checkpoint GC is out of scope, DESIGN.md §3).
+    /// (view changes may have voided it); entries at or below the stable
+    /// checkpoint are pruned together with the slots they point at.
     ordered: BTreeMap<(u64, u64), Seq>,
-    view_votes: BTreeMap<View, BTreeMap<ReplicaId, PreparedReport>>,
+    view_votes: BTreeMap<View, BTreeMap<ReplicaId, VcVote>>,
+    /// Highest view this replica has cast a `ViewChange` vote for. Repeated
+    /// progress timeouts escalate past it, so two (or more) consecutive
+    /// faulty primaries cannot wedge the cluster on one view number.
+    vc_target: View,
+    /// The stable checkpoint `h`: `2f+1` replicas attested identical state
+    /// digests at this executed slot, so everything at or below it is
+    /// garbage-collected.
+    stable_seq: Seq,
+    /// Digest of the stable checkpoint (what snapshots shipped to stragglers
+    /// must re-hash to).
+    stable_digest: Option<Digest>,
+    /// Checkpoint votes per boundary; one live vote per replica (a newer
+    /// vote supersedes its older ones), so this holds at most `n` entries.
+    checkpoint_votes: BTreeMap<Seq, BTreeMap<ReplicaId, Digest>>,
+    /// Each replica's newest checkpoint vote seq (the supersession index
+    /// for `checkpoint_votes`).
+    latest_ckpt: BTreeMap<ReplicaId, Seq>,
+    /// Buffered state-transfer payloads awaiting their `f+1` attestation —
+    /// at most one per *sender*, so `n` bounds the buffer and a Byzantine
+    /// flood of junk snapshots can neither exhaust memory nor evict a
+    /// genuine payload buffered from a correct sender.
+    pending_snapshots: BTreeMap<ReplicaId, (Seq, Digest, ReplicaSnapshot)>,
+    /// Per-target `(stable seq, answers sent at that seq)` — bounds the
+    /// O(state) snapshot payloads any one peer can draw per stable
+    /// checkpoint (see [`MAX_SNAPSHOT_RESENDS`]).
+    snapshot_sent: BTreeMap<ReplicaId, (Seq, u32)>,
+    /// Highest stable checkpoint this replica has requested a snapshot for
+    /// (`0` when not fetching): dedups `FetchState` broadcasts.
+    fetch_target: Seq,
+    /// Non-zero when a `2f+1` checkpoint quorum proved our own state
+    /// digest wrong at this boundary: our state is unsalvageable, and the
+    /// snapshot install path must accept a canonical checkpoint at or
+    /// above this seq even though it is ≤ our (worthless) `last_exec`.
+    rollback_target: Seq,
     fault: FaultMode,
 }
 
@@ -171,6 +282,15 @@ impl Replica {
             pending: Vec::new(),
             ordered: BTreeMap::new(),
             view_votes: BTreeMap::new(),
+            vc_target: 0,
+            stable_seq: 0,
+            stable_digest: None,
+            checkpoint_votes: BTreeMap::new(),
+            latest_ckpt: BTreeMap::new(),
+            pending_snapshots: BTreeMap::new(),
+            snapshot_sent: BTreeMap::new(),
+            fetch_target: 0,
+            rollback_target: 0,
             fault: FaultMode::Correct,
         }
     }
@@ -198,6 +318,30 @@ impl Replica {
     /// State digest of the hosted service (divergence checks).
     pub fn state_digest(&self) -> Digest {
         self.service.state_digest()
+    }
+
+    /// The stable checkpoint `h` (`0` before the first one forms).
+    pub fn stable_seq(&self) -> Seq {
+        self.stable_seq
+    }
+
+    /// Sizes of every growable structure — what the bounded-memory
+    /// regression tests assert stays flat under sustained traffic.
+    pub fn footprint(&self) -> ReplicaFootprint {
+        ReplicaFootprint {
+            slots: self.slots.len(),
+            ordered: self.ordered.len(),
+            pending: self.pending.len(),
+            view_votes: self.view_votes.values().map(|v| v.len()).sum(),
+            checkpoint_votes: self.checkpoint_votes.values().map(|v| v.len()).sum(),
+            pending_snapshots: self.pending_snapshots.len(),
+            max_replies_per_client: self
+                .replies
+                .values()
+                .map(|per| per.len())
+                .max()
+                .unwrap_or(0),
+        }
     }
 
     fn quorum_prepare(&self) -> usize {
@@ -250,15 +394,43 @@ impl Replica {
             Message::ViewChange {
                 new_view,
                 last_exec,
+                stable_seq,
+                stable_digest: _,
                 prepared,
                 replica,
             } => {
-                if replica as u64 == from {
-                    self.on_view_change(new_view, last_exec, prepared, replica, &mut out);
+                if self.sender_is_replica(from, replica) {
+                    self.on_view_change(
+                        new_view, last_exec, stable_seq, prepared, replica, &mut out,
+                    );
                 }
             }
             Message::NewView { view, assignments } => {
                 self.on_new_view(from, view, assignments, &mut out);
+            }
+            Message::Checkpoint {
+                seq,
+                digest,
+                replica,
+            } => {
+                if self.sender_is_replica(from, replica) {
+                    self.on_checkpoint(seq, digest, replica, &mut out);
+                }
+            }
+            Message::FetchState { last_exec, replica } => {
+                if self.sender_is_replica(from, replica) {
+                    self.on_fetch_state(last_exec, replica, &mut out);
+                }
+            }
+            Message::StateSnapshot {
+                seq,
+                digest,
+                snapshot,
+                replica,
+            } => {
+                if self.sender_is_replica(from, replica) {
+                    self.on_state_snapshot(seq, digest, snapshot, replica, &mut out);
+                }
             }
             Message::Reply { .. } => {} // replicas ignore replies
         }
@@ -266,6 +438,13 @@ impl Replica {
             return Vec::new();
         }
         self.apply_output_faults(out)
+    }
+
+    /// `true` when the claimed sender id is consistent with the transport
+    /// node the message arrived on and names a real replica (a Byzantine
+    /// client must not be able to speak replica protocol).
+    fn sender_is_replica(&self, from: u64, replica: ReplicaId) -> bool {
+        u64::from(replica) == from && (replica as usize) < self.cfg.n
     }
 
     /// Per-client reply retention: must exceed the number of requests one
@@ -280,10 +459,18 @@ impl Replica {
             .clamp(REPLY_RETENTION_FLOOR, REPLY_RETENTION_CEIL)
     }
 
-    /// `true` for sequence numbers inside the acceptance window — the only
-    /// ones votes and assignments may name.
+    /// `true` for sequence numbers inside the acceptance window
+    /// `(h, max(h, last_exec) + L]` — the only ones votes and assignments
+    /// may name. Below or at `h` is garbage-collected history (a vote there
+    /// must not re-materialize a pruned slot); past the high mark is a
+    /// Byzantine absurdity.
     fn seq_in_window(&self, seq: Seq) -> bool {
-        seq <= self.last_exec.saturating_add(SEQ_WINDOW)
+        seq > self.stable_seq
+            && seq
+                <= self
+                    .stable_seq
+                    .max(self.last_exec)
+                    .saturating_add(SEQ_WINDOW)
     }
 
     /// `true` when `req` already executed here (its reply is retained).
@@ -572,7 +759,12 @@ impl Replica {
                 slot.committed = true;
             }
         }
-        // Execute in order while possible.
+        self.execute_ready(out);
+    }
+
+    /// Executes committed slots in order while possible (also the resume
+    /// point after a snapshot install jumps `last_exec` forward).
+    fn execute_ready(&mut self, out: &mut Vec<(Dest, Message)>) {
         loop {
             let next = self.last_exec + 1;
             let ready = self
@@ -616,10 +808,419 @@ impl Replica {
                     ));
                 }
             }
+            // Checkpoint boundary: attest the post-execution state and try
+            // to stabilize (our vote may be the 2f+1st).
+            if self.cfg.checkpoint_interval > 0 && next % self.cfg.checkpoint_interval == 0 {
+                self.emit_checkpoint(next, out);
+            }
         }
         // Executed slots free the in-flight window: the primary drains any
         // backlog that accumulated while the window was full.
         self.try_assign(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints, garbage collection, and snapshot state transfer.
+    // ------------------------------------------------------------------
+
+    /// The checkpoint digest: the service state digest folded with the
+    /// protocol-level per-client state (registry + retained replies) —
+    /// everything a snapshot ships, so a receiver can re-derive exactly
+    /// this digest from a restored snapshot.
+    fn checkpoint_digest(&self) -> Digest {
+        Self::checkpoint_digest_over(
+            self.service.state_digest(),
+            self.registry_rows(),
+            self.reply_rows(),
+        )
+    }
+
+    /// Digest over a (service digest, registry, replies) triple. Reuses the
+    /// [`ReplicaSnapshot`] wire encoding (with an empty space — the space
+    /// is pinned by `service_digest`, which also covers the seq counter and
+    /// rng word raw entries would miss) so the attested digest and the
+    /// restored-snapshot digest are byte-for-byte the same computation.
+    fn checkpoint_digest_over(
+        service_digest: Digest,
+        client_registry: Vec<(u64, u64)>,
+        replies: Vec<(u64, Vec<(u64, OpResult)>)>,
+    ) -> Digest {
+        let meta = ReplicaSnapshot {
+            space: Default::default(),
+            client_registry,
+            replies,
+        };
+        let mut buf = service_digest.to_vec();
+        meta.encode(&mut buf);
+        sha256(&buf)
+    }
+
+    fn registry_rows(&self) -> Vec<(u64, u64)> {
+        self.client_registry
+            .iter()
+            .map(|(node, pid)| (*node, *pid))
+            .collect()
+    }
+
+    fn reply_rows(&self) -> Vec<(u64, Vec<(u64, OpResult)>)> {
+        self.replies
+            .iter()
+            .map(|(client, per)| {
+                (
+                    *client,
+                    per.iter().map(|(id, r)| (*id, r.clone())).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The full state-transfer payload for the current execution point.
+    fn build_snapshot(&self) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            space: self.service.snapshot(),
+            client_registry: self.registry_rows(),
+            replies: self.reply_rows(),
+        }
+    }
+
+    /// Executed through a checkpoint boundary: attest the state and see
+    /// whether our vote completes a stable checkpoint.
+    fn emit_checkpoint(&mut self, seq: Seq, out: &mut Vec<(Dest, Message)>) {
+        let digest = self.checkpoint_digest();
+        self.record_checkpoint_vote(seq, digest, self.cfg.id);
+        out.push((
+            Dest::AllReplicas,
+            Message::Checkpoint {
+                seq,
+                digest,
+                replica: self.cfg.id,
+            },
+        ));
+        self.try_stabilize(seq, out);
+    }
+
+    /// `true` for checkpoint sequence numbers a correct replica could emit:
+    /// a multiple of the interval above our stable checkpoint. (No high
+    /// bound — a replica that fell far behind must still learn of stable
+    /// checkpoints arbitrarily past its own window.)
+    fn checkpoint_seq_plausible(&self, seq: Seq) -> bool {
+        let interval = self.cfg.checkpoint_interval;
+        interval > 0 && seq > self.stable_seq && seq % interval == 0
+    }
+
+    /// Stores `replica`'s checkpoint attestation, superseding its older
+    /// votes — at most one live vote per replica, so the vote store holds
+    /// at most `n` entries no matter what a Byzantine flood claims.
+    fn record_checkpoint_vote(&mut self, seq: Seq, digest: Digest, replica: ReplicaId) {
+        if self.latest_ckpt.get(&replica).is_some_and(|s| *s > seq) {
+            return; // older than the replica's newest vote: stale
+        }
+        if let Some(old) = self.latest_ckpt.insert(replica, seq) {
+            if old != seq {
+                if let Some(votes) = self.checkpoint_votes.get_mut(&old) {
+                    votes.remove(&replica);
+                    if votes.is_empty() {
+                        self.checkpoint_votes.remove(&old);
+                    }
+                }
+            }
+        }
+        self.checkpoint_votes
+            .entry(seq)
+            .or_default()
+            .insert(replica, digest);
+    }
+
+    fn on_checkpoint(
+        &mut self,
+        seq: Seq,
+        digest: Digest,
+        replica: ReplicaId,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if !self.checkpoint_seq_plausible(seq) {
+            return;
+        }
+        self.record_checkpoint_vote(seq, digest, replica);
+        self.try_stabilize(seq, out);
+        // The vote may be the f+1st attestation a buffered state-transfer
+        // snapshot was waiting for.
+        if !self.pending_snapshots.is_empty() {
+            self.try_install_snapshot(out);
+        }
+    }
+
+    /// The digest `2f+1` checkpoint votes at `seq` agree on, if any.
+    fn stable_digest_at(&self, seq: Seq) -> Option<Digest> {
+        let votes = self.checkpoint_votes.get(&seq)?;
+        let quorum = self.quorum_commit();
+        votes
+            .values()
+            .find(|d| votes.values().filter(|e| e == d).count() >= quorum)
+            .copied()
+    }
+
+    /// Checks whether `seq` just became a stable checkpoint; if so, either
+    /// garbage-collects (we executed through it and our state matches) or
+    /// requests state transfer (we fell behind it, or — worse — diverged).
+    fn try_stabilize(&mut self, seq: Seq, out: &mut Vec<(Dest, Message)>) {
+        if seq <= self.stable_seq {
+            return;
+        }
+        let Some(digest) = self.stable_digest_at(seq) else {
+            return;
+        };
+        let behind = seq > self.last_exec;
+        let diverged = self
+            .checkpoint_votes
+            .get(&seq)
+            .and_then(|v| v.get(&self.cfg.id))
+            .is_some_and(|own| *own != digest);
+        if behind || diverged {
+            // We cannot anchor on this checkpoint from local state: the
+            // history below it is (or will be) pruned cluster-wide, so the
+            // only way forward is a snapshot.
+            if diverged {
+                // A quorum proved our own digest wrong: our state is
+                // unsalvageable, and the install path must accept the
+                // canonical checkpoint even though its seq ≤ our last_exec.
+                self.rollback_target = seq;
+            }
+            self.request_state(seq, out);
+            self.try_install_snapshot(out);
+            return;
+        }
+        self.collect_garbage(seq, digest);
+    }
+
+    /// Advances the low watermark to `h` and prunes everything at or below
+    /// it: slots, ordering hints, checkpoint votes, buffered snapshots, and
+    /// view-change report entries. After this, no structure retains data
+    /// about executed history older than the stable checkpoint.
+    fn collect_garbage(&mut self, h: Seq, digest: Digest) {
+        if h <= self.stable_seq {
+            return;
+        }
+        self.stable_seq = h;
+        self.stable_digest = Some(digest);
+        self.slots = self.slots.split_off(&(h + 1));
+        self.ordered.retain(|_, seq| *seq > h);
+        self.checkpoint_votes = self.checkpoint_votes.split_off(&(h + 1));
+        self.latest_ckpt.retain(|_, s| *s > h);
+        self.pending_snapshots.retain(|_, (s, _, _)| *s > h);
+        for votes in self.view_votes.values_mut() {
+            for vote in votes.values_mut() {
+                vote.prepared.retain(|(s, _)| *s > h);
+            }
+        }
+        if self.fetch_target <= h {
+            self.fetch_target = 0;
+        }
+        // Never assign below the watermark again.
+        self.next_seq = self.next_seq.max(h);
+    }
+
+    /// The `last_exec` value our `FetchState` requests carry: normally our
+    /// real execution point, but a rolling-back replica must ask *below*
+    /// the canonical checkpoint it needs, or peers (whose stable checkpoint
+    /// may be ≤ our worthless `last_exec`) would refuse to answer.
+    fn fetch_floor(&self) -> Seq {
+        if self.rollback_target != 0 {
+            self.rollback_target.saturating_sub(1).min(self.last_exec)
+        } else {
+            self.last_exec
+        }
+    }
+
+    /// Broadcasts a `FetchState` for stable checkpoint `target` (deduped:
+    /// one broadcast per target; the progress timeout retries if no
+    /// snapshot lands).
+    fn request_state(&mut self, target: Seq, out: &mut Vec<(Dest, Message)>) {
+        let rolling_back = self.rollback_target != 0 && target >= self.rollback_target;
+        if (target <= self.last_exec && !rolling_back) || target <= self.fetch_target {
+            return;
+        }
+        self.fetch_target = target;
+        out.push((
+            Dest::AllReplicas,
+            Message::FetchState {
+                last_exec: self.fetch_floor(),
+                replica: self.cfg.id,
+            },
+        ));
+    }
+
+    fn on_fetch_state(
+        &mut self,
+        sender_last_exec: Seq,
+        replica: ReplicaId,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if replica != self.cfg.id {
+            self.maybe_send_snapshot(replica, sender_last_exec, true, out);
+        }
+    }
+
+    /// Ships our stable-checkpoint snapshot to `to` if it sits below it,
+    /// within the per-target budget: one unsolicited offer per stable
+    /// checkpoint (stale `ViewChange` answers — a stranded replica's
+    /// timeout loop must not draw an O(state) payload from every peer on
+    /// every tick) and up to [`MAX_SNAPSHOT_RESENDS`] explicit-fetch
+    /// answers (retries for lost answers, without handing a Byzantine
+    /// fetch loop an unbounded amplification primitive). The budget resets
+    /// whenever the stable checkpoint advances.
+    fn maybe_send_snapshot(
+        &mut self,
+        to: ReplicaId,
+        their_last_exec: Seq,
+        explicit: bool,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        let Some(digest) = self.stable_digest else {
+            return;
+        };
+        if self.stable_seq <= their_last_exec {
+            return;
+        }
+        let entry = self.snapshot_sent.entry(to).or_insert((0, 0));
+        if entry.0 < self.stable_seq {
+            *entry = (self.stable_seq, 0);
+        }
+        let budget = if explicit { MAX_SNAPSHOT_RESENDS } else { 1 };
+        if entry.1 >= budget {
+            return;
+        }
+        entry.1 += 1;
+        out.push((
+            Dest::Replica(to),
+            Message::StateSnapshot {
+                seq: self.stable_seq,
+                digest,
+                snapshot: self.build_snapshot(),
+                replica: self.cfg.id,
+            },
+        ));
+    }
+
+    fn on_state_snapshot(
+        &mut self,
+        seq: Seq,
+        digest: Digest,
+        snapshot: ReplicaSnapshot,
+        replica: ReplicaId,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if !self.snapshot_seq_useful(seq) || !self.checkpoint_seq_plausible(seq) {
+            return;
+        }
+        // The offer is also the sender's attestation of (seq, digest). One
+        // buffered payload per sender: a newer offer replaces that sender's
+        // older one, and junk can never evict a correct sender's payload.
+        self.record_checkpoint_vote(seq, digest, replica);
+        self.pending_snapshots
+            .insert(replica, (seq, digest, snapshot));
+        self.try_install_snapshot(out);
+    }
+
+    /// `true` when installing a checkpoint at `seq` would move us forward:
+    /// past our execution point, or — when a quorum proved our state
+    /// diverged — at/above the canonical boundary we must roll back to.
+    fn snapshot_seq_useful(&self, seq: Seq) -> bool {
+        seq > self.last_exec || (self.rollback_target != 0 && seq >= self.rollback_target)
+    }
+
+    /// Installs the newest buffered snapshot that (a) `f+1` distinct
+    /// replicas attest and (b) re-hashes to its attested digest after
+    /// restoration — at least one correct replica vouches for the pair, and
+    /// the recompute catches a payload that does not match its claim.
+    fn try_install_snapshot(&mut self, out: &mut Vec<(Dest, Message)>) {
+        // Newest checkpoint first.
+        let mut candidates: Vec<(ReplicaId, Seq, Digest)> = self
+            .pending_snapshots
+            .iter()
+            .map(|(sender, (seq, digest, _))| (*sender, *seq, *digest))
+            .collect();
+        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.1));
+        for (sender, seq, digest) in candidates {
+            if !self.snapshot_seq_useful(seq) {
+                self.pending_snapshots.remove(&sender);
+                continue;
+            }
+            let attesters = self
+                .checkpoint_votes
+                .get(&seq)
+                .map_or(0, |v| v.values().filter(|d| **d == digest).count());
+            if attesters <= self.cfg.f {
+                continue; // not yet vouched for by a correct replica
+            }
+            let snapshot = &self.pending_snapshots[&sender].2;
+            let mut restored = self.service.clone();
+            restored.restore(&snapshot.space);
+            let recomputed = Self::checkpoint_digest_over(
+                restored.state_digest(),
+                snapshot.client_registry.clone(),
+                snapshot.replies.clone(),
+            );
+            if recomputed != digest {
+                // Attested digest, lying payload: discard it (another
+                // sender's copy may still arrive under the same claim).
+                self.pending_snapshots.remove(&sender);
+                continue;
+            }
+            let (_, _, snapshot) = self.pending_snapshots.remove(&sender).expect("present");
+            self.install_snapshot(seq, digest, restored, snapshot, out);
+            return;
+        }
+    }
+
+    /// Adopts a verified snapshot: replaces the service and per-client
+    /// state, jumps `last_exec` to the checkpoint, garbage-collects below
+    /// it, and resumes execution of any committed slots above it. When this
+    /// is a divergence *rollback* (`seq ≤` our old `last_exec`), every slot
+    /// is dropped first — they were executed against state a quorum proved
+    /// wrong, and will be re-learned from the protocol.
+    fn install_snapshot(
+        &mut self,
+        seq: Seq,
+        digest: Digest,
+        restored: PeatsService,
+        snapshot: ReplicaSnapshot,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if seq <= self.last_exec {
+            self.slots.clear();
+            self.ordered.clear();
+        }
+        self.rollback_target = 0;
+        self.service = restored;
+        self.client_registry = snapshot.client_registry.into_iter().collect();
+        self.replies = snapshot
+            .replies
+            .into_iter()
+            .map(|(client, per)| (client, per.into_iter().collect()))
+            .collect();
+        self.last_exec = seq;
+        self.record_checkpoint_vote(seq, digest, self.cfg.id);
+        self.collect_garbage(seq, digest);
+        // Requests the snapshot's history already answered must not be
+        // re-ordered.
+        let replies = &self.replies;
+        self.pending.retain(|req| {
+            !replies
+                .get(&req.client)
+                .is_some_and(|per| per.contains_key(&req.req_id))
+        });
+        // Our attestation helps the next straggler (and lets peers observe
+        // we caught up).
+        out.push((
+            Dest::AllReplicas,
+            Message::Checkpoint {
+                seq,
+                digest,
+                replica: self.cfg.id,
+            },
+        ));
+        self.execute_ready(out);
     }
 
     /// Local progress timeout: the driver calls this when requests are
@@ -629,71 +1230,168 @@ impl Replica {
         if matches!(self.fault, FaultMode::Crashed | FaultMode::Mute) {
             return Vec::new();
         }
-        if self.pending.is_empty() && self.slots.values().all(|s| s.executed || s.batch.is_none()) {
-            return Vec::new();
+        let mut msgs = Vec::new();
+        // Still waiting for a snapshot (behind a stable checkpoint, or
+        // rolling back from proven divergence): the earlier FetchState (or
+        // its answer) may have been lost — retry.
+        if self.fetch_target > self.last_exec || self.rollback_target != 0 {
+            msgs.push((
+                Dest::AllReplicas,
+                Message::FetchState {
+                    last_exec: self.fetch_floor(),
+                    replica: self.cfg.id,
+                },
+            ));
         }
-        let new_view = self.view + 1;
-        // Report every slot we know a batch for, executed ones included: a
-        // new primary that never received some pre-prepare can only learn
-        // the batch (and its sequence number) from these reports.
+        if self.pending.is_empty() && self.slots.values().all(|s| s.executed || s.batch.is_none()) {
+            return self.apply_output_faults(msgs);
+        }
+        // Escalating view target: a repeated timeout means the view we last
+        // voted for never made progress — its primary may be faulty too, so
+        // the next vote must move past it (two consecutive crashed
+        // primaries previously wedged the cluster re-voting one view
+        // forever). Votes already gathered from f+1 peers for an even
+        // higher view are joined instead of leapfrogged, so escalating
+        // replicas converge on a common target. (f+1, so a lone Byzantine
+        // vote cannot drag the cluster through the view space.)
+        let joinable = self
+            .view_votes
+            .iter()
+            .rev()
+            .find(|(view, votes)| **view > self.view && votes.len() > self.cfg.f)
+            .map(|(view, _)| *view)
+            .unwrap_or(0);
+        let new_view = (self.view + 1).max(self.vc_target + 1).max(joinable);
+        self.vc_target = new_view;
+        // Report every slot above the stable checkpoint we know a batch
+        // for, executed ones included: a new primary that never received
+        // some pre-prepare can only learn the batch (and its sequence
+        // number) from these reports. Below the checkpoint the report would
+        // be wasted bytes — a straggling primary-elect recovers that prefix
+        // via state transfer, never by re-voting — which is what keeps
+        // ViewChange size bounded by the log window instead of the run
+        // length.
         let prepared: PreparedReport = self
             .slots
-            .iter()
+            .range(self.stable_seq + 1..)
             .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
             .collect();
-        let mut msgs = vec![(
+        msgs.push((
             Dest::AllReplicas,
             Message::ViewChange {
                 new_view,
                 last_exec: self.last_exec,
+                stable_seq: self.stable_seq,
+                stable_digest: self.stable_digest.unwrap_or([0u8; 32]),
                 prepared: prepared.clone(),
                 replica: self.cfg.id,
             },
-        )];
+        ));
         // Vote for the view change ourselves.
+        self.store_view_vote(
+            new_view,
+            VcVote {
+                last_exec: self.last_exec,
+                stable_seq: self.stable_seq,
+                prepared,
+            },
+            self.cfg.id,
+        );
+        self.apply_output_faults(msgs)
+    }
+
+    /// Stores a view-change vote, bounding the number of tracked view
+    /// buckets (junk votes for far-future views are evicted first).
+    fn store_view_vote(&mut self, view: View, vote: VcVote, replica: ReplicaId) {
         self.view_votes
-            .entry(new_view)
+            .entry(view)
             .or_default()
-            .insert(self.cfg.id, prepared);
-        msgs = self.apply_output_faults(msgs);
-        msgs
+            .insert(replica, vote);
+        while self.view_votes.len() > MAX_TRACKED_VIEWS {
+            self.view_votes.pop_last();
+        }
     }
 
     fn on_view_change(
         &mut self,
         new_view: View,
         sender_last_exec: Seq,
+        sender_stable: Seq,
         prepared: PreparedReport,
         replica: ReplicaId,
         out: &mut Vec<(Dest, Message)>,
     ) {
+        // Note: a lone sender's `stable_seq`/`last_exec` claims are NEVER
+        // acted on directly — a single Byzantine vote naming `u64::MAX`
+        // must not pin `fetch_target`, wedge view formation, or poison
+        // sequence allocation. Being behind a real stable checkpoint is
+        // learned from `2f+1` matching `Checkpoint` votes (try_stabilize)
+        // or from the f+1-backed vote quorum below.
         if new_view <= self.view {
             // A replica stranded in an older view keeps asking for a view
-            // change the rest of the cluster already completed. If we are
-            // the current primary, send it our assignments above its own
-            // last executed slot so it can rejoin; it then recovers the
-            // missed history by re-voting (there is no checkpoint transfer
-            // in this reproduction).
-            if self.is_primary() && replica != self.cfg.id {
-                let assignments: PreparedReport = self
-                    .slots
-                    .range(sender_last_exec + 1..)
-                    .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
-                    .collect();
-                out.push((
-                    Dest::Replica(replica),
-                    Message::NewView {
-                        view: self.view,
-                        assignments,
-                    },
-                ));
+            // change the rest of the cluster already completed.
+            if replica != self.cfg.id {
+                // Any replica holding a stable checkpoint past the
+                // sender's execution point offers a snapshot — the old
+                // primary-only answer left a stranded replica unserved
+                // whenever the primary itself was briefly down, and pruned
+                // history cannot be re-voted at all.
+                self.maybe_send_snapshot(replica, sender_last_exec, false, out);
+                if self.is_primary() {
+                    // Assignments we still hold (necessarily above our
+                    // stable checkpoint) let it replay the recent suffix.
+                    let assignments: PreparedReport = self
+                        .slots
+                        .range(sender_last_exec.max(self.stable_seq).saturating_add(1)..)
+                        .filter_map(|(seq, s)| s.batch.clone().map(|b| (*seq, b)))
+                        .collect();
+                    out.push((
+                        Dest::Replica(replica),
+                        Message::NewView {
+                            view: self.view,
+                            assignments,
+                        },
+                    ));
+                }
             }
             return;
         }
-        let votes = self.view_votes.entry(new_view).or_default();
-        votes.insert(replica, prepared);
-        let votes_len = votes.len();
+        // Store only in-window report entries: anything at or below our
+        // stable checkpoint is pruned history, anything past the high mark
+        // is Byzantine.
+        let prepared: PreparedReport = prepared
+            .into_iter()
+            .filter(|(seq, _)| self.seq_in_window(*seq))
+            .collect();
+        self.store_view_vote(
+            new_view,
+            VcVote {
+                last_exec: sender_last_exec,
+                stable_seq: sender_stable,
+                prepared,
+            },
+            replica,
+        );
+        let votes_len = self.view_votes.get(&new_view).map_or(0, |v| v.len());
         if votes_len >= 2 * self.cfg.f + 1 && self.cfg.primary_of(new_view) == self.cfg.id {
+            // Claims are trusted only at f+1 strength: the (f+1)-th highest
+            // value among the 2f+1 votes is backed by at least one correct
+            // replica, so a Byzantine minority can neither inflate it (seq
+            // poisoning, formation wedging) nor is a genuine quorum-backed
+            // value ever missed.
+            let trusted_stable = self.view_votes.get(&new_view).map_or(0, |votes| {
+                quorum_backed_max(votes.values().map(|v| v.stable_seq), self.cfg.f)
+            });
+            // Anchoring guard: if a quorum-backed stable checkpoint outruns
+            // our execution, we are missing pruned history and must not
+            // lead — re-ordering on top of a gap would assign sequence
+            // numbers the rest of the cluster already garbage-collected.
+            // Fetch state first; the voters keep re-voting (escalating) and
+            // formation re-triggers once we caught up.
+            if trusted_stable > self.last_exec {
+                self.request_state(trusted_stable, out);
+                return;
+            }
             // Become primary of the new view. Reported slots keep their
             // reported sequence numbers and their exact batches — a batch
             // that committed (or even executed) at some replica must stay
@@ -701,6 +1399,12 @@ impl Replica {
             // requests no replica reports ordered get fresh slots, placed
             // after every number any replica may have seen.
             let votes = self.view_votes.remove(&new_view).unwrap_or_default();
+            // Fresh assignments must land above every sequence number a
+            // correct voter has already executed — an executed slot
+            // silently ignores a conflicting assignment at that replica
+            // while others accept it, and states diverge. f+1-backed for
+            // the same anti-poisoning reason as the stable anchor.
+            let trusted_exec = quorum_backed_max(votes.values().map(|v| v.last_exec), self.cfg.f);
             let mut assignments: BTreeMap<Seq, Vec<Request>> = BTreeMap::new();
             // Placement tracking by (client, req_id) key: deep Request
             // comparisons over the whole history would make a view change
@@ -713,8 +1417,8 @@ impl Replica {
                 .map(|r| (r.client, r.req_id))
                 .collect();
             let mut reported_max: Seq = 0;
-            for prepared in votes.values() {
-                for (seq, batch) in prepared {
+            for vote in votes.values() {
+                for (seq, batch) in &vote.prepared {
                     if !self.seq_in_window(*seq) {
                         // A Byzantine report naming an absurd sequence
                         // number must not poison `next_seq` or occupy an
@@ -746,6 +1450,9 @@ impl Replica {
             // batched under the same cap as the steady-state path. (The
             // max over our own slots ignores batchless entries — stray
             // votes for junk sequence numbers must not exhaust the space.)
+            // Anchored above every voter's stable checkpoint: those seqs
+            // are garbage-collected at the voters and would be dropped by
+            // their acceptance windows.
             let mut seq = reported_max
                 .max(
                     self.slots
@@ -756,7 +1463,10 @@ impl Replica {
                         .unwrap_or(0),
                 )
                 .max(self.last_exec)
-                .max(self.next_seq);
+                .max(self.next_seq)
+                .max(trusted_exec)
+                .max(trusted_stable)
+                .max(self.stable_seq);
             let fresh: Vec<Request> = self
                 .pending
                 .clone()
@@ -872,6 +1582,10 @@ impl Replica {
 
     fn install_view(&mut self, view: View, assignments: &BTreeMap<Seq, Vec<Request>>) {
         self.view = view;
+        // The escalation target restarts from the installed view: the next
+        // stall votes `view + 1`, not wherever the last escalation run got
+        // to.
+        self.vc_target = view;
         // Executed/committed slots survive (votes are view-agnostic), but
         // our own uncommitted orderings from older views are void: the new
         // primary's assignments are authoritative. A stale divergent slot
@@ -1266,6 +1980,8 @@ mod tests {
                 Message::ViewChange {
                     new_view: 1,
                     last_exec: 0,
+                    stable_seq: 0,
+                    stable_digest: [0u8; 32],
                     prepared: vec![],
                     replica: r,
                 },
@@ -1302,6 +2018,8 @@ mod tests {
             Message::ViewChange {
                 new_view: 1,
                 last_exec: 0,
+                stable_seq: 0,
+                stable_digest: [0u8; 32],
                 prepared: vec![(u64::MAX, vec![req(9)])],
                 replica: 2,
             },
@@ -1311,6 +2029,8 @@ mod tests {
             Message::ViewChange {
                 new_view: 1,
                 last_exec: 0,
+                stable_seq: 0,
+                stable_digest: [0u8; 32],
                 prepared: vec![],
                 replica: 3,
             },
@@ -1332,6 +2052,595 @@ mod tests {
                 .any(|(s, b)| *s == 1 && b.contains(&req(1))),
             "the pending request must land at an ordinary low slot"
         );
+    }
+
+    /// Feeds back matching checkpoint votes from replicas 1 and 2 for every
+    /// `Checkpoint` the replica just broadcast, completing the `2f+1`
+    /// stability quorum (f = 1).
+    fn echo_checkpoints(p: &mut Replica, out: &[(Dest, Message)]) {
+        echo_checkpoints_from(p, out, [1, 2]);
+    }
+
+    fn mk_checkpointing_primary(interval: Seq) -> Replica {
+        let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+        Replica::new(
+            ReplicaConfig {
+                batch_cap: 1,
+                max_in_flight: usize::MAX,
+                checkpoint_interval: interval,
+                ..ReplicaConfig::new(0, 4, 1)
+            },
+            service,
+            registry,
+        )
+    }
+
+    #[test]
+    fn stable_checkpoints_garbage_collect_slots_and_hints() {
+        let interval = 4;
+        let mut p = mk_checkpointing_primary(interval);
+        for i in 1..=12u64 {
+            p.on_message(CLIENT_NODE, Message::Request(req(i)));
+            let out = commit_slot(&mut p, i, &[req(i)]);
+            echo_checkpoints(&mut p, &out);
+        }
+        assert_eq!(p.last_exec(), 12);
+        assert_eq!(p.stable_seq(), 12, "the boundary at 12 must stabilize");
+        let fp = p.footprint();
+        assert_eq!(fp.slots, 0, "all slots at or below h are pruned");
+        assert_eq!(fp.ordered, 0, "ordering hints at or below h are pruned");
+        assert!(
+            fp.checkpoint_votes <= 4,
+            "at most one live checkpoint vote per replica, got {}",
+            fp.checkpoint_votes
+        );
+        // Votes for pruned slots must not re-materialize them.
+        p.on_message(
+            1,
+            Message::Prepare {
+                view: 0,
+                seq: 3,
+                digest: batch_digest(&[req(3)]),
+                replica: 1,
+            },
+        );
+        assert_eq!(p.footprint().slots, 0, "a vote below h must stay dropped");
+    }
+
+    #[test]
+    fn view_change_report_is_bounded_by_the_stable_checkpoint() {
+        let interval = 4;
+        let mut p = mk_checkpointing_primary(interval);
+        for i in 1..=8u64 {
+            p.on_message(CLIENT_NODE, Message::Request(req(i)));
+            let out = commit_slot(&mut p, i, &[req(i)]);
+            echo_checkpoints(&mut p, &out);
+        }
+        // One in-flight (unexecuted) slot above the checkpoint plus a
+        // pending request so the progress check fires.
+        p.on_message(CLIENT_NODE, Message::Request(req(9)));
+        let msgs = p.on_progress_timeout();
+        let (stable_seq, prepared) = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::ViewChange {
+                    stable_seq,
+                    prepared,
+                    ..
+                } => Some((*stable_seq, prepared.clone())),
+                _ => None,
+            })
+            .expect("stalled replica must vote a view change");
+        assert_eq!(stable_seq, 8);
+        assert!(
+            prepared.iter().all(|(s, _)| *s > 8),
+            "the report must not carry garbage-collected history: {prepared:?}"
+        );
+        assert!(
+            prepared.len() <= 1,
+            "report bounded by the in-flight window, got {}",
+            prepared.len()
+        );
+    }
+
+    #[test]
+    fn repeated_timeouts_escalate_past_consecutively_faulty_primaries() {
+        // Backup 3 of a 4-replica cluster with a pending request: the first
+        // timeout votes view 1; if that view's primary never answers, the
+        // next timeout must move on to view 2 instead of re-voting view 1
+        // forever.
+        let mut b = mk_replica(3, 8, 2);
+        b.on_message(CLIENT_NODE, Message::Request(req(1)));
+        let first = b.on_progress_timeout();
+        let view_of = |msgs: &[(Dest, Message)]| {
+            msgs.iter()
+                .find_map(|(_, m)| match m {
+                    Message::ViewChange { new_view, .. } => Some(*new_view),
+                    _ => None,
+                })
+                .expect("a stalled backup votes")
+        };
+        assert_eq!(view_of(&first), 1);
+        assert_eq!(view_of(&b.on_progress_timeout()), 2);
+        assert_eq!(view_of(&b.on_progress_timeout()), 3);
+    }
+
+    #[test]
+    fn stalled_replica_joins_a_peer_voted_view_instead_of_leapfrogging() {
+        // f+1 = 2 peers already voted view 5; our next escalation target
+        // would be 1, but joining 5 is what lets the quorum form.
+        let mut b = mk_replica(3, 8, 2);
+        b.on_message(CLIENT_NODE, Message::Request(req(1)));
+        for r in [1u32, 2] {
+            b.on_message(
+                u64::from(r),
+                Message::ViewChange {
+                    new_view: 5,
+                    last_exec: 0,
+                    stable_seq: 0,
+                    stable_digest: [0u8; 32],
+                    prepared: vec![],
+                    replica: r,
+                },
+            );
+        }
+        let msgs = b.on_progress_timeout();
+        let voted = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::ViewChange { new_view, .. } => Some(*new_view),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(voted, 5, "must join the f+1-backed view change");
+    }
+
+    #[test]
+    fn any_replica_with_a_stable_checkpoint_answers_a_stale_view_change() {
+        // Replica 1 is NOT the view-0 primary; it must still offer a
+        // snapshot to a replica stranded below its stable checkpoint.
+        let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+        let mut b = Replica::new(
+            ReplicaConfig {
+                batch_cap: 1,
+                max_in_flight: usize::MAX,
+                checkpoint_interval: 4,
+                ..ReplicaConfig::new(1, 4, 1)
+            },
+            service,
+            registry,
+        );
+        // Drive 4 slots to execution as a backup (pre-prepares from the
+        // primary, votes from 0 and 2), then stabilize.
+        for i in 1..=4u64 {
+            b.on_message(
+                0,
+                Message::PrePrepare {
+                    view: 0,
+                    seq: i,
+                    requests: vec![req(i)],
+                },
+            );
+            let out = commit_slot_with(&mut b, i, &[req(i)], [0, 2]);
+            echo_checkpoints_from(&mut b, &out, [0, 2]);
+        }
+        assert_eq!(b.stable_seq(), 4);
+        let out = b.on_message(
+            3,
+            Message::ViewChange {
+                new_view: 0,
+                last_exec: 0,
+                stable_seq: 0,
+                stable_digest: [0u8; 32],
+                prepared: vec![],
+                replica: 3,
+            },
+        );
+        assert!(
+            out.iter().any(|(dest, m)| *dest == Dest::Replica(3)
+                && matches!(m, Message::StateSnapshot { seq: 4, .. })),
+            "a non-primary holding a stable checkpoint must offer it: {out:?}"
+        );
+        // ... but only once per stable checkpoint: the stranded replica's
+        // timeout loop must not pull a fresh O(state) payload per tick.
+        let again = b.on_message(
+            3,
+            Message::ViewChange {
+                new_view: 0,
+                last_exec: 0,
+                stable_seq: 0,
+                stable_digest: [0u8; 32],
+                prepared: vec![],
+                replica: 3,
+            },
+        );
+        assert!(
+            !again
+                .iter()
+                .any(|(_, m)| matches!(m, Message::StateSnapshot { .. })),
+            "unsolicited offers are deduped per stable checkpoint"
+        );
+    }
+
+    /// `echo_checkpoints` with an explicit voter pair.
+    fn echo_checkpoints_from(p: &mut Replica, out: &[(Dest, Message)], voters: [u32; 2]) {
+        let ckpts: Vec<(Seq, Digest)> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Checkpoint { seq, digest, .. } => Some((*seq, *digest)),
+                _ => None,
+            })
+            .collect();
+        for (seq, digest) in ckpts {
+            for r in voters {
+                p.on_message(
+                    u64::from(r),
+                    Message::Checkpoint {
+                        seq,
+                        digest,
+                        replica: r,
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_installs_only_with_attestation_and_matching_digest() {
+        // Donor: a primary that executed through a stable checkpoint at 4.
+        let mut donor = mk_checkpointing_primary(4);
+        for i in 1..=4u64 {
+            donor.on_message(CLIENT_NODE, Message::Request(req(i)));
+            let out = commit_slot(&mut donor, i, &[req(i)]);
+            echo_checkpoints(&mut donor, &out);
+        }
+        assert_eq!(donor.stable_seq(), 4);
+        let answer = donor.on_message(
+            3,
+            Message::FetchState {
+                last_exec: 0,
+                replica: 3,
+            },
+        );
+        let (seq, digest, snapshot) = answer
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::StateSnapshot {
+                    seq,
+                    digest,
+                    snapshot,
+                    ..
+                } => Some((*seq, *digest, snapshot.clone())),
+                _ => None,
+            })
+            .expect("a fetch against a stable checkpoint is answered");
+
+        // A fresh replica 3 (restarted from nothing).
+        let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+        let mut fresh = Replica::new(
+            ReplicaConfig {
+                checkpoint_interval: 4,
+                ..ReplicaConfig::new(3, 4, 1)
+            },
+            service,
+            registry,
+        );
+        // A lying payload under the attested digest must be rejected by the
+        // recompute even once attested.
+        let mut poisoned = snapshot.clone();
+        poisoned.replies.push((999, vec![(1, OpResult::Done)]));
+        fresh.on_message(
+            0,
+            Message::StateSnapshot {
+                seq,
+                digest,
+                snapshot: poisoned,
+                replica: 0,
+            },
+        );
+        fresh.on_message(
+            1,
+            Message::Checkpoint {
+                seq,
+                digest,
+                replica: 1,
+            },
+        );
+        assert_eq!(fresh.last_exec(), 0, "poisoned payload must not install");
+
+        // The genuine payload with one attester (the sender alone) must
+        // wait for f+1 = 2 distinct attestations...
+        let mut fresh2 = {
+            let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+            let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+            Replica::new(
+                ReplicaConfig {
+                    checkpoint_interval: 4,
+                    ..ReplicaConfig::new(3, 4, 1)
+                },
+                service,
+                registry,
+            )
+        };
+        fresh2.on_message(
+            0,
+            Message::StateSnapshot {
+                seq,
+                digest,
+                snapshot: snapshot.clone(),
+                replica: 0,
+            },
+        );
+        assert_eq!(fresh2.last_exec(), 0, "one attester is not enough");
+        // ...and install as soon as the second lands.
+        let out = fresh2.on_message(
+            1,
+            Message::Checkpoint {
+                seq,
+                digest,
+                replica: 1,
+            },
+        );
+        assert_eq!(fresh2.last_exec(), 4, "attested snapshot installs");
+        assert_eq!(fresh2.stable_seq(), 4);
+        assert_eq!(
+            fresh2.state_digest(),
+            donor.state_digest(),
+            "restored service state must match the donor's"
+        );
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, Message::Checkpoint { seq: 4, .. })),
+            "the installer re-attests so the next straggler can count it"
+        );
+        // A retransmission of an executed request is re-replied from the
+        // restored reply retention, not re-executed.
+        let re = fresh2.on_message(CLIENT_NODE, Message::Request(req(2)));
+        assert_eq!(reply_ids(&re), vec![2]);
+        assert_eq!(fresh2.last_exec(), 4, "no re-execution after restore");
+    }
+
+    #[test]
+    fn byzantine_view_change_claims_cannot_poison_sequence_allocation() {
+        // One faulty voter claims last_exec and stable_seq of u64::MAX.
+        // The claims are only f+1-trusted, so formation proceeds, no
+        // arithmetic overflows, and fresh requests still land at ordinary
+        // low sequence numbers.
+        let mut p = mk_replica(1, 8, 2);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        p.on_progress_timeout();
+        p.on_message(
+            2,
+            Message::ViewChange {
+                new_view: 1,
+                last_exec: u64::MAX,
+                stable_seq: u64::MAX,
+                stable_digest: [9u8; 32],
+                prepared: vec![],
+                replica: 2,
+            },
+        );
+        let nv = p.on_message(
+            3,
+            Message::ViewChange {
+                new_view: 1,
+                last_exec: 0,
+                stable_seq: 0,
+                stable_digest: [0u8; 32],
+                prepared: vec![],
+                replica: 3,
+            },
+        );
+        let assignments = nv
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::NewView { assignments, .. } => Some(assignments.clone()),
+                _ => None,
+            })
+            .expect("a lone liar must not block view formation");
+        assert!(
+            assignments
+                .iter()
+                .any(|(s, b)| *s == 1 && b.contains(&req(1))),
+            "fresh requests must keep ordinary low slots: {assignments:?}"
+        );
+        // The lone stable claim must not have pinned a fetch either: no
+        // FetchState goes out on the next timeout.
+        p.on_message(CLIENT_NODE, Message::Request(req(2)));
+        assert!(
+            !p.on_progress_timeout()
+                .iter()
+                .any(|(_, m)| matches!(m, Message::FetchState { .. })),
+            "a single unbacked stable claim must not trigger state fetching"
+        );
+    }
+
+    #[test]
+    fn stale_view_change_with_absurd_last_exec_does_not_panic() {
+        let mut p = mk_primary(8, 2);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        commit_slot(&mut p, 1, &[req(1)]);
+        // Stale (new_view 0 == current view) with last_exec u64::MAX: the
+        // suffix range must saturate, not overflow.
+        let out = p.on_message(
+            3,
+            Message::ViewChange {
+                new_view: 0,
+                last_exec: u64::MAX,
+                stable_seq: 0,
+                stable_digest: [0u8; 32],
+                prepared: vec![],
+                replica: 3,
+            },
+        );
+        assert!(
+            !out.iter().any(|(_, m)| matches!(m, Message::NewView { .. })
+                && matches!(m, Message::NewView { assignments, .. } if !assignments.is_empty())),
+            "nothing to ship to a sender claiming to be ahead"
+        );
+    }
+
+    #[test]
+    fn fetch_state_flood_is_rate_limited_per_stable_checkpoint() {
+        let mut donor = mk_checkpointing_primary(4);
+        for i in 1..=4u64 {
+            donor.on_message(CLIENT_NODE, Message::Request(req(i)));
+            let out = commit_slot(&mut donor, i, &[req(i)]);
+            echo_checkpoints(&mut donor, &out);
+        }
+        assert_eq!(donor.stable_seq(), 4);
+        let mut snapshots = 0;
+        for _ in 0..10 {
+            let out = donor.on_message(
+                3,
+                Message::FetchState {
+                    last_exec: 0,
+                    replica: 3,
+                },
+            );
+            snapshots += out
+                .iter()
+                .filter(|(_, m)| matches!(m, Message::StateSnapshot { .. }))
+                .count();
+        }
+        assert!(
+            snapshots <= 3,
+            "a fetch loop must not draw unbounded O(state) payloads, got {snapshots}"
+        );
+    }
+
+    #[test]
+    fn diverged_replica_rolls_back_to_the_canonical_checkpoint() {
+        // Replica 3 executed a different request at slot 4 than the rest of
+        // the cluster: same last_exec, different digest. Once 2f+1 matching
+        // checkpoint votes prove its state wrong, it must fetch and install
+        // the canonical snapshot even though the checkpoint seq is not past
+        // its own last_exec.
+        let mut donor = mk_checkpointing_primary(4);
+        for i in 1..=4u64 {
+            donor.on_message(CLIENT_NODE, Message::Request(req(i)));
+            let out = commit_slot(&mut donor, i, &[req(i)]);
+            echo_checkpoints(&mut donor, &out);
+        }
+        let canonical = donor
+            .on_message(
+                3,
+                Message::FetchState {
+                    last_exec: 0,
+                    replica: 3,
+                },
+            )
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Message::StateSnapshot {
+                    seq,
+                    digest,
+                    snapshot,
+                    ..
+                } => Some((seq, digest, snapshot)),
+                _ => None,
+            })
+            .expect("donor answers");
+
+        // The divergent replica: backup that executed req(99) at slot 4.
+        let service = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let registry = [(CLIENT_NODE, CLIENT_PID)].into_iter().collect();
+        let mut div = Replica::new(
+            ReplicaConfig {
+                batch_cap: 1,
+                max_in_flight: usize::MAX,
+                checkpoint_interval: 4,
+                ..ReplicaConfig::new(3, 4, 1)
+            },
+            service,
+            registry,
+        );
+        for i in 1..=4u64 {
+            let batch = if i == 4 { vec![req(99)] } else { vec![req(i)] };
+            div.on_message(
+                0,
+                Message::PrePrepare {
+                    view: 0,
+                    seq: i,
+                    requests: batch.clone(),
+                },
+            );
+            commit_slot_with(&mut div, i, &batch, [0, 1]);
+        }
+        assert_eq!(div.last_exec(), 4);
+        assert_ne!(div.state_digest(), donor.state_digest(), "setup: diverged");
+        // 2f+1 canonical votes arrive; replica 3's own vote disagrees.
+        let (seq, digest, snapshot) = canonical;
+        let mut out = Vec::new();
+        for r in [0u32, 1, 2] {
+            out = div.on_message(
+                u64::from(r),
+                Message::Checkpoint {
+                    seq,
+                    digest,
+                    replica: r,
+                },
+            );
+        }
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, Message::FetchState { .. })),
+            "a proven-diverged replica must request the canonical state"
+        );
+        // The canonical snapshot arrives (sender 0 attests; votes from 1, 2
+        // already counted), and installs DESPITE seq == its last_exec.
+        div.on_message(
+            0,
+            Message::StateSnapshot {
+                seq,
+                digest,
+                snapshot,
+                replica: 0,
+            },
+        );
+        assert_eq!(div.last_exec(), 4);
+        assert_eq!(div.stable_seq(), 4);
+        assert_eq!(
+            div.state_digest(),
+            donor.state_digest(),
+            "rolled back onto the canonical state"
+        );
+    }
+
+    #[test]
+    fn junk_checkpoint_votes_stay_bounded() {
+        let mut p = mk_checkpointing_primary(4);
+        // A Byzantine replica votes at 1000 distinct plausible boundaries;
+        // supersession keeps only its newest.
+        for i in 1..=1000u64 {
+            p.on_message(
+                2,
+                Message::Checkpoint {
+                    seq: i * 4,
+                    digest: [7u8; 32],
+                    replica: 2,
+                },
+            );
+        }
+        let fp = p.footprint();
+        assert!(
+            fp.checkpoint_votes <= 1,
+            "one live vote per replica, got {}",
+            fp.checkpoint_votes
+        );
+        // Off-interval and ancient seqs are rejected outright.
+        p.on_message(
+            2,
+            Message::Checkpoint {
+                seq: 4003,
+                digest: [7u8; 32],
+                replica: 2,
+            },
+        );
+        assert!(p.footprint().checkpoint_votes <= 1);
     }
 
     #[test]

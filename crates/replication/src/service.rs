@@ -12,7 +12,7 @@ use peats_codec::Encode;
 use peats_policy::{
     Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
 };
-use peats_tuplespace::{CasOutcome, SequentialSpace};
+use peats_tuplespace::{CasOutcome, SequentialSpace, SpaceSnapshot};
 
 /// One replica's copy of the PEATS: space + reference monitor.
 #[derive(Clone)]
@@ -93,6 +93,22 @@ impl PeatsService {
         self.space.next_seq().encode(&mut buf);
         self.space.rng_state().encode(&mut buf);
         sha256(&buf)
+    }
+
+    /// Captures the restorable space state (entries + seq counter +
+    /// selection rng). The reference monitor is static deployment
+    /// configuration, so the snapshot plus the policy fully determines the
+    /// service: `restore` onto any service built with the same policy
+    /// reproduces the [`state_digest`](Self::state_digest) exactly — the
+    /// checkpoint-transfer invariant the replication layer relies on.
+    pub fn snapshot(&self) -> SpaceSnapshot {
+        self.space.snapshot()
+    }
+
+    /// Replaces the space state with `snapshot`'s (state transfer on a
+    /// rejoining replica).
+    pub fn restore(&mut self, snapshot: &SpaceSnapshot) {
+        self.space.restore(snapshot);
     }
 
     /// Number of stored tuples.
@@ -176,6 +192,28 @@ mod tests {
         a.execute(0, &OpCall::take(template!["X"]));
         assert!(a.is_empty() && b.is_empty());
         assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_state_digest_and_future_behavior() {
+        let mk = || PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        let mut a = mk();
+        a.execute(0, &OpCall::out(tuple!["X", 1]));
+        a.execute(0, &OpCall::out(tuple!["X", 2]));
+        a.execute(0, &OpCall::take(template!["X", 1]));
+        let snap = a.snapshot();
+
+        let mut b = mk();
+        b.execute(9, &OpCall::out(tuple!["STALE"])); // must vanish
+        b.restore(&snap);
+        assert_eq!(a.state_digest(), b.state_digest());
+        // Future operations behave identically (same FIFO order, same seq
+        // stream), so digests stay locked together.
+        for svc in [&mut a, &mut b] {
+            svc.execute(0, &OpCall::out(tuple!["X", 3]));
+            svc.execute(0, &OpCall::take(template!["X", _]));
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 
     #[test]

@@ -168,6 +168,27 @@ impl SimCluster {
         client_pids: &[u64],
         config: NetConfig,
     ) -> Self {
+        let n = 3 * f + 1;
+        Self::new_with(policy, params, f, client_pids, config, |id| {
+            ReplicaConfig::new(id, n, f)
+        })
+    }
+
+    /// [`SimCluster::new`] with per-replica configuration (tests tune the
+    /// batching window and checkpoint interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy parameters are inconsistent (a deployment-time
+    /// configuration error).
+    pub fn new_with(
+        policy: Policy,
+        params: PolicyParams,
+        f: usize,
+        client_pids: &[u64],
+        config: NetConfig,
+        mk_cfg: impl Fn(ReplicaId) -> ReplicaConfig,
+    ) -> Self {
         let n_replicas = 3 * f + 1;
         let master = b"peats-deployment-master".to_vec();
         let mut net = SimNet::new(config);
@@ -183,7 +204,7 @@ impl SimCluster {
             let service = PeatsService::new(policy.clone(), params.clone())
                 .expect("policy parameters are consistent");
             let replica = Rc::new(RefCell::new(Replica::new(
-                ReplicaConfig::new(id as ReplicaId, n_replicas, f),
+                mk_cfg(id as ReplicaId),
                 service,
                 registry.clone(),
             )));
@@ -244,6 +265,42 @@ impl SimCluster {
             .iter()
             .map(|r| r.borrow().state_digest())
             .collect()
+    }
+
+    /// Each replica's last executed sequence number.
+    pub fn last_execs(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.borrow().last_exec())
+            .collect()
+    }
+
+    /// Each replica's stable checkpoint.
+    pub fn stable_seqs(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.borrow().stable_seq())
+            .collect()
+    }
+
+    /// Each replica's memory footprint (bounded-memory assertions).
+    pub fn footprints(&self) -> Vec<crate::replica::ReplicaFootprint> {
+        self.replicas
+            .iter()
+            .map(|r| r.borrow().footprint())
+            .collect()
+    }
+
+    /// Steps the simulation up to `steps` times with no client activity —
+    /// lets trailing protocol traffic (commit votes to stragglers,
+    /// checkpoint exchanges, state transfer) drain before an assertion
+    /// about replica state.
+    pub fn settle(&mut self, steps: u64) {
+        for _ in 0..steps {
+            if !self.net.step() {
+                break;
+            }
+        }
     }
 
     /// Invokes `op` from client `client_idx`; runs the simulation until the
@@ -457,6 +514,154 @@ mod tests {
         assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
         // Some correct replica moved past view 0.
         assert!(c.views().iter().any(|v| *v > 0), "views: {:?}", c.views());
+    }
+
+    #[test]
+    fn two_consecutive_crashed_primaries_still_commit() {
+        // Primaries of views 0 AND 1 are crashed (f = 2, so n = 7 tolerates
+        // both). Replicas first vote view 1; when its primary never forms
+        // it, repeated timeouts must escalate to view 2 — re-voting view 1
+        // forever was the wedge this regression test pins.
+        let mut c = cluster(2, &[100]);
+        c.set_fault(0, FaultMode::Crashed);
+        c.set_fault(1, FaultMode::Crashed);
+        assert_eq!(c.invoke(0, OpCall::out(tuple!["E"])), Some(OpResult::Done));
+        assert!(
+            c.views().iter().any(|v| *v >= 2),
+            "the cluster must move past the second crashed primary: {:?}",
+            c.views()
+        );
+        assert_eq!(
+            c.invoke(0, OpCall::rdp(template!["E"])),
+            Some(OpResult::Tuple(Some(tuple!["E"])))
+        );
+    }
+
+    fn checkpointing_cluster(
+        f: usize,
+        clients: &[u64],
+        interval: u64,
+        batch_cap: usize,
+    ) -> SimCluster {
+        let n = 3 * f + 1;
+        SimCluster::new_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            f,
+            clients,
+            NetConfig::default(),
+            move |id| ReplicaConfig {
+                batch_cap,
+                max_in_flight: 2,
+                checkpoint_interval: interval,
+                ..ReplicaConfig::new(id, n, f)
+            },
+        )
+    }
+
+    #[test]
+    fn sustained_traffic_keeps_replica_memory_bounded() {
+        // N ≫ checkpoint interval requests: every replica's slot log,
+        // ordering hints, and vote stores must stay bounded by the interval
+        // plus the in-flight window — not grow with the run.
+        let interval = 4u64;
+        let (batch_cap, in_flight) = (2usize, 2u64);
+        let mut c = checkpointing_cluster(1, &[100, 101], interval, batch_cap);
+        let rounds = 40;
+        for r in 0..rounds {
+            let ops: Vec<(usize, OpCall<'static>)> = (0..4i64)
+                .map(|i| ((i % 2) as usize, OpCall::out(tuple!["L", r, i])))
+                .collect();
+            let results = c.invoke_many(ops);
+            assert!(results.iter().all(|r| r.is_some()), "round {r} stalled");
+        }
+        c.settle(50_000);
+        let slot_bound = (interval + in_flight) as usize * 2;
+        for (id, fp) in c.footprints().into_iter().enumerate() {
+            assert!(
+                fp.slots <= slot_bound,
+                "replica {id} retains {} slots after 160 requests (bound {slot_bound})",
+                fp.slots
+            );
+            assert!(
+                fp.ordered <= slot_bound * batch_cap,
+                "replica {id} retains {} ordering hints (bound {})",
+                fp.ordered,
+                slot_bound * batch_cap
+            );
+            assert!(
+                fp.max_replies_per_client <= 64,
+                "replica {id} reply retention leaked: {}",
+                fp.max_replies_per_client
+            );
+            assert!(
+                fp.checkpoint_votes <= c.n_replicas(),
+                "replica {id} checkpoint votes leaked: {}",
+                fp.checkpoint_votes
+            );
+        }
+        let stables = c.stable_seqs();
+        let execs = c.last_execs();
+        for id in 0..c.n_replicas() {
+            assert!(
+                stables[id] + slot_bound as u64 >= execs[id],
+                "replica {id} stable checkpoint {} lags execution {}",
+                stables[id],
+                execs[id]
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_replica_rejoins_via_state_transfer_after_gc() {
+        // Replica 3 sleeps through enough traffic that the history it
+        // missed is garbage-collected cluster-wide. On waking it cannot
+        // replay pruned slots; only a snapshot install can move its
+        // last_exec — which is exactly what must happen.
+        let interval = 2u64;
+        let mut c = checkpointing_cluster(1, &[100], interval, 4);
+        c.set_fault(3, FaultMode::Crashed);
+        for i in 0..12i64 {
+            assert_eq!(
+                c.invoke(0, OpCall::out(tuple!["H", i])),
+                Some(OpResult::Done)
+            );
+        }
+        c.settle(50_000);
+        let stable_while_down = c.stable_seqs()[0];
+        assert!(
+            stable_while_down > 0,
+            "healthy replicas must stabilize while 3 is down"
+        );
+        assert_eq!(c.last_execs()[3], 0, "crashed replica executed nothing");
+
+        c.set_fault(3, FaultMode::Correct);
+        // Fresh traffic crosses new checkpoint boundaries; their broadcast
+        // votes are what tells replica 3 it fell behind a stable
+        // checkpoint, triggering FetchState → StateSnapshot.
+        for i in 0..8i64 {
+            assert_eq!(
+                c.invoke(0, OpCall::out(tuple!["R", i])),
+                Some(OpResult::Done)
+            );
+        }
+        c.settle(100_000);
+        let execs = c.last_execs();
+        assert!(
+            execs[3] >= stable_while_down,
+            "rejoined replica must adopt a checkpoint past the pruned history: {execs:?}"
+        );
+        assert!(
+            c.stable_seqs()[3] >= stable_while_down,
+            "rejoined replica must hold a stable checkpoint of its own"
+        );
+        // And its service state must agree with the quorum.
+        let digests = c.state_digests();
+        let agree = digests.iter().filter(|d| **d == digests[3]).count();
+        assert!(
+            agree >= 3,
+            "restored replica must share the quorum state (agree={agree})"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::client::ClientSession;
 use crate::faults::FaultMode;
 use crate::messages::{Message, OpResult, ReplicaId, Sealed};
-use crate::replica::{Dest, Replica, ReplicaConfig, DEFAULT_BATCH_CAP, DEFAULT_MAX_IN_FLIGHT};
+use crate::replica::{
+    Dest, Replica, ReplicaConfig, ReplicaFootprint, DEFAULT_BATCH_CAP, DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_MAX_IN_FLIGHT,
+};
 use crate::service::PeatsService;
 use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
 use peats_auth::KeyTable;
@@ -75,6 +78,9 @@ pub struct ClusterConfig {
     /// Maximum assigned-but-unexecuted slots in flight (see
     /// [`ReplicaConfig::max_in_flight`]).
     pub max_in_flight: usize,
+    /// Checkpoint interval in executed slots (see
+    /// [`ReplicaConfig::checkpoint_interval`]; `0` disables checkpointing).
+    pub checkpoint_interval: u64,
     /// Interval of the replicas' progress check (the view-change trigger).
     /// The check runs on a deadline — it fires even under continuous
     /// message traffic, so a flooding peer cannot starve it.
@@ -88,6 +94,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             batch_cap: DEFAULT_BATCH_CAP,
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
             progress_period: Duration::from_millis(300),
             client: ClientConfig::default(),
         }
@@ -131,7 +138,7 @@ fn ship(net: &ThreadNet, keys: &KeyTable, me: NodeId, n: usize, outputs: Vec<(De
 }
 
 fn replica_main(
-    mut replica: Replica,
+    replica: Arc<parking_lot::Mutex<Replica>>,
     keys: KeyTable,
     mailbox: Mailbox,
     net: ThreadNet,
@@ -146,6 +153,10 @@ fn replica_main(
     // timer (reset on every receipt) is starved forever by steady traffic —
     // a flooding Byzantine peer or staggered client retransmits could
     // suppress view changes indefinitely.
+    //
+    // The replica is behind a mutex (uncontended except for test
+    // introspection and fault/restart injection); the lock is held per
+    // state-machine call, never across a blocking receive.
     let mut next_check = Instant::now() + progress_period;
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -153,12 +164,18 @@ fn replica_main(
         }
         let now = Instant::now();
         if now >= next_check {
-            let last = replica.last_exec();
-            if last == last_seen_exec {
-                let outputs = replica.on_progress_timeout();
-                ship(&net, &keys, me, n, outputs);
-            }
-            last_seen_exec = last;
+            let outputs = {
+                let mut replica = replica.lock();
+                let last = replica.last_exec();
+                let outputs = if last == last_seen_exec {
+                    replica.on_progress_timeout()
+                } else {
+                    Vec::new()
+                };
+                last_seen_exec = last;
+                outputs
+            };
+            ship(&net, &keys, me, n, outputs);
             next_check = Instant::now() + progress_period;
         }
         let wait = next_check.saturating_duration_since(Instant::now());
@@ -170,7 +187,7 @@ fn replica_main(
                 let Some((sender, msg)) = sealed.open(&keys) else {
                     continue;
                 };
-                let outputs = replica.on_message(sender, msg);
+                let outputs = replica.lock().on_message(sender, msg);
                 ship(&net, &keys, me, n, outputs);
             }
             Ok(None) => {}    // deadline reached; handled at the top of the loop
@@ -272,6 +289,16 @@ pub struct ThreadedCluster {
     master: Vec<u8>,
     client_slots: Vec<Option<(Mailbox, u64)>>,
     client_cfg: ClientConfig,
+    /// Shared handles onto the replica state machines (their threads own
+    /// the mailboxes; tests use these for fault injection, restarts, and
+    /// bounded-memory introspection).
+    replicas: Vec<Arc<parking_lot::Mutex<Replica>>>,
+    /// Everything needed to build a fresh replica on
+    /// [`restart_replica`](Self::restart_replica).
+    policy: Policy,
+    params: PolicyParams,
+    registry: BTreeMap<u64, u64>,
+    config: ClusterConfig,
     stop: Arc<AtomicBool>,
     joins: Vec<JoinHandle<()>>,
 }
@@ -329,6 +356,7 @@ impl ThreadedCluster {
 
         let stop = Arc::new(AtomicBool::new(false));
         let mut joins = Vec::new();
+        let mut replicas = Vec::new();
         // Spawn replicas (mailboxes 0..n).
         let client_boxes = mailboxes.split_off(n_replicas);
         for (id, mailbox) in mailboxes.into_iter().enumerate() {
@@ -337,6 +365,7 @@ impl ThreadedCluster {
                 ReplicaConfig {
                     batch_cap: config.batch_cap,
                     max_in_flight: config.max_in_flight,
+                    checkpoint_interval: config.checkpoint_interval,
                     ..ReplicaConfig::new(id as u32, n_replicas, f)
                 },
                 service,
@@ -345,6 +374,8 @@ impl ThreadedCluster {
             if let Some(fault) = faults.get(id) {
                 replica.set_fault(fault.clone());
             }
+            let replica = Arc::new(parking_lot::Mutex::new(replica));
+            replicas.push(Arc::clone(&replica));
             let keys = KeyTable::new(id as u64, master.clone());
             let net = net.clone();
             let stop = Arc::clone(&stop);
@@ -374,7 +405,12 @@ impl ThreadedCluster {
             f,
             master,
             client_slots,
-            client_cfg: config.client,
+            client_cfg: config.client.clone(),
+            replicas,
+            policy,
+            params,
+            registry,
+            config,
             stop,
             joins,
         })
@@ -383,6 +419,52 @@ impl ThreadedCluster {
     /// Number of replicas.
     pub fn n_replicas(&self) -> usize {
         self.n_replicas
+    }
+
+    /// Injects a fault mode into a running replica (crash/recover
+    /// experiments).
+    pub fn set_fault(&self, id: usize, fault: FaultMode) {
+        self.replicas[id].lock().set_fault(fault);
+    }
+
+    /// Replaces replica `id`'s state machine with a brand-new one (fresh
+    /// service, empty log, view 0) — a crash-and-restart with no disk. The
+    /// replica's thread, mailbox, and keys survive; recovery must go
+    /// through checkpoint detection and snapshot state transfer.
+    pub fn restart_replica(&self, id: usize) {
+        let service = PeatsService::new(self.policy.clone(), self.params.clone())
+            .expect("policy parameters were already validated at start");
+        let fresh = Replica::new(
+            ReplicaConfig {
+                batch_cap: self.config.batch_cap,
+                max_in_flight: self.config.max_in_flight,
+                checkpoint_interval: self.config.checkpoint_interval,
+                ..ReplicaConfig::new(id as u32, self.n_replicas, self.f)
+            },
+            service,
+            self.registry.clone(),
+        );
+        *self.replicas[id].lock() = fresh;
+    }
+
+    /// Replica `id`'s last executed sequence number.
+    pub fn last_exec(&self, id: usize) -> u64 {
+        self.replicas[id].lock().last_exec()
+    }
+
+    /// Replica `id`'s stable checkpoint.
+    pub fn stable_seq(&self, id: usize) -> u64 {
+        self.replicas[id].lock().stable_seq()
+    }
+
+    /// Replica `id`'s memory footprint (bounded-memory assertions).
+    pub fn replica_footprint(&self, id: usize) -> ReplicaFootprint {
+        self.replicas[id].lock().footprint()
+    }
+
+    /// Replica `id`'s service state digest (divergence checks).
+    pub fn state_digest(&self, id: usize) -> peats_auth::Digest {
+        self.replicas[id].lock().state_digest()
     }
 
     /// Takes the [`TupleSpace`] handle for client slot `idx`, spawning its
@@ -845,6 +927,117 @@ mod tests {
             h.rebroadcasts(),
             intervals
         );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn restarted_replica_recovers_via_state_transfer_mid_flood() {
+        // Replica 2 is wiped mid-run (fresh state machine, nothing on
+        // disk) while replica 3 floods junk votes into every mailbox. The
+        // healthy majority keeps committing and checkpointing; the history
+        // replica 2 missed is garbage-collected, so the ONLY way its
+        // last_exec can move is a verified snapshot install — which the
+        // checkpoint broadcasts of ongoing traffic must trigger.
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[
+                FaultMode::Correct,
+                FaultMode::Correct,
+                FaultMode::Correct,
+                FaultMode::Flooder,
+            ],
+            ClusterConfig {
+                batch_cap: 2,
+                max_in_flight: 2,
+                checkpoint_interval: 2,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        for i in 0..16i64 {
+            h.out(tuple!["PRE", i]).unwrap();
+        }
+        // Let the checkpoint exchange settle so GC provably ran before the
+        // restart (history below h is gone cluster-wide).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cluster.stable_seq(0) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stable_before = cluster.stable_seq(0);
+        assert!(stable_before > 0, "cluster must stabilize under traffic");
+
+        cluster.restart_replica(2);
+        assert_eq!(cluster.last_exec(2), 0, "restart wiped the replica");
+        // Sustained traffic crosses new boundaries; their votes tell the
+        // blank replica it sits below a stable checkpoint.
+        for i in 0..16i64 {
+            h.out(tuple!["POST", i]).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.last_exec(2) < stable_before && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            cluster.last_exec(2) >= stable_before,
+            "restarted replica must adopt a snapshot past the pruned history \
+             (last_exec {}, stable before restart {stable_before})",
+            cluster.last_exec(2)
+        );
+        assert!(
+            cluster.stable_seq(2) >= stable_before,
+            "restarted replica must re-establish a stable checkpoint"
+        );
+        // Once caught up it serves reads like everyone else.
+        assert_eq!(h.rdp(&template!["PRE", 0]).unwrap(), Some(tuple!["PRE", 0]));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sustained_traffic_keeps_threaded_replica_memory_bounded() {
+        let interval = 4u64;
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[],
+            ClusterConfig {
+                batch_cap: 2,
+                max_in_flight: 2,
+                checkpoint_interval: interval,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        for i in 0..120i64 {
+            h.out(tuple!["M", i]).unwrap();
+        }
+        // Stragglers may still be exchanging the last checkpoint votes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let bound = (interval as usize + 2) * 2;
+        while Instant::now() < deadline
+            && (0..cluster.n_replicas()).any(|id| cluster.replica_footprint(id).slots > bound)
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for id in 0..cluster.n_replicas() {
+            let fp = cluster.replica_footprint(id);
+            assert!(
+                fp.slots <= bound,
+                "replica {id} retains {} slots after 120 requests (bound {bound})",
+                fp.slots
+            );
+            assert!(
+                fp.ordered <= bound * 2,
+                "replica {id} retains {} ordering hints",
+                fp.ordered
+            );
+        }
         cluster.shutdown();
     }
 

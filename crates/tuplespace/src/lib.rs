@@ -60,7 +60,7 @@ mod value;
 
 pub use reference::ScanSpace;
 pub use sharded::{LockScope, ShardedSpace, SpaceView};
-pub use space::{CasOutcome, OpStats, Selection, SequentialSpace};
+pub use space::{CasOutcome, OpStats, Selection, SequentialSpace, SpaceSnapshot};
 pub use template::{Bindings, Field, Fingerprint, Template};
 pub use tuple::Tuple;
 pub use value::{TypeTag, Value};

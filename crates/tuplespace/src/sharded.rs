@@ -48,7 +48,7 @@
 //! (linearized) probe — a spurious wakeup costs no [`OpStats`] increment.
 
 use crate::draw;
-use crate::space::{CasOutcome, OpStats, Selection, SequentialSpace};
+use crate::space::{CasOutcome, OpStats, Selection, SequentialSpace, SpaceSnapshot};
 use crate::template::Template;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -596,6 +596,52 @@ impl ShardedSpace {
     /// whole-space snapshot the sequential engine's `iter` provides.
     pub fn snapshot(&self) -> Vec<Tuple> {
         merge_by_seq(&self.lock_all(), |_| true)
+    }
+
+    /// Captures the full restorable state of the space — the union of the
+    /// shards' entries (with their global sequence numbers) plus the shared
+    /// `next_seq` counter and selection rng word — as one atomic step (all
+    /// shard locks held). The sharded counterpart of
+    /// [`SequentialSpace::snapshot`].
+    pub fn snapshot_state(&self) -> SpaceSnapshot {
+        let guards = self.lock_all();
+        let mut entries: Vec<(u64, Tuple)> = guards
+            .iter()
+            .flat_map(|g| g.iter_seq())
+            .map(|(seq, t)| (seq, t.clone()))
+            .collect();
+        entries.sort_unstable_by_key(|&(seq, _)| seq);
+        SpaceSnapshot {
+            entries,
+            // The seq counter is shared; any shard reports it.
+            next_seq: guards[0].next_seq(),
+            rng_state: *self.rng.lock(),
+        }
+    }
+
+    /// Replaces the space's contents and engine words with `snapshot`'s,
+    /// redistributing entries to their channel shards. Atomic (all shard
+    /// locks held); blocked `rd`/`take` waiters are woken afterwards, since
+    /// restored entries may satisfy them.
+    pub fn restore(&self, snapshot: &SpaceSnapshot) {
+        {
+            let mut guards = self.lock_all();
+            for guard in guards.iter_mut() {
+                guard.clear_entries();
+            }
+            for (seq, entry) in &snapshot.entries {
+                let idx = self.shard_of(entry.get(0));
+                guards[idx].insert_at(*seq, entry.clone());
+            }
+            // Shared words: setting them through one shard sets them for
+            // all.
+            guards[0].set_next_seq(snapshot.next_seq);
+            *self.rng.lock() = snapshot.rng_state;
+        }
+        for idx in 0..self.shards.len() {
+            self.notify_shard(idx);
+        }
+        self.notify_fallback();
     }
 
     /// Operation counters, one increment per linearized operation.

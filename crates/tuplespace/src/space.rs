@@ -112,6 +112,22 @@ impl fmt::Display for OpStats {
     }
 }
 
+/// A full, restorable copy of a space's state: the live entries with their
+/// sequence numbers plus the history-sensitive engine words (`next_seq`,
+/// selection rng). Everything [`SequentialSpace::restore`] needs to rebuild
+/// a space that is observably identical to the snapshotted one — same FIFO
+/// orders, same future seeded draws — which is what lets a rejoining BFT
+/// replica adopt a peer's checkpoint instead of replaying history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpaceSnapshot {
+    /// Live entries as `(sequence number, tuple)` pairs, in seq order.
+    pub entries: Vec<(u64, Tuple)>,
+    /// The sequence number the next insertion will receive.
+    pub next_seq: u64,
+    /// The selection rng word (`0` under FIFO).
+    pub rng_state: u64,
+}
+
 /// A sequential (single-threaded) augmented tuple space with indexed
 /// storage.
 ///
@@ -190,6 +206,13 @@ impl SeqAlloc {
             SeqAlloc::Shared(counter) => counter.load(Ordering::Relaxed),
         }
     }
+
+    fn set(&mut self, value: u64) {
+        match self {
+            SeqAlloc::Local(n) => *n = value,
+            SeqAlloc::Shared(counter) => counter.store(value, Ordering::Relaxed),
+        }
+    }
 }
 
 impl Default for SeqAlloc {
@@ -226,6 +249,13 @@ impl RngSlot {
         match self {
             RngSlot::Local(cell) => cell.get(),
             RngSlot::Shared(word) => *word.lock(),
+        }
+    }
+
+    fn set(&self, value: u64) {
+        match self {
+            RngSlot::Local(cell) => cell.set(value),
+            RngSlot::Shared(word) => *word.lock() = value,
         }
     }
 }
@@ -429,6 +459,57 @@ impl SequentialSpace {
         self.rng.get()
     }
 
+    /// Captures the full restorable state: live entries with their sequence
+    /// numbers plus `next_seq` and the selection rng word. The inverse of
+    /// [`restore`](Self::restore).
+    pub fn snapshot(&self) -> SpaceSnapshot {
+        SpaceSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(seq, t)| (*seq, t.clone()))
+                .collect(),
+            next_seq: self.seq.current(),
+            rng_state: self.rng.get(),
+        }
+    }
+
+    /// Replaces this space's contents and engine words with `snapshot`'s.
+    /// Operation counters are left untouched (they are observability, not
+    /// replicated state — a snapshot of a space must digest equal to its
+    /// restoration, and [`state digests`](Self::next_seq) never cover
+    /// stats).
+    pub fn restore(&mut self, snapshot: &SpaceSnapshot) {
+        self.clear_entries();
+        for (seq, entry) in &snapshot.entries {
+            self.insert_at(*seq, entry.clone());
+        }
+        self.seq.set(snapshot.next_seq);
+        self.rng.set(snapshot.rng_state);
+    }
+
+    /// Inserts `entry` under an explicit (caller-allocated) sequence
+    /// number — snapshot restoration, where seqs must survive verbatim so
+    /// FIFO order and cross-shard merges replay identically.
+    pub(crate) fn insert_at(&mut self, seq: u64, entry: Tuple) {
+        self.index.insert(seq, &entry);
+        self.total_cost_bits += entry.cost_bits();
+        self.entries.insert(seq, entry);
+    }
+
+    /// Drops every entry (restore path of a sharded space, which
+    /// redistributes a snapshot across its shards).
+    pub(crate) fn clear_entries(&mut self) {
+        self.entries.clear();
+        self.index = SpaceIndex::default();
+        self.total_cost_bits = 0;
+    }
+
+    /// Sets the next sequence number (snapshot restoration).
+    pub(crate) fn set_next_seq(&mut self, value: u64) {
+        self.seq.set(value);
+    }
+
     /// Like [`inp`](Self::inp) but without touching the operation counters —
     /// the sharded space counts operations itself, once per linearized
     /// operation rather than once per engine probe.
@@ -609,6 +690,47 @@ mod tests {
         assert_eq!(ts.cost_bits(), 65);
         ts.inp(&template![true]);
         assert_eq!(ts.cost_bits(), 64);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_fifo_order_and_future_seqs() {
+        let mut ts = SequentialSpace::new();
+        for i in 0..5 {
+            ts.out(tuple!["A", i]);
+        }
+        ts.inp(&template!["A", 1]); // hole in the seq sequence
+        let snap = ts.snapshot();
+
+        let mut copy = SequentialSpace::new();
+        copy.out(tuple!["JUNK"]); // pre-existing state must vanish
+        copy.restore(&snap);
+        assert_eq!(copy.len(), 4);
+        assert_eq!(copy.next_seq(), ts.next_seq());
+        assert_eq!(copy.cost_bits(), ts.cost_bits());
+        // FIFO order replays identically on both spaces from here on.
+        for expect in [0i64, 2, 3, 4] {
+            assert_eq!(copy.inp(&template!["A", _]), Some(tuple!["A", expect]));
+            assert_eq!(ts.inp(&template!["A", _]), Some(tuple!["A", expect]));
+        }
+        // New insertions continue the original seq stream.
+        copy.out(tuple!["B"]);
+        assert_eq!(copy.next_seq(), ts.next_seq() + 1);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_seeded_draw_stream() {
+        let mut ts = SequentialSpace::with_selection(Selection::Seeded(7));
+        for i in 0..8 {
+            ts.out(tuple!["A", i]);
+        }
+        ts.inp(&template!["A", _]); // advance the rng word
+        let snap = ts.snapshot();
+        let mut copy = SequentialSpace::with_selection(Selection::Seeded(7));
+        copy.restore(&snap);
+        assert_eq!(copy.rng_state(), ts.rng_state());
+        for _ in 0..5 {
+            assert_eq!(copy.inp(&template!["A", _]), ts.inp(&template!["A", _]));
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! crate so the runnable examples (`examples/`) and the cross-crate
 //! integration tests (`tests/`) have a single dependency surface.
 //!
-//! See `README.md` for the project overview, `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for the project overview, architecture notes, and the
+//! performance/benchmark record.
 
 pub use peats;
 pub use peats_auth as auth;
