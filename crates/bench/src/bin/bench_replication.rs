@@ -16,6 +16,12 @@
 //! the ordering path and reporting the slot-log high-water mark each mode
 //! retains at the end — the bounded-memory claim as a measured number.
 //!
+//! A third section re-runs the batched configuration over the real TCP
+//! socket transport (`peats-net`'s loopback [`TcpCluster`]) — once raw and
+//! once with 1 ms of injected per-frame latency — quantifying what the
+//! kernel socket path and wire latency cost relative to in-memory
+//! channels.
+//!
 //! Emits `BENCH_replication.json` (override with `--out PATH`) in the same
 //! shape as `BENCH_space.json`; `--smoke` shrinks the sweep for CI.
 //!
@@ -25,6 +31,7 @@
 
 use peats::{Policy, PolicyParams, TupleSpace};
 use peats_bench::print_table;
+use peats_net::{TcpCluster, TcpClusterConfig, TcpConfig};
 use peats_replication::{ClusterConfig, ThreadedCluster};
 use peats_tuplespace::tuple;
 use std::sync::{Arc, Barrier};
@@ -82,6 +89,39 @@ fn run_cell_with_slots(clients: usize, ops: u64, config: ClusterConfig) -> (f64,
         .unwrap_or(0);
     cluster.shutdown();
     (throughput, max_slots)
+}
+
+/// [`run_cell`] over real loopback sockets: same workload shape, but every
+/// message crosses the kernel's TCP stack (optionally with injected
+/// per-frame latency).
+fn run_socket_cell(clients: usize, ops: u64, config: TcpClusterConfig) -> f64 {
+    let pids: Vec<u64> = (0..clients as u64).map(|i| 100 + i).collect();
+    let mut cluster = TcpCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &pids, config)
+        .expect("allow-all policy has no parameters");
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let joins: Vec<_> = (0..clients)
+        .map(|c| {
+            let h = cluster.handle(c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                for v in 0..ops {
+                    h.out(tuple!["LOAD", c as i64, v as i64]).unwrap();
+                }
+                start.elapsed()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let slowest: Duration = joins
+        .into_iter()
+        .map(|j| j.join().unwrap())
+        .max()
+        .expect("at least one client");
+    let throughput = (clients as u64 * ops) as f64 / slowest.as_secs_f64();
+    cluster.shutdown();
+    throughput
 }
 
 fn main() {
@@ -182,6 +222,54 @@ fn main() {
         &ckpt_table,
     );
 
+    // The same batched configuration over thread channels vs real loopback
+    // sockets, with and without injected wire latency.
+    let sock_clients = if smoke { 2 } else { 4 };
+    let sock_ops: u64 = if smoke { 40 } else { 200 };
+    let sock_proto = ClusterConfig {
+        batch_cap: 16,
+        max_in_flight: 2,
+        ..ClusterConfig::default()
+    };
+    let mut sock_json = Vec::new();
+    let mut sock_table = Vec::new();
+    let mut record_sock = |transport: &str, delay_ms: u64, tput: f64| {
+        sock_json.push(format!(
+            "    {{\"transport\": \"{transport}\", \"send_delay_ms\": {delay_ms}, \
+             \"clients\": {sock_clients}, \"ops_per_client\": {sock_ops}, \
+             \"ops_per_sec\": {tput:.0}}}"
+        ));
+        sock_table.push(vec![
+            transport.to_owned(),
+            delay_ms.to_string(),
+            format!("{tput:.0}"),
+        ]);
+    };
+    record_sock(
+        "thread_channels",
+        0,
+        run_cell(sock_clients, sock_ops, sock_proto.clone()),
+    );
+    for delay_ms in [0u64, 1] {
+        let tput = run_socket_cell(
+            sock_clients,
+            sock_ops,
+            TcpClusterConfig {
+                cluster: sock_proto.clone(),
+                tcp: TcpConfig {
+                    send_delay: Duration::from_millis(delay_ms),
+                    ..TcpConfig::default()
+                },
+            },
+        );
+        record_sock("tcp_loopback", delay_ms, tput);
+    }
+    print_table(
+        "transport comparison: thread channels vs loopback TCP (batched ordering, ops/s)",
+        &["transport", "send delay (ms)", "ops/s"],
+        &sock_table,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_ordering\",\n  \"unit\": \"ops_per_sec\",\n  \
          \"workload\": \"clients concurrent client threads (one slot, pid, and reply router each) \
@@ -191,9 +279,11 @@ fn main() {
          \"batched_pipelined\": \"primary drains its backlog into one slot per round (up to batch_cap \
          requests), bounded in-flight window\"}},\n  \
          \"smoke\": {smoke},\n  \"results\": [\n{}\n  ],\n  \
-         \"checkpointing_long_run\": [\n{}\n  ]\n}}\n",
+         \"checkpointing_long_run\": [\n{}\n  ],\n  \
+         \"socket_transport\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
-        ckpt_json.join(",\n")
+        ckpt_json.join(",\n"),
+        sock_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");

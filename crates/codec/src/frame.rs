@@ -1,0 +1,219 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is a `u32` little-endian payload length followed by the payload
+//! bytes. Socket peers control every byte they send, so reading is
+//! defensive: a length above the caller's cap is rejected *before* any
+//! allocation (a hostile peer cannot make the reader reserve gigabytes),
+//! truncation mid-frame is an error distinct from a clean end-of-stream,
+//! and split reads (the OS delivering a frame in arbitrary chunks) are
+//! handled by construction.
+//!
+//! These helpers are the single framing implementation shared by
+//! `peats-net`'s connection threads — per-connection ad-hoc framing is how
+//! length-confusion bugs happen.
+
+use std::io::{self, Read, Write};
+
+/// Default frame-size cap: generous for snapshots, far below anything that
+/// could be used to exhaust memory.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Error reading one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes truncation mid-frame, which
+    /// surfaces as [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// The length prefix exceeded the reader's cap (hostile or corrupt
+    /// peer). Nothing was allocated; the connection should be dropped —
+    /// the stream position is inside the bad frame, so it cannot be
+    /// resynchronized.
+    TooLarge {
+        /// The advertised payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: `u32` LE length prefix + `payload`.
+///
+/// # Errors
+///
+/// Returns [`FrameError::TooLarge`] when `payload.len() > max` (the peer
+/// would reject it anyway — fail at the writer, where the bug is), or the
+/// underlying [`io::Error`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max: usize) -> Result<(), FrameError> {
+    if payload.len() > max || payload.len() > u32::MAX as usize {
+        return Err(FrameError::TooLarge {
+            len: payload.len() as u64,
+            max,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream (the peer closed
+/// between frames). Zero-length frames are valid and return an empty
+/// buffer.
+///
+/// # Errors
+///
+/// Returns [`FrameError::TooLarge`] when the advertised length exceeds
+/// `max` (before allocating anything), or [`FrameError::Io`] on stream
+/// failure — including an end-of-stream *inside* a frame, which is
+/// truncation, not a clean close.
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None), // clean EOF between frames
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge {
+            len: len as u64,
+            max,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that delivers at most one byte per `read` call — the
+    /// worst-case split-read schedule a socket can produce.
+    struct OneByteAtATime<R>(R);
+
+    impl<R: Read> Read for OneByteAtATime<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.read(&mut buf[..1])
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, &[0xAB; 300], DEFAULT_MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            vec![0xAB; 300]
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"split across many reads", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = OneByteAtATime(Cursor::new(buf));
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"split across many reads"
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        // A hostile 4 GiB-ish length prefix with no payload behind it.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut Cursor::new(buf), 1024) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_enforces_the_cap_too() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &[0u8; 100], 64),
+            Err(FrameError::TooLarge { len: 100, max: 64 })
+        ));
+        assert!(
+            buf.is_empty(),
+            "nothing may be written for a rejected frame"
+        );
+    }
+
+    #[test]
+    fn truncation_inside_prefix_is_an_error_not_eof() {
+        let buf = vec![5u8, 0]; // half a length prefix, then EOF
+        match read_frame(&mut Cursor::new(buf), 1024) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_inside_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload", DEFAULT_MAX_FRAME).unwrap();
+        buf.truncate(buf.len() - 3);
+        match read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_roundtrips_under_a_tiny_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"", 0).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 0).unwrap().unwrap(), b"");
+    }
+}

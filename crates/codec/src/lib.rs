@@ -14,6 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
+
+pub use frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
 use peats_policy::OpCall;
 use peats_tuplespace::{Field, SpaceSnapshot, Template, Tuple, TypeTag, Value};
 use std::collections::{BTreeMap, BTreeSet};

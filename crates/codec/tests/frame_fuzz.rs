@@ -1,0 +1,65 @@
+//! Adversarial fuzzing of the length-prefixed framing layer: byte streams
+//! are attacker-controlled, so [`read_frame`] must reject garbage,
+//! truncations, and hostile length prefixes without panicking — and
+//! without allocating a buffer for a length it hasn't validated.
+
+use peats_codec::{read_frame, write_frame, FrameError};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    /// Arbitrary byte streams never panic the reader, and whatever frames
+    /// it does yield were actually carried by the stream.
+    #[test]
+    fn random_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut r = Cursor::new(bytes.clone());
+        // Clean EOF or a decode error ends the stream; neither may panic.
+        while let Ok(Some(frame)) = read_frame(&mut r, 64) {
+            prop_assert!(frame.len() <= 64);
+        }
+    }
+
+    /// Write-then-read round-trips any payload within the cap, including
+    /// across a reader that yields one byte at a time (split reads).
+    #[test]
+    fn roundtrip_survives_split_reads(payload in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, 96).expect("within cap");
+        let mut r = OneByteReader { data: buf, pos: 0 };
+        let frame = read_frame(&mut r, 96).expect("valid stream").expect("one frame");
+        prop_assert_eq!(frame, payload);
+        prop_assert!(read_frame(&mut r, 96).expect("clean EOF").is_none());
+    }
+
+    /// A hostile length prefix beyond the cap is rejected before any
+    /// payload allocation, whatever follows it.
+    #[test]
+    fn oversized_prefix_rejected(extra in 1u64..u64::from(u32::MAX - 64), tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let len = 64 + u32::try_from(extra).unwrap_or(u32::MAX);
+        let mut stream = len.to_le_bytes().to_vec();
+        stream.extend_from_slice(&tail);
+        match read_frame(&mut Cursor::new(stream), 64) {
+            Err(FrameError::TooLarge { len: l, max }) => {
+                prop_assert_eq!(l, u64::from(len));
+                prop_assert_eq!(max, 64);
+            }
+            other => prop_assert!(false, "expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+struct OneByteReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl std::io::Read for OneByteReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.data[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}

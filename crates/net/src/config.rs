@@ -1,0 +1,240 @@
+//! Flag/environment parsing shared by the `peatsd` daemon and the `peats`
+//! CLI.
+//!
+//! Both binaries parse their command lines by hand (the build environment
+//! is offline — no argument-parsing crates), so the fiddly pieces live
+//! here, tested: `id=addr` peer lists, `node=pid` client registrations,
+//! `name=value` policy parameters, and a bind-with-retry for daemons
+//! restarted onto a port whose previous owner just died.
+
+use peats_netsim::NodeId;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Parses one `id=host:port` peer entry (e.g. `2=127.0.0.1:7102`).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the malformed piece.
+pub fn parse_node_addr(s: &str) -> Result<(NodeId, SocketAddr), String> {
+    let (id, addr) = s
+        .split_once('=')
+        .ok_or_else(|| format!("`{s}`: expected ID=HOST:PORT"))?;
+    let id: NodeId = id
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}`: bad node id `{id}`"))?;
+    let addr: SocketAddr = addr
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}`: bad socket address `{addr}`"))?;
+    Ok((id, addr))
+}
+
+/// Parses a comma-separated list of `id=host:port` entries.
+///
+/// # Errors
+///
+/// Returns the first entry's error; rejects duplicate ids.
+pub fn parse_peer_list(s: &str) -> Result<BTreeMap<NodeId, SocketAddr>, String> {
+    let mut map = BTreeMap::new();
+    for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+        let (id, addr) = parse_node_addr(part)?;
+        if map.insert(id, addr).is_some() {
+            return Err(format!("duplicate node id {id} in peer list"));
+        }
+    }
+    Ok(map)
+}
+
+/// Parses one `node=pid` client registration (transport node id → logical
+/// process id), e.g. `4=100`.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the malformed piece.
+pub fn parse_node_pid(s: &str) -> Result<(NodeId, u64), String> {
+    let (node, pid) = s
+        .split_once('=')
+        .ok_or_else(|| format!("`{s}`: expected NODE=PID"))?;
+    let node: NodeId = node
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}`: bad node id `{node}`"))?;
+    let pid: u64 = pid
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}`: bad process id `{pid}`"))?;
+    Ok((node, pid))
+}
+
+/// Parses one `name=value` policy parameter (values are integers, matching
+/// [`PolicyParams::set`](peats_policy::PolicyParams::set)).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the malformed piece.
+pub fn parse_param(s: &str) -> Result<(String, i64), String> {
+    let (name, value) = s
+        .split_once('=')
+        .ok_or_else(|| format!("`{s}`: expected NAME=VALUE"))?;
+    let value: i64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}`: bad integer `{value}`"))?;
+    Ok((name.trim().to_owned(), value))
+}
+
+/// Binds `addr`, retrying on `AddrInUse` until `patience` runs out — a
+/// replica respawned right after its predecessor was killed can race the
+/// kernel's cleanup of the old socket.
+///
+/// # Errors
+///
+/// Returns the last bind error once patience is exhausted; non-`AddrInUse`
+/// errors fail immediately.
+pub fn bind_with_retry(addr: SocketAddr, patience: Duration) -> std::io::Result<TcpListener> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A tiny `--flag value` scanner: flags may repeat (peer lists), and any
+/// flag may instead come from the environment variable `PREFIX_FLAG`
+/// (e.g. `--listen` ⇒ `PEATSD_LISTEN` under prefix `PEATSD`).
+#[derive(Debug)]
+pub struct Flags {
+    env_prefix: &'static str,
+    seen: BTreeMap<String, Vec<String>>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Scans `args` (no program name). Every `--name value` pair is
+    /// collected; everything else is positional.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--name` has no following value.
+    pub fn scan(env_prefix: &'static str, args: Vec<String>) -> Result<Flags, String> {
+        let mut seen: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                seen.entry(name.to_owned()).or_default().push(value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Flags {
+            env_prefix,
+            seen,
+            positional,
+        })
+    }
+
+    /// Positional (non-flag) arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// All values given for `--name`, with the environment fallback as a
+    /// single value when the flag never appeared.
+    pub fn all(&self, name: &str) -> Vec<String> {
+        if let Some(vs) = self.seen.get(name) {
+            return vs.clone();
+        }
+        std::env::var(self.env_var(name)).map_or_else(|_| Vec::new(), |v| vec![v])
+    }
+
+    /// The last value given for `--name` (flags override environment).
+    pub fn get(&self, name: &str) -> Option<String> {
+        self.all(name).pop()
+    }
+
+    /// [`Flags::get`] for a flag that must be present.
+    ///
+    /// # Errors
+    ///
+    /// Names both the flag and its environment fallback.
+    pub fn require(&self, name: &str) -> Result<String, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing --{name} (or {})", self.env_var(name)))
+    }
+
+    /// Parses the last value of `--name`, defaulting when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag on a parse failure.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    fn env_var(&self, name: &str) -> String {
+        format!(
+            "{}_{}",
+            self.env_prefix,
+            name.replace('-', "_").to_uppercase()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_and_client_entries_parse() {
+        assert_eq!(
+            parse_node_addr("2=127.0.0.1:7102").unwrap(),
+            (2, "127.0.0.1:7102".parse().unwrap())
+        );
+        let peers = parse_peer_list("0=127.0.0.1:1,1=127.0.0.1:2").unwrap();
+        assert_eq!(peers.len(), 2);
+        assert!(parse_peer_list("0=127.0.0.1:1,0=127.0.0.1:2").is_err());
+        assert_eq!(parse_node_pid("4=100").unwrap(), (4, 100));
+        assert_eq!(parse_param("MAXR=3").unwrap(), ("MAXR".to_owned(), 3));
+        for bad in ["nope", "x=127.0.0.1:1", "1=not-an-addr", "4=", "=100"] {
+            assert!(parse_node_addr(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn flags_scan_collects_repeats_and_positionals() {
+        let f = Flags::scan(
+            "PEATSD_TEST",
+            ["--peer", "0=a", "--peer", "1=b", "out", "--id", "3", "<1>"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(f.all("peer"), vec!["0=a".to_owned(), "1=b".to_owned()]);
+        assert_eq!(f.get("id").as_deref(), Some("3"));
+        assert_eq!(f.positional(), ["out", "<1>"]);
+        assert_eq!(f.parse_or("id", 0u32).unwrap(), 3);
+        assert_eq!(f.parse_or("missing", 7u32).unwrap(), 7);
+        assert!(f.parse_or("id", false).is_err()); // "3" is not a bool
+        assert!(f
+            .require("absent")
+            .unwrap_err()
+            .contains("PEATSD_TEST_ABSENT"));
+        assert!(Flags::scan("X", vec!["--dangling".to_owned()]).is_err());
+    }
+}

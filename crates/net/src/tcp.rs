@@ -1,0 +1,557 @@
+//! [`TcpTransport`]: the [`Transport`]/[`Mailbox`] trait pair over real
+//! `std::net` sockets.
+//!
+//! Wire format: every connection carries length-prefixed frames
+//! ([`peats_codec::frame`]); a frame's payload is the 4-byte LE node id of
+//! the sender followed by the opaque message bytes the layer above
+//! produced (a MAC-sealed envelope — the transport-level sender id is
+//! advisory, authentication happens above). An empty-body frame is a
+//! *hello*: it announces the dialer's id so the acceptor can route replies
+//! back over the same connection before any request arrives.
+//!
+//! Topology: every endpoint dials its configured peers
+//! (thread-per-connection, automatic reconnect with exponential backoff)
+//! and — when bound — accepts connections from anyone. Accepted
+//! connections register a *reverse link* keyed by the peer's announced id,
+//! which is how replicas reach clients they have no configured address
+//! for: the reply rides the connection the client opened.
+//!
+//! Sends never block the caller: each connection has a bounded outbound
+//! queue that sheds its *oldest* frame when full, matching the
+//! asynchronous-model semantics of
+//! [`ThreadNet::send`](peats_netsim::ThreadNet) (messages may be dropped;
+//! the protocol layer retransmits). Malformed, oversized, or truncated
+//! frames disconnect the offending connection — never panic, never stall
+//! other connections; a dialed peer is re-dialed, a hostile accepted peer
+//! is simply gone.
+
+use crate::TcpConfig;
+use peats_codec::frame::{read_frame, write_frame};
+use peats_netsim::{Disconnected, Envelope, Mailbox, NodeId, Transport};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked link writers and the accept loop re-check the stop
+/// flag.
+const STOP_POLL: Duration = Duration::from_millis(50);
+
+/// Outcome of waiting on a link's outbound queue.
+enum Popped {
+    Frame(Vec<u8>),
+    Timeout,
+    Closed,
+}
+
+/// A per-connection outbound queue: bounded, drop-oldest, condvar-woken.
+struct Link {
+    state: parking_lot::Mutex<LinkState>,
+    cv: parking_lot::Condvar,
+    dropped: AtomicU64,
+}
+
+struct LinkState {
+    queue: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Link {
+    fn new() -> Arc<Link> {
+        Arc::new(Link {
+            state: parking_lot::Mutex::new(LinkState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: parking_lot::Condvar::new(),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Enqueues a frame, shedding the oldest when `depth` is reached.
+    fn push(&self, frame: Vec<u8>, depth: usize) {
+        let mut st = self.state.lock();
+        if st.closed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        while st.queue.len() >= depth.max(1) {
+            st.queue.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        st.queue.push_back(frame);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self, timeout: Duration) -> Popped {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(f) = st.queue.pop_front() {
+                return Popped::Frame(f);
+            }
+            if st.closed {
+                return Popped::Closed;
+            }
+            if self.cv.wait_for(&mut st, timeout) {
+                return Popped::Timeout;
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// State shared by every clone of one [`TcpTransport`] and all its
+/// connection threads.
+struct Shared {
+    me: NodeId,
+    cfg: TcpConfig,
+    stop: AtomicBool,
+    inbox_tx: crossbeam::channel::Sender<Envelope>,
+    /// Outbound links to configured peers (we dial these; fixed set).
+    dial_links: BTreeMap<NodeId, Arc<Link>>,
+    /// Reverse links over accepted connections, keyed by announced id.
+    accepted: parking_lot::Mutex<BTreeMap<NodeId, Arc<Link>>>,
+    /// Stream clones for shutdown (close them to unblock reader threads).
+    streams: parking_lot::Mutex<BTreeMap<u64, TcpStream>>,
+    next_stream_token: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn register_stream(&self, stream: &TcpStream) -> u64 {
+        let token = self.next_stream_token.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams.lock().insert(token, clone);
+        }
+        // If we raced a shutdown, close immediately so no thread blocks on
+        // a stream the shutdown sweep never saw.
+        if self.stopping() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        token
+    }
+
+    fn unregister_stream(&self, token: u64) {
+        self.streams.lock().remove(&token);
+    }
+
+    /// Sleeps `total` in small slices, returning early on stop.
+    fn interruptible_sleep(&self, total: Duration) {
+        let mut left = total;
+        while !left.is_zero() && !self.stopping() {
+            let slice = left.min(STOP_POLL);
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+}
+
+/// A cheaply cloneable handle onto one node's TCP endpoint.
+#[derive(Clone)]
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+}
+
+/// The receiving half of a [`TcpTransport`] endpoint.
+pub struct TcpMailbox {
+    id: NodeId,
+    rx: crossbeam::channel::Receiver<Envelope>,
+}
+
+impl TcpTransport {
+    /// Binds `listen` and connects to `peers` (node id → address; an entry
+    /// for the local id is ignored). Returns the transport and the node's
+    /// mailbox. Replicas use this; they both dial their peers and accept
+    /// dial-ins from other replicas and from clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error; dial failures are not errors (peers come
+    /// and go — the dialers retry with backoff forever).
+    pub fn bind(
+        me: NodeId,
+        listen: SocketAddr,
+        peers: BTreeMap<NodeId, SocketAddr>,
+        cfg: TcpConfig,
+    ) -> std::io::Result<(TcpTransport, TcpMailbox)> {
+        let listener = TcpListener::bind(listen)?;
+        Self::from_listener(me, listener, peers, cfg)
+    }
+
+    /// [`TcpTransport::bind`] over an already-bound listener. Lets a
+    /// harness keep one listener alive across replica restarts (the port
+    /// never has to be re-bound) and lets tests bind port 0 first to learn
+    /// every address before wiring the peer maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from inspecting or configuring the listener.
+    pub fn from_listener(
+        me: NodeId,
+        listener: TcpListener,
+        peers: BTreeMap<NodeId, SocketAddr>,
+        cfg: TcpConfig,
+    ) -> std::io::Result<(TcpTransport, TcpMailbox)> {
+        listener.set_nonblocking(true)?;
+        let (transport, mailbox) = Self::connect(me, peers, cfg);
+        {
+            let shared = Arc::clone(&transport.shared);
+            std::thread::spawn(move || accept_loop(shared, listener));
+        }
+        Ok((transport, mailbox))
+    }
+
+    /// A dial-only endpoint: connects to `peers` but accepts nothing.
+    /// Clients use this — replies arrive over the connections the client
+    /// itself opened (the replicas' reverse links).
+    pub fn connect(
+        me: NodeId,
+        peers: BTreeMap<NodeId, SocketAddr>,
+        cfg: TcpConfig,
+    ) -> (TcpTransport, TcpMailbox) {
+        let (inbox_tx, inbox_rx) = crossbeam::channel::unbounded();
+        let dial_links: BTreeMap<NodeId, Arc<Link>> = peers
+            .keys()
+            .filter(|&&id| id != me)
+            .map(|&id| (id, Link::new()))
+            .collect();
+        let shared = Arc::new(Shared {
+            me,
+            cfg,
+            stop: AtomicBool::new(false),
+            inbox_tx,
+            dial_links,
+            accepted: parking_lot::Mutex::new(BTreeMap::new()),
+            streams: parking_lot::Mutex::new(BTreeMap::new()),
+            next_stream_token: AtomicU64::new(0),
+        });
+        for (&id, link) in &shared.dial_links {
+            let addr = peers[&id];
+            let shared = Arc::clone(&shared);
+            let link = Arc::clone(link);
+            std::thread::spawn(move || dial_loop(shared, addr, link));
+        }
+        (
+            TcpTransport { shared },
+            TcpMailbox {
+                id: me,
+                rx: inbox_rx,
+            },
+        )
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.shared.me
+    }
+
+    /// Total outbound frames shed by bounded queues or closed links since
+    /// start (observability; the protocol layer's retransmits absorb
+    /// these).
+    pub fn dropped_outbound(&self) -> u64 {
+        let dial: u64 = self
+            .shared
+            .dial_links
+            .values()
+            .map(|l| l.dropped.load(Ordering::Relaxed))
+            .sum();
+        let accepted: u64 = self
+            .shared
+            .accepted
+            .lock()
+            .values()
+            .map(|l| l.dropped.load(Ordering::Relaxed))
+            .sum();
+        dial + accepted
+    }
+
+    /// Stops every connection thread: closes all links, shuts down all
+    /// streams (unblocking readers), and stops the accept and dial loops.
+    /// Queued-but-unsent frames are dropped (asynchronous model). Safe to
+    /// call more than once.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for link in self.shared.dial_links.values() {
+            link.close();
+        }
+        for link in self.shared.accepted.lock().values() {
+            link.close();
+        }
+        for stream in self.shared.streams.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    type Mailbox = TcpMailbox;
+
+    fn send(&self, _from: NodeId, to: NodeId, payload: Vec<u8>) {
+        let shared = &self.shared;
+        if shared.stopping() {
+            return;
+        }
+        if to == shared.me {
+            // Loopback: straight into the local mailbox.
+            let _ = shared.inbox_tx.send((shared.me, payload));
+            return;
+        }
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&shared.me.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if let Some(link) = shared.dial_links.get(&to) {
+            link.push(frame, shared.cfg.queue_depth);
+        } else if let Some(link) = shared.accepted.lock().get(&to) {
+            link.push(frame, shared.cfg.queue_depth);
+        }
+        // Otherwise: no configured address and no live connection from that
+        // peer — drop, exactly like ThreadNet's unknown-destination case.
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.shared.dial_links.keys().copied().collect();
+        ids.push(self.shared.me);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("me", &self.shared.me)
+            .field("dial_peers", &self.shared.dial_links.len())
+            .finish()
+    }
+}
+
+impl TcpMailbox {
+    /// This mailbox's node identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl Mailbox for TcpMailbox {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn recv(&self) -> Option<Envelope> {
+        self.rx.recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, Disconnected> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(Disconnected),
+        }
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl std::fmt::Debug for TcpMailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpMailbox").field("id", &self.id).finish()
+    }
+}
+
+/// Accepts connections until stop; one reader thread per connection.
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(&shared);
+                // Accepted connections register reverse links: the reader
+                // learns the peer's id from its frames and wires a writer
+                // over this same stream.
+                std::thread::spawn(move || reader_loop(shared, stream, true));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(STOP_POLL.min(Duration::from_millis(20)));
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake...):
+                // back off briefly and keep accepting.
+                std::thread::sleep(STOP_POLL);
+            }
+        }
+    }
+}
+
+/// Reads frames off one connection into the inbox until EOF, a malformed
+/// frame, stream error, or shutdown. When `register_reverse` is set
+/// (accepted connections), the peer's first frame registers a reverse link
+/// whose writer shares this stream; dialed connections must NOT register
+/// one — their write half is owned by the dial loop, and two writers on
+/// one stream would interleave (tear) frames.
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, register_reverse: bool) {
+    let token = shared.register_stream(&stream);
+    let mut reverse: Option<(NodeId, Arc<Link>)> = None;
+    // A clean EOF, oversized length claim (hostile), or stream error
+    // (including truncation mid-frame) falls out of the `while let` and
+    // disconnects this connection. Dialed peers get re-dialed by their
+    // dial loop; accepted peers must dial back in.
+    while let Ok(Some(frame)) = read_frame(&mut stream, shared.cfg.max_frame) {
+        if frame.len() < 4 {
+            // Malformed: no room for the sender id. Drop the connection;
+            // never panic.
+            break;
+        }
+        let from = NodeId::from_le_bytes(frame[..4].try_into().expect("length checked above"));
+        if register_reverse && reverse.as_ref().map(|(id, _)| *id) != Some(from) {
+            match register_reverse_link(&shared, &stream, from) {
+                Some(link) => reverse = Some((from, link)),
+                None => break, // stream unusable for writing
+            }
+        }
+        // A 4-byte frame is a hello: registration only, nothing to deliver.
+        if frame.len() > 4 && shared.inbox_tx.send((from, frame[4..].to_vec())).is_err() {
+            break; // mailbox gone: endpoint is shutting down
+        }
+    }
+    if let Some((id, link)) = reverse {
+        link.close();
+        let mut accepted = shared.accepted.lock();
+        // Only deregister if the map still points at *this* connection's
+        // link — the peer may have reconnected and replaced it already.
+        if accepted.get(&id).is_some_and(|l| Arc::ptr_eq(l, &link)) {
+            accepted.remove(&id);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.unregister_stream(token);
+}
+
+/// Wires a reverse link for an accepted connection: a bounded queue plus a
+/// writer thread owning a clone of the stream.
+fn register_reverse_link(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    peer: NodeId,
+) -> Option<Arc<Link>> {
+    let write_half = stream.try_clone().ok()?;
+    let link = Link::new();
+    if let Some(old) = shared.accepted.lock().insert(peer, Arc::clone(&link)) {
+        // The peer reconnected; the old connection's writer winds down.
+        old.close();
+    }
+    {
+        let shared = Arc::clone(shared);
+        let link = Arc::clone(&link);
+        std::thread::spawn(move || stream_writer(shared, write_half, link));
+    }
+    Some(link)
+}
+
+/// Drains one link's queue onto one stream until the link closes, the
+/// stream dies, or shutdown. No reconnect — used for accepted connections,
+/// where the *peer* owns reconnection.
+fn stream_writer(shared: Arc<Shared>, stream: TcpStream, link: Arc<Link>) {
+    let token = shared.register_stream(&stream);
+    let mut w = BufWriter::new(stream);
+    loop {
+        match link.pop(STOP_POLL) {
+            Popped::Frame(frame) => {
+                if !shared.cfg.send_delay.is_zero() {
+                    std::thread::sleep(shared.cfg.send_delay);
+                }
+                if write_frame(&mut w, &frame, shared.cfg.max_frame).is_err() || w.flush().is_err()
+                {
+                    break;
+                }
+            }
+            Popped::Timeout => {
+                if shared.stopping() {
+                    break;
+                }
+            }
+            Popped::Closed => break,
+        }
+    }
+    link.close();
+    shared.unregister_stream(token);
+}
+
+/// Owns the outbound connection to one configured peer: connect (with
+/// exponential backoff), announce ourselves with a hello frame, spawn a
+/// reader for whatever the peer sends back on this connection, then drain
+/// the link's queue; on any write failure, reconnect and keep going.
+fn dial_loop(shared: Arc<Shared>, addr: SocketAddr, link: Arc<Link>) {
+    let mut backoff = shared.cfg.reconnect_min;
+    'reconnect: while !shared.stopping() {
+        let stream = match TcpStream::connect_timeout(&addr, shared.cfg.connect_timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                shared.interruptible_sleep(backoff);
+                backoff = (backoff * 2).min(shared.cfg.reconnect_max);
+                continue;
+            }
+        };
+        backoff = shared.cfg.reconnect_min;
+        let _ = stream.set_nodelay(true);
+        let token = shared.register_stream(&stream);
+        if let Ok(read_half) = stream.try_clone() {
+            let shared = Arc::clone(&shared);
+            // The peer's replies can ride this connection; no reverse link
+            // (we already own the write half right here).
+            std::thread::spawn(move || reader_loop(shared, read_half, false));
+        }
+        let mut w = BufWriter::new(stream);
+        // Hello: announce our id so the acceptor can route to us before we
+        // send any real traffic.
+        let hello = shared.me.to_le_bytes().to_vec();
+        if write_frame(&mut w, &hello, shared.cfg.max_frame).is_err() || w.flush().is_err() {
+            shared.unregister_stream(token);
+            continue 'reconnect;
+        }
+        loop {
+            match link.pop(STOP_POLL) {
+                Popped::Frame(frame) => {
+                    if !shared.cfg.send_delay.is_zero() {
+                        std::thread::sleep(shared.cfg.send_delay);
+                    }
+                    if write_frame(&mut w, &frame, shared.cfg.max_frame).is_err()
+                        || w.flush().is_err()
+                    {
+                        // The frame being written is lost (asynchronous
+                        // model); everything still queued survives for the
+                        // next connection.
+                        shared.unregister_stream(token);
+                        continue 'reconnect;
+                    }
+                }
+                Popped::Timeout => {
+                    if shared.stopping() {
+                        shared.unregister_stream(token);
+                        return;
+                    }
+                }
+                Popped::Closed => {
+                    shared.unregister_stream(token);
+                    return;
+                }
+            }
+        }
+    }
+}

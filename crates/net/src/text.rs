@@ -1,0 +1,419 @@
+//! The human-readable tuple/template syntax of the `peats` CLI.
+//!
+//! Tuples are comma-separated fields, optionally wrapped in `<...>`:
+//!
+//! ```text
+//! <"PROPOSE", 1, 42>        out '<"PROPOSE", 1, 42>'
+//! "DECISION", *, ?d         take '"DECISION", *, ?d'
+//! ```
+//!
+//! Field forms:
+//!
+//! * `42`, `-7` — integers;
+//! * `true` / `false` — booleans;
+//! * `null` — the distinguished `⊥` value;
+//! * `"text"` — strings, with `\"`, `\\`, `\n`, `\t` escapes;
+//! * `0xdeadbeef` — byte strings;
+//! * `[a, b, c]` — lists (fields nest);
+//! * `*` — wildcard (templates only);
+//! * `?name` / `?name: int` — formal fields (templates only), the typed
+//!   form constraining the matched field's type to one of `null`, `int`,
+//!   `bool`, `str`, `bytes`, `list`, `set`, `map`.
+//!
+//! Parsing a *tuple* rejects `*` and `?name` (a tuple has no undefined
+//! fields); parsing a *template* accepts every form.
+
+use peats_tuplespace::{Field, Template, Tuple, TypeTag, Value};
+use std::fmt;
+
+/// A syntax error, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset the error was detected at.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a fully-defined tuple: `<"A", 1, true>` or `"A", 1, true`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on bad syntax or on undefined fields (`*`,
+/// `?name`), which are template-only.
+pub fn parse_tuple(input: &str) -> Result<Tuple, ParseError> {
+    let fields = parse_fields(input)?;
+    let mut values = Vec::with_capacity(fields.len());
+    for field in fields {
+        match field {
+            Field::Exact(v) => values.push(v),
+            Field::Any | Field::Formal { .. } => {
+                return Err(ParseError {
+                    at: 0,
+                    msg: "tuples must be fully defined: `*` and `?name` are template-only"
+                        .to_owned(),
+                })
+            }
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Parses a template: `<"A", *, ?x: int>` or `"A", *, ?x: int`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on bad syntax.
+pub fn parse_template(input: &str) -> Result<Template, ParseError> {
+    Ok(Template::new(parse_fields(input)?))
+}
+
+fn parse_fields(input: &str) -> Result<Vec<Field>, ParseError> {
+    let mut p = Parser {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let wrapped = p.eat(b'<');
+    let mut fields = Vec::new();
+    p.skip_ws();
+    let terminator = |p: &mut Parser<'_>| {
+        if wrapped {
+            p.peek() == Some(b'>')
+        } else {
+            p.peek().is_none()
+        }
+    };
+    if !terminator(&mut p) {
+        loop {
+            fields.push(p.field()?);
+            p.skip_ws();
+            if p.eat(b',') {
+                p.skip_ws();
+                continue;
+            }
+            break;
+        }
+    }
+    if wrapped && !p.eat(b'>') {
+        return Err(p.err("expected `>` or `,`"));
+    }
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input after tuple"));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn field(&mut self) -> Result<Field, ParseError> {
+        match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                Ok(Field::Any)
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.skip_ws();
+                if self.eat(b':') {
+                    self.skip_ws();
+                    let ty_at = self.pos;
+                    let ty_name = self.ident()?;
+                    let ty = type_tag(&ty_name).ok_or_else(|| ParseError {
+                        at: ty_at,
+                        msg: format!("unknown type `{ty_name}`"),
+                    })?;
+                    Ok(Field::typed_formal(name, ty))
+                } else {
+                    Ok(Field::formal(name))
+                }
+            }
+            _ => Ok(Field::Exact(self.value()?)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.list(),
+            Some(b'0') if self.src.get(self.pos + 1) == Some(&b'x') => self.bytes(),
+            Some(b'-' | b'0'..=b'9') => self.int(),
+            Some(c) if c.is_ascii_alphabetic() => {
+                let at = self.pos;
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    "null" => Ok(Value::Null),
+                    _ => Err(ParseError {
+                        at,
+                        msg: format!("unknown keyword `{word}` (strings need quotes)"),
+                    }),
+                }
+            }
+            _ => Err(self.err("expected a field value")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn int(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ASCII digits");
+        text.parse::<i64>().map(Value::Int).map_err(|_| ParseError {
+            at: start,
+            msg: format!("bad integer `{text}`"),
+        })
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        let open = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(ParseError {
+                        at: open,
+                        msg: "unterminated string".to_owned(),
+                    })
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    out.push(match esc {
+                        b'"' => b'"',
+                        b'\\' => b'\\',
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        other => {
+                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    });
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        String::from_utf8(out).map_err(|_| ParseError {
+            at: open,
+            msg: "string is not valid UTF-8".to_owned(),
+        })
+    }
+
+    fn bytes(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        self.pos += 2; // `0x`
+        let hex_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+            self.pos += 1;
+        }
+        let hex = &self.src[hex_start..self.pos];
+        if hex.len() % 2 != 0 {
+            return Err(ParseError {
+                at: start,
+                msg: "byte string needs an even number of hex digits".to_owned(),
+            });
+        }
+        let bytes = hex
+            .chunks(2)
+            .map(|pair| {
+                let s = std::str::from_utf8(pair).expect("ASCII hex");
+                u8::from_str_radix(s, 16).expect("validated hex digits")
+            })
+            .collect();
+        Ok(Value::Bytes(bytes))
+    }
+
+    fn list(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if !self.eat(b']') {
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                if self.eat(b',') {
+                    self.skip_ws();
+                    continue;
+                }
+                if self.eat(b']') {
+                    break;
+                }
+                return Err(self.err("expected `,` or `]` in list"));
+            }
+        }
+        Ok(Value::List(items))
+    }
+}
+
+fn type_tag(name: &str) -> Option<TypeTag> {
+    Some(match name {
+        "null" => TypeTag::Null,
+        "int" => TypeTag::Int,
+        "bool" => TypeTag::Bool,
+        "str" => TypeTag::Str,
+        "bytes" => TypeTag::Bytes,
+        "list" => TypeTag::List,
+        "set" => TypeTag::Set,
+        "map" => TypeTag::Map,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_round_trip_forms() {
+        let t = parse_tuple(r#"<"PROPOSE", 1, 42>"#).unwrap();
+        assert_eq!(
+            t,
+            Tuple::new(vec![
+                Value::Str("PROPOSE".to_owned()),
+                Value::Int(1),
+                Value::Int(42)
+            ])
+        );
+        // Angle brackets are optional.
+        assert_eq!(parse_tuple(r#""PROPOSE", 1, 42"#).unwrap(), t);
+    }
+
+    #[test]
+    fn all_value_forms_parse() {
+        let t = parse_tuple(r#"<null, -7, true, false, "a\"b\nc", 0xDEADbeef, [1, [2], "x"]>"#)
+            .unwrap();
+        assert_eq!(
+            t.fields(),
+            &[
+                Value::Null,
+                Value::Int(-7),
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Str("a\"b\nc".to_owned()),
+                Value::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
+                Value::List(vec![
+                    Value::Int(1),
+                    Value::List(vec![Value::Int(2)]),
+                    Value::Str("x".to_owned())
+                ]),
+            ]
+        );
+    }
+
+    #[test]
+    fn template_forms_parse() {
+        let t = parse_template(r#"<"DECISION", *, ?d, ?n: int>"#).unwrap();
+        assert_eq!(
+            t.fields(),
+            &[
+                Field::exact(Value::Str("DECISION".to_owned())),
+                Field::any(),
+                Field::formal("d"),
+                Field::typed_formal("n", TypeTag::Int),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_tuple_parses() {
+        assert_eq!(parse_tuple("<>").unwrap(), Tuple::new(vec![]));
+        assert_eq!(parse_tuple("  ").unwrap(), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn tuples_reject_undefined_fields() {
+        assert!(parse_tuple(r#"<"A", *>"#).is_err());
+        assert!(parse_tuple(r#"<"A", ?x>"#).is_err());
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_not_panicked() {
+        for bad in [
+            "<",
+            r#"<"unterminated>"#,
+            "<1 2>",
+            "<1,>",
+            "0xabc",       // odd hex digits
+            "<?x: float>", // unknown type
+            "hello",       // bare word
+            "<[1, >",
+            r#"<"a">extra"#,
+            "99999999999999999999", // i64 overflow
+        ] {
+            assert!(parse_tuple(bad).is_err(), "accepted: {bad}");
+            // Templates share the grammar; same inputs must not panic.
+            let _ = parse_template(bad);
+        }
+    }
+
+    #[test]
+    fn template_matches_parsed_tuple() {
+        let entry = parse_tuple(r#"<"JOB", 3, "payload">"#).unwrap();
+        let tpl = parse_template(r#"<"JOB", ?id: int, *>"#).unwrap();
+        assert!(tpl.matches(&entry));
+        let wrong = parse_template(r#"<"JOB", ?id: str, *>"#).unwrap();
+        assert!(!wrong.matches(&entry));
+    }
+}

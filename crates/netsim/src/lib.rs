@@ -4,18 +4,22 @@
 //!
 //! * [`sim`] — a deterministic discrete-event simulator (seeded delays,
 //!   drops, partitions) in which Byzantine schedules replay exactly;
+//! * [`transport`] — the [`Transport`]/[`Mailbox`] trait pair every
+//!   wall-clock deployment tier implements;
 //! * [`threaded`] — a crossbeam-channel fabric between real threads for
-//!   wall-clock benchmarks.
+//!   wall-clock benchmarks (implements the traits).
 //!
-//! Both expose the same addressing model (dense [`NodeId`]s, opaque byte
+//! All expose the same addressing model (dense [`NodeId`]s, opaque byte
 //! payloads), so the replication layer's sans-io state machines run on
-//! either.
+//! any of them — including `peats-net`'s TCP transport.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod sim;
 pub mod threaded;
+pub mod transport;
 
 pub use sim::{Actor, Context, NetConfig, NodeId, SimNet, SimTime};
-pub use threaded::{Disconnected, Envelope, Mailbox, ThreadNet};
+pub use threaded::{ThreadMailbox, ThreadNet};
+pub use transport::{Disconnected, Envelope, Mailbox, Transport};

@@ -3,27 +3,14 @@
 //! Same addressing model as the simulator ([`NodeId`]s, opaque byte
 //! payloads) but messages move over `crossbeam` channels between real
 //! threads — this is what the replicated-PEATS performance experiments
-//! (E12) run on.
+//! (E12) run on. Implements the [`Transport`]/[`Mailbox`] trait pair, so
+//! every harness written against the traits runs on it unchanged.
 
 use crate::sim::NodeId;
+use crate::transport::{Disconnected, Envelope, Mailbox, Transport};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
-
-/// A message in flight: `(sender, payload)`.
-pub type Envelope = (NodeId, Vec<u8>);
-
-/// Error returned by [`Mailbox::recv_timeout`] when every sender is gone.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Disconnected;
-
-impl std::fmt::Display for Disconnected {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("fabric disconnected: all senders dropped")
-    }
-}
-
-impl std::error::Error for Disconnected {}
 
 /// Shared fabric connecting a fixed set of nodes.
 #[derive(Clone)]
@@ -33,7 +20,7 @@ pub struct ThreadNet {
 
 /// The receiving end owned by one node.
 #[derive(Debug)]
-pub struct Mailbox {
+pub struct ThreadMailbox {
     id: NodeId,
     rx: Receiver<Envelope>,
 }
@@ -41,13 +28,13 @@ pub struct Mailbox {
 impl ThreadNet {
     /// Builds a fabric for `nodes` nodes; returns it plus each node's
     /// mailbox (index = [`NodeId`]).
-    pub fn new(nodes: usize) -> (Self, Vec<Mailbox>) {
+    pub fn new(nodes: usize) -> (Self, Vec<ThreadMailbox>) {
         let mut senders = Vec::with_capacity(nodes);
         let mut mailboxes = Vec::with_capacity(nodes);
         for id in 0..nodes {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            mailboxes.push(Mailbox {
+            mailboxes.push(ThreadMailbox {
                 id: id as NodeId,
                 rx,
             });
@@ -88,6 +75,22 @@ impl ThreadNet {
     }
 }
 
+impl Transport for ThreadNet {
+    type Mailbox = ThreadMailbox;
+
+    fn send(&self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        ThreadNet::send(self, from, to, payload);
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        (0..self.inboxes.len() as NodeId).collect()
+    }
+
+    fn broadcast(&self, from: NodeId, payload: &[u8]) {
+        ThreadNet::broadcast(self, from, payload);
+    }
+}
+
 impl std::fmt::Debug for ThreadNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadNet")
@@ -96,7 +99,7 @@ impl std::fmt::Debug for ThreadNet {
     }
 }
 
-impl Mailbox {
+impl ThreadMailbox {
     /// This mailbox's node identity.
     pub fn id(&self) -> NodeId {
         self.id
@@ -120,6 +123,24 @@ impl Mailbox {
     /// Nonblocking poll.
     pub fn try_recv(&self) -> Option<Envelope> {
         self.rx.try_recv().ok()
+    }
+}
+
+impl Mailbox for ThreadMailbox {
+    fn id(&self) -> NodeId {
+        ThreadMailbox::id(self)
+    }
+
+    fn recv(&self) -> Option<Envelope> {
+        ThreadMailbox::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, Disconnected> {
+        ThreadMailbox::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        ThreadMailbox::try_recv(self)
     }
 }
 
@@ -171,5 +192,19 @@ mod tests {
         let (_net, boxes) = ThreadNet::new(1);
         let r = boxes[0].recv_timeout(Duration::from_millis(10));
         assert_eq!(r, Ok(None));
+    }
+
+    #[test]
+    fn trait_object_view_matches_inherent_api() {
+        // The generic harnesses see ThreadNet only through the traits.
+        fn through_traits<T: Transport>(net: T, boxes: Vec<T::Mailbox>) {
+            assert_eq!(net.peers().len(), boxes.len());
+            Transport::broadcast(&net, 0, b"t");
+            for b in &boxes[1..] {
+                assert_eq!(Mailbox::recv(b).unwrap().1, b"t");
+            }
+        }
+        let (net, boxes) = ThreadNet::new(3);
+        through_traits(net, boxes);
     }
 }

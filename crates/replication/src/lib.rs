@@ -13,9 +13,15 @@
 //! * [`faults`] — injectable replica fault modes;
 //! * [`sim_harness`] — a deterministic simulated deployment
 //!   ([`SimCluster`]) for fault experiments;
-//! * [`threaded`] — a thread-backed deployment ([`ThreadedCluster`]) whose
-//!   client handle [`ReplicatedPeats`] implements [`peats::TupleSpace`], so
-//!   every consensus object and universal construction runs on the real
+//! * [`runtime`] — the transport-generic deployment runtime: the replica
+//!   event loop ([`replica_main`]) and the concurrent client handle
+//!   ([`ReplicatedPeats`]), written against `peats-netsim`'s
+//!   [`Transport`](peats_netsim::Transport) trait so the same code runs
+//!   over in-memory channels and over real TCP sockets (`peats-net`);
+//! * [`threaded`] — the in-process deployment ([`ThreadedCluster`]):
+//!   `runtime` instantiated with [`ThreadNet`](peats_netsim::ThreadNet).
+//!   The client handle implements [`peats::TupleSpace`], so every
+//!   consensus object and universal construction runs on the real
 //!   replicated service unchanged.
 //!
 //! Safety requires `n = 3f+1` replicas; this is the *replica* fault bound
@@ -30,6 +36,7 @@ pub mod client;
 pub mod faults;
 pub mod messages;
 pub mod replica;
+pub mod runtime;
 pub mod service;
 pub mod sim_harness;
 pub mod threaded;
@@ -40,6 +47,7 @@ pub use messages::{
     batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, Request, Sealed, Seq, View,
 };
 pub use replica::{Dest, Replica, ReplicaConfig, ReplicaFootprint};
+pub use runtime::{replica_main, ship, ClientConfig, ReplicatedPeats};
 pub use service::PeatsService;
 pub use sim_harness::SimCluster;
-pub use threaded::{ClientConfig, ClusterConfig, ReplicatedPeats, ThreadedCluster};
+pub use threaded::{ClusterConfig, ThreadedCluster};

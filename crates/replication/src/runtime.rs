@@ -1,0 +1,490 @@
+//! Transport-generic deployment runtime: the replica event loop and the
+//! concurrent client handle, written against the
+//! [`Transport`]/[`Mailbox`](peats_netsim::Mailbox) trait pair so the same
+//! code drives every wall-clock tier — in-memory channels
+//! ([`ThreadNet`](peats_netsim::ThreadNet), the fast verification tier) and
+//! real TCP sockets (`peats-net`, the `peatsd` deployment tier).
+//!
+//! Cloned [`ReplicatedPeats`] handles invoke **concurrently**: a dedicated
+//! router thread owns the client node's mailbox and demultiplexes each
+//! `Reply` to the in-flight invocation it answers by `req_id`, so no
+//! invocation ever holds the mailbox (or eats another invocation's
+//! replies) while it waits. Waiting is event-driven — the invocation
+//! blocks on its own reply channel until the earlier of its retry or
+//! overall deadline, so reply latency is set by the cluster, not by a poll
+//! tick.
+
+use crate::client::ClientSession;
+use crate::messages::{Message, OpResult, ReplicaId, Sealed};
+use crate::replica::{Dest, Replica};
+use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
+use peats_auth::KeyTable;
+use peats_codec::{Decode, Encode};
+use peats_netsim::{Mailbox, NodeId, ThreadNet, Transport};
+use peats_policy::OpCall;
+use peats_tuplespace::{Template, Tuple};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Client-side timing knobs, shared by every clone of one handle.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Re-broadcast an undecided request after this long without a
+    /// decision. Each retry resets the timer from *now*, so a stall never
+    /// banks a burst of back-to-back rebroadcasts.
+    pub retry_interval: Duration,
+    /// Give up on an invocation (`SpaceError::Unavailable`) after this
+    /// long.
+    pub invoke_timeout: Duration,
+    /// Initial delay between the polling rounds of a blocked `rd`/`take`.
+    pub blocking_poll: Duration,
+    /// Ceiling for the poll delay. Every poll is a full consensus round
+    /// across the cluster, so a blocked read backs off exponentially up to
+    /// this cap instead of hammering the replicas at a fixed tick.
+    pub blocking_poll_cap: Duration,
+    /// Request ids start above this value. Replicas dedup requests by
+    /// `(pid, req_id)` and re-reply the cached result on a repeat, so a
+    /// *short-lived* client process re-using a long-lived pid (the `peats`
+    /// CLI) must seed this with something fresh — e.g. a wall-clock
+    /// timestamp — or its first requests replay earlier invocations'
+    /// replies. Long-lived handles keep the 0 default.
+    pub first_request_id: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            retry_interval: Duration::from_millis(500),
+            invoke_timeout: Duration::from_secs(10),
+            blocking_poll: Duration::from_millis(2),
+            blocking_poll_cap: Duration::from_millis(128),
+            first_request_id: 0,
+        }
+    }
+}
+
+/// Seals and ships a batch of replica outputs over any transport.
+pub fn ship<T: Transport>(
+    net: &T,
+    keys: &KeyTable,
+    me: NodeId,
+    n: usize,
+    outputs: Vec<(Dest, Message)>,
+) {
+    for (dest, msg) in outputs {
+        match dest {
+            Dest::Replica(r) => {
+                let sealed = Sealed::seal(keys, u64::from(r), &msg);
+                net.send(me, r, sealed.to_bytes());
+            }
+            Dest::AllReplicas => {
+                for r in 0..n as NodeId {
+                    if r == me {
+                        continue;
+                    }
+                    let sealed = Sealed::seal(keys, u64::from(r), &msg);
+                    net.send(me, r, sealed.to_bytes());
+                }
+            }
+            Dest::Client(node) => {
+                let sealed = Sealed::seal(keys, node, &msg);
+                net.send(me, node as NodeId, sealed.to_bytes());
+            }
+        }
+    }
+}
+
+/// The replica event loop: drives one [`Replica`] state machine from a
+/// transport mailbox until `stop` is set or the transport disconnects.
+/// This is the loop a replica thread runs in [`ThreadedCluster`] and the
+/// loop `peatsd` runs as a whole OS process — same code, different
+/// [`Transport`].
+///
+/// [`ThreadedCluster`]: crate::ThreadedCluster
+pub fn replica_main<T: Transport>(
+    replica: Arc<parking_lot::Mutex<Replica>>,
+    keys: KeyTable,
+    mailbox: T::Mailbox,
+    net: T,
+    n: usize,
+    stop: Arc<AtomicBool>,
+    progress_period: Duration,
+) {
+    let me = mailbox.id();
+    let mut last_seen_exec = 0;
+    // Deadline-based progress check: the next check time only moves when a
+    // check actually runs, never because a message arrived. A quiet-period
+    // timer (reset on every receipt) is starved forever by steady traffic —
+    // a flooding Byzantine peer or staggered client retransmits could
+    // suppress view changes indefinitely.
+    //
+    // The replica is behind a mutex (uncontended except for test
+    // introspection and fault/restart injection); the lock is held per
+    // state-machine call, never across a blocking receive.
+    let mut next_check = Instant::now() + progress_period;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= next_check {
+            let outputs = {
+                let mut replica = replica.lock();
+                let last = replica.last_exec();
+                let outputs = if last == last_seen_exec {
+                    replica.on_progress_timeout()
+                } else {
+                    Vec::new()
+                };
+                last_seen_exec = last;
+                outputs
+            };
+            ship(&net, &keys, me, n, outputs);
+            next_check = Instant::now() + progress_period;
+        }
+        let wait = next_check.saturating_duration_since(Instant::now());
+        match mailbox.recv_timeout(wait) {
+            Ok(Some((_, payload))) => {
+                let Ok(sealed) = Sealed::from_bytes(&payload) else {
+                    continue;
+                };
+                let Some((sender, msg)) = sealed.open(&keys) else {
+                    continue;
+                };
+                let outputs = replica.lock().on_message(sender, msg);
+                ship(&net, &keys, me, n, outputs);
+            }
+            Ok(None) => {}    // deadline reached; handled at the top of the loop
+            Err(_) => return, // transport gone
+        }
+    }
+}
+
+/// A reply routed to an in-flight invocation: `(replica, req_id, result)`.
+type ReplyEnvelope = (ReplicaId, u64, OpResult);
+
+/// Routes each incoming `Reply` to the in-flight invocation (by `req_id`)
+/// it answers. Shared by all clones of one client handle; the router
+/// thread owns the node's mailbox, so an invocation never holds it — and
+/// never discards replies addressed to other in-flight requests.
+#[derive(Default)]
+struct ReplyDemux {
+    sessions: parking_lot::Mutex<BTreeMap<u64, mpsc::Sender<ReplyEnvelope>>>,
+    closed: AtomicBool,
+}
+
+impl ReplyDemux {
+    fn register(&self, req_id: u64) -> mpsc::Receiver<ReplyEnvelope> {
+        let (tx, rx) = mpsc::channel();
+        // The closed check must happen under the sessions lock: checked
+        // outside, a concurrent `close` could clear the map between the
+        // check and the insert, leaving a sender that never disconnects
+        // (the invocation would burn its whole timeout instead of failing
+        // fast).
+        let mut sessions = self.sessions.lock();
+        if !self.closed.load(Ordering::Acquire) {
+            sessions.insert(req_id, tx);
+        }
+        // When closed, the sender is dropped here and the receiver reports
+        // Disconnected immediately.
+        rx
+    }
+
+    fn deregister(&self, req_id: u64) {
+        self.sessions.lock().remove(&req_id);
+    }
+
+    fn route(&self, env: ReplyEnvelope) {
+        if let Some(tx) = self.sessions.lock().get(&env.1) {
+            let _ = tx.send(env);
+        }
+        // No session with that req_id: a late reply for a completed (or
+        // abandoned) invocation — drop it.
+    }
+
+    fn close(&self) {
+        let mut sessions = self.sessions.lock();
+        self.closed.store(true, Ordering::Release);
+        // Dropping the senders disconnects every waiting invocation.
+        sessions.clear();
+    }
+}
+
+/// Deregisters an invocation's demux session on every exit path.
+struct SessionGuard<'a> {
+    demux: &'a ReplyDemux,
+    req_id: u64,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.demux.deregister(self.req_id);
+    }
+}
+
+fn client_router<M: Mailbox>(mailbox: M, keys: KeyTable, demux: Arc<ReplyDemux>) {
+    while let Some((_, payload)) = mailbox.recv() {
+        let Ok(sealed) = Sealed::from_bytes(&payload) else {
+            continue;
+        };
+        let Some((
+            _,
+            Message::Reply {
+                req_id,
+                replica,
+                result,
+                ..
+            },
+        )) = sealed.open(&keys)
+        else {
+            continue;
+        };
+        demux.route((replica, req_id, result));
+    }
+    // Mailbox disconnected: the transport is gone. Wake every waiter.
+    demux.close();
+}
+
+/// Observability counters shared by all clones of one handle.
+#[derive(Debug, Default)]
+struct ClientStats {
+    rebroadcasts: AtomicU64,
+    in_flight: AtomicU64,
+    max_in_flight: AtomicU64,
+}
+
+/// Client handle onto a replicated PEATS cluster reached over any
+/// [`Transport`]; implements [`peats::TupleSpace`], so all algorithms run
+/// on it unchanged. Clones share the node's identity, request counter, and
+/// reply router — and invoke **concurrently**.
+///
+/// The default transport parameter keeps the thread-backed tier's spelling:
+/// `ReplicatedPeats` is the in-memory handle handed out by
+/// [`ThreadedCluster::handle`](crate::ThreadedCluster::handle), while
+/// `ReplicatedPeats<TcpTransport>` is a real network client.
+#[derive(Clone)]
+pub struct ReplicatedPeats<T: Transport = ThreadNet> {
+    net: T,
+    demux: Arc<ReplyDemux>,
+    keys: KeyTable,
+    node: NodeId,
+    pid: u64,
+    f: usize,
+    n_replicas: usize,
+    next_req: Arc<AtomicU64>,
+    cfg: ClientConfig,
+    stats: Arc<ClientStats>,
+}
+
+impl<T: Transport> ReplicatedPeats<T> {
+    /// Builds a client handle for logical process `pid` at transport node
+    /// `mailbox.id()`, spawning the reply-router thread that owns
+    /// `mailbox`. The cluster has `n_replicas = 3f+1` replicas at node ids
+    /// `0..n_replicas`; `keys` must hold this node's pairwise MACs.
+    pub fn connect(
+        net: T,
+        mailbox: T::Mailbox,
+        keys: KeyTable,
+        pid: u64,
+        f: usize,
+        n_replicas: usize,
+        cfg: ClientConfig,
+    ) -> Self {
+        let node = mailbox.id();
+        let demux = Arc::new(ReplyDemux::default());
+        {
+            let keys = keys.clone();
+            let demux = Arc::clone(&demux);
+            // The router exits (and closes the demux) when the mailbox
+            // disconnects — i.e. when the transport shuts down.
+            std::thread::spawn(move || client_router(mailbox, keys, demux));
+        }
+        ReplicatedPeats {
+            net,
+            demux,
+            keys,
+            node,
+            pid,
+            f,
+            n_replicas,
+            next_req: Arc::new(AtomicU64::new(cfg.first_request_id)),
+            cfg,
+            stats: Arc::new(ClientStats::default()),
+        }
+    }
+
+    fn invoke(&self, op: OpCall<'static>) -> SpaceResult<OpResult> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let rx = self.demux.register(req_id);
+        let _session_guard = SessionGuard {
+            demux: &self.demux,
+            req_id,
+        };
+        let mut session = ClientSession::new(self.pid, req_id, op, self.f);
+        let broadcast = |session: &ClientSession| {
+            for r in 0..self.n_replicas as NodeId {
+                let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
+                self.net.send(self.node, r, sealed.to_bytes());
+            }
+        };
+        broadcast(&session);
+        // Track in-flight depth (tests assert clones genuinely overlap).
+        let depth = self.stats.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.max_in_flight.fetch_max(depth, Ordering::Relaxed);
+        let result = (|| {
+            let deadline = Instant::now() + self.cfg.invoke_timeout;
+            let mut next_retry = Instant::now() + self.cfg.retry_interval;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SpaceError::Unavailable(
+                        "no f+1 matching replies before timeout".into(),
+                    ));
+                }
+                if now >= next_retry {
+                    broadcast(&session);
+                    self.stats.rebroadcasts.fetch_add(1, Ordering::Relaxed);
+                    // Reset from *now*, not the missed tick: after a long
+                    // stall (`+= interval` drifting behind the clock) every
+                    // banked tick would fire a rebroadcast back-to-back.
+                    next_retry = Instant::now() + self.cfg.retry_interval;
+                }
+                // Event-driven wait: block on the reply channel until the
+                // earlier of the retry and overall deadlines. A reply wakes
+                // the invocation immediately — latency is the cluster's
+                // decision time, not a poll-tick quantum.
+                let wait = next_retry
+                    .min(deadline)
+                    .saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok((replica, rid, result)) => {
+                        if let Some(result) = session.on_reply(replica, rid, result) {
+                            return Ok(result);
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(SpaceError::Unavailable("cluster shut down".into()));
+                    }
+                }
+            }
+        })();
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Repeats the nonblocking `probe` until it yields a tuple, sleeping
+    /// with capped exponential backoff between rounds. Bounds the consensus
+    /// work a blocked read generates: a read blocked for `T` issues
+    /// `O(log(cap) + T/cap)` rounds instead of `T/tick`.
+    fn poll_blocking(
+        &self,
+        mut probe: impl FnMut() -> SpaceResult<Option<Tuple>>,
+    ) -> SpaceResult<Tuple> {
+        let mut delay = self.cfg.blocking_poll;
+        loop {
+            if let Some(t) = probe()? {
+                return Ok(t);
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(self.cfg.blocking_poll_cap);
+        }
+    }
+
+    fn expect_tuple(&self, r: OpResult) -> SpaceResult<Option<Tuple>> {
+        match r {
+            OpResult::Tuple(t) => Ok(t),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+
+    /// Total requests issued through this handle and its clones (each is
+    /// one consensus round).
+    pub fn issued_requests(&self) -> u64 {
+        self.next_req.load(Ordering::Relaxed) - self.cfg.first_request_id
+    }
+
+    /// Total retry re-broadcasts issued by this handle and its clones. A
+    /// healthy cluster decides well inside the retry interval, so this
+    /// staying at zero is how tests prove no reply was lost or eaten.
+    pub fn rebroadcasts(&self) -> u64 {
+        self.stats.rebroadcasts.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently in-flight invocations across all
+    /// clones of this handle.
+    pub fn max_concurrent_invokes(&self) -> u64 {
+        self.stats.max_in_flight.load(Ordering::Relaxed)
+    }
+}
+
+fn denied(detail: String) -> SpaceError {
+    SpaceError::Denied(peats_policy::Decision::Denied {
+        attempts: vec![("replicated".into(), detail)],
+    })
+}
+
+impl<T: Transport> TupleSpace for ReplicatedPeats<T> {
+    fn out(&self, entry: Tuple) -> SpaceResult<()> {
+        match self.invoke(OpCall::out(entry))? {
+            OpResult::Done => Ok(()),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+
+    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        let r = self.invoke(OpCall::rdp(template.clone()))?;
+        self.expect_tuple(r)
+    }
+
+    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        let r = self.invoke(OpCall::inp(template.clone()))?;
+        self.expect_tuple(r)
+    }
+
+    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
+        match self.invoke(OpCall::cas(template.clone(), entry))? {
+            OpResult::Cas { inserted: true, .. } => Ok(CasOutcome::Inserted),
+            OpResult::Cas {
+                inserted: false,
+                found: Some(t),
+            } => Ok(CasOutcome::Found(t)),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+
+    fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
+        // Client-side polling preserves blocking-read semantics (§4 note in
+        // the service module). Each poll costs a consensus round, hence the
+        // capped exponential backoff.
+        self.poll_blocking(|| self.rdp(template))
+    }
+
+    fn take(&self, template: &Template) -> SpaceResult<Tuple> {
+        self.poll_blocking(|| self.inp(template))
+    }
+
+    fn process_id(&self) -> peats_policy::ProcessId {
+        self.pid
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for ReplicatedPeats<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedPeats")
+            .field("pid", &self.pid)
+            .field("replicas", &self.n_replicas)
+            .finish()
+    }
+}

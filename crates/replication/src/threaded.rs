@@ -1,73 +1,37 @@
 //! Thread-backed deployment: the replicated PEATS as a real concurrent
-//! service, with a client handle implementing [`peats::TupleSpace`].
+//! service inside one process, built on the transport-generic runtime of
+//! [`crate::runtime`] instantiated with
+//! [`ThreadNet`](peats_netsim::ThreadNet).
 //!
-//! This is the deployment the performance experiments (E12) measure: every
-//! operation is a MAC-sealed request broadcast to `3f+1` replica threads,
-//! ordered by the BFT protocol (batched and pipelined — see
-//! [`ReplicaConfig`](crate::replica::ReplicaConfig)), executed against each
-//! replica's policy-enforced space, and voted on client-side (`f+1`
-//! matching replies). Because the handle implements [`peats::TupleSpace`],
-//! every algorithm in `peats-consensus` and `peats-universal` runs
-//! unmodified on top of it — the paper's Fig. 2 picture, end to end.
+//! This is the fast wall-clock verification tier (the performance
+//! experiments, E12): every operation is a MAC-sealed request broadcast to
+//! `3f+1` replica threads, ordered by the BFT protocol (batched and
+//! pipelined — see [`ReplicaConfig`](crate::replica::ReplicaConfig)),
+//! executed against each replica's policy-enforced space, and voted on
+//! client-side (`f+1` matching replies). The exact same
+//! [`replica_main`]/[`ReplicatedPeats`] code deployed over TCP sockets by
+//! `peats-net`'s `peatsd` daemon runs here over in-memory channels — the
+//! harness below differs from a real cluster only in its [`Transport`].
 //!
-//! Cloned [`ReplicatedPeats`] handles invoke **concurrently**: a dedicated
-//! router thread owns the client slot's mailbox and demultiplexes each
-//! `Reply` to the in-flight invocation it answers by `req_id`, so no
-//! invocation ever holds the mailbox (or eats another invocation's
-//! replies) while it waits.
+//! Because the handle implements [`peats::TupleSpace`], every algorithm in
+//! `peats-consensus` and `peats-universal` runs unmodified on top of it —
+//! the paper's Fig. 2 picture, end to end.
 
-use crate::client::ClientSession;
 use crate::faults::FaultMode;
-use crate::messages::{Message, OpResult, ReplicaId, Sealed};
 use crate::replica::{
-    Dest, Replica, ReplicaConfig, ReplicaFootprint, DEFAULT_BATCH_CAP, DEFAULT_CHECKPOINT_INTERVAL,
+    Replica, ReplicaConfig, ReplicaFootprint, DEFAULT_BATCH_CAP, DEFAULT_CHECKPOINT_INTERVAL,
     DEFAULT_MAX_IN_FLIGHT,
 };
+use crate::runtime::{replica_main, ClientConfig, ReplicatedPeats};
 use crate::service::PeatsService;
-use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
 use peats_auth::KeyTable;
-use peats_codec::{Decode, Encode};
-use peats_netsim::{Mailbox, NodeId, ThreadNet};
-use peats_policy::{MissingParamError, OpCall, Policy, PolicyParams, ProcessId};
-use peats_tuplespace::{Template, Tuple};
+use peats_netsim::{ThreadMailbox, ThreadNet};
+use peats_policy::{MissingParamError, Policy, PolicyParams};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// Granularity at which a waiting invocation re-checks its retry/overall
-/// deadlines.
-const REPLY_WAIT: Duration = Duration::from_millis(25);
-
-/// Client-side timing knobs, shared by every clone of one handle.
-#[derive(Clone, Debug)]
-pub struct ClientConfig {
-    /// Re-broadcast an undecided request after this long without a
-    /// decision. Each retry resets the timer from *now*, so a stall never
-    /// banks a burst of back-to-back rebroadcasts.
-    pub retry_interval: Duration,
-    /// Give up on an invocation (`SpaceError::Unavailable`) after this
-    /// long.
-    pub invoke_timeout: Duration,
-    /// Initial delay between the polling rounds of a blocked `rd`/`take`.
-    pub blocking_poll: Duration,
-    /// Ceiling for the poll delay. Every poll is a full consensus round
-    /// across the cluster, so a blocked read backs off exponentially up to
-    /// this cap instead of hammering the replicas at a fixed tick.
-    pub blocking_poll_cap: Duration,
-}
-
-impl Default for ClientConfig {
-    fn default() -> Self {
-        ClientConfig {
-            retry_interval: Duration::from_millis(500),
-            invoke_timeout: Duration::from_secs(10),
-            blocking_poll: Duration::from_millis(2),
-            blocking_poll_cap: Duration::from_millis(128),
-        }
-    }
-}
+use std::time::Duration;
 
 /// Deployment-wide configuration for a [`ThreadedCluster`].
 #[derive(Clone, Debug)]
@@ -113,181 +77,13 @@ impl ClusterConfig {
     }
 }
 
-fn ship(net: &ThreadNet, keys: &KeyTable, me: NodeId, n: usize, outputs: Vec<(Dest, Message)>) {
-    for (dest, msg) in outputs {
-        match dest {
-            Dest::Replica(r) => {
-                let sealed = Sealed::seal(keys, u64::from(r), &msg);
-                net.send(me, r, sealed.to_bytes());
-            }
-            Dest::AllReplicas => {
-                for r in 0..n as NodeId {
-                    if r == me {
-                        continue;
-                    }
-                    let sealed = Sealed::seal(keys, u64::from(r), &msg);
-                    net.send(me, r, sealed.to_bytes());
-                }
-            }
-            Dest::Client(node) => {
-                let sealed = Sealed::seal(keys, node, &msg);
-                net.send(me, node as NodeId, sealed.to_bytes());
-            }
-        }
-    }
-}
-
-fn replica_main(
-    replica: Arc<parking_lot::Mutex<Replica>>,
-    keys: KeyTable,
-    mailbox: Mailbox,
-    net: ThreadNet,
-    n: usize,
-    stop: Arc<AtomicBool>,
-    progress_period: Duration,
-) {
-    let me = mailbox.id();
-    let mut last_seen_exec = 0;
-    // Deadline-based progress check: the next check time only moves when a
-    // check actually runs, never because a message arrived. A quiet-period
-    // timer (reset on every receipt) is starved forever by steady traffic —
-    // a flooding Byzantine peer or staggered client retransmits could
-    // suppress view changes indefinitely.
-    //
-    // The replica is behind a mutex (uncontended except for test
-    // introspection and fault/restart injection); the lock is held per
-    // state-machine call, never across a blocking receive.
-    let mut next_check = Instant::now() + progress_period;
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            return;
-        }
-        let now = Instant::now();
-        if now >= next_check {
-            let outputs = {
-                let mut replica = replica.lock();
-                let last = replica.last_exec();
-                let outputs = if last == last_seen_exec {
-                    replica.on_progress_timeout()
-                } else {
-                    Vec::new()
-                };
-                last_seen_exec = last;
-                outputs
-            };
-            ship(&net, &keys, me, n, outputs);
-            next_check = Instant::now() + progress_period;
-        }
-        let wait = next_check.saturating_duration_since(Instant::now());
-        match mailbox.recv_timeout(wait) {
-            Ok(Some((_, payload))) => {
-                let Ok(sealed) = Sealed::from_bytes(&payload) else {
-                    continue;
-                };
-                let Some((sender, msg)) = sealed.open(&keys) else {
-                    continue;
-                };
-                let outputs = replica.lock().on_message(sender, msg);
-                ship(&net, &keys, me, n, outputs);
-            }
-            Ok(None) => {}    // deadline reached; handled at the top of the loop
-            Err(_) => return, // fabric gone
-        }
-    }
-}
-
-/// A reply routed to an in-flight invocation: `(replica, req_id, result)`.
-type ReplyEnvelope = (ReplicaId, u64, OpResult);
-
-/// Routes each incoming `Reply` to the in-flight invocation (by `req_id`)
-/// it answers. Shared by all clones of one client handle; the router
-/// thread owns the slot's mailbox, so an invocation never holds it — and
-/// never discards replies addressed to other in-flight requests.
-#[derive(Default)]
-struct ReplyDemux {
-    sessions: parking_lot::Mutex<BTreeMap<u64, mpsc::Sender<ReplyEnvelope>>>,
-    closed: AtomicBool,
-}
-
-impl ReplyDemux {
-    fn register(&self, req_id: u64) -> mpsc::Receiver<ReplyEnvelope> {
-        let (tx, rx) = mpsc::channel();
-        // The closed check must happen under the sessions lock: checked
-        // outside, a concurrent `close` could clear the map between the
-        // check and the insert, leaving a sender that never disconnects
-        // (the invocation would burn its whole timeout instead of failing
-        // fast).
-        let mut sessions = self.sessions.lock();
-        if !self.closed.load(Ordering::Acquire) {
-            sessions.insert(req_id, tx);
-        }
-        // When closed, the sender is dropped here and the receiver reports
-        // Disconnected immediately.
-        rx
-    }
-
-    fn deregister(&self, req_id: u64) {
-        self.sessions.lock().remove(&req_id);
-    }
-
-    fn route(&self, env: ReplyEnvelope) {
-        if let Some(tx) = self.sessions.lock().get(&env.1) {
-            let _ = tx.send(env);
-        }
-        // No session with that req_id: a late reply for a completed (or
-        // abandoned) invocation — drop it.
-    }
-
-    fn close(&self) {
-        let mut sessions = self.sessions.lock();
-        self.closed.store(true, Ordering::Release);
-        // Dropping the senders disconnects every waiting invocation.
-        sessions.clear();
-    }
-}
-
-/// Deregisters an invocation's demux session on every exit path.
-struct SessionGuard<'a> {
-    demux: &'a ReplyDemux,
-    req_id: u64,
-}
-
-impl Drop for SessionGuard<'_> {
-    fn drop(&mut self) {
-        self.demux.deregister(self.req_id);
-    }
-}
-
-fn client_router(mailbox: Mailbox, keys: KeyTable, demux: Arc<ReplyDemux>) {
-    while let Some((_, payload)) = mailbox.recv() {
-        let Ok(sealed) = Sealed::from_bytes(&payload) else {
-            continue;
-        };
-        let Some((
-            _,
-            Message::Reply {
-                req_id,
-                replica,
-                result,
-                ..
-            },
-        )) = sealed.open(&keys)
-        else {
-            continue;
-        };
-        demux.route((replica, req_id, result));
-    }
-    // Mailbox disconnected: the fabric is gone. Wake every waiter.
-    demux.close();
-}
-
 /// A running thread-backed replicated PEATS.
 pub struct ThreadedCluster {
     net: ThreadNet,
     n_replicas: usize,
     f: usize,
     master: Vec<u8>,
-    client_slots: Vec<Option<(Mailbox, u64)>>,
+    client_slots: Vec<Option<(ThreadMailbox, u64)>>,
     client_cfg: ClientConfig,
     /// Shared handles onto the replica state machines (their threads own
     /// the mailboxes; tests use these for fault injection, restarts, and
@@ -381,7 +177,7 @@ impl ThreadedCluster {
             let stop = Arc::clone(&stop);
             let progress_period = config.progress_period;
             joins.push(std::thread::spawn(move || {
-                replica_main(
+                replica_main::<ThreadNet>(
                     replica,
                     keys,
                     mailbox,
@@ -467,9 +263,9 @@ impl ThreadedCluster {
         self.replicas[id].lock().state_digest()
     }
 
-    /// Takes the [`TupleSpace`] handle for client slot `idx`, spawning its
-    /// reply-router thread. Clones of the handle share the router and
-    /// invoke concurrently.
+    /// Takes the [`TupleSpace`](peats::TupleSpace) handle for client slot
+    /// `idx`, spawning its reply-router thread. Clones of the handle share
+    /// the router and invoke concurrently.
     ///
     /// # Panics
     ///
@@ -478,28 +274,16 @@ impl ThreadedCluster {
         let (mailbox, pid) = self.client_slots[idx]
             .take()
             .expect("client slot already taken");
-        let node = mailbox.id();
-        let keys = KeyTable::new(u64::from(node), self.master.clone());
-        let demux = Arc::new(ReplyDemux::default());
-        {
-            let keys = keys.clone();
-            let demux = Arc::clone(&demux);
-            // The router exits (and closes the demux) when the mailbox
-            // disconnects — i.e. when the cluster and all handles are gone.
-            std::thread::spawn(move || client_router(mailbox, keys, demux));
-        }
-        ReplicatedPeats {
-            net: self.net.clone(),
-            demux,
+        let keys = KeyTable::new(u64::from(mailbox.id()), self.master.clone());
+        ReplicatedPeats::connect(
+            self.net.clone(),
+            mailbox,
             keys,
-            node,
             pid,
-            f: self.f,
-            n_replicas: self.n_replicas,
-            next_req: Arc::new(AtomicU64::new(0)),
-            cfg: self.client_cfg.clone(),
-            stats: Arc::new(ClientStats::default()),
-        }
+            self.f,
+            self.n_replicas,
+            self.client_cfg.clone(),
+        )
     }
 
     /// Stops all replica threads and waits for them.
@@ -528,204 +312,12 @@ impl std::fmt::Debug for ThreadedCluster {
     }
 }
 
-/// Observability counters shared by all clones of one handle.
-#[derive(Debug, Default)]
-struct ClientStats {
-    rebroadcasts: AtomicU64,
-    in_flight: AtomicU64,
-    max_in_flight: AtomicU64,
-}
-
-/// Client handle onto a [`ThreadedCluster`]; implements
-/// [`peats::TupleSpace`], so all algorithms run on it unchanged. Clones
-/// share the slot's identity, request counter, and reply router — and
-/// invoke **concurrently**.
-#[derive(Clone)]
-pub struct ReplicatedPeats {
-    net: ThreadNet,
-    demux: Arc<ReplyDemux>,
-    keys: KeyTable,
-    node: NodeId,
-    pid: u64,
-    f: usize,
-    n_replicas: usize,
-    next_req: Arc<AtomicU64>,
-    cfg: ClientConfig,
-    stats: Arc<ClientStats>,
-}
-
-impl ReplicatedPeats {
-    fn invoke(&self, op: OpCall<'static>) -> SpaceResult<OpResult> {
-        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
-        let rx = self.demux.register(req_id);
-        let _session_guard = SessionGuard {
-            demux: &self.demux,
-            req_id,
-        };
-        let mut session = ClientSession::new(self.pid, req_id, op, self.f);
-        let broadcast = |session: &ClientSession| {
-            for r in 0..self.n_replicas as NodeId {
-                let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
-                self.net.send(self.node, r, sealed.to_bytes());
-            }
-        };
-        broadcast(&session);
-        // Track in-flight depth (tests assert clones genuinely overlap).
-        let depth = self.stats.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.stats.max_in_flight.fetch_max(depth, Ordering::Relaxed);
-        let result = (|| {
-            let deadline = Instant::now() + self.cfg.invoke_timeout;
-            let mut next_retry = Instant::now() + self.cfg.retry_interval;
-            loop {
-                let now = Instant::now();
-                if now > deadline {
-                    return Err(SpaceError::Unavailable(
-                        "no f+1 matching replies before timeout".into(),
-                    ));
-                }
-                if now > next_retry {
-                    broadcast(&session);
-                    self.stats.rebroadcasts.fetch_add(1, Ordering::Relaxed);
-                    // Reset from *now*, not the missed tick: after a long
-                    // stall (`+= interval` drifting behind the clock) every
-                    // banked tick would fire a rebroadcast back-to-back.
-                    next_retry = Instant::now() + self.cfg.retry_interval;
-                }
-                match rx.recv_timeout(REPLY_WAIT) {
-                    Ok((replica, rid, result)) => {
-                        if let Some(result) = session.on_reply(replica, rid, result) {
-                            return Ok(result);
-                        }
-                    }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        return Err(SpaceError::Unavailable("cluster shut down".into()));
-                    }
-                }
-            }
-        })();
-        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-        result
-    }
-
-    /// Repeats the nonblocking `probe` until it yields a tuple, sleeping
-    /// with capped exponential backoff between rounds. Bounds the consensus
-    /// work a blocked read generates: a read blocked for `T` issues
-    /// `O(log(cap) + T/cap)` rounds instead of `T/tick`.
-    fn poll_blocking(
-        &self,
-        mut probe: impl FnMut() -> SpaceResult<Option<Tuple>>,
-    ) -> SpaceResult<Tuple> {
-        let mut delay = self.cfg.blocking_poll;
-        loop {
-            if let Some(t) = probe()? {
-                return Ok(t);
-            }
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(self.cfg.blocking_poll_cap);
-        }
-    }
-
-    fn expect_tuple(&self, r: OpResult) -> SpaceResult<Option<Tuple>> {
-        match r {
-            OpResult::Tuple(t) => Ok(t),
-            OpResult::Denied(d) => Err(denied(d)),
-            other => Err(SpaceError::Unavailable(format!(
-                "unexpected result {other:?}"
-            ))),
-        }
-    }
-
-    /// Total requests issued through this handle and its clones (each is
-    /// one consensus round).
-    pub fn issued_requests(&self) -> u64 {
-        self.next_req.load(Ordering::Relaxed)
-    }
-
-    /// Total retry re-broadcasts issued by this handle and its clones. A
-    /// healthy cluster decides well inside the retry interval, so this
-    /// staying at zero is how tests prove no reply was lost or eaten.
-    pub fn rebroadcasts(&self) -> u64 {
-        self.stats.rebroadcasts.load(Ordering::Relaxed)
-    }
-
-    /// High-water mark of concurrently in-flight invocations across all
-    /// clones of this handle.
-    pub fn max_concurrent_invokes(&self) -> u64 {
-        self.stats.max_in_flight.load(Ordering::Relaxed)
-    }
-}
-
-fn denied(detail: String) -> SpaceError {
-    SpaceError::Denied(peats_policy::Decision::Denied {
-        attempts: vec![("replicated".into(), detail)],
-    })
-}
-
-impl TupleSpace for ReplicatedPeats {
-    fn out(&self, entry: Tuple) -> SpaceResult<()> {
-        match self.invoke(OpCall::out(entry))? {
-            OpResult::Done => Ok(()),
-            OpResult::Denied(d) => Err(denied(d)),
-            other => Err(SpaceError::Unavailable(format!(
-                "unexpected result {other:?}"
-            ))),
-        }
-    }
-
-    fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let r = self.invoke(OpCall::rdp(template.clone()))?;
-        self.expect_tuple(r)
-    }
-
-    fn inp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let r = self.invoke(OpCall::inp(template.clone()))?;
-        self.expect_tuple(r)
-    }
-
-    fn cas(&self, template: &Template, entry: Tuple) -> SpaceResult<CasOutcome> {
-        match self.invoke(OpCall::cas(template.clone(), entry))? {
-            OpResult::Cas { inserted: true, .. } => Ok(CasOutcome::Inserted),
-            OpResult::Cas {
-                inserted: false,
-                found: Some(t),
-            } => Ok(CasOutcome::Found(t)),
-            OpResult::Denied(d) => Err(denied(d)),
-            other => Err(SpaceError::Unavailable(format!(
-                "unexpected result {other:?}"
-            ))),
-        }
-    }
-
-    fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
-        // Client-side polling preserves blocking-read semantics (§4 note in
-        // the service module). Each poll costs a consensus round, hence the
-        // capped exponential backoff.
-        self.poll_blocking(|| self.rdp(template))
-    }
-
-    fn take(&self, template: &Template) -> SpaceResult<Tuple> {
-        self.poll_blocking(|| self.inp(template))
-    }
-
-    fn process_id(&self) -> ProcessId {
-        self.pid
-    }
-}
-
-impl std::fmt::Debug for ReplicatedPeats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReplicatedPeats")
-            .field("pid", &self.pid)
-            .field("replicas", &self.n_replicas)
-            .finish()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peats_tuplespace::{template, tuple};
+    use peats::{CasOutcome, TupleSpace};
+    use peats_tuplespace::{template, tuple, Template, Tuple};
+    use std::time::Instant;
 
     #[test]
     fn end_to_end_out_rdp_cas() {

@@ -1,0 +1,165 @@
+//! Adversarial decode hardening for the replication wire protocol.
+//!
+//! A Byzantine peer controls every byte a replica reads off the network,
+//! so `Message`, `Sealed`, and `ReplicaSnapshot` decoding must treat the
+//! buffer as hostile: random garbage, truncations of valid encodings, and
+//! single-byte corruptions may all produce `DecodeError` (or a failed MAC
+//! check) but must never panic, hang, or allocate absurdly.
+
+use peats_auth::KeyTable;
+use peats_codec::{Decode, Encode};
+use peats_policy::OpCall;
+use peats_replication::{Message, OpResult, ReplicaSnapshot, Request, Sealed};
+use peats_tuplespace::{template, tuple};
+use proptest::prelude::*;
+
+fn sample_request(client: u64, req_id: u64) -> Request {
+    Request {
+        client,
+        req_id,
+        op: OpCall::out(tuple!["JOB", 7, "payload"]).into_owned(),
+    }
+}
+
+/// A spread of valid messages covering every wire tag that has a
+/// convenient constructor, so truncation/corruption fuzzing starts from
+/// realistic buffers rather than only random ones.
+fn sample_messages() -> Vec<Message> {
+    let req = sample_request(100, 1);
+    let digest = peats_auth::sha256(b"digest");
+    vec![
+        Message::Request(req.clone()),
+        Message::PrePrepare {
+            view: 0,
+            seq: 1,
+            requests: vec![req.clone(), sample_request(101, 9)],
+        },
+        Message::Prepare {
+            view: 0,
+            seq: 1,
+            digest,
+            replica: 2,
+        },
+        Message::Commit {
+            view: 1,
+            seq: 3,
+            digest,
+            replica: 3,
+        },
+        Message::Reply {
+            view: 0,
+            req_id: 1,
+            replica: 1,
+            result: OpResult::Tuple(Some(tuple!["JOB", 7, "payload"])),
+        },
+        Message::Reply {
+            view: 0,
+            req_id: 2,
+            replica: 0,
+            result: OpResult::Denied("no".to_owned()),
+        },
+        Message::ViewChange {
+            new_view: 2,
+            last_exec: 5,
+            stable_seq: 4,
+            stable_digest: digest,
+            prepared: vec![(5, vec![req.clone()])],
+            replica: 1,
+        },
+        Message::NewView {
+            view: 2,
+            assignments: vec![(6, vec![req])],
+        },
+        Message::Checkpoint {
+            seq: 8,
+            digest,
+            replica: 0,
+        },
+        Message::Request(Request {
+            client: 7,
+            req_id: 3,
+            op: OpCall::take(template!["JOB", ?x, _]).into_owned(),
+        }),
+    ]
+}
+
+proptest! {
+    /// Arbitrary buffers never panic any of the three decoders.
+    #[test]
+    fn random_buffers_decode_without_panicking(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::from_bytes(&bytes);
+        let _ = Sealed::from_bytes(&bytes);
+        let _ = ReplicaSnapshot::from_bytes(&bytes);
+    }
+
+    /// Every proper prefix of a valid message is rejected cleanly; the
+    /// full buffer round-trips.
+    #[test]
+    fn truncated_messages_error_cleanly(which in 0usize..10, cut in 0usize..10_000) {
+        let msg = &sample_messages()[which];
+        let bytes = msg.to_bytes();
+        let cut = cut % bytes.len().max(1);
+        prop_assert!(
+            Message::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded",
+            bytes.len()
+        );
+        prop_assert_eq!(&Message::from_bytes(&bytes).expect("full buffer"), msg);
+    }
+
+    /// Single-byte corruption never panics the message decoder.
+    #[test]
+    fn corrupted_messages_never_panic(which in 0usize..10, pos in 0usize..10_000, xor in 1u8..=255) {
+        let bytes = sample_messages()[which].to_bytes();
+        let mut bytes = bytes;
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    /// Sealed envelopes: truncations and corruptions of a real sealed
+    /// message either fail to decode or fail the MAC check — tampering is
+    /// never silently accepted, and nothing panics.
+    #[test]
+    fn tampered_sealed_envelopes_are_rejected(pos in 0usize..10_000, xor in 1u8..=255) {
+        let keys = KeyTable::new(1, b"fuzz-master".to_vec());
+        let sealed = Sealed::seal(&keys, 2, &Message::Checkpoint {
+            seq: 8,
+            digest: peats_auth::sha256(b"d"),
+            replica: 1,
+        });
+        let bytes = sealed.to_bytes();
+        let receiver = KeyTable::new(2, b"fuzz-master".to_vec());
+
+        // Truncation.
+        let cut = pos % bytes.len();
+        prop_assert!(Sealed::from_bytes(&bytes[..cut]).is_err());
+
+        // Corruption: decoding may succeed, opening must not.
+        let mut corrupt = bytes.clone();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= xor;
+        if let Ok(s) = Sealed::from_bytes(&corrupt) {
+            prop_assert!(
+                s.open(&receiver).is_none(),
+                "tampered byte {pos} survived the MAC check"
+            );
+        }
+
+        // The untampered envelope still opens.
+        let reopened = Sealed::from_bytes(&bytes).expect("valid envelope");
+        prop_assert!(reopened.open(&receiver).is_some());
+    }
+
+    /// Length-prefixed collections inside a snapshot cannot trigger huge
+    /// allocations: a tiny buffer claiming millions of elements errors
+    /// out before any reservation.
+    #[test]
+    fn absurd_length_prefixes_are_rejected(claim in 1_000_000u32..u32::MAX) {
+        let mut bytes = Vec::new();
+        claim.encode(&mut bytes); // element count far beyond the buffer
+        bytes.extend_from_slice(&[0u8; 16]);
+        prop_assert!(ReplicaSnapshot::from_bytes(&bytes).is_err());
+        prop_assert!(Message::from_bytes(&bytes).is_err());
+    }
+}
