@@ -22,6 +22,11 @@
 //! kernel socket path and wire latency cost relative to in-memory
 //! channels.
 //!
+//! A fourth section measures the quorum read fast path: a read-heavy mix
+//! (one `out` per eight `rdp`s) with reads served either by the one-round
+//! `f+1` quorum fast path or forced through the full ordering pipeline
+//! (`fast_reads: false`), over both thread channels and loopback TCP.
+//!
 //! Emits `BENCH_replication.json` (override with `--out PATH`) in the same
 //! shape as `BENCH_space.json`; `--smoke` shrinks the sweep for CI.
 //!
@@ -32,8 +37,8 @@
 use peats::{Policy, PolicyParams, TupleSpace};
 use peats_bench::print_table;
 use peats_net::{TcpCluster, TcpClusterConfig, TcpConfig};
-use peats_replication::{ClusterConfig, ThreadedCluster};
-use peats_tuplespace::tuple;
+use peats_replication::{ClientConfig, ClusterConfig, ThreadedCluster};
+use peats_tuplespace::{template, tuple};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -122,6 +127,159 @@ fn run_socket_cell(clients: usize, ops: u64, config: TcpClusterConfig) -> f64 {
     let throughput = (clients as u64 * ops) as f64 / slowest.as_secs_f64();
     cluster.shutdown();
     throughput
+}
+
+/// Batched ordering configuration with the fast read path toggled.
+fn read_mix_config(fast: bool) -> ClusterConfig {
+    ClusterConfig {
+        batch_cap: 16,
+        max_in_flight: 2,
+        client: ClientConfig {
+            fast_reads: fast,
+            ..ClientConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+/// What one client's read-heavy mix measured: total wall time and ops for
+/// the whole mix, plus the time spent inside the read calls alone — the
+/// read-throughput numerator excludes the interleaved (always-ordered)
+/// writes, so the two paths are compared on the reads they differ on.
+struct MixOutcome {
+    read_time: Duration,
+    reads: u64,
+    total_time: Duration,
+    ops: u64,
+}
+
+/// The read-heavy mix one client runs: `reads` `rdp`s against its own hot
+/// tuple, with one `out` interleaved per eight reads.
+fn read_mix<S: TupleSpace>(h: &S, c: usize, reads: u64) -> MixOutcome {
+    let hot = template!["HOT", c as i64];
+    let start = Instant::now();
+    let mut read_time = Duration::ZERO;
+    let mut ops = 0u64;
+    for v in 0..reads {
+        if v % 8 == 0 {
+            h.out(tuple!["MIX", c as i64, v as i64]).unwrap();
+            ops += 1;
+        }
+        let t = Instant::now();
+        assert!(h.rdp(&hot).unwrap().is_some(), "hot tuple must be visible");
+        read_time += t.elapsed();
+        ops += 1;
+    }
+    MixOutcome {
+        read_time,
+        reads,
+        total_time: start.elapsed(),
+        ops,
+    }
+}
+
+/// Aggregated cell numbers: reads/s over the slowest client's read-path
+/// time, whole-mix ops/s, and how many reads the fast path actually served
+/// vs punted to the ordering pipeline.
+struct ReadCell {
+    reads_per_sec: f64,
+    mix_ops_per_sec: f64,
+    fast_served: u64,
+    fallbacks: u64,
+}
+
+fn aggregate(outcomes: Vec<MixOutcome>, fast_served: u64, fallbacks: u64) -> ReadCell {
+    let reads: u64 = outcomes.iter().map(|o| o.reads).sum();
+    let ops: u64 = outcomes.iter().map(|o| o.ops).sum();
+    let read_time = outcomes.iter().map(|o| o.read_time).max().unwrap();
+    let total_time = outcomes.iter().map(|o| o.total_time).max().unwrap();
+    ReadCell {
+        reads_per_sec: reads as f64 / read_time.as_secs_f64(),
+        mix_ops_per_sec: ops as f64 / total_time.as_secs_f64(),
+        fast_served,
+        fallbacks,
+    }
+}
+
+/// One read-mix cell over thread channels: `clients` threads run
+/// [`read_mix`] concurrently; reads ride the fast path iff `fast`.
+fn run_read_cell(clients: usize, reads: u64, fast: bool) -> ReadCell {
+    let pids: Vec<u64> = (0..clients as u64).map(|i| 100 + i).collect();
+    let mut cluster = ThreadedCluster::start_with(
+        Policy::allow_all(),
+        PolicyParams::new(),
+        1,
+        &pids,
+        &[],
+        read_mix_config(fast),
+    )
+    .expect("allow-all policy has no parameters");
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let joins: Vec<_> = (0..clients)
+        .map(|c| {
+            let h = cluster.handle(c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                h.out(tuple!["HOT", c as i64]).unwrap(); // seed before timing
+                barrier.wait();
+                let outcome = read_mix(&h, c, reads);
+                (outcome, h.fast_reads_served(), h.fast_read_fallbacks())
+            })
+        })
+        .collect();
+    barrier.wait();
+    let mut outcomes = Vec::new();
+    let (mut fast_served, mut fallbacks) = (0u64, 0u64);
+    for j in joins {
+        let (outcome, served, fell) = j.join().unwrap();
+        outcomes.push(outcome);
+        fast_served += served;
+        fallbacks += fell;
+    }
+    let cell = aggregate(outcomes, fast_served, fallbacks);
+    cluster.shutdown();
+    cell
+}
+
+/// [`run_read_cell`] over real loopback sockets.
+fn run_socket_read_cell(clients: usize, reads: u64, fast: bool) -> ReadCell {
+    let pids: Vec<u64> = (0..clients as u64).map(|i| 100 + i).collect();
+    let mut cluster = TcpCluster::start(
+        Policy::allow_all(),
+        PolicyParams::new(),
+        1,
+        &pids,
+        TcpClusterConfig {
+            cluster: read_mix_config(fast),
+            tcp: TcpConfig::default(),
+        },
+    )
+    .expect("allow-all policy has no parameters");
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let joins: Vec<_> = (0..clients)
+        .map(|c| {
+            let h = cluster.handle(c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                h.out(tuple!["HOT", c as i64]).unwrap();
+                barrier.wait();
+                let outcome = read_mix(&h, c, reads);
+                (outcome, h.fast_reads_served(), h.fast_read_fallbacks())
+            })
+        })
+        .collect();
+    barrier.wait();
+    let mut outcomes = Vec::new();
+    let (mut fast_served, mut fallbacks) = (0u64, 0u64);
+    for j in joins {
+        let (outcome, served, fell) = j.join().unwrap();
+        outcomes.push(outcome);
+        fast_served += served;
+        fallbacks += fell;
+    }
+    let cell = aggregate(outcomes, fast_served, fallbacks);
+    cluster.shutdown();
+    cell
 }
 
 fn main() {
@@ -270,6 +428,61 @@ fn main() {
         &sock_table,
     );
 
+    // The quorum read fast path vs the full ordering pipeline on a
+    // read-heavy mix: same workload, only the read routing differs.
+    let read_clients: &[usize] = if smoke { &[1, 2] } else { &[1, 8, 16] };
+    let tcp_read_clients: &[usize] = if smoke { &[2] } else { &[1, 8] };
+    let reads: u64 = if smoke { 24 } else { 240 };
+    let mut read_json = Vec::new();
+    let mut read_table = Vec::new();
+    let mut record_read =
+        |transport: &str, clients: usize, path: &str, cell: &ReadCell, speedup: f64| {
+            read_json.push(format!(
+                "    {{\"transport\": \"{transport}\", \"clients\": {clients}, \
+                 \"path\": \"{path}\", \"reads_per_client\": {reads}, \
+                 \"reads_per_sec\": {:.0}, \"mix_ops_per_sec\": {:.0}, \
+                 \"fast_served\": {}, \"fallbacks\": {}, \
+                 \"read_speedup_vs_ordered\": {speedup:.2}}}",
+                cell.reads_per_sec, cell.mix_ops_per_sec, cell.fast_served, cell.fallbacks
+            ));
+            read_table.push(vec![
+                transport.to_owned(),
+                clients.to_string(),
+                path.to_owned(),
+                format!("{:.0}", cell.reads_per_sec),
+                format!("{:.0}", cell.mix_ops_per_sec),
+                cell.fallbacks.to_string(),
+                format!("{speedup:.2}x"),
+            ]);
+        };
+    for &clients in read_clients {
+        let ordered = run_read_cell(clients, reads, false);
+        let fast = run_read_cell(clients, reads, true);
+        let speedup = fast.reads_per_sec / ordered.reads_per_sec;
+        record_read("thread_channels", clients, "ordered", &ordered, 1.0);
+        record_read("thread_channels", clients, "fast", &fast, speedup);
+    }
+    for &clients in tcp_read_clients {
+        let ordered = run_socket_read_cell(clients, reads, false);
+        let fast = run_socket_read_cell(clients, reads, true);
+        let speedup = fast.reads_per_sec / ordered.reads_per_sec;
+        record_read("tcp_loopback", clients, "ordered", &ordered, 1.0);
+        record_read("tcp_loopback", clients, "fast", &fast, speedup);
+    }
+    print_table(
+        "read fast path: one-round f+1 quorum reads vs fully ordered reads (read-heavy mix)",
+        &[
+            "transport",
+            "clients",
+            "path",
+            "reads/s",
+            "mix ops/s",
+            "fallbacks",
+            "read speedup",
+        ],
+        &read_table,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_ordering\",\n  \"unit\": \"ops_per_sec\",\n  \
          \"workload\": \"clients concurrent client threads (one slot, pid, and reply router each) \
@@ -280,10 +493,12 @@ fn main() {
          requests), bounded in-flight window\"}},\n  \
          \"smoke\": {smoke},\n  \"results\": [\n{}\n  ],\n  \
          \"checkpointing_long_run\": [\n{}\n  ],\n  \
-         \"socket_transport\": [\n{}\n  ]\n}}\n",
+         \"socket_transport\": [\n{}\n  ],\n  \
+         \"read_fast_path\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
         ckpt_json.join(",\n"),
-        sock_json.join(",\n")
+        sock_json.join(",\n"),
+        read_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");

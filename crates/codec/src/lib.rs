@@ -462,6 +462,10 @@ impl Encode for OpCall<'_> {
                 t.encode(buf);
                 e.encode(buf);
             }
+            OpCall::Count(t) => {
+                buf.push(6);
+                t.encode(buf);
+            }
         }
     }
 }
@@ -475,6 +479,7 @@ impl Decode for OpCall<'static> {
             3 => OpCall::rdp(Template::decode(r)?),
             4 => OpCall::inp(Template::decode(r)?),
             5 => OpCall::cas(Template::decode(r)?, Tuple::decode(r)?),
+            6 => OpCall::count(Template::decode(r)?),
             tag => return Err(DecodeError::BadTag { tag, ty: "OpCall" }),
         })
     }
@@ -567,6 +572,7 @@ mod tests {
         roundtrip(OpCall::out(tuple!["A", 1]));
         roundtrip(OpCall::rdp(template!["A", ?x]));
         roundtrip(OpCall::cas(template!["D", ?x], tuple!["D", 9]));
+        roundtrip(OpCall::count(template!["A", _]));
     }
 
     #[test]

@@ -3,9 +3,26 @@
 //! truncations, and hostile length prefixes without panicking — and
 //! without allocating a buffer for a length it hasn't validated.
 
-use peats_codec::{read_frame, write_frame, FrameError};
+use peats_codec::{read_frame, write_frame, Decode, Encode, FrameError};
+use peats_policy::OpCall;
+use peats_tuplespace::{template, tuple};
 use proptest::prelude::*;
 use std::io::Cursor;
+
+/// One sample per `OpCall` wire tag (including the read-only `count` the
+/// fast read path ships), so framing fuzz starts from every realistic
+/// payload shape.
+fn sample_opcalls() -> Vec<OpCall<'static>> {
+    vec![
+        OpCall::out(tuple!["JOB", 7, "payload"]),
+        OpCall::rd(template!["JOB", ?x, _]),
+        OpCall::take(template!["JOB", ?x, _]),
+        OpCall::rdp(template!["JOB", ?x, _]),
+        OpCall::inp(template!["JOB", ?x, _]),
+        OpCall::cas(template!["JOB", ?x, _], tuple!["JOB", 1, "p"]),
+        OpCall::count(template!["JOB", ?x, _]),
+    ]
+}
 
 proptest! {
     /// Arbitrary byte streams never panic the reader, and whatever frames
@@ -29,6 +46,34 @@ proptest! {
         let frame = read_frame(&mut r, 96).expect("valid stream").expect("one frame");
         prop_assert_eq!(frame, payload);
         prop_assert!(read_frame(&mut r, 96).expect("clean EOF").is_none());
+    }
+
+    /// Every `OpCall` variant survives a framed round trip — even through
+    /// a reader yielding one byte at a time — and decodes to itself.
+    #[test]
+    fn framed_opcalls_roundtrip(which in 0usize..7) {
+        let op = &sample_opcalls()[which];
+        let bytes = op.to_bytes();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &bytes, 4096).expect("within cap");
+        let mut r = OneByteReader { data: buf, pos: 0 };
+        let frame = read_frame(&mut r, 4096).expect("valid stream").expect("one frame");
+        prop_assert_eq!(&OpCall::from_bytes(&frame).expect("valid opcall"), op);
+    }
+
+    /// Truncations and single-byte corruptions of any `OpCall` encoding
+    /// never panic the decoder.
+    #[test]
+    fn corrupted_opcalls_never_panic(which in 0usize..7, pos in 0usize..10_000, xor in 0u8..=255) {
+        let bytes = sample_opcalls()[which].to_bytes();
+        let cut = pos % bytes.len().max(1);
+        prop_assert!(OpCall::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        if xor != 0 {
+            let mut corrupt = bytes.clone();
+            let pos = pos % corrupt.len();
+            corrupt[pos] ^= xor;
+            let _ = OpCall::from_bytes(&corrupt);
+        }
     }
 
     /// A hostile length prefix beyond the cap is rejected before any

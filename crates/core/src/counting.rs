@@ -25,6 +25,7 @@ struct Counters {
     cas: AtomicU64,
     rd: AtomicU64,
     take: AtomicU64,
+    count: AtomicU64,
     denied: AtomicU64,
 }
 
@@ -43,6 +44,8 @@ pub struct StatsSnapshot {
     pub rd: u64,
     /// blocking `in` invocations.
     pub take: u64,
+    /// `count` invocations.
+    pub count: u64,
     /// invocations denied by the policy.
     pub denied: u64,
 }
@@ -51,7 +54,7 @@ impl StatsSnapshot {
     /// Total operations invoked (denied ones included — they still cost a
     /// round trip on a replicated deployment).
     pub fn total(&self) -> u64 {
-        self.out + self.rdp + self.inp + self.cas + self.rd + self.take
+        self.out + self.rdp + self.inp + self.cas + self.rd + self.take + self.count
     }
 }
 
@@ -70,6 +73,7 @@ impl SharedStats {
             cas: self.inner.cas.load(Ordering::Relaxed),
             rd: self.inner.rd.load(Ordering::Relaxed),
             take: self.inner.take.load(Ordering::Relaxed),
+            count: self.inner.count.load(Ordering::Relaxed),
             denied: self.inner.denied.load(Ordering::Relaxed),
         }
     }
@@ -83,6 +87,7 @@ impl SharedStats {
             &self.inner.cas,
             &self.inner.rd,
             &self.inner.take,
+            &self.inner.count,
             &self.inner.denied,
         ] {
             c.store(0, Ordering::Relaxed);
@@ -175,6 +180,12 @@ impl<S: TupleSpace> TupleSpace for CountingSpace<S> {
         self.track(r)
     }
 
+    fn count(&self, template: &Template) -> SpaceResult<usize> {
+        self.stats.inner.count.fetch_add(1, Ordering::Relaxed);
+        let r = self.inner.count(template);
+        self.track(r)
+    }
+
     fn process_id(&self) -> peats_policy::ProcessId {
         self.inner.process_id()
     }
@@ -198,12 +209,13 @@ mod tests {
         h.inp(&template!["A"]).unwrap();
         h.rd(&template!["B"]).unwrap();
         h.take(&template!["B"]).unwrap();
+        h.count(&template!["B"]).unwrap();
         let s = stats.snapshot();
         assert_eq!(
-            (s.out, s.rdp, s.inp, s.cas, s.rd, s.take),
-            (1, 1, 1, 1, 1, 1)
+            (s.out, s.rdp, s.inp, s.cas, s.rd, s.take, s.count),
+            (1, 1, 1, 1, 1, 1, 1)
         );
-        assert_eq!(s.total(), 6);
+        assert_eq!(s.total(), 7);
         assert_eq!(s.denied, 0);
     }
 

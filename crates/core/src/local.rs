@@ -43,6 +43,7 @@ struct Scopes {
     rdp: LockScope,
     inp: LockScope,
     cas: LockScope,
+    count: LockScope,
 }
 
 impl Scopes {
@@ -61,6 +62,7 @@ impl Scopes {
             rdp: scope(OpKind::Rdp),
             inp: scope(OpKind::Inp),
             cas: scope(OpKind::Cas),
+            count: scope(OpKind::Count),
         }
     }
 }
@@ -251,6 +253,14 @@ impl TupleSpace for LocalHandle {
             .space
             .take_with(template, self.inner.scopes.take, |view| {
                 self.permit(OpCall::take(template), view)
+            })
+    }
+
+    fn count(&self, template: &Template) -> SpaceResult<usize> {
+        self.inner
+            .space
+            .count_with(template, self.inner.scopes.count, |view| {
+                self.permit(OpCall::count(template), view)
             })
     }
 

@@ -53,6 +53,10 @@ pub trait TupleSpace {
     /// exists and removes it.
     fn take(&self, template: &Template) -> SpaceResult<Tuple>;
 
+    /// `count(t̄)`: number of stored tuples matching the template — a
+    /// read-only query, policy-checked like the other reads.
+    fn count(&self, template: &Template) -> SpaceResult<usize>;
+
     /// The identity this handle authenticates as.
     fn process_id(&self) -> peats_policy::ProcessId;
 }
@@ -80,6 +84,10 @@ impl<T: TupleSpace + ?Sized> TupleSpace for &T {
 
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
         (**self).take(template)
+    }
+
+    fn count(&self, template: &Template) -> SpaceResult<usize> {
+        (**self).count(template)
     }
 
     fn process_id(&self) -> peats_policy::ProcessId {

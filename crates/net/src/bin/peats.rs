@@ -34,6 +34,7 @@ Operations (tuple syntax: '<\"tag\", 42, true, *, ?x: int>'):
   rd   '<template>'            read a match, blocking
   take '<template>'            remove a match, blocking
   cas  '<template>' '<tuple>'  insert the tuple iff no match exists
+  count '<template>'           number of stored matches (quorum fast read)
 
 Connection (flags may come from the environment as PEATS_<FLAG>):
   --servers ID=HOST:PORT,...   every replica's address (required)
@@ -124,6 +125,9 @@ fn run(args: Vec<String>) -> Result<i32, String> {
         ("take", None) => space
             .take(&parse_template(first).map_err(|e| e.to_string())?)
             .map(|t| t.to_string()),
+        ("count", None) => space
+            .count(&parse_template(first).map_err(|e| e.to_string())?)
+            .map(|n| n.to_string()),
         ("cas", Some(entry)) => space
             .cas(
                 &parse_template(first).map_err(|e| e.to_string())?,

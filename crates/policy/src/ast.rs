@@ -409,8 +409,10 @@ pub enum InvocationPattern {
     Inp(ArgPattern),
     /// `cas(template, entry)`.
     Cas(ArgPattern, ArgPattern),
-    /// `read(template)` — groups `rd` and `rdp` (the paper's "all readings
-    /// are allowed" rules, e.g. `Rrd` in Fig. 4).
+    /// `count(template)`.
+    Count(ArgPattern),
+    /// `read(template)` — groups `rd`, `rdp`, and `count` (the paper's "all
+    /// readings are allowed" rules, e.g. `Rrd` in Fig. 4).
     Read(ArgPattern),
 }
 
@@ -418,7 +420,7 @@ impl InvocationPattern {
     /// `true` if this pattern can match invocations of operation `kind`
     /// (regardless of the argument shapes): the variant correspondence the
     /// evaluator's `match_invocation` starts from, with `Read` covering
-    /// both `rd` and `rdp`.
+    /// the nondestructive reads `rd`, `rdp`, and `count`.
     pub fn covers(&self, kind: OpKind) -> bool {
         match self {
             InvocationPattern::Out(_) => kind == OpKind::Out,
@@ -427,7 +429,10 @@ impl InvocationPattern {
             InvocationPattern::Rdp(_) => kind == OpKind::Rdp,
             InvocationPattern::Inp(_) => kind == OpKind::Inp,
             InvocationPattern::Cas(_, _) => kind == OpKind::Cas,
-            InvocationPattern::Read(_) => matches!(kind, OpKind::Rd | OpKind::Rdp),
+            InvocationPattern::Count(_) => kind == OpKind::Count,
+            InvocationPattern::Read(_) => {
+                matches!(kind, OpKind::Rd | OpKind::Rdp | OpKind::Count)
+            }
         }
     }
 }
@@ -441,6 +446,7 @@ impl fmt::Display for InvocationPattern {
             InvocationPattern::Rdp(a) => write!(f, "rdp({a})"),
             InvocationPattern::Inp(a) => write!(f, "inp({a})"),
             InvocationPattern::Cas(t, e) => write!(f, "cas({t}, {e})"),
+            InvocationPattern::Count(a) => write!(f, "count({a})"),
             InvocationPattern::Read(a) => write!(f, "read({a})"),
         }
     }

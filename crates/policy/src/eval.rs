@@ -241,7 +241,10 @@ pub fn match_invocation(pattern: &InvocationPattern, inv: &Invocation<'_>) -> Op
         (InvocationPattern::Cas(pt, pe), OpCall::Cas(t, e)) => {
             match_template(pt, t.as_ref(), &mut binds) && match_entry(pe, e.as_ref(), &mut binds)
         }
-        (InvocationPattern::Read(p), OpCall::Rd(t) | OpCall::Rdp(t)) => {
+        (InvocationPattern::Count(p), OpCall::Count(t)) => {
+            match_template(p, t.as_ref(), &mut binds)
+        }
+        (InvocationPattern::Read(p), OpCall::Rd(t) | OpCall::Rdp(t) | OpCall::Count(t)) => {
             match_template(p, t.as_ref(), &mut binds)
         }
         _ => false,
@@ -545,7 +548,15 @@ mod tests {
         let pat = InvocationPattern::Read(ArgPattern::Any);
         assert!(match_invocation(&pat, &Invocation::new(0, OpCall::rd(template![_]))).is_some());
         assert!(match_invocation(&pat, &Invocation::new(0, OpCall::rdp(template![_]))).is_some());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::count(template![_]))).is_some());
         assert!(match_invocation(&pat, &Invocation::new(0, OpCall::inp(template![_]))).is_none());
+    }
+
+    #[test]
+    fn count_pattern_covers_only_count() {
+        let pat = InvocationPattern::Count(ArgPattern::Any);
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::count(template![_]))).is_some());
+        assert!(match_invocation(&pat, &Invocation::new(0, OpCall::rdp(template![_]))).is_none());
     }
 
     #[test]

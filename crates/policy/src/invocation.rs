@@ -34,6 +34,8 @@ pub enum OpKind {
     Inp,
     /// `cas(t̄, t)` — conditional atomic swap (§2.3).
     Cas,
+    /// `count(t̄)` — number of stored matches (a read-only query).
+    Count,
 }
 
 impl fmt::Display for OpKind {
@@ -45,6 +47,7 @@ impl fmt::Display for OpKind {
             OpKind::Rdp => "rdp",
             OpKind::Inp => "inp",
             OpKind::Cas => "cas",
+            OpKind::Count => "count",
         };
         f.write_str(s)
     }
@@ -65,6 +68,8 @@ pub enum OpCall<'a> {
     Inp(Cow<'a, Template>),
     /// `cas(t̄, t)`.
     Cas(Cow<'a, Template>, Cow<'a, Tuple>),
+    /// `count(t̄)`.
+    Count(Cow<'a, Template>),
 }
 
 impl<'a> OpCall<'a> {
@@ -99,6 +104,11 @@ impl<'a> OpCall<'a> {
         OpCall::Cas(template.into(), entry.into())
     }
 
+    /// `count(t̄)`.
+    pub fn count(template: impl Into<Cow<'a, Template>>) -> Self {
+        OpCall::Count(template.into())
+    }
+
     /// The operation kind of this call.
     pub fn kind(&self) -> OpKind {
         match self {
@@ -108,13 +118,14 @@ impl<'a> OpCall<'a> {
             OpCall::Rdp(_) => OpKind::Rdp,
             OpCall::Inp(_) => OpKind::Inp,
             OpCall::Cas(_, _) => OpKind::Cas,
+            OpCall::Count(_) => OpKind::Count,
         }
     }
 
-    /// `true` for the read operations `rd`/`rdp` (the paper's `Rread`-style
-    /// rules group these).
+    /// `true` for the read operations `rd`/`rdp`/`count` (the paper's
+    /// `Rread`-style rules group these).
     pub fn is_read(&self) -> bool {
-        matches!(self, OpCall::Rd(_) | OpCall::Rdp(_))
+        matches!(self, OpCall::Rd(_) | OpCall::Rdp(_) | OpCall::Count(_))
     }
 
     /// A call borrowing this call's arguments — `Clone` without copying the
@@ -127,6 +138,7 @@ impl<'a> OpCall<'a> {
             OpCall::Rdp(t) => OpCall::Rdp(Cow::Borrowed(t.as_ref())),
             OpCall::Inp(t) => OpCall::Inp(Cow::Borrowed(t.as_ref())),
             OpCall::Cas(t, e) => OpCall::Cas(Cow::Borrowed(t.as_ref()), Cow::Borrowed(e.as_ref())),
+            OpCall::Count(t) => OpCall::Count(Cow::Borrowed(t.as_ref())),
         }
     }
 
@@ -142,6 +154,7 @@ impl<'a> OpCall<'a> {
             OpCall::Cas(t, e) => {
                 OpCall::Cas(Cow::Owned(t.into_owned()), Cow::Owned(e.into_owned()))
             }
+            OpCall::Count(t) => OpCall::Count(Cow::Owned(t.into_owned())),
         }
     }
 }
@@ -155,6 +168,7 @@ impl fmt::Display for OpCall<'_> {
             OpCall::Rdp(t) => write!(f, "rdp({})", t.as_ref()),
             OpCall::Inp(t) => write!(f, "inp({})", t.as_ref()),
             OpCall::Cas(t, e) => write!(f, "cas({}, {})", t.as_ref(), e.as_ref()),
+            OpCall::Count(t) => write!(f, "count({})", t.as_ref()),
         }
     }
 }
@@ -197,6 +211,7 @@ mod tests {
     fn read_grouping() {
         assert!(OpCall::rd(template![_]).is_read());
         assert!(OpCall::rdp(template![_]).is_read());
+        assert!(OpCall::count(template![_]).is_read());
         assert!(!OpCall::inp(template![_]).is_read());
         assert!(!OpCall::out(tuple![1]).is_read());
     }

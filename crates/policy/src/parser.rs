@@ -563,10 +563,11 @@ impl Parser {
             "in" => InvocationPattern::In(first),
             "rdp" => InvocationPattern::Rdp(first),
             "inp" => InvocationPattern::Inp(first),
+            "count" => InvocationPattern::Count(first),
             "read" => InvocationPattern::Read(first),
             other => {
                 return Err(self.err(format!(
-                    "unknown operation `{other}` (expected out/rd/in/rdp/inp/cas/read)"
+                    "unknown operation `{other}` (expected out/rd/in/rdp/inp/cas/count/read)"
                 )))
             }
         };

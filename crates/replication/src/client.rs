@@ -1,18 +1,41 @@
-//! Sans-io client session: broadcast a request, vote on `f+1` matching
+//! Sans-io client sessions: broadcast a request, vote on `f+1` matching
 //! replies (§4: "basic voting protocols can be executed by the processes to
 //! determine the operation results").
+//!
+//! Two session kinds share the voting idea but differ in what "matching"
+//! means:
+//!
+//! - [`ClientSession`] drives the **ordered path**: a request goes through
+//!   the full agreement pipeline, replicas reply with the `(seq, result)`
+//!   pair recorded at execution, and the client accepts once `f+1` replicas
+//!   agree on both. Committed slots keep their sequence numbers across view
+//!   changes and correct replicas execute contiguously, so correct replicas
+//!   always report the same pair — grouping on it costs no liveness while
+//!   denying a Byzantine replica the chance to sneak a forged seq into the
+//!   accepted pair.
+//! - [`ReadSession`] drives the **fast read path**: `rd`/`rdp`/`count` are
+//!   answered by each replica directly from its executed state, with no
+//!   ordering round. The client accepts a result backed by `f+1` replicas
+//!   that agree on `(seq, digest)` **at or above its watermark** — the
+//!   highest quorum-backed seq it has observed — which preserves
+//!   read-your-writes: a quorum at `seq ≥ watermark` has executed every
+//!   write this client ever had acknowledged. Stale replicas are rejected
+//!   individually; if all `n` answer and no fresh quorum forms (replicas
+//!   caught mid-write disagree), the session reports [`ReadPoll::NoQuorum`]
+//!   and the caller falls back to the ordered path.
 
-use crate::messages::{Message, OpResult, ReplicaId, Request};
+use crate::messages::{Message, OpResult, ReplicaId, Request, Seq};
+use peats_auth::Digest;
 use peats_policy::OpCall;
 use std::collections::BTreeMap;
 
-/// One in-flight request from one client.
+/// One in-flight ordered request from one client.
 #[derive(Debug)]
 pub struct ClientSession {
     request: Request,
     f: usize,
-    replies: BTreeMap<ReplicaId, OpResult>,
-    decided: Option<OpResult>,
+    replies: BTreeMap<ReplicaId, (Seq, OpResult)>,
+    decided: Option<(Seq, OpResult)>,
 }
 
 impl ClientSession {
@@ -33,35 +56,160 @@ impl ClientSession {
         Message::Request(self.request.clone())
     }
 
-    /// Feeds a `Reply`; returns the accepted result once `f+1` replicas
-    /// sent identical results for this request.
+    /// Feeds a `Reply`; returns the accepted `(seq, result)` once `f+1`
+    /// replicas sent identical pairs for this request. The seq is the slot
+    /// the cluster executed the request at — the caller advances its read
+    /// watermark to it, and because acceptance required `f+1` matching
+    /// claims, a lone Byzantine replica cannot inflate the watermark and
+    /// wedge every future fast read into the ordered fallback.
     pub fn on_reply(
         &mut self,
         replica: ReplicaId,
         req_id: u64,
+        seq: Seq,
         result: OpResult,
-    ) -> Option<OpResult> {
+    ) -> Option<(Seq, OpResult)> {
         if self.decided.is_some() || req_id != self.request.req_id {
             return self.decided.clone();
         }
-        self.replies.insert(replica, result);
-        // Count matching results (OpResult is not Ord; linear grouping is
-        // fine for n ≤ a few dozen replicas).
-        let mut groups: Vec<(&OpResult, usize)> = Vec::new();
+        self.replies.insert(replica, (seq, result));
+        // Count matching (seq, result) pairs (OpResult is not Ord; linear
+        // grouping is fine for n ≤ a few dozen replicas).
+        let mut groups: Vec<(&(Seq, OpResult), usize)> = Vec::new();
         for r in self.replies.values() {
             match groups.iter_mut().find(|(g, _)| *g == r) {
                 Some((_, c)) => *c += 1,
                 None => groups.push((r, 1)),
             }
         }
-        if let Some((result, _)) = groups.iter().find(|(_, c)| *c >= self.f + 1) {
-            self.decided = Some((*result).clone());
+        if let Some((pair, _)) = groups.iter().find(|(_, c)| *c >= self.f + 1) {
+            self.decided = Some((*pair).clone());
         }
         self.decided.clone()
     }
 
-    /// The accepted result, if already decided.
-    pub fn decided(&self) -> Option<&OpResult> {
+    /// The accepted `(seq, result)`, if already decided.
+    pub fn decided(&self) -> Option<&(Seq, OpResult)> {
+        self.decided.as_ref()
+    }
+}
+
+/// Progress of a fast-read vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadPoll {
+    /// Quorum not yet reached; keep waiting (or time out and fall back).
+    Pending,
+    /// `f+1` replicas agreed on this result at `seq ≥ watermark`.
+    Accepted {
+        /// The execution point the quorum answered at.
+        seq: Seq,
+        /// The agreed result.
+        result: OpResult,
+    },
+    /// Every replica answered and no fresh quorum formed — replicas were
+    /// caught mid-write or Byzantine; the caller must fall back to the
+    /// ordered path.
+    NoQuorum,
+}
+
+/// One in-flight fast read from one client.
+#[derive(Debug)]
+pub struct ReadSession {
+    req_id: u64,
+    watermark: Seq,
+    f: usize,
+    n: usize,
+    /// Fresh (votable) replies: `replica → (seq, digest, result)`.
+    replies: BTreeMap<ReplicaId, (Seq, Digest, OpResult)>,
+    /// Replicas whose reply was rejected (stale seq or digest mismatch).
+    /// They still count toward "all n answered" for `NoQuorum`.
+    rejected: BTreeMap<ReplicaId, Seq>,
+    decided: Option<(Seq, OpResult)>,
+}
+
+impl ReadSession {
+    /// Starts a fast-read vote for request `req_id`, requiring a quorum at
+    /// `seq ≥ watermark`, tolerating `f` faults among `n` replicas.
+    pub fn new(req_id: u64, watermark: Seq, f: usize, n: usize) -> Self {
+        ReadSession {
+            req_id,
+            watermark,
+            f,
+            n,
+            replies: BTreeMap::new(),
+            rejected: BTreeMap::new(),
+            decided: None,
+        }
+    }
+
+    /// Feeds a `ReadReply`. Replies below the watermark, or whose digest
+    /// does not match the carried result (a forgery that would let two
+    /// colluding replicas agree on a digest while shipping different
+    /// results), are rejected but still count toward the all-`n`-answered
+    /// check.
+    pub fn on_read_reply(
+        &mut self,
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        digest: Digest,
+        result: OpResult,
+    ) -> ReadPoll {
+        if let Some((seq, result)) = &self.decided {
+            return ReadPoll::Accepted {
+                seq: *seq,
+                result: result.clone(),
+            };
+        }
+        if req_id != self.req_id || (replica as usize) >= self.n {
+            return ReadPoll::Pending;
+        }
+        if seq < self.watermark || digest != result.digest() {
+            self.replies.remove(&replica);
+            self.rejected.insert(replica, seq);
+        } else {
+            self.rejected.remove(&replica);
+            self.replies.insert(replica, (seq, digest, result));
+            // Group on (seq, digest): the digest pins the full result, so a
+            // match means f+1 replicas computed the identical answer at the
+            // identical execution point.
+            let mut groups: Vec<((Seq, Digest), usize)> = Vec::new();
+            for (s, d, _) in self.replies.values() {
+                match groups.iter_mut().find(|((gs, gd), _)| gs == s && gd == d) {
+                    Some((_, c)) => *c += 1,
+                    None => groups.push(((*s, *d), 1)),
+                }
+            }
+            if let Some(((seq, digest), _)) = groups.iter().find(|(_, c)| *c >= self.f + 1) {
+                let result = self
+                    .replies
+                    .values()
+                    .find(|(s, d, _)| s == seq && d == digest)
+                    .map(|(_, _, r)| r.clone())
+                    .expect("a counted group has at least one member");
+                self.decided = Some((*seq, result.clone()));
+                return ReadPoll::Accepted { seq: *seq, result };
+            }
+        }
+        if self.replies.len() + self.rejected.len() >= self.n {
+            return ReadPoll::NoQuorum;
+        }
+        ReadPoll::Pending
+    }
+
+    /// Replies rejected as stale or forged so far (diagnostics).
+    pub fn rejected(&self) -> usize {
+        self.rejected.len()
+    }
+
+    /// Distinct replicas heard from (counted or rejected) — what the
+    /// optimistic probe phase checks to decide it should widen.
+    pub fn responders(&self) -> usize {
+        self.replies.len() + self.rejected.len()
+    }
+
+    /// The accepted `(seq, result)`, if already decided.
+    pub fn decided(&self) -> Option<&(Seq, OpResult)> {
         self.decided.as_ref()
     }
 }
@@ -69,7 +217,7 @@ impl ClientSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peats_tuplespace::tuple;
+    use peats_tuplespace::{tuple, Tuple};
 
     fn mk_session() -> ClientSession {
         ClientSession::new(9, 1, OpCall::out(tuple!["A"]), 1)
@@ -78,30 +226,132 @@ mod tests {
     #[test]
     fn accepts_after_f_plus_one_matching() {
         let mut s = mk_session();
-        assert_eq!(s.on_reply(0, 1, OpResult::Done), None);
-        assert_eq!(s.on_reply(1, 1, OpResult::Done), Some(OpResult::Done));
+        assert_eq!(s.on_reply(0, 1, 7, OpResult::Done), None);
+        assert_eq!(
+            s.on_reply(1, 1, 7, OpResult::Done),
+            Some((7, OpResult::Done))
+        );
     }
 
     #[test]
     fn lone_divergent_reply_is_outvoted() {
         let mut s = mk_session();
-        assert_eq!(s.on_reply(0, 1, OpResult::Denied("lie".into())), None);
-        assert_eq!(s.on_reply(1, 1, OpResult::Done), None);
-        assert_eq!(s.on_reply(2, 1, OpResult::Done), Some(OpResult::Done));
+        assert_eq!(s.on_reply(0, 1, 7, OpResult::Denied("lie".into())), None);
+        assert_eq!(s.on_reply(1, 1, 7, OpResult::Done), None);
+        assert_eq!(
+            s.on_reply(2, 1, 7, OpResult::Done),
+            Some((7, OpResult::Done))
+        );
+    }
+
+    #[test]
+    fn matching_results_at_forged_seq_do_not_pair() {
+        // A Byzantine replica agreeing on the result but lying about the
+        // seq must not contribute to the pair's quorum (else it could drag
+        // the accepted seq — and the client watermark — to u64::MAX).
+        let mut s = mk_session();
+        assert_eq!(s.on_reply(0, 1, u64::MAX, OpResult::Done), None);
+        assert_eq!(s.on_reply(1, 1, 7, OpResult::Done), None);
+        assert_eq!(
+            s.on_reply(2, 1, 7, OpResult::Done),
+            Some((7, OpResult::Done))
+        );
     }
 
     #[test]
     fn duplicate_replica_replies_do_not_double_count() {
         let mut s = mk_session();
-        assert_eq!(s.on_reply(0, 1, OpResult::Done), None);
-        assert_eq!(s.on_reply(0, 1, OpResult::Done), None);
+        assert_eq!(s.on_reply(0, 1, 7, OpResult::Done), None);
+        assert_eq!(s.on_reply(0, 1, 7, OpResult::Done), None);
     }
 
     #[test]
     fn mismatched_req_id_is_ignored() {
         let mut s = mk_session();
-        assert_eq!(s.on_reply(0, 99, OpResult::Done), None);
-        assert_eq!(s.on_reply(1, 99, OpResult::Done), None);
+        assert_eq!(s.on_reply(0, 99, 7, OpResult::Done), None);
+        assert_eq!(s.on_reply(1, 99, 7, OpResult::Done), None);
+        assert_eq!(s.decided(), None);
+    }
+
+    fn tuple_reply(t: Option<Tuple>) -> (Digest, OpResult) {
+        let r = OpResult::Tuple(t);
+        (r.digest(), r)
+    }
+
+    #[test]
+    fn fast_read_accepts_f_plus_one_at_watermark() {
+        let mut s = ReadSession::new(5, 10, 1, 4);
+        let (d, r) = tuple_reply(Some(tuple!["A"]));
+        assert_eq!(s.on_read_reply(0, 5, 12, d, r.clone()), ReadPoll::Pending);
+        assert_eq!(
+            s.on_read_reply(1, 5, 12, d, r.clone()),
+            ReadPoll::Accepted { seq: 12, result: r }
+        );
+    }
+
+    #[test]
+    fn stale_f_plus_one_match_below_watermark_is_rejected() {
+        // Two replicas agree — but at a seq below the client's watermark:
+        // they have not yet executed a write this client already had
+        // acknowledged, so accepting would break read-your-writes.
+        let mut s = ReadSession::new(5, 10, 1, 4);
+        let (d, r) = tuple_reply(None);
+        assert_eq!(s.on_read_reply(0, 5, 9, d, r.clone()), ReadPoll::Pending);
+        assert_eq!(s.on_read_reply(1, 5, 9, d, r.clone()), ReadPoll::Pending);
+        assert_eq!(s.decided(), None);
+        assert_eq!(s.rejected(), 2);
+        // Fresh replicas still decide.
+        let (d2, r2) = tuple_reply(Some(tuple!["A"]));
+        assert_eq!(s.on_read_reply(2, 5, 10, d2, r2.clone()), ReadPoll::Pending);
+        assert_eq!(
+            s.on_read_reply(3, 5, 10, d2, r2.clone()),
+            ReadPoll::Accepted {
+                seq: 10,
+                result: r2
+            }
+        );
+    }
+
+    #[test]
+    fn conflicting_fresh_replies_force_fallback() {
+        // All four replicas answer at fresh seqs but no f+1 group agrees
+        // (caught mid-write): the session must demand the ordered path,
+        // not hang or guess.
+        let mut s = ReadSession::new(5, 0, 1, 4);
+        let (d0, r0) = tuple_reply(None);
+        let (d1, r1) = tuple_reply(Some(tuple!["A"]));
+        assert_eq!(s.on_read_reply(0, 5, 3, d0, r0.clone()), ReadPoll::Pending);
+        assert_eq!(s.on_read_reply(1, 5, 4, d0, r0), ReadPoll::Pending);
+        assert_eq!(s.on_read_reply(2, 5, 5, d1, r1.clone()), ReadPoll::Pending);
+        assert_eq!(s.on_read_reply(3, 5, 6, d1, r1), ReadPoll::NoQuorum);
+    }
+
+    #[test]
+    fn forged_digest_result_mismatch_is_rejected() {
+        // Colluding replicas agreeing on a digest while shipping different
+        // results must not reach quorum: the client recomputes the digest
+        // from the carried result and rejects mismatches.
+        let mut s = ReadSession::new(5, 0, 1, 4);
+        let (d, _) = tuple_reply(Some(tuple!["A"]));
+        let forged = OpResult::Tuple(Some(tuple!["B"]));
+        assert_eq!(
+            s.on_read_reply(0, 5, 3, d, forged.clone()),
+            ReadPoll::Pending
+        );
+        assert_eq!(s.on_read_reply(1, 5, 3, d, forged), ReadPoll::Pending);
+        assert_eq!(s.decided(), None);
+        assert_eq!(s.rejected(), 2);
+    }
+
+    #[test]
+    fn fast_read_ignores_foreign_req_id_and_fake_replicas() {
+        let mut s = ReadSession::new(5, 0, 1, 4);
+        let (d, r) = tuple_reply(None);
+        assert_eq!(s.on_read_reply(0, 99, 3, d, r.clone()), ReadPoll::Pending);
+        // Replica id beyond n must not vote (a Byzantine node inventing
+        // identities would otherwise stuff the ballot).
+        assert_eq!(s.on_read_reply(9, 5, 3, d, r.clone()), ReadPoll::Pending);
+        assert_eq!(s.on_read_reply(7, 5, 3, d, r), ReadPoll::Pending);
         assert_eq!(s.decided(), None);
     }
 }

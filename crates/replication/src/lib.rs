@@ -41,7 +41,7 @@ pub mod service;
 pub mod sim_harness;
 pub mod threaded;
 
-pub use client::ClientSession;
+pub use client::{ClientSession, ReadPoll, ReadSession};
 pub use faults::FaultMode;
 pub use messages::{
     batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, Request, Sealed, Seq, View,
@@ -49,5 +49,5 @@ pub use messages::{
 pub use replica::{Dest, Replica, ReplicaConfig, ReplicaFootprint};
 pub use runtime::{replica_main, ship, ClientConfig, ReplicatedPeats};
 pub use service::PeatsService;
-pub use sim_harness::SimCluster;
+pub use sim_harness::{FastRead, SimCluster};
 pub use threaded::{ClusterConfig, ThreadedCluster};

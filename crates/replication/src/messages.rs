@@ -38,6 +38,18 @@ pub enum OpResult {
     },
     /// The reference monitor denied the invocation.
     Denied(String),
+    /// `count` result: number of stored matches.
+    Count(u64),
+}
+
+impl OpResult {
+    /// Digest of the wire encoding — the matching key of the read fast
+    /// path: clients group `ReadReply`s on `(seq, digest)` so a quorum
+    /// certifies the exact result bytes, and replicas ship the digest so a
+    /// mismatched `(digest, result)` pair is detectable without trust.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
 }
 
 impl Encode for OpResult {
@@ -57,6 +69,10 @@ impl Encode for OpResult {
                 buf.push(3);
                 why.clone().encode(buf);
             }
+            OpResult::Count(n) => {
+                buf.push(4);
+                n.encode(buf);
+            }
         }
     }
 }
@@ -71,6 +87,7 @@ impl Decode for OpResult {
                 found: Option::decode(r)?,
             },
             3 => OpResult::Denied(String::decode(r)?),
+            4 => OpResult::Count(u64::decode(r)?),
             tag => {
                 return Err(DecodeError::BadTag {
                     tag,
@@ -128,6 +145,10 @@ impl Decode for Request {
     }
 }
 
+/// Retained execution results per client, as carried by a snapshot:
+/// `(pid, [(req_id, seq, result)])` rows of each client's dedup window.
+pub type ReplyRows = Vec<(u64, Vec<(u64, Seq, OpResult)>)>;
+
 /// A codec-encodable copy of everything a replica needs to adopt a peer's
 /// checkpoint instead of replaying history: the full service state plus the
 /// protocol-level per-client data. Shipped inside
@@ -140,10 +161,13 @@ pub struct ReplicaSnapshot {
     pub space: SpaceSnapshot,
     /// Client transport-node → logical pid bindings.
     pub client_registry: Vec<(u64, u64)>,
-    /// Retained execution results per client: `(pid, [(req_id, result)])` —
-    /// without them a restored replica would re-execute retransmissions of
+    /// Retained execution results per client:
+    /// `(pid, [(req_id, seq, result)])` — the sequence number each result
+    /// executed at rides along so a restored replica replays cached replies
+    /// (and their read-your-writes watermarks) exactly. Without the cache a
+    /// restored replica would re-execute retransmissions of
     /// already-answered requests.
-    pub replies: Vec<(u64, Vec<(u64, OpResult)>)>,
+    pub replies: ReplyRows,
 }
 
 impl Encode for ReplicaSnapshot {
@@ -158,8 +182,9 @@ impl Encode for ReplicaSnapshot {
         for (client, per) in &self.replies {
             client.encode(buf);
             (per.len() as u32).encode(buf);
-            for (req_id, result) in per {
+            for (req_id, seq, result) in per {
                 req_id.encode(buf);
+                seq.encode(buf);
                 result.encode(buf);
             }
         }
@@ -190,7 +215,7 @@ impl Decode for ReplicaSnapshot {
             }
             let mut per = Vec::with_capacity(k.min(1024));
             for _ in 0..k {
-                per.push((u64::decode(r)?, OpResult::decode(r)?));
+                per.push((u64::decode(r)?, u64::decode(r)?, OpResult::decode(r)?));
             }
             replies.push((client, per));
         }
@@ -244,6 +269,10 @@ pub enum Message {
     Reply {
         /// View in which the request executed.
         view: View,
+        /// The sequence number the request executed at — advances the
+        /// client's read-your-writes watermark once `f+1` replicas agree
+        /// on `(seq, result)`.
+        seq: Seq,
         /// Echoed client request number.
         req_id: u64,
         /// The replying replica.
@@ -321,6 +350,39 @@ pub enum Message {
         /// The sending replica.
         replica: ReplicaId,
     },
+    /// Client → replicas: a one-round read (`rd`/`rdp`/`count`) served from
+    /// executed state without entering the ordering pipeline. Policy
+    /// enforcement still runs at every replica; non-read operations are
+    /// dropped.
+    ReadRequest {
+        /// The invoking process, as seen by the reference monitor.
+        client: ClientPid,
+        /// Client-local request number (reply matching only — fast reads
+        /// are not deduplicated; serving them is stateless).
+        req_id: u64,
+        /// The read operation.
+        op: OpCall<'static>,
+        /// The client's read-your-writes watermark: replicas whose
+        /// `last_exec` is below it are known-stale (their replies will be
+        /// rejected); they answer anyway so the client can diagnose.
+        watermark: Seq,
+    },
+    /// Replica → client: a fast-read answer at the replica's current
+    /// execution watermark. The client accepts a result once `f+1`
+    /// replicas agree on `(seq, digest, result)` at `seq ≥` its watermark,
+    /// and falls back to the ordered path on timeout or conflict.
+    ReadReply {
+        /// Echoed client request number.
+        req_id: u64,
+        /// The replica's `last_exec` when it served the read.
+        seq: Seq,
+        /// [`OpResult::digest`] of `result` — the quorum matching key.
+        digest: Digest,
+        /// The read's result at `seq`.
+        result: OpResult,
+        /// The replying replica.
+        replica: ReplicaId,
+    },
 }
 
 impl Encode for Message {
@@ -366,12 +428,14 @@ impl Encode for Message {
             }
             Message::Reply {
                 view,
+                seq,
                 req_id,
                 replica,
                 result,
             } => {
                 buf.push(4);
                 view.encode(buf);
+                seq.encode(buf);
                 req_id.encode(buf);
                 replica.encode(buf);
                 result.encode(buf);
@@ -430,6 +494,32 @@ impl Encode for Message {
                 seq.encode(buf);
                 buf.extend_from_slice(digest);
                 snapshot.encode(buf);
+                replica.encode(buf);
+            }
+            Message::ReadRequest {
+                client,
+                req_id,
+                op,
+                watermark,
+            } => {
+                buf.push(10);
+                client.encode(buf);
+                req_id.encode(buf);
+                op.encode(buf);
+                watermark.encode(buf);
+            }
+            Message::ReadReply {
+                req_id,
+                seq,
+                digest,
+                result,
+                replica,
+            } => {
+                buf.push(11);
+                req_id.encode(buf);
+                seq.encode(buf);
+                buf.extend_from_slice(digest);
+                result.encode(buf);
                 replica.encode(buf);
             }
         }
@@ -498,6 +588,7 @@ impl Decode for Message {
             },
             4 => Message::Reply {
                 view: u64::decode(r)?,
+                seq: u64::decode(r)?,
                 req_id: u64::decode(r)?,
                 replica: u32::decode(r)?,
                 result: OpResult::decode(r)?,
@@ -535,6 +626,19 @@ impl Decode for Message {
                 seq: u64::decode(r)?,
                 digest: decode_digest(r)?,
                 snapshot: ReplicaSnapshot::decode(r)?,
+                replica: u32::decode(r)?,
+            },
+            10 => Message::ReadRequest {
+                client: u64::decode(r)?,
+                req_id: u64::decode(r)?,
+                op: OpCall::decode(r)?,
+                watermark: u64::decode(r)?,
+            },
+            11 => Message::ReadReply {
+                req_id: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                digest: decode_digest(r)?,
+                result: OpResult::decode(r)?,
                 replica: u32::decode(r)?,
             },
             tag => return Err(DecodeError::BadTag { tag, ty: "Message" }),
@@ -643,12 +747,20 @@ mod tests {
             },
             Message::Reply {
                 view: 1,
+                seq: 7,
                 req_id: 3,
                 replica: 0,
                 result: OpResult::Cas {
                     inserted: false,
                     found: Some(tuple!["D", 1]),
                 },
+            },
+            Message::Reply {
+                view: 0,
+                seq: 2,
+                req_id: 5,
+                replica: 1,
+                result: OpResult::Count(42),
             },
             Message::ViewChange {
                 new_view: 2,
@@ -681,15 +793,54 @@ mod tests {
                         rng_state: 0,
                     },
                     client_registry: vec![(4, 100), (5, 101)],
-                    replies: vec![(100, vec![(1, OpResult::Done), (2, OpResult::Tuple(None))])],
+                    replies: vec![(
+                        100,
+                        vec![(1, 1, OpResult::Done), (2, 3, OpResult::Tuple(None))],
+                    )],
                 },
                 replica: 3,
+            },
+            Message::ReadRequest {
+                client: 9,
+                req_id: 11,
+                op: OpCall::rdp(template!["D", ?x]),
+                watermark: 6,
+            },
+            Message::ReadRequest {
+                client: 9,
+                req_id: 12,
+                op: OpCall::count(template!["D", _]),
+                watermark: 0,
+            },
+            Message::ReadReply {
+                req_id: 11,
+                seq: 7,
+                digest: OpResult::Tuple(Some(tuple!["D", 1])).digest(),
+                result: OpResult::Tuple(Some(tuple!["D", 1])),
+                replica: 2,
+            },
+            Message::ReadReply {
+                req_id: 12,
+                seq: 7,
+                digest: OpResult::Count(3).digest(),
+                result: OpResult::Count(3),
+                replica: 0,
             },
         ];
         for m in msgs {
             let bytes = m.to_bytes();
             assert_eq!(Message::from_bytes(&bytes).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn result_digest_separates_results() {
+        assert_ne!(OpResult::Done.digest(), OpResult::Tuple(None).digest());
+        assert_ne!(OpResult::Count(1).digest(), OpResult::Count(2).digest());
+        assert_eq!(
+            OpResult::Tuple(Some(tuple!["A"])).digest(),
+            OpResult::Tuple(Some(tuple!["A"])).digest()
+        );
     }
 
     #[test]

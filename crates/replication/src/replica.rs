@@ -43,11 +43,12 @@
 
 use crate::faults::FaultMode;
 use crate::messages::{
-    batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, Request, Seq, View,
+    batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, ReplyRows, Request, Seq, View,
 };
 use crate::service::PeatsService;
 use peats_auth::{sha256, Digest};
 use peats_codec::Encode;
+use peats_policy::OpCall;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A replica's view-change report: the batches it knows an ordering for.
@@ -210,12 +211,12 @@ pub struct Replica {
     /// Client transport-node bindings: authenticated transport node →
     /// logical process id (the certificate→principal map of §4).
     client_registry: BTreeMap<u64, u64>,
-    /// Executed results per `(client pid, req_id)` — dedup + re-reply on
-    /// retransmission. Keyed per request (not "last request per client")
-    /// because cloned client handles keep several req_ids of one pid in
-    /// flight at once; pruned to the newest [`Replica::reply_retention`]
-    /// per client.
-    replies: BTreeMap<u64, BTreeMap<u64, OpResult>>,
+    /// Executed results per `(client pid, req_id)`, each with the sequence
+    /// number it executed at — dedup + re-reply on retransmission. Keyed
+    /// per request (not "last request per client") because cloned client
+    /// handles keep several req_ids of one pid in flight at once; pruned to
+    /// the newest [`Replica::reply_retention`] per client.
+    replies: BTreeMap<u64, BTreeMap<u64, (Seq, OpResult)>>,
     /// Pending-but-unordered requests: the primary's batching backlog, and
     /// every backup's reserve for re-ordering after a view change.
     pending: Vec<Request>,
@@ -432,7 +433,13 @@ impl Replica {
                     self.on_state_snapshot(seq, digest, snapshot, replica, &mut out);
                 }
             }
-            Message::Reply { .. } => {} // replicas ignore replies
+            Message::ReadRequest {
+                client,
+                req_id,
+                op,
+                watermark: _,
+            } => self.on_read_request(from, client, req_id, &op, &mut out),
+            Message::Reply { .. } | Message::ReadReply { .. } => {} // replicas ignore replies
         }
         if matches!(self.fault, FaultMode::Mute) {
             return Vec::new();
@@ -480,12 +487,13 @@ impl Replica {
             .is_some_and(|per| per.contains_key(&req.req_id))
     }
 
-    /// Records an executed result, pruning each client's retained replies
-    /// to the newest [`Replica::reply_retention`].
-    fn record_reply(&mut self, client: u64, req_id: u64, result: OpResult) {
+    /// Records an executed result and the slot it executed at, pruning each
+    /// client's retained replies to the newest
+    /// [`Replica::reply_retention`].
+    fn record_reply(&mut self, client: u64, req_id: u64, seq: Seq, result: OpResult) {
         let retention = self.reply_retention();
         let per = self.replies.entry(client).or_default();
-        per.insert(req_id, result);
+        per.insert(req_id, (seq, result));
         while per.len() > retention {
             per.pop_first();
         }
@@ -556,11 +564,12 @@ impl Replica {
         // older than the retained window are dropped outright — re-ordering
         // them would double-execute.
         if let Some(per) = self.replies.get(&req.client) {
-            if let Some(result) = per.get(&req.req_id) {
+            if let Some((seq, result)) = per.get(&req.req_id) {
                 out.push((
                     Dest::Client(from),
                     Message::Reply {
                         view: self.view,
+                        seq: *seq,
                         req_id: req.req_id,
                         replica: self.cfg.id,
                         result: result.clone(),
@@ -612,6 +621,44 @@ impl Replica {
                 self.pending.push(req);
             }
         }
+    }
+
+    /// Fast-path read: answer `rd`/`rdp`/`count` directly from executed
+    /// state at `last_exec`, skipping the ordering pipeline. Policy still
+    /// runs per replica inside `execute_read`. Serving is stateless — no
+    /// dedup, no retained replies, nothing added to `footprint()` — so a
+    /// flood of reads cannot grow replica memory. A replica that lags the
+    /// quorum answers anyway (with its lower seq); the client's watermark
+    /// check rejects the stale reply.
+    fn on_read_request(
+        &mut self,
+        from: u64,
+        client: u64,
+        req_id: u64,
+        op: &OpCall<'_>,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        // Same principal authentication as ordered requests: the claimed
+        // pid must be the one registered for the sending transport node.
+        match self.client_registry.get(&from) {
+            Some(pid) if *pid == client => {}
+            _ => return,
+        }
+        // Mutating ops must never ride the fast path; `execute_read`
+        // refuses them.
+        let Some(result) = self.service.execute_read(client, op) else {
+            return;
+        };
+        out.push((
+            Dest::Client(from),
+            Message::ReadReply {
+                req_id,
+                seq: self.last_exec,
+                digest: result.digest(),
+                result,
+                replica: self.cfg.id,
+            },
+        ));
     }
 
     fn on_pre_prepare(
@@ -787,7 +834,7 @@ impl Replica {
                     continue;
                 }
                 let result = self.service.execute(req.client, &req.op);
-                self.record_reply(req.client, req.req_id, result.clone());
+                self.record_reply(req.client, req.req_id, next, result.clone());
                 self.pending.retain(|r| *r != req);
                 // Find the client's transport node from the registry
                 // binding.
@@ -801,6 +848,7 @@ impl Replica {
                         Dest::Client(node),
                         Message::Reply {
                             view: self.view,
+                            seq: next,
                             req_id: req.req_id,
                             replica: self.cfg.id,
                             result,
@@ -843,7 +891,7 @@ impl Replica {
     fn checkpoint_digest_over(
         service_digest: Digest,
         client_registry: Vec<(u64, u64)>,
-        replies: Vec<(u64, Vec<(u64, OpResult)>)>,
+        replies: ReplyRows,
     ) -> Digest {
         let meta = ReplicaSnapshot {
             space: Default::default(),
@@ -862,13 +910,15 @@ impl Replica {
             .collect()
     }
 
-    fn reply_rows(&self) -> Vec<(u64, Vec<(u64, OpResult)>)> {
+    fn reply_rows(&self) -> ReplyRows {
         self.replies
             .iter()
             .map(|(client, per)| {
                 (
                     *client,
-                    per.iter().map(|(id, r)| (*id, r.clone())).collect(),
+                    per.iter()
+                        .map(|(id, (seq, r))| (*id, *seq, r.clone()))
+                        .collect(),
                 )
             })
             .collect()
@@ -1197,7 +1247,14 @@ impl Replica {
         self.replies = snapshot
             .replies
             .into_iter()
-            .map(|(client, per)| (client, per.into_iter().collect()))
+            .map(|(client, per)| {
+                (
+                    client,
+                    per.into_iter()
+                        .map(|(req_id, seq, result)| (req_id, (seq, result)))
+                        .collect(),
+                )
+            })
             .collect();
         self.last_exec = seq;
         self.record_checkpoint_vote(seq, digest, self.cfg.id);
@@ -1645,6 +1702,11 @@ impl Replica {
             FaultMode::CorruptReplies => out
                 .into_iter()
                 .map(|(dest, msg)| match msg {
+                    // Forge the result AND inflate the claimed seq: a
+                    // Byzantine replica lying about its execution point must
+                    // neither win a vote nor drag correct clients' read
+                    // watermarks to u64::MAX (which would force every future
+                    // fast read into the ordered fallback).
                     Message::Reply {
                         view,
                         req_id,
@@ -1654,11 +1716,27 @@ impl Replica {
                         dest,
                         Message::Reply {
                             view,
+                            seq: u64::MAX,
                             req_id,
                             replica,
                             result: OpResult::Denied("corrupted".into()),
                         },
                     ),
+                    Message::ReadReply {
+                        req_id, replica, ..
+                    } => {
+                        let result = OpResult::Denied("corrupted".into());
+                        (
+                            dest,
+                            Message::ReadReply {
+                                req_id,
+                                seq: u64::MAX,
+                                digest: result.digest(),
+                                result,
+                                replica,
+                            },
+                        )
+                    }
                     other => (dest, other),
                 })
                 .collect(),
@@ -2331,7 +2409,7 @@ mod tests {
         // A lying payload under the attested digest must be rejected by the
         // recompute even once attested.
         let mut poisoned = snapshot.clone();
-        poisoned.replies.push((999, vec![(1, OpResult::Done)]));
+        poisoned.replies.push((999, vec![(1, 1, OpResult::Done)]));
         fresh.on_message(
             0,
             Message::StateSnapshot {
@@ -2667,5 +2745,102 @@ mod tests {
         // A real request still gets an ordinary low sequence number.
         let out = p.on_message(CLIENT_NODE, Message::Request(req(1)));
         assert_eq!(pre_prepares(&out), vec![(1, vec![req(1)])]);
+    }
+
+    fn read_request(req_id: u64, op: OpCall<'static>) -> Message {
+        Message::ReadRequest {
+            client: CLIENT_PID,
+            req_id,
+            op,
+            watermark: 0,
+        }
+    }
+
+    #[test]
+    fn read_request_is_answered_from_executed_state() {
+        use peats_tuplespace::template;
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        commit_slot(&mut p, 1, &[req(1)]);
+        let out = p.on_message(
+            CLIENT_NODE,
+            read_request(50, OpCall::rdp(template!["T", 1i64])),
+        );
+        let [(
+            dest,
+            Message::ReadReply {
+                req_id,
+                seq,
+                digest,
+                result,
+                replica,
+            },
+        )] = &out[..]
+        else {
+            panic!("expected exactly one ReadReply, got {out:?}");
+        };
+        assert_eq!(*dest, Dest::Client(CLIENT_NODE));
+        assert_eq!((*req_id, *seq, *replica), (50, 1, 0));
+        assert_eq!(*result, OpResult::Tuple(Some(tuple!["T", 1i64])));
+        assert_eq!(*digest, result.digest());
+    }
+
+    #[test]
+    fn fast_reads_leave_no_serving_state() {
+        // Satellite 3: fast-read serving is stateless. A flood of reads
+        // must leave the replica's footprint, reply cache, and service
+        // state digest exactly where they were — replica memory cannot be
+        // grown by (or diverge under) read traffic.
+        use peats_tuplespace::template;
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(req(1)));
+        commit_slot(&mut p, 1, &[req(1)]);
+        let footprint = p.footprint();
+        let digest = p.state_digest();
+        for i in 0..1_000u64 {
+            let op = match i % 3 {
+                0 => OpCall::rdp(template!["T", ?x]),
+                1 => OpCall::rd(template!["T", ?x]),
+                _ => OpCall::count(template!["T", ?x]),
+            };
+            let out = p.on_message(CLIENT_NODE, read_request(1_000 + i, op));
+            assert_eq!(out.len(), 1, "each read gets exactly one reply");
+        }
+        assert_eq!(p.footprint(), footprint, "reads must not grow any store");
+        assert_eq!(p.state_digest(), digest, "reads must not mutate state");
+        assert_eq!(p.last_exec(), 1, "reads must not advance execution");
+    }
+
+    #[test]
+    fn read_requests_refuse_mutations_and_strangers() {
+        use peats_tuplespace::template;
+        let mut p = mk_primary(8, 1);
+        // A mutating op smuggled into a ReadRequest is dropped, not
+        // executed: the space must stay empty.
+        let out = p.on_message(
+            CLIENT_NODE,
+            read_request(1, OpCall::out(tuple!["SMUGGLED"])),
+        );
+        assert!(out.is_empty(), "mutating fast read must be dropped");
+        let out = p.on_message(
+            CLIENT_NODE,
+            read_request(2, OpCall::rdp(template!["SMUGGLED"])),
+        );
+        assert!(
+            matches!(
+                &out[..],
+                [(
+                    _,
+                    Message::ReadReply {
+                        result: OpResult::Tuple(None),
+                        ..
+                    }
+                )]
+            ),
+            "{out:?}"
+        );
+        // An unregistered node (impersonation) is dropped entirely.
+        let out = p.on_message(99, read_request(3, OpCall::rdp(template!["T", ?x])));
+        assert!(out.is_empty(), "unregistered reader must be dropped");
     }
 }

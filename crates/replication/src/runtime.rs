@@ -14,10 +14,11 @@
 //! overall deadline, so reply latency is set by the cluster, not by a poll
 //! tick.
 
-use crate::client::ClientSession;
-use crate::messages::{Message, OpResult, ReplicaId, Sealed};
+use crate::client::{ClientSession, ReadPoll, ReadSession};
+use crate::messages::{Message, OpResult, ReplicaId, Sealed, Seq};
 use crate::replica::{Dest, Replica};
 use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
+use peats_auth::Digest;
 use peats_auth::KeyTable;
 use peats_codec::{Decode, Encode};
 use peats_netsim::{Mailbox, NodeId, ThreadNet, Transport};
@@ -51,6 +52,20 @@ pub struct ClientConfig {
     /// timestamp — or its first requests replay earlier invocations'
     /// replies. Long-lived handles keep the 0 default.
     pub first_request_id: u64,
+    /// Serve `rd`/`rdp`/`count` over the one-round quorum fast path
+    /// (default). Disable to force every read through the ordering
+    /// pipeline — the baseline the `read_fast_path` benchmark compares
+    /// against.
+    pub fast_reads: bool,
+    /// Give up on a fast-read round (and fall back to the ordered path)
+    /// after this long without `f+1` fresh matching replies.
+    pub read_timeout: Duration,
+    /// How long the optimistic probe phase of a fast read waits before
+    /// widening to every replica. A fast read first asks only a preferred
+    /// `f+1` quorum — the cheapest read that can still decide — and widens
+    /// (rotating the preference past the unhelpful replica) if that window
+    /// stays silent this long or answers without deciding.
+    pub read_probe_timeout: Duration,
 }
 
 impl Default for ClientConfig {
@@ -61,6 +76,9 @@ impl Default for ClientConfig {
             blocking_poll: Duration::from_millis(2),
             blocking_poll_cap: Duration::from_millis(128),
             first_request_id: 0,
+            fast_reads: true,
+            read_timeout: Duration::from_millis(500),
+            read_probe_timeout: Duration::from_millis(25),
         }
     }
 }
@@ -162,8 +180,77 @@ pub fn replica_main<T: Transport>(
     }
 }
 
-/// A reply routed to an in-flight invocation: `(replica, req_id, result)`.
-type ReplyEnvelope = (ReplicaId, u64, OpResult);
+/// A reply routed to an in-flight invocation by `req_id`.
+enum ReplyEnvelope {
+    /// An ordered-path `Reply`: the `(seq, result)` pair the replica
+    /// recorded at execution.
+    Ordered {
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        result: OpResult,
+    },
+    /// A fast-path `ReadReply`: the replica's answer at its current
+    /// execution point.
+    Fast {
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        digest: Digest,
+        result: OpResult,
+    },
+}
+
+impl ReplyEnvelope {
+    fn req_id(&self) -> u64 {
+        match self {
+            ReplyEnvelope::Ordered { req_id, .. } | ReplyEnvelope::Fast { req_id, .. } => *req_id,
+        }
+    }
+}
+
+/// Condvar-backed generation counter bumped by the router whenever it
+/// observes an ordered reply that indicates the space changed. Blocked
+/// `rd`/`take` polls wait on it: any mutation observed by this handle's
+/// clones wakes them early and resets their exponential backoff, so a
+/// consumer blocked behind a producer on the *same* handle reacts at
+/// reply latency instead of a backed-off poll tick.
+#[derive(Default)]
+struct MutationSignal {
+    generation: parking_lot::Mutex<u64>,
+    cond: parking_lot::Condvar,
+}
+
+impl MutationSignal {
+    fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    fn bump(&self) {
+        *self.generation.lock() += 1;
+        self.cond.notify_all();
+    }
+
+    /// Waits until the generation moves past `seen` or `timeout` elapses;
+    /// returns the generation observed on wake.
+    fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut generation = self.generation.lock();
+        if *generation == seen {
+            self.cond.wait_for(&mut generation, timeout);
+        }
+        *generation
+    }
+}
+
+/// `true` when an ordered reply's result implies the tuple space mutated
+/// (an insert succeeded or a removal returned a tuple) — the signal to
+/// re-probe blocked reads immediately.
+fn indicates_mutation(result: &OpResult) -> bool {
+    matches!(
+        result,
+        OpResult::Done | OpResult::Cas { inserted: true, .. } | OpResult::Tuple(Some(_))
+    )
+}
 
 /// Routes each incoming `Reply` to the in-flight invocation (by `req_id`)
 /// it answers. Shared by all clones of one client handle; the router
@@ -197,7 +284,7 @@ impl ReplyDemux {
     }
 
     fn route(&self, env: ReplyEnvelope) {
-        if let Some(tx) = self.sessions.lock().get(&env.1) {
+        if let Some(tx) = self.sessions.lock().get(&env.req_id()) {
             let _ = tx.send(env);
         }
         // No session with that req_id: a late reply for a completed (or
@@ -224,24 +311,54 @@ impl Drop for SessionGuard<'_> {
     }
 }
 
-fn client_router<M: Mailbox>(mailbox: M, keys: KeyTable, demux: Arc<ReplyDemux>) {
+fn client_router<M: Mailbox>(
+    mailbox: M,
+    keys: KeyTable,
+    demux: Arc<ReplyDemux>,
+    mutations: Arc<MutationSignal>,
+) {
     while let Some((_, payload)) = mailbox.recv() {
         let Ok(sealed) = Sealed::from_bytes(&payload) else {
             continue;
         };
-        let Some((
-            _,
+        let Some((_, msg)) = sealed.open(&keys) else {
+            continue;
+        };
+        match msg {
             Message::Reply {
                 req_id,
+                seq,
                 replica,
                 result,
                 ..
-            },
-        )) = sealed.open(&keys)
-        else {
-            continue;
-        };
-        demux.route((replica, req_id, result));
+            } => {
+                if indicates_mutation(&result) {
+                    mutations.bump();
+                }
+                demux.route(ReplyEnvelope::Ordered {
+                    replica,
+                    req_id,
+                    seq,
+                    result,
+                });
+            }
+            Message::ReadReply {
+                req_id,
+                seq,
+                digest,
+                result,
+                replica,
+            } => {
+                demux.route(ReplyEnvelope::Fast {
+                    replica,
+                    req_id,
+                    seq,
+                    digest,
+                    result,
+                });
+            }
+            _ => {}
+        }
     }
     // Mailbox disconnected: the transport is gone. Wake every waiter.
     demux.close();
@@ -253,6 +370,8 @@ struct ClientStats {
     rebroadcasts: AtomicU64,
     in_flight: AtomicU64,
     max_in_flight: AtomicU64,
+    fast_reads: AtomicU64,
+    fast_read_fallbacks: AtomicU64,
 }
 
 /// Client handle onto a replicated PEATS cluster reached over any
@@ -276,6 +395,19 @@ pub struct ReplicatedPeats<T: Transport = ThreadNet> {
     next_req: Arc<AtomicU64>,
     cfg: ClientConfig,
     stats: Arc<ClientStats>,
+    /// Read watermark: the highest *quorum-backed* seq this handle has
+    /// observed — advanced by every accepted ordered reply and every
+    /// accepted fast read. Fast reads demand a quorum at or above it,
+    /// which is exactly read-your-writes: the quorum has executed every
+    /// operation this handle ever had acknowledged. Only quorum-backed
+    /// seqs advance it, so a Byzantine replica claiming `seq = u64::MAX`
+    /// cannot wedge the handle into permanent ordered fallback.
+    watermark: Arc<AtomicU64>,
+    mutations: Arc<MutationSignal>,
+    /// Start of the preferred `f+1` probe window for fast reads. Rotated
+    /// whenever a probe fails to decide, so a crashed, slow, or Byzantine
+    /// replica only taxes the first read that probes it.
+    probe_offset: Arc<AtomicU64>,
 }
 
 impl<T: Transport> ReplicatedPeats<T> {
@@ -294,12 +426,14 @@ impl<T: Transport> ReplicatedPeats<T> {
     ) -> Self {
         let node = mailbox.id();
         let demux = Arc::new(ReplyDemux::default());
+        let mutations = Arc::new(MutationSignal::default());
         {
             let keys = keys.clone();
             let demux = Arc::clone(&demux);
+            let mutations = Arc::clone(&mutations);
             // The router exits (and closes the demux) when the mailbox
             // disconnects — i.e. when the transport shuts down.
-            std::thread::spawn(move || client_router(mailbox, keys, demux));
+            std::thread::spawn(move || client_router(mailbox, keys, demux, mutations));
         }
         ReplicatedPeats {
             net,
@@ -312,6 +446,9 @@ impl<T: Transport> ReplicatedPeats<T> {
             next_req: Arc::new(AtomicU64::new(cfg.first_request_id)),
             cfg,
             stats: Arc::new(ClientStats::default()),
+            watermark: Arc::new(AtomicU64::new(0)),
+            mutations,
+            probe_offset: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -359,11 +496,20 @@ impl<T: Transport> ReplicatedPeats<T> {
                     .min(deadline)
                     .saturating_duration_since(Instant::now());
                 match rx.recv_timeout(wait) {
-                    Ok((replica, rid, result)) => {
-                        if let Some(result) = session.on_reply(replica, rid, result) {
+                    Ok(ReplyEnvelope::Ordered {
+                        replica,
+                        req_id: rid,
+                        seq,
+                        result,
+                    }) => {
+                        if let Some((seq, result)) = session.on_reply(replica, rid, seq, result) {
+                            // Read-your-writes: every future fast read must
+                            // come from a quorum that has executed this slot.
+                            self.watermark.fetch_max(seq, Ordering::Relaxed);
                             return Ok(result);
                         }
                     }
+                    Ok(ReplyEnvelope::Fast { .. }) => {} // fast replies never share a req_id with an ordered request
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
                     Err(mpsc::RecvTimeoutError::Disconnected) => {
                         return Err(SpaceError::Unavailable("cluster shut down".into()));
@@ -373,6 +519,114 @@ impl<T: Transport> ReplicatedPeats<T> {
         })();
         self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         result
+    }
+
+    /// Read-only invocation: try the one-round quorum fast path, falling
+    /// back to the full ordering pipeline on timeout or when replicas
+    /// disagree. `op` must be `rd`/`rdp`/`count` — replicas refuse to
+    /// fast-serve anything else.
+    fn invoke_read(&self, op: OpCall<'static>) -> SpaceResult<OpResult> {
+        if !self.cfg.fast_reads {
+            return self.invoke(op);
+        }
+        match self.try_fast_read(&op) {
+            Some(result) => {
+                self.stats.fast_reads.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
+            }
+            None => {
+                self.stats
+                    .fast_read_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                self.invoke(op)
+            }
+        }
+    }
+
+    /// One fast-read round: ask replicas for the read, accept a result
+    /// backed by `f+1` replicas agreeing on `(seq, digest)` at
+    /// `seq ≥ watermark`. `None` means fall back (timeout, disagreement,
+    /// or shutdown — the ordered path reports the terminal error).
+    ///
+    /// The request goes out in two phases. The *probe* asks only a
+    /// preferred `f+1` window of replicas — exactly the quorum that can
+    /// decide, so the common fault-free case pays for `f+1` request/reply
+    /// pairs instead of `3f+1`. If the window answers without deciding
+    /// (stale, Byzantine, or conflicting replies) or stays silent past
+    /// `read_probe_timeout`, the read *widens* to the remaining replicas
+    /// and rotates the preferred window, so an unhelpful replica only
+    /// taxes the reads that first discover it.
+    fn try_fast_read(&self, op: &OpCall<'static>) -> Option<OpResult> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let rx = self.demux.register(req_id);
+        let _session_guard = SessionGuard {
+            demux: &self.demux,
+            req_id,
+        };
+        let watermark = self.watermark.load(Ordering::Relaxed);
+        let mut session = ReadSession::new(req_id, watermark, self.f, self.n_replicas);
+        let msg = Message::ReadRequest {
+            client: self.pid,
+            req_id,
+            op: op.clone(),
+            watermark,
+        };
+        let quorum = self.f + 1;
+        let probe = self.probe_offset.load(Ordering::Relaxed) as usize % self.n_replicas;
+        let send_to = |i: usize| {
+            let r = ((probe + i) % self.n_replicas) as NodeId;
+            let sealed = Sealed::seal(&self.keys, u64::from(r), &msg);
+            self.net.send(self.node, r, sealed.to_bytes());
+        };
+        for i in 0..quorum.min(self.n_replicas) {
+            send_to(i);
+        }
+        let deadline = Instant::now() + self.cfg.read_timeout;
+        let probe_deadline =
+            Instant::now() + self.cfg.read_probe_timeout.min(self.cfg.read_timeout);
+        let mut widened = quorum >= self.n_replicas;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if !widened && (now >= probe_deadline || session.responders() >= quorum) {
+                widened = true;
+                self.probe_offset.fetch_add(1, Ordering::Relaxed);
+                for i in quorum..self.n_replicas {
+                    send_to(i);
+                }
+            }
+            let until = if widened {
+                deadline
+            } else {
+                probe_deadline.min(deadline)
+            };
+            let wait = until.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
+                Ok(ReplyEnvelope::Fast {
+                    replica,
+                    req_id: rid,
+                    seq,
+                    digest,
+                    result,
+                }) => match session.on_read_reply(replica, rid, seq, digest, result) {
+                    ReadPoll::Accepted { seq, result } => {
+                        // An accepted fast read is quorum-backed: it, too,
+                        // advances the watermark (monotonic reads).
+                        self.watermark.fetch_max(seq, Ordering::Relaxed);
+                        return Some(result);
+                    }
+                    ReadPoll::NoQuorum => return None,
+                    ReadPoll::Pending => {}
+                },
+                Ok(ReplyEnvelope::Ordered { .. }) => {}
+                // A probe-phase timeout loops back to widen; the overall
+                // deadline check at the top of the loop ends the round.
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+            }
+        }
     }
 
     /// Repeats the nonblocking `probe` until it yields a tuple, sleeping
@@ -385,11 +639,21 @@ impl<T: Transport> ReplicatedPeats<T> {
     ) -> SpaceResult<Tuple> {
         let mut delay = self.cfg.blocking_poll;
         loop {
+            // Snapshot the mutation generation *before* probing: a
+            // mutation landing between the probe and the wait must wake
+            // us, not slip into the backoff window.
+            let generation = self.mutations.generation();
             if let Some(t) = probe()? {
                 return Ok(t);
             }
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(self.cfg.blocking_poll_cap);
+            // Back off — but any space-mutation reply observed by this
+            // handle's router wakes the wait early and resets the delay:
+            // the tuple we are blocked on may just have been written.
+            if self.mutations.wait_past(generation, delay) != generation {
+                delay = self.cfg.blocking_poll;
+            } else {
+                delay = (delay * 2).min(self.cfg.blocking_poll_cap);
+            }
         }
     }
 
@@ -421,6 +685,23 @@ impl<T: Transport> ReplicatedPeats<T> {
     pub fn max_concurrent_invokes(&self) -> u64 {
         self.stats.max_in_flight.load(Ordering::Relaxed)
     }
+
+    /// Reads served by the one-round fast path (no ordering round).
+    pub fn fast_reads_served(&self) -> u64 {
+        self.stats.fast_reads.load(Ordering::Relaxed)
+    }
+
+    /// Fast-read rounds that fell back to the ordered path (timeout or
+    /// replica disagreement). A healthy quiescent cluster keeps this at 0.
+    pub fn fast_read_fallbacks(&self) -> u64 {
+        self.stats.fast_read_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The handle's current read watermark (highest quorum-backed seq
+    /// observed).
+    pub fn read_watermark(&self) -> Seq {
+        self.watermark.load(Ordering::Relaxed)
+    }
 }
 
 fn denied(detail: String) -> SpaceError {
@@ -441,7 +722,7 @@ impl<T: Transport> TupleSpace for ReplicatedPeats<T> {
     }
 
     fn rdp(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
-        let r = self.invoke(OpCall::rdp(template.clone()))?;
+        let r = self.invoke_read(OpCall::rdp(template.clone()))?;
         self.expect_tuple(r)
     }
 
@@ -466,13 +747,24 @@ impl<T: Transport> TupleSpace for ReplicatedPeats<T> {
 
     fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
         // Client-side polling preserves blocking-read semantics (§4 note in
-        // the service module). Each poll costs a consensus round, hence the
-        // capped exponential backoff.
+        // the service module). With fast reads on, each poll is a one-round
+        // quorum read, not a consensus round; the capped exponential
+        // backoff still bounds the traffic a long block generates.
         self.poll_blocking(|| self.rdp(template))
     }
 
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
         self.poll_blocking(|| self.inp(template))
+    }
+
+    fn count(&self, template: &Template) -> SpaceResult<usize> {
+        match self.invoke_read(OpCall::count(template.clone()))? {
+            OpResult::Count(n) => Ok(usize::try_from(n).unwrap_or(usize::MAX)),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
     }
 
     fn process_id(&self) -> peats_policy::ProcessId {

@@ -62,6 +62,7 @@ impl PeatsService {
             }
             OpCall::Rdp(template) => OpResult::Tuple(self.space.rdp(&template)),
             OpCall::Inp(template) => OpResult::Tuple(self.space.inp(&template)),
+            OpCall::Count(template) => OpResult::Count(self.space.count(&template) as u64),
             OpCall::Cas(template, entry) => match self.space.cas(&template, entry.into_owned()) {
                 CasOutcome::Inserted => OpResult::Cas {
                     inserted: true,
@@ -74,6 +75,39 @@ impl PeatsService {
             },
             OpCall::Rd(_) | OpCall::In(_) => unreachable!("mapped above"),
         }
+    }
+
+    /// Executes a read-only operation (`rd`/`rdp`/`count`) *without*
+    /// mutating any service state — the replica-side serving half of the
+    /// quorum read fast path. Returns `None` for operations that are not
+    /// read-only (a Byzantine client smuggling a write into a read request
+    /// gets nothing).
+    ///
+    /// Policy enforcement runs exactly as on the ordered path. The answer
+    /// equals what [`execute`](Self::execute) would return for the same
+    /// operation at this state: the service always runs FIFO selection
+    /// (`SequentialSpace::new`), under which `peek` resolves to the same
+    /// tuple `rdp` would pick, draws no selection randomness, and — unlike
+    /// `rdp` — bumps no operation counters. A fast read therefore leaves
+    /// [`state_digest`](Self::state_digest) untouched and serving it
+    /// requires no per-client bookkeeping at all.
+    pub fn execute_read(&self, client: ProcessId, op: &OpCall<'_>) -> Option<OpResult> {
+        let op = match op {
+            OpCall::Rd(t) => OpCall::rdp(t.as_ref()),
+            OpCall::Rdp(_) | OpCall::Count(_) => op.as_borrowed(),
+            _ => return None,
+        };
+        if let Err(decision) = self
+            .monitor
+            .permits(&Invocation::new(client, op.as_borrowed()), &self.space)
+        {
+            return Some(OpResult::Denied(decision.to_string()));
+        }
+        Some(match op {
+            OpCall::Rdp(template) => OpResult::Tuple(self.space.peek(&template).cloned()),
+            OpCall::Count(template) => OpResult::Count(self.space.count(&template) as u64),
+            _ => unreachable!("filtered above"),
+        })
     }
 
     /// Digest of the full service state (checkpointing / divergence
@@ -171,6 +205,61 @@ mod tests {
         let r = svc.execute(0, &OpCall::take(template!["A"]));
         assert_eq!(r, OpResult::Tuple(Some(tuple!["A"])));
         assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn execute_read_matches_ordered_result_and_leaves_state_untouched() {
+        let mut svc = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        svc.execute(0, &OpCall::out(tuple!["A", 1]));
+        svc.execute(0, &OpCall::out(tuple!["A", 2]));
+        let digest = svc.state_digest();
+
+        // The fast answer equals what a copy executing the same read on the
+        // ordered path would return (FIFO: first match).
+        let fast = svc
+            .execute_read(0, &OpCall::rdp(template!["A", ?x]))
+            .unwrap();
+        let ordered = svc.clone().execute(0, &OpCall::rdp(template!["A", ?x]));
+        assert_eq!(fast, ordered);
+        assert_eq!(fast, OpResult::Tuple(Some(tuple!["A", 1])));
+
+        assert_eq!(
+            svc.execute_read(0, &OpCall::count(template!["A", _]))
+                .unwrap(),
+            OpResult::Count(2)
+        );
+        assert_eq!(
+            svc.execute_read(0, &OpCall::rd(template!["A", ?x]))
+                .unwrap(),
+            OpResult::Tuple(Some(tuple!["A", 1]))
+        );
+        // Serving reads perturbed nothing.
+        assert_eq!(svc.state_digest(), digest);
+    }
+
+    #[test]
+    fn execute_read_refuses_mutating_ops() {
+        let svc = PeatsService::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        assert!(svc.execute_read(0, &OpCall::out(tuple!["A"])).is_none());
+        assert!(svc.execute_read(0, &OpCall::inp(template!["A"])).is_none());
+        assert!(svc.execute_read(0, &OpCall::take(template!["A"])).is_none());
+        assert!(svc
+            .execute_read(0, &OpCall::cas(template!["A"], tuple!["A"]))
+            .is_none());
+    }
+
+    #[test]
+    fn execute_read_enforces_policy_per_replica() {
+        // A write-only policy: every read comes back Denied, not served.
+        let policy =
+            peats_policy::parse_policy("policy wo() { rule Rout: out(_) :- true; }").unwrap();
+        let svc = PeatsService::new(policy, PolicyParams::new()).unwrap();
+        let r = svc
+            .execute_read(2, &OpCall::rdp(template!["SECRET", _]))
+            .unwrap();
+        assert!(matches!(r, OpResult::Denied(_)));
+        let r = svc.execute_read(2, &OpCall::count(template![_])).unwrap();
+        assert!(matches!(r, OpResult::Denied(_)));
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! replicas drop anything that fails authentication, which is what stops a
 //! Byzantine client from impersonating a correct process (§2.1).
 
-use crate::client::ClientSession;
+use crate::client::{ClientSession, ReadPoll, ReadSession};
 use crate::faults::FaultMode;
-use crate::messages::{Message, OpResult, ReplicaId, Sealed};
+use crate::messages::{Message, OpResult, ReplicaId, Sealed, Seq};
 use crate::replica::{Dest, Replica, ReplicaConfig};
 use crate::service::PeatsService;
-use peats_auth::KeyTable;
+use peats_auth::{Digest, KeyTable};
 use peats_codec::{Decode, Encode};
 use peats_netsim::{Actor, Context, NetConfig, NodeId, SimNet};
 use peats_policy::{OpCall, Policy, PolicyParams};
@@ -93,7 +93,24 @@ impl Actor for ReplicaActor {
     }
 }
 
-type ReplyLog = Rc<RefCell<Vec<(ReplicaId, u64, OpResult)>>>;
+/// A reply logged at a simulated client, tagged by which path served it.
+enum LoggedReply {
+    Ordered {
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        result: OpResult,
+    },
+    Fast {
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        digest: Digest,
+        result: OpResult,
+    },
+}
+
+type ReplyLog = Rc<RefCell<Vec<LoggedReply>>>;
 
 struct ClientActor {
     keys: KeyTable,
@@ -105,19 +122,40 @@ impl Actor for ClientActor {
         let Ok(sealed) = Sealed::from_bytes(payload) else {
             return;
         };
-        let Some((
-            _,
-            Message::Reply {
-                req_id,
+        match sealed.open(&self.keys) {
+            Some((
+                _,
+                Message::Reply {
+                    req_id,
+                    seq,
+                    replica,
+                    result,
+                    ..
+                },
+            )) => self.replies.borrow_mut().push(LoggedReply::Ordered {
                 replica,
+                req_id,
+                seq,
                 result,
-                ..
-            },
-        )) = sealed.open(&self.keys)
-        else {
-            return;
-        };
-        self.replies.borrow_mut().push((replica, req_id, result));
+            }),
+            Some((
+                _,
+                Message::ReadReply {
+                    req_id,
+                    seq,
+                    digest,
+                    result,
+                    replica,
+                },
+            )) => self.replies.borrow_mut().push(LoggedReply::Fast {
+                replica,
+                req_id,
+                seq,
+                digest,
+                result,
+            }),
+            _ => {}
+        }
     }
 }
 
@@ -127,6 +165,26 @@ struct ClientSlot {
     keys: KeyTable,
     replies: ReplyLog,
     next_req_id: u64,
+    /// Highest quorum-backed seq this client has observed (mirrors the
+    /// runtime handle's read watermark).
+    watermark: Seq,
+}
+
+/// Outcome of one simulated fast-read round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FastRead {
+    /// `f+1` replicas agreed at `seq ≥` the round's watermark.
+    Accepted {
+        /// Execution point the quorum answered at.
+        seq: Seq,
+        /// The agreed result.
+        result: OpResult,
+    },
+    /// All replicas answered, no fresh quorum formed — the client must
+    /// fall back to the ordered path.
+    NoQuorum,
+    /// The step budget ran out without a decision.
+    Timeout,
 }
 
 /// A simulated replicated-PEATS deployment.
@@ -232,6 +290,7 @@ impl SimCluster {
                 keys,
                 replies,
                 next_req_id: 0,
+                watermark: 0,
             });
         }
 
@@ -316,7 +375,8 @@ impl SimCluster {
     /// step budget runs out. Returns one result per input, in input order.
     pub fn invoke_many(&mut self, ops: Vec<(usize, OpCall<'static>)>) -> Vec<Option<OpResult>> {
         let n_replicas = self.replicas.len();
-        let mut sessions: Vec<(usize, ClientSession, Option<OpResult>)> = Vec::new();
+        type Decided = Option<(Seq, OpResult)>;
+        let mut sessions: Vec<(usize, ClientSession, Decided)> = Vec::new();
         for (client_idx, op) in ops {
             let c = &mut self.clients[client_idx];
             c.next_req_id += 1;
@@ -325,21 +385,19 @@ impl SimCluster {
             sessions.push((client_idx, session, None));
         }
 
-        let broadcast =
-            |cluster: &mut SimCluster, sessions: &[(usize, ClientSession, Option<OpResult>)]| {
-                for (client_idx, session, decided) in sessions {
-                    if decided.is_some() {
-                        continue;
-                    }
-                    let c = &cluster.clients[*client_idx];
-                    let node = c.node;
-                    for r in 0..n_replicas as NodeId {
-                        let sealed =
-                            Sealed::seal(&c.keys, u64::from(r), &session.request_message());
-                        cluster.net.inject(node, r, sealed.to_bytes());
-                    }
+        let broadcast = |cluster: &mut SimCluster, sessions: &[(usize, ClientSession, Decided)]| {
+            for (client_idx, session, decided) in sessions {
+                if decided.is_some() {
+                    continue;
                 }
-            };
+                let c = &cluster.clients[*client_idx];
+                let node = c.node;
+                for r in 0..n_replicas as NodeId {
+                    let sealed = Sealed::seal(&c.keys, u64::from(r), &session.request_message());
+                    cluster.net.inject(node, r, sealed.to_bytes());
+                }
+            }
+        };
         broadcast(self, &sessions);
 
         let mut steps = 0u64;
@@ -357,26 +415,136 @@ impl SimCluster {
             }
             let client_ids: Vec<usize> = sessions.iter().map(|(c, _, _)| *c).collect();
             for client_idx in client_ids {
-                let pending: Vec<(ReplicaId, u64, OpResult)> = self.clients[client_idx]
+                let pending: Vec<LoggedReply> = self.clients[client_idx]
                     .replies
                     .borrow_mut()
                     .drain(..)
                     .collect();
-                for (replica, rid, result) in pending {
+                for reply in pending {
+                    let LoggedReply::Ordered {
+                        replica,
+                        req_id: rid,
+                        seq,
+                        result,
+                    } = reply
+                    else {
+                        continue; // late fast-read replies: not ours
+                    };
                     // `on_reply` ignores foreign req_ids, so feeding every
                     // session of this client is safe.
                     for (idx, session, decided) in sessions.iter_mut() {
                         if *idx != client_idx || decided.is_some() {
                             continue;
                         }
-                        if let Some(result) = session.on_reply(replica, rid, result.clone()) {
-                            *decided = Some(result);
+                        if let Some(pair) = session.on_reply(replica, rid, seq, result.clone()) {
+                            *decided = Some(pair);
                         }
                     }
                 }
             }
         }
-        sessions.into_iter().map(|(_, _, d)| d).collect()
+        // Accepted (quorum-backed) seqs advance the clients' read
+        // watermarks — the fast path's read-your-writes anchor.
+        for (client_idx, _, decided) in &sessions {
+            if let Some((seq, _)) = decided {
+                let w = &mut self.clients[*client_idx].watermark;
+                *w = (*w).max(*seq);
+            }
+        }
+        sessions
+            .into_iter()
+            .map(|(_, _, d)| d.map(|(_, r)| r))
+            .collect()
+    }
+
+    /// The client's current read watermark.
+    pub fn watermark(&self, client_idx: usize) -> Seq {
+        self.clients[client_idx].watermark
+    }
+
+    /// One fast-read round from `client_idx` at its current watermark.
+    /// Accepted reads advance the watermark (monotonic reads).
+    pub fn try_fast_read(&mut self, client_idx: usize, op: OpCall<'static>) -> FastRead {
+        let watermark = self.clients[client_idx].watermark;
+        self.try_fast_read_with_watermark(client_idx, op, watermark)
+    }
+
+    /// One fast-read round with an explicit watermark — tests inflate it to
+    /// force every reply stale and prove the ordered fallback engages.
+    pub fn try_fast_read_with_watermark(
+        &mut self,
+        client_idx: usize,
+        op: OpCall<'static>,
+        watermark: Seq,
+    ) -> FastRead {
+        let n_replicas = self.replicas.len();
+        let (node, req_id, msg) = {
+            let c = &mut self.clients[client_idx];
+            c.next_req_id += 1;
+            c.replies.borrow_mut().clear();
+            (
+                c.node,
+                c.next_req_id,
+                Message::ReadRequest {
+                    client: c.pid,
+                    req_id: c.next_req_id,
+                    op,
+                    watermark,
+                },
+            )
+        };
+        let mut session = ReadSession::new(req_id, watermark, self.f, n_replicas);
+        {
+            let c = &self.clients[client_idx];
+            for r in 0..n_replicas as NodeId {
+                let sealed = Sealed::seal(&c.keys, u64::from(r), &msg);
+                self.net.inject(node, r, sealed.to_bytes());
+            }
+        }
+        let mut steps = 0u64;
+        while steps < self.step_budget {
+            let live = self.net.step();
+            steps += 1;
+            let pending: Vec<LoggedReply> = self.clients[client_idx]
+                .replies
+                .borrow_mut()
+                .drain(..)
+                .collect();
+            for reply in pending {
+                let LoggedReply::Fast {
+                    replica,
+                    req_id: rid,
+                    seq,
+                    digest,
+                    result,
+                } = reply
+                else {
+                    continue;
+                };
+                match session.on_read_reply(replica, rid, seq, digest, result) {
+                    ReadPoll::Accepted { seq, result } => {
+                        let w = &mut self.clients[client_idx].watermark;
+                        *w = (*w).max(seq);
+                        return FastRead::Accepted { seq, result };
+                    }
+                    ReadPoll::NoQuorum => return FastRead::NoQuorum,
+                    ReadPoll::Pending => {}
+                }
+            }
+            if !live {
+                break; // network drained without a quorum
+            }
+        }
+        FastRead::Timeout
+    }
+
+    /// Read-only invocation mirroring the runtime handle: fast path first,
+    /// ordered fallback on `NoQuorum`/timeout.
+    pub fn invoke_read(&mut self, client_idx: usize, op: OpCall<'static>) -> Option<OpResult> {
+        match self.try_fast_read(client_idx, op.clone()) {
+            FastRead::Accepted { result, .. } => Some(result),
+            FastRead::NoQuorum | FastRead::Timeout => self.invoke(client_idx, op),
+        }
     }
 }
 

@@ -648,6 +648,167 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_serves_reads_without_ordering() {
+        let mut cluster =
+            ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[100], &[])
+                .unwrap();
+        let h = cluster.handle(0);
+        h.out(tuple!["FR", 1]).unwrap();
+        h.out(tuple!["FR", 2]).unwrap();
+        // Wait for every replica to finish executing both writes before
+        // snapshotting: the write commits as soon as 2f+1 replicas have
+        // it, so a straggler may still be executing when out() returns.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let execs: Vec<u64> = loop {
+            let execs: Vec<u64> = (0..cluster.n_replicas())
+                .map(|id| cluster.last_exec(id))
+                .collect();
+            if execs.iter().all(|e| *e == 2) || std::time::Instant::now() >= deadline {
+                break execs;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        for _ in 0..10 {
+            assert_eq!(h.rdp(&template!["FR", 1]).unwrap(), Some(tuple!["FR", 1]));
+        }
+        assert_eq!(h.count(&template!["FR", ?x]).unwrap(), 2);
+        assert_eq!(
+            h.fast_reads_served(),
+            11,
+            "every read must ride the fast path"
+        );
+        assert_eq!(h.fast_read_fallbacks(), 0, "no healthy read may fall back");
+        // No replica ordered (executed) anything for the reads.
+        let after: Vec<u64> = (0..cluster.n_replicas())
+            .map(|id| cluster.last_exec(id))
+            .collect();
+        assert_eq!(after, execs, "reads must not enter the ordering pipeline");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn disabling_fast_reads_forces_the_ordered_path() {
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[],
+            ClusterConfig {
+                client: ClientConfig {
+                    fast_reads: false,
+                    ..ClientConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        h.out(tuple!["OR", 1]).unwrap();
+        assert_eq!(h.rdp(&template!["OR", ?x]).unwrap(), Some(tuple!["OR", 1]));
+        assert_eq!(h.count(&template!["OR", ?x]).unwrap(), 1);
+        assert_eq!(h.fast_reads_served(), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fast_reads_mask_byzantine_replies() {
+        // One reply forger (corrupt result, seq inflated to u64::MAX): the
+        // three correct replicas still form the f+1 read quorum, and the
+        // forged seq must not poison the handle's watermark (which would
+        // wedge every later read into fallback).
+        let mut cluster = ThreadedCluster::start(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[FaultMode::Correct, FaultMode::CorruptReplies],
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        h.out(tuple!["BZ", 1]).unwrap();
+        for _ in 0..5 {
+            assert_eq!(h.rdp(&template!["BZ", ?x]).unwrap(), Some(tuple!["BZ", 1]));
+        }
+        assert_eq!(h.fast_reads_served(), 5);
+        assert_eq!(h.fast_read_fallbacks(), 0);
+        assert!(
+            h.read_watermark() < u64::MAX / 2,
+            "forged seq inflated the watermark: {}",
+            h.read_watermark()
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fast_reads_widen_past_a_silent_probe_target() {
+        // Replica 1 sits in the initial f+1 probe window but never
+        // answers. The first read pays one probe timeout, widens to the
+        // remaining replicas, decides, and rotates the preferred window —
+        // after which reads stop probing the dead replica and every read
+        // is still served fast (no ordered fallback).
+        let mut cluster = ThreadedCluster::start(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[FaultMode::Correct, FaultMode::Crashed],
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        h.out(tuple!["SIL", 1]).unwrap();
+        for _ in 0..10 {
+            assert_eq!(
+                h.rdp(&template!["SIL", ?x]).unwrap(),
+                Some(tuple!["SIL", 1])
+            );
+        }
+        assert_eq!(h.fast_reads_served(), 10);
+        assert_eq!(h.fast_read_fallbacks(), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn blocked_rd_wakes_on_a_clone_write_and_resets_backoff() {
+        // A blocked rd whose backoff has climbed toward a large cap must
+        // not sleep the residual delay out once the tuple lands: the
+        // router observes the writing clone's mutation reply and wakes the
+        // poll immediately. The 4s cap makes the discrimination robust —
+        // without the wake, the read would sit out a multi-second tick.
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[],
+            ClusterConfig {
+                client: ClientConfig {
+                    blocking_poll: Duration::from_millis(2),
+                    blocking_poll_cap: Duration::from_secs(4),
+                    ..ClientConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        let writer = h.clone();
+        let t = std::thread::spawn(move || h.rd(&template!["WAKE", ?x]).unwrap());
+        // Let the backoff escalate well past the write-to-return budget
+        // below (2, 4, ..., 1024ms+ by 1.5s).
+        std::thread::sleep(Duration::from_millis(1_500));
+        let written = Instant::now();
+        writer.out(tuple!["WAKE", 1]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["WAKE", 1]);
+        assert!(
+            written.elapsed() < Duration::from_millis(900),
+            "blocked rd must wake on the observed mutation, took {:?}",
+            written.elapsed()
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
     fn weak_consensus_runs_on_replicated_space() {
         // Algorithm 1 over the real replicated PEATS (Fig. 2 end-to-end),
         // with the Fig. 3 policy enforced at every replica.

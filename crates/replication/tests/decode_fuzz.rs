@@ -48,12 +48,14 @@ fn sample_messages() -> Vec<Message> {
         },
         Message::Reply {
             view: 0,
+            seq: 4,
             req_id: 1,
             replica: 1,
             result: OpResult::Tuple(Some(tuple!["JOB", 7, "payload"])),
         },
         Message::Reply {
             view: 0,
+            seq: 5,
             req_id: 2,
             replica: 0,
             result: OpResult::Denied("no".to_owned()),
@@ -80,6 +82,32 @@ fn sample_messages() -> Vec<Message> {
             req_id: 3,
             op: OpCall::take(template!["JOB", ?x, _]).into_owned(),
         }),
+        Message::ReadRequest {
+            client: 100,
+            req_id: 4,
+            op: OpCall::rdp(template!["JOB", ?x, _]).into_owned(),
+            watermark: 12,
+        },
+        Message::ReadRequest {
+            client: 101,
+            req_id: 5,
+            op: OpCall::count(template!["JOB", ?x, _]).into_owned(),
+            watermark: 0,
+        },
+        Message::ReadReply {
+            req_id: 4,
+            seq: 12,
+            digest: OpResult::Tuple(Some(tuple!["JOB", 7, "payload"])).digest(),
+            result: OpResult::Tuple(Some(tuple!["JOB", 7, "payload"])),
+            replica: 2,
+        },
+        Message::ReadReply {
+            req_id: 5,
+            seq: 13,
+            digest: OpResult::Count(3).digest(),
+            result: OpResult::Count(3),
+            replica: 3,
+        },
     ]
 }
 
@@ -95,7 +123,7 @@ proptest! {
     /// Every proper prefix of a valid message is rejected cleanly; the
     /// full buffer round-trips.
     #[test]
-    fn truncated_messages_error_cleanly(which in 0usize..10, cut in 0usize..10_000) {
+    fn truncated_messages_error_cleanly(which in 0usize..14, cut in 0usize..10_000) {
         let msg = &sample_messages()[which];
         let bytes = msg.to_bytes();
         let cut = cut % bytes.len().max(1);
@@ -109,7 +137,7 @@ proptest! {
 
     /// Single-byte corruption never panics the message decoder.
     #[test]
-    fn corrupted_messages_never_panic(which in 0usize..10, pos in 0usize..10_000, xor in 1u8..=255) {
+    fn corrupted_messages_never_panic(which in 0usize..14, pos in 0usize..10_000, xor in 1u8..=255) {
         let bytes = sample_messages()[which].to_bytes();
         let mut bytes = bytes;
         let pos = pos % bytes.len();

@@ -577,6 +577,31 @@ impl ShardedSpace {
         }
     }
 
+    /// [`count`](Self::count) with an admission check run atomically with
+    /// the query. Like the sequential engine's `count`, the query itself
+    /// does not bump [`OpStats`](crate::OpStats) — it is a state query,
+    /// not a paper operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `check` produced.
+    pub fn count_with<E>(
+        &self,
+        template: &Template,
+        scope: LockScope,
+        check: impl FnOnce(&SpaceView<'_, '_>) -> Result<(), E>,
+    ) -> Result<usize, E> {
+        if let Some(idx) = self.fast_shard(template, scope) {
+            let guard = self.shards[idx].space.lock();
+            check(&SpaceView::single(&guard))?;
+            Ok(guard.count(template))
+        } else {
+            let guards = self.lock_all();
+            check(&SpaceView::full(self, &guards))?;
+            Ok(guards.iter().map(|g| g.count(template)).sum())
+        }
+    }
+
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
         self.lock_all().iter().map(|g| g.len()).sum()
