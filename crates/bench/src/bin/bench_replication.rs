@@ -282,6 +282,86 @@ fn run_socket_read_cell(clients: usize, reads: u64, fast: bool) -> ReadCell {
     cell
 }
 
+/// What one blocking-mode run measured: wake-after-out latency quantiles
+/// and how many ordered consensus rounds each blocked op cost.
+struct BlockingCell {
+    p50: Duration,
+    p99: Duration,
+    rounds_per_op: f64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One blocking cell: a waiter client blocks on tuple `i` while a writer
+/// client waits `park_ms` (so the block is genuinely parked) and then
+/// writes the match, for `events` rounds. `push: true` uses the
+/// server-side registration/wake path (`take`); `push: false` replays the
+/// old client-driven strategy — poll `inp` on a 2 ms tick — as the
+/// baseline, where every poll is a full consensus round.
+fn run_blocking_cell(events: u64, park_ms: u64, push: bool) -> BlockingCell {
+    let mut cluster = ThreadedCluster::start_with(
+        Policy::allow_all(),
+        PolicyParams::new(),
+        1,
+        &[100, 101],
+        &[],
+        ClusterConfig {
+            batch_cap: 16,
+            max_in_flight: 2,
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("allow-all policy has no parameters");
+    let waiter = cluster.handle(0);
+    let writer = cluster.handle(1);
+    let probe = waiter.clone();
+    let waiter_j = std::thread::spawn(move || {
+        let mut done = Vec::with_capacity(events as usize);
+        for i in 0..events {
+            let template = template!["BW", i as i64];
+            let got = if push {
+                waiter.take(&template).unwrap()
+            } else {
+                loop {
+                    if let Some(t) = waiter.inp(&template).unwrap() {
+                        break t;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            };
+            assert_eq!(got, tuple!["BW", i as i64]);
+            done.push(Instant::now());
+        }
+        done
+    });
+    let mut written = Vec::with_capacity(events as usize);
+    for i in 0..events {
+        std::thread::sleep(Duration::from_millis(park_ms));
+        written.push(Instant::now());
+        writer.out(tuple!["BW", i as i64]).unwrap();
+    }
+    let woken = waiter_j.join().unwrap();
+    let mut latencies: Vec<Duration> = woken
+        .iter()
+        .zip(&written)
+        .map(|(t1, t0)| t1.saturating_duration_since(*t0))
+        .collect();
+    latencies.sort();
+    let rounds_per_op = probe.issued_requests() as f64 / events as f64;
+    cluster.shutdown();
+    BlockingCell {
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        rounds_per_op,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -483,6 +563,36 @@ fn main() {
         &read_table,
     );
 
+    // Blocked rd/take: server-side registration+wake vs the old
+    // poll-every-tick strategy — consensus rounds per blocked op and
+    // wake-after-out latency at match time.
+    let blocking_events: u64 = if smoke { 8 } else { 40 };
+    let park_ms: u64 = if smoke { 10 } else { 15 };
+    let mut blocking_json = Vec::new();
+    let mut blocking_table = Vec::new();
+    for (mode, push) in [("poll_2ms_baseline", false), ("registered_wake", true)] {
+        let cell = run_blocking_cell(blocking_events, park_ms, push);
+        blocking_json.push(format!(
+            "    {{\"mode\": \"{mode}\", \"events\": {blocking_events}, \
+             \"park_ms\": {park_ms}, \"rounds_per_blocked_op\": {:.2}, \
+             \"wake_after_out_p50_us\": {}, \"wake_after_out_p99_us\": {}}}",
+            cell.rounds_per_op,
+            cell.p50.as_micros(),
+            cell.p99.as_micros()
+        ));
+        blocking_table.push(vec![
+            mode.to_owned(),
+            format!("{:.2}", cell.rounds_per_op),
+            format!("{}us", cell.p50.as_micros()),
+            format!("{}us", cell.p99.as_micros()),
+        ]);
+    }
+    print_table(
+        "blocking ops: registered server-side wakes vs client polling (consensus rounds, wake latency)",
+        &["mode", "rounds/blocked op", "wake p50", "wake p99"],
+        &blocking_table,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_ordering\",\n  \"unit\": \"ops_per_sec\",\n  \
          \"workload\": \"clients concurrent client threads (one slot, pid, and reply router each) \
@@ -494,11 +604,13 @@ fn main() {
          \"smoke\": {smoke},\n  \"results\": [\n{}\n  ],\n  \
          \"checkpointing_long_run\": [\n{}\n  ],\n  \
          \"socket_transport\": [\n{}\n  ],\n  \
-         \"read_fast_path\": [\n{}\n  ]\n}}\n",
+         \"read_fast_path\": [\n{}\n  ],\n  \
+         \"blocking_wake\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
         ckpt_json.join(",\n"),
         sock_json.join(",\n"),
-        read_json.join(",\n")
+        read_json.join(",\n"),
+        blocking_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");

@@ -5,9 +5,21 @@
 
 use peats_codec::{read_frame, write_frame, Decode, Encode, FrameError};
 use peats_policy::OpCall;
-use peats_tuplespace::{template, tuple};
+use peats_tuplespace::{template, tuple, Template};
 use proptest::prelude::*;
 use std::io::Cursor;
+
+/// Bare templates as shipped by the replication layer's blocking-wait
+/// `Register` requests (a template outside any `OpCall` wrapper is its own
+/// wire shape: the decoder sees field tags first, not an op tag).
+fn sample_templates() -> Vec<Template> {
+    vec![
+        template!["JOB", ?x, _],
+        template![?tag, 7, true],
+        template!["EVT", _],
+        template![_],
+    ]
+}
 
 /// One sample per `OpCall` wire tag (including the read-only `count` the
 /// fast read path ships), so framing fuzz starts from every realistic
@@ -73,6 +85,36 @@ proptest! {
             let pos = pos % corrupt.len();
             corrupt[pos] ^= xor;
             let _ = OpCall::from_bytes(&corrupt);
+        }
+    }
+
+    /// Bare templates — the `Register` payload — survive a framed round
+    /// trip through a one-byte-at-a-time reader.
+    #[test]
+    fn framed_templates_roundtrip(which in 0usize..4) {
+        let t = &sample_templates()[which];
+        let bytes = t.to_bytes();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &bytes, 4096).expect("within cap");
+        let mut r = OneByteReader { data: buf, pos: 0 };
+        let frame = read_frame(&mut r, 4096).expect("valid stream").expect("one frame");
+        prop_assert_eq!(&Template::from_bytes(&frame).expect("valid template"), t);
+    }
+
+    /// Truncations and single-byte corruptions of a bare template encoding
+    /// never panic the decoder.
+    #[test]
+    fn corrupted_templates_never_panic(which in 0usize..4, pos in 0usize..10_000, xor in 0u8..=255) {
+        let bytes = sample_templates()[which].to_bytes();
+        if !bytes.is_empty() {
+            let cut = pos % bytes.len();
+            let _ = Template::from_bytes(&bytes[..cut]);
+            if xor != 0 {
+                let mut corrupt = bytes.clone();
+                let pos = pos % corrupt.len();
+                corrupt[pos] ^= xor;
+                let _ = Template::from_bytes(&corrupt);
+            }
         }
     }
 

@@ -24,9 +24,10 @@
 //!   caught mid-write disagree), the session reports [`ReadPoll::NoQuorum`]
 //!   and the caller falls back to the ordered path.
 
-use crate::messages::{Message, OpResult, ReplicaId, Request, Seq};
+use crate::messages::{Message, OpResult, ReplicaId, Request, RequestOp, Seq, WaitKind};
 use peats_auth::Digest;
 use peats_policy::OpCall;
+use peats_tuplespace::Template;
 use std::collections::BTreeMap;
 
 /// One in-flight ordered request from one client.
@@ -42,6 +43,12 @@ impl ClientSession {
     /// Starts a session for `op` as logical process `client` with request
     /// number `req_id`, tolerating `f` faulty replicas.
     pub fn new(client: u64, req_id: u64, op: OpCall<'static>, f: usize) -> Self {
+        Self::new_op(client, req_id, RequestOp::Call(op), f)
+    }
+
+    /// Starts a session for an arbitrary [`RequestOp`] (registrations and
+    /// cancels ride the same ordered pipeline as calls).
+    pub fn new_op(client: u64, req_id: u64, op: RequestOp, f: usize) -> Self {
         ClientSession {
             request: Request { client, req_id, op },
             f,
@@ -91,6 +98,209 @@ impl ClientSession {
     /// The accepted `(seq, result)`, if already decided.
     pub fn decided(&self) -> Option<&(Seq, OpResult)> {
         self.decided.as_ref()
+    }
+}
+
+/// Progress of a blocked invoke (register → wait → wake).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockingPoll {
+    /// No quorum of any kind yet.
+    Pending,
+    /// `f+1` replicas confirmed the registration parked at this slot —
+    /// the waiter is durably installed in replicated state; keep waiting
+    /// for the wake.
+    Parked(Seq),
+    /// `f+1` replicas agreed on the final `(seq, result)` — either an
+    /// immediate match served in the ordered reply, or a wake at the
+    /// matching `out`'s slot.
+    Decided(Seq, OpResult),
+}
+
+/// One blocked invoke: a `Register` broadcast once, then woken by
+/// unsolicited `Wake`s and/or re-replies to retransmissions. Votes on the
+/// *latest* `(seq, result)` claim per replica — a replica first answers
+/// `(s₀, Registered)` and later upgrades its claim to the woken
+/// `(s₁, tuple)`; grouping the latest claims means `f+1` matching
+/// `Registered`s signal "parked" while `f+1` matching final results
+/// decide, and a Byzantine replica forging wake seqs or tuples can do
+/// neither alone.
+#[derive(Debug)]
+pub struct BlockingSession {
+    request: Request,
+    f: usize,
+    replies: BTreeMap<ReplicaId, (Seq, OpResult)>,
+    parked_at: Option<Seq>,
+    decided: Option<(Seq, OpResult)>,
+}
+
+impl BlockingSession {
+    /// Starts a blocked invoke for `template` as process `client` under
+    /// request `req_id`, tolerating `f` faulty replicas.
+    pub fn new(
+        client: u64,
+        req_id: u64,
+        template: Template,
+        kind: WaitKind,
+        persistent: bool,
+        f: usize,
+    ) -> Self {
+        BlockingSession {
+            request: Request {
+                client,
+                req_id,
+                op: RequestOp::Register {
+                    template,
+                    kind,
+                    persistent,
+                },
+            },
+            f,
+            replies: BTreeMap::new(),
+            parked_at: None,
+            decided: None,
+        }
+    }
+
+    /// The `Register` to broadcast (and rebroadcast on timeout — replicas
+    /// re-reply from their caches, which hold the woken result once the
+    /// match committed, so retransmission heals lost wakes).
+    pub fn request_message(&self) -> Message {
+        Message::Request(self.request.clone())
+    }
+
+    /// Feeds a `Reply` or `Wake` claim for this request.
+    pub fn on_reply(
+        &mut self,
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        result: OpResult,
+    ) -> BlockingPoll {
+        if let Some((seq, result)) = &self.decided {
+            return BlockingPoll::Decided(*seq, result.clone());
+        }
+        if req_id != self.request.req_id {
+            return self.poll();
+        }
+        // Latest claim per replica, with one exception: a `Registered`
+        // never downgrades a final claim (a delayed parked ack can arrive
+        // after the wake it precedes).
+        match self.replies.get(&replica) {
+            Some((_, prev)) if *prev != OpResult::Registered && result == OpResult::Registered => {}
+            _ => {
+                self.replies.insert(replica, (seq, result));
+            }
+        }
+        let mut groups: Vec<(&(Seq, OpResult), usize)> = Vec::new();
+        for r in self.replies.values() {
+            match groups.iter_mut().find(|(g, _)| *g == r) {
+                Some((_, c)) => *c += 1,
+                None => groups.push((r, 1)),
+            }
+        }
+        for ((seq, result), count) in groups.iter().map(|(g, c)| (*g, *c)) {
+            if count < self.f + 1 {
+                continue;
+            }
+            if *result == OpResult::Registered {
+                self.parked_at = Some(*seq);
+            } else {
+                self.decided = Some((*seq, result.clone()));
+                return BlockingPoll::Decided(*seq, result.clone());
+            }
+        }
+        self.poll()
+    }
+
+    fn poll(&self) -> BlockingPoll {
+        match (&self.decided, self.parked_at) {
+            (Some((seq, result)), _) => BlockingPoll::Decided(*seq, result.clone()),
+            (None, Some(seq)) => BlockingPoll::Parked(seq),
+            (None, None) => BlockingPoll::Pending,
+        }
+    }
+
+    /// The slot a registration quorum confirmed parking at, if any — the
+    /// caller's read-your-writes watermark advances to it (registering is
+    /// a write to replicated state).
+    pub fn parked_at(&self) -> Option<Seq> {
+        self.parked_at
+    }
+}
+
+/// Cap on concurrently tracked wake slots per subscription. A Byzantine
+/// replica spraying forged wakes at distinct fabricated seqs must not
+/// grow the vote store without bound; genuine wakes cluster at real
+/// slots and quorum out quickly, and forged seqs skew huge, so the
+/// highest tracked seqs are evicted first.
+const MAX_TRACKED_WAKES: usize = 1024;
+
+/// The wake-vote state of one *persistent* registration (channel
+/// pub/sub): each matching committed `out` produces one wake per correct
+/// replica at that `out`'s slot, and every slot reaching `f+1` matching
+/// results is delivered exactly once, in ascending slot order. Correct
+/// replicas emit wakes in execution order, so in-order delivery costs
+/// nothing in the common case; a slot whose wakes were partially lost
+/// while a later slot certified is skipped, not replayed — a persistent
+/// registration is a live tail, not a journal.
+#[derive(Debug)]
+pub struct WakeStreamSession {
+    req_id: u64,
+    f: usize,
+    n: usize,
+    votes: BTreeMap<Seq, BTreeMap<ReplicaId, OpResult>>,
+    /// Highest delivered slot: claims at or below it are duplicates of a
+    /// certified delivery (or stragglers of a skipped slot) and ignored.
+    delivered: Seq,
+}
+
+impl WakeStreamSession {
+    /// Starts the wake stream for the persistent registration `req_id`,
+    /// tolerating `f` faults among `n` replicas.
+    pub fn new(req_id: u64, f: usize, n: usize) -> Self {
+        WakeStreamSession {
+            req_id,
+            f,
+            n,
+            votes: BTreeMap::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Feeds one wake claim; returns a newly quorum-certified
+    /// `(seq, result)` the first time slot `seq` reaches `f+1` matching
+    /// results.
+    pub fn on_wake(
+        &mut self,
+        replica: ReplicaId,
+        req_id: u64,
+        seq: Seq,
+        result: OpResult,
+    ) -> Option<(Seq, OpResult)> {
+        if req_id != self.req_id
+            || (replica as usize) >= self.n
+            || result == OpResult::Registered
+            || seq <= self.delivered
+        {
+            return None;
+        }
+        let slot = self.votes.entry(seq).or_default();
+        slot.insert(replica, result);
+        let winner = slot
+            .values()
+            .find(|r| slot.values().filter(|e| e == r).count() >= self.f + 1)
+            .cloned();
+        if let Some(result) = winner {
+            self.delivered = seq;
+            // Everything at or below the certified slot is settled (or
+            // skipped); only later slots can still quorum.
+            self.votes = self.votes.split_off(&(seq + 1));
+            return Some((seq, result));
+        }
+        while self.votes.len() > MAX_TRACKED_WAKES {
+            self.votes.pop_last();
+        }
+        None
     }
 }
 
@@ -341,6 +551,125 @@ mod tests {
         assert_eq!(s.on_read_reply(1, 5, 3, d, forged), ReadPoll::Pending);
         assert_eq!(s.decided(), None);
         assert_eq!(s.rejected(), 2);
+    }
+
+    fn mk_blocking() -> BlockingSession {
+        BlockingSession::new(
+            9,
+            1,
+            peats_tuplespace::template!["A", ?x],
+            WaitKind::Rd,
+            false,
+            1,
+        )
+    }
+
+    #[test]
+    fn blocking_session_parks_then_decides_on_wakes() {
+        let mut s = mk_blocking();
+        // f+1 Registered at the register's slot: parked, not decided.
+        assert_eq!(
+            s.on_reply(0, 1, 5, OpResult::Registered),
+            BlockingPoll::Pending
+        );
+        assert_eq!(
+            s.on_reply(1, 1, 5, OpResult::Registered),
+            BlockingPoll::Parked(5)
+        );
+        assert_eq!(s.parked_at(), Some(5));
+        // Wakes upgrade each replica's claim; f+1 matching decide.
+        let woken = OpResult::Tuple(Some(tuple!["A", 1]));
+        assert_eq!(s.on_reply(0, 1, 9, woken.clone()), BlockingPoll::Parked(5));
+        assert_eq!(
+            s.on_reply(2, 1, 9, woken.clone()),
+            BlockingPoll::Decided(9, woken)
+        );
+    }
+
+    #[test]
+    fn blocking_session_takes_immediate_match_without_parking() {
+        let mut s = mk_blocking();
+        let served = OpResult::Tuple(Some(tuple!["A", 2]));
+        assert_eq!(s.on_reply(3, 1, 4, served.clone()), BlockingPoll::Pending);
+        assert_eq!(
+            s.on_reply(1, 1, 4, served.clone()),
+            BlockingPoll::Decided(4, served)
+        );
+    }
+
+    #[test]
+    fn forged_wakes_alone_cannot_decide_a_blocked_invoke() {
+        let mut s = mk_blocking();
+        s.on_reply(0, 1, 5, OpResult::Registered);
+        s.on_reply(1, 1, 5, OpResult::Registered);
+        s.on_reply(2, 1, 5, OpResult::Registered);
+        // One Byzantine replica sprays forged wakes: different seqs,
+        // different results, repeatedly — never more than one vote.
+        let forged = OpResult::Tuple(Some(tuple!["A", 666]));
+        for seq in [u64::MAX, 7, 8, 9] {
+            assert_eq!(
+                s.on_reply(3, 1, seq, forged.clone()),
+                BlockingPoll::Parked(5),
+                "a lone forger must not complete the invoke"
+            );
+        }
+        // Nor can it team with one honest wake at a different seq.
+        let woken = OpResult::Tuple(Some(tuple!["A", 1]));
+        assert_eq!(s.on_reply(0, 1, 9, woken.clone()), BlockingPoll::Parked(5));
+        // The honest quorum still decides with the honest value.
+        assert_eq!(
+            s.on_reply(2, 1, 9, woken.clone()),
+            BlockingPoll::Decided(9, woken)
+        );
+    }
+
+    #[test]
+    fn late_registered_ack_does_not_downgrade_a_wake_claim() {
+        let mut s = mk_blocking();
+        let woken = OpResult::Tuple(Some(tuple!["A", 1]));
+        assert_eq!(s.on_reply(0, 1, 9, woken.clone()), BlockingPoll::Pending);
+        // The delayed parked ack from replica 0 arrives after its wake.
+        assert_eq!(
+            s.on_reply(0, 1, 5, OpResult::Registered),
+            BlockingPoll::Pending
+        );
+        assert_eq!(
+            s.on_reply(1, 1, 9, woken.clone()),
+            BlockingPoll::Decided(9, woken)
+        );
+    }
+
+    #[test]
+    fn wake_stream_delivers_each_slot_once_in_order() {
+        let mut s = WakeStreamSession::new(1, 1, 4);
+        let ev1 = OpResult::Tuple(Some(tuple!["EV", 1]));
+        let ev2 = OpResult::Tuple(Some(tuple!["EV", 2]));
+        assert_eq!(s.on_wake(0, 1, 10, ev1.clone()), None);
+        assert_eq!(s.on_wake(1, 1, 10, ev1.clone()), Some((10, ev1.clone())));
+        // Stragglers for a delivered slot cannot re-deliver it.
+        assert_eq!(s.on_wake(2, 1, 10, ev1.clone()), None);
+        assert_eq!(s.on_wake(3, 1, 10, ev1), None);
+        assert_eq!(s.on_wake(0, 1, 12, ev2.clone()), None);
+        assert_eq!(s.on_wake(2, 1, 12, ev2.clone()), Some((12, ev2)));
+    }
+
+    #[test]
+    fn wake_stream_bounds_forged_slot_votes() {
+        let mut s = WakeStreamSession::new(1, 1, 4);
+        let forged = OpResult::Tuple(Some(tuple!["EV", 666]));
+        // A Byzantine replica spraying distinct fabricated slots must not
+        // grow the vote store without bound — and a fake replica id must
+        // not vote at all.
+        for seq in 1..=5_000u64 {
+            assert_eq!(s.on_wake(3, 1, seq, forged.clone()), None);
+            assert_eq!(s.on_wake(9, 1, seq, forged.clone()), None);
+        }
+        assert!(s.votes.len() <= MAX_TRACKED_WAKES);
+        // Genuine wakes at a low slot still certify (forged junk skews
+        // high and is evicted first).
+        let ev = OpResult::Tuple(Some(tuple!["EV", 1]));
+        assert_eq!(s.on_wake(0, 1, 3, ev.clone()), None);
+        assert_eq!(s.on_wake(1, 1, 3, ev.clone()), Some((3, ev)));
     }
 
     #[test]

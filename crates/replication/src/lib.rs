@@ -41,13 +41,16 @@ pub mod service;
 pub mod sim_harness;
 pub mod threaded;
 
-pub use client::{ClientSession, ReadPoll, ReadSession};
+pub use client::{
+    BlockingPoll, BlockingSession, ClientSession, ReadPoll, ReadSession, WakeStreamSession,
+};
 pub use faults::FaultMode;
 pub use messages::{
-    batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, Request, Sealed, Seq, View,
+    batch_digest, Message, OpResult, Registration, ReplicaId, ReplicaSnapshot, Request, RequestOp,
+    Sealed, Seq, View, WaitKind,
 };
 pub use replica::{Dest, Replica, ReplicaConfig, ReplicaFootprint};
-pub use runtime::{replica_main, ship, ClientConfig, ReplicatedPeats};
+pub use runtime::{replica_main, ship, ClientConfig, ReplicatedPeats, Subscription};
 pub use service::PeatsService;
 pub use sim_harness::{FastRead, SimCluster};
 pub use threaded::{ClusterConfig, ThreadedCluster};

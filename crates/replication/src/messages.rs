@@ -11,7 +11,7 @@
 use peats_auth::{sha256, Digest, KeyTable};
 use peats_codec::{Decode, DecodeError, Encode, Reader};
 use peats_policy::OpCall;
-use peats_tuplespace::{SpaceSnapshot, Tuple};
+use peats_tuplespace::{SpaceSnapshot, Template, Tuple};
 
 /// Replica index (`0..n_replicas`).
 pub type ReplicaId = u32;
@@ -40,6 +40,11 @@ pub enum OpResult {
     Denied(String),
     /// `count` result: number of stored matches.
     Count(u64),
+    /// A [`RequestOp::Register`] found no match and parked the template:
+    /// the final result arrives later as a [`Message::Wake`] (and
+    /// overwrites this entry in the replicas' reply caches, so a
+    /// retransmission of the `Register` replays the woken result).
+    Registered,
 }
 
 impl OpResult {
@@ -73,6 +78,7 @@ impl Encode for OpResult {
                 buf.push(4);
                 n.encode(buf);
             }
+            OpResult::Registered => buf.push(5),
         }
     }
 }
@@ -88,10 +94,121 @@ impl Decode for OpResult {
             },
             3 => OpResult::Denied(String::decode(r)?),
             4 => OpResult::Count(u64::decode(r)?),
+            5 => OpResult::Registered,
             tag => {
                 return Err(DecodeError::BadTag {
                     tag,
                     ty: "OpResult",
+                })
+            }
+        })
+    }
+}
+
+/// What a blocked waiter is waiting for: a read of a matching tuple
+/// (`rd` — the tuple stays in the space, every matching waiter is served)
+/// or its removal (`in` — exactly one waiter consumes it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Blocking read: wake with a copy, leave the tuple in the space.
+    Rd,
+    /// Blocking take: wake with the tuple, which never enters the space.
+    Take,
+}
+
+impl Encode for WaitKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            WaitKind::Rd => 0,
+            WaitKind::Take => 1,
+        });
+    }
+}
+
+impl Decode for WaitKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => WaitKind::Rd,
+            1 => WaitKind::Take,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag,
+                    ty: "WaitKind",
+                })
+            }
+        })
+    }
+}
+
+/// The payload of an ordered client request: either a direct PEATS call
+/// or a blocking-wait registration management operation. `Register` and
+/// `Cancel` ride the same batch/ordering pipeline as calls, so the
+/// registration table is deterministic replicated state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestOp {
+    /// A PEATS operation executed immediately against the space.
+    Call(OpCall<'static>),
+    /// Park `template` server-side: replicas wake the client with an
+    /// unsolicited [`Message::Wake`] when a matching `out` commits.
+    Register {
+        /// The template waited on.
+        template: Template,
+        /// Read (all matching waiters served) or take (one winner).
+        kind: WaitKind,
+        /// `false`: one-shot — removed at the first match. `true`:
+        /// re-armed after every match (channel pub/sub); such
+        /// registrations never match existing tuples, only future `out`s.
+        persistent: bool,
+    },
+    /// Remove the registration installed by this client's request
+    /// `target`. A no-op when it already fired or never existed.
+    Cancel {
+        /// The `req_id` of the `Register` being cancelled.
+        target: u64,
+    },
+}
+
+impl Encode for RequestOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RequestOp::Call(op) => {
+                buf.push(0);
+                op.encode(buf);
+            }
+            RequestOp::Register {
+                template,
+                kind,
+                persistent,
+            } => {
+                buf.push(1);
+                template.encode(buf);
+                kind.encode(buf);
+                persistent.encode(buf);
+            }
+            RequestOp::Cancel { target } => {
+                buf.push(2);
+                target.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for RequestOp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => RequestOp::Call(OpCall::decode(r)?),
+            1 => RequestOp::Register {
+                template: Template::decode(r)?,
+                kind: WaitKind::decode(r)?,
+                persistent: bool::decode(r)?,
+            },
+            2 => RequestOp::Cancel {
+                target: u64::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag,
+                    ty: "RequestOp",
                 })
             }
         })
@@ -106,10 +223,19 @@ pub struct Request {
     /// Client-local request number (dedup + reply matching).
     pub req_id: u64,
     /// The operation (owned: messages outlive their sender's borrows).
-    pub op: OpCall<'static>,
+    pub op: RequestOp,
 }
 
 impl Request {
+    /// A direct-call request (the common case).
+    pub fn call(client: ClientPid, req_id: u64, op: OpCall<'static>) -> Request {
+        Request {
+            client,
+            req_id,
+            op: RequestOp::Call(op),
+        }
+    }
+
     /// Digest binding all request fields (used by prepare/commit votes).
     pub fn digest(&self) -> Digest {
         sha256(&self.to_bytes())
@@ -140,10 +266,53 @@ impl Decode for Request {
         Ok(Request {
             client: u64::decode(r)?,
             req_id: u64::decode(r)?,
-            op: OpCall::decode(r)?,
+            op: RequestOp::decode(r)?,
         })
     }
 }
+
+/// One parked blocking-wait registration, as stored by the service's
+/// registration table and carried by snapshots. The table key (a
+/// deterministic arrival counter) rides separately so match order — and
+/// therefore which `take` waiter wins — is identical at every replica.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Registration {
+    /// The waiting client's logical pid.
+    pub client: ClientPid,
+    /// The `Register` request that installed this entry; wakes echo it.
+    pub req_id: u64,
+    /// The template waited on.
+    pub template: Template,
+    /// Read or take.
+    pub kind: WaitKind,
+    /// Re-arm after each match instead of firing once.
+    pub persistent: bool,
+}
+
+impl Encode for Registration {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.client.encode(buf);
+        self.req_id.encode(buf);
+        self.template.encode(buf);
+        self.kind.encode(buf);
+        self.persistent.encode(buf);
+    }
+}
+
+impl Decode for Registration {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Registration {
+            client: u64::decode(r)?,
+            req_id: u64::decode(r)?,
+            template: Template::decode(r)?,
+            kind: WaitKind::decode(r)?,
+            persistent: bool::decode(r)?,
+        })
+    }
+}
+
+/// The registration-table rows of a snapshot: `(table_key, registration)`.
+pub type RegistrationRows = Vec<(u64, Registration)>;
 
 /// Retained execution results per client, as carried by a snapshot:
 /// `(pid, [(req_id, seq, result)])` rows of each client's dedup window.
@@ -168,6 +337,12 @@ pub struct ReplicaSnapshot {
     /// restored replica would re-execute retransmissions of
     /// already-answered requests.
     pub replies: ReplyRows,
+    /// Parked blocking-wait registrations: the restored replica resumes
+    /// serving waiters it never saw register.
+    pub registrations: RegistrationRows,
+    /// The service's next registration-table key (monotone; part of the
+    /// state digest, so it must restore exactly).
+    pub next_reg: u64,
 }
 
 impl Encode for ReplicaSnapshot {
@@ -188,6 +363,12 @@ impl Encode for ReplicaSnapshot {
                 result.encode(buf);
             }
         }
+        (self.registrations.len() as u32).encode(buf);
+        for (key, reg) in &self.registrations {
+            key.encode(buf);
+            reg.encode(buf);
+        }
+        self.next_reg.encode(buf);
     }
 }
 
@@ -219,10 +400,21 @@ impl Decode for ReplicaSnapshot {
             }
             replies.push((client, per));
         }
+        let n = u32::decode(r)? as usize;
+        if n > r.remaining() + 1 {
+            return Err(DecodeError::LengthOverflow);
+        }
+        let mut registrations = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            registrations.push((u64::decode(r)?, Registration::decode(r)?));
+        }
+        let next_reg = u64::decode(r)?;
         Ok(ReplicaSnapshot {
             space,
             client_registry,
             replies,
+            registrations,
+            next_reg,
         })
     }
 }
@@ -383,6 +575,24 @@ pub enum Message {
         /// The replying replica.
         replica: ReplicaId,
     },
+    /// Replica → client, unsolicited: a parked registration matched a
+    /// committed `out`. The client completes the blocked invoke once
+    /// `f+1` replicas agree on `(seq, result)` for the registration's
+    /// `req_id` — the same vote it runs over ordered `Reply`s, so a
+    /// Byzantine replica cannot wake a waiter alone. Lost wakes are
+    /// healed by retransmitting the original `Register`: replicas
+    /// overwrite its cached reply with the woken result at match time.
+    Wake {
+        /// The `req_id` of the `Register` that parked the waiter.
+        req_id: u64,
+        /// The slot at which the matching `out` executed (identical at
+        /// every correct replica — the quorum matching key).
+        seq: Seq,
+        /// The woken result (the matched tuple, for `rd`/`take`).
+        result: OpResult,
+        /// The waking replica.
+        replica: ReplicaId,
+    },
 }
 
 impl Encode for Message {
@@ -522,6 +732,18 @@ impl Encode for Message {
                 result.encode(buf);
                 replica.encode(buf);
             }
+            Message::Wake {
+                req_id,
+                seq,
+                result,
+                replica,
+            } => {
+                buf.push(12);
+                req_id.encode(buf);
+                seq.encode(buf);
+                result.encode(buf);
+                replica.encode(buf);
+            }
         }
     }
 }
@@ -641,6 +863,12 @@ impl Decode for Message {
                 result: OpResult::decode(r)?,
                 replica: u32::decode(r)?,
             },
+            12 => Message::Wake {
+                req_id: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                result: OpResult::decode(r)?,
+                replica: u32::decode(r)?,
+            },
             tag => return Err(DecodeError::BadTag { tag, ty: "Message" }),
         })
     }
@@ -709,18 +937,30 @@ mod tests {
     use peats_tuplespace::{template, tuple};
 
     fn sample_request() -> Request {
-        Request {
-            client: 9,
-            req_id: 3,
-            op: OpCall::cas(template!["D", ?x], tuple!["D", 1]),
-        }
+        Request::call(9, 3, OpCall::cas(template!["D", ?x], tuple!["D", 1]))
     }
 
     fn second_request() -> Request {
+        Request::call(9, 4, OpCall::out(tuple!["E", 2]))
+    }
+
+    fn register_request() -> Request {
         Request {
             client: 9,
-            req_id: 4,
-            op: OpCall::out(tuple!["E", 2]),
+            req_id: 5,
+            op: RequestOp::Register {
+                template: template!["D", ?x],
+                kind: WaitKind::Take,
+                persistent: false,
+            },
+        }
+    }
+
+    fn cancel_request() -> Request {
+        Request {
+            client: 9,
+            req_id: 6,
+            op: RequestOp::Cancel { target: 5 },
         }
     }
 
@@ -728,10 +968,12 @@ mod tests {
     fn message_roundtrips() {
         let msgs = vec![
             Message::Request(sample_request()),
+            Message::Request(register_request()),
+            Message::Request(cancel_request()),
             Message::PrePrepare {
                 view: 1,
                 seq: 7,
-                requests: vec![sample_request(), second_request()],
+                requests: vec![sample_request(), second_request(), register_request()],
             },
             Message::Prepare {
                 view: 1,
@@ -795,8 +1037,19 @@ mod tests {
                     client_registry: vec![(4, 100), (5, 101)],
                     replies: vec![(
                         100,
-                        vec![(1, 1, OpResult::Done), (2, 3, OpResult::Tuple(None))],
+                        vec![(1, 1, OpResult::Done), (2, 3, OpResult::Registered)],
                     )],
+                    registrations: vec![(
+                        2,
+                        Registration {
+                            client: 100,
+                            req_id: 2,
+                            template: template!["D", ?x],
+                            kind: WaitKind::Rd,
+                            persistent: true,
+                        },
+                    )],
+                    next_reg: 3,
                 },
                 replica: 3,
             },
@@ -825,6 +1078,12 @@ mod tests {
                 digest: OpResult::Count(3).digest(),
                 result: OpResult::Count(3),
                 replica: 0,
+            },
+            Message::Wake {
+                req_id: 5,
+                seq: 9,
+                result: OpResult::Tuple(Some(tuple!["D", 1])),
+                replica: 2,
             },
         ];
         for m in msgs {

@@ -43,7 +43,8 @@
 
 use crate::faults::FaultMode;
 use crate::messages::{
-    batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, ReplyRows, Request, Seq, View,
+    batch_digest, Message, OpResult, RegistrationRows, ReplicaId, ReplicaSnapshot, ReplyRows,
+    Request, RequestOp, Seq, View,
 };
 use crate::service::PeatsService;
 use peats_auth::{sha256, Digest};
@@ -90,6 +91,8 @@ pub struct ReplicaFootprint {
     pub pending_snapshots: usize,
     /// Largest per-client retained-reply map.
     pub max_replies_per_client: usize,
+    /// Parked blocking-wait registrations in the service table.
+    pub registrations: usize,
 }
 
 /// Destination of an output message.
@@ -342,6 +345,7 @@ impl Replica {
                 .map(|per| per.len())
                 .max()
                 .unwrap_or(0),
+            registrations: self.service.registrations_len(),
         }
     }
 
@@ -439,7 +443,7 @@ impl Replica {
                 op,
                 watermark: _,
             } => self.on_read_request(from, client, req_id, &op, &mut out),
-            Message::Reply { .. } | Message::ReadReply { .. } => {} // replicas ignore replies
+            Message::Reply { .. } | Message::ReadReply { .. } | Message::Wake { .. } => {} // replicas ignore replies
         }
         if matches!(self.fault, FaultMode::Mute) {
             return Vec::new();
@@ -497,6 +501,14 @@ impl Replica {
         while per.len() > retention {
             per.pop_first();
         }
+    }
+
+    /// The transport node bound to logical pid `client`, if registered.
+    fn client_node_of(&self, client: u64) -> Option<u64> {
+        self.client_registry
+            .iter()
+            .find(|(_, pid)| **pid == client)
+            .map(|(node, _)| *node)
     }
 
     /// Assigned-but-unexecuted slots (execution is contiguous, so these are
@@ -833,17 +845,21 @@ impl Replica {
                 if self.executed_already(&req) {
                     continue;
                 }
-                let result = self.service.execute(req.client, &req.op);
+                let result = match &req.op {
+                    RequestOp::Call(op) => self.service.execute(req.client, op),
+                    RequestOp::Register {
+                        template,
+                        kind,
+                        persistent,
+                    } => {
+                        self.service
+                            .register(req.client, req.req_id, template, *kind, *persistent)
+                    }
+                    RequestOp::Cancel { target } => self.service.cancel(req.client, *target),
+                };
                 self.record_reply(req.client, req.req_id, next, result.clone());
                 self.pending.retain(|r| *r != req);
-                // Find the client's transport node from the registry
-                // binding.
-                let client_node = self
-                    .client_registry
-                    .iter()
-                    .find(|(_, pid)| **pid == req.client)
-                    .map(|(node, _)| *node);
-                if let Some(node) = client_node {
+                if let Some(node) = self.client_node_of(req.client) {
                     out.push((
                         Dest::Client(node),
                         Message::Reply {
@@ -854,6 +870,25 @@ impl Replica {
                             result,
                         },
                     ));
+                }
+                // Serve wakes fired by this request (an `out`/`cas` that
+                // matched parked waiters): the woken result overwrites
+                // each waiter's cached `Registered` reply at this slot —
+                // so a lost Wake is healed by retransmitting the original
+                // Register — and an unsolicited Wake pushes it now.
+                for wake in self.service.take_wakes() {
+                    self.record_reply(wake.client, wake.req_id, next, wake.result.clone());
+                    if let Some(node) = self.client_node_of(wake.client) {
+                        out.push((
+                            Dest::Client(node),
+                            Message::Wake {
+                                req_id: wake.req_id,
+                                seq: next,
+                                result: wake.result,
+                                replica: self.cfg.id,
+                            },
+                        ));
+                    }
                 }
             }
             // Checkpoint boundary: attest the post-execution state and try
@@ -884,9 +919,10 @@ impl Replica {
     }
 
     /// Digest over a (service digest, registry, replies) triple. Reuses the
-    /// [`ReplicaSnapshot`] wire encoding (with an empty space — the space
-    /// is pinned by `service_digest`, which also covers the seq counter and
-    /// rng word raw entries would miss) so the attested digest and the
+    /// [`ReplicaSnapshot`] wire encoding (with an empty space and empty
+    /// registration rows — both are pinned by `service_digest`, which also
+    /// covers the seq counter, rng word, and registration arrival counter
+    /// raw entries would miss) so the attested digest and the
     /// restored-snapshot digest are byte-for-byte the same computation.
     fn checkpoint_digest_over(
         service_digest: Digest,
@@ -897,6 +933,8 @@ impl Replica {
             space: Default::default(),
             client_registry,
             replies,
+            registrations: RegistrationRows::new(),
+            next_reg: 0,
         };
         let mut buf = service_digest.to_vec();
         meta.encode(&mut buf);
@@ -930,6 +968,8 @@ impl Replica {
             space: self.service.snapshot(),
             client_registry: self.registry_rows(),
             replies: self.reply_rows(),
+            registrations: self.service.registration_rows(),
+            next_reg: self.service.next_reg(),
         }
     }
 
@@ -1206,6 +1246,10 @@ impl Replica {
             let snapshot = &self.pending_snapshots[&sender].2;
             let mut restored = self.service.clone();
             restored.restore(&snapshot.space);
+            // Registrations restore before the digest recompute: the
+            // service digest covers the table, so a lying row set (or a
+            // forged arrival counter) fails verification right here.
+            restored.restore_registrations(&snapshot.registrations, snapshot.next_reg);
             let recomputed = Self::checkpoint_digest_over(
                 restored.state_digest(),
                 snapshot.client_registry.clone(),
@@ -1701,32 +1745,45 @@ impl Replica {
             FaultMode::Crashed | FaultMode::Mute => Vec::new(),
             FaultMode::CorruptReplies => out
                 .into_iter()
-                .map(|(dest, msg)| match msg {
+                .flat_map(|(dest, msg)| match msg {
                     // Forge the result AND inflate the claimed seq: a
                     // Byzantine replica lying about its execution point must
                     // neither win a vote nor drag correct clients' read
                     // watermarks to u64::MAX (which would force every future
-                    // fast read into the ordered fallback).
+                    // fast read into the ordered fallback). Each reply also
+                    // grows a spurious forged Wake — an attempt to complete
+                    // a blocked invoke that never matched.
                     Message::Reply {
                         view,
                         req_id,
                         replica,
                         ..
-                    } => (
-                        dest,
-                        Message::Reply {
-                            view,
-                            seq: u64::MAX,
-                            req_id,
-                            replica,
-                            result: OpResult::Denied("corrupted".into()),
-                        },
-                    ),
+                    } => vec![
+                        (
+                            dest,
+                            Message::Reply {
+                                view,
+                                seq: u64::MAX,
+                                req_id,
+                                replica,
+                                result: OpResult::Denied("corrupted".into()),
+                            },
+                        ),
+                        (
+                            dest,
+                            Message::Wake {
+                                req_id,
+                                seq: u64::MAX,
+                                result: OpResult::Tuple(None),
+                                replica,
+                            },
+                        ),
+                    ],
                     Message::ReadReply {
                         req_id, replica, ..
                     } => {
                         let result = OpResult::Denied("corrupted".into());
-                        (
+                        vec![(
                             dest,
                             Message::ReadReply {
                                 req_id,
@@ -1735,9 +1792,22 @@ impl Replica {
                                 result,
                                 replica,
                             },
-                        )
+                        )]
                     }
-                    other => (dest, other),
+                    // A genuine wake turns into a lie about both the match
+                    // seq and the tuple.
+                    Message::Wake {
+                        req_id, replica, ..
+                    } => vec![(
+                        dest,
+                        Message::Wake {
+                            req_id,
+                            seq: u64::MAX,
+                            result: OpResult::Denied("corrupted".into()),
+                            replica,
+                        },
+                    )],
+                    other => vec![(dest, other)],
                 })
                 .collect(),
             FaultMode::EquivocatingPrimary => out
@@ -1816,6 +1886,7 @@ impl std::fmt::Debug for Replica {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::messages::WaitKind;
     use crate::service::PeatsService;
     use peats_policy::{OpCall, Policy, PolicyParams};
     use peats_tuplespace::tuple;
@@ -1842,11 +1913,7 @@ mod tests {
     }
 
     fn req(i: u64) -> Request {
-        Request {
-            client: CLIENT_PID,
-            req_id: i,
-            op: OpCall::out(tuple!["T", i as i64]),
-        }
+        Request::call(CLIENT_PID, i, OpCall::out(tuple!["T", i as i64]))
     }
 
     fn pre_prepares(out: &[(Dest, Message)]) -> Vec<(Seq, Vec<Request>)> {
@@ -1977,6 +2044,116 @@ mod tests {
         assert_eq!(pre_prepares(&out), vec![(2, vec![req(1)])]);
         let out = commit_slot(&mut p, 2, &[req(1)]);
         assert_eq!(reply_ids(&out), vec![1]);
+    }
+
+    fn register_req(i: u64) -> Request {
+        Request {
+            client: CLIENT_PID,
+            req_id: i,
+            op: RequestOp::Register {
+                template: peats_tuplespace::template!["T", ?x],
+                kind: WaitKind::Take,
+                persistent: false,
+            },
+        }
+    }
+
+    fn wakes(out: &[(Dest, Message)]) -> Vec<(u64, Seq, OpResult)> {
+        out.iter()
+            .filter_map(|(dest, m)| match m {
+                Message::Wake {
+                    req_id,
+                    seq,
+                    result,
+                    ..
+                } => {
+                    assert_eq!(*dest, Dest::Client(CLIENT_NODE), "wakes go to the waiter");
+                    Some((*req_id, *seq, result.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn committed_out_pushes_a_wake_and_prunes_the_registration() {
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(register_req(1)));
+        let out = commit_slot(&mut p, 1, &[register_req(1)]);
+        assert_eq!(reply_ids(&out), vec![1], "the park itself is acknowledged");
+        assert_eq!(p.footprint().registrations, 1);
+
+        p.on_message(CLIENT_NODE, Message::Request(req(2)));
+        let out = commit_slot(&mut p, 2, &[req(2)]);
+        // The out's commit pushes the wake — same slot, the matched tuple —
+        // and the one-shot registration is gone.
+        assert_eq!(
+            wakes(&out),
+            vec![(1, 2, OpResult::Tuple(Some(tuple!["T", 2i64])))]
+        );
+        assert_eq!(p.footprint().registrations, 0);
+        // The take consumed the tuple before it ever entered the space.
+        assert_eq!(
+            p.service.execute(
+                CLIENT_PID,
+                &OpCall::rdp(peats_tuplespace::template!["T", ?x])
+            ),
+            OpResult::Tuple(None)
+        );
+    }
+
+    #[test]
+    fn register_retransmission_replays_the_woken_result() {
+        // The wake overwrites the Register's cached reply at match time, so
+        // a client that lost the Wake message recovers it with a standard
+        // retransmission — liveness never depends on the push arriving.
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(register_req(1)));
+        commit_slot(&mut p, 1, &[register_req(1)]);
+        p.on_message(CLIENT_NODE, Message::Request(req(2)));
+        commit_slot(&mut p, 2, &[req(2)]);
+        let out = p.on_message(CLIENT_NODE, Message::Request(register_req(1)));
+        let replayed: Vec<_> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Reply { seq, result, .. } => Some((*seq, result.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            replayed,
+            vec![(2, OpResult::Tuple(Some(tuple!["T", 2i64])))],
+            "the cache must hold the match, not the stale Registered ack"
+        );
+        assert_eq!(p.last_exec(), 2, "no re-execution");
+    }
+
+    #[test]
+    fn committed_cancel_prunes_the_registration() {
+        let mut p = mk_primary(8, 1);
+        p.on_message(CLIENT_NODE, Message::Request(register_req(1)));
+        commit_slot(&mut p, 1, &[register_req(1)]);
+        assert_eq!(p.footprint().registrations, 1);
+        let cancel = Request {
+            client: CLIENT_PID,
+            req_id: 2,
+            op: RequestOp::Cancel { target: 1 },
+        };
+        p.on_message(CLIENT_NODE, Message::Request(cancel.clone()));
+        let out = commit_slot(&mut p, 2, &[cancel]);
+        assert_eq!(reply_ids(&out), vec![2]);
+        assert_eq!(p.footprint().registrations, 0, "cancelled waiter pruned");
+        // A later matching out wakes nobody and lands in the space.
+        p.on_message(CLIENT_NODE, Message::Request(req(3)));
+        let out = commit_slot(&mut p, 3, &[req(3)]);
+        assert!(wakes(&out).is_empty(), "no ghost waiter");
+        assert_eq!(
+            p.service.execute(
+                CLIENT_PID,
+                &OpCall::rdp(peats_tuplespace::template!["T", ?x])
+            ),
+            OpResult::Tuple(Some(tuple!["T", 3i64]))
+        );
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! overall deadline, so reply latency is set by the cluster, not by a poll
 //! tick.
 
-use crate::client::{ClientSession, ReadPoll, ReadSession};
-use crate::messages::{Message, OpResult, ReplicaId, Sealed, Seq};
+use crate::client::{
+    BlockingPoll, BlockingSession, ClientSession, ReadPoll, ReadSession, WakeStreamSession,
+};
+use crate::messages::{Message, OpResult, ReplicaId, RequestOp, Sealed, Seq, WaitKind};
 use crate::replica::{Dest, Replica};
 use peats::{CasOutcome, SpaceError, SpaceResult, TupleSpace};
 use peats_auth::Digest;
@@ -24,7 +26,7 @@ use peats_codec::{Decode, Encode};
 use peats_netsim::{Mailbox, NodeId, ThreadNet, Transport};
 use peats_policy::OpCall;
 use peats_tuplespace::{Template, Tuple};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -37,14 +39,11 @@ pub struct ClientConfig {
     /// banks a burst of back-to-back rebroadcasts.
     pub retry_interval: Duration,
     /// Give up on an invocation (`SpaceError::Unavailable`) after this
-    /// long.
+    /// long. Also the end-to-end deadline of a blocked `rd`/`take`: past
+    /// it the registration is cancelled with an ordered `Cancel` and the
+    /// invoke reports `Unavailable` (unless the cancel lost the race to a
+    /// committed match, in which case the tuple is returned).
     pub invoke_timeout: Duration,
-    /// Initial delay between the polling rounds of a blocked `rd`/`take`.
-    pub blocking_poll: Duration,
-    /// Ceiling for the poll delay. Every poll is a full consensus round
-    /// across the cluster, so a blocked read backs off exponentially up to
-    /// this cap instead of hammering the replicas at a fixed tick.
-    pub blocking_poll_cap: Duration,
     /// Request ids start above this value. Replicas dedup requests by
     /// `(pid, req_id)` and re-reply the cached result on a repeat, so a
     /// *short-lived* client process re-using a long-lived pid (the `peats`
@@ -73,8 +72,6 @@ impl Default for ClientConfig {
         ClientConfig {
             retry_interval: Duration::from_millis(500),
             invoke_timeout: Duration::from_secs(10),
-            blocking_poll: Duration::from_millis(2),
-            blocking_poll_cap: Duration::from_millis(128),
             first_request_id: 0,
             fast_reads: true,
             read_timeout: Duration::from_millis(500),
@@ -209,49 +206,6 @@ impl ReplyEnvelope {
     }
 }
 
-/// Condvar-backed generation counter bumped by the router whenever it
-/// observes an ordered reply that indicates the space changed. Blocked
-/// `rd`/`take` polls wait on it: any mutation observed by this handle's
-/// clones wakes them early and resets their exponential backoff, so a
-/// consumer blocked behind a producer on the *same* handle reacts at
-/// reply latency instead of a backed-off poll tick.
-#[derive(Default)]
-struct MutationSignal {
-    generation: parking_lot::Mutex<u64>,
-    cond: parking_lot::Condvar,
-}
-
-impl MutationSignal {
-    fn generation(&self) -> u64 {
-        *self.generation.lock()
-    }
-
-    fn bump(&self) {
-        *self.generation.lock() += 1;
-        self.cond.notify_all();
-    }
-
-    /// Waits until the generation moves past `seen` or `timeout` elapses;
-    /// returns the generation observed on wake.
-    fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
-        let mut generation = self.generation.lock();
-        if *generation == seen {
-            self.cond.wait_for(&mut generation, timeout);
-        }
-        *generation
-    }
-}
-
-/// `true` when an ordered reply's result implies the tuple space mutated
-/// (an insert succeeded or a removal returned a tuple) — the signal to
-/// re-probe blocked reads immediately.
-fn indicates_mutation(result: &OpResult) -> bool {
-    matches!(
-        result,
-        OpResult::Done | OpResult::Cas { inserted: true, .. } | OpResult::Tuple(Some(_))
-    )
-}
-
 /// Routes each incoming `Reply` to the in-flight invocation (by `req_id`)
 /// it answers. Shared by all clones of one client handle; the router
 /// thread owns the node's mailbox, so an invocation never holds it — and
@@ -311,12 +265,7 @@ impl Drop for SessionGuard<'_> {
     }
 }
 
-fn client_router<M: Mailbox>(
-    mailbox: M,
-    keys: KeyTable,
-    demux: Arc<ReplyDemux>,
-    mutations: Arc<MutationSignal>,
-) {
+fn client_router<M: Mailbox>(mailbox: M, keys: KeyTable, demux: Arc<ReplyDemux>) {
     while let Some((_, payload)) = mailbox.recv() {
         let Ok(sealed) = Sealed::from_bytes(&payload) else {
             continue;
@@ -325,16 +274,23 @@ fn client_router<M: Mailbox>(
             continue;
         };
         match msg {
+            // A replica-pushed wake carries the same fields as an ordered
+            // reply and answers the same blocked registration, so both
+            // funnel into the one `Ordered` envelope; the session layer's
+            // per-replica voting treats them identically.
             Message::Reply {
                 req_id,
                 seq,
                 replica,
                 result,
                 ..
+            }
+            | Message::Wake {
+                req_id,
+                seq,
+                result,
+                replica,
             } => {
-                if indicates_mutation(&result) {
-                    mutations.bump();
-                }
                 demux.route(ReplyEnvelope::Ordered {
                     replica,
                     req_id,
@@ -403,7 +359,6 @@ pub struct ReplicatedPeats<T: Transport = ThreadNet> {
     /// seqs advance it, so a Byzantine replica claiming `seq = u64::MAX`
     /// cannot wedge the handle into permanent ordered fallback.
     watermark: Arc<AtomicU64>,
-    mutations: Arc<MutationSignal>,
     /// Start of the preferred `f+1` probe window for fast reads. Rotated
     /// whenever a probe fails to decide, so a crashed, slow, or Byzantine
     /// replica only taxes the first read that probes it.
@@ -426,14 +381,12 @@ impl<T: Transport> ReplicatedPeats<T> {
     ) -> Self {
         let node = mailbox.id();
         let demux = Arc::new(ReplyDemux::default());
-        let mutations = Arc::new(MutationSignal::default());
         {
             let keys = keys.clone();
             let demux = Arc::clone(&demux);
-            let mutations = Arc::clone(&mutations);
             // The router exits (and closes the demux) when the mailbox
             // disconnects — i.e. when the transport shuts down.
-            std::thread::spawn(move || client_router(mailbox, keys, demux, mutations));
+            std::thread::spawn(move || client_router(mailbox, keys, demux));
         }
         ReplicatedPeats {
             net,
@@ -447,19 +400,22 @@ impl<T: Transport> ReplicatedPeats<T> {
             cfg,
             stats: Arc::new(ClientStats::default()),
             watermark: Arc::new(AtomicU64::new(0)),
-            mutations,
             probe_offset: Arc::new(AtomicU64::new(0)),
         }
     }
 
     fn invoke(&self, op: OpCall<'static>) -> SpaceResult<OpResult> {
+        self.invoke_op(RequestOp::Call(op))
+    }
+
+    fn invoke_op(&self, op: RequestOp) -> SpaceResult<OpResult> {
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
         let rx = self.demux.register(req_id);
         let _session_guard = SessionGuard {
             demux: &self.demux,
             req_id,
         };
-        let mut session = ClientSession::new(self.pid, req_id, op, self.f);
+        let mut session = ClientSession::new_op(self.pid, req_id, op, self.f);
         let broadcast = |session: &ClientSession| {
             for r in 0..self.n_replicas as NodeId {
                 let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
@@ -629,30 +585,229 @@ impl<T: Transport> ReplicatedPeats<T> {
         }
     }
 
-    /// Repeats the nonblocking `probe` until it yields a tuple, sleeping
-    /// with capped exponential backoff between rounds. Bounds the consensus
-    /// work a blocked read generates: a read blocked for `T` issues
-    /// `O(log(cap) + T/cap)` rounds instead of `T/tick`.
-    fn poll_blocking(
-        &self,
-        mut probe: impl FnMut() -> SpaceResult<Option<Tuple>>,
-    ) -> SpaceResult<Tuple> {
-        let mut delay = self.cfg.blocking_poll;
-        loop {
-            // Snapshot the mutation generation *before* probing: a
-            // mutation landing between the probe and the wait must wake
-            // us, not slip into the backoff window.
-            let generation = self.mutations.generation();
-            if let Some(t) = probe()? {
-                return Ok(t);
+    /// Blocking `rd`/`take`: one ordered `Register` parks a template at
+    /// every replica, then the invocation *waits* — replicas push a `Wake`
+    /// when a committed `out` matches, so a blocked read costs exactly one
+    /// consensus round (plus one for the wake-carrying `out` it shares)
+    /// instead of a consensus round per poll tick.
+    ///
+    /// Past `invoke_timeout` the registration is detached with an ordered
+    /// `Cancel`; the cancel and a concurrent match race *in the total
+    /// order*, so one final `Register` retransmit reads the authoritative
+    /// outcome from the replicas' reply caches: a cached tuple means the
+    /// match committed first (the tuple is ours — returning `Unavailable`
+    /// would leak it), a cached `Registered` means the cancel won.
+    fn invoke_blocking(&self, template: &Template, kind: WaitKind) -> SpaceResult<Tuple> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let rx = self.demux.register(req_id);
+        let _session_guard = SessionGuard {
+            demux: &self.demux,
+            req_id,
+        };
+        let mut session =
+            BlockingSession::new(self.pid, req_id, template.clone(), kind, false, self.f);
+        let broadcast = |session: &BlockingSession| {
+            for r in 0..self.n_replicas as NodeId {
+                let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
+                self.net.send(self.node, r, sealed.to_bytes());
             }
-            // Back off — but any space-mutation reply observed by this
-            // handle's router wakes the wait early and resets the delay:
-            // the tuple we are blocked on may just have been written.
-            if self.mutations.wait_past(generation, delay) != generation {
-                delay = self.cfg.blocking_poll;
-            } else {
-                delay = (delay * 2).min(self.cfg.blocking_poll_cap);
+        };
+        broadcast(&session);
+        let depth = self.stats.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.max_in_flight.fetch_max(depth, Ordering::Relaxed);
+        let result = (|| {
+            let deadline = Instant::now() + self.cfg.invoke_timeout;
+            let mut next_retry = Instant::now() + self.cfg.retry_interval;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                if now >= next_retry && session.parked_at().is_none() {
+                    // Only the un-acknowledged phase retransmits: once f+1
+                    // replicas confirmed the park, the next message we are
+                    // owed is a pushed wake, not a reply.
+                    broadcast(&session);
+                    self.stats.rebroadcasts.fetch_add(1, Ordering::Relaxed);
+                    next_retry = Instant::now() + self.cfg.retry_interval;
+                }
+                let wait = next_retry
+                    .min(deadline)
+                    .saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(ReplyEnvelope::Ordered {
+                        replica,
+                        req_id: rid,
+                        seq,
+                        result,
+                    }) => match session.on_reply(replica, rid, seq, result) {
+                        BlockingPoll::Decided(seq, result) => {
+                            self.watermark.fetch_max(seq, Ordering::Relaxed);
+                            return self.finish_blocking(result);
+                        }
+                        BlockingPoll::Parked(seq) => {
+                            // The registration itself committed at `seq`;
+                            // read-your-writes covers it like any write.
+                            self.watermark.fetch_max(seq, Ordering::Relaxed);
+                        }
+                        BlockingPoll::Pending => {}
+                    },
+                    Ok(ReplyEnvelope::Fast { .. }) => {}
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(SpaceError::Unavailable("cluster shut down".into()));
+                    }
+                }
+            }
+            // Deadline passed while parked (or never acknowledged). Detach
+            // the registration in the total order, then settle the race.
+            self.invoke_op(RequestOp::Cancel { target: req_id })?;
+            broadcast(&session);
+            let settle = Instant::now() + self.cfg.retry_interval;
+            loop {
+                let wait = settle.saturating_duration_since(Instant::now());
+                if wait.is_zero() {
+                    return Err(SpaceError::Unavailable(
+                        "blocked operation timed out and was cancelled".into(),
+                    ));
+                }
+                match rx.recv_timeout(wait) {
+                    Ok(ReplyEnvelope::Ordered {
+                        replica,
+                        req_id: rid,
+                        seq,
+                        result,
+                    }) => match session.on_reply(replica, rid, seq, result) {
+                        BlockingPoll::Decided(seq, result) => {
+                            self.watermark.fetch_max(seq, Ordering::Relaxed);
+                            return self.finish_blocking(result);
+                        }
+                        // Still `Registered` in the caches: the cancel won.
+                        BlockingPoll::Parked(_) => {
+                            return Err(SpaceError::Unavailable(
+                                "blocked operation timed out and was cancelled".into(),
+                            ));
+                        }
+                        BlockingPoll::Pending => {}
+                    },
+                    Ok(ReplyEnvelope::Fast { .. }) => {}
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(SpaceError::Unavailable("cluster shut down".into()));
+                    }
+                }
+            }
+        })();
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn finish_blocking(&self, result: OpResult) -> SpaceResult<Tuple> {
+        match result {
+            OpResult::Tuple(Some(t)) => Ok(t),
+            OpResult::Denied(d) => Err(denied(d)),
+            other => Err(SpaceError::Unavailable(format!(
+                "unexpected result {other:?}"
+            ))),
+        }
+    }
+
+    /// Parks a *persistent* registration for `template`: every future
+    /// committed `out` that matches is pushed to the returned
+    /// [`Subscription`] as a certified event, in commit order, without any
+    /// client polling. The live tail starts at the registration's commit
+    /// slot — tuples already in the space are not replayed (pair with
+    /// [`rdp`](TupleSpace::rdp) for a snapshot-then-follow pattern).
+    pub fn subscribe(&self, template: &Template) -> SpaceResult<Subscription<T>> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let rx = self.demux.register(req_id);
+        let mut park = BlockingSession::new(
+            self.pid,
+            req_id,
+            template.clone(),
+            WaitKind::Rd,
+            true,
+            self.f,
+        );
+        let mut stream = WakeStreamSession::new(req_id, self.f, self.n_replicas);
+        let mut pending = VecDeque::new();
+        let broadcast = |session: &BlockingSession| {
+            for r in 0..self.n_replicas as NodeId {
+                let sealed = Sealed::seal(&self.keys, u64::from(r), &session.request_message());
+                self.net.send(self.node, r, sealed.to_bytes());
+            }
+        };
+        broadcast(&park);
+        let deadline = Instant::now() + self.cfg.invoke_timeout;
+        let mut next_retry = Instant::now() + self.cfg.retry_interval;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.demux.deregister(req_id);
+                return Err(SpaceError::Unavailable(
+                    "no f+1 registration acks before timeout".into(),
+                ));
+            }
+            if now >= next_retry {
+                broadcast(&park);
+                self.stats.rebroadcasts.fetch_add(1, Ordering::Relaxed);
+                next_retry = Instant::now() + self.cfg.retry_interval;
+            }
+            let wait = next_retry
+                .min(deadline)
+                .saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
+                Ok(ReplyEnvelope::Ordered {
+                    replica,
+                    req_id: rid,
+                    seq,
+                    result,
+                }) => {
+                    // Wakes racing the park acknowledgement are certified
+                    // through the stream session and queued so the
+                    // subscriber sees them; `Registered` acks feed the park
+                    // vote. Both sessions are fed — each ignores what the
+                    // other consumes.
+                    if let Some((seq, result)) = stream.on_wake(replica, rid, seq, result.clone()) {
+                        self.watermark.fetch_max(seq, Ordering::Relaxed);
+                        match result {
+                            OpResult::Tuple(Some(t)) => pending.push_back(t),
+                            OpResult::Denied(d) => {
+                                self.demux.deregister(req_id);
+                                return Err(denied(d));
+                            }
+                            _ => {}
+                        }
+                    }
+                    match park.on_reply(replica, rid, seq, result) {
+                        BlockingPoll::Decided(seq, OpResult::Denied(d)) => {
+                            self.watermark.fetch_max(seq, Ordering::Relaxed);
+                            self.demux.deregister(req_id);
+                            return Err(denied(d));
+                        }
+                        // Parked is the normal ack; a decided (non-denied)
+                        // quorum means wakes outran the `Registered` acks —
+                        // the registration is committed and live either way.
+                        BlockingPoll::Parked(seq) | BlockingPoll::Decided(seq, _) => {
+                            self.watermark.fetch_max(seq, Ordering::Relaxed);
+                            return Ok(Subscription {
+                                handle: self.clone(),
+                                req_id,
+                                rx,
+                                stream,
+                                pending,
+                                cancelled: false,
+                            });
+                        }
+                        BlockingPoll::Pending => {}
+                    }
+                }
+                Ok(ReplyEnvelope::Fast { .. }) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.demux.deregister(req_id);
+                    return Err(SpaceError::Unavailable("cluster shut down".into()));
+                }
             }
         }
     }
@@ -704,6 +859,107 @@ impl<T: Transport> ReplicatedPeats<T> {
     }
 }
 
+/// A live, certified stream of tuples matching a persistent registration:
+/// the replicated pub/sub primitive. Every committed `out` whose tuple
+/// matches the subscribed template is pushed by the replicas as a `Wake`;
+/// the subscription delivers each commit slot exactly once, in order, and
+/// only after `f+1` replicas agree on the slot's payload — a Byzantine
+/// replica cannot inject, reorder, or duplicate events.
+///
+/// Dropping the subscription fires a best-effort `Cancel` broadcast (the
+/// replicas prune the registration when it commits); call
+/// [`cancel`](Subscription::cancel) instead to *confirm* removal with a
+/// full ordered round.
+pub struct Subscription<T: Transport = ThreadNet> {
+    handle: ReplicatedPeats<T>,
+    req_id: u64,
+    rx: mpsc::Receiver<ReplyEnvelope>,
+    stream: WakeStreamSession,
+    /// Events certified while the subscribe handshake was still in flight.
+    pending: VecDeque<Tuple>,
+    cancelled: bool,
+}
+
+impl<T: Transport> Subscription<T> {
+    /// Waits up to `timeout` for the next certified event. `Ok(None)`
+    /// means no event arrived in time — the subscription stays live.
+    pub fn next_timeout(&mut self, timeout: Duration) -> SpaceResult<Option<Tuple>> {
+        if let Some(t) = self.pending.pop_front() {
+            return Ok(Some(t));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(wait) {
+                Ok(ReplyEnvelope::Ordered {
+                    replica,
+                    req_id,
+                    seq,
+                    result,
+                }) => {
+                    if let Some((seq, result)) = self.stream.on_wake(replica, req_id, seq, result) {
+                        self.handle.watermark.fetch_max(seq, Ordering::Relaxed);
+                        match result {
+                            OpResult::Tuple(Some(t)) => return Ok(Some(t)),
+                            OpResult::Denied(d) => return Err(denied(d)),
+                            _ => {}
+                        }
+                    }
+                }
+                Ok(ReplyEnvelope::Fast { .. }) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => return Ok(None),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(SpaceError::Unavailable("cluster shut down".into()));
+                }
+            }
+        }
+    }
+
+    /// Tears the registration down with a full ordered `Cancel` round —
+    /// on `Ok`, the replicas have provably pruned it.
+    pub fn cancel(mut self) -> SpaceResult<()> {
+        self.cancelled = true;
+        self.handle.demux.deregister(self.req_id);
+        self.handle.invoke_op(RequestOp::Cancel {
+            target: self.req_id,
+        })?;
+        Ok(())
+    }
+}
+
+impl<T: Transport> Drop for Subscription<T> {
+    fn drop(&mut self) {
+        self.handle.demux.deregister(self.req_id);
+        if self.cancelled {
+            return;
+        }
+        // Best-effort detach: one unacknowledged Cancel broadcast. Blocking
+        // on an ordered round inside Drop could stall the caller for the
+        // whole invoke timeout; if every copy of this broadcast is lost the
+        // registration survives until a later Cancel with the same target
+        // (replicas bound registration memory per client, not per drop).
+        let cancel = crate::messages::Request {
+            client: self.handle.pid,
+            req_id: self
+                .handle
+                .next_req
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1,
+            op: RequestOp::Cancel {
+                target: self.req_id,
+            },
+        };
+        let msg = Message::Request(cancel);
+        for r in 0..self.handle.n_replicas as NodeId {
+            let sealed = Sealed::seal(&self.handle.keys, u64::from(r), &msg);
+            self.handle.net.send(self.handle.node, r, sealed.to_bytes());
+        }
+    }
+}
+
 fn denied(detail: String) -> SpaceError {
     SpaceError::Denied(peats_policy::Decision::Denied {
         attempts: vec![("replicated".into(), detail)],
@@ -746,15 +1002,14 @@ impl<T: Transport> TupleSpace for ReplicatedPeats<T> {
     }
 
     fn rd(&self, template: &Template) -> SpaceResult<Tuple> {
-        // Client-side polling preserves blocking-read semantics (§4 note in
-        // the service module). With fast reads on, each poll is a one-round
-        // quorum read, not a consensus round; the capped exponential
-        // backoff still bounds the traffic a long block generates.
-        self.poll_blocking(|| self.rdp(template))
+        // Blocking semantics are server-driven: one ordered Register parks
+        // the template at every replica, and the matching `out`'s commit
+        // pushes the wake — no client polling, no consensus round per tick.
+        self.invoke_blocking(template, WaitKind::Rd)
     }
 
     fn take(&self, template: &Template) -> SpaceResult<Tuple> {
-        self.poll_blocking(|| self.inp(template))
+        self.invoke_blocking(template, WaitKind::Take)
     }
 
     fn count(&self, template: &Template) -> SpaceResult<usize> {

@@ -6,15 +6,16 @@
 //! replicas drop anything that fails authentication, which is what stops a
 //! Byzantine client from impersonating a correct process (§2.1).
 
-use crate::client::{ClientSession, ReadPoll, ReadSession};
+use crate::client::{BlockingPoll, BlockingSession, ClientSession, ReadPoll, ReadSession};
 use crate::faults::FaultMode;
-use crate::messages::{Message, OpResult, ReplicaId, Sealed, Seq};
+use crate::messages::{Message, OpResult, ReplicaId, Sealed, Seq, WaitKind};
 use crate::replica::{Dest, Replica, ReplicaConfig};
 use crate::service::PeatsService;
 use peats_auth::{Digest, KeyTable};
 use peats_codec::{Decode, Encode};
 use peats_netsim::{Actor, Context, NetConfig, NodeId, SimNet};
 use peats_policy::{OpCall, Policy, PolicyParams};
+use peats_tuplespace::Template;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -152,6 +153,23 @@ impl Actor for ClientActor {
                 req_id,
                 seq,
                 digest,
+                result,
+            }),
+            // A pushed wake answers a blocked registration with the same
+            // fields an ordered reply carries — log it on the same track
+            // so the blocking session can vote over both.
+            Some((
+                _,
+                Message::Wake {
+                    req_id,
+                    seq,
+                    result,
+                    replica,
+                },
+            )) => self.replies.borrow_mut().push(LoggedReply::Ordered {
+                replica,
+                req_id,
+                seq,
                 result,
             }),
             _ => {}
@@ -546,6 +564,126 @@ impl SimCluster {
             FastRead::NoQuorum | FastRead::Timeout => self.invoke(client_idx, op),
         }
     }
+
+    fn broadcast_blocking(&mut self, client_idx: usize, session: &BlockingSession) {
+        let n_replicas = self.replicas.len();
+        let c = &self.clients[client_idx];
+        for r in 0..n_replicas as NodeId {
+            let sealed = Sealed::seal(&c.keys, u64::from(r), &session.request_message());
+            self.net.inject(c.node, r, sealed.to_bytes());
+        }
+    }
+
+    /// Broadcasts an ordered `Register` from `client_idx` and runs the
+    /// simulation until `f+1` replicas acknowledge the park (returning the
+    /// in-flight block) or the call decides immediately against a tuple
+    /// already in the space (returning `Some(result)` alongside it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registration is neither acknowledged nor decided
+    /// within the step budget.
+    pub fn begin_blocking(
+        &mut self,
+        client_idx: usize,
+        template: Template,
+        kind: WaitKind,
+    ) -> (SimBlocked, Option<OpResult>) {
+        let c = &mut self.clients[client_idx];
+        c.next_req_id += 1;
+        c.replies.borrow_mut().clear();
+        let mut session = BlockingSession::new(c.pid, c.next_req_id, template, kind, false, self.f);
+        self.broadcast_blocking(client_idx, &session);
+        let mut steps = 0u64;
+        while steps < self.step_budget {
+            if !self.net.step() {
+                self.broadcast_blocking(client_idx, &session);
+            }
+            steps += 1;
+            let pending: Vec<LoggedReply> = self.clients[client_idx]
+                .replies
+                .borrow_mut()
+                .drain(..)
+                .collect();
+            for reply in pending {
+                let LoggedReply::Ordered {
+                    replica,
+                    req_id,
+                    seq,
+                    result,
+                } = reply
+                else {
+                    continue;
+                };
+                match session.on_reply(replica, req_id, seq, result) {
+                    BlockingPoll::Decided(_, result) => {
+                        return (
+                            SimBlocked {
+                                client_idx,
+                                session,
+                            },
+                            Some(result),
+                        )
+                    }
+                    BlockingPoll::Parked(_) => {
+                        return (
+                            SimBlocked {
+                                client_idx,
+                                session,
+                            },
+                            None,
+                        )
+                    }
+                    BlockingPoll::Pending => {}
+                }
+            }
+        }
+        panic!("registration was neither acknowledged nor decided within the step budget");
+    }
+
+    /// Runs the simulation feeding the blocked client's pushed wakes into
+    /// its session until the invoke decides or `budget` steps elapse
+    /// (`None`: still blocked — which is the *correct* outcome while no
+    /// matching tuple has been written and forged wakes are in flight).
+    pub fn pump_blocked(&mut self, blocked: &mut SimBlocked, budget: u64) -> Option<OpResult> {
+        let mut steps = 0u64;
+        loop {
+            let pending: Vec<LoggedReply> = self.clients[blocked.client_idx]
+                .replies
+                .borrow_mut()
+                .drain(..)
+                .collect();
+            for reply in pending {
+                let LoggedReply::Ordered {
+                    replica,
+                    req_id,
+                    seq,
+                    result,
+                } = reply
+                else {
+                    continue;
+                };
+                if let BlockingPoll::Decided(_, result) =
+                    blocked.session.on_reply(replica, req_id, seq, result)
+                {
+                    return Some(result);
+                }
+            }
+            if steps >= budget {
+                return None;
+            }
+            self.net.step();
+            steps += 1;
+        }
+    }
+}
+
+/// An in-flight blocked `rd`/`take` at a simulated client: the ordered
+/// `Register` committed and `f+1` replicas confirmed the park. Feed it to
+/// [`SimCluster::pump_blocked`] to collect the pushed wakes.
+pub struct SimBlocked {
+    client_idx: usize,
+    session: BlockingSession,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -845,6 +983,123 @@ mod tests {
             },
         );
         assert_eq!(c.invoke(0, OpCall::out(tuple!["A"])), Some(OpResult::Done));
+    }
+
+    #[test]
+    fn registration_survives_a_view_change_mid_block() {
+        // The registration table is replicated state: a waiter parked in
+        // view 0 must still be woken by an `out` that commits under the
+        // view-1 primary after the original primary crashes mid-block.
+        let mut c = cluster(1, &[100, 101]);
+        let (mut blocked, immediate) = c.begin_blocking(0, template!["VC", ?x], WaitKind::Rd);
+        assert_eq!(immediate, None, "nothing to match yet: the rd must park");
+        c.set_fault(0, FaultMode::Crashed); // primary of view 0
+        assert_eq!(
+            c.invoke(1, OpCall::out(tuple!["VC", 7])),
+            Some(OpResult::Done)
+        );
+        assert!(c.views().iter().any(|v| *v > 0), "views: {:?}", c.views());
+        assert_eq!(
+            c.pump_blocked(&mut blocked, 50_000),
+            Some(OpResult::Tuple(Some(tuple!["VC", 7]))),
+            "the new view's commits must wake the view-0 waiter"
+        );
+    }
+
+    #[test]
+    fn rejoined_replica_wakes_a_waiter_it_never_saw_register() {
+        // Replica 3 sleeps through a waiter's registration AND the
+        // checkpoint that garbage-collects the Register's slot, so the only
+        // way it can learn about the waiter is the snapshot's registration
+        // table. The fault pattern afterwards (one crashed original, one
+        // reply-corrupting original) leaves exactly two honest wake
+        // sources — one of which is the rejoined replica — so the blocked
+        // invoke completes only if the snapshot carried the registration.
+        let interval = 2u64;
+        let mut c = checkpointing_cluster(1, &[100, 101], interval, 4);
+        c.set_fault(3, FaultMode::Crashed);
+        let (mut blocked, immediate) = c.begin_blocking(0, template!["XFER", ?x], WaitKind::Rd);
+        assert_eq!(immediate, None);
+        // Unrelated traffic crosses checkpoint boundaries; the Register's
+        // slot is pruned cluster-wide.
+        for i in 0..12i64 {
+            assert_eq!(
+                c.invoke(1, OpCall::out(tuple!["NOISE", i])),
+                Some(OpResult::Done)
+            );
+        }
+        c.settle(50_000);
+        assert!(c.stable_seqs()[0] > 0, "history must have been GC'd");
+        assert_eq!(c.last_execs()[3], 0, "replica 3 slept through it all");
+
+        c.set_fault(3, FaultMode::Correct);
+        for i in 0..8i64 {
+            assert_eq!(
+                c.invoke(1, OpCall::out(tuple!["NOISE2", i])),
+                Some(OpResult::Done)
+            );
+        }
+        c.settle(100_000);
+        let fp = c.footprints();
+        assert_eq!(
+            fp[3].registrations, 1,
+            "the snapshot must have carried the registration table"
+        );
+
+        // Only replicas 0 and 3 now send honest wakes: the waiter's f+1
+        // quorum *requires* the snapshot-restored replica's wake.
+        c.set_fault(1, FaultMode::CorruptReplies);
+        c.set_fault(2, FaultMode::Crashed);
+        assert_eq!(
+            c.invoke(1, OpCall::out(tuple!["XFER", 9])),
+            Some(OpResult::Done)
+        );
+        assert_eq!(
+            c.pump_blocked(&mut blocked, 100_000),
+            Some(OpResult::Tuple(Some(tuple!["XFER", 9]))),
+            "the rejoined replica's wake must complete the quorum"
+        );
+    }
+
+    #[test]
+    fn forged_wakes_cannot_complete_a_blocked_invoke() {
+        // A reply-corrupting replica attaches a forged Wake (absurd seq,
+        // fabricated result) to everything it sends. One faulty replica is
+        // below the f+1 vote threshold, so the waiter must stay blocked
+        // until a *committed* matching write produces an honest quorum —
+        // and must then decide on the true tuple, not the forgery.
+        let mut c = cluster(1, &[100, 101]);
+        c.set_fault(1, FaultMode::CorruptReplies);
+        let (mut blocked, immediate) = c.begin_blocking(0, template!["FORGE", ?x], WaitKind::Take);
+        assert_eq!(immediate, None);
+        // Unrelated traffic makes the corrupt replica chatter (every reply
+        // it owes anyone is accompanied by a forged wake).
+        for i in 0..4i64 {
+            assert_eq!(
+                c.invoke(1, OpCall::out(tuple!["OTHER", i])),
+                Some(OpResult::Done)
+            );
+        }
+        assert_eq!(
+            c.pump_blocked(&mut blocked, 30_000),
+            None,
+            "forged wakes alone must not complete the blocked take"
+        );
+        assert_eq!(
+            c.invoke(1, OpCall::out(tuple!["FORGE", 1])),
+            Some(OpResult::Done)
+        );
+        assert_eq!(
+            c.pump_blocked(&mut blocked, 50_000),
+            Some(OpResult::Tuple(Some(tuple!["FORGE", 1]))),
+            "the honest quorum's wakes decide with the true tuple"
+        );
+        // The take consumed the tuple at its commit slot: it is gone from
+        // the space on every correct replica.
+        assert_eq!(
+            c.invoke(1, OpCall::rdp(template!["FORGE", ?x])),
+            Some(OpResult::Tuple(None))
+        );
     }
 
     #[test]

@@ -367,7 +367,7 @@ mod tests {
     }
 
     #[test]
-    fn blocked_rd_backs_off_instead_of_polling_every_tick() {
+    fn blocked_rd_is_one_registration_not_a_poll_loop() {
         let mut cluster =
             ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[50, 51], &[])
                 .unwrap();
@@ -375,21 +375,21 @@ mod tests {
         let writer = cluster.handle(1);
         // `next_req` is shared between clones, so the probe observes how
         // many requests — each a full consensus round — the blocked rd
-        // issued.
+        // issued while it waited.
         let probe = reader.clone();
         let t = std::thread::spawn(move || reader.rd(&template!["SLOW", ?x]).unwrap());
         std::thread::sleep(Duration::from_millis(300));
         writer.out(tuple!["SLOW", 1]).unwrap();
         assert_eq!(t.join().unwrap(), tuple!["SLOW", 1]);
-        let rounds = probe.issued_requests();
-        assert!(rounds >= 2, "the read must actually have polled");
-        // At the fixed 2ms tick this blocked rd would have issued ~150+
-        // rounds; exponential backoff (2,4,...,128ms cap) keeps it in the
-        // low teens even with generous scheduling slack.
-        assert!(
-            rounds <= 25,
-            "a blocked rd must back off between consensus rounds, issued {rounds}"
+        // Server-side wakes: the whole blocked rd is exactly one ordered
+        // request (the Register) — O(1) consensus rounds however long the
+        // block lasts, where the old poll loop issued a round per tick.
+        assert_eq!(
+            probe.issued_requests(),
+            1,
+            "a blocked rd must cost exactly one ordered registration"
         );
+        assert_eq!(probe.rebroadcasts(), 0, "a parked read must not retry");
         cluster.shutdown();
     }
 
@@ -769,12 +769,36 @@ mod tests {
     }
 
     #[test]
-    fn blocked_rd_wakes_on_a_clone_write_and_resets_backoff() {
-        // A blocked rd whose backoff has climbed toward a large cap must
-        // not sleep the residual delay out once the tuple lands: the
-        // router observes the writing clone's mutation reply and wakes the
-        // poll immediately. The 4s cap makes the discrimination robust —
-        // without the wake, the read would sit out a multi-second tick.
+    fn blocked_rd_wakes_at_push_latency_however_long_it_waited() {
+        // With server-side wakes there is no poll tick or backoff to sit
+        // out: a rd blocked for 1.5s must return within push latency of
+        // the matching write, because the committing replicas push the
+        // wake the moment the `out` executes.
+        let mut cluster =
+            ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[100], &[])
+                .unwrap();
+        let h = cluster.handle(0);
+        let writer = h.clone();
+        let t = std::thread::spawn(move || h.rd(&template!["WAKE", ?x]).unwrap());
+        std::thread::sleep(Duration::from_millis(1_500));
+        let written = Instant::now();
+        writer.out(tuple!["WAKE", 1]).unwrap();
+        assert_eq!(t.join().unwrap(), tuple!["WAKE", 1]);
+        assert!(
+            written.elapsed() < Duration::from_millis(900),
+            "blocked rd must wake on the committed write, took {:?}",
+            written.elapsed()
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn blocked_take_times_out_with_a_cancelled_registration() {
+        // A blocked take whose deadline passes is detached with an ordered
+        // Cancel: the invoke reports Unavailable, the registration is
+        // pruned from every replica (bounded memory), and a later `out` of
+        // a matching tuple stays in the space instead of being consumed by
+        // a ghost waiter.
         let mut cluster = ThreadedCluster::start_with(
             Policy::allow_all(),
             PolicyParams::new(),
@@ -783,8 +807,8 @@ mod tests {
             &[],
             ClusterConfig {
                 client: ClientConfig {
-                    blocking_poll: Duration::from_millis(2),
-                    blocking_poll_cap: Duration::from_secs(4),
+                    invoke_timeout: Duration::from_millis(400),
+                    retry_interval: Duration::from_millis(100),
                     ..ClientConfig::default()
                 },
                 ..ClusterConfig::default()
@@ -792,20 +816,63 @@ mod tests {
         )
         .unwrap();
         let h = cluster.handle(0);
-        let writer = h.clone();
-        let t = std::thread::spawn(move || h.rd(&template!["WAKE", ?x]).unwrap());
-        // Let the backoff escalate well past the write-to-return budget
-        // below (2, 4, ..., 1024ms+ by 1.5s).
-        std::thread::sleep(Duration::from_millis(1_500));
-        let written = Instant::now();
-        writer.out(tuple!["WAKE", 1]).unwrap();
-        assert_eq!(t.join().unwrap(), tuple!["WAKE", 1]);
-        assert!(
-            written.elapsed() < Duration::from_millis(900),
-            "blocked rd must wake on the observed mutation, took {:?}",
-            written.elapsed()
+        let err = h.take(&template!["GHOST", ?x]).unwrap_err();
+        assert!(matches!(err, peats::SpaceError::Unavailable(_)), "{err:?}");
+        h.out(tuple!["GHOST", 1]).unwrap();
+        // The tuple survives: no cancelled waiter consumed it.
+        assert_eq!(
+            h.rdp(&template!["GHOST", ?x]).unwrap(),
+            Some(tuple!["GHOST", 1])
         );
+        wait_for_no_registrations(&cluster);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn persistent_subscription_streams_certified_matches_in_order() {
+        // The pub/sub tail: one persistent registration, many writes, each
+        // pushed exactly once and in commit order, with f+1 replicas
+        // vouching for every event.
+        let mut cluster =
+            ThreadedCluster::start(Policy::allow_all(), PolicyParams::new(), 1, &[100], &[])
+                .unwrap();
+        let h = cluster.handle(0);
+        // Pre-existing tuples are not replayed: the stream is a live tail.
+        h.out(tuple!["EVT", 0]).unwrap();
+        let mut sub = h.subscribe(&template!["EVT", ?x]).unwrap();
+        for i in 1..=5i64 {
+            h.out(tuple!["EVT", i]).unwrap();
+        }
+        for i in 1..=5i64 {
+            let got = sub
+                .next_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("event must be pushed");
+            assert_eq!(got, tuple!["EVT", i]);
+        }
+        assert_eq!(sub.next_timeout(Duration::from_millis(200)).unwrap(), None);
+        sub.cancel().unwrap();
+        wait_for_no_registrations(&cluster);
+        cluster.shutdown();
+    }
+
+    /// The ordered Cancel is acknowledged by f+1 replicas; stragglers
+    /// execute it moments later. Poll briefly so the bounded-memory
+    /// assertion covers *every* replica without racing the laggards.
+    fn wait_for_no_registrations(cluster: &ThreadedCluster) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let counts: Vec<usize> = (0..cluster.n_replicas())
+                .map(|id| cluster.replica_footprint(id).registrations)
+                .collect();
+            if counts.iter().all(|c| *c == 0) {
+                return;
+            }
+            if Instant::now() >= deadline {
+                panic!("registrations must be pruned on every replica, got {counts:?}");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     #[test]

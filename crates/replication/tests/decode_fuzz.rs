@@ -9,7 +9,7 @@
 use peats_auth::KeyTable;
 use peats_codec::{Decode, Encode};
 use peats_policy::OpCall;
-use peats_replication::{Message, OpResult, ReplicaSnapshot, Request, Sealed};
+use peats_replication::{Message, OpResult, ReplicaSnapshot, Request, RequestOp, Sealed, WaitKind};
 use peats_tuplespace::{template, tuple};
 use proptest::prelude::*;
 
@@ -17,7 +17,7 @@ fn sample_request(client: u64, req_id: u64) -> Request {
     Request {
         client,
         req_id,
-        op: OpCall::out(tuple!["JOB", 7, "payload"]).into_owned(),
+        op: RequestOp::Call(OpCall::out(tuple!["JOB", 7, "payload"]).into_owned()),
     }
 }
 
@@ -80,8 +80,44 @@ fn sample_messages() -> Vec<Message> {
         Message::Request(Request {
             client: 7,
             req_id: 3,
-            op: OpCall::take(template!["JOB", ?x, _]).into_owned(),
+            op: RequestOp::Call(OpCall::take(template!["JOB", ?x, _]).into_owned()),
         }),
+        Message::Request(Request {
+            client: 8,
+            req_id: 6,
+            op: RequestOp::Register {
+                template: template!["JOB", ?x, _],
+                kind: WaitKind::Take,
+                persistent: false,
+            },
+        }),
+        Message::Request(Request {
+            client: 8,
+            req_id: 7,
+            op: RequestOp::Register {
+                template: template!["EVT", ?x],
+                kind: WaitKind::Rd,
+                persistent: true,
+            },
+        }),
+        Message::Request(Request {
+            client: 8,
+            req_id: 8,
+            op: RequestOp::Cancel { target: 6 },
+        }),
+        Message::Reply {
+            view: 0,
+            seq: 6,
+            req_id: 6,
+            replica: 2,
+            result: OpResult::Registered,
+        },
+        Message::Wake {
+            req_id: 6,
+            seq: 9,
+            result: OpResult::Tuple(Some(tuple!["JOB", 7, "payload"])),
+            replica: 1,
+        },
         Message::ReadRequest {
             client: 100,
             req_id: 4,
@@ -123,7 +159,7 @@ proptest! {
     /// Every proper prefix of a valid message is rejected cleanly; the
     /// full buffer round-trips.
     #[test]
-    fn truncated_messages_error_cleanly(which in 0usize..14, cut in 0usize..10_000) {
+    fn truncated_messages_error_cleanly(which in 0usize..19, cut in 0usize..10_000) {
         let msg = &sample_messages()[which];
         let bytes = msg.to_bytes();
         let cut = cut % bytes.len().max(1);
@@ -137,7 +173,7 @@ proptest! {
 
     /// Single-byte corruption never panics the message decoder.
     #[test]
-    fn corrupted_messages_never_panic(which in 0usize..14, pos in 0usize..10_000, xor in 1u8..=255) {
+    fn corrupted_messages_never_panic(which in 0usize..19, pos in 0usize..10_000, xor in 1u8..=255) {
         let bytes = sample_messages()[which].to_bytes();
         let mut bytes = bytes;
         let pos = pos % bytes.len();
