@@ -27,6 +27,14 @@
 //! `f+1` quorum fast path or forced through the full ordering pipeline
 //! (`fast_reads: false`), over both thread channels and loopback TCP.
 //!
+//! A fifth section prices durability: the batched write workload with the
+//! write-ahead log off, on with per-batch fsync, and on without fsync.
+//!
+//! A sixth section measures disk-first recovery: fill a durable cluster to
+//! several state sizes, stop it, and time a cold `DurableStore::open` +
+//! snapshot restore + WAL replay of one replica — the restart path as a
+//! measured number, with the on-disk footprint it reads.
+//!
 //! Emits `BENCH_replication.json` (override with `--out PATH`) in the same
 //! shape as `BENCH_space.json`; `--smoke` shrinks the sweep for CI.
 //!
@@ -37,8 +45,12 @@
 use peats::{Policy, PolicyParams, TupleSpace};
 use peats_bench::print_table;
 use peats_net::{TcpCluster, TcpClusterConfig, TcpConfig};
-use peats_replication::{ClientConfig, ClusterConfig, ThreadedCluster};
+use peats_replication::{
+    ClientConfig, ClusterConfig, DurableConfig, DurableStore, PeatsService, Replica, ReplicaConfig,
+    ThreadedCluster,
+};
 use peats_tuplespace::{template, tuple};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -593,6 +605,143 @@ fn main() {
         &blocking_table,
     );
 
+    // Durability: the WAL's price on the write path. Same batched
+    // configuration, with the log off, on with per-batch fsync, and on
+    // without fsync (the two knobs an operator actually chooses between).
+    let dur_clients = if smoke { 2 } else { 4 };
+    let dur_ops: u64 = if smoke { 40 } else { 200 };
+    let mut dur_json = Vec::new();
+    let mut dur_table = Vec::new();
+    for (mode, wal, fsync) in [
+        ("wal_off", false, false),
+        ("wal_fsync", true, true),
+        ("wal_nofsync", true, false),
+    ] {
+        let scratch = wal.then(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "peats-bench-durability-{}-{mode}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        });
+        let config = ClusterConfig {
+            batch_cap: 16,
+            max_in_flight: 2,
+            data_dir: scratch.clone(),
+            durable: DurableConfig {
+                fsync,
+                ..DurableConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let tput = run_cell(dur_clients, dur_ops, config);
+        if let Some(dir) = scratch {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        dur_json.push(format!(
+            "    {{\"mode\": \"{mode}\", \"wal\": {wal}, \"fsync\": {fsync}, \
+             \"clients\": {dur_clients}, \"ops_per_client\": {dur_ops}, \
+             \"ops_per_sec\": {tput:.0}}}"
+        ));
+        dur_table.push(vec![
+            mode.to_owned(),
+            wal.to_string(),
+            fsync.to_string(),
+            format!("{tput:.0}"),
+        ]);
+    }
+    print_table(
+        "durability: write-ahead log off vs on (per-batch fsync, no fsync) on the write path (ops/s)",
+        &["mode", "wal", "fsync", "ops/s"],
+        &dur_table,
+    );
+
+    // Disk-first recovery: fill a durable cluster to several state sizes,
+    // stop it, and time one replica's cold rebuild from its data dir
+    // (snapshot verify + restore + WAL suffix replay).
+    let recovery_sizes: &[u64] = if smoke {
+        &[40, 80, 160]
+    } else {
+        &[200, 800, 3200]
+    };
+    let mut rec_json = Vec::new();
+    let mut rec_table = Vec::new();
+    for &tuples in recovery_sizes {
+        let dir = std::env::temp_dir().join(format!(
+            "peats-bench-recovery-{}-{tuples}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ClusterConfig {
+            batch_cap: 16,
+            max_in_flight: 2,
+            checkpoint_interval: 32,
+            data_dir: Some(dir.clone()),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[],
+            config,
+        )
+        .expect("allow-all policy has no parameters");
+        let h = cluster.handle(0);
+        for v in 0..tuples {
+            h.out(tuple!["STATE", v as i64, "recovery-benchmark-payload"])
+                .unwrap();
+        }
+        cluster.shutdown();
+
+        let start = Instant::now();
+        let (store, recovery) =
+            DurableStore::open(&dir.join("replica-0"), DurableConfig::default())
+                .expect("reopen replica 0's data dir");
+        let service = PeatsService::new(Policy::allow_all(), PolicyParams::new())
+            .expect("allow-all policy has no parameters");
+        let mut replica = Replica::new(
+            ReplicaConfig {
+                checkpoint_interval: 32,
+                ..ReplicaConfig::new(0, 4, 1)
+            },
+            service,
+            BTreeMap::from([(4u64, 100u64)]),
+        );
+        let report = replica.restore_durable(store, recovery);
+        let elapsed = start.elapsed();
+        let fp = replica.footprint();
+        let disk_bytes = fp.wal_bytes + fp.snapshot_bytes;
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            report.last_exec >= tuples,
+            "recovery lost state: last_exec {} after {tuples} writes",
+            report.last_exec
+        );
+        let ms = elapsed.as_secs_f64() * 1e3;
+        rec_json.push(format!(
+            "    {{\"tuples\": {tuples}, \"last_exec\": {}, \"replayed_batches\": {}, \
+             \"snapshot_seq\": {}, \"disk_bytes\": {disk_bytes}, \"recovery_ms\": {ms:.2}}}",
+            report.last_exec,
+            report.replayed,
+            report.snapshot_seq.unwrap_or(0),
+        ));
+        rec_table.push(vec![
+            tuples.to_string(),
+            report.last_exec.to_string(),
+            report.replayed.to_string(),
+            disk_bytes.to_string(),
+            format!("{ms:.2}ms"),
+        ]);
+    }
+    print_table(
+        "disk-first recovery: cold restart time vs state size (snapshot + WAL replay)",
+        &["tuples", "last_exec", "replayed", "disk bytes", "recovery"],
+        &rec_table,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_ordering\",\n  \"unit\": \"ops_per_sec\",\n  \
          \"workload\": \"clients concurrent client threads (one slot, pid, and reply router each) \
@@ -605,12 +754,16 @@ fn main() {
          \"checkpointing_long_run\": [\n{}\n  ],\n  \
          \"socket_transport\": [\n{}\n  ],\n  \
          \"read_fast_path\": [\n{}\n  ],\n  \
-         \"blocking_wake\": [\n{}\n  ]\n}}\n",
+         \"blocking_wake\": [\n{}\n  ],\n  \
+         \"durability\": [\n{}\n  ],\n  \
+         \"recovery\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
         ckpt_json.join(",\n"),
         sock_json.join(",\n"),
         read_json.join(",\n"),
-        blocking_json.join(",\n")
+        blocking_json.join(",\n"),
+        dur_json.join(",\n"),
+        rec_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");

@@ -11,6 +11,14 @@
 //! These helpers are the single framing implementation shared by
 //! `peats-net`'s connection threads — per-connection ad-hoc framing is how
 //! length-confusion bugs happen.
+//!
+//! The *checked* variants ([`write_checked_frame`] / [`read_checked_frame`])
+//! add a CRC-32 of the payload after the length prefix. They exist for the
+//! write-ahead log, where the failure mode is not a hostile peer but a torn
+//! write: a crash mid-`write` leaves a frame whose length prefix promises
+//! more bytes than were flushed, or whose tail bytes are garbage. The CRC
+//! turns both into a detectable [`FrameError::Corrupt`] so recovery can
+//! truncate at the last intact record instead of replaying junk.
 
 use std::io::{self, Read, Write};
 
@@ -34,6 +42,14 @@ pub enum FrameError {
         /// The cap it exceeded.
         max: usize,
     },
+    /// A checked frame's payload did not match its CRC-32 (torn or
+    /// corrupted on disk). The payload was read but must be discarded.
+    Corrupt {
+        /// CRC recorded in the frame header.
+        expected: u32,
+        /// CRC of the payload actually read.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -42,6 +58,12 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
             FrameError::TooLarge { len, max } => {
                 write!(f, "frame length {len} exceeds cap {max}")
+            }
+            FrameError::Corrupt { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+                )
             }
         }
     }
@@ -110,6 +132,89 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, Fra
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bitwise. No compression
+/// or checksum crates exist in this offline build, so the table-less form
+/// is implemented from the specification; WAL records are small enough
+/// that the byte-at-a-time loop is not a bottleneck next to `fsync`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes one checked frame: `u32` LE length, `u32` LE CRC-32 of the
+/// payload, then the payload.
+///
+/// # Errors
+///
+/// Same as [`write_frame`]: [`FrameError::TooLarge`] beyond `max`, or the
+/// underlying [`io::Error`].
+pub fn write_checked_frame<W: Write>(
+    w: &mut W,
+    payload: &[u8],
+    max: usize,
+) -> Result<(), FrameError> {
+    if payload.len() > max || payload.len() > u32::MAX as usize {
+        return Err(FrameError::TooLarge {
+            len: payload.len() as u64,
+            max,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one checked frame; `Ok(None)` on a clean end-of-stream.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] before allocation, [`FrameError::Io`] with
+/// [`io::ErrorKind::UnexpectedEof`] when the stream ends inside the header
+/// or payload (a torn tail), and [`FrameError::Corrupt`] when the payload
+/// does not hash to the recorded CRC. WAL recovery treats the latter two
+/// as "truncate here".
+pub fn read_checked_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 8];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None), // clean EOF between frames
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a checked-frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > max {
+        return Err(FrameError::TooLarge {
+            len: len as u64,
+            max,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(FrameError::Corrupt { expected, actual });
+    }
     Ok(Some(payload))
 }
 
@@ -215,5 +320,72 @@ mod tests {
         write_frame(&mut buf, b"", 0).unwrap();
         let mut r = Cursor::new(buf);
         assert_eq!(read_frame(&mut r, 0).unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for CRC-32/IEEE, plus edge cases.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn checked_roundtrip_and_split_reads() {
+        let mut buf = Vec::new();
+        write_checked_frame(&mut buf, b"wal record", DEFAULT_MAX_FRAME).unwrap();
+        write_checked_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = OneByteAtATime(Cursor::new(buf));
+        assert_eq!(
+            read_checked_frame(&mut r, DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap(),
+            b"wal record"
+        );
+        assert_eq!(
+            read_checked_frame(&mut r, DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap(),
+            b""
+        );
+        assert!(read_checked_frame(&mut r, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn checked_frame_detects_payload_corruption() {
+        let mut buf = Vec::new();
+        write_checked_frame(&mut buf, b"precious bytes", DEFAULT_MAX_FRAME).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        match read_checked_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Corrupt { expected, actual }) => assert_ne!(expected, actual),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_frame_torn_tail_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_checked_frame(&mut buf, b"torn in flight", DEFAULT_MAX_FRAME).unwrap();
+        for cut in [buf.len() - 5, 6, 3] {
+            let torn = buf[..cut].to_vec();
+            match read_checked_frame(&mut Cursor::new(torn), DEFAULT_MAX_FRAME) {
+                Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+                other => panic!("cut at {cut}: expected Io(UnexpectedEof), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checked_frame_oversized_length_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_checked_frame(&mut Cursor::new(buf), 1024),
+            Err(FrameError::TooLarge { .. })
+        ));
     }
 }

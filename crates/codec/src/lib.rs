@@ -16,10 +16,15 @@
 
 pub mod frame;
 
-pub use frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+pub use frame::{
+    crc32, read_checked_frame, read_frame, write_checked_frame, write_frame, FrameError,
+    DEFAULT_MAX_FRAME,
+};
 
 use peats_policy::OpCall;
-use peats_tuplespace::{Field, SpaceSnapshot, Template, Tuple, TypeTag, Value};
+use peats_tuplespace::{
+    BucketDigest, BucketKey, Field, SpaceSnapshot, Template, Tuple, TypeTag, Value,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -515,6 +520,52 @@ impl Decode for SpaceSnapshot {
     }
 }
 
+impl Encode for [u8; 32] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+}
+
+impl Decode for [u8; 32] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.take(32)?.try_into().expect("sized take"))
+    }
+}
+
+impl Encode for BucketKey {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.arity.encode(buf);
+        self.channel.encode(buf);
+    }
+}
+
+impl Decode for BucketKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BucketKey {
+            arity: u64::decode(r)?,
+            channel: Option::<Value>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for BucketDigest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.key.encode(buf);
+        self.digest.encode(buf);
+        self.entries.encode(buf);
+    }
+}
+
+impl Decode for BucketDigest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BucketDigest {
+            key: BucketKey::decode(r)?,
+            digest: <[u8; 32]>::decode(r)?,
+            entries: u64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +634,35 @@ mod tests {
             next_seq: 7,
             rng_state: 0xDEAD_BEEF,
         });
+    }
+
+    #[test]
+    fn bucket_digest_roundtrips() {
+        roundtrip(BucketKey {
+            arity: 0,
+            channel: None,
+        });
+        roundtrip(BucketKey {
+            arity: 3,
+            channel: Some(Value::from("JOB")),
+        });
+        roundtrip([0xA5u8; 32]);
+        let leaf = BucketDigest {
+            key: BucketKey {
+                arity: 2,
+                channel: Some(Value::Int(-4)),
+            },
+            digest: [7u8; 32],
+            entries: 9,
+        };
+        let bytes = leaf.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                BucketDigest::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        roundtrip(leaf);
     }
 
     #[test]

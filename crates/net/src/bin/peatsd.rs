@@ -19,7 +19,7 @@ use peats_net::{TcpConfig, TcpTransport};
 use peats_netsim::NodeId;
 use peats_policy::{parse_policy, Policy, PolicyParams};
 use peats_replication::replica::{Replica, ReplicaConfig};
-use peats_replication::{replica_main, PeatsService};
+use peats_replication::{replica_main, DurableConfig, DurableStore, PeatsService};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::SocketAddr;
@@ -62,6 +62,17 @@ Protocol tuning:
   --progress-period-ms MS      view-change progress check period
   --send-delay-ms MS           inject MS of latency before every frame
   --bind-patience-ms MS        keep retrying a busy listen address for MS
+
+Durability:
+  --data-dir PATH              persist state under PATH/replica-<ID>: a
+                               write-ahead log of executed batches plus a
+                               verified snapshot at every stable
+                               checkpoint. On start the replica recovers
+                               from disk before serving. Omit to run
+                               memory-only (the default)
+  --fsync BOOL                 fsync the WAL before acknowledging a batch
+                               (default true; false trades crash
+                               durability for throughput)
 ";
 
 fn main() {
@@ -152,7 +163,26 @@ fn run(args: Vec<String>) -> Result<(), String> {
     };
     let bind_patience = Duration::from_millis(flags.parse_or("bind-patience-ms", 5_000u64)?);
 
-    let replica = Replica::new(cfg, service, registry);
+    let mut replica = Replica::new(cfg, service, registry);
+    if let Some(dir) = flags.get("data-dir") {
+        let durable = DurableConfig {
+            fsync: flags.parse_or("fsync", true)?,
+            ..DurableConfig::default()
+        };
+        let dir = std::path::Path::new(&dir).join(format!("replica-{id}"));
+        let (store, recovery) = DurableStore::open(&dir, durable)
+            .map_err(|e| format!("--data-dir {}: {e}", dir.display()))?;
+        let report = replica.restore_durable(store, recovery);
+        println!(
+            "peatsd: replica {id} recovered from {}: snapshot seq {:?}, {} batches replayed, last_exec {}{}{}",
+            dir.display(),
+            report.snapshot_seq,
+            report.replayed,
+            report.last_exec,
+            if report.truncated_log { ", WAL tail truncated" } else { "" },
+            if report.fell_back { ", fell back past a bad snapshot" } else { "" },
+        );
+    }
     let listener =
         bind_with_retry(listen, bind_patience).map_err(|e| format!("bind {listen}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;

@@ -22,7 +22,7 @@ use peats_auth::KeyTable;
 use peats_netsim::NodeId;
 use peats_policy::{MissingParamError, Policy, PolicyParams};
 use peats_replication::replica::{Replica, ReplicaConfig, ReplicaFootprint};
-use peats_replication::{replica_main, ClusterConfig, PeatsService, ReplicatedPeats};
+use peats_replication::{replica_main, ClusterConfig, DurableStore, PeatsService, ReplicatedPeats};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -138,7 +138,7 @@ impl TcpCluster {
 
     fn fresh_replica(&self, id: usize) -> Result<Replica, MissingParamError> {
         let service = PeatsService::new(self.policy.clone(), self.params.clone())?;
-        Ok(Replica::new(
+        let mut replica = Replica::new(
             ReplicaConfig {
                 batch_cap: self.config.cluster.batch_cap,
                 max_in_flight: self.config.cluster.max_in_flight,
@@ -147,7 +147,22 @@ impl TcpCluster {
             },
             service,
             self.registry.clone(),
-        ))
+        );
+        // Durable mode: recover from `data_dir/replica-<id>` and keep
+        // write-ahead-logging there. Disk trouble degrades to memory-only
+        // (same policy as the wal module), never wedges the harness.
+        if let Some(root) = &self.config.cluster.data_dir {
+            match DurableStore::open(
+                &root.join(format!("replica-{id}")),
+                self.config.cluster.durable,
+            ) {
+                Ok((store, recovery)) => {
+                    replica.restore_durable(store, recovery);
+                }
+                Err(e) => eprintln!("replica {id}: disk unavailable ({e}); running memory-only"),
+            }
+        }
+        Ok(replica)
     }
 
     fn spawn_replica(

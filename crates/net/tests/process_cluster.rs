@@ -21,6 +21,9 @@ const MASTER: &str = "process-cluster-secret";
 struct Daemons {
     children: Vec<(usize, Option<Child>)>,
     ports: Vec<u16>,
+    /// When set, every daemon gets `--data-dir` here and persists its
+    /// state across SIGKILLs.
+    data_dir: Option<std::path::PathBuf>,
 }
 
 impl Drop for Daemons {
@@ -70,6 +73,9 @@ impl Daemons {
             .arg("4=100,5=101")
             .stdout(Stdio::null())
             .stderr(Stdio::null());
+        if let Some(dir) = &self.data_dir {
+            cmd.arg("--data-dir").arg(dir);
+        }
         for peer in 0..self.ports.len() {
             if peer != id {
                 cmd.arg("--peer").arg(format!("{peer}={}", self.addr(peer)));
@@ -91,6 +97,17 @@ impl Daemons {
         self.children.retain(|(_, c)| c.is_some());
     }
 
+    /// SIGKILLs the whole cluster at once — no replica survives.
+    fn sigkill_all(&mut self) {
+        for (_, child) in &mut self.children {
+            if let Some(mut c) = child.take() {
+                c.kill().expect("SIGKILL peatsd");
+                c.wait().expect("reap peatsd");
+            }
+        }
+        self.children.clear();
+    }
+
     fn wait_all_accepting(&self) {
         let deadline = Instant::now() + Duration::from_secs(20);
         for id in 0..self.ports.len() {
@@ -108,6 +125,10 @@ impl Daemons {
 }
 
 fn start_cluster() -> Daemons {
+    start_cluster_with(None)
+}
+
+fn start_cluster_with(data_dir: Option<std::path::PathBuf>) -> Daemons {
     // Reserve four distinct ephemeral ports, then release them for the
     // daemons to bind (peatsd's bind-retry absorbs any straggler).
     let ports: Vec<u16> = (0..4)
@@ -122,12 +143,26 @@ fn start_cluster() -> Daemons {
     let mut d = Daemons {
         children: Vec::new(),
         ports,
+        data_dir,
     };
     for id in 0..4 {
         d.spawn(id);
     }
     d.wait_all_accepting();
     d
+}
+
+/// A unique scratch directory for one test run.
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "peats-proc-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
 }
 
 fn library_client(d: &Daemons, node: NodeId, pid: u64) -> ReplicatedPeats<TcpTransport> {
@@ -234,6 +269,48 @@ fn four_processes_serve_cli_survive_sigkill_restart_and_frame_garbage() {
     let (code, out, err) = cli(&d, 5, 101, &["rdp", r#"<"FINAL", ?x>"#]);
     assert_eq!(code, 0, "stderr: {err}");
     assert_eq!(out, r#"<"FINAL", 1>"#);
+}
+
+/// The disk-first recovery story end to end: a durable cluster loses
+/// EVERY replica to SIGKILL at once — there is no live peer to serve
+/// snapshot state transfer — and comes back from its data dirs with the
+/// space intact and the protocol live.
+#[test]
+fn full_cluster_sigkill_recovers_from_disk() {
+    let dir = fresh_dir("recovery");
+    let mut d = start_cluster_with(Some(dir.clone()));
+
+    // Seed state well past a checkpoint boundary (interval 4) so every
+    // replica has a durable snapshot, plus a tail only the WAL holds.
+    for i in 0..10i64 {
+        let (code, out, err) = cli(&d, 4, 100, &["out", &format!(r#"<"KEEP", {i}>"#)]);
+        assert_eq!((code, out.as_str()), (0, "ok"), "stderr: {err}");
+    }
+    let (code, out, _) = cli(&d, 5, 101, &["count", r#"<"KEEP", *>"#]);
+    assert_eq!((code, out.as_str()), (0, "10"));
+
+    // No survivors: recovery below can only come from disk.
+    d.sigkill_all();
+    for id in 0..4 {
+        d.spawn(id);
+    }
+    d.wait_all_accepting();
+
+    // The whole space survived — including the un-checkpointed WAL tail.
+    let (code, out, err) = cli(&d, 5, 101, &["count", r#"<"KEEP", *>"#]);
+    assert_eq!((code, out.as_str()), (0, "10"), "stderr: {err}");
+    let (code, out, _) = cli(&d, 4, 100, &["rdp", r#"<"KEEP", 9>"#]);
+    assert_eq!((code, out.as_str()), (0, r#"<"KEEP", 9>"#));
+
+    // And the cluster still orders fresh writes (liveness, not just a
+    // read-only husk): destructive take proves full agreement.
+    let (code, out, _) = cli(&d, 4, 100, &["out", r#"<"AFTER", 1>"#]);
+    assert_eq!((code, out.as_str()), (0, "ok"));
+    let (code, out, _) = cli(&d, 5, 101, &["take", r#"<"AFTER", ?x>"#]);
+    assert_eq!((code, out.as_str()), (0, r#"<"AFTER", 1>"#));
+
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -40,6 +40,7 @@ pub mod runtime;
 pub mod service;
 pub mod sim_harness;
 pub mod threaded;
+pub mod wal;
 
 pub use client::{
     BlockingPoll, BlockingSession, ClientSession, ReadPoll, ReadSession, WakeStreamSession,
@@ -54,3 +55,6 @@ pub use runtime::{replica_main, ship, ClientConfig, ReplicatedPeats, Subscriptio
 pub use service::PeatsService;
 pub use sim_harness::{FastRead, SimCluster};
 pub use threaded::{ClusterConfig, ThreadedCluster};
+pub use wal::{
+    DiskMetrics, DurableConfig, DurableSnapshot, DurableStore, Recovery, RecoveryReport, WalRecord,
+};

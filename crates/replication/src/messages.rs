@@ -419,6 +419,33 @@ impl Decode for ReplicaSnapshot {
     }
 }
 
+/// The checkpoint-attestation digest over a `(service digest, client
+/// registry, retained replies)` triple — the *one* fold used everywhere a
+/// replica's full state is attested or verified: emitting a checkpoint
+/// vote, verifying a state-transfer snapshot after restoration, and
+/// verifying a disk snapshot during recovery. Reuses the
+/// [`ReplicaSnapshot`] wire encoding (with an empty space and empty
+/// registration rows — both are pinned by `service_digest`, which also
+/// covers the seq counter, rng word, and registration arrival counter raw
+/// rows would miss), so the attested digest and every restored-state
+/// recompute are byte-for-byte the same computation.
+pub fn attestation_digest(
+    service_digest: Digest,
+    client_registry: Vec<(u64, u64)>,
+    replies: ReplyRows,
+) -> Digest {
+    let meta = ReplicaSnapshot {
+        space: SpaceSnapshot::default(),
+        client_registry,
+        replies,
+        registrations: RegistrationRows::new(),
+        next_reg: 0,
+    };
+    let mut buf = service_digest.to_vec();
+    meta.encode(&mut buf);
+    sha256(&buf)
+}
+
 /// Protocol messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {

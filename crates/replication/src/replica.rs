@@ -43,13 +43,14 @@
 
 use crate::faults::FaultMode;
 use crate::messages::{
-    batch_digest, Message, OpResult, RegistrationRows, ReplicaId, ReplicaSnapshot, ReplyRows,
+    attestation_digest, batch_digest, Message, OpResult, ReplicaId, ReplicaSnapshot, ReplyRows,
     Request, RequestOp, Seq, View,
 };
 use crate::service::PeatsService;
-use peats_auth::{sha256, Digest};
-use peats_codec::Encode;
+use crate::wal::{DurableSnapshot, DurableStore, Recovery, RecoveryReport};
+use peats_auth::Digest;
 use peats_policy::OpCall;
+use peats_tuplespace::{diff_buckets, BucketKey};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A replica's view-change report: the batches it knows an ordering for.
@@ -93,6 +94,14 @@ pub struct ReplicaFootprint {
     pub max_replies_per_client: usize,
     /// Parked blocking-wait registrations in the service table.
     pub registrations: usize,
+    /// Bytes across live write-ahead-log segments (`0` without a data
+    /// dir). Bounded-disk regressions assert this stays flat across stable
+    /// checkpoints, exactly like the in-memory fields above.
+    pub wal_bytes: u64,
+    /// Live write-ahead-log segment files.
+    pub wal_segments: usize,
+    /// Bytes across retained snapshot files.
+    pub snapshot_bytes: u64,
 }
 
 /// Destination of an output message.
@@ -264,6 +273,15 @@ pub struct Replica {
     /// snapshot install path must accept a canonical checkpoint at or
     /// above this seq even though it is ≤ our (worthless) `last_exec`.
     rollback_target: Seq,
+    /// Durable log + snapshot store, when the replica has a data dir.
+    /// Dropped (with a warning) on the first disk error: a replica that
+    /// cannot write its log degrades to memory-only instead of wedging the
+    /// protocol — it simply rejoins by state transfer after a restart.
+    store: Option<DurableStore>,
+    /// Buckets the last verified state transfer proved diverged (empty for
+    /// pure catch-up installs): the Merkle tree localizes *which* channels
+    /// a rolled-back replica disagreed on, not just that it disagreed.
+    diverged: Vec<BucketKey>,
     fault: FaultMode,
 }
 
@@ -295,6 +313,8 @@ impl Replica {
             snapshot_sent: BTreeMap::new(),
             fetch_target: 0,
             rollback_target: 0,
+            store: None,
+            diverged: Vec::new(),
             fault: FaultMode::Correct,
         }
     }
@@ -329,9 +349,109 @@ impl Replica {
         self.stable_seq
     }
 
+    /// The index buckets (arity + leading channel) the last verified
+    /// rollback proved diverged from the quorum state — empty after pure
+    /// catch-up installs. The Merkle digest tree localizes *where* a
+    /// Byzantine or corrupted replica disagreed, not just that it did.
+    pub fn diverged_buckets(&self) -> &[BucketKey] {
+        &self.diverged
+    }
+
+    /// Adopts recovered on-disk state and attaches the durable store. Must
+    /// run on a freshly constructed replica, before any messages.
+    ///
+    /// Disk-first recovery: adopt the newest snapshot whose attestation
+    /// digest verifies after restoration (the *same* fold checkpoint votes
+    /// attest, so a corrupted-but-checksummed or buggy snapshot cannot
+    /// install silently wrong state), replay the contiguous log suffix
+    /// above its execution point, and leave whatever tail the disk does
+    /// not cover to ordinary state transfer once the cluster is back. A
+    /// snapshot that fails verification falls back to the previous one —
+    /// the store retains two, plus the log suffix the older one needs.
+    pub fn restore_durable(&mut self, store: DurableStore, recovery: Recovery) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            truncated_log: recovery.truncated_log,
+            corrupt_snapshots: recovery.corrupt_snapshots,
+            ..RecoveryReport::default()
+        };
+        for (nth, snap) in recovery.snapshots.iter().enumerate() {
+            let mut restored = self.service.clone();
+            restored.restore(&snap.snapshot.space);
+            restored.restore_registrations(&snap.snapshot.registrations, snap.snapshot.next_reg);
+            let recomputed = attestation_digest(
+                restored.state_digest(),
+                snap.snapshot.client_registry.clone(),
+                snap.snapshot.replies.clone(),
+            );
+            if recomputed != snap.attested {
+                report.fell_back = true;
+                continue;
+            }
+            self.service = restored;
+            self.client_registry = snap.snapshot.client_registry.iter().copied().collect();
+            self.replies = snap
+                .snapshot
+                .replies
+                .iter()
+                .map(|(client, per)| {
+                    (
+                        *client,
+                        per.iter()
+                            .map(|(req_id, seq, result)| (*req_id, (*seq, result.clone())))
+                            .collect(),
+                    )
+                })
+                .collect();
+            self.last_exec = snap.exec_seq;
+            self.stable_seq = snap.stable_seq;
+            self.stable_digest = Some(snap.stable_digest);
+            report.snapshot_seq = Some(snap.stable_seq);
+            report.fell_back |= nth > 0;
+            break;
+        }
+        // Replay the log suffix: the same execution the batches got the
+        // first time (execution is deterministic), minus the outputs —
+        // every reply this produces was already sent in a previous life,
+        // and retransmissions re-serve it from the restored reply cache.
+        for (seq, batch) in recovery.replay_from(self.last_exec) {
+            for req in batch {
+                if self.executed_already(&req) {
+                    continue;
+                }
+                let result = match &req.op {
+                    RequestOp::Call(op) => self.service.execute(req.client, op),
+                    RequestOp::Register {
+                        template,
+                        kind,
+                        persistent,
+                    } => {
+                        self.service
+                            .register(req.client, req.req_id, template, *kind, *persistent)
+                    }
+                    RequestOp::Cancel { target } => self.service.cancel(req.client, *target),
+                };
+                self.record_reply(req.client, req.req_id, seq, result);
+                for wake in self.service.take_wakes() {
+                    self.record_reply(wake.client, wake.req_id, seq, wake.result);
+                }
+            }
+            self.last_exec = seq;
+            report.replayed += 1;
+        }
+        self.next_seq = self.next_seq.max(self.last_exec).max(self.stable_seq);
+        report.last_exec = self.last_exec;
+        self.store = Some(store);
+        report
+    }
+
     /// Sizes of every growable structure — what the bounded-memory
     /// regression tests assert stays flat under sustained traffic.
     pub fn footprint(&self) -> ReplicaFootprint {
+        let disk = self
+            .store
+            .as_ref()
+            .map(DurableStore::metrics)
+            .unwrap_or_default();
         ReplicaFootprint {
             slots: self.slots.len(),
             ordered: self.ordered.len(),
@@ -346,6 +466,9 @@ impl Replica {
                 .max()
                 .unwrap_or(0),
             registrations: self.service.registrations_len(),
+            wal_bytes: disk.wal_bytes,
+            wal_segments: disk.wal_segments,
+            snapshot_bytes: disk.snapshot_bytes,
         }
     }
 
@@ -836,6 +959,14 @@ impl Replica {
             let slot = self.slots.get_mut(&next).expect("checked above");
             slot.executed = true;
             let batch = slot.batch.clone().expect("checked above");
+            // Write-ahead: the batch reaches the log before any of its
+            // effects reach the service. Synced once per pass, below.
+            if let Some(store) = self.store.as_mut() {
+                if let Err(e) = store.append_batch(next, &batch) {
+                    Self::warn_disk(self.cfg.id, "wal append", &e);
+                    self.store = None;
+                }
+            }
             self.last_exec = next;
             for req in batch {
                 // A request double-ordered across batches (Byzantine
@@ -897,9 +1028,26 @@ impl Replica {
                 self.emit_checkpoint(next, out);
             }
         }
+        // One fsync per execution pass: the durability analogue of
+        // batching by backpressure — heavy load amortizes the sync over
+        // the whole window, light load pays it per request.
+        if let Some(store) = self.store.as_mut() {
+            if let Err(e) = store.sync() {
+                Self::warn_disk(self.cfg.id, "wal sync", &e);
+                self.store = None;
+            }
+        }
         // Executed slots free the in-flight window: the primary drains any
         // backlog that accumulated while the window was full.
         self.try_assign(out);
+    }
+
+    /// Disk failures degrade the replica to memory-only rather than
+    /// wedging the protocol: correctness never depended on the disk (a
+    /// restarted replica can still rejoin by state transfer while any
+    /// peer survives), only full-cluster crash recovery does.
+    fn warn_disk(id: ReplicaId, context: &str, err: &std::io::Error) {
+        eprintln!("replica {id}: disk error during {context}: {err}; continuing memory-only");
     }
 
     // ------------------------------------------------------------------
@@ -909,36 +1057,15 @@ impl Replica {
     /// The checkpoint digest: the service state digest folded with the
     /// protocol-level per-client state (registry + retained replies) —
     /// everything a snapshot ships, so a receiver can re-derive exactly
-    /// this digest from a restored snapshot.
+    /// this digest from a restored snapshot. Delegates to the shared
+    /// [`attestation_digest`], the same fold the snapshot-verification and
+    /// disk-recovery paths recompute.
     fn checkpoint_digest(&self) -> Digest {
-        Self::checkpoint_digest_over(
+        attestation_digest(
             self.service.state_digest(),
             self.registry_rows(),
             self.reply_rows(),
         )
-    }
-
-    /// Digest over a (service digest, registry, replies) triple. Reuses the
-    /// [`ReplicaSnapshot`] wire encoding (with an empty space and empty
-    /// registration rows — both are pinned by `service_digest`, which also
-    /// covers the seq counter, rng word, and registration arrival counter
-    /// raw entries would miss) so the attested digest and the
-    /// restored-snapshot digest are byte-for-byte the same computation.
-    fn checkpoint_digest_over(
-        service_digest: Digest,
-        client_registry: Vec<(u64, u64)>,
-        replies: ReplyRows,
-    ) -> Digest {
-        let meta = ReplicaSnapshot {
-            space: Default::default(),
-            client_registry,
-            replies,
-            registrations: RegistrationRows::new(),
-            next_reg: 0,
-        };
-        let mut buf = service_digest.to_vec();
-        meta.encode(&mut buf);
-        sha256(&buf)
     }
 
     fn registry_rows(&self) -> Vec<(u64, u64)> {
@@ -1108,6 +1235,30 @@ impl Replica {
         }
         // Never assign below the watermark again.
         self.next_seq = self.next_seq.max(h);
+        self.persist_stable(h, digest);
+    }
+
+    /// Writes the just-stabilized checkpoint to disk and prunes the log
+    /// behind it (no-op without a data dir). The persisted attestation is
+    /// recomputed over the state actually captured: stabilization can
+    /// trail execution, so `last_exec` may sit past `h` — the snapshot
+    /// records both points and recovery replays from `exec_seq`.
+    fn persist_stable(&mut self, h: Seq, digest: Digest) {
+        if self.store.is_none() {
+            return;
+        }
+        let snap = DurableSnapshot {
+            stable_seq: h,
+            stable_digest: digest,
+            exec_seq: self.last_exec,
+            attested: self.checkpoint_digest(),
+            snapshot: self.build_snapshot(),
+        };
+        let store = self.store.as_mut().expect("checked above");
+        if let Err(e) = store.persist_checkpoint(&snap) {
+            Self::warn_disk(self.cfg.id, "checkpoint persist", &e);
+            self.store = None;
+        }
     }
 
     /// The `last_exec` value our `FetchState` requests carry: normally our
@@ -1250,7 +1401,7 @@ impl Replica {
             // service digest covers the table, so a lying row set (or a
             // forged arrival counter) fails verification right here.
             restored.restore_registrations(&snapshot.registrations, snapshot.next_reg);
-            let recomputed = Self::checkpoint_digest_over(
+            let recomputed = attestation_digest(
                 restored.state_digest(),
                 snapshot.client_registry.clone(),
                 snapshot.replies.clone(),
@@ -1284,6 +1435,14 @@ impl Replica {
         if seq <= self.last_exec {
             self.slots.clear();
             self.ordered.clear();
+            // A rollback replaces state a quorum proved wrong — the hash
+            // trees of the two states localize the disagreement to the
+            // differing buckets (arity + leading channel), turning "your
+            // digest is wrong" into "these channels diverged".
+            self.diverged =
+                diff_buckets(&self.service.bucket_digests(), &restored.bucket_digests());
+        } else {
+            self.diverged = Vec::new();
         }
         self.rollback_target = 0;
         self.service = restored;

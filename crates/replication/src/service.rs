@@ -295,10 +295,13 @@ impl PeatsService {
     /// decides which waiter future `out`s wake, so divergent tables are
     /// divergent state even over identical tuples.
     pub fn state_digest(&self) -> Digest {
-        let mut buf = Vec::new();
-        for t in self.space.iter() {
-            t.encode(&mut buf);
-        }
+        // The space is covered by its Merkle root rather than a re-encode
+        // of every tuple: the root is maintained incrementally per bucket
+        // (see `peats_tuplespace`'s hash forest), so digesting a large,
+        // mostly-idle space rehashes only the buckets touched since the
+        // last checkpoint — and binds each entry's sequence number, which
+        // the old flat fold did not.
+        let mut buf = self.space.state_root().to_vec();
         self.space.next_seq().encode(&mut buf);
         self.space.rng_state().encode(&mut buf);
         for (key, reg) in &self.registrations {
@@ -307,6 +310,15 @@ impl PeatsService {
         }
         self.next_reg.encode(&mut buf);
         sha256(&buf)
+    }
+
+    /// Per-bucket digests of the space's hash tree ([`diff_buckets`]
+    /// localizes divergence between two replicas to the differing
+    /// channels).
+    ///
+    /// [`diff_buckets`]: peats_tuplespace::diff_buckets
+    pub fn bucket_digests(&self) -> Vec<peats_tuplespace::BucketDigest> {
+        self.space.bucket_digests()
     }
 
     /// Captures the restorable space state (entries + seq counter +

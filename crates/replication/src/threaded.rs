@@ -24,6 +24,7 @@ use crate::replica::{
 };
 use crate::runtime::{replica_main, ClientConfig, ReplicatedPeats};
 use crate::service::PeatsService;
+use crate::wal::{DurableConfig, DurableStore};
 use peats_auth::KeyTable;
 use peats_netsim::{ThreadMailbox, ThreadNet};
 use peats_policy::{MissingParamError, Policy, PolicyParams};
@@ -51,6 +52,15 @@ pub struct ClusterConfig {
     pub progress_period: Duration,
     /// Timing knobs handed to every client handle.
     pub client: ClientConfig,
+    /// Root directory for durable replica state. When set, each replica
+    /// opens a [`DurableStore`](crate::wal::DurableStore) under
+    /// `data_dir/replica-<id>`, recovers from any state found there, and
+    /// write-ahead-logs every executed batch. `None` (the default) runs
+    /// memory-only.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Durability knobs (fsync policy, segment size) applied when
+    /// `data_dir` is set.
+    pub durable: DurableConfig,
 }
 
 impl Default for ClusterConfig {
@@ -61,6 +71,8 @@ impl Default for ClusterConfig {
             checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
             progress_period: Duration::from_millis(300),
             client: ClientConfig::default(),
+            data_dir: None,
+            durable: DurableConfig::default(),
         }
     }
 }
@@ -170,6 +182,7 @@ impl ThreadedCluster {
             if let Some(fault) = faults.get(id) {
                 replica.set_fault(fault.clone());
             }
+            attach_durable(&mut replica, &config, id);
             let replica = Arc::new(parking_lot::Mutex::new(replica));
             replicas.push(Arc::clone(&replica));
             let keys = KeyTable::new(id as u64, master.clone());
@@ -230,7 +243,7 @@ impl ThreadedCluster {
     pub fn restart_replica(&self, id: usize) {
         let service = PeatsService::new(self.policy.clone(), self.params.clone())
             .expect("policy parameters were already validated at start");
-        let fresh = Replica::new(
+        let mut fresh = Replica::new(
             ReplicaConfig {
                 batch_cap: self.config.batch_cap,
                 max_in_flight: self.config.max_in_flight,
@@ -240,6 +253,7 @@ impl ThreadedCluster {
             service,
             self.registry.clone(),
         );
+        attach_durable(&mut fresh, &self.config, id);
         *self.replicas[id].lock() = fresh;
     }
 
@@ -292,6 +306,22 @@ impl ThreadedCluster {
         for j in self.joins.drain(..) {
             let _ = j.join();
         }
+    }
+}
+
+/// Opens `data_dir/replica-<id>` and restores the replica from whatever
+/// durable state is found there. Disk failure is non-fatal: the replica
+/// keeps running memory-only, matching the degrade policy of the
+/// [`wal`](crate::wal) module.
+fn attach_durable(replica: &mut Replica, config: &ClusterConfig, id: usize) {
+    let Some(root) = &config.data_dir else {
+        return;
+    };
+    match DurableStore::open(&root.join(format!("replica-{id}")), config.durable) {
+        Ok((store, recovery)) => {
+            replica.restore_durable(store, recovery);
+        }
+        Err(e) => eprintln!("replica {id}: disk unavailable ({e}); running memory-only"),
     }
 }
 
@@ -631,6 +661,78 @@ mod tests {
             );
         }
         cluster.shutdown();
+    }
+
+    /// The durable tier through the threaded driver: sustained traffic
+    /// keeps the on-disk footprint bounded (checkpoints prune WAL
+    /// segments and old snapshots), and a restarted replica comes back
+    /// from its data dir — `last_exec` is recovered synchronously, before
+    /// a single network message could have carried state transfer.
+    #[test]
+    fn durable_cluster_bounds_disk_and_restarts_from_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("peats-threaded-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cluster = ThreadedCluster::start_with(
+            Policy::allow_all(),
+            PolicyParams::new(),
+            1,
+            &[100],
+            &[],
+            ClusterConfig {
+                checkpoint_interval: 4,
+                data_dir: Some(dir.clone()),
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let h = cluster.handle(0);
+        for i in 0..40i64 {
+            h.out(tuple!["D", i]).unwrap();
+        }
+        // Wait for checkpointing to settle so every replica has persisted
+        // a snapshot and pruned its log.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline
+            && (0..cluster.n_replicas()).any(|id| cluster.stable_seq(id) == 0)
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for id in 0..cluster.n_replicas() {
+            let fp = cluster.replica_footprint(id);
+            assert!(fp.snapshot_bytes > 0, "replica {id} never wrote a snapshot");
+            assert!(
+                fp.wal_segments <= 3,
+                "replica {id} retains {} WAL segments after pruning",
+                fp.wal_segments
+            );
+            assert!(
+                fp.wal_bytes < 100 * 1024,
+                "replica {id} retains {} WAL bytes for a tiny workload",
+                fp.wal_bytes
+            );
+        }
+
+        // Crash-and-restart replica 0: its fresh state machine must load
+        // the durable snapshot + WAL suffix during `restart_replica`
+        // itself (the other replicas haven't even been asked yet).
+        let stable_before = cluster.stable_seq(0);
+        assert!(stable_before > 0);
+        cluster.restart_replica(0);
+        assert!(
+            cluster.last_exec(0) >= stable_before,
+            "restarted replica recovered last_exec {} from disk, expected at least {stable_before}",
+            cluster.last_exec(0)
+        );
+
+        // And it still participates: fresh writes land cluster-wide.
+        h.out(tuple!["POST", 1]).unwrap();
+        assert_eq!(
+            h.rdp(&template!["POST", 1]).unwrap(),
+            Some(tuple!["POST", 1])
+        );
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Algorithm 1 inlined (the full object lives in `peats-consensus`,

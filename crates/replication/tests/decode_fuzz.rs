@@ -9,8 +9,10 @@
 use peats_auth::KeyTable;
 use peats_codec::{Decode, Encode};
 use peats_policy::OpCall;
-use peats_replication::{Message, OpResult, ReplicaSnapshot, Request, RequestOp, Sealed, WaitKind};
-use peats_tuplespace::{template, tuple};
+use peats_replication::{
+    Message, OpResult, ReplicaSnapshot, Request, RequestOp, Sealed, WaitKind, WalRecord,
+};
+use peats_tuplespace::{template, tuple, BucketDigest, BucketKey, Value};
 use proptest::prelude::*;
 
 fn sample_request(client: u64, req_id: u64) -> Request {
@@ -147,13 +149,95 @@ fn sample_messages() -> Vec<Message> {
     ]
 }
 
+/// WAL records as the durable store writes them: executed batches and
+/// checkpoint markers. A crashed disk hands these back corrupted, so the
+/// decoder is as adversarial a surface as the network.
+fn sample_wal_records() -> Vec<WalRecord> {
+    vec![
+        WalRecord::Batch {
+            seq: 1,
+            batch: vec![sample_request(100, 1), sample_request(101, 2)],
+        },
+        WalRecord::Batch {
+            seq: u64::MAX,
+            batch: Vec::new(),
+        },
+        WalRecord::Checkpoint {
+            seq: 8,
+            digest: peats_auth::sha256(b"checkpoint"),
+        },
+    ]
+}
+
+/// Hash-tree nodes as shipped during divergence localization: per-bucket
+/// digests over every key shape (channel-less, and each channel type).
+fn sample_bucket_digests() -> Vec<BucketDigest> {
+    let mk = |arity: u64, channel: Option<Value>, seed: &[u8], entries: u64| BucketDigest {
+        key: BucketKey { arity, channel },
+        digest: peats_auth::sha256(seed),
+        entries,
+    };
+    vec![
+        mk(0, None, b"empty", 0),
+        mk(3, Some(Value::from("JOB")), b"jobs", 41),
+        mk(2, Some(Value::Int(-7)), b"ints", 1),
+        mk(5, Some(Value::Bytes(vec![0, 255, 128])), b"bytes", 9),
+        mk(1, Some(Value::Null), b"null", u64::MAX),
+    ]
+}
+
 proptest! {
-    /// Arbitrary buffers never panic any of the three decoders.
+    /// Arbitrary buffers never panic any of the decoders — network wire
+    /// shapes and durable on-disk shapes alike.
     #[test]
     fn random_buffers_decode_without_panicking(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = Message::from_bytes(&bytes);
         let _ = Sealed::from_bytes(&bytes);
         let _ = ReplicaSnapshot::from_bytes(&bytes);
+        let _ = WalRecord::from_bytes(&bytes);
+        let _ = BucketDigest::from_bytes(&bytes);
+    }
+
+    /// Every proper prefix of a valid WAL record is rejected cleanly; the
+    /// full buffer round-trips; single-byte corruption never panics.
+    #[test]
+    fn truncated_or_corrupt_wal_records_error_cleanly(which in 0usize..3, pos in 0usize..10_000, xor in 0u8..=255) {
+        let rec = &sample_wal_records()[which];
+        let bytes = rec.to_bytes();
+        let cut = pos % bytes.len().max(1);
+        prop_assert!(
+            WalRecord::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded",
+            bytes.len()
+        );
+        prop_assert_eq!(&WalRecord::from_bytes(&bytes).expect("full buffer"), rec);
+        if xor != 0 {
+            let mut corrupt = bytes.clone();
+            let pos = pos % corrupt.len();
+            corrupt[pos] ^= xor;
+            let _ = WalRecord::from_bytes(&corrupt);
+        }
+    }
+
+    /// Hash-tree nodes: every proper prefix rejected, full buffer
+    /// round-trips, corruption never panics.
+    #[test]
+    fn truncated_or_corrupt_bucket_digests_error_cleanly(which in 0usize..5, pos in 0usize..10_000, xor in 0u8..=255) {
+        let node = &sample_bucket_digests()[which];
+        let bytes = node.to_bytes();
+        let cut = pos % bytes.len().max(1);
+        prop_assert!(
+            BucketDigest::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded",
+            bytes.len()
+        );
+        prop_assert_eq!(&BucketDigest::from_bytes(&bytes).expect("full buffer"), node);
+        if xor != 0 {
+            let mut corrupt = bytes.clone();
+            let pos = pos % corrupt.len();
+            corrupt[pos] ^= xor;
+            let _ = BucketDigest::from_bytes(&corrupt);
+        }
     }
 
     /// Every proper prefix of a valid message is rejected cleanly; the

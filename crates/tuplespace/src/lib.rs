@@ -51,6 +51,7 @@
 
 mod draw;
 mod index;
+mod merkle;
 mod reference;
 mod sharded;
 mod space;
@@ -58,6 +59,7 @@ mod template;
 mod tuple;
 mod value;
 
+pub use merkle::{diff_buckets, BucketDigest, BucketKey};
 pub use reference::ScanSpace;
 pub use sharded::{LockScope, ShardedSpace, SpaceView};
 pub use space::{CasOutcome, OpStats, Selection, SequentialSpace, SpaceSnapshot};

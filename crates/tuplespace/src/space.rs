@@ -8,6 +8,7 @@
 
 use crate::draw;
 use crate::index::SpaceIndex;
+use crate::merkle::{BucketDigest, HashForest};
 use crate::template::Template;
 use crate::tuple::Tuple;
 use parking_lot::Mutex;
@@ -169,6 +170,9 @@ pub struct SequentialSpace {
     /// == insertion order.
     entries: BTreeMap<u64, Tuple>,
     index: SpaceIndex,
+    /// Incremental hash tree mirroring `index`'s buckets, so state digests
+    /// rehash only what changed since the last checkpoint.
+    hashes: HashForest,
     seq: SeqAlloc,
     selection: Selection,
     rng: RngSlot,
@@ -342,6 +346,7 @@ impl SequentialSpace {
     pub(crate) fn insert(&mut self, entry: Tuple) {
         let seq = self.seq.next();
         self.index.insert(seq, &entry);
+        self.hashes.insert(seq, &entry);
         self.total_cost_bits += entry.cost_bits();
         self.entries.insert(seq, entry);
     }
@@ -349,6 +354,7 @@ impl SequentialSpace {
     pub(crate) fn remove(&mut self, seq: u64) -> Tuple {
         let entry = self.entries.remove(&seq).expect("picked seq is stored");
         self.index.remove(seq, &entry);
+        self.hashes.remove(seq, &entry);
         self.total_cost_bits -= entry.cost_bits();
         entry
     }
@@ -459,6 +465,23 @@ impl SequentialSpace {
         self.rng.get()
     }
 
+    /// Root of the incremental hash tree over the space's entries,
+    /// maintained bucket-by-bucket as tuples come and go. Recomputes only
+    /// buckets dirtied since the previous call, so repeated digests of a
+    /// mostly-idle space are cheap. Covers exactly the live `(seq, entry)`
+    /// pairs; combine with [`next_seq`](Self::next_seq) and
+    /// [`rng_state`](Self::rng_state) for a full-state digest.
+    pub fn state_root(&self) -> peats_auth::Digest {
+        self.hashes.root()
+    }
+
+    /// Per-bucket digests of the hash tree, sorted by bucket key — the leaf
+    /// list two replicas compare ([`diff_buckets`](crate::diff_buckets)) to
+    /// localize state divergence to specific channels.
+    pub fn bucket_digests(&self) -> Vec<BucketDigest> {
+        self.hashes.bucket_digests()
+    }
+
     /// Captures the full restorable state: live entries with their sequence
     /// numbers plus `next_seq` and the selection rng word. The inverse of
     /// [`restore`](Self::restore).
@@ -493,6 +516,7 @@ impl SequentialSpace {
     /// FIFO order and cross-shard merges replay identically.
     pub(crate) fn insert_at(&mut self, seq: u64, entry: Tuple) {
         self.index.insert(seq, &entry);
+        self.hashes.insert(seq, &entry);
         self.total_cost_bits += entry.cost_bits();
         self.entries.insert(seq, entry);
     }
@@ -502,6 +526,7 @@ impl SequentialSpace {
     pub(crate) fn clear_entries(&mut self) {
         self.entries.clear();
         self.index = SpaceIndex::default();
+        self.hashes.clear();
         self.total_cost_bits = 0;
     }
 
