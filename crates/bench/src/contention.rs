@@ -8,7 +8,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use peats_policy::{
-    Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
+    Invocation, OpCall, Policy, PolicyError, PolicyParams, ProcessId, ReferenceMonitor,
 };
 use peats_tuplespace::{SequentialSpace, ShardedSpace, Template, Tuple, Value};
 use std::sync::Arc;
@@ -26,9 +26,9 @@ impl SingleLockPeats {
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] when the policy declares unset
+    /// Returns [`PolicyError`] when the policy declares unset
     /// parameters.
-    pub fn new(policy: Policy, params: PolicyParams) -> Result<Arc<Self>, MissingParamError> {
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Arc<Self>, PolicyError> {
         Ok(Arc::new(SingleLockPeats {
             state: Mutex::new(SequentialSpace::new()),
             monitor: ReferenceMonitor::new(policy, params)?,

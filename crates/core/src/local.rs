@@ -23,8 +23,7 @@
 use crate::error::{SpaceError, SpaceResult};
 use crate::traits::TupleSpace;
 use peats_policy::{
-    Invocation, MissingParamError, OpCall, OpKind, Policy, PolicyParams, ProcessId,
-    ReferenceMonitor,
+    Invocation, OpCall, OpKind, Policy, PolicyError, PolicyParams, ProcessId, ReferenceMonitor,
 };
 use peats_tuplespace::{
     CasOutcome, LockScope, OpStats, Selection, ShardedSpace, SpaceView, Template, Tuple,
@@ -99,9 +98,9 @@ impl LocalPeats {
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] if the policy declares a parameter that
+    /// Returns [`PolicyError`] if the policy declares a parameter that
     /// `params` does not set.
-    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, MissingParamError> {
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, PolicyError> {
         Self::with_selection(policy, params, Selection::Fifo)
     }
 
@@ -111,7 +110,7 @@ impl LocalPeats {
         policy: Policy,
         params: PolicyParams,
         selection: Selection,
-    ) -> Result<Self, MissingParamError> {
+    ) -> Result<Self, PolicyError> {
         let scopes = Scopes::for_policy(&policy);
         let monitor = ReferenceMonitor::new(policy, params)?;
         Ok(LocalPeats {

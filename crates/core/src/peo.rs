@@ -11,8 +11,8 @@ use crate::error::{SpaceError, SpaceResult};
 use parking_lot::Mutex;
 use peats_policy::eval::StateView;
 use peats_policy::{
-    invoker_in, ArgPattern, CmpOp, Expr, FieldPattern, Invocation, InvocationPattern,
-    MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor, Rule, Term,
+    invoker_in, ArgPattern, CmpOp, Expr, FieldPattern, Invocation, InvocationPattern, OpCall,
+    Policy, PolicyError, PolicyParams, ProcessId, ReferenceMonitor, Rule, Term,
 };
 use peats_tuplespace::{Template, Tuple, Value};
 use std::sync::Arc;
@@ -97,12 +97,12 @@ impl MonotonicRegister {
     ///
     /// # Errors
     ///
-    /// Propagates [`MissingParamError`] (never happens for this policy; the
+    /// Propagates [`PolicyError`] (never happens for this policy; the
     /// signature keeps parity with other constructors).
     pub fn new(
         initial: i64,
         writers: impl IntoIterator<Item = ProcessId>,
-    ) -> Result<Self, MissingParamError> {
+    ) -> Result<Self, PolicyError> {
         let monitor =
             ReferenceMonitor::new(monotonic_register_policy(writers), PolicyParams::new())?;
         Ok(MonotonicRegister {

@@ -15,10 +15,11 @@
 //! Flags may come from the environment as `PEATS_<FLAG>`; flags win.
 
 use peats::{SpaceError, TupleSpace};
-use peats_net::config::{parse_peer_list, Flags};
+use peats_net::config::{parse_param, parse_peer_list, Flags};
 use peats_net::text::{parse_template, parse_tuple};
 use peats_net::{TcpConfig, TcpTransport};
 use peats_netsim::NodeId;
+use peats_policy::{analyze_with, digest_hex, parse_policy_spanned, PolicyParams, Severity};
 use peats_replication::{ClientConfig, ReplicatedPeats};
 use std::time::Duration;
 
@@ -39,6 +40,15 @@ Operations (tuple syntax: '<\"tag\", 42, true, *, ?x: int>'):
                                persistent server-side registration streams
                                every committed match, one per line, until
                                --events N are printed (default: forever)
+
+Policy tooling (no cluster connection):
+  policy check <file>          statically analyze a policy file: prints the
+                               canonical policy digest and every diagnostic
+                               (PA001..PA008) with source positions, then
+                               exits 0 when the policy is loadable (warnings
+                               allowed) or 2 on parse/analysis errors
+  --params NAME=VALUE,...      policy parameter values for the analysis
+                               (repeatable, or one comma list)
 
 Connection (flags may come from the environment as PEATS_<FLAG>):
   --servers ID=HOST:PORT,...   every replica's address (required)
@@ -72,6 +82,17 @@ fn main() {
 
 fn run(args: Vec<String>) -> Result<i32, String> {
     let flags = Flags::scan("PEATS", args)?;
+
+    // `peats policy ...` works offline — dispatch before any connection
+    // flags are required.
+    let pos = flags.positional();
+    if pos.first().map(String::as_str) == Some("policy") {
+        return match (pos.get(1).map(String::as_str), pos.get(2), pos.len()) {
+            (Some("check"), Some(file), 3) => policy_check(file, &flags),
+            _ => Err("usage: peats policy check <file> [--params NAME=VALUE,...]".to_owned()),
+        };
+    }
+
     let servers = parse_peer_list(&flags.require("servers")?)?;
     let f: usize = flags.parse_or("f", 1)?;
     let n = 3 * f + 1;
@@ -175,7 +196,7 @@ fn run(args: Vec<String>) -> Result<i32, String> {
             Ok(0)
         }
         Err(SpaceError::Denied(decision)) => {
-            eprintln!("peats: denied by policy: {decision:?}");
+            eprintln!("peats: denied by policy: {decision}");
             Ok(2)
         }
         Err(SpaceError::Unavailable(why)) => {
@@ -183,6 +204,54 @@ fn run(args: Vec<String>) -> Result<i32, String> {
             Ok(3)
         }
     }
+}
+
+/// `peats policy check <file>`: parse and statically analyze a policy,
+/// print its canonical digest and diagnostics, and report loadability via
+/// the exit status (0 loadable, 2 parse/analysis errors).
+fn policy_check(path: &str, flags: &Flags) -> Result<i32, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (policy, spans) = match parse_policy_spanned(&src) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            println!("{path}: parse error: {e}");
+            return Ok(2);
+        }
+    };
+    let mut params = PolicyParams::new();
+    for entry in flags.all("params") {
+        for part in entry.split(',').filter(|p| !p.trim().is_empty()) {
+            let (name, value) = parse_param(part)?;
+            params.set(name, value);
+        }
+    }
+
+    println!(
+        "policy {} ({} rule{}) digest {}",
+        policy.name,
+        policy.rules.len(),
+        if policy.rules.len() == 1 { "" } else { "s" },
+        digest_hex(&policy.digest())
+    );
+    let diagnostics = analyze_with(&policy, &spans, Some(&params));
+    for d in &diagnostics {
+        println!("{path}: {d}");
+        if let Some(help) = &d.help {
+            println!("  help: {help}");
+        }
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    println!(
+        "{errors} error{}, {warnings} warning{}/note{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    Ok(if errors > 0 { 2 } else { 0 })
 }
 
 /// One persistent registration, a stream of certified events: each line is
@@ -198,7 +267,7 @@ fn watch(
     let mut sub = match space.subscribe(template) {
         Ok(sub) => sub,
         Err(SpaceError::Denied(decision)) => {
-            eprintln!("peats: denied by policy: {decision:?}");
+            eprintln!("peats: denied by policy: {decision}");
             return Ok(2);
         }
         Err(SpaceError::Unavailable(why)) => {
@@ -216,7 +285,7 @@ fn watch(
             }
             Ok(None) => {}
             Err(SpaceError::Denied(decision)) => {
-                eprintln!("peats: denied by policy: {decision:?}");
+                eprintln!("peats: denied by policy: {decision}");
                 return Ok(2);
             }
             Err(SpaceError::Unavailable(why)) => {

@@ -17,7 +17,10 @@
 use peats_net::config::{bind_with_retry, parse_node_addr, parse_node_pid, parse_param, Flags};
 use peats_net::{TcpConfig, TcpTransport};
 use peats_netsim::NodeId;
-use peats_policy::{parse_policy, Policy, PolicyParams};
+use peats_policy::{
+    analyze_with, digest_hex, has_errors, parse_policy_spanned, Policy, PolicyParams, PolicySpans,
+    Severity,
+};
 use peats_replication::replica::{Replica, ReplicaConfig};
 use peats_replication::{replica_main, DurableConfig, DurableStore, PeatsService};
 use std::collections::BTreeMap;
@@ -140,14 +143,36 @@ fn run(args: Vec<String>) -> Result<(), String> {
         .unwrap_or_else(|| "peats-dev-master".to_owned())
         .into_bytes();
 
-    let policy = load_policy(&flags)?;
+    let (policy, spans) = load_policy(&flags)?;
     let mut params = PolicyParams::new();
     for entry in flags.all("param") {
         let (name, value) = parse_param(&entry)?;
         params.set(name, value);
     }
-    let service =
-        PeatsService::new(policy, params).map_err(|e| format!("policy parameters: {e}"))?;
+
+    // Static analysis gate: refuse to serve behind a policy that is
+    // guaranteed to misevaluate (unbound variables, type errors, …) —
+    // those bugs would otherwise surface only as spurious runtime denials.
+    let diagnostics = analyze_with(&policy, &spans, Some(&params));
+    if has_errors(&diagnostics) {
+        let mut msg = format!("policy `{}` rejected by static analysis:", policy.name);
+        for d in diagnostics.iter().filter(|d| d.severity == Severity::Error) {
+            msg.push_str(&format!("\n  {d}"));
+        }
+        return Err(msg);
+    }
+    for d in &diagnostics {
+        eprintln!("peatsd: policy {}: {d}", policy.name);
+    }
+    // The canonical digest lets operators diff policies across replicas:
+    // replicas enforcing different policy texts silently diverge.
+    println!(
+        "peatsd: policy {} digest {}",
+        policy.name,
+        digest_hex(&policy.digest())
+    );
+
+    let service = PeatsService::new(policy, params).map_err(|e| format!("policy: {e}"))?;
 
     let defaults = ReplicaConfig::new(id, n, f);
     let cfg = ReplicaConfig {
@@ -208,18 +233,22 @@ fn run(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_policy(flags: &Flags) -> Result<Policy, String> {
+fn load_policy(flags: &Flags) -> Result<(Policy, PolicySpans), String> {
+    let builtin = |p: Policy| {
+        let spans = PolicySpans::unknown(&p);
+        (p, spans)
+    };
     match (flags.get("policy"), flags.get("policy-file")) {
-        (Some(p), None) if p == "allow-all" => Ok(Policy::allow_all()),
+        (Some(p), None) if p == "allow-all" => Ok(builtin(Policy::allow_all())),
         (Some(p), None) => Err(format!(
             "--policy `{p}`: only `allow-all` is named; use --policy-file for a DSL policy"
         )),
         (None, Some(path)) => {
             let src =
                 std::fs::read_to_string(&path).map_err(|e| format!("--policy-file {path}: {e}"))?;
-            parse_policy(&src).map_err(|e| format!("--policy-file {path}: {e}"))
+            parse_policy_spanned(&src).map_err(|e| format!("--policy-file {path}: {e}"))
         }
         (Some(_), Some(_)) => Err("--policy and --policy-file are mutually exclusive".to_owned()),
-        (None, None) => Ok(Policy::allow_all()),
+        (None, None) => Ok(builtin(Policy::allow_all())),
     }
 }

@@ -20,7 +20,7 @@
 use crate::{TcpConfig, TcpTransport};
 use peats_auth::KeyTable;
 use peats_netsim::NodeId;
-use peats_policy::{MissingParamError, Policy, PolicyParams};
+use peats_policy::{Policy, PolicyError, PolicyParams};
 use peats_replication::replica::{Replica, ReplicaConfig, ReplicaFootprint};
 use peats_replication::{replica_main, ClusterConfig, DurableStore, PeatsService, ReplicatedPeats};
 use std::collections::BTreeMap;
@@ -74,7 +74,7 @@ impl TcpCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] when the policy declares unset
+    /// Returns [`PolicyError`] when the policy declares unset
     /// parameters.
     ///
     /// # Panics
@@ -87,7 +87,7 @@ impl TcpCluster {
         f: usize,
         client_pids: &[u64],
         config: TcpClusterConfig,
-    ) -> Result<Self, MissingParamError> {
+    ) -> Result<Self, PolicyError> {
         let n_replicas = 3 * f + 1;
         let master = b"peats-tcp-master".to_vec();
         let registry: BTreeMap<u64, u64> = client_pids
@@ -136,7 +136,7 @@ impl TcpCluster {
         Ok(cluster)
     }
 
-    fn fresh_replica(&self, id: usize) -> Result<Replica, MissingParamError> {
+    fn fresh_replica(&self, id: usize) -> Result<Replica, PolicyError> {
         let service = PeatsService::new(self.policy.clone(), self.params.clone())?;
         let mut replica = Replica::new(
             ReplicaConfig {

@@ -1,0 +1,1145 @@
+//! Static analysis of access policies — the policy verifier.
+//!
+//! Policies are the trusted computing base of a policy-enforced object:
+//! a semantic bug in a rule (an unbound variable, a type error, a dead
+//! rule) only ever surfaces at runtime as a fail-safe denial
+//! ([`EvalError`](crate::EvalError) → `false`) that is indistinguishable
+//! from an intended one. [`analyze`] runs a multi-check static pass over
+//! the AST *before* the policy gates anything, returning structured
+//! [`Diagnostic`]s:
+//!
+//! | code | check | severity |
+//! |------|-------|----------|
+//! | [`UNBOUND_VARIABLE`] (PA001) | variable/`formal()` target never bound by the pattern, a quantifier, or params | error |
+//! | [`MAYBE_NOT_A_VALUE`] (PA002) | template-bound variable used where a value is required | warning |
+//! | [`TYPE_MISMATCH`] (PA003) | operator applied to a statically wrong type | error (warning for always-false `==`) |
+//! | [`CONST_ARITHMETIC`] (PA004) | constant `%` by zero | error |
+//! | [`DEAD_RULE`] (PA005) | rule shadowed by an earlier constant-`true` rule | warning |
+//! | [`UNSATISFIABLE_RULE`] (PA006) | condition constant-folds to `false` | warning |
+//! | [`UNCOVERED_OP`] (PA007) | op kind covered by no rule (always denied) | warning |
+//! | [`STATE_READ_COST`] (PA008) | rule reads state → covered ops lose the shard/read fast paths | info |
+//!
+//! [`ReferenceMonitor::new`](crate::ReferenceMonitor::new) rejects policies
+//! with `Severity::Error` diagnostics; `peatsd` and `peats policy check`
+//! surface the rest.
+
+use crate::ast::{
+    ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Policy, PolicyParams, QueryField,
+    Term,
+};
+use crate::invocation::OpKind;
+use crate::span::{ExprSpans, PolicySpans, Span, TermSpans};
+use peats_tuplespace::{TypeTag, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Diagnostic code: variable referenced but never bound (PA001, error).
+pub const UNBOUND_VARIABLE: &str = "PA001";
+/// Diagnostic code: template-bound variable used as a value (PA002, warning).
+pub const MAYBE_NOT_A_VALUE: &str = "PA002";
+/// Diagnostic code: static type mismatch (PA003).
+pub const TYPE_MISMATCH: &str = "PA003";
+/// Diagnostic code: constant arithmetic failure, e.g. `% 0` (PA004, error).
+pub const CONST_ARITHMETIC: &str = "PA004";
+/// Diagnostic code: rule shadowed by an earlier always-granting rule
+/// (PA005, warning).
+pub const DEAD_RULE: &str = "PA005";
+/// Diagnostic code: condition constant-folds to `false` (PA006, warning).
+pub const UNSATISFIABLE_RULE: &str = "PA006";
+/// Diagnostic code: operation kind covered by no rule (PA007, warning).
+pub const UNCOVERED_OP: &str = "PA007";
+/// Diagnostic code: rule forces covered ops off the fast paths
+/// (PA008, info).
+pub const STATE_READ_COST: &str = "PA008";
+
+/// How serious a [`Diagnostic`] is. Ordered most-severe-first so sorting
+/// by severity lists errors before warnings before notes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The policy will misbehave at runtime (guaranteed `EvalError` →
+    /// spurious denial); load paths refuse the policy.
+    Error,
+    /// Suspicious but loadable: dead rules, uncovered operations,
+    /// possibly-failing uses.
+    Warning,
+    /// Cost/locking explanation, no defect implied.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`PA001`…); see the module table.
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Name of the rule the finding is about, `None` for policy-level
+    /// findings (coverage).
+    pub rule: Option<String>,
+    /// Source position (unknown for programmatically built policies).
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// Optional suggestion on how to fix or interpret it.
+    pub help: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(rule) = &self.rule {
+            write!(f, " rule {rule}")?;
+        }
+        if self.span.is_known() {
+            write!(f, " at {}", self.span)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// `true` if any diagnostic is a [`Severity::Error`] — the load-path gate.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+const ALL_KINDS: [OpKind; 7] = [
+    OpKind::Out,
+    OpKind::Rd,
+    OpKind::In,
+    OpKind::Rdp,
+    OpKind::Inp,
+    OpKind::Cas,
+    OpKind::Count,
+];
+
+/// Analyzes a policy without source spans or known parameter values —
+/// the form the [`ReferenceMonitor`](crate::ReferenceMonitor) and tests
+/// over programmatic policies use. Diagnostics carry unknown spans.
+pub fn analyze(policy: &Policy) -> Vec<Diagnostic> {
+    analyze_with(policy, &PolicySpans::unknown(policy), None)
+}
+
+/// Analyzes a policy with the span tree from
+/// [`parse_policy_spanned`](crate::parse_policy_spanned) and, optionally,
+/// the concrete parameter values the policy will run with (known values
+/// sharpen constant folding — e.g. `pos % n` with `n = 0`).
+pub fn analyze_with(
+    policy: &Policy,
+    spans: &PolicySpans,
+    params: Option<&PolicyParams>,
+) -> Vec<Diagnostic> {
+    let mut a = Analyzer {
+        params,
+        declared: policy.params.iter().map(String::as_str).collect(),
+        diags: Vec::new(),
+        rule_name: String::new(),
+        binds: BTreeMap::new(),
+        reported: BTreeSet::new(),
+        state_sites: Vec::new(),
+    };
+
+    let mut folds: Vec<Option<bool>> = Vec::with_capacity(policy.rules.len());
+    for (i, rule) in policy.rules.iter().enumerate() {
+        let rsp = spans.rule(i, rule);
+        a.rule_name = rule.name.clone();
+        a.binds = collect_binds(&rule.pattern);
+        a.reported.clear();
+        a.state_sites.clear();
+
+        let fold = a.check_expr(&rule.condition, &rsp.condition, &BTreeSet::new());
+
+        if fold == Some(false) {
+            a.push_rule(
+                UNSATISFIABLE_RULE,
+                Severity::Warning,
+                rsp.condition.span,
+                "condition always evaluates to false — this rule can never grant".to_owned(),
+                Some("remove the rule, or fix the constant condition".to_owned()),
+            );
+        }
+        for (j, earlier) in policy.rules.iter().enumerate().take(i) {
+            if folds[j] == Some(true) && pattern_subsumes(&earlier.pattern, &rule.pattern) {
+                a.push_rule(
+                    DEAD_RULE,
+                    Severity::Warning,
+                    rsp.head,
+                    format!(
+                        "rule is unreachable: every invocation it matches is already granted \
+                         by earlier rule `{}`",
+                        earlier.name
+                    ),
+                    Some("reorder the rules or delete the shadowed one".to_owned()),
+                );
+                break;
+            }
+        }
+        if !a.state_sites.is_empty() {
+            let kinds: Vec<String> = ALL_KINDS
+                .iter()
+                .filter(|k| rule.pattern.covers(**k))
+                .map(|k| k.to_string())
+                .collect();
+            let sites: Vec<String> = a
+                .state_sites
+                .iter()
+                .map(|(what, sp)| {
+                    if sp.is_known() {
+                        format!("{what} at {sp}")
+                    } else {
+                        what.clone()
+                    }
+                })
+                .collect();
+            let first = a.state_sites[0].1;
+            a.push_rule(
+                STATE_READ_COST,
+                Severity::Info,
+                first,
+                format!(
+                    "condition reads the object state ({} site{}), so {} operations are \
+                     decided against a whole-space view: they take the full-space lock \
+                     scope instead of the shard fast path, and reads fall back to \
+                     totally-ordered rounds instead of the quorum read fast path",
+                    a.state_sites.len(),
+                    if a.state_sites.len() == 1 { "" } else { "s" },
+                    kinds.join("/"),
+                ),
+                Some(format!("state sites: {}", sites.join(", "))),
+            );
+        }
+        folds.push(fold);
+    }
+
+    for kind in ALL_KINDS {
+        if !policy.rules.iter().any(|r| r.pattern.covers(kind)) {
+            a.diags.push(Diagnostic {
+                code: UNCOVERED_OP,
+                severity: Severity::Warning,
+                rule: None,
+                span: spans.span,
+                message: format!("no rule covers `{kind}` — every `{kind}` invocation is denied"),
+                help: Some(format!(
+                    "add a rule with a `{kind}(...)` pattern (`read(...)` covers \
+                     rd/rdp/count) if this operation should ever be allowed"
+                )),
+            });
+        }
+    }
+
+    let mut diags = a.diags;
+    diags.sort_by_key(|d| d.severity);
+    diags
+}
+
+/// How a pattern binder will be bound at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Bind {
+    /// Bound in at least one *entry* position (`out` argument, `cas`
+    /// second argument): always a defined [`Value`]. When the same name
+    /// is also template-bound, Prolog-style unification forces the
+    /// template binding to equal the entry value, so the rule only ever
+    /// matches with a `Value` binding.
+    Entry,
+    /// Bound only in template positions: may be a `Value`, `Wildcard`,
+    /// or `Formal` depending on the caller's template.
+    TemplateOnly,
+}
+
+fn collect_arg_binds(arg: &ArgPattern, entry: bool, out: &mut BTreeMap<String, Bind>) {
+    if let ArgPattern::Fields(fs) = arg {
+        for f in fs {
+            if let FieldPattern::Bind(name) = f {
+                let e = out.entry(name.clone()).or_insert(Bind::TemplateOnly);
+                if entry {
+                    *e = Bind::Entry;
+                }
+            }
+        }
+    }
+}
+
+fn collect_binds(pattern: &InvocationPattern) -> BTreeMap<String, Bind> {
+    let mut out = BTreeMap::new();
+    match pattern {
+        InvocationPattern::Out(a) => collect_arg_binds(a, true, &mut out),
+        InvocationPattern::Rd(a)
+        | InvocationPattern::In(a)
+        | InvocationPattern::Rdp(a)
+        | InvocationPattern::Inp(a)
+        | InvocationPattern::Count(a)
+        | InvocationPattern::Read(a) => collect_arg_binds(a, false, &mut out),
+        InvocationPattern::Cas(t, e) => {
+            collect_arg_binds(t, false, &mut out);
+            collect_arg_binds(e, true, &mut out);
+        }
+    }
+    out
+}
+
+fn pattern_args(p: &InvocationPattern) -> Vec<&ArgPattern> {
+    match p {
+        InvocationPattern::Cas(t, e) => vec![t, e],
+        InvocationPattern::Out(a)
+        | InvocationPattern::Rd(a)
+        | InvocationPattern::In(a)
+        | InvocationPattern::Rdp(a)
+        | InvocationPattern::Inp(a)
+        | InvocationPattern::Count(a)
+        | InvocationPattern::Read(a) => vec![a],
+    }
+}
+
+fn has_duplicate_binders(p: &InvocationPattern) -> bool {
+    let mut seen = BTreeSet::new();
+    for arg in pattern_args(p) {
+        if let ArgPattern::Fields(fs) = arg {
+            for f in fs {
+                if let FieldPattern::Bind(name) = f {
+                    if !seen.insert(name.clone()) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `true` if every invocation matched by `later` is also matched by
+/// `earlier` (conservative: may answer `false` for patterns that do
+/// subsume).
+fn pattern_subsumes(earlier: &InvocationPattern, later: &InvocationPattern) -> bool {
+    if !ALL_KINDS
+        .iter()
+        .all(|k| !later.covers(*k) || earlier.covers(*k))
+    {
+        return false;
+    }
+    let ea = pattern_args(earlier);
+    let la = pattern_args(later);
+    if ea.len() != la.len() {
+        return false;
+    }
+    // A repeated binder in the earlier pattern constrains matches beyond
+    // "anything" (unification), so its `?x` fields no longer subsume.
+    let dup = has_duplicate_binders(earlier);
+    ea.iter().zip(&la).all(|(e, l)| arg_subsumes(e, l, dup))
+}
+
+fn arg_subsumes(earlier: &ArgPattern, later: &ArgPattern, earlier_dup: bool) -> bool {
+    match (earlier, later) {
+        (ArgPattern::Any, _) => true,
+        (ArgPattern::Fields(_), ArgPattern::Any) => false,
+        (ArgPattern::Fields(ef), ArgPattern::Fields(lf)) => {
+            ef.len() == lf.len()
+                && ef
+                    .iter()
+                    .zip(lf)
+                    .all(|(e, l)| field_subsumes(e, l, earlier_dup))
+        }
+    }
+}
+
+fn field_subsumes(earlier: &FieldPattern, later: &FieldPattern, earlier_dup: bool) -> bool {
+    match earlier {
+        FieldPattern::Ignore => true,
+        FieldPattern::Bind(_) => !earlier_dup,
+        FieldPattern::Lit(v) => matches!(later, FieldPattern::Lit(w) if v == w),
+    }
+}
+
+/// Abstract type of a term: a known constant, a known type tag, or
+/// anything.
+#[derive(Clone, Debug, PartialEq)]
+enum Ty {
+    Any,
+    Exact(TypeTag),
+    Const(Value),
+}
+
+impl Ty {
+    fn tag(&self) -> Option<TypeTag> {
+        match self {
+            Ty::Any => None,
+            Ty::Exact(t) => Some(*t),
+            Ty::Const(v) => Some(v.type_tag()),
+        }
+    }
+
+    fn as_const(&self) -> Option<&Value> {
+        match self {
+            Ty::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn const_int(&self) -> Option<i64> {
+        self.as_const().and_then(Value::as_int)
+    }
+}
+
+struct Analyzer<'a> {
+    params: Option<&'a PolicyParams>,
+    declared: BTreeSet<&'a str>,
+    diags: Vec<Diagnostic>,
+    // Per-rule state, reset between rules.
+    rule_name: String,
+    binds: BTreeMap<String, Bind>,
+    /// `(code, variable)` pairs already reported for this rule, so a
+    /// variable used ten times yields one diagnostic.
+    reported: BTreeSet<(&'static str, String)>,
+    /// `exists`/`state.*` sites found in this rule's condition.
+    state_sites: Vec<(String, Span)>,
+}
+
+impl Analyzer<'_> {
+    fn push_rule(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: String,
+        help: Option<String>,
+    ) {
+        self.diags.push(Diagnostic {
+            code,
+            severity,
+            rule: Some(self.rule_name.clone()),
+            span,
+            message,
+            help,
+        });
+    }
+
+    fn report_var_once(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        var: &str,
+        span: Span,
+        message: String,
+        help: Option<String>,
+    ) {
+        if self.reported.insert((code, var.to_owned())) {
+            self.push_rule(code, severity, span, message, help);
+        }
+    }
+
+    fn require_int(&mut self, ty: &Ty, span: Span, what: &str) {
+        if let Some(tag) = ty.tag() {
+            if tag != TypeTag::Int {
+                self.push_rule(
+                    TYPE_MISMATCH,
+                    Severity::Error,
+                    span,
+                    format!("{what} needs an int, got {tag}"),
+                    Some(
+                        "the evaluator raises a type error here, which denies the invocation"
+                            .to_owned(),
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Resolves a variable used where a *value* is required, mirroring the
+    /// evaluator's lookup order (quantifier locals → pattern bindings →
+    /// policy parameters).
+    fn ty_var(&mut self, x: &str, span: Span, locals: &BTreeSet<String>) -> Ty {
+        if locals.contains(x) {
+            return Ty::Any;
+        }
+        match self.binds.get(x).copied() {
+            Some(Bind::Entry) => return Ty::Any,
+            Some(Bind::TemplateOnly) => {
+                self.report_var_once(
+                    MAYBE_NOT_A_VALUE,
+                    Severity::Warning,
+                    x,
+                    span,
+                    format!(
+                        "variable `{x}` is bound from a template position and may be a \
+                         wildcard or formal field at runtime; using it as a value then \
+                         fails and denies the invocation"
+                    ),
+                    Some(format!(
+                        "if that denial is not intended, test `formal({x})`/`wildcard({x})` \
+                         first — `&&` short-circuits, so the value use is only reached \
+                         for defined values"
+                    )),
+                );
+                return Ty::Any;
+            }
+            None => {}
+        }
+        if self.declared.contains(x) {
+            return match self.params.and_then(|p| p.get(x)) {
+                Some(v) => Ty::Const(Value::Int(v)),
+                None => Ty::Exact(TypeTag::Int),
+            };
+        }
+        self.report_var_once(
+            UNBOUND_VARIABLE,
+            Severity::Error,
+            x,
+            span,
+            format!(
+                "unbound variable `{x}`: not bound by the invocation pattern, a \
+                 quantifier, or the declared policy parameters"
+            ),
+            Some(format!(
+                "bind it with `?{x}` in the pattern, or declare it as a policy parameter"
+            )),
+        );
+        Ty::Any
+    }
+
+    fn ty_term(&mut self, term: &Term, sp: &TermSpans, locals: &BTreeSet<String>) -> Ty {
+        match term {
+            Term::Const(v) => Ty::Const(v.clone()),
+            Term::Var(x) => self.ty_var(x, sp.span, locals),
+            Term::Invoker => Ty::Exact(TypeTag::Int),
+            Term::StateField(name) => {
+                self.state_sites.push((format!("state.{name}"), sp.span));
+                Ty::Any
+            }
+            Term::Add(a, b) | Term::Sub(a, b) => {
+                let ta = self.ty_term(a, sp.child(0), locals);
+                let tb = self.ty_term(b, sp.child(1), locals);
+                let op = if matches!(term, Term::Add(_, _)) {
+                    "`+`"
+                } else {
+                    "`-`"
+                };
+                self.require_int(&ta, sp.child(0).span, op);
+                self.require_int(&tb, sp.child(1).span, op);
+                match (ta.const_int(), tb.const_int()) {
+                    (Some(x), Some(y)) => {
+                        let folded = if matches!(term, Term::Add(_, _)) {
+                            x.checked_add(y)
+                        } else {
+                            x.checked_sub(y)
+                        };
+                        match folded {
+                            Some(v) => Ty::Const(Value::Int(v)),
+                            None => Ty::Exact(TypeTag::Int),
+                        }
+                    }
+                    _ => Ty::Exact(TypeTag::Int),
+                }
+            }
+            Term::Mod(a, b) => {
+                let ta = self.ty_term(a, sp.child(0), locals);
+                let tb = self.ty_term(b, sp.child(1), locals);
+                self.require_int(&ta, sp.child(0).span, "`%`");
+                self.require_int(&tb, sp.child(1).span, "`%`");
+                if tb.const_int() == Some(0) {
+                    self.push_rule(
+                        CONST_ARITHMETIC,
+                        Severity::Error,
+                        sp.child(1).span,
+                        "`%` by constant zero always raises an arithmetic error and \
+                         denies the invocation"
+                            .to_owned(),
+                        None,
+                    );
+                    return Ty::Exact(TypeTag::Int);
+                }
+                match (ta.const_int(), tb.const_int()) {
+                    (Some(x), Some(y)) if y != 0 => Ty::Const(Value::Int(x.rem_euclid(y))),
+                    _ => Ty::Exact(TypeTag::Int),
+                }
+            }
+            Term::Card(t) => {
+                let tt = self.ty_term(t, sp.child(0), locals);
+                if let Some(tag) = tt.tag() {
+                    if !matches!(
+                        tag,
+                        TypeTag::Str | TypeTag::Bytes | TypeTag::List | TypeTag::Set | TypeTag::Map
+                    ) {
+                        self.push_rule(
+                            TYPE_MISMATCH,
+                            Severity::Error,
+                            sp.child(0).span,
+                            format!("card() needs a collection or string, got {tag}"),
+                            None,
+                        );
+                    }
+                }
+                match tt.as_const().and_then(Value::cardinality) {
+                    Some(c) => Ty::Const(Value::Int(c as i64)),
+                    None => Ty::Exact(TypeTag::Int),
+                }
+            }
+            Term::UnionVals(t) => {
+                let tt = self.ty_term(t, sp.child(0), locals);
+                if let Some(tag) = tt.tag() {
+                    if tag != TypeTag::Map {
+                        self.push_rule(
+                            TYPE_MISMATCH,
+                            Severity::Error,
+                            sp.child(0).span,
+                            format!("union_vals() needs a map, got {tag}"),
+                            None,
+                        );
+                    }
+                }
+                Ty::Exact(TypeTag::Set)
+            }
+            Term::SetOf(ts) => {
+                let tys: Vec<Ty> = ts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| self.ty_term(t, sp.child(i), locals))
+                    .collect();
+                if tys.iter().all(|t| t.as_const().is_some()) {
+                    Ty::Const(Value::Set(
+                        tys.iter().filter_map(|t| t.as_const().cloned()).collect(),
+                    ))
+                } else {
+                    Ty::Exact(TypeTag::Set)
+                }
+            }
+        }
+    }
+
+    /// Resolves the target of `formal(x)`/`wildcard(x)`, which — unlike
+    /// value uses — never falls back to the parameter namespace. Returns
+    /// `Some(false)` when the predicate is statically constant.
+    fn check_binder_predicate(
+        &mut self,
+        pred: &str,
+        x: &str,
+        span: Span,
+        locals: &BTreeSet<String>,
+    ) -> Option<bool> {
+        if locals.contains(x) {
+            // Quantifier locals are always defined values.
+            return Some(false);
+        }
+        match self.binds.get(x).copied() {
+            // Entry positions always bind values; if the same name is also
+            // template-bound, unification forces equality, so a matching
+            // invocation can only carry a value.
+            Some(Bind::Entry) => Some(false),
+            Some(Bind::TemplateOnly) => None,
+            None => {
+                let extra = if self.declared.contains(x) {
+                    format!(
+                        " (`{x}` is a policy parameter, but `{pred}()` inspects pattern \
+                         bindings and does not fall back to parameters)"
+                    )
+                } else {
+                    String::new()
+                };
+                self.report_var_once(
+                    UNBOUND_VARIABLE,
+                    Severity::Error,
+                    x,
+                    span,
+                    format!("`{pred}({x})` refers to `{x}`, which the pattern never binds{extra}"),
+                    Some(format!("bind it with `?{x}` in the invocation pattern")),
+                );
+                None
+            }
+        }
+    }
+
+    /// Walks an expression, emitting diagnostics and computing a strict
+    /// constant fold: `Some(b)` means the condition always evaluates to
+    /// `b` *without error*; `None` means it depends on the invocation or
+    /// state (or might error).
+    fn check_expr(&mut self, e: &Expr, sp: &ExprSpans, locals: &BTreeSet<String>) -> Option<bool> {
+        match e {
+            Expr::True => Some(true),
+            Expr::False => Some(false),
+            Expr::And(a, b) => {
+                let fa = self.check_expr(a, sp.expr(0), locals);
+                let fb = self.check_expr(b, sp.expr(1), locals);
+                match (fa, fb) {
+                    // `&&` short-circuits, so a constant-false left side
+                    // makes the conjunction constant regardless of the
+                    // right side.
+                    (Some(false), _) => Some(false),
+                    (Some(true), x) => x,
+                    (None, _) => None,
+                }
+            }
+            Expr::Or(a, b) => {
+                let fa = self.check_expr(a, sp.expr(0), locals);
+                let fb = self.check_expr(b, sp.expr(1), locals);
+                match (fa, fb) {
+                    (Some(true), _) => Some(true),
+                    (Some(false), x) => x,
+                    (None, _) => None,
+                }
+            }
+            Expr::Not(inner) => self.check_expr(inner, sp.expr(0), locals).map(|b| !b),
+            Expr::Cmp(op, a, b) => {
+                let ta = self.ty_term(a, sp.term(0), locals);
+                let tb = self.ty_term(b, sp.term(1), locals);
+                match op {
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                        self.require_int(&ta, sp.term(0).span, format!("`{op}`").as_str());
+                        self.require_int(&tb, sp.term(1).span, format!("`{op}`").as_str());
+                        match (ta.const_int(), tb.const_int()) {
+                            (Some(x), Some(y)) => Some(match op {
+                                CmpOp::Lt => x < y,
+                                CmpOp::Le => x <= y,
+                                CmpOp::Gt => x > y,
+                                _ => x >= y,
+                            }),
+                            _ => None,
+                        }
+                    }
+                    CmpOp::Eq | CmpOp::Ne => {
+                        if let (Some(t1), Some(t2)) = (ta.tag(), tb.tag()) {
+                            if t1 != t2 {
+                                let always = if *op == CmpOp::Eq { "false" } else { "true" };
+                                self.push_rule(
+                                    TYPE_MISMATCH,
+                                    Severity::Warning,
+                                    sp.span,
+                                    format!(
+                                        "`{op}` compares {t1} with {t2}; the comparison is \
+                                         always {always}"
+                                    ),
+                                    None,
+                                );
+                            }
+                        }
+                        match (ta.as_const(), tb.as_const()) {
+                            (Some(x), Some(y)) => {
+                                Some(if *op == CmpOp::Eq { x == y } else { x != y })
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+            }
+            Expr::IsFormal(x) => self.check_binder_predicate("formal", x, sp.span, locals),
+            Expr::IsWildcard(x) => self.check_binder_predicate("wildcard", x, sp.span, locals),
+            Expr::Contains { item, collection } => {
+                let ti = self.ty_term(item, sp.term(0), locals);
+                let tc = self.ty_term(collection, sp.term(1), locals);
+                if let Some(tag) = tc.tag() {
+                    if !matches!(tag, TypeTag::Set | TypeTag::List | TypeTag::Map) {
+                        self.push_rule(
+                            TYPE_MISMATCH,
+                            Severity::Error,
+                            sp.term(1).span,
+                            format!("`in` needs a set, list, or map on the right, got {tag}"),
+                            None,
+                        );
+                    }
+                }
+                match (ti.as_const(), tc.as_const()) {
+                    (Some(item), Some(Value::Set(s))) => Some(s.contains(item)),
+                    (Some(item), Some(Value::List(l))) => Some(l.contains(item)),
+                    (Some(item), Some(Value::Map(m))) => Some(m.contains_key(item)),
+                    _ => None,
+                }
+            }
+            Expr::Exists {
+                query,
+                where_clause,
+            } => {
+                self.state_sites.push((format!("exists({query})"), sp.span));
+                let mut inner = locals.clone();
+                for (i, f) in query.0.iter().enumerate() {
+                    match f {
+                        QueryField::Term(t) => {
+                            self.ty_term(t, sp.term(i), locals);
+                        }
+                        QueryField::Bind(name) => {
+                            inner.insert(name.clone());
+                        }
+                        QueryField::Any => {}
+                    }
+                }
+                self.check_expr(where_clause, sp.expr(0), &inner);
+                None
+            }
+            Expr::ForAll { var, over, body } => {
+                let to = self.ty_term(over, sp.term(0), locals);
+                if let Some(tag) = to.tag() {
+                    if !matches!(tag, TypeTag::Set | TypeTag::List) {
+                        self.push_rule(
+                            TYPE_MISMATCH,
+                            Severity::Error,
+                            sp.term(0).span,
+                            format!("forall needs a set or list to iterate, got {tag}"),
+                            None,
+                        );
+                    }
+                }
+                let mut inner = locals.clone();
+                inner.insert(var.clone());
+                // The body fold is computed with the loop variable opaque,
+                // so a `Some` result is element-independent.
+                let bf = self.check_expr(body, sp.expr(0), &inner);
+                match to.as_const() {
+                    Some(Value::Set(s)) if s.is_empty() => Some(true),
+                    Some(Value::List(l)) if l.is_empty() => Some(true),
+                    Some(Value::Set(_)) | Some(Value::List(_)) => bf,
+                    _ => None,
+                }
+            }
+            Expr::ForAllPairs {
+                key,
+                val,
+                over,
+                body,
+            } => {
+                let to = self.ty_term(over, sp.term(0), locals);
+                if let Some(tag) = to.tag() {
+                    if tag != TypeTag::Map {
+                        self.push_rule(
+                            TYPE_MISMATCH,
+                            Severity::Error,
+                            sp.term(0).span,
+                            format!("forall over pairs needs a map, got {tag}"),
+                            None,
+                        );
+                    }
+                }
+                let mut inner = locals.clone();
+                inner.insert(key.clone());
+                inner.insert(val.clone());
+                let bf = self.check_expr(body, sp.expr(0), &inner);
+                match to.as_const() {
+                    Some(Value::Map(m)) if m.is_empty() => Some(true),
+                    Some(Value::Map(_)) => bf,
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_policy, parse_policy_spanned};
+
+    fn analyze_src(src: &str) -> Vec<Diagnostic> {
+        let (policy, spans) = parse_policy_spanned(src).expect("test policy parses");
+        analyze_with(&policy, &spans, None)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    // ---- PA001 binding ----------------------------------------------
+
+    #[test]
+    fn pa001_unbound_variable_is_an_error() {
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- v == w; }");
+        let errs = errors(&d);
+        assert_eq!(errs.len(), 1, "{d:?}");
+        assert_eq!(errs[0].code, UNBOUND_VARIABLE);
+        assert!(errs[0].message.contains("`w`"), "{}", errs[0].message);
+        assert_eq!(errs[0].rule.as_deref(), Some("R"));
+        assert!(errs[0].span.is_known());
+    }
+
+    #[test]
+    fn pa001_not_emitted_for_pattern_params_and_quantifier_bindings() {
+        let d = analyze_src(
+            "policy p(n) { rule R: out(<?v, ?S>) :- \
+             v < n && forall q in S { q >= 0 } && exists(<?y>) { y == v }; }",
+        );
+        assert!(errors(&d).is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pa001_reported_once_per_variable() {
+        let d = analyze_src("policy p() { rule R: out(_) :- w == 1 && w == 2 && w == 3; }");
+        assert_eq!(errors(&d).len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn pa001_formal_on_parameter_is_an_error() {
+        // `formal(n)` never falls back to the parameter namespace.
+        let d = analyze_src("policy p(n) { rule R: out(_) :- formal(n); }");
+        let errs = errors(&d);
+        assert_eq!(errs.len(), 1, "{d:?}");
+        assert_eq!(errs[0].code, UNBOUND_VARIABLE);
+        assert!(errs[0].message.contains("parameter"), "{}", errs[0].message);
+    }
+
+    // ---- PA002 maybe-not-a-value ------------------------------------
+
+    #[test]
+    fn pa002_template_bound_value_use_is_a_warning() {
+        let d = analyze_src("policy p() { rule R: inp(<?i>) :- i == invoker(); }");
+        assert!(errors(&d).is_empty(), "{d:?}");
+        assert!(codes(&d).contains(&MAYBE_NOT_A_VALUE), "{d:?}");
+    }
+
+    #[test]
+    fn pa002_not_emitted_for_entry_bound_variables() {
+        // `v` is bound from the out entry — always a value.
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- v == invoker(); }");
+        assert!(!codes(&d).contains(&MAYBE_NOT_A_VALUE), "{d:?}");
+        // Unification: `pos` appears in both cas arguments, the entry
+        // side pins it to a value.
+        let d =
+            analyze_src("policy p() { rule R: cas(<?pos, _>, <?pos, ?x>) :- pos == invoker(); }");
+        assert!(!codes(&d).contains(&MAYBE_NOT_A_VALUE), "{d:?}");
+    }
+
+    // ---- PA003 types -------------------------------------------------
+
+    #[test]
+    fn pa003_ordered_comparison_of_string_is_an_error() {
+        let d = analyze_src("policy p() { rule R: out(_) :- \"x\" < 1; }");
+        let errs = errors(&d);
+        assert!(errs.iter().any(|e| e.code == TYPE_MISMATCH), "{d:?}");
+    }
+
+    #[test]
+    fn pa003_card_of_int_is_an_error() {
+        let d = analyze_src("policy p() { rule R: out(_) :- card(3) == 1; }");
+        assert!(errors(&d).iter().any(|e| e.code == TYPE_MISMATCH), "{d:?}");
+    }
+
+    #[test]
+    fn pa003_contains_on_scalar_is_an_error() {
+        let d = analyze_src("policy p() { rule R: out(_) :- 1 in 2; }");
+        assert!(errors(&d).iter().any(|e| e.code == TYPE_MISMATCH), "{d:?}");
+    }
+
+    #[test]
+    fn pa003_eq_across_types_is_a_warning_not_an_error() {
+        let d = analyze_src("policy p() { rule R: out(_) :- invoker() == \"admin\"; }");
+        assert!(errors(&d).is_empty(), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|x| x.code == TYPE_MISMATCH && x.severity == Severity::Warning),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn pa003_not_emitted_for_unknown_operand_types() {
+        let d = analyze_src("policy p(t) { rule R: out(<?v>) :- v >= t + 1; }");
+        assert!(!codes(&d).contains(&TYPE_MISMATCH), "{d:?}");
+    }
+
+    // ---- PA004 constant arithmetic ----------------------------------
+
+    #[test]
+    fn pa004_constant_mod_by_zero_is_an_error() {
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- v % 0 == 1; }");
+        let errs = errors(&d);
+        assert!(errs.iter().any(|e| e.code == CONST_ARITHMETIC), "{d:?}");
+    }
+
+    #[test]
+    fn pa004_uses_known_parameter_values() {
+        let (policy, spans) =
+            parse_policy_spanned("policy p(n) { rule R: out(<?v>) :- v % n == 0; }").unwrap();
+        // Without values: nothing to fold, no diagnostic.
+        assert!(!codes(&analyze_with(&policy, &spans, None)).contains(&CONST_ARITHMETIC));
+        // With n = 0 the modulus is a constant zero.
+        let mut params = PolicyParams::new();
+        params.set("n", 0);
+        let d = analyze_with(&policy, &spans, Some(&params));
+        assert!(codes(&d).contains(&CONST_ARITHMETIC), "{d:?}");
+        // With n = 4 it is fine.
+        let mut params = PolicyParams::new();
+        params.set("n", 4);
+        let d = analyze_with(&policy, &spans, Some(&params));
+        assert!(!codes(&d).contains(&CONST_ARITHMETIC), "{d:?}");
+    }
+
+    // ---- PA005 dead rules -------------------------------------------
+
+    #[test]
+    fn pa005_rule_shadowed_by_constant_true_rule() {
+        let d = analyze_src(
+            "policy p() { rule Rall: out(_) :- true; \
+             rule Rdead: out(<\"X\", ?v>) :- v == invoker(); }",
+        );
+        let dead: Vec<_> = d.iter().filter(|x| x.code == DEAD_RULE).collect();
+        assert_eq!(dead.len(), 1, "{d:?}");
+        assert_eq!(dead[0].rule.as_deref(), Some("Rdead"));
+        assert!(dead[0].message.contains("Rall"), "{}", dead[0].message);
+    }
+
+    #[test]
+    fn pa005_not_emitted_when_earlier_rule_is_conditional_or_narrower() {
+        // Earlier rule conditional: later rule still reachable.
+        let d = analyze_src(
+            "policy p() { rule R1: out(_) :- invoker() == 1; rule R2: out(_) :- true; }",
+        );
+        assert!(!codes(&d).contains(&DEAD_RULE), "{d:?}");
+        // Earlier rule narrower (literal tag): later `out(_)` not subsumed.
+        let d =
+            analyze_src("policy p() { rule R1: out(<\"X\">) :- true; rule R2: out(_) :- true; }");
+        assert!(!codes(&d).contains(&DEAD_RULE), "{d:?}");
+        // Earlier rule with repeated binder (unification constraint): a
+        // cas with differing fields is not subsumed.
+        let d = analyze_src(
+            "policy p() { rule R1: cas(<?a, _>, <?a, _>) :- true; \
+             rule R2: cas(<?x, _>, <?y, _>) :- true; }",
+        );
+        assert!(!codes(&d).contains(&DEAD_RULE), "{d:?}");
+    }
+
+    #[test]
+    fn pa005_read_pattern_shadows_specific_reads() {
+        let d = analyze_src(
+            "policy p() { rule Rread: read(_) :- true; rule Rrd: rd(_) :- invoker() == 1; }",
+        );
+        assert!(codes(&d).contains(&DEAD_RULE), "{d:?}");
+    }
+
+    // ---- PA006 unsatisfiable ----------------------------------------
+
+    #[test]
+    fn pa006_constant_false_condition() {
+        let d = analyze_src("policy p() { rule R: out(_) :- 1 == 2; }");
+        assert!(codes(&d).contains(&UNSATISFIABLE_RULE), "{d:?}");
+        // Entry-bound binder can never be formal: `formal(v)` folds false.
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- formal(v); }");
+        assert!(codes(&d).contains(&UNSATISFIABLE_RULE), "{d:?}");
+    }
+
+    #[test]
+    fn pa006_not_emitted_for_satisfiable_conditions() {
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- v == 1; }");
+        assert!(!codes(&d).contains(&UNSATISFIABLE_RULE), "{d:?}");
+        // Error-prone subexpressions block the fold: `w == 1 && false`
+        // errors (not "false") when `w` errors first — no PA006, the
+        // unbound variable is the real finding.
+        let d = analyze_src("policy p() { rule R: out(_) :- w == 1 && false; }");
+        assert!(!codes(&d).contains(&UNSATISFIABLE_RULE), "{d:?}");
+        assert!(codes(&d).contains(&UNBOUND_VARIABLE), "{d:?}");
+    }
+
+    // ---- PA007 coverage ---------------------------------------------
+
+    #[test]
+    fn pa007_uncovered_kinds_reported_each() {
+        // Fig. 3: only cas is covered; the other six kinds are denied.
+        let d =
+            analyze_src("policy weak() { rule Rcas: cas(<\"D\", ?x>, <\"D\", _>) :- formal(x); }");
+        let uncovered: Vec<_> = d.iter().filter(|x| x.code == UNCOVERED_OP).collect();
+        assert_eq!(uncovered.len(), 6, "{d:?}");
+        assert!(errors(&d).is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pa007_not_emitted_when_all_kinds_covered() {
+        let d = analyze(&Policy::allow_all());
+        assert!(d.is_empty(), "allow_all should be diagnostic-free: {d:?}");
+    }
+
+    // ---- PA008 cost/locking -----------------------------------------
+
+    #[test]
+    fn pa008_state_reading_rule_gets_cost_note() {
+        let d = analyze_src(
+            "policy p() { rule Rout: out(<?v>) :- !exists(<\"X\", v>); \
+             rule Rread: read(_) :- true; }",
+        );
+        let notes: Vec<_> = d.iter().filter(|x| x.code == STATE_READ_COST).collect();
+        assert_eq!(notes.len(), 1, "{d:?}");
+        assert_eq!(notes[0].rule.as_deref(), Some("Rout"));
+        assert_eq!(notes[0].severity, Severity::Info);
+        assert!(notes[0].message.contains("out"), "{}", notes[0].message);
+        assert!(
+            notes[0].message.contains("fast path"),
+            "{}",
+            notes[0].message
+        );
+        let help = notes[0].help.as_deref().unwrap();
+        assert!(help.contains("exists("), "{help}");
+    }
+
+    #[test]
+    fn pa008_counts_state_field_sites() {
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- v > state.r; }");
+        let notes: Vec<_> = d.iter().filter(|x| x.code == STATE_READ_COST).collect();
+        assert_eq!(notes.len(), 1, "{d:?}");
+        assert!(
+            notes[0].help.as_deref().unwrap().contains("state.r"),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn pa008_not_emitted_for_state_free_rules() {
+        let d = analyze_src("policy p() { rule R: out(<?v>) :- v >= 0; }");
+        assert!(!codes(&d).contains(&STATE_READ_COST), "{d:?}");
+    }
+
+    // ---- integration ------------------------------------------------
+
+    #[test]
+    fn figure_4_strong_consensus_has_no_errors() {
+        let src = r#"
+            policy strong_consensus(n, t) {
+              rule Rrd: read(_) :- true;
+              rule Rout: out(<"PROPOSE", ?q, ?v>) :-
+                q == invoker() && v in {0, 1}
+                && !exists(<"PROPOSE", invoker(), _>);
+              rule Rcas: cas(<"DECISION", ?x, _>, <"DECISION", ?v, ?S>) :-
+                formal(x) && card(S) >= t + 1
+                && forall q in S { exists(<"PROPOSE", q, v>) };
+            }
+        "#;
+        let d = analyze_src(src);
+        assert!(errors(&d).is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn diagnostics_sorted_errors_first() {
+        // One error (unbound), several warnings (coverage).
+        let d = analyze_src("policy p() { rule R: out(_) :- w == 1; }");
+        assert!(d.len() > 1);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d.windows(2).all(|w| w[0].severity <= w[1].severity));
+    }
+
+    #[test]
+    fn diagnostics_point_at_source() {
+        let src = "policy p() {\n  rule R: out(<?v>) :-\n    v == whoops;\n}\n";
+        let d = analyze_src(src);
+        let err = &errors(&d)[0];
+        assert_eq!(err.span.line, 3);
+        assert_eq!(err.span.col, 10);
+        let shown = err.to_string();
+        assert!(shown.contains("error[PA001]"), "{shown}");
+        assert!(shown.contains("3:10"), "{shown}");
+        assert!(shown.contains("rule R"), "{shown}");
+    }
+
+    #[test]
+    fn programmatic_policies_analyze_with_unknown_spans() {
+        let policy = parse_policy("policy p() { rule R: out(_) :- w == 1; }").unwrap();
+        let d = analyze(&policy);
+        assert!(has_errors(&d));
+        assert!(!d[0].span.is_known());
+    }
+}

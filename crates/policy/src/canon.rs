@@ -1,0 +1,385 @@
+//! Canonical AST encoding and policy digests.
+//!
+//! Replicas of one policy-enforced object must enforce the *same* policy:
+//! two `peatsd` processes started with different `--policy-file` texts
+//! silently diverge on enforcement decisions, which surfaces only as
+//! replicas disagreeing about denials. [`Policy::digest`] gives operators a
+//! cheap way to detect this: a sha256 over a canonical, unambiguous byte
+//! encoding of the AST. Two policies have the same digest iff their ASTs
+//! are equal — whitespace, comments, and concrete-syntax details do not
+//! matter, but rule names, order, and every pattern/condition do.
+
+use crate::ast::{
+    ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Policy, QueryField, Term,
+};
+use peats_auth::{sha256, Digest};
+use peats_tuplespace::Value;
+
+/// Renders a digest as lowercase hex, the form `peatsd` logs and
+/// `peats policy check` prints.
+pub fn digest_hex(digest: &Digest) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl Policy {
+    /// Canonical byte encoding of this policy's AST: every node is a tag
+    /// byte followed by length-prefixed children, so distinct ASTs encode
+    /// to distinct byte strings.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.buf.extend_from_slice(b"peats-policy-v1\0");
+        e.str(&self.name);
+        e.len(self.params.len());
+        for p in &self.params {
+            e.str(p);
+        }
+        e.len(self.rules.len());
+        for r in &self.rules {
+            e.str(&r.name);
+            e.pattern(&r.pattern);
+            e.expr(&r.condition);
+        }
+        e.buf
+    }
+
+    /// Sha256 over [`Policy::canonical_bytes`] — equal iff the policy ASTs
+    /// are equal. Logged by `peatsd` at startup and printed by
+    /// `peats policy check` so operators can diff policies across a
+    /// cluster.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.canonical_bytes())
+    }
+}
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn tag(&mut self, t: u8) {
+        self.buf.push(t);
+    }
+
+    fn len(&mut self, n: usize) {
+        self.buf.extend_from_slice(&(n as u64).to_be_bytes());
+    }
+
+    fn int(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.tag(0x01),
+            Value::Int(i) => {
+                self.tag(0x02);
+                self.int(*i);
+            }
+            Value::Bool(b) => {
+                self.tag(0x03);
+                self.buf.push(u8::from(*b));
+            }
+            Value::Str(s) => {
+                self.tag(0x04);
+                self.str(s);
+            }
+            Value::Bytes(b) => {
+                self.tag(0x05);
+                self.len(b.len());
+                self.buf.extend_from_slice(b);
+            }
+            Value::List(l) => {
+                self.tag(0x06);
+                self.len(l.len());
+                for v in l {
+                    self.value(v);
+                }
+            }
+            Value::Set(s) => {
+                self.tag(0x07);
+                self.len(s.len());
+                for v in s {
+                    self.value(v);
+                }
+            }
+            Value::Map(m) => {
+                self.tag(0x08);
+                self.len(m.len());
+                for (k, v) in m {
+                    self.value(k);
+                    self.value(v);
+                }
+            }
+        }
+    }
+
+    fn term(&mut self, t: &Term) {
+        match t {
+            Term::Const(v) => {
+                self.tag(0x10);
+                self.value(v);
+            }
+            Term::Var(x) => {
+                self.tag(0x11);
+                self.str(x);
+            }
+            Term::Invoker => self.tag(0x12),
+            Term::StateField(f) => {
+                self.tag(0x13);
+                self.str(f);
+            }
+            Term::Add(a, b) => {
+                self.tag(0x14);
+                self.term(a);
+                self.term(b);
+            }
+            Term::Sub(a, b) => {
+                self.tag(0x15);
+                self.term(a);
+                self.term(b);
+            }
+            Term::Mod(a, b) => {
+                self.tag(0x16);
+                self.term(a);
+                self.term(b);
+            }
+            Term::Card(t) => {
+                self.tag(0x17);
+                self.term(t);
+            }
+            Term::UnionVals(t) => {
+                self.tag(0x18);
+                self.term(t);
+            }
+            Term::SetOf(ts) => {
+                self.tag(0x19);
+                self.len(ts.len());
+                for t in ts {
+                    self.term(t);
+                }
+            }
+        }
+    }
+
+    fn cmp_op(&mut self, op: CmpOp) {
+        self.buf.push(match op {
+            CmpOp::Eq => 0x01,
+            CmpOp::Ne => 0x02,
+            CmpOp::Lt => 0x03,
+            CmpOp::Le => 0x04,
+            CmpOp::Gt => 0x05,
+            CmpOp::Ge => 0x06,
+        });
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::True => self.tag(0x20),
+            Expr::False => self.tag(0x21),
+            Expr::And(a, b) => {
+                self.tag(0x22);
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Or(a, b) => {
+                self.tag(0x23);
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Not(inner) => {
+                self.tag(0x24);
+                self.expr(inner);
+            }
+            Expr::Cmp(op, a, b) => {
+                self.tag(0x25);
+                self.cmp_op(*op);
+                self.term(a);
+                self.term(b);
+            }
+            Expr::IsFormal(x) => {
+                self.tag(0x26);
+                self.str(x);
+            }
+            Expr::IsWildcard(x) => {
+                self.tag(0x27);
+                self.str(x);
+            }
+            Expr::Contains { item, collection } => {
+                self.tag(0x28);
+                self.term(item);
+                self.term(collection);
+            }
+            Expr::Exists {
+                query,
+                where_clause,
+            } => {
+                self.tag(0x29);
+                self.len(query.0.len());
+                for f in &query.0 {
+                    match f {
+                        QueryField::Term(t) => {
+                            self.tag(0x01);
+                            self.term(t);
+                        }
+                        QueryField::Any => self.tag(0x02),
+                        QueryField::Bind(x) => {
+                            self.tag(0x03);
+                            self.str(x);
+                        }
+                    }
+                }
+                self.expr(where_clause);
+            }
+            Expr::ForAll { var, over, body } => {
+                self.tag(0x2a);
+                self.str(var);
+                self.term(over);
+                self.expr(body);
+            }
+            Expr::ForAllPairs {
+                key,
+                val,
+                over,
+                body,
+            } => {
+                self.tag(0x2b);
+                self.str(key);
+                self.str(val);
+                self.term(over);
+                self.expr(body);
+            }
+        }
+    }
+
+    fn field(&mut self, f: &FieldPattern) {
+        match f {
+            FieldPattern::Lit(v) => {
+                self.tag(0x01);
+                self.value(v);
+            }
+            FieldPattern::Bind(x) => {
+                self.tag(0x02);
+                self.str(x);
+            }
+            FieldPattern::Ignore => self.tag(0x03),
+        }
+    }
+
+    fn arg(&mut self, a: &ArgPattern) {
+        match a {
+            ArgPattern::Any => self.tag(0x01),
+            ArgPattern::Fields(fs) => {
+                self.tag(0x02);
+                self.len(fs.len());
+                for f in fs {
+                    self.field(f);
+                }
+            }
+        }
+    }
+
+    fn pattern(&mut self, p: &InvocationPattern) {
+        match p {
+            InvocationPattern::Out(a) => {
+                self.tag(0x30);
+                self.arg(a);
+            }
+            InvocationPattern::Rd(a) => {
+                self.tag(0x31);
+                self.arg(a);
+            }
+            InvocationPattern::In(a) => {
+                self.tag(0x32);
+                self.arg(a);
+            }
+            InvocationPattern::Rdp(a) => {
+                self.tag(0x33);
+                self.arg(a);
+            }
+            InvocationPattern::Inp(a) => {
+                self.tag(0x34);
+                self.arg(a);
+            }
+            InvocationPattern::Cas(t, e) => {
+                self.tag(0x35);
+                self.arg(t);
+                self.arg(e);
+            }
+            InvocationPattern::Count(a) => {
+                self.tag(0x36);
+                self.arg(a);
+            }
+            InvocationPattern::Read(a) => {
+                self.tag(0x37);
+                self.arg(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_policy;
+
+    #[test]
+    fn digest_ignores_whitespace_and_comments() {
+        let a = parse_policy("policy p() { rule R: out(<?v>) :- v == 1; }").unwrap();
+        let b = parse_policy(
+            "// the same policy, reformatted\npolicy p() {\n  rule R:\n    out(<?v>) :-\n      v == 1;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(digest_hex(&a.digest()), digest_hex(&b.digest()));
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_semantic_changes() {
+        let base = parse_policy("policy p() { rule R: out(<?v>) :- v == 1; }").unwrap();
+        let renamed_rule = parse_policy("policy p() { rule S: out(<?v>) :- v == 1; }").unwrap();
+        let other_cond = parse_policy("policy p() { rule R: out(<?v>) :- v == 2; }").unwrap();
+        let other_op = parse_policy("policy p() { rule R: inp(<?v>) :- v == 1; }").unwrap();
+        assert_ne!(base.digest(), renamed_rule.digest());
+        assert_ne!(base.digest(), other_cond.digest());
+        assert_ne!(base.digest(), other_op.digest());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_rule_order() {
+        let ab =
+            parse_policy("policy p() { rule A: out(_) :- true; rule B: rd(_) :- true; }").unwrap();
+        let ba =
+            parse_policy("policy p() { rule B: rd(_) :- true; rule A: out(_) :- true; }").unwrap();
+        assert_ne!(ab.digest(), ba.digest());
+    }
+
+    #[test]
+    fn digest_hex_is_64_lowercase_chars() {
+        let p = parse_policy("policy p() { rule R: out(_) :- true; }").unwrap();
+        let hex = digest_hex(&p.digest());
+        assert_eq!(hex.len(), 64);
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn equal_asts_agree_regardless_of_source() {
+        let src = "policy p(n, t) {\n\
+             rule Rrd: read(_) :- true;\n\
+             rule Rcas: cas(<?x, _>, <?x, ?S>) :- card(S) >= t + 1;\n\
+             }";
+        let a = parse_policy(src).unwrap();
+        let b = parse_policy(src).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        // Programmatic construction with an equal AST digests identically.
+        assert_eq!(Policy::allow_all().digest(), Policy::allow_all().digest());
+    }
+}

@@ -41,17 +41,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
+mod canon;
 pub mod eval;
 mod invocation;
 mod monitor;
 mod parser;
+pub mod span;
 
+pub use analysis::{analyze, analyze_with, has_errors, Diagnostic, Severity};
 pub use ast::{
     invoker_in, ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Policy, PolicyParams,
     QueryField, Rule, Term, TupleQuery,
 };
+pub use canon::digest_hex;
 pub use eval::{BoundArg, Env, EvalError, StateView};
 pub use invocation::{Invocation, OpCall, OpKind, ProcessId};
-pub use monitor::{Decision, MissingParamError, ReferenceMonitor};
-pub use parser::{parse_expr, parse_policy, ParseError};
+pub use monitor::{Decision, MissingParamError, PolicyError, ReferenceMonitor};
+pub use parser::{parse_expr, parse_policy, parse_policy_spanned, ParseError};
+pub use span::{ExprSpans, PolicySpans, RuleSpans, Span, TermSpans};

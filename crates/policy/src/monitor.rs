@@ -5,9 +5,11 @@
 //! it is allowed iff *some* rule's pattern matches it and that rule's
 //! condition is satisfied. Anything else is denied (fail-safe defaults).
 
+use crate::analysis::{self, Diagnostic, Severity};
 use crate::ast::{Policy, PolicyParams};
 use crate::eval::{eval_expr, match_invocation, Env, EvalCtx, StateView};
 use crate::invocation::Invocation;
+use crate::span::PolicySpans;
 use std::fmt;
 
 /// The monitor's verdict on one invocation.
@@ -72,6 +74,65 @@ impl fmt::Display for MissingParamError {
 
 impl std::error::Error for MissingParamError {}
 
+/// Why a policy could not be loaded into a [`ReferenceMonitor`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyError {
+    /// The policy declares a parameter with no supplied value.
+    MissingParam(MissingParamError),
+    /// Static analysis ([`analyze`](crate::analyze)) found
+    /// [`Severity::Error`] diagnostics — the policy would misbehave at
+    /// runtime (guaranteed evaluation errors → spurious denials).
+    Rejected {
+        /// Name of the rejected policy.
+        policy: String,
+        /// All diagnostics, errors first.
+        diagnostics: Vec<Diagnostic>,
+    },
+}
+
+impl PolicyError {
+    /// The diagnostics behind a [`PolicyError::Rejected`], empty otherwise.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            PolicyError::MissingParam(_) => &[],
+            PolicyError::Rejected { diagnostics, .. } => diagnostics,
+        }
+    }
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::MissingParam(e) => e.fmt(f),
+            PolicyError::Rejected {
+                policy,
+                diagnostics,
+            } => {
+                let errors: Vec<String> = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(Diagnostic::to_string)
+                    .collect();
+                write!(
+                    f,
+                    "policy `{policy}` rejected by static analysis ({} error{}): {}",
+                    errors.len(),
+                    if errors.len() == 1 { "" } else { "s" },
+                    errors.join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<MissingParamError> for PolicyError {
+    fn from(e: MissingParamError) -> Self {
+        PolicyError::MissingParam(e)
+    }
+}
+
 /// A reference monitor bound to one policy and one parameter valuation.
 ///
 /// # Examples
@@ -84,31 +145,54 @@ impl std::error::Error for MissingParamError {}
 /// let monitor = ReferenceMonitor::new(Policy::allow_all(), PolicyParams::new())?;
 /// let inv = Invocation::new(1, OpCall::out(tuple!["A"]));
 /// assert!(monitor.decide(&inv, &EmptyState).is_allowed());
-/// # Ok::<(), peats_policy::MissingParamError>(())
+/// # Ok::<(), peats_policy::PolicyError>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct ReferenceMonitor {
     policy: Policy,
     params: PolicyParams,
+    warnings: Vec<Diagnostic>,
 }
 
 impl ReferenceMonitor {
-    /// Binds `policy` to `params`.
+    /// Binds `policy` to `params`, statically analyzing the policy first.
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] if the policy declares a parameter with
-    /// no value in `params`.
-    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, MissingParamError> {
+    /// Returns [`PolicyError::MissingParam`] if the policy declares a
+    /// parameter with no value in `params`, and [`PolicyError::Rejected`]
+    /// if static analysis finds [`Severity::Error`] diagnostics (unbound
+    /// variables, type errors, …). Non-fatal diagnostics are retained and
+    /// exposed via [`warnings`](Self::warnings).
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, PolicyError> {
         for p in &policy.params {
             if params.get(p).is_none() {
                 return Err(MissingParamError {
                     param: p.clone(),
                     policy: policy.name.clone(),
-                });
+                }
+                .into());
             }
         }
-        Ok(ReferenceMonitor { policy, params })
+        let diagnostics =
+            analysis::analyze_with(&policy, &PolicySpans::unknown(&policy), Some(&params));
+        if analysis::has_errors(&diagnostics) {
+            return Err(PolicyError::Rejected {
+                policy: policy.name.clone(),
+                diagnostics,
+            });
+        }
+        Ok(ReferenceMonitor {
+            policy,
+            params,
+            warnings: diagnostics,
+        })
+    }
+
+    /// Non-fatal diagnostics (warnings and notes) the static analyzer
+    /// produced for the loaded policy.
+    pub fn warnings(&self) -> &[Diagnostic] {
+        &self.warnings
     }
 
     /// The guarded policy.
@@ -240,14 +324,16 @@ mod tests {
 
     #[test]
     fn eval_error_is_fail_safe() {
-        // Condition compares a string to an int with `<` — a type error.
+        // `v` is entry-bound, so the comparison passes static analysis —
+        // the type error only exists for invocations carrying a non-int
+        // field, and surfaces at runtime as a fail-safe denial.
         let p = one_rule_policy(Rule::new(
             "Rbad",
-            InvocationPattern::Out(ArgPattern::Any),
-            Expr::cmp(CmpOp::Lt, Term::val("x"), Term::val(1)),
+            InvocationPattern::Out(ArgPattern::fields(vec![FieldPattern::Bind("v".into())])),
+            Expr::cmp(CmpOp::Lt, Term::var("v"), Term::val(1)),
         ));
         let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
-        let d = m.decide(&Invocation::new(0, OpCall::out(tuple![1])), &EmptyState);
+        let d = m.decide(&Invocation::new(0, OpCall::out(tuple!["x"])), &EmptyState);
         assert!(!d.is_allowed());
         let text = format!("{d}");
         assert!(text.contains("type mismatch"), "diagnostic missing: {text}");
@@ -265,7 +351,50 @@ mod tests {
             )],
         );
         let err = ReferenceMonitor::new(p, PolicyParams::new()).unwrap_err();
-        assert_eq!(err.param, "t");
+        match err {
+            PolicyError::MissingParam(e) => assert_eq!(e.param, "t"),
+            other => panic!("expected missing-param error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn statically_broken_policy_is_rejected_at_construction() {
+        // `w` is bound by nothing: a guaranteed EvalError::Unbound.
+        let p = one_rule_policy(Rule::new(
+            "Rbad",
+            InvocationPattern::Out(ArgPattern::Any),
+            Expr::cmp(CmpOp::Eq, Term::var("w"), Term::val(1)),
+        ));
+        let err = ReferenceMonitor::new(p, PolicyParams::new()).unwrap_err();
+        match &err {
+            PolicyError::Rejected {
+                policy,
+                diagnostics,
+            } => {
+                assert_eq!(policy, "test");
+                assert!(diagnostics.iter().any(|d| d.code == "PA001"));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("PA001"), "{text}");
+        assert!(text.contains("`w`"), "{text}");
+    }
+
+    #[test]
+    fn non_fatal_diagnostics_are_exposed_as_warnings() {
+        // Only `out` is covered: six uncovered-op warnings, still loadable.
+        let p = one_rule_policy(Rule::new(
+            "Rout",
+            InvocationPattern::Out(ArgPattern::Any),
+            Expr::True,
+        ));
+        let m = ReferenceMonitor::new(p, PolicyParams::new()).unwrap();
+        assert_eq!(m.warnings().len(), 6);
+        assert!(m.warnings().iter().all(|d| d.code == "PA007"));
+        // A fully covering policy loads without warnings.
+        let m = ReferenceMonitor::new(Policy::allow_all(), PolicyParams::new()).unwrap();
+        assert!(m.warnings().is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::ast::{
     ArgPattern, CmpOp, Expr, FieldPattern, InvocationPattern, Policy, QueryField, Rule, Term,
     TupleQuery,
 };
+use crate::span::{ExprSpans, PolicySpans, RuleSpans, Span, TermSpans};
 use peats_tuplespace::Value;
 use std::fmt;
 
@@ -457,6 +458,11 @@ impl Parser {
         (s.line, s.col)
     }
 
+    fn span(&self) -> Span {
+        let (line, col) = self.here();
+        Span::new(line, col)
+    }
+
     fn err(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
         ParseError {
@@ -512,7 +518,8 @@ impl Parser {
 
     // ---- policy / rule structure ------------------------------------
 
-    fn parse_policy(&mut self) -> Result<Policy, ParseError> {
+    fn parse_policy(&mut self) -> Result<(Policy, PolicySpans), ParseError> {
+        let psp = self.span();
         self.expect_keyword("policy")?;
         let name = self.expect_ident()?;
         self.expect(&Tok::LParen)?;
@@ -530,22 +537,40 @@ impl Parser {
         self.expect(&Tok::RParen)?;
         self.expect(&Tok::LBrace)?;
         let mut rules = Vec::new();
+        let mut rule_spans = Vec::new();
         while self.peek() != &Tok::RBrace {
-            rules.push(self.parse_rule()?);
+            let (rule, rsp) = self.parse_rule()?;
+            rules.push(rule);
+            rule_spans.push(rsp);
         }
         self.expect(&Tok::RBrace)?;
-        Ok(Policy::new(name, params, rules))
+        Ok((
+            Policy::new(name, params, rules),
+            PolicySpans {
+                span: psp,
+                rules: rule_spans,
+            },
+        ))
     }
 
-    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+    fn parse_rule(&mut self) -> Result<(Rule, RuleSpans), ParseError> {
+        let rsp = self.span();
         self.expect_keyword("rule")?;
         let name = self.expect_ident()?;
         self.expect(&Tok::Colon)?;
+        let head = self.span();
         let pattern = self.parse_head()?;
         self.expect(&Tok::ColonDash)?;
-        let condition = self.parse_expr()?;
+        let (condition, csp) = self.parse_expr()?;
         self.expect(&Tok::Semi)?;
-        Ok(Rule::new(name, pattern, condition))
+        Ok((
+            Rule::new(name, pattern, condition),
+            RuleSpans {
+                span: rsp,
+                head,
+                condition: csp,
+            },
+        ))
     }
 
     fn parse_head(&mut self) -> Result<InvocationPattern, ParseError> {
@@ -647,75 +672,104 @@ impl Parser {
 
     // ---- expressions -------------------------------------------------
 
-    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_and()?;
+    fn parse_expr(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let (mut lhs, mut lsp) = self.parse_and()?;
         while self.peek() == &Tok::OrOr {
             self.bump();
-            let rhs = self.parse_and()?;
+            let (rhs, rsp) = self.parse_and()?;
+            let span = lsp.span;
             lhs = Expr::or(lhs, rhs);
+            lsp = ExprSpans {
+                span,
+                exprs: vec![lsp, rsp],
+                terms: Vec::new(),
+            };
         }
-        Ok(lhs)
+        Ok((lhs, lsp))
     }
 
-    fn parse_and(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_unary()?;
+    fn parse_and(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let (mut lhs, mut lsp) = self.parse_unary()?;
         while self.peek() == &Tok::AndAnd {
             self.bump();
-            let rhs = self.parse_unary()?;
+            let (rhs, rsp) = self.parse_unary()?;
+            let span = lsp.span;
             lhs = Expr::and(lhs, rhs);
+            lsp = ExprSpans {
+                span,
+                exprs: vec![lsp, rsp],
+                terms: Vec::new(),
+            };
         }
-        Ok(lhs)
+        Ok((lhs, lsp))
     }
 
-    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_unary(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
         if self.peek() == &Tok::Bang {
+            let sp = self.span();
             self.bump();
-            return Ok(Expr::not(self.parse_unary()?));
+            let (inner, isp) = self.parse_unary()?;
+            return Ok((
+                Expr::not(inner),
+                ExprSpans {
+                    span: sp,
+                    exprs: vec![isp],
+                    terms: Vec::new(),
+                },
+            ));
         }
         self.parse_atom()
     }
 
-    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+    fn parse_atom(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let sp = self.span();
         match self.peek().clone() {
             Tok::Ident(s) if s == "true" && !self.looks_like_cmp_after_term() => {
                 self.bump();
-                Ok(Expr::True)
+                Ok((Expr::True, ExprSpans::leaf(sp)))
             }
             Tok::Ident(s) if s == "false" && !self.looks_like_cmp_after_term() => {
                 self.bump();
-                Ok(Expr::False)
+                Ok((Expr::False, ExprSpans::leaf(sp)))
             }
             Tok::Ident(s) if s == "exists" => {
                 self.bump();
                 self.expect(&Tok::LParen)?;
-                let q = self.parse_query()?;
+                let (q, qspans) = self.parse_query()?;
                 self.expect(&Tok::RParen)?;
-                let where_clause = if self.peek() == &Tok::LBrace {
+                let (where_clause, wsp) = if self.peek() == &Tok::LBrace {
                     self.bump();
                     let body = self.parse_expr()?;
                     self.expect(&Tok::RBrace)?;
                     body
                 } else {
-                    Expr::True
+                    (Expr::True, ExprSpans::leaf(sp))
                 };
-                Ok(Expr::Exists {
-                    query: q,
-                    where_clause: Box::new(where_clause),
-                })
+                Ok((
+                    Expr::Exists {
+                        query: q,
+                        where_clause: Box::new(where_clause),
+                    },
+                    ExprSpans {
+                        span: sp,
+                        exprs: vec![wsp],
+                        terms: qspans,
+                    },
+                ))
             }
             Tok::Ident(s) if s == "formal" => {
                 self.bump();
                 self.expect(&Tok::LParen)?;
                 let x = self.expect_ident()?;
                 self.expect(&Tok::RParen)?;
-                Ok(Expr::IsFormal(x))
+                Ok((Expr::IsFormal(x), ExprSpans::leaf(sp)))
             }
             Tok::Ident(s) if s == "wildcard" => {
                 self.bump();
                 self.expect(&Tok::LParen)?;
                 let x = self.expect_ident()?;
                 self.expect(&Tok::RParen)?;
-                Ok(Expr::IsWildcard(x))
+                Ok((Expr::IsWildcard(x), ExprSpans::leaf(sp)))
             }
             Tok::Ident(s) if s == "forall" => {
                 self.bump();
@@ -727,28 +781,42 @@ impl Parser {
                     let val = self.expect_ident()?;
                     self.expect(&Tok::RParen)?;
                     self.expect_keyword("in")?;
-                    let over = self.parse_term()?;
+                    let (over, osp) = self.parse_term()?;
                     self.expect(&Tok::LBrace)?;
-                    let body = self.parse_expr()?;
+                    let (body, bsp) = self.parse_expr()?;
                     self.expect(&Tok::RBrace)?;
-                    Ok(Expr::ForAllPairs {
-                        key,
-                        val,
-                        over,
-                        body: Box::new(body),
-                    })
+                    Ok((
+                        Expr::ForAllPairs {
+                            key,
+                            val,
+                            over,
+                            body: Box::new(body),
+                        },
+                        ExprSpans {
+                            span: sp,
+                            exprs: vec![bsp],
+                            terms: vec![osp],
+                        },
+                    ))
                 } else {
                     let var = self.expect_ident()?;
                     self.expect_keyword("in")?;
-                    let over = self.parse_term()?;
+                    let (over, osp) = self.parse_term()?;
                     self.expect(&Tok::LBrace)?;
-                    let body = self.parse_expr()?;
+                    let (body, bsp) = self.parse_expr()?;
                     self.expect(&Tok::RBrace)?;
-                    Ok(Expr::ForAll {
-                        var,
-                        over,
-                        body: Box::new(body),
-                    })
+                    Ok((
+                        Expr::ForAll {
+                            var,
+                            over,
+                            body: Box::new(body),
+                        },
+                        ExprSpans {
+                            span: sp,
+                            exprs: vec![bsp],
+                            terms: vec![osp],
+                        },
+                    ))
                 }
             }
             Tok::LParen => {
@@ -779,8 +847,9 @@ impl Parser {
         )
     }
 
-    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
-        let lhs = self.parse_term()?;
+    fn parse_comparison(&mut self) -> Result<(Expr, ExprSpans), ParseError> {
+        let (lhs, lsp) = self.parse_term()?;
+        let span = lsp.span;
         let op = match self.peek() {
             Tok::EqEq => CmpOp::Eq,
             Tok::Ne => CmpOp::Ne,
@@ -790,11 +859,18 @@ impl Parser {
             Tok::Ge => CmpOp::Ge,
             Tok::Ident(s) if s == "in" => {
                 self.bump();
-                let collection = self.parse_term()?;
-                return Ok(Expr::Contains {
-                    item: lhs,
-                    collection,
-                });
+                let (collection, csp) = self.parse_term()?;
+                return Ok((
+                    Expr::Contains {
+                        item: lhs,
+                        collection,
+                    },
+                    ExprSpans {
+                        span,
+                        exprs: Vec::new(),
+                        terms: vec![lsp, csp],
+                    },
+                ));
             }
             other => {
                 return Err(self.err(format!(
@@ -803,22 +879,35 @@ impl Parser {
             }
         };
         self.bump();
-        let rhs = self.parse_term()?;
-        Ok(Expr::Cmp(op, lhs, rhs))
+        let (rhs, rsp) = self.parse_term()?;
+        Ok((
+            Expr::Cmp(op, lhs, rhs),
+            ExprSpans {
+                span,
+                exprs: Vec::new(),
+                terms: vec![lsp, rsp],
+            },
+        ))
     }
 
-    fn parse_query(&mut self) -> Result<TupleQuery, ParseError> {
+    fn parse_query(&mut self) -> Result<(TupleQuery, Vec<TermSpans>), ParseError> {
         self.expect(&Tok::Lt)?;
         let mut fields = Vec::new();
+        let mut spans = Vec::new();
         loop {
+            let fsp = self.span();
             if matches!(self.peek(), Tok::Underscore | Tok::Star) {
                 self.bump();
                 fields.push(QueryField::Any);
+                spans.push(TermSpans::leaf(fsp));
             } else if self.peek() == &Tok::Question {
                 self.bump();
                 fields.push(QueryField::Bind(self.expect_ident()?));
+                spans.push(TermSpans::leaf(fsp));
             } else {
-                fields.push(QueryField::Term(self.parse_term()?));
+                let (t, tsp) = self.parse_term()?;
+                fields.push(QueryField::Term(t));
+                spans.push(tsp);
             }
             match self.bump() {
                 Tok::Comma => continue,
@@ -830,51 +919,70 @@ impl Parser {
                 }
             }
         }
-        Ok(TupleQuery(fields))
+        Ok((TupleQuery(fields), spans))
     }
 
     // term := multerm (("+"|"-") multerm)*
-    fn parse_term(&mut self) -> Result<Term, ParseError> {
-        let mut lhs = self.parse_modterm()?;
+    fn parse_term(&mut self) -> Result<(Term, TermSpans), ParseError> {
+        let (mut lhs, mut lsp) = self.parse_modterm()?;
         loop {
-            match self.peek() {
-                Tok::Plus => {
-                    self.bump();
-                    lhs = Term::add(lhs, self.parse_modterm()?);
-                }
-                Tok::Minus => {
-                    self.bump();
-                    lhs = Term::sub(lhs, self.parse_modterm()?);
-                }
-                _ => return Ok(lhs),
-            }
+            let add = match self.peek() {
+                Tok::Plus => true,
+                Tok::Minus => false,
+                _ => return Ok((lhs, lsp)),
+            };
+            self.bump();
+            let (rhs, rsp) = self.parse_modterm()?;
+            let span = lsp.span;
+            lhs = if add {
+                Term::add(lhs, rhs)
+            } else {
+                Term::sub(lhs, rhs)
+            };
+            lsp = TermSpans {
+                span,
+                children: vec![lsp, rsp],
+            };
         }
     }
 
     // modterm := factor ("%" factor)*
-    fn parse_modterm(&mut self) -> Result<Term, ParseError> {
-        let mut lhs = self.parse_factor()?;
+    fn parse_modterm(&mut self) -> Result<(Term, TermSpans), ParseError> {
+        let (mut lhs, mut lsp) = self.parse_factor()?;
         while self.peek() == &Tok::Percent {
             self.bump();
-            lhs = Term::modulo(lhs, self.parse_factor()?);
+            let (rhs, rsp) = self.parse_factor()?;
+            let span = lsp.span;
+            lhs = Term::modulo(lhs, rhs);
+            lsp = TermSpans {
+                span,
+                children: vec![lsp, rsp],
+            };
         }
-        Ok(lhs)
+        Ok((lhs, lsp))
     }
 
-    fn parse_factor(&mut self) -> Result<Term, ParseError> {
+    fn parse_factor(&mut self) -> Result<(Term, TermSpans), ParseError> {
+        let sp = self.span();
         match self.peek().clone() {
             Tok::Int(i) => {
                 self.bump();
-                Ok(Term::Const(Value::Int(i)))
+                Ok((Term::Const(Value::Int(i)), TermSpans::leaf(sp)))
             }
             Tok::Minus => {
                 self.bump();
-                let inner = self.parse_factor()?;
-                Ok(Term::sub(Term::val(0), inner))
+                let (inner, isp) = self.parse_factor()?;
+                Ok((
+                    Term::sub(Term::val(0), inner),
+                    TermSpans {
+                        span: sp,
+                        children: vec![TermSpans::leaf(sp), isp],
+                    },
+                ))
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Term::Const(Value::Str(s)))
+                Ok((Term::Const(Value::Str(s)), TermSpans::leaf(sp)))
             }
             Tok::LParen => {
                 self.bump();
@@ -885,9 +993,12 @@ impl Parser {
             Tok::LBrace => {
                 self.bump();
                 let mut items = Vec::new();
+                let mut spans = Vec::new();
                 if self.peek() != &Tok::RBrace {
                     loop {
-                        items.push(self.parse_term()?);
+                        let (t, tsp) = self.parse_term()?;
+                        items.push(t);
+                        spans.push(tsp);
                         if self.peek() == &Tok::Comma {
                             self.bump();
                         } else {
@@ -896,49 +1007,67 @@ impl Parser {
                     }
                 }
                 self.expect(&Tok::RBrace)?;
-                Ok(Term::SetOf(items))
+                Ok((
+                    Term::SetOf(items),
+                    TermSpans {
+                        span: sp,
+                        children: spans,
+                    },
+                ))
             }
             Tok::Ident(s) => match s.as_str() {
                 "true" => {
                     self.bump();
-                    Ok(Term::Const(Value::Bool(true)))
+                    Ok((Term::Const(Value::Bool(true)), TermSpans::leaf(sp)))
                 }
                 "false" => {
                     self.bump();
-                    Ok(Term::Const(Value::Bool(false)))
+                    Ok((Term::Const(Value::Bool(false)), TermSpans::leaf(sp)))
                 }
                 "bottom" | "null" => {
                     self.bump();
-                    Ok(Term::Const(Value::Null))
+                    Ok((Term::Const(Value::Null), TermSpans::leaf(sp)))
                 }
                 "invoker" => {
                     self.bump();
                     self.expect(&Tok::LParen)?;
                     self.expect(&Tok::RParen)?;
-                    Ok(Term::Invoker)
+                    Ok((Term::Invoker, TermSpans::leaf(sp)))
                 }
                 "card" => {
                     self.bump();
                     self.expect(&Tok::LParen)?;
-                    let t = self.parse_term()?;
+                    let (t, tsp) = self.parse_term()?;
                     self.expect(&Tok::RParen)?;
-                    Ok(Term::Card(Box::new(t)))
+                    Ok((
+                        Term::Card(Box::new(t)),
+                        TermSpans {
+                            span: sp,
+                            children: vec![tsp],
+                        },
+                    ))
                 }
                 "union_vals" => {
                     self.bump();
                     self.expect(&Tok::LParen)?;
-                    let t = self.parse_term()?;
+                    let (t, tsp) = self.parse_term()?;
                     self.expect(&Tok::RParen)?;
-                    Ok(Term::UnionVals(Box::new(t)))
+                    Ok((
+                        Term::UnionVals(Box::new(t)),
+                        TermSpans {
+                            span: sp,
+                            children: vec![tsp],
+                        },
+                    ))
                 }
                 "state" => {
                     self.bump();
                     self.expect(&Tok::Dot)?;
-                    Ok(Term::StateField(self.expect_ident()?))
+                    Ok((Term::StateField(self.expect_ident()?), TermSpans::leaf(sp)))
                 }
                 _ => {
                     self.bump();
-                    Ok(Term::Var(s))
+                    Ok((Term::Var(s), TermSpans::leaf(sp)))
                 }
             },
             other => Err(self.err(format!("expected a term, found {other}"))),
@@ -966,13 +1095,25 @@ impl Parser {
 /// # Ok::<(), peats_policy::ParseError>(())
 /// ```
 pub fn parse_policy(src: &str) -> Result<Policy, ParseError> {
+    parse_policy_spanned(src).map(|(policy, _)| policy)
+}
+
+/// Parses a complete policy declaration and returns it together with the
+/// span tree mapping every rule/expression/term back to its 1-based
+/// line/column in `src` — the form the static analyzer wants so its
+/// diagnostics point at source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column information on malformed input.
+pub fn parse_policy_spanned(src: &str) -> Result<(Policy, PolicySpans), ParseError> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
-    let policy = p.parse_policy()?;
+    let (policy, spans) = p.parse_policy()?;
     if p.peek() != &Tok::Eof {
         return Err(p.err(format!("trailing input after policy: {}", p.peek())));
     }
-    Ok(policy)
+    Ok((policy, spans))
 }
 
 /// Parses a single expression (rule right-hand side) — exposed for tests and
@@ -984,7 +1125,7 @@ pub fn parse_policy(src: &str) -> Result<Policy, ParseError> {
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
-    let e = p.parse_expr()?;
+    let (e, _) = p.parse_expr()?;
     if p.peek() != &Tok::Eof {
         return Err(p.err(format!("trailing input after expression: {}", p.peek())));
     }
@@ -1153,5 +1294,47 @@ mod tests {
     #[test]
     fn unterminated_string_is_an_error() {
         assert!(parse_policy("policy p() { rule R: out(<\"x>) :- true; }").is_err());
+    }
+
+    #[test]
+    fn spanned_parse_tracks_rule_and_condition_positions() {
+        let src = "policy p() {\n  rule R: out(<?v>) :-\n    v == invoker();\n}\n";
+        let (policy, spans) = parse_policy_spanned(src).unwrap();
+        assert_eq!(spans.span, crate::span::Span::new(1, 1));
+        assert_eq!(spans.rules.len(), policy.rules.len());
+        let r = &spans.rules[0];
+        assert_eq!(r.span, crate::span::Span::new(2, 3));
+        assert_eq!(r.head, crate::span::Span::new(2, 11));
+        // Condition `v == invoker()` starts at the `v` on line 3.
+        assert_eq!(r.condition.span, crate::span::Span::new(3, 5));
+        assert_eq!(r.condition.terms.len(), 2);
+        assert_eq!(r.condition.term(0).span, crate::span::Span::new(3, 5));
+        assert_eq!(r.condition.term(1).span, crate::span::Span::new(3, 10));
+    }
+
+    #[test]
+    fn spanned_parse_mirrors_nested_expression_shape() {
+        let src = "policy p() {\n  rule R: out(<?v>) :- v in {1, 2} && !exists(<v, _>);\n}\n";
+        let (policy, spans) = parse_policy_spanned(src).unwrap();
+        let cond = &spans.rules[0].condition;
+        // And node: exprs [Contains, Not].
+        assert_eq!(cond.exprs.len(), 2);
+        match &policy.rules[0].condition {
+            Expr::And(lhs, rhs) => {
+                assert!(matches!(**lhs, Expr::Contains { .. }));
+                assert!(matches!(**rhs, Expr::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let contains = cond.expr(0);
+        assert_eq!(contains.terms.len(), 2);
+        // Set literal `{1, 2}` has two child spans.
+        assert_eq!(contains.term(1).children.len(), 2);
+        let not = cond.expr(1);
+        assert_eq!(not.exprs.len(), 1);
+        let exists = not.expr(0);
+        // Query `<v, _>` yields one span per field.
+        assert_eq!(exists.terms.len(), 2);
+        assert_eq!(exists.exprs.len(), 1); // implicit where-clause
     }
 }

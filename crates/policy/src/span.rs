@@ -1,0 +1,294 @@
+//! Source positions for parsed policies.
+//!
+//! The AST types in [`ast`](crate::ast) are pure values — they derive
+//! `PartialEq`, are built programmatically all over the workspace, and know
+//! nothing about concrete syntax. Static analysis, however, must point at
+//! the offending *source line* of a policy file. Rather than threading
+//! positions through every AST node (which would break every programmatic
+//! constructor and equality test in the workspace), the parser builds a
+//! *span tree* alongside the AST: a mirror structure with the same
+//! recursive shape whose nodes carry 1-based line/column positions.
+//!
+//! [`PolicySpans::unknown`] builds a shape-matching tree of unknown spans
+//! for policies that were never parsed from text (programmatic policies,
+//! `Policy::allow_all()`), so the analyzer can always walk AST and spans in
+//! lockstep.
+
+use crate::ast::{Expr, Policy, QueryField, Rule, Term};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A 1-based line/column source position. `line == 0` means the position
+/// is unknown (the node was built programmatically, not parsed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line; 0 when unknown.
+    pub line: usize,
+    /// 1-based source column; 0 when unknown.
+    pub col: usize,
+}
+
+impl Span {
+    /// The "no source position" span used for programmatic policies.
+    pub const UNKNOWN: Span = Span { line: 0, col: 0 };
+
+    /// Creates a span at `line`:`col` (both 1-based).
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// `true` if this span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
+/// Span tree mirroring a [`Term`]: `children` has one entry per AST child,
+/// in declaration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermSpans {
+    /// Position where the term starts.
+    pub span: Span,
+    /// Spans of the term's sub-terms (empty for leaves).
+    pub children: Vec<TermSpans>,
+}
+
+fn unknown_term_spans() -> &'static TermSpans {
+    static FALLBACK: OnceLock<TermSpans> = OnceLock::new();
+    FALLBACK.get_or_init(|| TermSpans::leaf(Span::UNKNOWN))
+}
+
+fn unknown_expr_spans() -> &'static ExprSpans {
+    static FALLBACK: OnceLock<ExprSpans> = OnceLock::new();
+    FALLBACK.get_or_init(|| ExprSpans::leaf(Span::UNKNOWN))
+}
+
+impl TermSpans {
+    /// A leaf node at `span`.
+    pub fn leaf(span: Span) -> TermSpans {
+        TermSpans {
+            span,
+            children: Vec::new(),
+        }
+    }
+
+    /// Shape-matching tree of unknown spans for a programmatic term.
+    pub fn unknown(term: &Term) -> TermSpans {
+        let children = match term {
+            Term::Const(_) | Term::Var(_) | Term::Invoker | Term::StateField(_) => Vec::new(),
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mod(a, b) => {
+                vec![TermSpans::unknown(a), TermSpans::unknown(b)]
+            }
+            Term::Card(t) | Term::UnionVals(t) => vec![TermSpans::unknown(t)],
+            Term::SetOf(ts) => ts.iter().map(TermSpans::unknown).collect(),
+        };
+        TermSpans {
+            span: Span::UNKNOWN,
+            children,
+        }
+    }
+
+    /// Child `i`, falling back to this node itself when the tree's shape
+    /// does not match the AST (defensive: a diagnostic then points at the
+    /// enclosing term instead of panicking).
+    pub fn child(&self, i: usize) -> &TermSpans {
+        self.children.get(i).unwrap_or(self)
+    }
+}
+
+/// Span tree mirroring an [`Expr`]: `exprs` holds sub-expression trees and
+/// `terms` holds sub-term trees, each in declaration order. For
+/// [`Expr::Exists`], `terms` has one entry per query field (leaf spans for
+/// `_`/`?x` fields).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExprSpans {
+    /// Position where the expression starts.
+    pub span: Span,
+    /// Spans of sub-expressions.
+    pub exprs: Vec<ExprSpans>,
+    /// Spans of sub-terms (and query fields).
+    pub terms: Vec<TermSpans>,
+}
+
+impl ExprSpans {
+    /// A leaf node at `span`.
+    pub fn leaf(span: Span) -> ExprSpans {
+        ExprSpans {
+            span,
+            exprs: Vec::new(),
+            terms: Vec::new(),
+        }
+    }
+
+    /// Shape-matching tree of unknown spans for a programmatic expression.
+    pub fn unknown(expr: &Expr) -> ExprSpans {
+        let (exprs, terms) = match expr {
+            Expr::True | Expr::False | Expr::IsFormal(_) | Expr::IsWildcard(_) => {
+                (Vec::new(), Vec::new())
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => (
+                vec![ExprSpans::unknown(a), ExprSpans::unknown(b)],
+                Vec::new(),
+            ),
+            Expr::Not(e) => (vec![ExprSpans::unknown(e)], Vec::new()),
+            Expr::Cmp(_, a, b) => (
+                Vec::new(),
+                vec![TermSpans::unknown(a), TermSpans::unknown(b)],
+            ),
+            Expr::Contains { item, collection } => (
+                Vec::new(),
+                vec![TermSpans::unknown(item), TermSpans::unknown(collection)],
+            ),
+            Expr::Exists {
+                query,
+                where_clause,
+            } => (
+                vec![ExprSpans::unknown(where_clause)],
+                query
+                    .0
+                    .iter()
+                    .map(|f| match f {
+                        QueryField::Term(t) => TermSpans::unknown(t),
+                        QueryField::Any | QueryField::Bind(_) => TermSpans::leaf(Span::UNKNOWN),
+                    })
+                    .collect(),
+            ),
+            Expr::ForAll { over, body, .. } | Expr::ForAllPairs { over, body, .. } => (
+                vec![ExprSpans::unknown(body)],
+                vec![TermSpans::unknown(over)],
+            ),
+        };
+        ExprSpans {
+            span: Span::UNKNOWN,
+            exprs,
+            terms,
+        }
+    }
+
+    /// Sub-expression `i`, falling back to an unknown-span leaf on shape
+    /// mismatch.
+    pub fn expr(&self, i: usize) -> &ExprSpans {
+        self.exprs.get(i).unwrap_or_else(|| unknown_expr_spans())
+    }
+
+    /// Sub-term `i`, falling back to an unknown-span leaf on shape mismatch.
+    pub fn term(&self, i: usize) -> &TermSpans {
+        self.terms.get(i).unwrap_or_else(|| unknown_term_spans())
+    }
+}
+
+/// Spans of one [`Rule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// Position of the `rule` keyword.
+    pub span: Span,
+    /// Position of the head (invocation pattern).
+    pub head: Span,
+    /// Span tree of the condition.
+    pub condition: ExprSpans,
+}
+
+impl RuleSpans {
+    /// Shape-matching unknown spans for a programmatic rule.
+    pub fn unknown(rule: &Rule) -> RuleSpans {
+        RuleSpans {
+            span: Span::UNKNOWN,
+            head: Span::UNKNOWN,
+            condition: ExprSpans::unknown(&rule.condition),
+        }
+    }
+}
+
+/// Spans of a whole [`Policy`], as produced by
+/// [`parse_policy_spanned`](crate::parse_policy_spanned).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicySpans {
+    /// Position of the `policy` keyword.
+    pub span: Span,
+    /// Per-rule span trees, parallel to `Policy::rules`.
+    pub rules: Vec<RuleSpans>,
+}
+
+impl PolicySpans {
+    /// Shape-matching unknown spans for a programmatic policy, so analysis
+    /// can run on policies that were never parsed from text.
+    pub fn unknown(policy: &Policy) -> PolicySpans {
+        PolicySpans {
+            span: Span::UNKNOWN,
+            rules: policy.rules.iter().map(RuleSpans::unknown).collect(),
+        }
+    }
+
+    /// Span tree of rule `i`, falling back to unknown spans on shape
+    /// mismatch (defensive against parser/analyzer drift).
+    pub fn rule(&self, i: usize, rule: &Rule) -> RuleSpans {
+        self.rules
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| RuleSpans::unknown(rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArgPattern, CmpOp, InvocationPattern};
+
+    #[test]
+    fn unknown_spans_mirror_ast_shape() {
+        let e = Expr::and(
+            Expr::cmp(
+                CmpOp::Eq,
+                Term::add(Term::var("a"), Term::val(1)),
+                Term::Invoker,
+            ),
+            Expr::not(Expr::True),
+        );
+        let sp = ExprSpans::unknown(&e);
+        assert_eq!(sp.exprs.len(), 2);
+        let cmp = sp.expr(0);
+        assert_eq!(cmp.terms.len(), 2);
+        assert_eq!(cmp.term(0).children.len(), 2);
+        assert_eq!(cmp.term(1).children.len(), 0);
+        let not = sp.expr(1);
+        assert_eq!(not.exprs.len(), 1);
+    }
+
+    #[test]
+    fn shape_mismatch_falls_back_instead_of_panicking() {
+        let leaf = ExprSpans::leaf(Span::new(3, 7));
+        assert_eq!(leaf.expr(5).span, Span::UNKNOWN);
+        assert_eq!(leaf.term(5).span, Span::UNKNOWN);
+        let t = TermSpans::leaf(Span::new(2, 2));
+        assert_eq!(t.child(0).span, Span::new(2, 2));
+    }
+
+    #[test]
+    fn policy_unknown_covers_rules() {
+        let p = Policy::new(
+            "p",
+            vec![],
+            vec![Rule::new(
+                "R",
+                InvocationPattern::Out(ArgPattern::Any),
+                Expr::True,
+            )],
+        );
+        let sp = PolicySpans::unknown(&p);
+        assert_eq!(sp.rules.len(), 1);
+        assert!(!sp.rule(0, &p.rules[0]).span.is_known());
+        assert!(!sp.rule(9, &p.rules[0]).span.is_known());
+        assert_eq!(format!("{}", Span::new(4, 11)), "4:11");
+        assert_eq!(format!("{}", Span::UNKNOWN), "?:?");
+    }
+}

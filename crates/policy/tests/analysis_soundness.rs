@@ -1,0 +1,174 @@
+//! Soundness differential for the static analyzer: a generated policy that
+//! passes analysis with no errors must never raise an [`EvalError`] at
+//! runtime, whatever invocation arrives. The generator is deliberately
+//! restricted to the fragment where that guarantee is checkable — every
+//! variable is entry-bound (values by unification), every term is
+//! int-typed, constant `%` divisors are nonzero — so the property is
+//! exact: analysis-clean here means *no* false negatives, and the
+//! clean-assertion below also pins down false positives.
+
+use peats_policy::eval::EmptyState;
+use peats_policy::{
+    analyze, ArgPattern, CmpOp, Decision, Expr, FieldPattern, Invocation, InvocationPattern,
+    OpCall, Policy, PolicyParams, ReferenceMonitor, Rule, Severity, Term,
+};
+use peats_tuplespace::tuple;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Entry-bound variables of the generated rule (`out(<?a, ?b, ?c>)`).
+const VARS: [&str; 3] = ["a", "b", "c"];
+/// Declared policy parameters, valued `n = 4`, `t = 1`.
+const PARAMS: [&str; 2] = ["n", "t"];
+
+/// Deterministically decodes a byte "program" into an expression from the
+/// sound fragment; every byte stream is a valid program (no rejection, so
+/// generated coverage is dense).
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Decoder<'_> {
+    fn next(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// An int-typed term: constants, entry-bound vars, params, invoker,
+    /// and arithmetic over them (constant nonzero `%` divisors only).
+    fn term(&mut self, depth: u8) -> Term {
+        let b = self.next();
+        if depth == 0 {
+            return self.leaf(b);
+        }
+        match b % 7 {
+            0..=2 => self.leaf(b / 7),
+            3 => Term::add(self.term(depth - 1), self.term(depth - 1)),
+            4 => Term::sub(self.term(depth - 1), self.term(depth - 1)),
+            5 => {
+                let divisor = 1 + i64::from(self.next() % 4);
+                Term::Mod(Box::new(self.term(depth - 1)), Box::new(Term::val(divisor)))
+            }
+            _ => Term::Card(Box::new(Term::SetOf(vec![
+                Term::val(i64::from(self.next() % 5)),
+                self.term(depth - 1),
+            ]))),
+        }
+    }
+
+    fn leaf(&mut self, b: u8) -> Term {
+        match b % 4 {
+            0 => Term::val(i64::from(self.next() % 5)),
+            1 => Term::var(VARS[usize::from(self.next()) % VARS.len()]),
+            2 => Term::var(PARAMS[usize::from(self.next()) % PARAMS.len()]),
+            _ => Term::Invoker,
+        }
+    }
+
+    fn cmp_op(&mut self) -> CmpOp {
+        match self.next() % 6 {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        }
+    }
+
+    fn expr(&mut self, depth: u8) -> Expr {
+        let b = self.next();
+        if depth == 0 {
+            return if b % 2 == 0 { Expr::True } else { Expr::False };
+        }
+        match b % 8 {
+            0 => Expr::and(self.expr(depth - 1), self.expr(depth - 1)),
+            1 => Expr::or(self.expr(depth - 1), self.expr(depth - 1)),
+            2 => Expr::not(self.expr(depth - 1)),
+            3 | 4 => {
+                let op = self.cmp_op();
+                Expr::cmp(op, self.term(2), self.term(2))
+            }
+            5 => Expr::Contains {
+                item: self.term(2),
+                collection: Term::SetOf(vec![
+                    Term::val(i64::from(self.next() % 5)),
+                    Term::val(i64::from(self.next() % 5)),
+                ]),
+            },
+            6 => Expr::IsFormal(VARS[usize::from(self.next()) % VARS.len()].to_owned()),
+            _ => Expr::IsWildcard(VARS[usize::from(self.next()) % VARS.len()].to_owned()),
+        }
+    }
+}
+
+fn generated_policy(program: &[u8]) -> Policy {
+    let mut d = Decoder {
+        bytes: program,
+        pos: 0,
+    };
+    let condition = d.expr(3);
+    let pattern = InvocationPattern::Out(ArgPattern::fields(
+        VARS.iter()
+            .map(|v| FieldPattern::Bind((*v).to_owned()))
+            .collect(),
+    ));
+    Policy::new(
+        "generated",
+        PARAMS.iter().map(|p| (*p).to_owned()).collect(),
+        vec![Rule::new("Rgen", pattern, condition)],
+    )
+}
+
+fn params() -> PolicyParams {
+    let mut params = PolicyParams::new();
+    params.set("n", 4);
+    params.set("t", 1);
+    params
+}
+
+const EVAL_ERROR_MARKERS: [&str; 4] = [
+    "unbound variable",
+    "wildcard/formal field",
+    "type mismatch",
+    "arithmetic error",
+];
+
+proptest! {
+    #[test]
+    fn analysis_clean_policies_never_error_at_runtime(
+        program in vec(any::<u8>(), 0..48),
+        fields in vec(0i64..5, 3..4),
+        invoker in 0u64..5,
+    ) {
+        let policy = generated_policy(&program);
+
+        // The generator stays inside the sound fragment, so analysis must
+        // find no errors (false-positive check)...
+        let diags = analyze(&policy);
+        prop_assert!(
+            !diags.iter().any(|d| d.severity == Severity::Error),
+            "false positive on {policy:?}: {diags:?}"
+        );
+
+        // ...and evaluation must never hit an EvalError (false-negative
+        // check): every denial reason is a plain failed condition.
+        let monitor = ReferenceMonitor::new(policy, params()).expect("clean policy loads");
+        let inv = Invocation::new(
+            invoker,
+            OpCall::out(tuple![fields[0], fields[1], fields[2]]),
+        );
+        if let Decision::Denied { attempts } = monitor.decide(&inv, &EmptyState) {
+            for (rule, why) in &attempts {
+                for marker in EVAL_ERROR_MARKERS {
+                    prop_assert!(
+                        !why.contains(marker),
+                        "rule {rule} raised `{why}` despite clean analysis"
+                    );
+                }
+            }
+        }
+    }
+}

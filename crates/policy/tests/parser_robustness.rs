@@ -1,0 +1,143 @@
+//! Property tests for the policy parser: it must never panic, and every
+//! rejection must carry a usable 1-based source position — the static
+//! analyzer and `peats policy check` build their diagnostics on top of it.
+
+use peats_policy::{parse_policy, parse_policy_spanned};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A valid, span-rich policy to mutate (the Fig. 4 strong-consensus text).
+const FIG4: &str = r#"
+policy strong_consensus(n, t) {
+  rule Rrd: read(_) :- true;
+  rule Rout: out(<"PROPOSE", ?q, ?v>) :-
+    q == invoker() && v in {0, 1}
+    && !exists(<"PROPOSE", invoker(), _>);
+  rule Rcas: cas(<"DECISION", ?x, _>, <"DECISION", ?v, ?S>) :-
+    formal(x) && card(S) >= t + 1
+    && forall q in S { exists(<"PROPOSE", q, v>) };
+}
+"#;
+
+/// Tokens the DSL actually uses, shuffled into nonsense programs: much
+/// denser coverage of parser states than uniformly random bytes.
+const TOKENS: &[&str] = &[
+    "policy",
+    "rule",
+    "out",
+    "rd",
+    "in",
+    "inp",
+    "rdp",
+    "cas",
+    "count",
+    "read",
+    "exists",
+    "forall",
+    "formal",
+    "wildcard",
+    "card",
+    "union_vals",
+    "invoker",
+    "state",
+    "true",
+    "false",
+    "bottom",
+    "(",
+    ")",
+    "{",
+    "}",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "!",
+    ":-",
+    ":",
+    ";",
+    ",",
+    "?x",
+    "?v",
+    "_",
+    "*",
+    "->",
+    "%",
+    "+",
+    "-",
+    "p",
+    "R",
+    "\"tag\"",
+    "0",
+    "1",
+    "42",
+    ".",
+];
+
+fn assert_error_positions(src: &str) {
+    // The must-not-panic property is the call itself; on rejection the
+    // position must be 1-based and thus usable in diagnostics.
+    match parse_policy_spanned(src) {
+        Ok((policy, spans)) => assert_eq!(policy.rules.len(), spans.rules.len()),
+        Err(e) => {
+            assert!(e.line >= 1, "0-based line in `{e}` for {src:?}");
+            assert!(e.col >= 1, "0-based col in `{e}` for {src:?}");
+        }
+    }
+    // The unspanned entry point must agree on accept/reject.
+    assert_eq!(parse_policy(src).is_ok(), parse_policy_spanned(src).is_ok());
+}
+
+proptest! {
+    #[test]
+    fn parser_survives_token_soup(picks in vec(0usize..TOKENS.len(), 0..40)) {
+        let src: Vec<&str> = picks.iter().map(|&i| TOKENS[i]).collect();
+        assert_error_positions(&src.join(" "));
+    }
+
+    #[test]
+    fn parser_survives_arbitrary_bytes(bytes in vec(any::<u8>(), 0..120)) {
+        assert_error_positions(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn parser_survives_mutated_valid_policies(
+        at in 0usize..1000,
+        insert in 0usize..TOKENS.len(),
+        kind in 0u8..3,
+    ) {
+        let chars: Vec<char> = FIG4.chars().collect();
+        let at = at % chars.len();
+        let mutated: String = match kind {
+            // Delete one character.
+            0 => chars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != at)
+                .map(|(_, c)| c)
+                .collect(),
+            // Insert a random token mid-stream.
+            1 => {
+                let mut s: String = chars[..at].iter().collect();
+                s.push_str(TOKENS[insert]);
+                s.extend(&chars[at..]);
+                s
+            }
+            // Truncate.
+            _ => chars[..at].iter().collect(),
+        };
+        assert_error_positions(&mutated);
+    }
+}
+
+#[test]
+fn rejections_report_the_offending_line() {
+    // A concrete anchor for the property: the bad token is on line 3.
+    let src = "policy p() {\n  rule R: out(<?v>) :-\n    v == == 1;\n}\n";
+    let err = parse_policy_spanned(src).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.col >= 1);
+}

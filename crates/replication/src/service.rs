@@ -10,7 +10,7 @@ use crate::messages::{OpResult, Registration, RegistrationRows, WaitKind};
 use peats_auth::{sha256, Digest};
 use peats_codec::Encode;
 use peats_policy::{
-    Invocation, MissingParamError, OpCall, Policy, PolicyParams, ProcessId, ReferenceMonitor,
+    Invocation, OpCall, Policy, PolicyError, PolicyParams, ProcessId, ReferenceMonitor,
 };
 use peats_tuplespace::{CasOutcome, SequentialSpace, SpaceSnapshot, Template, Tuple};
 use std::collections::BTreeMap;
@@ -50,9 +50,9 @@ impl PeatsService {
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] when the policy declares unset
+    /// Returns [`PolicyError`] when the policy declares unset
     /// parameters.
-    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, MissingParamError> {
+    pub fn new(policy: Policy, params: PolicyParams) -> Result<Self, PolicyError> {
         Ok(PeatsService {
             space: SequentialSpace::new(),
             monitor: ReferenceMonitor::new(policy, params)?,

@@ -27,7 +27,7 @@ use crate::service::PeatsService;
 use crate::wal::{DurableConfig, DurableStore};
 use peats_auth::KeyTable;
 use peats_netsim::{ThreadMailbox, ThreadNet};
-use peats_policy::{MissingParamError, Policy, PolicyParams};
+use peats_policy::{Policy, PolicyError, PolicyParams};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -119,7 +119,7 @@ impl ThreadedCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] when the policy declares unset
+    /// Returns [`PolicyError`] when the policy declares unset
     /// parameters.
     pub fn start(
         policy: Policy,
@@ -127,7 +127,7 @@ impl ThreadedCluster {
         f: usize,
         client_pids: &[u64],
         faults: &[FaultMode],
-    ) -> Result<Self, MissingParamError> {
+    ) -> Result<Self, PolicyError> {
         Self::start_with(
             policy,
             params,
@@ -143,7 +143,7 @@ impl ThreadedCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`MissingParamError`] when the policy declares unset
+    /// Returns [`PolicyError`] when the policy declares unset
     /// parameters.
     pub fn start_with(
         policy: Policy,
@@ -152,7 +152,7 @@ impl ThreadedCluster {
         client_pids: &[u64],
         faults: &[FaultMode],
         config: ClusterConfig,
-    ) -> Result<Self, MissingParamError> {
+    ) -> Result<Self, PolicyError> {
         let n_replicas = 3 * f + 1;
         let master = b"peats-threaded-master".to_vec();
         let (net, mut mailboxes) = ThreadNet::new(n_replicas + client_pids.len());

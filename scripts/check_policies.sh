@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the policy verifier over the committed corpus:
+#   * examples/policies/*.peats must pass `peats policy check` (exit 0);
+#   * examples/policies/bad/*.peats must each fail (nonzero exit) with the
+#     diagnostic code named by the file's NNNN- prefix (PARSE-* must be
+#     reported as parse errors).
+#
+# Usage: scripts/check_policies.sh [path-to-peats-binary]
+set -u
+
+cd "$(dirname "$0")/.."
+PEATS="${1:-target/release/peats}"
+if [ ! -x "$PEATS" ]; then
+    echo "check_policies: $PEATS not found; build with: cargo build --release -p peats-net --bin peats" >&2
+    exit 1
+fi
+
+failures=0
+
+for f in examples/policies/*.peats; do
+    out=$("$PEATS" policy check "$f" --params n=4,t=1,k=2 2>&1)
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL $f: expected exit 0, got $status" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        failures=$((failures + 1))
+    else
+        echo "ok   $f"
+    fi
+done
+
+for f in examples/policies/bad/*.peats; do
+    code=$(basename "$f" | cut -d- -f1)
+    out=$("$PEATS" policy check "$f" 2>&1)
+    status=$?
+    if [ "$status" -eq 0 ]; then
+        echo "FAIL $f: expected a nonzero exit" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if [ "$code" = "PARSE" ]; then
+        pattern="parse error"
+    else
+        pattern="error\\[$code\\]"
+    fi
+    if ! echo "$out" | grep -q "$pattern"; then
+        echo "FAIL $f: exit $status but no \`$pattern\` in the output" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        failures=$((failures + 1))
+    else
+        echo "ok   $f (rejected with $code)"
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "check_policies: $failures failure(s)" >&2
+    exit 1
+fi
+echo "check_policies: corpus clean"

@@ -176,3 +176,72 @@ fn fig8_helping_conditions_exhaustive() {
     assert!(space.handle(0).inp(&template!["ANN", 2u64, _]).is_err());
     assert!(space.handle(2).inp(&template!["ANN", 2u64, _]).is_ok());
 }
+
+/// Every policy shipped in-tree — the figure constructors, the Fig. 1
+/// register policy, and the permissive default — must pass static
+/// analysis with zero errors: they are the checked corpus the verifier
+/// is calibrated against (warnings like "inp not covered" are expected
+/// and intentional for the restrictive consensus policies).
+#[test]
+fn every_in_tree_policy_is_analysis_clean() {
+    use peats::peo::monotonic_register_policy;
+    use peats_policy::{analyze, Policy, Severity};
+    let corpus = [
+        policies::weak_consensus(),
+        policies::strong_consensus(),
+        policies::kvalued_consensus(),
+        policies::default_consensus(),
+        policies::lockfree_universal(),
+        policies::waitfree_universal(),
+        monotonic_register_policy([1, 2, 3]),
+        Policy::allow_all(),
+    ];
+    for policy in corpus {
+        let diags = analyze(&policy);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "policy {} has analysis errors: {errors:?}",
+            policy.name
+        );
+    }
+}
+
+/// The committed `examples/policies/` corpus (checked by CI via
+/// `peats policy check`) must stay AST-identical to the embedded
+/// constructors — the canonical digest catches drift in either place.
+#[test]
+fn policy_corpus_files_match_embedded_constructors() {
+    use peats_policy::parse_policy;
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/policies");
+    let pairs = [
+        ("fig3_weak_consensus.peats", policies::weak_consensus()),
+        ("fig4_strong_consensus.peats", policies::strong_consensus()),
+        ("kvalued_consensus.peats", policies::kvalued_consensus()),
+        (
+            "fig5_default_consensus.peats",
+            policies::default_consensus(),
+        ),
+        (
+            "fig7_lockfree_universal.peats",
+            policies::lockfree_universal(),
+        ),
+        (
+            "fig8_waitfree_universal.peats",
+            policies::waitfree_universal(),
+        ),
+    ];
+    for (file, embedded) in pairs {
+        let path = format!("{dir}/{file}");
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let parsed = parse_policy(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(
+            parsed.digest(),
+            embedded.digest(),
+            "{file} drifted from the embedded constructor"
+        );
+    }
+}
